@@ -1,0 +1,77 @@
+"""E1 — Figure 1: the process state graph.
+
+Claim reproduced: a process's lifecycle takes exactly the transitions the
+paper draws — awake→gone (exit), awake→asleep (sleep), asleep→awake
+(message received) — gone is absorbing, and no other transition is
+reachable. FDP workloads must exercise only the exit edge, FSP workloads
+only the sleep/wake edges.
+"""
+
+from benchmarks.common import BUDGET, emit
+from repro.analysis.tables import format_table
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import (
+    HEAVY_CORRUPTION,
+    build_fdp_engine,
+    build_fsp_engine,
+    choose_leaving,
+)
+from repro.graphs import generators as gen
+from repro.sim.monitors import TransitionMonitor
+from repro.sim.states import LEGAL_TRANSITIONS, PState
+
+A, Z, G = PState.AWAKE, PState.ASLEEP, PState.GONE
+
+
+def run_workloads():
+    n = 14
+    edges = gen.random_connected(n, 7, seed=5)
+    leaving = choose_leaving(n, edges, fraction=0.5, seed=5)
+
+    fdp_mon = TransitionMonitor()
+    fdp = build_fdp_engine(
+        n, edges, leaving, seed=5, corruption=HEAVY_CORRUPTION, monitors=[fdp_mon]
+    )
+    assert fdp.run(BUDGET, until=fdp_legitimate, check_every=64)
+
+    fsp_mon = TransitionMonitor()
+    fsp = build_fsp_engine(
+        n, edges, leaving, seed=5, corruption=HEAVY_CORRUPTION, monitors=[fsp_mon]
+    )
+    assert fsp.run(BUDGET, until=fsp_legitimate, check_every=64)
+    return fdp_mon.observed, fsp_mon.observed
+
+
+def test_e1_state_graph(benchmark):
+    fdp_observed, fsp_observed = benchmark.pedantic(
+        run_workloads, iterations=1, rounds=1
+    )
+
+    # FDP: only the exit edge exists (sleep unavailable).
+    assert fdp_observed == {(A, G)}
+    # FSP: only sleep and wake edges exist (exit unavailable); both occur
+    # under heavy corruption (stale references wake sleepers).
+    assert fsp_observed == {(A, Z), (Z, A)}
+    # Together the workloads exercise exactly Figure 1's edge set.
+    assert fdp_observed | fsp_observed == set(LEGAL_TRANSITIONS)
+
+    rows = []
+    for src, dst in sorted(
+        LEGAL_TRANSITIONS, key=lambda t: (t[0].value, t[1].value)
+    ):
+        rows.append(
+            [
+                f"{src.value} → {dst.value}",
+                (src, dst) in fdp_observed,
+                (src, dst) in fsp_observed,
+            ]
+        )
+    rows.append(["gone → (anything)", False, False])  # absorbing
+    emit(
+        "e1_state_graph",
+        format_table(
+            ["transition (Figure 1)", "observed in FDP", "observed in FSP"],
+            rows,
+            title="E1 — process state graph: reachable transitions",
+        ),
+    )

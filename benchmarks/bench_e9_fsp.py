@@ -1,0 +1,120 @@
+"""E9 — the Finite Sleep Problem: oracle-free departure via sleep.
+
+Claims reproduced: the FSP variant reaches legitimacy (all leaving
+hibernating) from corrupted states WITHOUT any oracle; no exit ever
+happens; hibernation is permanent (closure: zero wake-ups after
+legitimacy); and the cost scales comparably to the FDP — the price of
+losing the oracle is paid in wake/sleep churn, which the table reports.
+"""
+
+from benchmarks.common import BUDGET, emit
+from repro.analysis.runner import run_series
+from repro.analysis.tables import format_table
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import (
+    HEAVY_CORRUPTION,
+    build_fdp_engine,
+    build_fsp_engine,
+    choose_leaving,
+)
+from repro.graphs import generators as gen
+
+
+def builders(n, kind):
+    def build(seed):
+        edges = gen.random_connected(n, n // 2, seed=seed ^ 0xE9)
+        leaving = choose_leaving(n, edges, fraction=0.4, seed=seed)
+        factory = build_fsp_engine if kind == "fsp" else build_fdp_engine
+        return factory(
+            n, edges, leaving, seed=seed, corruption=HEAVY_CORRUPTION
+        )
+
+    return build
+
+
+def collect(engine):
+    return {
+        "wakes": float(engine.stats.wakes),
+        "sleeps": float(engine.stats.sleeps),
+        "exits": float(engine.stats.exits),
+    }
+
+
+def run_comparison():
+    rows = []
+    for n in (8, 16, 32):
+        fsp = run_series(
+            builders(n, "fsp"),
+            seeds=range(3),
+            until=fsp_legitimate,
+            max_steps=BUDGET,
+            check_every=64,
+            collect=collect,
+            parallel=False,
+        )
+        fdp = run_series(
+            builders(n, "fdp"),
+            seeds=range(3),
+            until=fdp_legitimate,
+            max_steps=BUDGET,
+            check_every=64,
+            collect=collect,
+            parallel=False,
+        )
+        assert fsp.convergence_rate == 1.0
+        assert fdp.convergence_rate == 1.0
+        assert all(t.extra["exits"] == 0 for t in fsp.trials)  # no exit in FSP
+        rows.append(
+            [
+                n,
+                fdp.steps_summary()["median"],
+                fsp.steps_summary()["median"],
+                fsp.extra_summary("sleeps")["median"],
+                fsp.extra_summary("wakes")["median"],
+            ]
+        )
+    return rows
+
+
+def test_e9_fsp(benchmark):
+    rows = benchmark.pedantic(run_comparison, iterations=1, rounds=1)
+    emit(
+        "e9_fsp",
+        format_table(
+            [
+                "n",
+                "FDP median steps (oracle)",
+                "FSP median steps (no oracle)",
+                "FSP sleeps",
+                "FSP wakes",
+            ],
+            rows,
+            title="E9 — FSP vs FDP: oracle-free departure, heavy corruption",
+        ),
+    )
+
+
+def _closure_probe():
+    n = 16
+    edges = gen.lollipop(n)
+    leaving = choose_leaving(n, edges, fraction=0.4, seed=9)
+    engine = build_fsp_engine(
+        n, edges, leaving, seed=9, corruption=HEAVY_CORRUPTION
+    )
+    assert engine.run(BUDGET, until=fsp_legitimate, check_every=64)
+    wakes = engine.stats.wakes
+    for _ in range(2_000):
+        if engine.step() is None:
+            break
+        assert fsp_legitimate(engine)
+    return engine.stats.wakes - wakes
+
+
+def test_e9_hibernation_closure(benchmark):
+    extra_wakes = benchmark.pedantic(_closure_probe, iterations=1, rounds=1)
+    assert extra_wakes == 0  # hibernation is permanent
+    emit(
+        "e9_closure",
+        "E9 — closure probe: 2000 post-legitimacy steps, "
+        f"spontaneous wake-ups = {extra_wakes} (claim: 0)",
+    )

@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benchmarks (E1–E11).
+
+Each ``bench_*`` file regenerates one experiment of DESIGN.md's index: it
+runs the workload, renders the reproduced table/figure as text, asserts
+the *shape* claims (who wins, monotonicity, bounds — not absolute
+numbers), and saves the rendering under ``benchmarks/results/`` so
+EXPERIMENTS.md can cite concrete outputs. pytest-benchmark measures the
+wall-clock cost of the core workload on top.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: default trial budget; large enough for every experiment's n range.
+BUDGET = 2_000_000
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def emit(name: str, text: str) -> None:
+    """Print and persist an experiment rendering."""
+    print(f"\n{text}\n")
+    save_result(name, text)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""A peer-to-peer ring under churn: waves of peers leaving safely.
+
+Models the motivating scenario of the paper's introduction: a running
+P2P overlay — here the sorted ring, the base topology of Chord-style
+systems — from which peers continuously request to leave. The overlay's
+maintenance protocol is embedded in the Section 4 departure framework, so
+leavers are excluded without ever risking disconnection while the ring
+keeps stabilizing for the stayers.
+
+Because the paper's model fixes each process's mode, churn is simulated
+as a sequence of *epochs* (see :class:`repro.analysis.churn.ChurnSimulation`):
+each epoch marks a fresh subset of the survivors as leaving, re-wires the
+survivors with the topology the previous epoch converged to, re-injects
+transient faults, and runs P′ until both obligations of Theorem 4 hold
+again (leavers gone ∧ ring correct).
+
+Run:  python examples/churn_p2p_network.py
+"""
+
+from repro.analysis.churn import ChurnSimulation
+from repro.analysis.tables import format_table
+from repro.core.scenarios import Corruption
+from repro.graphs import generators
+from repro.overlays.ring import RingLogic
+
+
+def main() -> None:
+    n = 20
+    sim = ChurnSimulation(
+        RingLogic,
+        n,
+        generators.random_connected(n, extra_edges=10, seed=7),
+        churn_rate=0.2,
+        corruption=Corruption(belief_lie_prob=0.15, garbage_per_process=0.5),
+        seed=7,
+    )
+    results = sim.run(epochs=4, min_population=6)
+
+    print(
+        format_table(
+            ["epoch", "peers", "leaving", "safe", "steps", "messages", "survivors"],
+            sim.rows(),
+            title="P2P churn: per-epoch safe exclusion (sorted ring + FDP framework)",
+        )
+    )
+    assert all(r.converged for r in results), "every epoch must converge safely"
+    print(f"\nring intact after {len(results)} churn epochs, "
+          f"{n - len(sim.pids)} peers excluded safely ✓")
+
+
+if __name__ == "__main__":
+    main()

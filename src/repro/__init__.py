@@ -1,0 +1,113 @@
+"""repro — self-stabilizing finite departure for overlay networks.
+
+A complete, executable reproduction of *"Towards a Universal Approach for
+the Finite Departure Problem in Overlay Networks"* (Koutsopoulos,
+Scheideler & Strothmann, SPAA 2015): the asynchronous message-passing
+model, the four universal edge primitives, the SINGLE-oracle FDP protocol,
+its oracle-free FSP variant, the embedding framework for overlay
+maintenance protocols, and the experiment harness validating every
+theorem and lemma of the paper.
+
+Quickstart::
+
+    from repro import build_fdp_engine, fdp_legitimate
+    from repro.graphs import generators
+
+    n = 32
+    edges = generators.random_connected(n, extra_edges=16, seed=1)
+    engine = build_fdp_engine(n, edges, leaving={3, 7, 21}, seed=1)
+    assert engine.run(200_000, until=fdp_legitimate, check_every=64)
+    print(engine.describe())
+
+See ``examples/`` for complete scenarios and ``DESIGN.md`` for the
+architecture and experiment index.
+"""
+
+from repro.core import (
+    CLEAN,
+    HEAVY_CORRUPTION,
+    LIGHT_CORRUPTION,
+    AlwaysOracle,
+    Corruption,
+    FDPProcess,
+    FSPProcess,
+    NeverOracle,
+    Primitive,
+    PrimitiveGraph,
+    PrimitiveOp,
+    SingleOracle,
+    TimeoutSingleOracle,
+    build_fdp_engine,
+    build_fsp_engine,
+    choose_leaving,
+    fdp_legitimate,
+    fsp_legitimate,
+    plan_transformation,
+    potential,
+    rounds_to_clique,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    CopyStoreSendViolation,
+    ModelViolation,
+    ReproError,
+    SafetyViolation,
+)
+from repro.sim import (
+    AdversarialScheduler,
+    Capability,
+    Engine,
+    Mode,
+    OldestFirstScheduler,
+    PState,
+    Process,
+    RandomScheduler,
+    Ref,
+    RefInfo,
+    SynchronousScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversarialScheduler",
+    "AlwaysOracle",
+    "CLEAN",
+    "Capability",
+    "ConfigurationError",
+    "ConvergenceError",
+    "CopyStoreSendViolation",
+    "Corruption",
+    "Engine",
+    "FDPProcess",
+    "FSPProcess",
+    "HEAVY_CORRUPTION",
+    "LIGHT_CORRUPTION",
+    "Mode",
+    "ModelViolation",
+    "NeverOracle",
+    "OldestFirstScheduler",
+    "PState",
+    "Primitive",
+    "PrimitiveGraph",
+    "PrimitiveOp",
+    "Process",
+    "RandomScheduler",
+    "Ref",
+    "RefInfo",
+    "ReproError",
+    "SafetyViolation",
+    "SingleOracle",
+    "SynchronousScheduler",
+    "TimeoutSingleOracle",
+    "build_fdp_engine",
+    "build_fsp_engine",
+    "choose_leaving",
+    "fdp_legitimate",
+    "fsp_legitimate",
+    "plan_transformation",
+    "potential",
+    "rounds_to_clique",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Experiment harness: trial runner, sweeps, statistics, table and graph
+rendering, churn simulation."""
+
+from repro.analysis.churn import ChurnSimulation, EpochResult
+from repro.analysis.render import render_adjacency_list, render_matrix, render_modes
+from repro.analysis.runner import SeriesResult, TrialResult, run_series, run_trial
+from repro.analysis.stats import (
+    bootstrap_median_ci,
+    is_nonincreasing,
+    loglog_slope,
+    normalized_area_under,
+)
+from repro.analysis.sweep import SweepPoint, sweep
+from repro.analysis.tables import format_kv, format_series, format_table, sparkline
+
+__all__ = [
+    "ChurnSimulation",
+    "EpochResult",
+    "SeriesResult",
+    "SweepPoint",
+    "TrialResult",
+    "bootstrap_median_ci",
+    "format_kv",
+    "format_series",
+    "format_table",
+    "is_nonincreasing",
+    "loglog_slope",
+    "normalized_area_under",
+    "render_adjacency_list",
+    "render_matrix",
+    "render_modes",
+    "run_series",
+    "run_trial",
+    "sparkline",
+    "sweep",
+]

@@ -1,0 +1,174 @@
+"""Epoch-based churn simulation over the departure framework.
+
+The paper's model fixes each process's mode for the whole computation, so
+continuous churn is modelled as a sequence of *epochs*: each epoch marks
+a fresh subset of the current survivors as leaving, re-wires the
+survivors with the overlay the previous epoch converged to, optionally
+re-injects transient faults, and runs P′ = framework(P) until Theorem 4's
+obligations hold again (all leavers gone ∧ P's topology re-established).
+
+This is the library form of ``examples/churn_p2p_network.py`` and the
+workload generator behind long-horizon robustness studies: how many
+epochs of x%-churn can an overlay absorb, and at what per-epoch cost?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.core.potential import fdp_legitimate
+from repro.core.scenarios import CLEAN, Corruption, build_framework_engine
+from repro.errors import ConvergenceError
+from repro.graphs.snapshot import EdgeKind
+from repro.sim.engine import Engine
+
+__all__ = ["EpochResult", "ChurnSimulation"]
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Outcome of one churn epoch."""
+
+    epoch: int
+    population: int
+    leavers: int
+    converged: bool
+    steps: int
+    messages: int
+    survivors: tuple[int, ...]  # original pids that remain
+
+
+class ChurnSimulation:
+    """Drives an overlay population through leave-waves.
+
+    Parameters
+    ----------
+    logic_cls:
+        The overlay protocol P (an :class:`~repro.overlays.base.OverlayLogic`
+        subclass) to keep maintaining between and during departures.
+    n, edges:
+        Initial population size and topology.
+    churn_rate:
+        Per-epoch probability that a surviving process requests to leave.
+    corruption:
+        Transient-fault level re-injected at each epoch boundary.
+    seed:
+        Master seed; everything downstream is derived deterministically.
+    """
+
+    def __init__(
+        self,
+        logic_cls,
+        n: int,
+        edges: Sequence[tuple[int, int]],
+        *,
+        churn_rate: float = 0.2,
+        corruption: Corruption = CLEAN,
+        seed: int = 0,
+        max_steps_per_epoch: int = 2_000_000,
+    ) -> None:
+        if not 0.0 <= churn_rate < 1.0:
+            raise ValueError("churn_rate must lie in [0, 1)")
+        self.logic_cls = logic_cls
+        self.churn_rate = churn_rate
+        self.corruption = corruption
+        self.max_steps_per_epoch = max_steps_per_epoch
+        self._rng = Random(seed)
+        self._seed = seed
+        #: original pids still alive, and the current topology over them
+        self.pids: list[int] = list(range(n))
+        self.edges: list[tuple[int, int]] = [
+            (a, b) for a, b in edges if a != b
+        ]
+        self.results: list[EpochResult] = []
+
+    # ------------------------------------------------------------------ steps
+
+    def _pick_leavers(self, k: int) -> set[int]:
+        leavers = {i for i in range(k) if self._rng.random() < self.churn_rate}
+        if len(leavers) >= k:  # keep at least one stayer
+            leavers.discard(min(leavers))
+        return leavers
+
+    def run_epoch(self) -> EpochResult:
+        """Run one leave-wave; returns (and records) its result.
+
+        Raises :class:`~repro.errors.ConvergenceError` if the epoch's step
+        budget is exhausted — churn simulations should fail loudly, since
+        every later epoch builds on this one's converged overlay.
+        """
+
+        epoch = len(self.results)
+        remap = {pid: i for i, pid in enumerate(self.pids)}
+        edges = [
+            (remap[a], remap[b])
+            for a, b in self.edges
+            if a in remap and b in remap
+        ]
+        k = len(self.pids)
+        leavers = self._pick_leavers(k)
+        engine = build_framework_engine(
+            k,
+            edges,
+            leavers,
+            self.logic_cls,
+            seed=self._seed + 7919 * epoch,
+            corruption=self.corruption,
+        )
+
+        def done(e: Engine) -> bool:
+            return fdp_legitimate(e) and self.logic_cls.target_reached(e)
+
+        converged = engine.run(
+            self.max_steps_per_epoch, until=done, check_every=256
+        )
+        if not converged:
+            raise ConvergenceError(
+                f"churn epoch {epoch} failed to converge",
+                stats=engine.stats.as_dict(),
+            )
+        snap = engine.snapshot()
+        staying_local = snap.staying()
+        inverse = {i: pid for pid, i in remap.items()}
+        survivors = tuple(
+            sorted(inverse[i] for i in staying_local)
+        )
+        self.edges = [
+            (inverse[e.src], inverse[e.dst])
+            for e in snap.edges
+            if e.kind is EdgeKind.EXPLICIT
+            and e.src in staying_local
+            and e.dst in staying_local
+        ]
+        self.pids = list(survivors)
+        result = EpochResult(
+            epoch=epoch,
+            population=k,
+            leavers=len(leavers),
+            converged=converged,
+            steps=engine.step_count,
+            messages=engine.stats.messages_posted,
+            survivors=survivors,
+        )
+        self.results.append(result)
+        return result
+
+    def run(self, epochs: int, *, min_population: int = 4) -> list[EpochResult]:
+        """Run up to *epochs* epochs, stopping early below *min_population*."""
+        for _ in range(epochs):
+            if len(self.pids) < min_population:
+                break
+            self.run_epoch()
+        return self.results
+
+    # ------------------------------------------------------------------ report
+
+    def rows(self) -> list[list]:
+        """Table rows for :func:`repro.analysis.tables.format_table`."""
+        return [
+            [r.epoch, r.population, r.leavers, r.converged, r.steps, r.messages,
+             len(r.survivors)]
+            for r in self.results
+        ]

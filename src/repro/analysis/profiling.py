@@ -1,0 +1,79 @@
+"""Profiling hooks: measure before optimizing (per the HPC guides).
+
+Small wrappers around :mod:`cProfile` and :mod:`time` so experiments can
+answer "where does simulation time go?" without ceremony. The headline
+insight already baked into the engine — snapshot construction dominating
+naive per-step monitoring — came from exactly these hooks; they stay in
+the library so future changes can be re-measured instead of guessed at.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["profile_call", "Stopwatch", "time_block"]
+
+
+def profile_call(
+    fn: Callable, *args, top: int = 15, sort: str = "cumulative", **kwargs
+) -> tuple[object, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where *report* is the top-``top`` lines
+    sorted by *sort* — ready to print or log.
+    """
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return result, buf.getvalue()
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock timings across repeated sections."""
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def report(self) -> str:
+        lines = ["section                    total_s     calls   per_call_ms"]
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            total = self.totals[name]
+            count = self.counts[name]
+            lines.append(
+                f"{name:<25} {total:>9.3f} {count:>9d} {1000 * total / count:>12.3f}"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def time_block(label: str, sink: Callable[[str], None] = print):
+    """Time one block and hand ``'label: 12.3 ms'`` to *sink*."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink(f"{label}: {(time.perf_counter() - start) * 1000:.1f} ms")

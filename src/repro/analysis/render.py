@@ -1,0 +1,104 @@
+"""ASCII rendering of process graphs — headless 'figures' for examples.
+
+Three views over a live engine or a snapshot:
+
+* :func:`render_adjacency_list` — one line per process with its explicit
+  out-neighbours, mode and lifecycle markers;
+* :func:`render_matrix` — a compact adjacency matrix (explicit ``#``,
+  implicit ``·``, both ``@``) for small systems;
+* :func:`render_modes` — a one-line population strip (``S``taying /
+  ``L``eaving, lowercase when asleep, ``✝`` when gone).
+
+Pure string builders — no I/O — so tests assert on the output and
+examples print it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.graphs.snapshot import EdgeKind
+from repro.sim.states import Mode, PState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["render_adjacency_list", "render_matrix", "render_modes"]
+
+
+def _marker(proc) -> str:
+    if proc.state is PState.GONE:
+        return "✝ gone"
+    tag = "leaving" if proc.mode is Mode.LEAVING else "staying"
+    if proc.state is PState.ASLEEP:
+        tag += ", asleep"
+    return tag
+
+
+def render_adjacency_list(engine: "Engine", title: str | None = None) -> str:
+    """One line per non-gone process: explicit out-neighbours + status."""
+    snap = engine.snapshot()
+    lines = [title] if title else []
+    for pid in sorted(engine.processes):
+        proc = engine.processes[pid]
+        if proc.state is PState.GONE:
+            lines.append(f"{pid:>4} ✝ gone")
+            continue
+        outs = sorted(
+            {e.dst for e in snap.out_edges(pid) if e.kind is EdgeKind.EXPLICIT}
+        )
+        lines.append(f"{pid:>4} → {outs}  ({_marker(proc)})")
+    return "\n".join(lines)
+
+
+def render_matrix(engine: "Engine", title: str | None = None) -> str:
+    """Adjacency matrix: ``#`` explicit, ``·`` implicit, ``@`` both.
+
+    Gone processes render as a struck-out row/column (``x``). Intended
+    for n ≲ 40.
+    """
+
+    snap = engine.snapshot()
+    pids = sorted(engine.processes)
+    explicit: set[tuple[int, int]] = set()
+    implicit: set[tuple[int, int]] = set()
+    for e in snap.edges:
+        (explicit if e.kind is EdgeKind.EXPLICIT else implicit).add((e.src, e.dst))
+    width = max((len(str(p)) for p in pids), default=1)
+    header = " " * (width + 1) + " ".join(str(p).rjust(width) for p in pids)
+    lines = [title] if title else []
+    lines.append(header)
+    for a in pids:
+        row = [str(a).rjust(width)]
+        gone_a = engine.processes[a].state is PState.GONE
+        for b in pids:
+            if gone_a or engine.processes[b].state is PState.GONE:
+                cell = "x" if a == b else " "
+            elif (a, b) in explicit and (a, b) in implicit:
+                cell = "@"
+            elif (a, b) in explicit:
+                cell = "#"
+            elif (a, b) in implicit:
+                cell = "·"
+            else:
+                cell = "."
+                cell = " " if a != b else "\\"
+            row.append(cell.rjust(width))
+        lines.append(" ".join(row))
+    lines.append(f"legend: # explicit  · implicit  @ both  \\ self  x gone")
+    return "\n".join(lines)
+
+
+def render_modes(engine: "Engine") -> str:
+    """Population strip: S/L (lowercase = asleep), ✝ = gone, pid order."""
+    out = []
+    for pid in sorted(engine.processes):
+        proc = engine.processes[pid]
+        if proc.state is PState.GONE:
+            out.append("✝")
+            continue
+        ch = "L" if proc.mode is Mode.LEAVING else "S"
+        if proc.state is PState.ASLEEP:
+            ch = ch.lower()
+        out.append(ch)
+    return "".join(out)

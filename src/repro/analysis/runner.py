@@ -1,0 +1,159 @@
+"""Trial runner: execute scenario replicas and collect convergence metrics.
+
+A *trial* is one fully-specified run (scenario builder + seed + budget); a
+*series* is many trials differing only in seed. The runner is the
+experiment harness's engine room: deterministic, budget-bounded, and —
+following the HPC guides — embarrassingly parallel across trials via
+``multiprocessing`` when the host has cores to spare (trial functions and
+their arguments must then be picklable: use module-level scenario
+functions, as the benchmark suite does).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Engine
+
+__all__ = ["TrialResult", "SeriesResult", "run_trial", "run_series"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one run."""
+
+    converged: bool
+    steps: int
+    stats: dict[str, int]
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def messages(self) -> int:
+        return self.stats.get("messages_posted", 0)
+
+    @property
+    def exits(self) -> int:
+        return self.stats.get("exits", 0)
+
+
+@dataclass
+class SeriesResult:
+    """Aggregated outcomes of a seed series (vectorized with numpy)."""
+
+    trials: list[TrialResult]
+
+    @property
+    def n(self) -> int:
+        return len(self.trials)
+
+    @property
+    def convergence_rate(self) -> float:
+        if not self.trials:
+            return 0.0
+        return float(np.mean([t.converged for t in self.trials]))
+
+    def _converged_values(self, getter: Callable[[TrialResult], float]) -> np.ndarray:
+        vals = [getter(t) for t in self.trials if t.converged]
+        return np.asarray(vals, dtype=np.float64)
+
+    def steps_summary(self) -> dict[str, float]:
+        """min/median/mean/p90/max steps among converged trials."""
+        return _summary(self._converged_values(lambda t: t.steps))
+
+    def messages_summary(self) -> dict[str, float]:
+        """min/median/mean/p90/max messages among converged trials."""
+        return _summary(self._converged_values(lambda t: t.messages))
+
+    def extra_summary(self, key: str) -> dict[str, float]:
+        """Summary over a numeric ``extra`` field of converged trials."""
+        return _summary(
+            self._converged_values(lambda t: float(t.extra.get(key, float("nan"))))
+        )
+
+
+def _summary(values: np.ndarray) -> dict[str, float]:
+    if values.size == 0:
+        return {k: float("nan") for k in ("min", "median", "mean", "p90", "max")}
+    return {
+        "min": float(values.min()),
+        "median": float(np.median(values)),
+        "mean": float(values.mean()),
+        "p90": float(np.percentile(values, 90)),
+        "max": float(values.max()),
+    }
+
+
+def run_trial(
+    build: Callable[[int], Engine],
+    seed: int,
+    *,
+    until: Callable[[Engine], bool],
+    max_steps: int,
+    check_every: int = 64,
+    collect: Callable[[Engine], dict[str, Any]] | None = None,
+) -> TrialResult:
+    """Build the engine for *seed*, run it to *until* or the budget."""
+    engine = build(seed)
+    converged = engine.run(max_steps, until=until, check_every=check_every)
+    return TrialResult(
+        converged=converged,
+        steps=engine.step_count,
+        stats=engine.stats.as_dict(),
+        extra=collect(engine) if collect is not None else {},
+    )
+
+
+def _trial_star(args: tuple) -> TrialResult:  # helper for ProcessPoolExecutor
+    build, seed, until, max_steps, check_every, collect = args
+    return run_trial(
+        build,
+        seed,
+        until=until,
+        max_steps=max_steps,
+        check_every=check_every,
+        collect=collect,
+    )
+
+
+def run_series(
+    build: Callable[[int], Engine],
+    seeds: Iterable[int],
+    *,
+    until: Callable[[Engine], bool],
+    max_steps: int,
+    check_every: int = 64,
+    collect: Callable[[Engine], dict[str, Any]] | None = None,
+    parallel: bool | None = None,
+) -> SeriesResult:
+    """Run one trial per seed; optionally fan out over processes.
+
+    ``parallel=None`` auto-enables multiprocessing when >1 CPU is
+    available and more than 3 seeds are requested (the pool's spawn cost
+    isn't worth it below that — measured, not guessed, per the guides).
+    """
+
+    seeds = list(seeds)
+    if parallel is None:
+        parallel = (os.cpu_count() or 1) > 1 and len(seeds) > 3
+    if not parallel:
+        trials = [
+            run_trial(
+                build,
+                s,
+                until=until,
+                max_steps=max_steps,
+                check_every=check_every,
+                collect=collect,
+            )
+            for s in seeds
+        ]
+        return SeriesResult(trials)
+    payload = [(build, s, until, max_steps, check_every, collect) for s in seeds]
+    with ProcessPoolExecutor() as pool:
+        trials = list(pool.map(_trial_star, payload))
+    return SeriesResult(trials)

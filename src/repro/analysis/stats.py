@@ -1,0 +1,88 @@
+"""Statistics helpers for experiment reporting.
+
+Thin, numpy-vectorized utilities: bootstrap confidence intervals for
+medians (convergence-time distributions are skewed, so medians + CIs are
+the honest summary), simple log-log slope fits for scaling experiments
+(is convergence ~n, ~n log n, ~n²?), and monotonicity checks for the
+potential-function series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "bootstrap_median_ci",
+    "loglog_slope",
+    "is_nonincreasing",
+    "normalized_area_under",
+]
+
+
+def bootstrap_median_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """(median, lo, hi) bootstrap confidence interval of the median."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return (float("nan"),) * 3
+    rng = np.random.default_rng(seed)
+    # Vectorized resampling: one (n_boot, n) index matrix, no Python loop.
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    medians = np.median(arr[idx], axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(medians, [alpha, 1.0 - alpha])
+    return float(np.median(arr)), float(lo), float(hi)
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    Used by scaling experiments: slope ≈ 1 means linear growth, ≈ 2
+    quadratic, etc. Requires positive data; non-positive pairs are
+    dropped.
+    """
+
+    x = np.asarray(list(xs), dtype=np.float64)
+    y = np.asarray(list(ys), dtype=np.float64)
+    mask = (x > 0) & (y > 0) & np.isfinite(x) & np.isfinite(y)
+    x, y = x[mask], y[mask]
+    if x.size < 2:
+        return float("nan")
+    lx, ly = np.log(x), np.log(y)
+    slope, _intercept = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+def is_nonincreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """Whether the series never rises by more than *tolerance*.
+
+    The executable form of Lemma 3's Φ-monotonicity claim, applied to
+    sampled series from :class:`~repro.sim.tracing.SeriesRecorder`.
+    """
+
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size < 2:
+        return True
+    return bool(np.all(np.diff(arr) <= tolerance))
+
+
+def normalized_area_under(steps: Sequence[float], values: Sequence[float]) -> float:
+    """Trapezoidal area under a series, normalized by its span.
+
+    A scalar "how long did invalid information persist" summary for Φ
+    decay curves; comparable across runs of different lengths.
+    """
+
+    x = np.asarray(list(steps), dtype=np.float64)
+    y = np.asarray(list(values), dtype=np.float64)
+    if x.size < 2 or x[-1] == x[0]:
+        return float(y.mean()) if y.size else float("nan")
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy<2 compat
+    return float(trapezoid(y, x) / (x[-1] - x[0]))

@@ -1,0 +1,75 @@
+"""Parameter sweeps: grids of scenario configurations for experiments.
+
+A sweep crosses named parameter axes, runs a seed series per grid point
+(via :mod:`repro.analysis.runner`) and collects rows ready for
+:func:`repro.analysis.tables.format_table`. Deterministic: the seeds of a
+grid point are derived from the point's position and the base seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.analysis.runner import SeriesResult, run_series
+from repro.sim.engine import Engine
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's configuration and aggregated result."""
+
+    params: dict[str, Any]
+    result: SeriesResult
+
+    def row(self, metrics: Sequence[str] = ("rate", "steps", "messages")) -> list:
+        """Flatten into a table row: parameter values then chosen metrics."""
+        out: list[Any] = list(self.params.values())
+        if "rate" in metrics:
+            out.append(self.result.convergence_rate)
+        if "steps" in metrics:
+            out.append(self.result.steps_summary()["median"])
+        if "messages" in metrics:
+            out.append(self.result.messages_summary()["median"])
+        return out
+
+
+def sweep(
+    axes: Mapping[str, Sequence[Any]],
+    make_builder: Callable[..., Callable[[int], Engine]],
+    *,
+    until: Callable[[Engine], bool],
+    max_steps: int,
+    seeds_per_point: int = 5,
+    base_seed: int = 0,
+    check_every: int = 64,
+    collect: Callable[[Engine], dict[str, Any]] | None = None,
+    parallel: bool | None = None,
+) -> list[SweepPoint]:
+    """Cross the axes and run a seed series at every grid point.
+
+    ``make_builder(**params)`` must return a picklable ``seed -> Engine``
+    callable (for the multiprocessing path use module-level functions or
+    ``functools.partial`` over module-level functions).
+    """
+
+    names = list(axes.keys())
+    points: list[SweepPoint] = []
+    for idx, combo in enumerate(itertools.product(*(axes[n] for n in names))):
+        params = dict(zip(names, combo))
+        builder = make_builder(**params)
+        seeds = [base_seed + idx * 10_000 + i for i in range(seeds_per_point)]
+        result = run_series(
+            builder,
+            seeds,
+            until=until,
+            max_steps=max_steps,
+            check_every=check_every,
+            collect=collect,
+            parallel=parallel,
+        )
+        points.append(SweepPoint(params=params, result=result))
+    return points

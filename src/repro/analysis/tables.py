@@ -1,0 +1,106 @@
+"""ASCII tables and series rendering for experiment reports.
+
+The benchmark harness prints paper-style tables and series to stdout (the
+environment is headless, so "figures" are rendered as aligned numeric
+series plus a coarse unicode sparkline). Everything here is pure string
+formatting — no I/O — so tests can assert on the output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "sparkline", "format_kv"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "—"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    if isinstance(value, bool):
+        return "✓" if value else "✗"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Coarse unicode sparkline of a numeric series (empty-safe)."""
+    vals = [v for v in values if v == v]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _BARS[0] * len(vals)
+    out = []
+    for v in values:
+        if v != v:
+            out.append(" ")
+            continue
+        idx = int((v - lo) / (hi - lo) * (len(_BARS) - 1))
+        out.append(_BARS[idx])
+    return "".join(out)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against a shared x-axis, plus sparklines.
+
+    This is the textual stand-in for a paper figure: the numeric rows give
+    the exact values, the sparkline gives the shape at a glance.
+    """
+
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(s[i] if i < len(s) else float("nan") for s in series.values())])
+    table = format_table(headers, rows, title=title)
+    shapes = "\n".join(
+        f"  {name:<20} {sparkline(list(vals))}" for name, vals in series.items()
+    )
+    return f"{table}\n\nshape:\n{shapes}"
+
+
+def format_kv(pairs: dict[str, Any], title: str | None = None) -> str:
+    """Render a key/value block (run summaries, config echoes)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {_fmt_cell(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,373 @@
+"""Command-line interface: run scenarios without writing Python.
+
+Installed as ``python -m repro``. Subcommands:
+
+* ``fdp`` — run the Section 3 departure protocol on a chosen topology;
+* ``fsp`` — the oracle-free sleep variant;
+* ``overlay`` — a stand-alone overlay protocol (topological
+  self-stabilization only, no departures);
+* ``framework`` — Section 4: overlay + departures (Theorem 4);
+* ``baseline`` — the Foreback-style sorted-list departure baseline;
+* ``transform`` — plan and verify a Theorem 1 primitive schedule between
+  two named topologies;
+* ``topologies`` / ``overlays`` / ``oracles`` — list the registries;
+* ``experiments`` — browse the E1–E13 reproduction index.
+
+Every run prints a summary table and exits non-zero if the scenario did
+not converge within the step budget — scriptable for CI-style checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.tables import format_kv, format_table
+from repro.core.oracles import ORACLES
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import (
+    CLEAN,
+    Corruption,
+    build_fdp_engine,
+    build_framework_engine,
+    build_fsp_engine,
+    choose_leaving,
+)
+from repro.core.universality import plan_transformation
+from repro.graphs.generators import GENERATORS
+from repro.overlays import LOGICS
+from repro.overlays.builders import build_baseline_engine, build_overlay_engine
+from repro.sim.monitors import ConnectivityMonitor, PotentialMonitor
+from repro.sim.scheduler import (
+    AdversarialScheduler,
+    OldestFirstScheduler,
+    RandomScheduler,
+    SynchronousScheduler,
+)
+
+__all__ = ["main", "build_parser"]
+
+SCHEDULERS = {
+    "random": lambda seed: RandomScheduler(seed),
+    "oldest": lambda seed: OldestFirstScheduler(),
+    "adversarial": lambda seed: AdversarialScheduler(patience=32, seed=seed),
+    "sync": lambda seed: SynchronousScheduler(seed=seed),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser, with_leaving: bool = True) -> None:
+    parser.add_argument("--n", type=int, default=16, help="number of processes")
+    parser.add_argument(
+        "--topology",
+        choices=sorted(GENERATORS),
+        default="random_connected",
+        help="initial topology generator",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--scheduler", choices=sorted(SCHEDULERS), default="random"
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=1_000_000, help="step budget"
+    )
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="enable per-step Lemma 2/3 invariant monitors (slower)",
+    )
+    if with_leaving:
+        parser.add_argument(
+            "--leaving",
+            type=float,
+            default=0.25,
+            help="fraction of processes that want to leave",
+        )
+        parser.add_argument(
+            "--corruption",
+            type=float,
+            default=0.0,
+            metavar="FACTOR",
+            help="initial-state corruption level in [0, 1] "
+            "(belief lies, bogus anchors, channel garbage)",
+        )
+
+
+def _topology(args) -> list[tuple[int, int]]:
+    gen = GENERATORS[args.topology]
+    try:
+        return gen(args.n, seed=args.seed)  # type: ignore[call-arg]
+    except TypeError:
+        return gen(args.n)
+
+
+def _corruption(factor: float) -> Corruption:
+    if factor <= 0:
+        return CLEAN
+    return Corruption(
+        belief_lie_prob=0.5 * factor,
+        anchor_prob=0.8 * factor,
+        anchor_lie_prob=0.5 * factor,
+        garbage_per_process=2.0 * factor,
+    )
+
+
+def _monitors(args):
+    if not getattr(args, "monitor", False):
+        return ()
+    return (ConnectivityMonitor(check_every=4), PotentialMonitor(check_every=4))
+
+
+def _report(engine, converged: bool, extra: dict | None = None) -> int:
+    info = {
+        "converged": converged,
+        "steps": engine.step_count,
+        "messages": engine.stats.messages_posted,
+        "exits": engine.stats.exits,
+        "sleeps": engine.stats.sleeps,
+        "final Φ": engine.potential(),
+    }
+    if extra:
+        info.update(extra)
+    print(format_kv(info, title="run summary"))
+    return 0 if converged else 1
+
+
+# ------------------------------------------------------------------ commands
+
+
+def cmd_fdp(args) -> int:
+    edges = _topology(args)
+    leaving = choose_leaving(args.n, edges, fraction=args.leaving, seed=args.seed)
+    oracle_cls = ORACLES[args.oracle]
+    engine = build_fdp_engine(
+        args.n,
+        edges,
+        leaving,
+        seed=args.seed,
+        corruption=_corruption(args.corruption),
+        scheduler=SCHEDULERS[args.scheduler](args.seed),
+        oracle=oracle_cls(),
+        monitors=_monitors(args),
+    )
+    converged = engine.run(args.max_steps, until=fdp_legitimate, check_every=64)
+    return _report(engine, converged, {"leaving": len(leaving)})
+
+
+def cmd_fsp(args) -> int:
+    edges = _topology(args)
+    leaving = choose_leaving(args.n, edges, fraction=args.leaving, seed=args.seed)
+    engine = build_fsp_engine(
+        args.n,
+        edges,
+        leaving,
+        seed=args.seed,
+        corruption=_corruption(args.corruption),
+        scheduler=SCHEDULERS[args.scheduler](args.seed),
+        monitors=_monitors(args),
+    )
+    converged = engine.run(args.max_steps, until=fsp_legitimate, check_every=64)
+    hibernating = len(engine.snapshot().hibernating())
+    return _report(engine, converged, {"hibernating": hibernating})
+
+
+def cmd_overlay(args) -> int:
+    edges = _topology(args)
+    logic = LOGICS[args.protocol]
+    engine = build_overlay_engine(
+        args.n,
+        edges,
+        logic,
+        seed=args.seed,
+        scheduler=SCHEDULERS[args.scheduler](args.seed),
+    )
+    converged = engine.run(
+        args.max_steps, until=logic.target_reached, check_every=64
+    )
+    return _report(engine, converged, {"overlay": args.protocol})
+
+
+def cmd_framework(args) -> int:
+    edges = _topology(args)
+    logic = LOGICS[args.protocol]
+    leaving = choose_leaving(args.n, edges, fraction=args.leaving, seed=args.seed)
+    engine = build_framework_engine(
+        args.n,
+        edges,
+        leaving,
+        logic,
+        seed=args.seed,
+        corruption=_corruption(args.corruption),
+        scheduler=SCHEDULERS[args.scheduler](args.seed),
+        monitors=_monitors(args),
+    )
+
+    def done(e):
+        return fdp_legitimate(e) and logic.target_reached(e)
+
+    converged = engine.run(args.max_steps, until=done, check_every=128)
+    return _report(
+        engine, converged, {"overlay": args.protocol, "leaving": len(leaving)}
+    )
+
+
+def cmd_baseline(args) -> int:
+    edges = _topology(args)
+    leaving = choose_leaving(args.n, edges, fraction=args.leaving, seed=args.seed)
+    engine = build_baseline_engine(
+        args.n,
+        edges,
+        leaving,
+        seed=args.seed,
+        scheduler=SCHEDULERS[args.scheduler](args.seed),
+        belief_lie_prob=0.5 * args.corruption,
+    )
+    converged = engine.run(args.max_steps, until=fdp_legitimate, check_every=64)
+    return _report(engine, converged, {"leaving": len(leaving)})
+
+
+def cmd_transform(args) -> int:
+    def make(name):
+        gen = GENERATORS[name]
+        try:
+            return gen(args.n, seed=args.seed)  # type: ignore[call-arg]
+        except TypeError:
+            return gen(args.n)
+
+    plan = plan_transformation(range(args.n), make(args.source), make(args.target))
+    result = plan.replay(check_connectivity=True)
+    ok = result.simple_edges() == plan.target
+    print(
+        format_kv(
+            {
+                "source": args.source,
+                "target": args.target,
+                "n": args.n,
+                "schedule length": len(plan),
+                "clique rounds": plan.clique_rounds,
+                **plan.counts(),
+                "verified": ok,
+            },
+            title="Theorem 1 transformation plan",
+        )
+    )
+    return 0 if ok else 1
+
+
+def cmd_topologies(args) -> int:
+    print(format_table(["name"], [[n] for n in sorted(GENERATORS)]))
+    return 0
+
+
+def cmd_overlays(args) -> int:
+    rows = [
+        [name, "yes" if cls.requires_order else "no"]
+        for name, cls in sorted(LOGICS.items())
+    ]
+    print(format_table(["overlay", "needs total order"], rows))
+    return 0
+
+
+def cmd_oracles(args) -> int:
+    print(format_table(["oracle"], [[n] for n in sorted(ORACLES)]))
+    return 0
+
+
+#: The experiment index (DESIGN.md) in CLI-browsable form.
+EXPERIMENTS = [
+    ("E1", "Figure 1", "state-graph transitions", "bench_e1_state_graph.py"),
+    ("E2", "Figure 2 + Lemma 1", "the four primitives", "bench_e2_primitives.py"),
+    ("E3", "Theorem 1", "universality + O(log n) clique rounds", "bench_e3_universality.py"),
+    ("E4", "Theorem 2", "necessity of each primitive", "bench_e4_necessity.py"),
+    ("E5", "Lemma 2", "safety under corruption/adversary", "bench_e5_safety.py"),
+    ("E6", "Lemma 3", "Φ decay + convergence scaling", "bench_e6_convergence.py"),
+    ("E7", "Theorem 3", "FDP end-to-end battery + closure", "bench_e7_fdp_end_to_end.py"),
+    ("E8", "Theorem 4", "framework(P) per overlay + retry ablation", "bench_e8_embedding.py"),
+    ("E9", "FSP", "oracle-free departure + hibernation closure", "bench_e9_fsp.py"),
+    ("E10", "§1.5 vs [15]", "baseline comparison + generality", "bench_e10_baseline.py"),
+    ("E11", "§1.3", "oracle ablation (SINGLE/timeout/ALWAYS/NEVER)", "bench_e11_oracle_ablation.py"),
+    ("E12", "Conclusion", "safety beyond connectivity (stretch, degree)", "bench_e12_beyond_connectivity.py"),
+    ("E13", "§1.1 fairness", "cost/load under every fair scheduler family", "bench_e13_scheduler_load.py"),
+]
+
+
+def cmd_experiments(args) -> int:
+    print(
+        format_table(
+            ["id", "paper artifact", "what it reproduces", "bench (run with pytest)"],
+            EXPERIMENTS,
+            title="experiment index — pytest benchmarks/<file> --benchmark-only",
+        )
+    )
+    return 0
+
+
+# ------------------------------------------------------------------ parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-stabilizing finite departure for overlay networks "
+        "(Koutsopoulos, Scheideler & Strothmann, SPAA 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fdp", help="run the Section 3 FDP protocol")
+    _add_common(p)
+    p.add_argument("--oracle", choices=sorted(ORACLES), default="single")
+    p.set_defaults(func=cmd_fdp)
+
+    p = sub.add_parser("fsp", help="run the oracle-free FSP variant")
+    _add_common(p)
+    p.set_defaults(func=cmd_fsp)
+
+    p = sub.add_parser("overlay", help="run a stand-alone overlay protocol")
+    _add_common(p, with_leaving=False)
+    p.add_argument("--protocol", choices=sorted(LOGICS), default="linearization")
+    p.set_defaults(func=cmd_overlay)
+
+    p = sub.add_parser(
+        "framework", help="run overlay + departures (Section 4 / Theorem 4)"
+    )
+    _add_common(p)
+    p.add_argument("--protocol", choices=sorted(LOGICS), default="linearization")
+    p.set_defaults(func=cmd_framework)
+
+    p = sub.add_parser(
+        "baseline", help="run the Foreback-style sorted-list baseline"
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_baseline)
+
+    p = sub.add_parser(
+        "transform", help="plan a Theorem 1 schedule between topologies"
+    )
+    p.add_argument("--n", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--source", choices=sorted(GENERATORS), required=True)
+    p.add_argument("--target", choices=sorted(GENERATORS), required=True)
+    p.set_defaults(func=cmd_transform)
+
+    sub.add_parser("topologies", help="list topology generators").set_defaults(
+        func=cmd_topologies
+    )
+    sub.add_parser("overlays", help="list overlay protocols").set_defaults(
+        func=cmd_overlays
+    )
+    sub.add_parser("oracles", help="list oracles").set_defaults(func=cmd_oracles)
+    sub.add_parser(
+        "experiments", help="list the paper-reproduction experiments (E1–E13)"
+    ).set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,282 @@
+"""The four edge-manipulation primitives of Section 2, as a checked calculus.
+
+The paper identifies four primitives that are *safe* (they preserve weak
+connectivity, Lemma 1) and *universal* (they suffice to transform any
+weakly connected graph into any other, Theorem 1), and shows each is
+necessary (Theorem 2):
+
+=============  ====  ========================================================
+Introduction    ♦    u, holding refs to v and w, sends w's ref to v and
+                     **keeps** its own copy. Special case *self-introduction*:
+                     u sends its own ref to v.
+Delegation      ♥    u, holding refs to v and w, sends w's ref to v and
+                     **deletes** its own copy.
+Fusion          ♠    u holds two references v, w with v = w; it keeps one.
+Reversal        ♣    u holds a ref to v; it sends its own ref to v and
+                     deletes the ref to v.
+=============  ====  ========================================================
+
+Except for self-introduction, u, v, w must be pairwise distinct.
+
+:class:`PrimitiveGraph` is a mutable directed *multigraph* on which only
+these primitives can act. Every operation validates its precondition and
+appends to an auditable log, so a sequence of operations is a certified
+derivation: replaying the log on the initial graph reproduces the final
+graph, and (by Lemma 1, which the test-suite property-checks) weak
+connectivity is preserved at every intermediate state.
+
+The model-level counterpart — which protocol *action* realizes which
+primitive — is documented in :mod:`repro.core.fdp`, whose handlers carry
+the paper's ♦♥♠♣ annotations line by line.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ModelViolation
+from repro.graphs.connectivity import is_weakly_connected
+
+__all__ = [
+    "Primitive",
+    "PrimitiveOp",
+    "PrimitiveGraph",
+    "apply_schedule",
+]
+
+
+class Primitive(enum.Enum):
+    """The four primitives (plus the self-introduction special case)."""
+
+    INTRODUCTION = "introduction"
+    SELF_INTRODUCTION = "self_introduction"
+    DELEGATION = "delegation"
+    FUSION = "fusion"
+    REVERSAL = "reversal"
+
+    @property
+    def symbol(self) -> str:
+        """The paper's pseudocode annotation symbol."""
+        return {
+            Primitive.INTRODUCTION: "♦",
+            Primitive.SELF_INTRODUCTION: "♦",
+            Primitive.DELEGATION: "♥",
+            Primitive.FUSION: "♠",
+            Primitive.REVERSAL: "♣",
+        }[self]
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PrimitiveOp:
+    """One logged primitive application.
+
+    ``actor`` is the executing process u; the meaning of ``a``/``b``
+    depends on the primitive:
+
+    * INTRODUCTION(u, v, w): u introduces w to v  → a=v, b=w
+    * SELF_INTRODUCTION(u, v): u introduces itself to v  → a=v, b=None
+    * DELEGATION(u, v, w): u delegates w's ref to v  → a=v, b=w
+    * FUSION(u, v): u fuses its duplicate refs to v  → a=v, b=None
+    * REVERSAL(u, v): u reverses its edge to v  → a=v, b=None
+    """
+
+    primitive: Primitive
+    actor: int
+    a: int
+    b: int | None = None
+
+    def __repr__(self) -> str:
+        args = f"{self.actor}, {self.a}" + ("" if self.b is None else f", {self.b}")
+        return f"{self.primitive.value}({args})"
+
+
+class PrimitiveGraph:
+    """A directed multigraph mutable only through the four primitives.
+
+    Edge multiplicities are tracked exactly: introduction *adds* a copy,
+    fusion requires (and consumes) a duplicate, delegation moves a copy.
+    Self-loops are representable (an adversarial initial state may contain
+    them) but no primitive can remove a single self-loop copy, matching
+    the strict reading of the paper (u, v, w pairwise distinct).
+    """
+
+    __slots__ = ("_nodes", "_edges", "log", "check_connectivity")
+
+    def __init__(
+        self,
+        nodes: Iterable[int],
+        edges: Iterable[tuple[int, int]] = (),
+        *,
+        check_connectivity: bool = False,
+    ) -> None:
+        self._nodes: set[int] = set(nodes)
+        self._edges: Counter[tuple[int, int]] = Counter()
+        for a, b in edges:
+            if a not in self._nodes or b not in self._nodes:
+                raise ModelViolation(f"edge ({a}, {b}) references unknown node")
+            self._edges[(a, b)] += 1
+        #: Audit log of every primitive applied.
+        self.log: list[PrimitiveOp] = []
+        #: When True, every primitive re-verifies Lemma 1 (slow; tests only).
+        self.check_connectivity = check_connectivity
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[int]:
+        return frozenset(self._nodes)
+
+    def multiplicity(self, u: int, v: int) -> int:
+        """Number of parallel copies of edge (u, v)."""
+        return self._edges.get((u, v), 0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._edges.get((u, v), 0) > 0
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges with multiplicity (each copy yielded separately)."""
+        for (a, b), count in self._edges.items():
+            for _ in range(count):
+                yield (a, b)
+
+    def simple_edges(self) -> frozenset[tuple[int, int]]:
+        """The underlying simple edge set."""
+        return frozenset(k for k, c in self._edges.items() if c > 0)
+
+    def edge_count(self) -> int:
+        """Total number of edge copies."""
+        return sum(self._edges.values())
+
+    def out_neighbours(self, u: int) -> set[int]:
+        """Targets of u's outgoing edges."""
+        return {b for (a, b), c in self._edges.items() if a == u and c > 0}
+
+    def undirected_adjacency(self) -> dict[int, set[int]]:
+        adj: dict[int, set[int]] = {n: set() for n in self._nodes}
+        for (a, b), c in self._edges.items():
+            if c > 0 and a != b:
+                adj[a].add(b)
+                adj[b].add(a)
+        return adj
+
+    def is_weakly_connected(self) -> bool:
+        return is_weakly_connected(self.undirected_adjacency())
+
+    def copy(self) -> "PrimitiveGraph":
+        clone = PrimitiveGraph(self._nodes)
+        clone._edges = Counter(self._edges)
+        return clone
+
+    def state_key(self) -> frozenset[tuple[tuple[int, int], int]]:
+        """Hashable canonical form (for reachability search)."""
+        return frozenset((k, c) for k, c in self._edges.items() if c > 0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrimitiveGraph):
+            return NotImplemented
+        return self._nodes == other._nodes and self.state_key() == other.state_key()
+
+    def __hash__(self) -> int:  # pragma: no cover - dict usage via state_key
+        return hash((frozenset(self._nodes), self.state_key()))
+
+    def __repr__(self) -> str:
+        return f"PrimitiveGraph(n={len(self._nodes)}, m={self.edge_count()})"
+
+    # -- internals --------------------------------------------------------------------
+
+    def _require(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise ModelViolation(message)
+
+    def _add(self, u: int, v: int) -> None:
+        self._edges[(u, v)] += 1
+
+    def _remove(self, u: int, v: int) -> None:
+        count = self._edges.get((u, v), 0)
+        self._require(count > 0, f"no edge ({u}, {v}) to remove")
+        if count == 1:
+            del self._edges[(u, v)]
+        else:
+            self._edges[(u, v)] = count - 1
+
+    def _finish(self, op: PrimitiveOp) -> PrimitiveOp:
+        self.log.append(op)
+        if self.check_connectivity and not self.is_weakly_connected():
+            raise ModelViolation(
+                f"Lemma 1 violated: {op!r} disconnected the graph (BUG)"
+            )
+        return op
+
+    # -- the four primitives -------------------------------------------------------
+
+    def introduce(self, u: int, v: int, w: int) -> PrimitiveOp:
+        """♦ u introduces w to v: a new edge (v, w) appears; (u, v), (u, w) kept."""
+        self._require(u != v and v != w and u != w, "u, v, w must be pairwise distinct")
+        self._require(self.has_edge(u, v), f"introduction needs edge ({u}, {v})")
+        self._require(self.has_edge(u, w), f"introduction needs edge ({u}, {w})")
+        self._add(v, w)
+        return self._finish(PrimitiveOp(Primitive.INTRODUCTION, u, v, w))
+
+    def self_introduce(self, u: int, v: int) -> PrimitiveOp:
+        """♦ u sends its own reference to v, keeping its edge to v."""
+        self._require(u != v, "self-introduction needs a distinct target")
+        self._require(self.has_edge(u, v), f"self-introduction needs edge ({u}, {v})")
+        self._add(v, u)
+        return self._finish(PrimitiveOp(Primitive.SELF_INTRODUCTION, u, v))
+
+    def delegate(self, u: int, v: int, w: int) -> PrimitiveOp:
+        """♥ u delegates w's ref to v: edge (u, w) becomes edge (v, w)."""
+        self._require(u != v and v != w and u != w, "u, v, w must be pairwise distinct")
+        self._require(self.has_edge(u, v), f"delegation needs edge ({u}, {v})")
+        self._require(self.has_edge(u, w), f"delegation needs edge ({u}, {w})")
+        self._remove(u, w)
+        self._add(v, w)
+        return self._finish(PrimitiveOp(Primitive.DELEGATION, u, v, w))
+
+    def fuse(self, u: int, v: int) -> PrimitiveOp:
+        """♠ u fuses two equal references: one duplicate copy of (u, v) vanishes."""
+        self._require(
+            self.multiplicity(u, v) >= 2,
+            f"fusion needs two copies of ({u}, {v}), have {self.multiplicity(u, v)}",
+        )
+        self._remove(u, v)
+        return self._finish(PrimitiveOp(Primitive.FUSION, u, v))
+
+    def reverse(self, u: int, v: int) -> PrimitiveOp:
+        """♣ u reverses its edge to v: (u, v) is replaced by (v, u)."""
+        self._require(u != v, "reversal needs a distinct target")
+        self._require(self.has_edge(u, v), f"reversal needs edge ({u}, {v})")
+        self._remove(u, v)
+        self._add(v, u)
+        return self._finish(PrimitiveOp(Primitive.REVERSAL, u, v))
+
+    # -- replay --------------------------------------------------------------------
+
+    def apply(self, op: PrimitiveOp) -> PrimitiveOp:
+        """Apply a logged operation (used to replay certified schedules)."""
+        if op.primitive is Primitive.INTRODUCTION:
+            return self.introduce(op.actor, op.a, op.b)  # type: ignore[arg-type]
+        if op.primitive is Primitive.SELF_INTRODUCTION:
+            return self.self_introduce(op.actor, op.a)
+        if op.primitive is Primitive.DELEGATION:
+            return self.delegate(op.actor, op.a, op.b)  # type: ignore[arg-type]
+        if op.primitive is Primitive.FUSION:
+            return self.fuse(op.actor, op.a)
+        if op.primitive is Primitive.REVERSAL:
+            return self.reverse(op.actor, op.a)
+        raise ModelViolation(f"unknown primitive {op.primitive!r}")  # pragma: no cover
+
+
+def apply_schedule(
+    graph: PrimitiveGraph, schedule: Iterable[PrimitiveOp]
+) -> PrimitiveGraph:
+    """Replay *schedule* on *graph* (mutating it); returns the graph."""
+    for op in schedule:
+        graph.apply(op)
+    return graph

@@ -1,0 +1,184 @@
+"""Beyond connectivity: stronger safety measures (the paper's future work).
+
+The conclusion of the paper: *"In the future we want to investigate
+stronger safety conditions for overlay networks than just connectivity."*
+This module makes that direction concrete and measurable. Lemma 2
+guarantees the staying processes never *disconnect* — but a departure can
+still degrade the overlay's *quality*: paths may lengthen (all traffic
+that used to flow through the leaver must detour) and individual
+processes may be left holding many hand-over references.
+
+Two quantitative safety measures over the staying population:
+
+* **stretch** — the worst-case ratio between current and initial
+  shortest-path distances in the staying-induced (undirected) overlay.
+  Stretch 1.0 means departures cost nothing topologically; ∞ (reported as
+  ``float('inf')``) would mean a disconnection, i.e. a Lemma 2 violation.
+* **degree blow-up** — the worst-case growth of a staying process's
+  explicit out-degree relative to its initial degree; measures how
+  unevenly the leavers' edges were redistributed.
+
+:class:`StretchMonitor` turns a stretch bound into an *enforced* safety
+condition in the spirit of Lemma 2's monitor: it raises the moment the
+bound is exceeded. Experiment E12 measures how both quantities behave
+across topologies — the empirical answer to "how much stronger a safety
+condition could the FDP protocol already promise?".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.errors import SafetyViolation
+from repro.sim.states import Mode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine, ExecutedStep
+
+__all__ = [
+    "staying_distances",
+    "stretch",
+    "degree_blowup",
+    "StretchMonitor",
+]
+
+
+def _staying_adjacency(engine: "Engine") -> dict[int, set[int]]:
+    """Undirected adjacency of the staying-induced subgraph (all edges)."""
+    snap = engine.snapshot()
+    staying = frozenset(
+        pid for pid, p in engine.processes.items() if p.mode is Mode.STAYING
+    )
+    return snap.undirected_adjacency(staying)
+
+
+def staying_distances(engine: "Engine") -> dict[tuple[int, int], int]:
+    """All-pairs BFS distances over the staying-induced overlay.
+
+    Unreachable pairs are omitted (callers treat them as infinite).
+    O(V·(V+E)); the staying populations of the experiments are small.
+    """
+
+    adj = _staying_adjacency(engine)
+    out: dict[tuple[int, int], int] = {}
+    for source in adj:
+        dist = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            for nb in adj[node]:
+                if nb not in dist:
+                    dist[nb] = dist[node] + 1
+                    frontier.append(nb)
+        for target, d in dist.items():
+            if source != target:
+                out[(source, target)] = d
+    return out
+
+
+def stretch(
+    engine: "Engine",
+    baseline: Mapping[tuple[int, int], int],
+    pairs: Iterable[tuple[int, int]] | None = None,
+) -> float:
+    """Worst-case distance stretch relative to *baseline* distances.
+
+    *baseline* is typically :func:`staying_distances` taken at attach
+    time. Pairs missing from the current distances (disconnected) yield
+    ``inf``; pairs missing from the baseline are skipped (they were
+    already unreachable initially).
+    """
+
+    current = staying_distances(engine)
+    worst = 1.0
+    candidates = pairs if pairs is not None else baseline.keys()
+    for pair in candidates:
+        base = baseline.get(pair)
+        if base is None or base == 0:
+            continue
+        now = current.get(pair)
+        if now is None:
+            return float("inf")
+        worst = max(worst, now / base)
+    return worst
+
+
+def degree_blowup(
+    engine: "Engine", baseline_degrees: Mapping[int, int]
+) -> float:
+    """Worst-case growth factor of staying explicit out-degrees.
+
+    Degrees that started at 0 are compared against 1 (absolute growth).
+    """
+
+    snap = engine.snapshot()
+    staying = {
+        pid for pid, p in engine.processes.items() if p.mode is Mode.STAYING
+    }
+    worst = 1.0
+    for pid in staying:
+        now = sum(
+            1
+            for e in snap.out_edges(pid)
+            if e.kind.value == "explicit" and e.dst in staying and e.dst != pid
+        )
+        base = max(1, baseline_degrees.get(pid, 0))
+        worst = max(worst, now / base)
+    return worst
+
+
+def staying_out_degrees(engine: "Engine") -> dict[int, int]:
+    """Explicit staying→staying out-degrees (baseline for degree_blowup)."""
+    snap = engine.snapshot()
+    staying = {
+        pid for pid, p in engine.processes.items() if p.mode is Mode.STAYING
+    }
+    return {
+        pid: sum(
+            1
+            for e in snap.out_edges(pid)
+            if e.kind.value == "explicit" and e.dst in staying and e.dst != pid
+        )
+        for pid in staying
+    }
+
+
+class StretchMonitor:
+    """Enforces a stretch bound as a *stronger* safety condition.
+
+    Registered like any engine monitor; on the first check where the
+    staying-overlay stretch exceeds ``bound`` it raises
+    :class:`~repro.errors.SafetyViolation`. The baseline distances are
+    captured at the first invocation (i.e. over the initial state).
+
+    ``record=True`` keeps the sampled stretch series for analysis (E12
+    reports its peak — the transient cost of a departure wave).
+    """
+
+    def __init__(
+        self, bound: float = float("inf"), check_every: int = 16, record: bool = True
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.bound = bound
+        self.check_every = check_every
+        self.record = record
+        self.baseline: dict[tuple[int, int], int] | None = None
+        self.series: list[float] = []
+        self.peak = 1.0
+
+    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+        if self.baseline is None:
+            self.baseline = staying_distances(engine)
+        if engine.step_count % self.check_every != 0:
+            return
+        value = stretch(engine, self.baseline)
+        if self.record:
+            self.series.append(value)
+        self.peak = max(self.peak, value)
+        if value > self.bound:
+            raise SafetyViolation(
+                f"stretch {value:.2f} exceeded bound {self.bound:.2f} at "
+                f"step {engine.step_count}"
+            )

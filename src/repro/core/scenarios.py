@@ -1,0 +1,366 @@
+"""Scenario builders: admissible (possibly corrupted) initial FDP/FSP states.
+
+Self-stabilization is quantified over arbitrary initial states subject to
+Section 1.2's admissibility constraints. A *scenario* pins one such state
+down reproducibly: a topology (edge list), a leaving/staying assignment,
+and a :class:`Corruption` describing how far from clean the state is —
+flipped mode beliefs, spurious anchors, stale in-flight messages.
+
+All randomness is seeded; the same ``(edges, modes, corruption, seed)``
+always produces the identical initial state, which is what makes the
+experiment sweeps and the hypothesis property tests reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from random import Random
+from typing import Callable, Iterable, Sequence
+
+from repro.core.fdp import FDPProcess
+from repro.core.fsp import FSPProcess
+from repro.core.oracles import SingleOracle
+from repro.errors import ConfigurationError
+from repro.graphs.connectivity import weakly_connected_components
+from repro.sim.engine import Engine
+from repro.sim.faults import random_mode_claim, scatter_garbage_messages
+from repro.sim.scheduler import RandomScheduler, Scheduler
+from repro.sim.states import Capability, Mode
+
+__all__ = [
+    "Corruption",
+    "CLEAN",
+    "LIGHT_CORRUPTION",
+    "HEAVY_CORRUPTION",
+    "choose_leaving",
+    "components_of_edges",
+    "build_fdp_engine",
+    "build_fsp_engine",
+]
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """How adversarial the initial state is.
+
+    All probabilities are per-item (per stored belief, per process, …).
+    ``garbage_per_process`` stale messages are planted per process, each
+    carrying a random same-component reference whose claimed mode lies
+    with probability ``garbage_lie_prob``.
+    """
+
+    belief_lie_prob: float = 0.0
+    anchor_prob: float = 0.0
+    anchor_lie_prob: float = 0.0
+    garbage_per_process: float = 0.0
+    garbage_lie_prob: float = 0.5
+
+    def scaled(self, factor: float) -> "Corruption":
+        """A proportionally milder/harsher copy (for corruption sweeps)."""
+        return replace(
+            self,
+            belief_lie_prob=min(1.0, self.belief_lie_prob * factor),
+            anchor_prob=min(1.0, self.anchor_prob * factor),
+            anchor_lie_prob=min(1.0, self.anchor_lie_prob * factor),
+            garbage_per_process=self.garbage_per_process * factor,
+        )
+
+
+#: A clean start: correct beliefs, no anchors, empty channels.
+CLEAN = Corruption()
+
+#: Mild transient fault: a few wrong beliefs and stray messages.
+LIGHT_CORRUPTION = Corruption(
+    belief_lie_prob=0.1,
+    anchor_prob=0.2,
+    anchor_lie_prob=0.2,
+    garbage_per_process=0.5,
+)
+
+#: Heavy fault: half of all information is wrong, channels full of garbage.
+HEAVY_CORRUPTION = Corruption(
+    belief_lie_prob=0.5,
+    anchor_prob=0.8,
+    anchor_lie_prob=0.5,
+    garbage_per_process=2.0,
+)
+
+
+def components_of_edges(
+    n: int, edges: Iterable[tuple[int, int]]
+) -> list[frozenset[int]]:
+    """Weakly connected components of the directed edge list over 0..n-1."""
+    adj: dict[int, set[int]] = {i: set() for i in range(n)}
+    for a, b in edges:
+        if a not in adj or b not in adj:
+            raise ConfigurationError(f"edge ({a}, {b}) outside 0..{n - 1}")
+        adj[a].add(b)
+        adj[b].add(a)
+    return weakly_connected_components(adj)
+
+
+def choose_leaving(
+    n: int,
+    edges: Sequence[tuple[int, int]],
+    *,
+    fraction: float | None = None,
+    count: int | None = None,
+    seed: int = 0,
+) -> frozenset[int]:
+    """Pick a leaving set of the requested size, keeping at least one
+    staying process in every weakly connected component (the paper's
+    precondition for Sections 3–4)."""
+
+    if (fraction is None) == (count is None):
+        raise ConfigurationError("specify exactly one of fraction / count")
+    if fraction is not None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("fraction must lie in [0, 1]")
+        count = int(round(fraction * n))
+    assert count is not None
+    count = max(0, min(count, n))
+    rng = Random(seed)
+    pids = list(range(n))
+    rng.shuffle(pids)
+    leaving = set(pids[:count])
+    for comp in components_of_edges(n, edges):
+        if comp <= leaving:
+            # Flip one member back to staying (deterministically: smallest).
+            leaving.discard(min(comp))
+    return frozenset(leaving)
+
+
+def _build_engine(
+    process_cls: type[FDPProcess],
+    capability: Capability,
+    n: int,
+    edges: Sequence[tuple[int, int]],
+    leaving: Iterable[int],
+    *,
+    corruption: Corruption = CLEAN,
+    scheduler: Scheduler | None = None,
+    seed: int = 0,
+    oracle: Callable | None = None,
+    monitors: Sequence[Callable] = (),
+    strict: bool = True,
+) -> Engine:
+    if n < 1:
+        raise ConfigurationError("need at least one process")
+    leaving_set = frozenset(leaving)
+    for pid in leaving_set:
+        if not 0 <= pid < n:
+            raise ConfigurationError(f"leaving pid {pid} outside 0..{n - 1}")
+    rng = Random(seed ^ 0x5CE9A210)
+
+    def actual(pid: int) -> Mode:
+        return Mode.LEAVING if pid in leaving_set else Mode.STAYING
+
+    # Pre-create processes so refs exist for cross-wiring.
+    procs = {pid: process_cls(pid, actual(pid)) for pid in range(n)}
+
+    comps = components_of_edges(n, edges)
+    comp_of: dict[int, frozenset[int]] = {}
+    for comp in comps:
+        for pid in comp:
+            comp_of[pid] = comp
+
+    # Neighbourhoods from the edge list, beliefs possibly corrupted.
+    for a, b in edges:
+        if not (0 <= a < n and 0 <= b < n):
+            raise ConfigurationError(f"edge ({a}, {b}) outside 0..{n - 1}")
+        if a == b:
+            continue
+        belief = random_mode_claim(rng, actual(b), corruption.belief_lie_prob)
+        procs[a].N[procs[b].self_ref] = belief
+
+    # Spurious anchors (within the process's own component, so corruption
+    # does not manufacture connectivity across components).
+    if corruption.anchor_prob > 0.0:
+        for pid in range(n):
+            if rng.random() >= corruption.anchor_prob:
+                continue
+            others = sorted(comp_of[pid] - {pid})
+            if not others:
+                continue
+            target = others[rng.randrange(len(others))]
+            procs[pid].anchor = procs[target].self_ref
+            procs[pid].anchor_belief = random_mode_claim(
+                rng, actual(target), corruption.anchor_lie_prob
+            )
+
+    engine = Engine(
+        procs.values(),
+        scheduler if scheduler is not None else RandomScheduler(seed),
+        capability=capability,
+        oracle=oracle,
+        seed=seed,
+        strict=strict,
+        monitors=monitors,
+    )
+
+    # Stale in-flight messages, per component.
+    if corruption.garbage_per_process > 0.0:
+        for comp in comps:
+            members = sorted(comp)
+            budget = int(round(corruption.garbage_per_process * len(members)))
+            scatter_garbage_messages(
+                engine,
+                rng,
+                budget,
+                lie_prob=corruption.garbage_lie_prob,
+                targets=members,
+                subjects=members,
+            )
+    return engine
+
+
+def build_fdp_engine(
+    n: int,
+    edges: Sequence[tuple[int, int]],
+    leaving: Iterable[int],
+    *,
+    corruption: Corruption = CLEAN,
+    scheduler: Scheduler | None = None,
+    seed: int = 0,
+    oracle: Callable | None = None,
+    monitors: Sequence[Callable] = (),
+    strict: bool = True,
+) -> Engine:
+    """An FDP run: :class:`FDPProcess` population, ``exit`` available,
+    ``SINGLE`` oracle by default."""
+
+    return _build_engine(
+        FDPProcess,
+        Capability.EXIT,
+        n,
+        edges,
+        leaving,
+        corruption=corruption,
+        scheduler=scheduler,
+        seed=seed,
+        oracle=oracle if oracle is not None else SingleOracle(),
+        monitors=monitors,
+        strict=strict,
+    )
+
+
+def build_framework_engine(
+    n: int,
+    edges: Sequence[tuple[int, int]],
+    leaving: Iterable[int],
+    logic_cls,
+    *,
+    corruption: Corruption = CLEAN,
+    scheduler: Scheduler | None = None,
+    seed: int = 0,
+    oracle: Callable | None = None,
+    monitors: Sequence[Callable] = (),
+    strict: bool = True,
+) -> Engine:
+    """A Section 4 run: P′ = framework(P) population over *logic_cls*.
+
+    Initial P neighbourhoods come from the edge list (fed through the
+    logic's integrate hook); belief corruption applies to the framework's
+    mode-belief table; anchors and channel garbage as in the FDP builder.
+    """
+
+    from repro.core.framework import FrameworkProcess
+
+    if n < 1:
+        raise ConfigurationError("need at least one process")
+    leaving_set = frozenset(leaving)
+    rng = Random(seed ^ 0x5CE9A210)
+
+    def actual(pid: int) -> Mode:
+        return Mode.LEAVING if pid in leaving_set else Mode.STAYING
+
+    procs = {
+        pid: FrameworkProcess(pid, actual(pid), logic_cls) for pid in range(n)
+    }
+    comps = components_of_edges(n, edges)
+    comp_of: dict[int, frozenset[int]] = {}
+    for comp in comps:
+        for pid in comp:
+            comp_of[pid] = comp
+
+    from repro.sim.refs import KeyProvider
+
+    keyprov = KeyProvider()
+    for a, b in edges:
+        if not (0 <= a < n and 0 <= b < n):
+            raise ConfigurationError(f"edge ({a}, {b}) outside 0..{n - 1}")
+        if a == b:
+            continue
+        logic = procs[a].logic
+        if hasattr(logic, "integrate_with_keys"):
+            logic.integrate_with_keys(keyprov, procs[b].self_ref)
+        else:
+            logic.integrate(lambda *aa, **kk: None, procs[b].self_ref)
+        procs[a].beliefs[procs[b].self_ref] = random_mode_claim(
+            rng, actual(b), corruption.belief_lie_prob
+        )
+
+    if corruption.anchor_prob > 0.0:
+        for pid in range(n):
+            if rng.random() >= corruption.anchor_prob:
+                continue
+            others = sorted(comp_of[pid] - {pid})
+            if not others:
+                continue
+            target = others[rng.randrange(len(others))]
+            procs[pid].anchor = procs[target].self_ref
+            procs[pid].anchor_belief = random_mode_claim(
+                rng, actual(target), corruption.anchor_lie_prob
+            )
+
+    engine = Engine(
+        procs.values(),
+        scheduler if scheduler is not None else RandomScheduler(seed),
+        capability=Capability.EXIT,
+        oracle=oracle if oracle is not None else SingleOracle(),
+        seed=seed,
+        strict=strict,
+        monitors=monitors,
+    )
+    if corruption.garbage_per_process > 0.0:
+        for comp in comps:
+            members = sorted(comp)
+            budget = int(round(corruption.garbage_per_process * len(members)))
+            scatter_garbage_messages(
+                engine,
+                rng,
+                budget,
+                lie_prob=corruption.garbage_lie_prob,
+                targets=members,
+                subjects=members,
+            )
+    return engine
+
+
+def build_fsp_engine(
+    n: int,
+    edges: Sequence[tuple[int, int]],
+    leaving: Iterable[int],
+    *,
+    corruption: Corruption = CLEAN,
+    scheduler: Scheduler | None = None,
+    seed: int = 0,
+    monitors: Sequence[Callable] = (),
+    strict: bool = True,
+) -> Engine:
+    """An FSP run: :class:`FSPProcess` population, ``sleep`` available,
+    no oracle (the FSP needs none)."""
+
+    return _build_engine(
+        FSPProcess,
+        Capability.SLEEP,
+        n,
+        edges,
+        leaving,
+        corruption=corruption,
+        scheduler=scheduler,
+        seed=seed,
+        oracle=None,
+        monitors=monitors,
+        strict=strict,
+    )

@@ -1,0 +1,512 @@
+"""Theorem 1 made constructive: primitive schedules from any G to any G′.
+
+The paper proves Introduction, Delegation, Fusion and Reversal *universal*:
+for any weakly connected graphs ``G = (V, E)`` and ``G′ = (V, E′)`` there
+is a sequence of primitives transforming G into G′. The proof is
+constructive and this module implements it verbatim as a *planner* that
+emits a certified :class:`~repro.core.primitives.PrimitiveOp` schedule:
+
+**Phase A — clique.** Every process repeatedly introduces all of its
+neighbours to each other (including self-introduction). Distances halve
+each round, so O(log n) rounds suffice — :func:`rounds_to_clique` measures
+exactly this quantity for experiment E3.
+
+**Phase B — down to the bidirected extension G″ of G′.** For every edge
+``(u, w)`` not in E″: forward w's reference along a shortest u→w path of
+G″ by repeated Delegation, and Fuse the arriving duplicate into the
+existing E″ edge at the last hop. G″ is strongly connected (it is the
+bidirected extension of a weakly connected graph), so the path exists.
+
+**Phase C — from G″ to G′.** Every edge in E″ \\ E′ is Reversed onto its
+antiparallel partner and the duplicate Fused away.
+
+Corollary 1 (weak universality of Introduction/Delegation/Fusion alone,
+for strongly connected targets) falls out by running Phase B against G′
+itself and skipping Phase C — :func:`plan_weak_transformation`.
+
+Theorem 2 (each primitive is *necessary*) is reproduced two ways:
+
+* :data:`NECESSITY_WITNESSES` — the four concrete (G, G′) instances from
+  the paper's proof, each annotated with the invariant that every schedule
+  avoiding the dropped primitive preserves and that G′ violates;
+* :func:`restricted_reachable` — bounded exhaustive search over the
+  restricted calculus, which verifies unreachability outright on the
+  small witness instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.graphs.connectivity import bfs_shortest_path, is_weakly_connected
+from repro.core.primitives import Primitive, PrimitiveGraph, PrimitiveOp
+
+__all__ = [
+    "TransformationPlan",
+    "plan_transformation",
+    "plan_weak_transformation",
+    "rounds_to_clique",
+    "build_clique",
+    "bidirected_extension",
+    "NecessityWitness",
+    "NECESSITY_WITNESSES",
+    "restricted_reachable",
+    "enumerate_ops",
+]
+
+EdgeSet = frozenset[tuple[int, int]]
+
+
+# --------------------------------------------------------------------------- helpers
+
+
+def _validate_instance(
+    nodes: Sequence[int],
+    initial: Iterable[tuple[int, int]],
+    target: Iterable[tuple[int, int]],
+) -> tuple[set[int], list[tuple[int, int]], EdgeSet]:
+    node_set = set(nodes)
+    init_edges = list(initial)
+    target_edges = frozenset(target)
+    for name, edges in (("initial", init_edges), ("target", target_edges)):
+        for a, b in edges:
+            if a not in node_set or b not in node_set:
+                raise ConfigurationError(f"{name} edge ({a}, {b}) leaves the node set")
+            if a == b:
+                raise ConfigurationError(
+                    f"{name} graph contains self-loop ({a}, {a}); the primitives "
+                    "cannot remove single self-loop copies (u, v, w must be "
+                    "pairwise distinct), so Theorem 1 instances are loop-free"
+                )
+
+    def _adj(edges: Iterable[tuple[int, int]]) -> dict[int, set[int]]:
+        adj: dict[int, set[int]] = {n: set() for n in node_set}
+        for a, b in edges:
+            adj[a].add(b)
+            adj[b].add(a)
+        return adj
+
+    if len(node_set) > 1:
+        if not is_weakly_connected(_adj(init_edges)):
+            raise ConfigurationError("initial graph must be weakly connected")
+        if not is_weakly_connected(_adj(target_edges)):
+            raise ConfigurationError("target graph must be weakly connected")
+    return node_set, init_edges, target_edges
+
+
+def bidirected_extension(edges: Iterable[tuple[int, int]]) -> EdgeSet:
+    """E″: both orientations of every target edge (the proof's G″)."""
+    out: set[tuple[int, int]] = set()
+    for a, b in edges:
+        out.add((a, b))
+        out.add((b, a))
+    return frozenset(out)
+
+
+def _directed_adjacency(
+    nodes: Iterable[int], edges: Iterable[tuple[int, int]]
+) -> dict[int, list[int]]:
+    adj: dict[int, list[int]] = {n: [] for n in nodes}
+    for a, b in edges:
+        adj[a].append(b)
+    return adj
+
+
+# --------------------------------------------------------------------------- phases
+
+
+def build_clique(graph: PrimitiveGraph) -> int:
+    """Phase A: introduction rounds until the graph is a complete digraph.
+
+    Each round every node introduces each of its out-neighbours to every
+    other (skipping pairs already adjacent, so no duplicates accumulate)
+    and self-introduces to out-neighbours lacking the reverse edge.
+    Returns the number of rounds — the quantity Theorem 1 bounds by
+    O(log n) ("distances between the nodes are essentially cut in half in
+    each round").
+    """
+
+    nodes = sorted(graph.nodes)
+    n = len(nodes)
+    want = n * (n - 1)
+    rounds = 0
+    while len(graph.simple_edges()) < want:
+        rounds += 1
+        # Synchronous-round semantics: every process introduces based on
+        # the neighbourhood it had at the *start* of the round (messages
+        # sent in a round are received in the next). Without the snapshot
+        # a single sweep would cascade transitively and always finish in
+        # one "round", invalidating the O(log n) measurement.
+        snapshot = {u: sorted(graph.out_neighbours(u) - {u}) for u in nodes}
+        progressed = False
+        for u in nodes:
+            for v in snapshot[u]:
+                if not graph.has_edge(v, u):
+                    graph.self_introduce(u, v)
+                    progressed = True
+                for w in snapshot[u]:
+                    if v != w and not graph.has_edge(v, w):
+                        graph.introduce(u, v, w)
+                        progressed = True
+        if not progressed:
+            raise ConfigurationError(
+                "clique construction stalled; initial graph was not weakly connected"
+            )
+    return rounds
+
+
+def _dedupe(graph: PrimitiveGraph) -> None:
+    """Fuse every parallel duplicate down to multiplicity one."""
+    for (a, b) in list(graph.simple_edges()):
+        while graph.multiplicity(a, b) > 1:
+            graph.fuse(a, b)
+
+
+def _reduce_to(graph: PrimitiveGraph, goal: EdgeSet) -> None:
+    """Phase B: eliminate every edge outside *goal* by delegation routing.
+
+    *goal* must be strongly connected and a subset of the current simple
+    edges (both hold for G″ inside the Phase-A clique, and for a strongly
+    connected G′ in the weak-universality variant).
+    """
+
+    adjacency = {n: sorted({b for (a, b) in goal if a == n}) for n in graph.nodes}
+    while True:
+        offenders = sorted(
+            (a, b) for (a, b) in graph.simple_edges() if (a, b) not in goal
+        )
+        if not offenders:
+            return
+        u, w = offenders[0]
+        path = bfs_shortest_path(adjacency, u, w)
+        if path is None:  # pragma: no cover - goal is strongly connected
+            raise ConfigurationError(f"no path {u} → {w} in goal graph")
+        cur = u
+        for nxt in path[1:]:
+            if nxt == w:
+                # cur is a goal-neighbour of w: fuse the arriving duplicate.
+                graph.fuse(cur, w)
+                break
+            graph.delegate(cur, nxt, w)
+            cur = nxt
+
+
+def _orient(graph: PrimitiveGraph, target: EdgeSet) -> None:
+    """Phase C: reverse the E″ \\ E′ edges onto their antiparallel partners."""
+    for (a, b) in sorted(bidirected_extension(target)):
+        if (a, b) not in target and graph.has_edge(a, b):
+            graph.reverse(a, b)  # creates a second copy of (b, a) ∈ E′
+            graph.fuse(b, a)
+
+
+# --------------------------------------------------------------------------- planner
+
+
+@dataclass(frozen=True)
+class TransformationPlan:
+    """A certified schedule transforming *initial* into *target*.
+
+    ``schedule`` replayed on a fresh ``PrimitiveGraph(nodes, initial)``
+    yields exactly ``target`` (the planner verifies this before
+    returning). ``clique_rounds`` is the Phase-A round count.
+    """
+
+    nodes: tuple[int, ...]
+    initial: tuple[tuple[int, int], ...]
+    target: EdgeSet
+    schedule: tuple[PrimitiveOp, ...]
+    clique_rounds: int
+
+    def __len__(self) -> int:
+        return len(self.schedule)
+
+    def counts(self) -> dict[str, int]:
+        """Number of applications per primitive."""
+        out: dict[str, int] = {p.value: 0 for p in Primitive}
+        for op in self.schedule:
+            out[op.primitive.value] += 1
+        return out
+
+    def replay(self, check_connectivity: bool = False) -> PrimitiveGraph:
+        """Re-execute the schedule from the initial graph and return the result."""
+        graph = PrimitiveGraph(
+            self.nodes, self.initial, check_connectivity=check_connectivity
+        )
+        for op in self.schedule:
+            graph.apply(op)
+        return graph
+
+
+def plan_transformation(
+    nodes: Sequence[int],
+    initial: Iterable[tuple[int, int]],
+    target: Iterable[tuple[int, int]],
+) -> TransformationPlan:
+    """Theorem 1's constructive proof: a schedule from *initial* to *target*.
+
+    Both graphs must be weakly connected and loop-free over the same node
+    set. The returned plan is verified: its replay reproduces *target*
+    exactly (as a simple edge set with all multiplicities one).
+    """
+
+    node_set, init_edges, target_edges = _validate_instance(nodes, initial, target)
+    graph = PrimitiveGraph(node_set, init_edges)
+    _dedupe(graph)  # collapse adversarial initial multi-edges first
+    rounds = build_clique(graph) if len(node_set) > 1 else 0
+    goal = bidirected_extension(target_edges)
+    _reduce_to(graph, goal)
+    _orient(graph, target_edges)
+    if graph.simple_edges() != target_edges or any(
+        graph.multiplicity(a, b) != 1 for (a, b) in target_edges
+    ):  # pragma: no cover - planner invariant
+        raise ConfigurationError("planner failed to reach the target graph")
+    return TransformationPlan(
+        nodes=tuple(sorted(node_set)),
+        initial=tuple(init_edges),
+        target=target_edges,
+        schedule=tuple(graph.log),
+        clique_rounds=rounds,
+    )
+
+
+def plan_weak_transformation(
+    nodes: Sequence[int],
+    initial: Iterable[tuple[int, int]],
+    target: Iterable[tuple[int, int]],
+) -> TransformationPlan:
+    """Corollary 1: Introduction + Delegation + Fusion suffice when the
+    target is strongly connected (no Reversal in the schedule)."""
+
+    from repro.graphs.connectivity import is_strongly_connected
+
+    node_set, init_edges, target_edges = _validate_instance(nodes, initial, target)
+    adjacency = {
+        n: [b for (a, b) in target_edges if a == n] for n in node_set
+    }
+    if len(node_set) > 1 and not is_strongly_connected(adjacency):
+        raise ConfigurationError(
+            "weak universality requires a strongly connected target (Corollary 1)"
+        )
+    graph = PrimitiveGraph(node_set, init_edges)
+    _dedupe(graph)
+    rounds = build_clique(graph) if len(node_set) > 1 else 0
+    _reduce_to(graph, target_edges)
+    plan = TransformationPlan(
+        nodes=tuple(sorted(node_set)),
+        initial=tuple(init_edges),
+        target=target_edges,
+        schedule=tuple(graph.log),
+        clique_rounds=rounds,
+    )
+    assert all(
+        op.primitive is not Primitive.REVERSAL for op in plan.schedule
+    ), "weak plan must not use Reversal"
+    return plan
+
+
+def rounds_to_clique(
+    nodes: Sequence[int], edges: Iterable[tuple[int, int]]
+) -> int:
+    """Introduction rounds until *edges* becomes the complete digraph (E3)."""
+    graph = PrimitiveGraph(nodes, edges)
+    _dedupe(graph)
+    return build_clique(graph)
+
+
+# --------------------------------------------------------------------------- Theorem 2
+
+
+@dataclass(frozen=True)
+class NecessityWitness:
+    """A (G, G′) instance unreachable without one primitive.
+
+    ``invariant`` maps a :class:`PrimitiveGraph` to a comparable summary
+    that every schedule avoiding ``dropped`` preserves monotonically (see
+    ``invariant_kind``) and whose value on G′ contradicts its value on G.
+    """
+
+    dropped: Primitive
+    nodes: tuple[int, ...]
+    initial: tuple[tuple[int, int], ...]
+    target: tuple[tuple[int, int], ...]
+    invariant_kind: str  # "non-increasing" | "non-decreasing" | "superset"
+    invariant: Callable[[PrimitiveGraph], object]
+    reason: str
+
+
+def _edge_copies(g: PrimitiveGraph) -> int:
+    return g.edge_count()
+
+
+def _undirected_pairs(g: PrimitiveGraph) -> frozenset[frozenset[int]]:
+    return frozenset(
+        frozenset((a, b)) for (a, b) in g.simple_edges() if a != b
+    )
+
+
+def _has_uv(g: PrimitiveGraph) -> bool:
+    return g.has_edge(0, 1)
+
+
+#: The four proof instances of Theorem 2.
+NECESSITY_WITNESSES: dict[str, NecessityWitness] = {
+    "introduction": NecessityWitness(
+        dropped=Primitive.INTRODUCTION,
+        nodes=(0, 1, 2),
+        initial=((0, 1), (1, 2)),
+        target=((0, 1), (1, 2), (2, 0)),
+        invariant_kind="non-increasing",
+        invariant=_edge_copies,
+        reason=(
+            "Introduction is the only primitive that creates new edges; "
+            "without it the total number of edge copies never increases, so "
+            "a target with more edges is unreachable."
+        ),
+    ),
+    "fusion": NecessityWitness(
+        dropped=Primitive.FUSION,
+        nodes=(0, 1),
+        initial=((0, 1), (0, 1)),
+        target=((0, 1),),
+        invariant_kind="non-decreasing",
+        invariant=_edge_copies,
+        reason=(
+            "Fusion is the only primitive that reduces the overall number of "
+            "edges; without it the copy count never decreases, so a target "
+            "with fewer edge copies is unreachable."
+        ),
+    ),
+    "delegation": NecessityWitness(
+        dropped=Primitive.DELEGATION,
+        nodes=(0, 1, 2),
+        initial=((0, 1), (1, 2), (2, 0)),
+        target=((0, 1), (1, 2), (2, 1)),
+        invariant_kind="superset",
+        invariant=_undirected_pairs,
+        reason=(
+            "With only Introduction, Fusion and Reversal, the set of "
+            "undirected adjacencies never shrinks (fusion needs a surviving "
+            "duplicate, reversal keeps the pair adjacent), so two specific "
+            "processes can never be locally disconnected: a target missing "
+            "an existing undirected adjacency is unreachable."
+        ),
+    ),
+    "reversal": NecessityWitness(
+        dropped=Primitive.REVERSAL,
+        nodes=(0, 1),
+        initial=((0, 1),),
+        target=((1, 0),),
+        invariant_kind="non-decreasing",
+        invariant=_has_uv,
+        reason=(
+            "On two processes u, v with the single edge (u, v): delegation "
+            "needs three distinct processes, fusion needs a duplicate, and "
+            "introduction only adds edges — so (u, v) persists in every "
+            "reachable graph, while the target consists solely of (v, u)."
+        ),
+    ),
+}
+
+
+# ------------------------------------------------------------------ bounded search
+
+
+def enumerate_ops(
+    graph: PrimitiveGraph,
+    allowed: frozenset[Primitive],
+    max_multiplicity: int = 2,
+    max_total: int | None = None,
+) -> list[PrimitiveOp]:
+    """All primitive applications currently enabled on *graph*, bounded.
+
+    Operations that would push any pair's multiplicity beyond
+    *max_multiplicity*, or the total copy count beyond *max_total*, are
+    pruned. This keeps the search space finite (reversal can otherwise
+    shuttle copies between orientations while introduction keeps refilling
+    them, making the raw space infinite). The bounds make the search a
+    *bounded-reachability* check: "target not reached" within the bounds
+    is demonstrative, while the rigorous unreachability argument is the
+    invariant one (see :data:`NECESSITY_WITNESSES`) — the test-suite
+    exercises both.
+    """
+
+    ops: list[PrimitiveOp] = []
+    nodes = sorted(graph.nodes)
+    total = graph.edge_count()
+    can_add = max_total is None or total < max_total
+    for u in nodes:
+        outs = sorted(graph.out_neighbours(u) - {u})
+        for v in outs:
+            if (
+                Primitive.SELF_INTRODUCTION in allowed
+                and can_add
+                and graph.multiplicity(v, u) < max_multiplicity
+            ):
+                ops.append(PrimitiveOp(Primitive.SELF_INTRODUCTION, u, v))
+            if Primitive.FUSION in allowed and graph.multiplicity(u, v) >= 2:
+                ops.append(PrimitiveOp(Primitive.FUSION, u, v))
+            if (
+                Primitive.REVERSAL in allowed
+                and graph.multiplicity(v, u) < max_multiplicity
+            ):
+                ops.append(PrimitiveOp(Primitive.REVERSAL, u, v))
+            for w in outs:
+                if v == w:
+                    continue
+                if (
+                    Primitive.INTRODUCTION in allowed
+                    and can_add
+                    and graph.multiplicity(v, w) < max_multiplicity
+                ):
+                    ops.append(PrimitiveOp(Primitive.INTRODUCTION, u, v, w))
+                if (
+                    Primitive.DELEGATION in allowed
+                    and graph.multiplicity(v, w) < max_multiplicity
+                ):
+                    ops.append(PrimitiveOp(Primitive.DELEGATION, u, v, w))
+    return ops
+
+
+def restricted_reachable(
+    nodes: Sequence[int],
+    initial: Iterable[tuple[int, int]],
+    allowed: frozenset[Primitive],
+    *,
+    max_multiplicity: int = 2,
+    max_total: int | None = None,
+    max_states: int = 200_000,
+) -> set[frozenset]:
+    """Bounded exhaustive reachability over the restricted primitive calculus.
+
+    Breadth-first over graph states (canonicalized by multiplicity map),
+    bounded by per-pair multiplicity, total copy count (default: initial
+    count + 4) and *max_states*. Returns the set of reachable state keys;
+    used by the Theorem 2 experiments to demonstrate outright that the
+    witness targets are unreachable on their (tiny) instances within
+    generous bounds — the invariant argument provides the unbounded proof.
+    """
+
+    start = PrimitiveGraph(nodes, initial)
+    if max_total is None:
+        max_total = start.edge_count() + 4
+    seen: set[frozenset] = {start.state_key()}
+    frontier = [start]
+    while frontier:
+        if len(seen) > max_states:
+            raise ConfigurationError(
+                f"state space exceeded max_states={max_states}; "
+                "tighten max_multiplicity or shrink the instance"
+            )
+        nxt: list[PrimitiveGraph] = []
+        for g in frontier:
+            for op in enumerate_ops(g, allowed, max_multiplicity, max_total):
+                clone = g.copy()
+                clone.apply(op)
+                key = clone.state_key()
+                if key not in seen:
+                    seen.add(key)
+                    nxt.append(clone)
+        frontier = nxt
+    return seen

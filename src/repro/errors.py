@@ -1,0 +1,96 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch the whole family with one clause. The split
+below mirrors the three ways a simulation can go wrong:
+
+* the *user* misuses the API (:class:`ConfigurationError`),
+* *protocol code* violates the paper's computational model
+  (:class:`ModelViolation` and its subclasses), or
+* the *system under test* breaks one of the paper's theorems
+  (:class:`SafetyViolation`, :class:`ConvergenceError`) — these are the
+  errors the test-suite and benchmark monitors are designed to surface.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ModelViolation",
+    "CopyStoreSendViolation",
+    "StateViolation",
+    "SafetyViolation",
+    "ConvergenceError",
+    "UnknownActionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, protocol or experiment was configured inconsistently.
+
+    Examples: duplicate process identifiers, a topology referencing
+    non-existent processes, an initial state violating the admissibility
+    constraints of the paper's Section 1.2 (e.g. a connected component
+    without a single staying process).
+    """
+
+
+class ModelViolation(ReproError):
+    """Protocol code performed an operation the paper's model forbids."""
+
+
+class CopyStoreSendViolation(ModelViolation):
+    """A protocol manipulated the internals of a process reference.
+
+    The paper restricts attention to *copy-store-send* protocols: the only
+    operations allowed on references are copying, storing and sending them
+    (plus equality comparison). Ordering, hashing-to-integer or arithmetic
+    on references raises this error unless the protocol explicitly declares
+    ``requires_order`` (mirroring the paper's remark that the protocols of
+    Foreback et al. [15] need a fixed total order while the paper's own
+    protocol does not).
+    """
+
+
+class StateViolation(ModelViolation):
+    """An action was attempted in a process state that forbids it.
+
+    For instance a *gone* process executing any action, or ``sleep`` being
+    invoked in an FDP run (where the sleep command is unavailable by
+    problem definition).
+    """
+
+
+class SafetyViolation(ReproError):
+    """A monitored safety invariant was broken during a run.
+
+    Raised by invariant monitors, e.g. when the weakly-connected-component
+    invariant of Lemma 2 fails: two relevant processes that started in the
+    same component became disconnected.
+    """
+
+
+class ConvergenceError(ReproError):
+    """A run exhausted its step budget before reaching the target predicate.
+
+    Carries the final engine statistics in :attr:`stats` when available so
+    experiment harnesses can report how far the run got.
+    """
+
+    def __init__(self, message: str, stats: dict | None = None) -> None:
+        super().__init__(message)
+        self.stats = dict(stats) if stats else {}
+
+
+class UnknownActionError(ModelViolation):
+    """A message requested an action label the receiving process lacks.
+
+    The paper specifies that such messages are ignored by processes; the
+    engine therefore only raises this in *strict* mode (used by the test
+    suite to catch typos) and silently drops the message otherwise.
+    """

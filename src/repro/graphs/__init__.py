@@ -1,0 +1,34 @@
+"""Graph substrate: process-graph snapshots, connectivity, generators, metrics.
+
+Everything here is implemented from scratch (union-find, iterative Tarjan,
+BFS); networkx appears only in the test-suite as an independent oracle.
+"""
+
+from repro.graphs.connectivity import (
+    UnionFind,
+    bfs_shortest_path,
+    is_strongly_connected,
+    is_weakly_connected,
+    reachable_from,
+    reverse_reachable,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graphs.generators import GENERATORS
+from repro.graphs.snapshot import Edge, EdgeKind, NodeView, ProcessGraph
+
+__all__ = [
+    "Edge",
+    "EdgeKind",
+    "GENERATORS",
+    "NodeView",
+    "ProcessGraph",
+    "UnionFind",
+    "bfs_shortest_path",
+    "is_strongly_connected",
+    "is_weakly_connected",
+    "reachable_from",
+    "reverse_reachable",
+    "strongly_connected_components",
+    "weakly_connected_components",
+]

@@ -1,0 +1,171 @@
+"""Topology generators for initial overlay configurations.
+
+Every generator returns a directed edge list over pids ``0..n-1`` and is
+deterministic given its seed. Connected generators guarantee *weak*
+connectivity — the precondition of every theorem in the paper — and the
+test-suite property-checks that guarantee.
+
+These are *initial-state* topologies: the fault injector turns them into
+full corrupted system states (beliefs, channel garbage, anchors), and the
+universality planner (Theorem 1 / E3) uses pairs of them as (G, G′)
+transformation instances.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable
+
+__all__ = [
+    "line",
+    "bidirected_line",
+    "ring",
+    "star",
+    "clique",
+    "binary_tree",
+    "random_tree",
+    "random_connected",
+    "random_weakly_connected_digraph",
+    "lollipop",
+    "two_cliques_bridge",
+    "GENERATORS",
+]
+
+EdgeList = list[tuple[int, int]]
+
+
+def _check_n(n: int, minimum: int = 1) -> None:
+    if n < minimum:
+        raise ValueError(f"need at least {minimum} nodes, got {n}")
+
+
+def line(n: int) -> EdgeList:
+    """Directed path ``0 → 1 → … → n-1``."""
+    _check_n(n)
+    return [(i, i + 1) for i in range(n - 1)]
+
+
+def bidirected_line(n: int) -> EdgeList:
+    """Doubly linked list: edges both ways between consecutive pids.
+
+    This is the target topology of the linearization overlay and of the
+    sorted-list protocol of Foreback et al. [15].
+    """
+
+    _check_n(n)
+    out: EdgeList = []
+    for i in range(n - 1):
+        out.append((i, i + 1))
+        out.append((i + 1, i))
+    return out
+
+
+def ring(n: int) -> EdgeList:
+    """Directed cycle ``0 → 1 → … → n-1 → 0``."""
+    _check_n(n)
+    if n == 1:
+        return []
+    return [(i, (i + 1) % n) for i in range(n)]
+
+
+def star(n: int, center: int = 0) -> EdgeList:
+    """Center points at every other node."""
+    _check_n(n)
+    return [(center, i) for i in range(n) if i != center]
+
+
+def clique(n: int) -> EdgeList:
+    """All ordered pairs (the target of the transitive-closure overlay)."""
+    _check_n(n)
+    return [(i, j) for i in range(n) for j in range(n) if i != j]
+
+
+def binary_tree(n: int) -> EdgeList:
+    """Complete binary tree, edges parent → child."""
+    _check_n(n)
+    out: EdgeList = []
+    for i in range(1, n):
+        out.append(((i - 1) // 2, i))
+    return out
+
+
+def random_tree(n: int, seed: int = 0) -> EdgeList:
+    """Uniform random recursive tree: node *i* attaches to a random j < i."""
+    _check_n(n)
+    rng = Random(seed)
+    out: EdgeList = []
+    for i in range(1, n):
+        parent = rng.randrange(i)
+        # Random orientation keeps the digraph interesting while weakly connected.
+        out.append((parent, i) if rng.random() < 0.5 else (i, parent))
+    return out
+
+
+def random_connected(n: int, extra_edges: int = 0, seed: int = 0) -> EdgeList:
+    """Random weakly connected digraph: random tree + *extra_edges* chords."""
+    _check_n(n)
+    rng = Random(seed)
+    edges = set(random_tree(n, seed=rng.randrange(2**30)))
+    attempts = 0
+    while len(edges) < n - 1 + extra_edges and attempts < 50 * (extra_edges + 1):
+        a, b = rng.randrange(n), rng.randrange(n)
+        attempts += 1
+        if a != b and (a, b) not in edges:
+            edges.add((a, b))
+    return sorted(edges)
+
+
+def random_weakly_connected_digraph(n: int, density: float = 0.1, seed: int = 0) -> EdgeList:
+    """Random digraph with ≈``density·n·(n-1)`` edges, forced weakly connected."""
+    _check_n(n)
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must lie in [0, 1]")
+    target = max(0, int(round(density * n * (n - 1))) - (n - 1))
+    return random_connected(n, extra_edges=target, seed=seed)
+
+
+def lollipop(n: int, head: int | None = None) -> EdgeList:
+    """A clique of ``head`` nodes with a path hanging off it.
+
+    Stress topology: the path end is far from the dense part, which makes
+    leaving processes deep in the tail slow to learn about alternatives.
+    """
+
+    _check_n(n, 2)
+    head = max(2, n // 2) if head is None else head
+    head = min(head, n)
+    out: EdgeList = [(i, j) for i in range(head) for j in range(head) if i != j]
+    for i in range(head - 1, n - 1):
+        out.append((i, i + 1))
+    return out
+
+
+def two_cliques_bridge(n: int) -> EdgeList:
+    """Two cliques joined by a single bridge edge.
+
+    The bridge endpoints are articulation-like: making one of them a
+    leaving process exercises exactly the disconnection risk the ``SINGLE``
+    oracle exists to prevent.
+    """
+
+    _check_n(n, 4)
+    half = n // 2
+    out: EdgeList = [(i, j) for i in range(half) for j in range(half) if i != j]
+    out += [(i, j) for i in range(half, n) for j in range(half, n) if i != j]
+    out.append((half - 1, half))
+    return out
+
+
+#: Registry used by experiment sweeps to iterate named topologies.
+GENERATORS: dict[str, Callable[..., EdgeList]] = {
+    "line": line,
+    "bidirected_line": bidirected_line,
+    "ring": ring,
+    "star": star,
+    "clique": clique,
+    "binary_tree": binary_tree,
+    "random_tree": random_tree,
+    "random_connected": random_connected,
+    "lollipop": lollipop,
+    "two_cliques_bridge": two_cliques_bridge,
+}

@@ -1,0 +1,138 @@
+"""Structural metrics over edge lists and snapshots.
+
+Used by the analysis layer to characterize workloads (how dense was the
+initial topology?) and outcomes (what does the staying subgraph look like
+after convergence?). Vectorized with numpy where the arrays are large
+enough to matter, per the HPC guides; the small-graph paths stay in plain
+Python for clarity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "degree_stats",
+    "undirected_view",
+    "eccentricities",
+    "diameter",
+    "edge_count",
+    "density",
+    "is_sorted_line",
+    "is_sorted_ring",
+    "is_clique",
+    "is_star",
+]
+
+EdgeIter = Iterable[tuple[int, int]]
+
+
+def undirected_view(edges: EdgeIter, nodes: Iterable[int]) -> dict[int, set[int]]:
+    """Symmetrized adjacency over *nodes*; edges to outsiders dropped."""
+    adj: dict[int, set[int]] = {n: set() for n in nodes}
+    for a, b in edges:
+        if a in adj and b in adj and a != b:
+            adj[a].add(b)
+            adj[b].add(a)
+    return adj
+
+
+def degree_stats(edges: EdgeIter, nodes: Iterable[int]) -> dict[str, float]:
+    """Out-degree distribution statistics: min/mean/max/std."""
+    nodes = list(nodes)
+    out: dict[int, int] = {n: 0 for n in nodes}
+    for a, _ in edges:
+        if a in out:
+            out[a] += 1
+    degrees = np.fromiter(out.values(), dtype=np.int64, count=len(out))
+    if degrees.size == 0:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0, "std": 0.0}
+    return {
+        "min": float(degrees.min()),
+        "mean": float(degrees.mean()),
+        "max": float(degrees.max()),
+        "std": float(degrees.std()),
+    }
+
+
+def eccentricities(adj: Mapping[int, set[int]]) -> dict[int, int]:
+    """BFS eccentricity of every node (∞ encoded as -1 for unreachable)."""
+    ecc: dict[int, int] = {}
+    for source in adj:
+        dist = {source: 0}
+        frontier = deque([source])
+        far = 0
+        while frontier:
+            node = frontier.popleft()
+            for nb in adj[node]:
+                if nb not in dist:
+                    dist[nb] = dist[node] + 1
+                    far = max(far, dist[nb])
+                    frontier.append(nb)
+        ecc[source] = far if len(dist) == len(adj) else -1
+    return ecc
+
+
+def diameter(adj: Mapping[int, set[int]]) -> int:
+    """Undirected diameter; -1 if disconnected; 0 for ≤1 node."""
+    if len(adj) <= 1:
+        return 0
+    ecc = eccentricities(adj)
+    values = list(ecc.values())
+    if any(v < 0 for v in values):
+        return -1
+    return max(values)
+
+
+def edge_count(edges: EdgeIter) -> int:
+    """Number of edges in the iterable."""
+    return sum(1 for _ in edges)
+
+
+def density(edges: EdgeIter, n: int) -> float:
+    """Directed density m / (n·(n-1)); 0 for n < 2."""
+    if n < 2:
+        return 0.0
+    return edge_count(edges) / (n * (n - 1))
+
+
+# -- target-topology recognizers (overlay convergence checks) ---------------------
+
+
+def is_sorted_line(edges: frozenset[tuple[int, int]], keys: Mapping[int, float]) -> bool:
+    """Whether *edges* is exactly the doubly linked list sorted by *keys*."""
+    order = sorted(keys, key=keys.__getitem__)
+    want: set[tuple[int, int]] = set()
+    for a, b in zip(order, order[1:]):
+        want.add((a, b))
+        want.add((b, a))
+    return set(edges) == want
+
+
+def is_sorted_ring(edges: frozenset[tuple[int, int]], keys: Mapping[int, float]) -> bool:
+    """Whether *edges* is the successor cycle of the key order (n ≥ 2)."""
+    order = sorted(keys, key=keys.__getitem__)
+    if len(order) < 2:
+        return len(edges) == 0
+    want = {(a, b) for a, b in zip(order, order[1:] + order[:1])}
+    return set(edges) == want
+
+
+def is_clique(edges: frozenset[tuple[int, int]], nodes: Iterable[int]) -> bool:
+    """Whether *edges* contains every ordered pair over *nodes*."""
+    nodes = list(nodes)
+    want = {(a, b) for a in nodes for b in nodes if a != b}
+    return want <= set(edges)
+
+
+def is_star(edges: frozenset[tuple[int, int]], nodes: Iterable[int], center: int) -> bool:
+    """Whether *edges* is exactly the bidirected star around *center*."""
+    nodes = [n for n in nodes if n != center]
+    want: set[tuple[int, int]] = set()
+    for n in nodes:
+        want.add((center, n))
+        want.add((n, center))
+    return set(edges) == want

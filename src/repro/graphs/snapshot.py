@@ -1,0 +1,282 @@
+"""Process-graph snapshots: the directed multigraph ``PG`` of the paper.
+
+The overlay network of a set of processes is determined by their knowledge
+of each other: there is a directed edge ``(a, b)`` if process *a* stores a
+reference of *b* in its local memory (an **explicit** edge) or has a
+message in ``a.Ch`` carrying a reference of *b* (an **implicit** edge).
+
+:class:`ProcessGraph` is an immutable snapshot of that multigraph taken at
+one system state, annotated with each node's mode/lifecycle state and each
+edge's piggybacked mode belief. All of the paper's graph-level predicates
+are computed from it:
+
+* weak connectivity of the relevant subgraph (Lemma 2's invariant),
+* the ``SINGLE`` oracle (edges with at most one other relevant process),
+* hibernation (reverse reachability over asleep processes),
+* the potential Φ (count of edges carrying invalid mode information),
+* legitimacy conditions (i)–(iii) of Section 1.2.
+
+Snapshots are plain data — cheap to build (one pass over local memories
+and channels) and safe to hand to monitors, tests and analysis code
+without aliasing live simulator state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.sim.states import Mode, PState
+
+__all__ = ["EdgeKind", "Edge", "NodeView", "ProcessGraph"]
+
+
+class EdgeKind(enum.Enum):
+    """Whether an edge is stored in local memory or in flight."""
+
+    EXPLICIT = "explicit"
+    IMPLICIT = "implicit"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed edge of the process multigraph.
+
+    ``belief`` is the holder's piggybacked/stored knowledge of the target's
+    mode (``None`` when the protocol attached no mode information — such
+    edges still count for connectivity but not for Φ).
+    """
+
+    src: int
+    dst: int
+    kind: EdgeKind
+    belief: Mode | None = None
+
+    @property
+    def is_self_loop(self) -> bool:
+        return self.src == self.dst
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """Mode, lifecycle state and channel occupancy of one process."""
+
+    pid: int
+    mode: Mode
+    state: PState
+    channel_len: int
+
+    @property
+    def is_gone(self) -> bool:
+        return self.state is PState.GONE
+
+    @property
+    def is_asleep(self) -> bool:
+        return self.state is PState.ASLEEP
+
+
+class ProcessGraph:
+    """Immutable snapshot of the process multigraph at one system state."""
+
+    __slots__ = ("_nodes", "_edges", "_out", "_in", "_relevant_cache")
+
+    def __init__(self, nodes: Iterable[NodeView], edges: Iterable[Edge]) -> None:
+        self._nodes: dict[int, NodeView] = {n.pid: n for n in nodes}
+        self._edges: tuple[Edge, ...] = tuple(edges)
+        self._out: dict[int, list[Edge]] = {pid: [] for pid in self._nodes}
+        self._in: dict[int, list[Edge]] = {pid: [] for pid in self._nodes}
+        for e in self._edges:
+            if e.src in self._out:
+                self._out[e.src].append(e)
+            if e.dst in self._in:
+                self._in[e.dst].append(e)
+        self._relevant_cache: frozenset[int] | None = None
+
+    # -- basic accessors -----------------------------------------------------------
+
+    @property
+    def pids(self) -> frozenset[int]:
+        """All process ids in the snapshot (gone processes are excluded by
+        construction: exit removes the process and its edges from PG)."""
+        return frozenset(self._nodes)
+
+    def node(self, pid: int) -> NodeView:
+        return self._nodes[pid]
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._nodes
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return self._edges
+
+    def out_edges(self, pid: int) -> list[Edge]:
+        return self._out.get(pid, [])
+
+    def in_edges(self, pid: int) -> list[Edge]:
+        return self._in.get(pid, [])
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"ProcessGraph(n={len(self._nodes)}, m={len(self._edges)})"
+
+    # -- derived process sets ---------------------------------------------------------
+
+    def staying(self) -> frozenset[int]:
+        """Pids of staying processes."""
+        return frozenset(p for p, n in self._nodes.items() if n.mode is Mode.STAYING)
+
+    def leaving(self) -> frozenset[int]:
+        """Pids of leaving processes."""
+        return frozenset(p for p, n in self._nodes.items() if n.mode is Mode.LEAVING)
+
+    def hibernating(self) -> frozenset[int]:
+        """Pids of hibernating processes.
+
+        A process *p* is hibernating iff *p* is asleep, ``p.Ch`` is empty,
+        and every process *q* with a directed path to *p* in PG is also
+        asleep with an empty channel. Computed as a fixpoint: start from
+        the candidate set of quiet-asleep processes and repeatedly discard
+        any candidate reachable from a non-candidate.
+        """
+
+        quiet = {
+            pid
+            for pid, n in self._nodes.items()
+            if n.is_asleep and n.channel_len == 0
+        }
+        if not quiet:
+            return frozenset()
+        # A candidate is disqualified if any in-edge comes from outside the
+        # quiet set; removal may disqualify downstream candidates, so iterate
+        # with a worklist.
+        changed = True
+        while changed:
+            changed = False
+            for pid in list(quiet):
+                for e in self._in[pid]:
+                    if e.src not in quiet and e.src in self._nodes:
+                        quiet.discard(pid)
+                        changed = True
+                        break
+        return frozenset(quiet)
+
+    def relevant(self) -> frozenset[int]:
+        """Pids of relevant processes: neither gone nor hibernating.
+
+        Gone processes are already absent from the snapshot, so this is
+        simply all nodes minus the hibernating ones. Cached — several
+        predicates (oracle, legitimacy, safety monitor) ask per snapshot.
+        """
+
+        if self._relevant_cache is None:
+            self._relevant_cache = frozenset(self._nodes) - self.hibernating()
+        return self._relevant_cache
+
+    # -- neighbourhood predicates ------------------------------------------------------
+
+    def partners(self, pid: int, within: frozenset[int] | None = None) -> set[int]:
+        """Processes (≠ *pid*) that have an edge with *pid*, in either direction.
+
+        Restricted to *within* when given (e.g. the relevant set, which is
+        what the ``SINGLE`` oracle quantifies over).
+        """
+
+        found: set[int] = set()
+        for e in self._out.get(pid, ()):
+            if e.dst != pid and (within is None or e.dst in within):
+                found.add(e.dst)
+        for e in self._in.get(pid, ()):
+            if e.src != pid and (within is None or e.src in within):
+                found.add(e.src)
+        return found
+
+    # -- connectivity -----------------------------------------------------------------
+
+    def undirected_adjacency(
+        self, subset: frozenset[int] | None = None
+    ) -> dict[int, set[int]]:
+        """Undirected adjacency restricted to *subset* (defaults to all nodes)."""
+        nodes = self.pids if subset is None else subset & self.pids
+        adj: dict[int, set[int]] = {pid: set() for pid in nodes}
+        for e in self._edges:
+            if e.src in adj and e.dst in adj and e.src != e.dst:
+                adj[e.src].add(e.dst)
+                adj[e.dst].add(e.src)
+        return adj
+
+    def weakly_connected_components(
+        self, subset: frozenset[int] | None = None
+    ) -> list[frozenset[int]]:
+        """Weakly connected components of the subgraph induced on *subset*."""
+        from repro.graphs.connectivity import weakly_connected_components
+
+        return weakly_connected_components(self.undirected_adjacency(subset))
+
+    def is_weakly_connected(self, subset: frozenset[int]) -> bool:
+        """Whether all of *subset* lies in one weakly connected component
+        of the subgraph induced on *subset*."""
+        if len(subset) <= 1:
+            return True
+        comps = self.weakly_connected_components(subset)
+        return len(comps) == 1
+
+    def is_weakly_connected_within(
+        self, members: frozenset[int], universe: frozenset[int]
+    ) -> bool:
+        """Whether *members* all lie in one weakly connected component of
+        the subgraph induced on *universe* (paths through non-member
+        universe nodes count)."""
+        members = members & self.pids
+        if len(members) <= 1:
+            return True
+        for comp in self.weakly_connected_components(universe):
+            if members <= comp:
+                return True
+        return False
+
+    def filter_nodes(self, keep: Callable[[NodeView], bool]) -> "ProcessGraph":
+        """Return the snapshot induced on nodes satisfying *keep*."""
+        nodes = [n for n in self._nodes.values() if keep(n)]
+        kept = {n.pid for n in nodes}
+        edges = [e for e in self._edges if e.src in kept and e.dst in kept]
+        return ProcessGraph(nodes, edges)
+
+    def edge_multiset(self) -> dict[tuple[int, int], int]:
+        """Multiplicity map ``(src, dst) -> count`` (ignores kind/belief)."""
+        counts: dict[tuple[int, int], int] = {}
+        for e in self._edges:
+            key = (e.src, e.dst)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def simple_edges(self) -> frozenset[tuple[int, int]]:
+        """The underlying simple directed edge set (self-loops removed)."""
+        return frozenset(
+            (e.src, e.dst) for e in self._edges if e.src != e.dst
+        )
+
+    def iter_invalid_edges(self, actual_mode: Callable[[int], Mode]) -> Iterator[Edge]:
+        """Yield edges whose attached belief contradicts the actual mode.
+
+        ``actual_mode`` maps a pid to its true mode (the engine supplies
+        it; modes of gone processes are still defined since ``mode`` is
+        read-only and never changes).
+
+        A missing belief (``None``) is treated as an implicit *staying*
+        claim — the interpretation the FDP protocol gives it — so it is
+        invalid information exactly when the referenced process is
+        leaving. This keeps Φ's monotonicity (Lemma 3) exact when the
+        fault injector plants mode-less garbage messages.
+        """
+
+        for e in self._edges:
+            belief = e.belief if e.belief is not None else Mode.STAYING
+            if belief is not actual_mode(e.dst):
+                yield e

@@ -1,0 +1,41 @@
+"""Overlay maintenance protocols: the class 𝒫 the framework embeds into.
+
+Four self-stabilizing overlays (linearization/sorted list, sorted ring,
+transitive-closure clique, min-key star), each factored into a pure
+:class:`~repro.overlays.base.OverlayLogic` hostable stand-alone
+(:class:`~repro.overlays.base.OverlayProcess`) or inside the Section 4
+departure framework (:class:`~repro.core.framework.FrameworkProcess`);
+plus the order-based sorted-list departure baseline of Foreback et al.
+"""
+
+from repro.overlays.base import OverlayLogic, OverlayProcess
+from repro.overlays.baseline_foreback import BaselineListProcess
+from repro.overlays.builders import build_baseline_engine, build_overlay_engine
+from repro.overlays.clique import CliqueLogic
+from repro.overlays.linearization import LinearizationLogic
+from repro.overlays.ring import RingLogic
+from repro.overlays.robust_ring import RobustRingLogic
+from repro.overlays.star import StarLogic
+
+#: Registry for experiment sweeps (name -> logic class).
+LOGICS = {
+    "linearization": LinearizationLogic,
+    "ring": RingLogic,
+    "robust_ring": RobustRingLogic,
+    "clique": CliqueLogic,
+    "star": StarLogic,
+}
+
+__all__ = [
+    "BaselineListProcess",
+    "CliqueLogic",
+    "LOGICS",
+    "LinearizationLogic",
+    "OverlayLogic",
+    "OverlayProcess",
+    "RingLogic",
+    "RobustRingLogic",
+    "StarLogic",
+    "build_baseline_engine",
+    "build_overlay_engine",
+]

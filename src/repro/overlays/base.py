@@ -1,0 +1,178 @@
+"""The overlay-protocol interface: the class 𝒫 of Section 2/4.
+
+𝒫 is the class of distributed protocols whose inter-process interactions
+decompose into the four primitives — hence (Lemma 1) they can never
+disconnect the overlay themselves. Section 4 additionally requires, for a
+protocol P to be combinable with the departure protocol:
+
+1. **periodic self-introduction** — P's timeout introduces the executing
+   process to every neighbour;
+2. a **postprocess** action able to reintegrate references extracted from
+   messages that could not (or should not) be delivered.
+
+:class:`OverlayProcess` is the base class for stand-alone members of 𝒫
+(populations that are all staying — e.g. for studying P's own
+self-stabilization). The Section 4 embedding is provided separately by
+:class:`repro.core.framework.FrameworkProcess`, which *hosts* an
+:class:`OverlayLogic` — the protocol's pure logic factored out of the
+process shell so that exactly the same code runs stand-alone and embedded.
+
+Design contract for :class:`OverlayLogic` implementations:
+
+* all state mutation goes through ``integrate`` / ``drop_neighbor`` /
+  ``neighbor_refs`` so the host can audit explicit edges;
+* every message send uses the host-supplied ``send`` callable (the
+  stand-alone host sends directly; the framework host verifies modes
+  first per Section 4);
+* messages may only realize the four primitives — the test-suite runs
+  every overlay under connectivity monitors to enforce this dynamically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from repro.sim.messages import RefInfo
+from repro.sim.process import ActionContext, Process
+from repro.sim.refs import KeyProvider, Ref
+from repro.sim.states import Mode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["OverlayLogic", "OverlayProcess", "SendFn"]
+
+#: host-supplied send: (target, label, refs...) — refs are bare Refs, the
+#: host wraps them in RefInfo with its current beliefs.
+SendFn = Callable[..., None]
+
+
+class OverlayLogic:
+    """Pure per-process logic of an overlay maintenance protocol P ∈ 𝒫.
+
+    Subclasses keep their own reference variables and implement the hooks
+    below. The *host* (stand-alone process or the Section 4 framework
+    wrapper) owns communication and lifecycle.
+    """
+
+    #: whether this protocol needs a total order on processes (e.g.
+    #: linearization); the paper's departure protocol itself never does.
+    requires_order: bool = False
+
+    #: message labels this logic handles, mapped to method names.
+    message_labels: tuple[str, ...] = ()
+
+    def __init__(self, self_ref: Ref) -> None:
+        self.self_ref = self_ref
+
+    # -- state surface ----------------------------------------------------------
+
+    def neighbor_refs(self) -> Iterator[Ref]:
+        """Every reference currently stored by this protocol instance."""
+        raise NotImplementedError
+
+    def integrate(self, send: SendFn, ref: Ref) -> None:
+        """Store/route a (staying) reference handed to the protocol.
+
+        Replaces the departure protocol's plain ``N := N ∪ {v}`` when P
+        is embedded: P decides where the reference belongs (Section 4's
+        modified ``present``/``forward`` for staying-from-staying).
+        """
+        raise NotImplementedError
+
+    def drop_neighbor(self, ref: Ref) -> bool:
+        """Remove *ref* from all protocol variables; True if it was stored."""
+        raise NotImplementedError
+
+    # -- behaviour -----------------------------------------------------------------
+
+    def p_timeout(self, send: SendFn, keys: KeyProvider | None) -> None:
+        """P's periodic maintenance. Must self-introduce to all neighbours."""
+        raise NotImplementedError
+
+    def handle(
+        self, send: SendFn, keys: KeyProvider | None, label: str, *args
+    ) -> None:
+        """Dispatch one P message (label ∈ :attr:`message_labels`)."""
+        raise NotImplementedError
+
+    def postprocess_extra(self, ctx, payload: tuple) -> None:
+        """Reintegrate the non-reference part of a withheld P message.
+
+        Called by the Section 4 framework when a message is postprocessed
+        instead of sent; *payload* is the tuple of non-reference
+        parameters. The default drops it — overlays whose messages carry
+        meaningful data (sequence counters, application payloads) override
+        this to requeue or merge the information, mirroring the paper's
+        "this additional information in parameters is not lost by
+        preprocess and postprocess".
+        """
+
+    # -- verification hooks -----------------------------------------------------------
+
+    def describe_vars(self) -> dict:
+        """Human-readable variable dump."""
+        return {"neighbors": [repr(r) for r in self.neighbor_refs()]}
+
+    @classmethod
+    def target_reached(cls, engine: "Engine") -> bool:
+        """Whether the engine's staying population forms P's target topology.
+
+        Class-level because the target is a *global* predicate; used by
+        tests and by experiment E8's convergence detection.
+        """
+        raise NotImplementedError
+
+
+class OverlayProcess(Process):
+    """Stand-alone host: runs an :class:`OverlayLogic` with direct sends.
+
+    Used for studying P by itself (topological self-stabilization without
+    departures). All processes are expected to be staying; mode beliefs
+    on the wire are the host's actual modes.
+    """
+
+    def __init__(self, pid: int, mode: Mode, logic_factory) -> None:
+        super().__init__(pid, mode)
+        self.logic: OverlayLogic = logic_factory(self.self_ref)
+        self.requires_order = self.logic.requires_order
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _send_fn(self, ctx: ActionContext) -> SendFn:
+        def send(target: Ref, label: str, *refs: Ref) -> None:
+            ctx.send(
+                target, label, *(RefInfo(r, self._belief_for(r)) for r in refs)
+            )
+
+        return send
+
+    def _belief_for(self, ref: Ref) -> Mode:
+        # Stand-alone overlay populations are all staying; believing
+        # staying about everyone is then always valid.
+        if ref == self.self_ref:
+            return self.mode
+        return Mode.STAYING
+
+    def stored_refs(self) -> Iterable[RefInfo]:
+        for ref in self.logic.neighbor_refs():
+            yield RefInfo(ref, Mode.STAYING)
+
+    def describe_vars(self) -> dict:
+        return self.logic.describe_vars()
+
+    # -- actions -----------------------------------------------------------------
+
+    def timeout(self, ctx: ActionContext) -> None:
+        keys = ctx.keys if self.requires_order else None
+        self.logic.p_timeout(self._send_fn(ctx), keys)
+
+    def handler(self, label: str):
+        if label in self.logic.message_labels:
+            def _dispatch(ctx: ActionContext, *args) -> None:
+                keys = ctx.keys if self.requires_order else None
+                refs = tuple(a.ref if isinstance(a, RefInfo) else a for a in args)
+                self.logic.handle(self._send_fn(ctx), keys, label, *refs)
+
+            return _dispatch
+        return super().handler(label)

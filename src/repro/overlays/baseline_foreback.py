@@ -1,0 +1,158 @@
+"""The order-based sorted-list departure baseline (after Foreback et al. [15]).
+
+The prior work the paper positions itself against: a self-stabilizing
+departure protocol that (a) requires a **fixed total order** on the
+processes and (b) is designed for one **specific topology**, the sorted
+list. [15]'s full pseudocode is not reproduced in the paper, so this is a
+faithful-in-spirit reconstruction that keeps exactly the two properties
+the comparison (experiment E10) is about. Rules:
+
+* Every process — staying *and* leaving — participates in linearization
+  over the full population: keep the closest candidate per side, delegate
+  the rest toward its side (♥), and (if staying) self-introduce to the
+  closest neighbours (♦).
+* A staying process immediately sheds references to leaving processes,
+  reversing the edge back to them (♣) so the leaving process can bridge
+  around itself.
+* A **leaving** process, once locally linearized (which delegation makes
+  true after every timeout), *bridges*: it introduces its closest left
+  and right candidates to each other (♦ — its own references are kept, so
+  no connectivity risk), announces its true mode to them, and exits when
+  the NIDEC-style :class:`~repro.core.oracles.NoIncomingOracle` confirms
+  that no relevant process still holds or carries its reference. The
+  bridge is (re-)sent in the same atomic timeout as the exit, so at the
+  moment of departure the endpoints are already connected by the
+  in-flight bridge references.
+* **Order-based tie-breaking** (the step that makes the baseline
+  *require* the total order): two adjacent leaving processes would
+  otherwise reference each other forever, blocking both exits. A leaving
+  process therefore sheds leaving-believed candidates with *smaller*
+  keys (reversing the edge), while keeping larger-keyed ones; leaving
+  chains then resolve deterministically from the largest key down.
+
+The contrast measured by E10: the baseline must linearize the whole
+population (leaving nodes included) before departures complete, reshapes
+any input topology into the sorted list, and needs both the order and a
+different oracle — whereas the paper's protocol is order-free and
+topology-agnostic and composes with arbitrary P ∈ 𝒫 via Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.messages import RefInfo
+from repro.sim.process import ActionContext, Process
+from repro.sim.refs import Ref
+from repro.sim.states import Mode
+
+__all__ = ["BaselineListProcess"]
+
+
+class BaselineListProcess(Process):
+    """One process of the reconstructed [15]-style list departure protocol."""
+
+    requires_order = True
+
+    def __init__(
+        self,
+        pid: int,
+        mode: Mode,
+        *,
+        neighbors: dict[Ref, Mode] | None = None,
+    ) -> None:
+        super().__init__(pid, mode)
+        #: candidate references with mode beliefs (sides derived by key).
+        self.candidates: dict[Ref, Mode] = {}
+        if neighbors:
+            for ref, belief in neighbors.items():
+                if ref != self.self_ref:
+                    self.candidates[ref] = belief
+
+    # ------------------------------------------------------------------ state
+
+    def stored_refs(self) -> Iterator[RefInfo]:
+        for ref, belief in self.candidates.items():
+            yield RefInfo(ref, belief)
+
+    def describe_vars(self) -> dict:
+        return {
+            "candidates": {repr(r): b.value for r, b in self.candidates.items()}
+        }
+
+    def _shed(self, ctx: ActionContext, ref: Ref) -> None:
+        """Drop *ref* and hand it our reference instead (reversal ♣)."""
+        self.candidates.pop(ref, None)
+        ctx.send(ref, "b_insert", RefInfo(self.self_ref, self.mode))
+
+    def _must_shed(self, keys, ref: Ref, belief: Mode) -> bool:
+        """Shedding rule: staying sheds every leaving candidate; leaving
+        sheds only smaller-keyed leaving candidates (tie-breaking)."""
+        if belief is not Mode.LEAVING:
+            return False
+        if self.mode is Mode.STAYING:
+            return True
+        return keys.key(ref) < keys.key(self.self_ref)
+
+    # ------------------------------------------------------------------ actions
+
+    def timeout(self, ctx: ActionContext) -> None:
+        keys = ctx.keys
+        for ref, belief in list(self.candidates.items()):
+            if self._must_shed(keys, ref, belief):
+                self._shed(ctx, ref)
+        if self.mode is Mode.STAYING:
+            mine = keys.key(self.self_ref)
+            left = keys.sorted(r for r in self.candidates if keys.key(r) < mine)
+            right = keys.sorted(r for r in self.candidates if keys.key(r) > mine)
+            # Linearize: delegate non-closest candidates toward their side. ♥
+            for nearer, farther in zip(left[1:], left[:-1]):
+                ctx.send(
+                    nearer, "b_insert", RefInfo(farther, self.candidates[farther])
+                )
+                del self.candidates[farther]
+            for nearer, farther in zip(right[:-1], right[1:]):
+                ctx.send(
+                    nearer, "b_insert", RefInfo(farther, self.candidates[farther])
+                )
+                del self.candidates[farther]
+            closest_left = left[-1] if left else None
+            closest_right = right[0] if right else None
+            for ref in (closest_left, closest_right):
+                if ref is not None:  # self-introduction                  ♦
+                    ctx.send(ref, "b_insert", RefInfo(self.self_ref, self.mode))
+            return
+        # Leaving: stop participating in list maintenance — hold the
+        # candidates (they are the connectivity we must hand over). Check
+        # the oracle *first*: its verdict refers to the action's start
+        # state, before this round's announcements put our reference back
+        # in flight.
+        safe = ctx.oracle()  # NoIncomingOracle (incl. empty own channel)
+        ordered = keys.sorted(self.candidates)
+        if safe:
+            # Chain-bridge all candidates in key order, both directions
+            # (introduction: our own copies are kept until exit), so that
+            # removing us and our out-edges cannot disconnect them.      ♦
+            for a, b in zip(ordered, ordered[1:]):
+                ctx.send(a, "b_insert", RefInfo(b, self.candidates[b]))
+                ctx.send(b, "b_insert", RefInfo(a, self.candidates[a]))
+            ctx.exit()
+            return
+        # Not safe yet: announce our true mode to *every* candidate so
+        # each holder of our reference learns to shed it (announcing only
+        # to the closest pair can deadlock: a farther staying holder would
+        # never learn our mode).                                          ♦
+        for ref in ordered:
+            ctx.send(ref, "b_insert", RefInfo(self.self_ref, self.mode))
+
+    def on_b_insert(self, ctx: ActionContext, info: RefInfo) -> None:
+        """Integrate a delegated/introduced reference (♠ via dict)."""
+        v = info.ref
+        if v == self.self_ref:
+            return
+        belief = info.mode if info.mode is not None else Mode.STAYING
+        if self._must_shed(ctx.keys, v, belief):
+            self.candidates.pop(v, None)
+            ctx.send(v, "b_insert", RefInfo(self.self_ref, self.mode))  # ♣
+            return
+        self.candidates[v] = belief

@@ -1,0 +1,115 @@
+"""Builders for stand-alone overlay populations and the [15]-style baseline."""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.overlays.base import OverlayLogic, OverlayProcess
+from repro.sim.engine import Engine
+from repro.sim.scheduler import RandomScheduler, Scheduler
+from repro.sim.states import Capability, Mode
+
+__all__ = ["build_overlay_engine", "build_baseline_engine"]
+
+
+def build_overlay_engine(
+    n: int,
+    edges: Sequence[tuple[int, int]],
+    logic_cls: type[OverlayLogic],
+    *,
+    scheduler: Scheduler | None = None,
+    seed: int = 0,
+    monitors: Sequence[Callable] = (),
+    strict: bool = True,
+) -> Engine:
+    """An all-staying population of *logic_cls* processes wired as *edges*.
+
+    The initial neighbourhoods are the out-edges of the edge list, fed to
+    the logic through its ``integrate`` hook (so side-classification — for
+    keyed overlays — happens exactly as it would at runtime).
+    """
+
+    if n < 1:
+        raise ConfigurationError("need at least one process")
+    procs = {
+        pid: OverlayProcess(pid, Mode.STAYING, logic_cls) for pid in range(n)
+    }
+    engine = Engine(
+        procs.values(),
+        scheduler if scheduler is not None else RandomScheduler(seed),
+        capability=Capability.NONE,
+        seed=seed,
+        strict=strict,
+        monitors=monitors,
+    )
+
+    def _noop_send(*args, **kwargs) -> None:  # integration at t=0 sends nothing
+        raise ConfigurationError("initial integration must not send messages")
+
+    for a, b in edges:
+        if not (0 <= a < n and 0 <= b < n):
+            raise ConfigurationError(f"edge ({a}, {b}) outside 0..{n - 1}")
+        if a == b:
+            continue
+        logic = procs[a].logic
+        if hasattr(logic, "integrate_with_keys"):
+            from repro.sim.refs import KeyProvider
+
+            logic.integrate_with_keys(KeyProvider(), procs[b].self_ref)
+        else:
+            logic.integrate(_noop_send, procs[b].self_ref)
+    return engine
+
+
+def build_baseline_engine(
+    n: int,
+    edges: Sequence[tuple[int, int]],
+    leaving: Iterable[int],
+    *,
+    scheduler: Scheduler | None = None,
+    seed: int = 0,
+    belief_lie_prob: float = 0.0,
+    monitors: Sequence[Callable] = (),
+    strict: bool = True,
+) -> Engine:
+    """A population of the Foreback-style sorted-list departure baseline.
+
+    Uses the NIDEC-style :class:`~repro.core.oracles.NoIncomingOracle`
+    (the baseline's oracle, not SINGLE) and ``exit`` capability. Belief
+    corruption flips initial mode beliefs with the given probability.
+    """
+
+    from repro.core.oracles import NoIncomingOracle
+    from repro.overlays.baseline_foreback import BaselineListProcess
+    from repro.sim.faults import random_mode_claim
+
+    if n < 1:
+        raise ConfigurationError("need at least one process")
+    leaving_set = frozenset(leaving)
+    rng = Random(seed ^ 0x0BA5E11E)
+
+    def actual(pid: int) -> Mode:
+        return Mode.LEAVING if pid in leaving_set else Mode.STAYING
+
+    procs = {
+        pid: BaselineListProcess(pid, actual(pid)) for pid in range(n)
+    }
+    for a, b in edges:
+        if not (0 <= a < n and 0 <= b < n):
+            raise ConfigurationError(f"edge ({a}, {b}) outside 0..{n - 1}")
+        if a == b:
+            continue
+        procs[a].candidates[procs[b].self_ref] = random_mode_claim(
+            rng, actual(b), belief_lie_prob
+        )
+    return Engine(
+        procs.values(),
+        scheduler if scheduler is not None else RandomScheduler(seed),
+        capability=Capability.EXIT,
+        oracle=NoIncomingOracle(),
+        seed=seed,
+        strict=strict,
+        monitors=monitors,
+    )

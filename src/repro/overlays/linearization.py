@@ -1,0 +1,136 @@
+"""Self-stabilizing linearization: the sorted-list overlay.
+
+The classic topological-self-stabilization benchmark (Gall et al. [16];
+also the topology the departure protocol of Foreback et al. [15] is tied
+to). Every process has an immutable key from a total order (this protocol
+declares ``requires_order``, unlike the departure protocol). The target
+topology is the doubly linked list sorted by key: each process stores
+exactly its closest left and closest right neighbour.
+
+Per-process rule (all interactions decompose into the primitives):
+
+* **timeout** — order the stored left candidates ``l₁ < l₂ < … < l_k``
+  (all smaller than the own key). Keep the closest, ``l_k``; *delegate*
+  every other ``l_i`` to ``l_{i+1}`` (♥ — the reference travels toward
+  its eventual position, the "linearize" move). Mirror for right
+  candidates. Finally *self-introduce* (♦) to the closest neighbour on
+  each side so links become bidirectional.
+* **p_insert(v)** — integrate a received reference on the correct side
+  (♠ fuses duplicates via set semantics).
+
+Starting from any weakly connected graph, the population converges to the
+sorted list: delegations strictly shrink the total key-distance spanned
+by non-list edges while self-introduction makes surviving links mutual.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.overlays.base import OverlayLogic, SendFn
+from repro.sim.refs import KeyProvider, Ref
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["LinearizationLogic"]
+
+
+class LinearizationLogic(OverlayLogic):
+    """Pure logic of the linearization protocol (hostable stand-alone or
+    inside the Section 4 departure framework)."""
+
+    requires_order = True
+    message_labels = ("p_insert",)
+
+    def __init__(self, self_ref: Ref) -> None:
+        super().__init__(self_ref)
+        #: candidates smaller / larger than our own key (beliefs live in
+        #: the host; the logic stores bare references).
+        self.left: set[Ref] = set()
+        self.right: set[Ref] = set()
+
+    # ------------------------------------------------------------------ state
+
+    def neighbor_refs(self) -> Iterator[Ref]:
+        yield from self.left
+        yield from self.right
+
+    def integrate(self, send: SendFn, ref: Ref) -> None:
+        # side depends on keys; the host calls us only with an order.
+        raise NotImplementedError("use integrate_with_keys")
+
+    def integrate_with_keys(self, keys: KeyProvider, ref: Ref) -> None:
+        """Store *ref* on the side its key dictates (♠ via set semantics)."""
+        if ref == self.self_ref:
+            return
+        if keys.key(ref) < keys.key(self.self_ref):
+            self.left.add(ref)
+            self.right.discard(ref)
+        else:
+            self.right.add(ref)
+            self.left.discard(ref)
+
+    def drop_neighbor(self, ref: Ref) -> bool:
+        found = ref in self.left or ref in self.right
+        self.left.discard(ref)
+        self.right.discard(ref)
+        return found
+
+    # ------------------------------------------------------------------ behaviour
+
+    def p_timeout(self, send: SendFn, keys: KeyProvider | None) -> None:
+        assert keys is not None, "linearization requires ordered keys"
+        if self.left:
+            ordered = keys.sorted(self.left)  # l1 < l2 < … < lk (closest last)
+            for nearer, farther in zip(ordered[1:], ordered[:-1]):
+                # Delegate l_i toward its position via l_{i+1}.          ♥
+                send(nearer, "p_insert", farther)
+                self.left.discard(farther)
+            closest_left = ordered[-1]
+            send(closest_left, "p_insert", self.self_ref)  #             ♦
+        if self.right:
+            ordered = keys.sorted(self.right)  # r1 < r2 < … (closest first)
+            for nearer, farther in zip(ordered[:-1], ordered[1:]):
+                send(nearer, "p_insert", farther)  #                     ♥
+                self.right.discard(farther)
+            closest_right = ordered[0]
+            send(closest_right, "p_insert", self.self_ref)  #            ♦
+
+    def handle(
+        self, send: SendFn, keys: KeyProvider | None, label: str, *args
+    ) -> None:
+        assert keys is not None
+        if label == "p_insert":
+            (ref,) = args
+            self.integrate_with_keys(keys, ref)
+
+    def describe_vars(self) -> dict:
+        return {
+            "left": [repr(r) for r in self.left],
+            "right": [repr(r) for r in self.right],
+        }
+
+    # ------------------------------------------------------------------ target
+
+    @classmethod
+    def target_reached(cls, engine: "Engine") -> bool:
+        """Explicit staying↔staying edges form exactly the sorted doubly
+        linked list over the staying population, and no stray references
+        to staying processes remain in flight."""
+        from repro.graphs.metrics import is_sorted_line
+        from repro.graphs.snapshot import EdgeKind
+        from repro.sim.states import Mode, PState
+
+        staying = {
+            pid
+            for pid, p in engine.processes.items()
+            if p.mode is Mode.STAYING and p.state is not PState.GONE
+        }
+        snap = engine.snapshot()
+        explicit = set()
+        for e in snap.edges:
+            if e.kind is EdgeKind.EXPLICIT and e.src in staying and e.dst in staying:
+                explicit.add((e.src, e.dst))
+        keys = {pid: float(pid) for pid in staying}
+        return is_sorted_line(frozenset(explicit), keys)

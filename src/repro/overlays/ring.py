@@ -1,0 +1,163 @@
+"""Self-stabilizing sorted ring (a Re-Chord-style base cycle).
+
+Target topology: the successor cycle of the key order — every staying
+process points at its cyclic successor (the next larger key, wrapping
+from the maximum to the minimum) and at its cyclic predecessor, i.e. the
+bidirected ring.
+
+Cyclic comparisons are done without modular arithmetic on keys: among
+candidates, the cyclic successor of u is the smallest key larger than
+u's, or — if none exists — the globally smallest candidate (the wrap).
+Symmetrically for the predecessor. Each timeout the process keeps its
+best successor/predecessor candidates, *delegates* (♥) every other
+candidate to the successor (references travel around the ring until some
+process adopts them), and *self-introduces* (♦) to the successor (which
+integrates us as its predecessor, making the cycle bidirected).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.overlays.base import OverlayLogic, SendFn
+from repro.sim.refs import KeyProvider, Ref
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["RingLogic"]
+
+
+class RingLogic(OverlayLogic):
+    """Pure logic of the sorted-ring protocol."""
+
+    requires_order = True
+    message_labels = ("p_insert",)
+
+    def __init__(self, self_ref: Ref) -> None:
+        super().__init__(self_ref)
+        self.succ: Ref | None = None
+        self.pred: Ref | None = None
+        #: not-yet-placed candidates awaiting the next timeout.
+        self.pool: set[Ref] = set()
+
+    # ------------------------------------------------------------------ helpers
+
+    def _succ_rank(self, keys: KeyProvider, ref: Ref):
+        """Sort key for 'how good a cyclic successor is' (smaller = better)."""
+        mine, theirs = keys.key(self.self_ref), keys.key(ref)
+        return (0, theirs) if theirs > mine else (1, theirs)
+
+    def _pred_rank(self, keys: KeyProvider, ref: Ref):
+        """Sort key for 'how good a cyclic predecessor is' (smaller = better)."""
+        mine, theirs = keys.key(self.self_ref), keys.key(ref)
+        return (0, -theirs) if theirs < mine else (1, -theirs)
+
+    # ------------------------------------------------------------------ state
+
+    def neighbor_refs(self) -> Iterator[Ref]:
+        if self.succ is not None:
+            yield self.succ
+        if self.pred is not None:
+            yield self.pred
+        yield from self.pool
+
+    def integrate(self, send: SendFn, ref: Ref) -> None:
+        if ref != self.self_ref:
+            self.pool.add(ref)
+
+    def drop_neighbor(self, ref: Ref) -> bool:
+        found = False
+        if self.succ == ref:
+            self.succ, found = None, True
+        if self.pred == ref:
+            self.pred, found = None, True
+        if ref in self.pool:
+            self.pool.discard(ref)
+            found = True
+        return found
+
+    # ------------------------------------------------------------------ behaviour
+
+    def p_timeout(self, send: SendFn, keys: KeyProvider | None) -> None:
+        assert keys is not None, "the ring requires ordered keys"
+        candidates = set(self.pool)
+        if self.succ is not None:
+            candidates.add(self.succ)
+        if self.pred is not None:
+            candidates.add(self.pred)
+        candidates.discard(self.self_ref)
+        self.pool.clear()
+        if not candidates:
+            return
+        best_succ = min(candidates, key=lambda r: self._succ_rank(keys, r))
+        best_pred = min(candidates, key=lambda r: self._pred_rank(keys, r))
+        self.succ = best_succ
+        self.pred = best_pred
+        for ref in candidates - {best_succ, best_pred}:
+            # Send spare candidates travelling around the cycle.         ♥
+            send(best_succ, "p_insert", ref)
+        # Self-introduce to *every* kept neighbour (Section 4 requires
+        # periodic self-introduction to the whole neighbourhood — a
+        # silently-kept predecessor would never learn our mode).         ♦
+        send(best_succ, "p_insert", self.self_ref)
+        if best_pred != best_succ:
+            send(best_pred, "p_insert", self.self_ref)
+        # Ring gossip: introduce the predecessor to the successor. The
+        # reference travels succ-wise around the cycle until it reaches a
+        # node for which it is pointer-optimal and is absorbed — this is
+        # what closes the wrap edge (the maximum-key node can only learn
+        # the minimum through a reference that circulated past it).      ♦
+        if best_pred != best_succ:
+            send(best_succ, "p_insert", best_pred)
+
+    def handle(
+        self, send: SendFn, keys: KeyProvider | None, label: str, *args
+    ) -> None:
+        if label == "p_insert":
+            (ref,) = args
+            self.integrate(send, ref)
+
+    def describe_vars(self) -> dict:
+        return {
+            "succ": repr(self.succ) if self.succ else None,
+            "pred": repr(self.pred) if self.pred else None,
+            "pool": [repr(r) for r in self.pool],
+        }
+
+    # ------------------------------------------------------------------ target
+
+    @classmethod
+    def target_reached(cls, engine: "Engine") -> bool:
+        """Every staying process's succ/pred pointers are cyclically
+        correct over the staying key order.
+
+        The pointer pair defines the ring; transient pool contents and
+        in-flight gossip are part of the legitimate *family* of states
+        (the paper: "a legitimate state may then include … a family of
+        graph topologies") — the gossip that keeps the ring self-checking
+        never quiesces, so an exact-edge-set criterion would be unsound.
+        """
+        from repro.sim.refs import pid_of
+        from repro.sim.states import Mode, PState
+
+        staying = sorted(
+            pid
+            for pid, p in engine.processes.items()
+            if p.mode is Mode.STAYING and p.state is not PState.GONE
+        )
+        if len(staying) <= 1:
+            return True
+        succ_of = {
+            a: b for a, b in zip(staying, staying[1:] + staying[:1])
+        }
+        for pid in staying:
+            logic = getattr(engine.processes[pid], "logic", None)
+            if logic is None or not isinstance(logic, cls):
+                return False
+            if logic.succ is None or pid_of(logic.succ) != succ_of[pid]:
+                return False
+            want_pred = next(a for a, b in succ_of.items() if b == pid)
+            if logic.pred is None or pid_of(logic.pred) != want_pred:
+                return False
+        return True

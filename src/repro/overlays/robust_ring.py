@@ -1,0 +1,127 @@
+"""Robust sorted ring: the base cycle plus a successor-of-successor shortcut.
+
+Chord-style systems keep, besides the immediate successor, a *successor
+list* so the ring survives node failures between stabilization rounds.
+This overlay extends :class:`~repro.overlays.ring.RingLogic` with the
+first entry of such a list: every process also maintains ``succ2``, a
+reference to its successor's successor, refreshed by gossip — each
+timeout a process *introduces its successor to its predecessor* via a
+dedicated ``p_succ2`` message ("your second successor is my successor").
+
+All moves remain decomposed into the primitives: the gossip is an
+introduction (♦, the sender keeps its copy), and a replaced ``succ2`` is
+*delegated* to the successor (♥) rather than dropped, so no edge ever
+vanishes. The legitimate family: correct succ/pred pointers (the ring)
+plus ``succ2`` equal to the second cyclic successor; the pool and
+in-flight gossip are transient.
+
+Inside the Section 4 framework this overlay exercises a *multi-label* P:
+both ``p_insert`` and ``p_succ2`` sends are intercepted, verified and
+postprocessed independently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.overlays.ring import RingLogic
+from repro.sim.refs import KeyProvider, Ref
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["RobustRingLogic"]
+
+
+class RobustRingLogic(RingLogic):
+    """Sorted ring + succ² shortcut (first entry of a successor list)."""
+
+    message_labels = ("p_insert", "p_succ2")
+
+    def __init__(self, self_ref: Ref) -> None:
+        super().__init__(self_ref)
+        self.succ2: Ref | None = None
+
+    # ------------------------------------------------------------------ state
+
+    def neighbor_refs(self) -> Iterator[Ref]:
+        yield from super().neighbor_refs()
+        if self.succ2 is not None:
+            yield self.succ2
+
+    def drop_neighbor(self, ref: Ref) -> bool:
+        found = super().drop_neighbor(ref)
+        if self.succ2 == ref:
+            self.succ2 = None
+            found = True
+        return found
+
+    def describe_vars(self) -> dict:
+        out = super().describe_vars()
+        out["succ2"] = repr(self.succ2) if self.succ2 else None
+        return out
+
+    # ------------------------------------------------------------------ behaviour
+
+    def p_timeout(self, send, keys: KeyProvider | None) -> None:
+        super().p_timeout(send, keys)
+        if self.succ is not None and self.pred is not None:
+            if self.pred != self.succ:
+                # Gossip: introduce our successor to our predecessor as
+                # its second successor.                                   ♦
+                send(self.pred, "p_succ2", self.succ)
+        if (
+            self.succ2 is not None
+            and self.succ is not None
+            and self.succ2 != self.succ
+        ):
+            # Keep the shortcut's holder introduced to it periodically
+            # (Section 4: self-introduce to the whole neighbourhood).    ♦
+            send(self.succ2, "p_insert", self.self_ref)
+
+    def handle(self, send, keys: KeyProvider | None, label: str, *args) -> None:
+        if label == "p_succ2":
+            (ref,) = args
+            self._set_succ2(send, ref)
+            return
+        super().handle(send, keys, label, *args)
+
+    def _set_succ2(self, send, ref: Ref) -> None:
+        if ref == self.self_ref:
+            return  # n = 2: our second successor is ourselves — no edge
+        old = self.succ2
+        self.succ2 = ref  # fusion if identical                           ♠
+        if old is not None and old != ref:
+            if self.succ is not None and old != self.succ:
+                # Delegate the replaced shortcut away, never drop it.    ♥
+                send(self.succ, "p_insert", old)
+            else:
+                self.pool.add(old)
+
+    # ------------------------------------------------------------------ target
+
+    @classmethod
+    def target_reached(cls, engine: "Engine") -> bool:
+        """Ring pointers correct AND every succ2 is the second cyclic
+        successor (n ≥ 3; smaller rings have no meaningful shortcut)."""
+        from repro.sim.refs import pid_of
+        from repro.sim.states import Mode, PState
+
+        if not super().target_reached(engine):
+            return False
+        staying = sorted(
+            pid
+            for pid, p in engine.processes.items()
+            if p.mode is Mode.STAYING and p.state is not PState.GONE
+        )
+        if len(staying) < 3:
+            return True
+        order = staying
+        second = {
+            a: order[(i + 2) % len(order)] for i, a in enumerate(order)
+        }
+        for pid in staying:
+            logic = engine.processes[pid].logic
+            if logic.succ2 is None or pid_of(logic.succ2) != second[pid]:
+                return False
+        return True

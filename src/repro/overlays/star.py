@@ -1,0 +1,103 @@
+"""Self-stabilizing star: everyone attaches to the minimum-key process.
+
+Target topology: the bidirected star centred on the process with the
+globally smallest key — the centre stores everyone, everyone else stores
+only the centre. A miniature "leader election by topology" overlay.
+
+Rule per timeout: let c be the smallest key among stored candidates and
+ourselves. If we are c, keep all candidates and *self-introduce* (♦) to
+each (they learn the centre). Otherwise *delegate* (♥) every candidate
+except c to c and self-introduce to c (the centre collects the whole
+population). Candidates only flow toward smaller keys, so the global
+minimum eventually absorbs every reference and broadcasts itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.overlays.base import OverlayLogic, SendFn
+from repro.sim.refs import KeyProvider, Ref
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["StarLogic"]
+
+
+class StarLogic(OverlayLogic):
+    """Pure logic of the min-key star protocol."""
+
+    requires_order = True
+    message_labels = ("p_insert",)
+
+    def __init__(self, self_ref: Ref) -> None:
+        super().__init__(self_ref)
+        self.known: set[Ref] = set()
+
+    # ------------------------------------------------------------------ state
+
+    def neighbor_refs(self) -> Iterator[Ref]:
+        yield from self.known
+
+    def integrate(self, send: SendFn, ref: Ref) -> None:
+        if ref != self.self_ref:
+            self.known.add(ref)  #                                        ♠
+
+    def drop_neighbor(self, ref: Ref) -> bool:
+        if ref in self.known:
+            self.known.discard(ref)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ behaviour
+
+    def p_timeout(self, send: SendFn, keys: KeyProvider | None) -> None:
+        assert keys is not None, "the star requires ordered keys"
+        if not self.known:
+            return
+        best = keys.min(self.known)
+        if keys.key(self.self_ref) < keys.key(best):
+            # We are the best centre we know of: keep everyone, let them
+            # know us.                                                    ♦
+            for v in self.known:
+                send(v, "p_insert", self.self_ref)
+        else:
+            for v in list(self.known):
+                if v != best:
+                    send(best, "p_insert", v)  # delegate toward centre   ♥
+                    self.known.discard(v)
+            send(best, "p_insert", self.self_ref)  #                      ♦
+
+    def handle(
+        self, send: SendFn, keys: KeyProvider | None, label: str, *args
+    ) -> None:
+        if label == "p_insert":
+            (ref,) = args
+            self.integrate(send, ref)
+
+    # ------------------------------------------------------------------ target
+
+    @classmethod
+    def target_reached(cls, engine: "Engine") -> bool:
+        """Explicit staying↔staying edges form exactly the bidirected star
+        around the minimum-key staying process."""
+        from repro.graphs.metrics import is_star
+        from repro.graphs.snapshot import EdgeKind
+        from repro.sim.states import Mode, PState
+
+        staying = {
+            pid
+            for pid, p in engine.processes.items()
+            if p.mode is Mode.STAYING and p.state is not PState.GONE
+        }
+        if not staying:
+            return True
+        snap = engine.snapshot()
+        explicit = set()
+        for e in snap.edges:
+            if e.kind is EdgeKind.EXPLICIT and e.src in staying and e.dst in staying:
+                explicit.add((e.src, e.dst))
+        if len(staying) == 1:
+            return not explicit
+        return is_star(frozenset(explicit), staying, min(staying))

@@ -1,0 +1,82 @@
+"""Unbounded, unordered message channels (``u.Ch`` in the paper).
+
+The model gives each process a system variable ``u.Ch`` holding a *set* of
+incoming messages: capacity is unbounded, messages never get lost, and
+delivery is non-FIFO (the scheduler may pick any pending message, subject
+to fair receipt). We store messages in an insertion-ordered dict keyed by
+their engine-assigned sequence number, which supports
+
+* O(1) add / remove,
+* deterministic iteration (oldest first) for the fairness-by-age scheduler,
+* arbitrary selection for the randomized and adversarial schedulers.
+
+A channel is a *multiset*: two distinct sends of equal content coexist
+(they differ in ``seq``), matching the paper's process multi-graph where
+parallel implicit edges are possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.messages import Message
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """The incoming-message buffer of one process."""
+
+    __slots__ = ("_messages",)
+
+    def __init__(self) -> None:
+        self._messages: dict[int, Message] = {}
+
+    def add(self, message: Message) -> None:
+        """Deposit *message* into the channel.
+
+        The engine assigns ``seq`` before calling this; duplicates by
+        sequence number indicate an engine bug and raise ``ValueError``.
+        """
+
+        if message.seq in self._messages:
+            raise ValueError(f"duplicate message seq {message.seq}")
+        self._messages[message.seq] = message
+
+    def remove(self, seq: int) -> Message:
+        """Remove and return the message with sequence number *seq*."""
+        return self._messages.pop(seq)
+
+    def peek(self, seq: int) -> Message:
+        """Return the message with sequence number *seq* without removing it."""
+        return self._messages[seq]
+
+    def __contains__(self, seq: int) -> bool:
+        return seq in self._messages
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __bool__(self) -> bool:
+        return bool(self._messages)
+
+    def __iter__(self) -> Iterator[Message]:
+        """Iterate messages oldest-first (insertion order == seq order)."""
+        return iter(self._messages.values())
+
+    def seqs(self) -> Iterator[int]:
+        """Iterate pending sequence numbers oldest-first."""
+        return iter(self._messages)
+
+    def oldest_seq(self) -> int | None:
+        """Return the smallest pending sequence number, or ``None`` if empty."""
+        return next(iter(self._messages), None)
+
+    def clear(self) -> list[Message]:
+        """Drain the channel, returning the removed messages (oldest first)."""
+        drained = list(self._messages.values())
+        self._messages.clear()
+        return drained
+
+    def __repr__(self) -> str:
+        return f"Channel({list(self._messages.values())!r})"

@@ -1,0 +1,587 @@
+"""The simulation engine: atomic action execution over the paper's model.
+
+:class:`Engine` owns the processes, their channels, the scheduler and the
+oracle, and executes one enabled action per :meth:`step`, exactly as the
+model of Section 1.1 prescribes:
+
+* an enabled **timeout** runs the process's timeout action;
+* an enabled **delivery** removes one message from a channel and invokes
+  the action its label names, waking the receiver if it was asleep;
+* actions are atomic — the next event is selected only after the current
+  action (including all its sends and its requested ``exit``/``sleep``
+  transition) completes;
+* messages whose label matches no action of the receiver are ignored
+  (dropped), per the model; *strict* mode turns this into an error so the
+  test-suite catches typos.
+
+The engine is also the measurement instrument: it produces
+:class:`~repro.graphs.snapshot.ProcessGraph` snapshots (cached per state),
+evaluates oracles, computes the potential Φ of Lemma 3 and exposes the
+run statistics the experiment harness aggregates. Snapshots are rebuilt
+lazily and only when the state actually changed — the single most
+important optimization for the convergence sweeps (profiling showed
+snapshot construction dominating naive per-step monitoring).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    CopyStoreSendViolation,
+    StateViolation,
+    UnknownActionError,
+)
+from repro.graphs.snapshot import Edge, EdgeKind, NodeView, ProcessGraph
+from repro.sim.channel import Channel
+from repro.sim.messages import Message, RefInfo, iter_refs
+from repro.sim.process import ActionContext, Process
+from repro.sim.refs import KeyProvider, Ref, pid_of
+from repro.sim.scheduler import (
+    DeliverEvent,
+    RandomScheduler,
+    Scheduler,
+    TimeoutEvent,
+)
+from repro.sim.states import LEGAL_TRANSITIONS, Capability, Mode, PState
+
+__all__ = ["Engine", "ExecutedStep", "EngineStats"]
+
+#: Oracle signature: a predicate over (engine, pid) — equivalently over the
+#: current process graph and the calling process, the paper's O : PG × P.
+Oracle = Callable[["Engine", int], bool]
+
+
+@dataclass(frozen=True)
+class ExecutedStep:
+    """Record of one executed event, handed to monitors and tracers."""
+
+    index: int
+    kind: str  # "timeout" | "deliver"
+    pid: int
+    label: str | None = None
+    seq: int | None = None
+    new_state: PState | None = None
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated over a run.
+
+    The ``*_by`` dicts hold per-process counts (pid → count) — the raw
+    material for fairness and load-balance analysis: who executed how
+    often, who sent how much, whose channel received how much.
+    """
+
+    steps: int = 0
+    timeouts: int = 0
+    deliveries: int = 0
+    messages_posted: int = 0
+    dropped_unknown: int = 0
+    exits: int = 0
+    sleeps: int = 0
+    wakes: int = 0
+    oracle_queries: int = 0
+    oracle_true: int = 0
+    timeouts_by: dict = field(default_factory=dict)
+    deliveries_by: dict = field(default_factory=dict)
+    sent_by: dict = field(default_factory=dict)
+    received_by: dict = field(default_factory=dict)
+
+    @staticmethod
+    def _bump(counter: dict, pid: int) -> None:
+        counter[pid] = counter.get(pid, 0) + 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Scalar counters only (per-pid detail via the ``*_by`` attrs)."""
+        return {
+            k: v for k, v in self.__dict__.items() if isinstance(v, int)
+        }
+
+    def load_imbalance(self) -> float:
+        """max/mean ratio of per-process delivered messages (1.0 = even).
+
+        Returns 1.0 for empty runs.
+        """
+        if not self.deliveries_by:
+            return 1.0
+        values = list(self.deliveries_by.values())
+        mean = sum(values) / len(values)
+        return (max(values) / mean) if mean else 1.0
+
+
+class Engine:
+    """Executes a protocol over a set of processes under a fair scheduler.
+
+    Parameters
+    ----------
+    processes:
+        The process population. Pids must be unique.
+    scheduler:
+        A :class:`~repro.sim.scheduler.Scheduler`; defaults to a seeded
+        :class:`~repro.sim.scheduler.RandomScheduler`.
+    capability:
+        Which special commands exist: ``Capability.EXIT`` for FDP runs,
+        ``Capability.SLEEP`` for FSP runs.
+    oracle:
+        Oracle predicate consulted via ``ctx.oracle()``; ``None`` means any
+        consultation raises (protocols that never consult may omit it).
+    key_provider:
+        Ordered keys for protocols declaring ``requires_order``.
+    strict:
+        If True, messages with unknown labels raise
+        :class:`~repro.errors.UnknownActionError` instead of being ignored.
+    monitors:
+        Callables ``(engine, executed_step) -> None`` run after every step;
+        they raise :class:`~repro.errors.SafetyViolation` on invariant
+        breaks.
+    require_staying_per_component:
+        Validate the paper's Section 3/4 precondition that every weakly
+        connected component initially contains a staying process.
+    """
+
+    def __init__(
+        self,
+        processes: Iterable[Process],
+        scheduler: Scheduler | None = None,
+        *,
+        capability: Capability = Capability.EXIT,
+        oracle: Oracle | None = None,
+        key_provider: KeyProvider | None = None,
+        seed: int = 0,
+        strict: bool = True,
+        monitors: Sequence[Callable[["Engine", ExecutedStep], None]] = (),
+        tracer: Any | None = None,
+        require_staying_per_component: bool = True,
+    ) -> None:
+        self.processes: dict[int, Process] = {}
+        for proc in processes:
+            if proc.pid in self.processes:
+                raise ConfigurationError(f"duplicate pid {proc.pid}")
+            self.processes[proc.pid] = proc
+        self.channels: dict[int, Channel] = {
+            pid: Channel() for pid in self.processes
+        }
+        self.scheduler: Scheduler = (
+            scheduler if scheduler is not None else RandomScheduler(seed)
+        )
+        self.capability = capability
+        self._oracle = oracle
+        self._key_provider = key_provider if key_provider is not None else KeyProvider()
+        self.strict = strict
+        self.monitors = list(monitors)
+        self.tracer = tracer
+        self._require_staying = require_staying_per_component
+
+        #: scheduler freshness stamps — deliberately SEPARATE from message
+        #: sequence numbers: schedulers consume stamps at attach/bookkeeping
+        #: time in scheduler-specific amounts, and message seqs must stay a
+        #: pure function of the posting order so that recorded schedules
+        #: replay bit-identically under a ReplayScheduler.
+        self._clock = itertools.count()
+        self._msg_clock = itertools.count()
+        #: Callables ``(engine, pid) -> None`` invoked at the instant a
+        #: process requests exit, while it is still part of the graph.
+        self.exit_auditors: list[Callable[["Engine", int], None]] = []
+        self.stats = EngineStats()
+        self.step_count = 0
+        self._attached = False
+        self._dirty = True
+        self._snapshot_cache: ProcessGraph | None = None
+        self._initial_components: tuple[frozenset[int], ...] | None = None
+
+    # ------------------------------------------------------------------ plumbing
+
+    def next_stamp(self) -> int:
+        """Advance and return the global freshness clock."""
+        return next(self._clock)
+
+    def audit_exit(self, pid: int) -> None:
+        """Invoke exit auditors for *pid* (pre-transition; see exit_auditors)."""
+        for auditor in self.exit_auditors:
+            auditor(self, pid)
+
+    def actual_mode(self, pid: int) -> Mode:
+        """The true (read-only) mode of process *pid*."""
+        return self.processes[pid].mode
+
+    def ref(self, pid: int) -> Ref:
+        """Reference for process *pid* (raises if unknown — no dead refs)."""
+        if pid not in self.processes:
+            raise ConfigurationError(f"no process with pid {pid}")
+        return self.processes[pid].self_ref
+
+    def key_provider_for(self, process: Process) -> KeyProvider:
+        """Hand ordered keys to a protocol, iff it declared the requirement."""
+        if not process.requires_order:
+            raise CopyStoreSendViolation(
+                f"{type(process).__name__} did not declare requires_order; "
+                "copy-store-send protocols may not observe an order on references"
+            )
+        return self._key_provider
+
+    # ------------------------------------------------------------------ messaging
+
+    def post(
+        self,
+        sender: int | None,
+        target: Ref,
+        label: str,
+        args: tuple[Any, ...] = (),
+    ) -> Message:
+        """Deposit ``target ← label(args)`` into the target's channel.
+
+        Validates that every reference in *args* (and the target itself)
+        denotes an existing process — the model admits no references that
+        do not belong to a process in the system (Section 1.2).
+        """
+
+        tpid = pid_of(target)
+        if tpid not in self.processes:
+            raise ConfigurationError(f"message targets unknown process {tpid}")
+        for ref in iter_refs(args):
+            if pid_of(ref) not in self.processes:
+                raise ConfigurationError(
+                    f"message parameter references unknown process {pid_of(ref)}"
+                )
+        msg = Message(
+            label=label,
+            args=tuple(args),
+            seq=next(self._msg_clock),
+            sender=sender,
+        )
+        self.channels[tpid].add(msg)
+        self.stats.messages_posted += 1
+        if sender is not None:
+            EngineStats._bump(self.stats.sent_by, sender)
+        EngineStats._bump(self.stats.received_by, tpid)
+        self._dirty = True
+        if self._attached and self.processes[tpid].state is not PState.GONE:
+            self.scheduler.notify_send(tpid, msg.seq)
+        return msg
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def _transition(self, proc: Process, new_state: PState) -> None:
+        old = proc.state
+        if old is new_state:
+            return
+        if (old, new_state) not in LEGAL_TRANSITIONS:
+            raise StateViolation(f"illegal transition {old.value} → {new_state.value}")
+        proc._state = new_state  # noqa: SLF001 - engine owns lifecycle
+        self._dirty = True
+        if new_state is PState.GONE:
+            self.stats.exits += 1
+            if self._attached:
+                self.scheduler.notify_gone(
+                    proc.pid, list(self.channels[proc.pid].seqs())
+                )
+        elif new_state is PState.ASLEEP:
+            self.stats.sleeps += 1
+            if self._attached:
+                self.scheduler.notify_sleep(proc.pid)
+        elif new_state is PState.AWAKE:
+            self.stats.wakes += 1
+            if self._attached:
+                self.scheduler.notify_wake(proc.pid, self.next_stamp())
+
+    # ------------------------------------------------------------------ execution
+
+    def attach(self) -> None:
+        """Bind the scheduler and validate/record the initial state.
+
+        Called automatically by the first :meth:`step`/:meth:`run`; all
+        initial-state construction (planting messages, corrupting process
+        variables) must happen before.
+        """
+
+        if self._attached:
+            return
+        snap = self.snapshot()
+        comps = snap.weakly_connected_components()
+        self._initial_components = tuple(comps)
+        if self._require_staying:
+            staying = snap.staying()
+            for comp in comps:
+                if not comp & staying:
+                    raise ConfigurationError(
+                        "initial component without a staying process "
+                        f"(pids {sorted(comp)}); Sections 3-4 require at least "
+                        "one staying process per connected component"
+                    )
+        self._attached = True
+        self.scheduler.attach(self)
+
+    @property
+    def initial_components(self) -> tuple[frozenset[int], ...]:
+        """Weakly connected components of the initial process graph."""
+        if self._initial_components is None:
+            raise ConfigurationError("engine not attached yet; call attach() or run()")
+        return self._initial_components
+
+    def step(self) -> ExecutedStep | None:
+        """Execute one enabled action; return its record, or ``None`` if
+        no action is enabled (the system is quiescent)."""
+
+        if not self._attached:
+            self.attach()
+        event = self.scheduler.select(self)
+        if event is None:
+            return None
+
+        if isinstance(event, TimeoutEvent):
+            executed = self._run_timeout(event.pid)
+        elif isinstance(event, DeliverEvent):
+            executed = self._run_delivery(event.pid, event.seq)
+        else:  # pragma: no cover - scheduler contract
+            raise ConfigurationError(f"unknown event {event!r}")
+
+        self.step_count += 1
+        self.stats.steps += 1
+        self._dirty = True
+        if self.tracer is not None:
+            self.tracer.record(self, executed)
+        for monitor in self.monitors:
+            monitor(self, executed)
+        return executed
+
+    def _run_timeout(self, pid: int) -> ExecutedStep:
+        proc = self.processes[pid]
+        if proc.state is not PState.AWAKE:  # pragma: no cover - scheduler contract
+            raise StateViolation(f"timeout selected for non-awake process {pid}")
+        ctx = ActionContext(self, proc)
+        proc.timeout(ctx)
+        requested = ctx._close()  # noqa: SLF001 - engine owns context lifecycle
+        if requested is not None:
+            self._transition(proc, requested)
+        self.stats.timeouts += 1
+        EngineStats._bump(self.stats.timeouts_by, pid)
+        if proc.state is PState.AWAKE:
+            self.scheduler.notify_timeout_executed(pid, self.next_stamp())
+        return ExecutedStep(
+            index=self.step_count, kind="timeout", pid=pid, new_state=proc.state
+        )
+
+    def _run_delivery(self, pid: int, seq: int) -> ExecutedStep:
+        proc = self.processes[pid]
+        if proc.state is PState.GONE:  # pragma: no cover - scheduler contract
+            raise StateViolation(f"delivery selected for gone process {pid}")
+        msg = self.channels[pid].remove(seq)
+        self._dirty = True
+        if proc.state is PState.ASLEEP:
+            # Processing a message wakes an asleep process (Figure 1).
+            self._transition(proc, PState.AWAKE)
+        handler = proc.handler(msg.label)
+        if handler is None:
+            # "All other messages will be ignored by the processes."
+            self.stats.dropped_unknown += 1
+            if self.strict:
+                raise UnknownActionError(
+                    f"process {pid} ({type(proc).__name__}) has no action "
+                    f"'{msg.label}'"
+                )
+        else:
+            ctx = ActionContext(self, proc)
+            handler(ctx, *msg.args)
+            requested = ctx._close()  # noqa: SLF001
+            if requested is not None:
+                self._transition(proc, requested)
+        self.stats.deliveries += 1
+        EngineStats._bump(self.stats.deliveries_by, pid)
+        return ExecutedStep(
+            index=self.step_count,
+            kind="deliver",
+            pid=pid,
+            label=msg.label,
+            seq=seq,
+            new_state=proc.state,
+        )
+
+    def run(
+        self,
+        max_steps: int,
+        *,
+        until: Callable[["Engine"], bool] | None = None,
+        check_every: int = 1,
+        raise_on_budget: bool = False,
+    ) -> bool:
+        """Execute steps until *until* holds, quiescence, or the budget ends.
+
+        Returns True iff *until* was satisfied (vacuously False when no
+        predicate is given and the budget ran out). ``check_every`` spaces
+        out predicate evaluation — legitimacy checks walk the whole graph,
+        so evaluating every step would dominate large runs.
+        """
+
+        if not self._attached:
+            self.attach()
+        if until is not None and until(self):
+            return True
+        for i in range(max_steps):
+            executed = self.step()
+            if executed is None:  # quiescent: state can no longer change
+                return until(self) if until is not None else False
+            if until is not None and (i + 1) % check_every == 0 and until(self):
+                return True
+        if until is not None and until(self):
+            return True
+        if raise_on_budget:
+            raise ConvergenceError(
+                f"predicate not reached within {max_steps} steps",
+                stats=self.stats.as_dict(),
+            )
+        return False
+
+    # ------------------------------------------------------------------ snapshots
+
+    def snapshot(self) -> ProcessGraph:
+        """Snapshot of the current process multigraph (cached until the
+        state next changes). Gone processes and their edges are excluded —
+        exit removes a process and its incident edges from PG."""
+
+        if not self._dirty and self._snapshot_cache is not None:
+            return self._snapshot_cache
+        nodes: list[NodeView] = []
+        edges: list[Edge] = []
+        for pid, proc in self.processes.items():
+            if proc.state is PState.GONE:
+                continue
+            nodes.append(
+                NodeView(
+                    pid=pid,
+                    mode=proc.mode,
+                    state=proc.state,
+                    channel_len=len(self.channels[pid]),
+                )
+            )
+            for info in proc.stored_refs():
+                edges.append(
+                    Edge(pid, pid_of(info.ref), EdgeKind.EXPLICIT, info.mode)
+                )
+            for msg in self.channels[pid]:
+                for info in msg.refinfos():
+                    edges.append(
+                        Edge(pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode)
+                    )
+        graph = ProcessGraph(nodes, edges)
+        self._snapshot_cache = graph
+        self._dirty = False
+        return graph
+
+    # ------------------------------------------------------------------ oracles & Φ
+
+    def partner_pids(self, pid: int, limit: int | None = None) -> set[int]:
+        """Relevant processes (≠ *pid*) having an edge with *pid*, in either
+        direction — the quantity the SINGLE oracle is defined over.
+
+        Fast path: when no process is asleep (always true in FDP runs,
+        where the sleep command does not exist), *relevant* equals
+        *non-gone* and the partner set can be computed by a focused scan
+        with early exits, avoiding full snapshot construction — profiling
+        showed snapshot building dominating oracle-heavy runs. With
+        sleepers present, hibernation analysis is required and the exact
+        snapshot path is used instead.
+
+        ``limit``: stop scanning once more than *limit* distinct partners
+        are known and return the partial set. SINGLE only needs to know
+        whether the count exceeds one, so it passes ``limit=1`` — under
+        message backlogs this turns a full-system scan into a handful of
+        lookups (profiled: the dominant cost of oracle-heavy runs).
+        """
+
+        if any(p.state is PState.ASLEEP for p in self.processes.values()):
+            snap = self.snapshot()
+            if pid not in snap:
+                return set()
+            return snap.partners(pid, within=snap.relevant() - {pid})
+        me = self.processes[pid]
+        if me.state is PState.GONE:
+            return set()
+        target = me.self_ref
+        gone = {
+            qpid
+            for qpid, q in self.processes.items()
+            if q.state is PState.GONE
+        }
+        partners: set[int] = set()
+
+        def over_limit() -> bool:
+            return limit is not None and len(partners - gone - {pid}) > limit
+
+        # Outgoing edges: everything we store or that sits in our channel.
+        for info in me.stored_refs():
+            partners.add(pid_of(info.ref))
+            if over_limit():
+                return partners - gone - {pid}
+        for msg in self.channels[pid]:
+            for info in msg.refinfos():
+                partners.add(pid_of(info.ref))
+            if over_limit():
+                return partners - gone - {pid}
+        # Incoming edges: who stores/carries our reference (early exit per
+        # process — one hit is enough).
+        for qpid, q in self.processes.items():
+            if qpid == pid or qpid in partners or qpid in gone:
+                continue
+            found = any(info.ref == target for info in q.stored_refs())
+            if not found:
+                for msg in self.channels[qpid]:
+                    if any(info.ref == target for info in msg.refinfos()):
+                        found = True
+                        break
+            if found:
+                partners.add(qpid)
+                if over_limit():
+                    break
+        return partners - gone - {pid}
+
+    def oracle_value(self, pid: int) -> bool:
+        """Evaluate the configured oracle for process *pid*."""
+        if self._oracle is None:
+            raise ConfigurationError(
+                "no oracle configured but the protocol consulted one"
+            )
+        self.stats.oracle_queries += 1
+        verdict = self._oracle(self, pid)
+        if verdict:
+            self.stats.oracle_true += 1
+        return verdict
+
+    def potential(self) -> int:
+        """The potential Φ of Lemma 3: number of (explicit or implicit)
+        edges ``(x, y)`` whose attached belief differs from ``mode(y)``."""
+
+        snap = self.snapshot()
+        return sum(1 for _ in snap.iter_invalid_edges(self.actual_mode))
+
+    # ------------------------------------------------------------------ reporting
+
+    def states(self) -> dict[int, PState]:
+        """Map pid → lifecycle state for all processes (including gone)."""
+        return {pid: proc.state for pid, proc in self.processes.items()}
+
+    def alive_pids(self) -> list[int]:
+        """Pids of non-gone processes."""
+        return [p for p, proc in self.processes.items() if proc.state is not PState.GONE]
+
+    def describe(self) -> dict[str, Any]:
+        """Diagnostic summary of the current system state."""
+        snap = self.snapshot()
+        return {
+            "step": self.step_count,
+            "processes": len(self.processes),
+            "gone": sum(
+                1 for p in self.processes.values() if p.state is PState.GONE
+            ),
+            "asleep": sum(
+                1 for p in self.processes.values() if p.state is PState.ASLEEP
+            ),
+            "edges": len(snap.edges),
+            "pending_messages": sum(len(ch) for ch in self.channels.values()),
+            "potential": self.potential(),
+            "stats": self.stats.as_dict(),
+        }

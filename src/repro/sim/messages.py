@@ -1,0 +1,125 @@
+"""Messages of the form ``⟨label⟩(⟨parameters⟩)`` with piggybacked mode info.
+
+The paper's model requires every message to name the action to execute at
+the receiver (*label*) plus a parameter list. Whenever a protocol sends a
+reference of process *b* to a third process, it "automatically sends some
+relevant information it knows about *b* along with it" — in Section 3 the
+relevant information is the sender's belief about ``mode(b)``.
+
+:class:`RefInfo` is the unit of *reference + piggybacked belief* that
+travels inside parameter lists. Keeping the belief physically attached to
+the reference (rather than in a side table) makes the potential function Φ
+of Lemma 3 directly computable: an implicit edge ``(x, y)`` carries invalid
+information exactly when some message in ``x.Ch`` contains a
+``RefInfo(y, m)`` with ``m ≠ mode(y)``.
+
+Parameters may also contain plain data (ints, strings, tuples); only
+:class:`RefInfo` entries count as references for the process graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.sim.refs import Ref
+from repro.sim.states import Mode
+
+__all__ = ["RefInfo", "Message", "iter_refinfos", "iter_refs"]
+
+
+@dataclass(frozen=True)
+class RefInfo:
+    """A process reference bundled with the sender's belief about its mode.
+
+    ``mode`` may be ``None`` for protocols that do not track modes (plain
+    overlay maintenance without departures); the FDP/FSP protocols always
+    attach a concrete belief.
+    """
+
+    ref: Ref
+    mode: Mode | None = None
+
+    def believed(self, mode: Mode) -> bool:
+        """Return whether the attached belief equals *mode*."""
+        return self.mode is mode
+
+    def with_mode(self, mode: Mode | None) -> "RefInfo":
+        """Return a copy of this info carrying a different belief."""
+        return RefInfo(self.ref, mode)
+
+    def __repr__(self) -> str:
+        m = self.mode.value if self.mode is not None else "?"
+        return f"{self.ref!r}:{m}"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One entry of a channel: an action call request.
+
+    Attributes
+    ----------
+    label:
+        Name of the action to call at the receiver.
+    args:
+        Positional parameters; :class:`RefInfo` entries are references (and
+        form implicit process-graph edges while the message is in flight),
+        anything else is opaque payload.
+    seq:
+        A unique, monotonically increasing sequence number assigned by the
+        engine when the message enters a channel. Used for deterministic
+        scheduling and tracing; **never** visible to protocol code.
+    sender:
+        The pid of the sending process, or ``None`` for messages planted by
+        the fault injector as part of a corrupted initial state. Trace-only:
+        the receiving action cannot observe it (point-to-point channels in
+        the paper's model carry no sender identity unless a reference is an
+        explicit parameter).
+    """
+
+    label: str
+    args: tuple[Any, ...] = ()
+    seq: int = -1
+    sender: int | None = field(default=None, compare=False)
+
+    def refinfos(self) -> Iterator[RefInfo]:
+        """Iterate over all :class:`RefInfo` entries in the parameters."""
+        return iter_refinfos(self.args)
+
+    def refs(self) -> Iterator[Ref]:
+        """Iterate over all references in the parameters."""
+        return iter_refs(self.args)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"#{self.seq}:{self.label}({inner})"
+
+
+def iter_refinfos(obj: Any) -> Iterator[RefInfo]:
+    """Yield every :class:`RefInfo` nested anywhere inside *obj*.
+
+    Containers searched: tuples, lists, frozensets and dict values. This is
+    what the engine uses to enumerate implicit edges, so any parameter
+    structure a protocol sends is automatically accounted for in the
+    process graph.
+    """
+
+    if isinstance(obj, RefInfo):
+        yield obj
+    elif isinstance(obj, (tuple, list, frozenset, set)):
+        for item in obj:
+            yield from iter_refinfos(item)
+    elif isinstance(obj, dict):
+        for item in obj.values():
+            yield from iter_refinfos(item)
+    elif isinstance(obj, Ref):
+        raise TypeError(
+            "bare Ref found in message parameters; wrap references in "
+            "RefInfo so mode information travels with them"
+        )
+
+
+def iter_refs(obj: Any) -> Iterator[Ref]:
+    """Yield every reference nested anywhere inside *obj*."""
+    for info in iter_refinfos(obj):
+        yield info.ref

@@ -1,0 +1,154 @@
+"""Invariant monitors: executable statements of the paper's lemmas.
+
+A monitor is a callable ``(engine, executed_step) -> None`` registered on
+the engine; it raises :class:`~repro.errors.SafetyViolation` the moment an
+invariant breaks, pinpointing the step at which a (hypothetical) bug in a
+protocol transcription violated a proof obligation.
+
+* :class:`ConnectivityMonitor` — Lemma 2: within each *initial* weakly
+  connected component, the relevant processes stay weakly connected in
+  every state of the computation.
+* :class:`PotentialMonitor` — Lemma 3 (first half): the potential Φ never
+  increases. ("The only way Φ could increase is if invalid information is
+  copied" — and the protocol never copies it.)
+* :class:`TransitionMonitor` — Figure 1 / E1: records every lifecycle
+  transition actually taken so the experiment can check the observed set
+  equals the drawn set.
+* :class:`ExitGuardMonitor` — the FDP contract that a protocol relying on
+  an oracle only lets a process exit when the oracle held for it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SafetyViolation
+from repro.sim.states import PState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine, ExecutedStep
+
+__all__ = [
+    "ConnectivityMonitor",
+    "PotentialMonitor",
+    "TransitionMonitor",
+    "ExitGuardMonitor",
+]
+
+
+class ConnectivityMonitor:
+    """Checks Lemma 2's invariant every ``check_every`` steps.
+
+    For each initial component ``C``: the currently *relevant* processes of
+    ``C`` must lie in a single weakly connected component of the process
+    graph. (Components never merge under copy-store-send protocols — no
+    process can learn a reference nobody in its component holds — so the
+    per-component check is exact.)
+    """
+
+    def __init__(self, check_every: int = 1) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.check_every = check_every
+        self.checks = 0
+
+    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+        if engine.step_count % self.check_every != 0:
+            return
+        self.verify(engine)
+
+    def verify(self, engine: "Engine") -> None:
+        """Run the check now, raising on violation."""
+        self.checks += 1
+        snap = engine.snapshot()
+        relevant = snap.relevant()
+        for comp in engine.initial_components:
+            members = frozenset(comp) & relevant
+            if len(members) <= 1:
+                continue
+            if not snap.is_weakly_connected(members):
+                raise SafetyViolation(
+                    f"Lemma 2 violated at step {engine.step_count}: relevant "
+                    f"processes {sorted(members)} of an initial component are "
+                    "no longer weakly connected"
+                )
+
+
+class PotentialMonitor:
+    """Checks Lemma 3's monotonicity: Φ never increases.
+
+    ``check_every`` controls sampling; with 1 the check is per-step and the
+    claim verified is exactly the per-transition statement of the proof.
+    The observed series is kept for analysis (`values`).
+    """
+
+    def __init__(self, check_every: int = 1) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.check_every = check_every
+        self.values: list[int] = []
+        self._last: int | None = None
+
+    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+        if engine.step_count % self.check_every != 0:
+            return
+        phi = engine.potential()
+        self.values.append(phi)
+        if self._last is not None and phi > self._last:
+            raise SafetyViolation(
+                f"Lemma 3 violated at step {engine.step_count}: potential rose "
+                f"from {self._last} to {phi}"
+            )
+        self._last = phi
+
+
+class TransitionMonitor:
+    """Records the set of lifecycle transitions observed in a run.
+
+    The engine itself refuses illegal transitions; this monitor provides
+    the positive direction for experiment E1 — which legal transitions a
+    workload actually exercises.
+    """
+
+    def __init__(self) -> None:
+        self._prev: dict[int, PState] = {}
+        self.observed: set[tuple[PState, PState]] = set()
+
+    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+        pid = executed.pid
+        new = engine.processes[pid].state
+        old = self._prev.get(pid, PState.AWAKE)
+        if old is not new:
+            self.observed.add((old, new))
+        self._prev[pid] = new
+
+
+class ExitGuardMonitor:
+    """Records exits that happened while a reference oracle was false.
+
+    Registered via ``engine.exit_auditors`` (not ``monitors``): the engine
+    invokes it at the instant a process requests ``exit``, while the
+    process is still part of the graph, so the reference oracle sees the
+    pre-exit state. Used in the oracle-ablation experiment (E11) to show
+    the ALWAYS oracle admits exits that the exact ``SINGLE`` forbids —
+    i.e. the exits whose safety is not guaranteed.
+
+    With ``strict=True`` an unsafe exit raises immediately instead of
+    being recorded.
+    """
+
+    def __init__(self, reference_oracle, strict: bool = False) -> None:
+        self.reference_oracle = reference_oracle
+        self.strict = strict
+        self.unsafe_exits: list[int] = []
+        self.audited = 0
+
+    def __call__(self, engine: "Engine", pid: int) -> None:
+        self.audited += 1
+        if not self.reference_oracle(engine, pid):
+            self.unsafe_exits.append(pid)
+            if self.strict:
+                raise SafetyViolation(
+                    f"process {pid} exited at step {engine.step_count} while "
+                    "the reference oracle was false"
+                )

@@ -1,0 +1,175 @@
+"""Opaque process references enforcing the copy-store-send discipline.
+
+The paper's model (Section 1.1) gives every process a unique reference
+"like its IP address" and restricts protocols to *copy-store-send* usage:
+references may be copied, stored and sent, and two references may be
+compared for equality (``v = w``) — nothing else. In particular there is
+no order on references, no hashing to integers, and no arithmetic.
+
+:class:`Ref` implements exactly that contract:
+
+* ``__eq__`` / ``__ne__`` — the ``v = w`` check the paper's protocol needs;
+* ``__hash__`` — required so references can be stored in Python sets and
+  dicts (this models *storing* a reference, not inspecting it: the hash is
+  salted per interpreter run via Python's object hashing of the wrapper,
+  so protocol code cannot recover a total order from it);
+* every ordering operator raises :class:`~repro.errors.CopyStoreSendViolation`.
+
+Engine and measurement code occasionally needs the underlying process
+identifier (for building graph snapshots, tracing, oracles). That access
+goes through :func:`pid_of`, which lives here so that the *single* escape
+hatch is easy to audit: protocol modules must never import it. The test
+suite greps protocol sources to enforce this.
+
+Protocols that legitimately need a total order on processes (e.g. the
+linearization overlay, mirroring Foreback et al.'s requirement) declare
+``requires_order`` and receive keys through :class:`KeyProvider` rather
+than by peeking into references.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CopyStoreSendViolation
+
+__all__ = ["Ref", "pid_of", "KeyProvider", "RefFactory"]
+
+
+class Ref:
+    """An opaque, equality-comparable reference to a process.
+
+    Instances are immutable and interned per factory, so identity checks
+    coincide with equality for references produced by the same simulator.
+    """
+
+    __slots__ = ("_pid",)
+
+    def __init__(self, pid: int) -> None:
+        object.__setattr__(self, "_pid", int(pid))
+
+    # -- the permitted operations -------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Ref):
+            return self._pid == other._pid
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, Ref):
+            return self._pid != other._pid
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("repro.Ref", self._pid))
+
+    # -- everything else is forbidden ---------------------------------------------
+
+    def _forbidden(self, op: str):
+        raise CopyStoreSendViolation(
+            f"references cannot be {op}: copy-store-send protocols may only "
+            "copy, store, send and equality-compare references"
+        )
+
+    def __lt__(self, other: object):  # pragma: no cover - exercised via tests
+        self._forbidden("ordered")
+
+    def __le__(self, other: object):
+        self._forbidden("ordered")
+
+    def __gt__(self, other: object):
+        self._forbidden("ordered")
+
+    def __ge__(self, other: object):
+        self._forbidden("ordered")
+
+    def __int__(self):
+        self._forbidden("converted to integers")
+
+    def __index__(self):
+        self._forbidden("used as integers")
+
+    def __add__(self, other: object):
+        self._forbidden("used in arithmetic")
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Ref is immutable")
+
+    def __repr__(self) -> str:  # debugging / trace output only
+        return f"Ref<{self._pid}>"
+
+
+def pid_of(ref: Ref) -> int:
+    """Return the process identifier behind *ref*.
+
+    Engine/measurement escape hatch — **never call from protocol code**.
+    """
+
+    return ref._pid  # noqa: SLF001 - this module owns Ref
+
+
+class RefFactory:
+    """Creates and interns :class:`Ref` objects for one simulated system.
+
+    Interning keeps memory use flat when protocols copy references heavily
+    (each process graph edge would otherwise allocate a fresh wrapper) —
+    a deliberate nod to the HPC guidance of avoiding needless copies.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        self._cache: dict[int, Ref] = {}
+
+    def ref(self, pid: int) -> Ref:
+        """Return the canonical :class:`Ref` for process *pid*."""
+        try:
+            return self._cache[pid]
+        except KeyError:
+            r = self._cache[pid] = Ref(pid)
+            return r
+
+    def known_pids(self) -> Iterator[int]:
+        """Iterate over the pids a reference has been created for."""
+        return iter(self._cache)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class KeyProvider:
+    """Grants ordered keys for protocols that declare ``requires_order``.
+
+    The paper notes that the departure protocol of [15] requires "a fixed
+    total order on the nodes (e.g., their names or IP addresses do not
+    change)" while the paper's own protocol only needs equality checks.
+    Overlay protocols that need the order (linearization, rings, the
+    Foreback-style baseline) obtain it here; the engine only hands a
+    ``KeyProvider`` to protocols that declare the requirement, keeping the
+    distinction between the two protocol classes machine-checked.
+    """
+
+    __slots__ = ("_keys",)
+
+    def __init__(self, keys: dict[int, float] | None = None) -> None:
+        # Default key is the pid itself: "names do not change".
+        self._keys = dict(keys) if keys is not None else None
+
+    def key(self, ref: Ref) -> float:
+        """Return the immutable, totally-ordered key of *ref*'s process."""
+        pid = pid_of(ref)
+        if self._keys is None:
+            return float(pid)
+        return self._keys[pid]
+
+    def min(self, refs) -> Ref:
+        """Return the reference with the smallest key among *refs*."""
+        return min(refs, key=self.key)
+
+    def max(self, refs) -> Ref:
+        """Return the reference with the largest key among *refs*."""
+        return max(refs, key=self.key)
+
+    def sorted(self, refs) -> list[Ref]:
+        """Return *refs* sorted by key, ascending."""
+        return sorted(refs, key=self.key)

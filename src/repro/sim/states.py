@@ -1,0 +1,93 @@
+"""Process modes and lifecycle states (Figure 1 of the paper).
+
+Two orthogonal attributes describe a process:
+
+* :class:`Mode` — the read-only ``mode(u) ∈ {staying, leaving}`` variable.
+  It never changes during a computation; leaving processes want to be
+  excluded from the overlay, staying processes remain.
+
+* :class:`PState` — the lifecycle state drawn in the paper's Figure 1::
+
+        msg received
+      ┌───────────────┐
+      ▼               │
+    AWAKE ──sleep──► ASLEEP
+      │
+     exit
+      ▼
+    GONE  (absorbing)
+
+  ``exit`` moves an awake process to :data:`PState.GONE`, a designated
+  absorbing state (the process never executes again). ``sleep`` moves it
+  to :data:`PState.ASLEEP`; an asleep process wakes (back to AWAKE) when a
+  message addressed to it is processed. The FDP disallows ``sleep`` and
+  the FSP disallows ``exit`` — the engine enforces whichever restriction
+  the run is configured with (:class:`Capability`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Mode", "PState", "Capability"]
+
+
+class Mode(enum.Enum):
+    """The read-only departure intent of a process."""
+
+    STAYING = "staying"
+    LEAVING = "leaving"
+
+    def __repr__(self) -> str:
+        return self.value
+
+    @property
+    def opposite(self) -> "Mode":
+        """Return the other mode (used by fault injectors to corrupt beliefs)."""
+        return Mode.LEAVING if self is Mode.STAYING else Mode.STAYING
+
+
+class PState(enum.Enum):
+    """Lifecycle state of a process (Figure 1)."""
+
+    AWAKE = "awake"
+    ASLEEP = "asleep"
+    GONE = "gone"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+#: Legal transitions of the Figure 1 state graph. The engine validates every
+#: transition against this table so that any bug reintroducing an illegal
+#: move (e.g. a gone process waking) fails loudly. Experiment E1 probes that
+#: exactly these transitions — and no others — are reachable.
+LEGAL_TRANSITIONS: frozenset[tuple[PState, PState]] = frozenset(
+    {
+        (PState.AWAKE, PState.GONE),  # exit
+        (PState.AWAKE, PState.ASLEEP),  # sleep
+        (PState.ASLEEP, PState.AWAKE),  # message received
+    }
+)
+
+
+class Capability(enum.Flag):
+    """Which special commands a run makes available to processes.
+
+    The FDP is defined for systems where only ``exit`` exists; the FSP for
+    systems where only ``sleep`` exists. ``BOTH`` is provided for model
+    exploration (e.g. the E1 state-graph experiment exercises all edges).
+    """
+
+    NONE = 0
+    EXIT = enum.auto()
+    SLEEP = enum.auto()
+    BOTH = EXIT | SLEEP
+
+    @property
+    def allows_exit(self) -> bool:
+        return bool(self & Capability.EXIT)
+
+    @property
+    def allows_sleep(self) -> bool:
+        return bool(self & Capability.SLEEP)

@@ -1,0 +1,96 @@
+"""Execution tracing and time-series sampling.
+
+Two instruments, both optional and cheap when unused:
+
+* :class:`Tracer` — append-only log of executed steps (bounded ring
+  buffer), used by tests to assert on event sequences and by examples to
+  narrate runs;
+* :class:`SeriesRecorder` — samples engine-level metrics (potential Φ,
+  number of gone processes, pending messages, …) every *k* steps, feeding
+  the convergence plots/series of experiments E5–E9.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine, ExecutedStep
+
+__all__ = ["Tracer", "SeriesRecorder", "STANDARD_PROBES"]
+
+
+class Tracer:
+    """Bounded log of executed steps."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.events: deque = deque(maxlen=capacity)
+
+    def record(self, engine: "Engine", executed: "ExecutedStep") -> None:
+        """Engine hook: store the executed step."""
+        self.events.append(executed)
+
+    def labels(self) -> list[str | None]:
+        """Sequence of message labels delivered (None for timeouts)."""
+        return [e.label for e in self.events]
+
+    def by_pid(self, pid: int) -> list["ExecutedStep"]:
+        """All recorded steps executed by process *pid*."""
+        return [e for e in self.events if e.pid == pid]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: Named metric probes a :class:`SeriesRecorder` can sample. Each maps an
+#: engine to a number; recorders may mix standard and custom probes.
+STANDARD_PROBES: dict[str, Callable[["Engine"], float]] = {
+    "potential": lambda e: float(e.potential()),
+    "gone": lambda e: float(
+        sum(1 for p in e.processes.values() if p.state.value == "gone")
+    ),
+    "asleep": lambda e: float(
+        sum(1 for p in e.processes.values() if p.state.value == "asleep")
+    ),
+    "pending_messages": lambda e: float(sum(len(c) for c in e.channels.values())),
+    "messages_posted": lambda e: float(e.stats.messages_posted),
+    "edges": lambda e: float(len(e.snapshot().edges)),
+}
+
+
+class SeriesRecorder:
+    """Samples metric probes every ``every`` executed steps.
+
+    Used as an engine monitor: ``Engine(..., monitors=[recorder])``. The
+    collected series are exposed as ``recorder.series[name] -> list`` with
+    a parallel ``recorder.steps`` axis, ready for numpy conversion in the
+    analysis layer.
+    """
+
+    def __init__(
+        self,
+        probes: dict[str, Callable[["Engine"], float]] | None = None,
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.probes = dict(probes) if probes is not None else dict(STANDARD_PROBES)
+        self.every = every
+        self.steps: list[int] = []
+        self.series: dict[str, list[float]] = {name: [] for name in self.probes}
+
+    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+        if engine.step_count % self.every != 0:
+            return
+        self.sample(engine)
+
+    def sample(self, engine: "Engine") -> None:
+        """Record one sample now (also usable before/after a run)."""
+        self.steps.append(engine.step_count)
+        for name, probe in self.probes.items():
+            self.series[name].append(probe(engine))
+
+    def last(self, name: str) -> float:
+        """Most recent sample of probe *name*."""
+        return self.series[name][-1]

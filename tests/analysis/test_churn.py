@@ -1,0 +1,81 @@
+"""Epoch-based churn simulation."""
+
+import pytest
+
+from repro.analysis.churn import ChurnSimulation, EpochResult
+from repro.core.scenarios import Corruption
+from repro.graphs import generators as gen
+from repro.overlays.ring import RingLogic
+from repro.overlays.star import StarLogic
+
+
+class TestChurnSimulation:
+    def test_single_epoch(self):
+        sim = ChurnSimulation(
+            RingLogic, 10, gen.random_connected(10, 5, seed=1), seed=1
+        )
+        result = sim.run_epoch()
+        assert result.converged
+        assert result.population == 10
+        assert len(result.survivors) == 10 - result.leavers
+        assert sim.pids == list(result.survivors)
+
+    def test_multi_epoch_population_shrinks(self):
+        sim = ChurnSimulation(
+            RingLogic,
+            12,
+            gen.random_connected(12, 6, seed=2),
+            churn_rate=0.3,
+            seed=2,
+        )
+        results = sim.run(3, min_population=4)
+        assert all(r.converged for r in results)
+        pops = [r.population for r in results]
+        assert pops == sorted(pops, reverse=True)
+
+    def test_survivor_pids_are_original_ids(self):
+        sim = ChurnSimulation(
+            StarLogic, 8, gen.random_connected(8, 4, seed=3), seed=3
+        )
+        sim.run(2)
+        for r in sim.results:
+            assert all(0 <= pid < 8 for pid in r.survivors)
+
+    def test_epoch_topology_feeds_next_epoch(self):
+        sim = ChurnSimulation(
+            RingLogic, 10, gen.random_connected(10, 5, seed=4), seed=4,
+            churn_rate=0.25,
+        )
+        sim.run_epoch()
+        # surviving topology references only surviving pids
+        alive = set(sim.pids)
+        assert all(a in alive and b in alive for a, b in sim.edges)
+        sim.run_epoch()  # and it is a valid starting state for the next wave
+
+    def test_with_corruption(self):
+        sim = ChurnSimulation(
+            RingLogic,
+            10,
+            gen.random_connected(10, 5, seed=5),
+            corruption=Corruption(belief_lie_prob=0.2, garbage_per_process=0.5),
+            seed=5,
+        )
+        assert sim.run_epoch().converged
+
+    def test_min_population_stops(self):
+        sim = ChurnSimulation(
+            RingLogic, 6, gen.ring(6), churn_rate=0.6, seed=6
+        )
+        sim.run(10, min_population=5)
+        assert len(sim.pids) < 5 or len(sim.results) == 10
+
+    def test_rows_shape(self):
+        sim = ChurnSimulation(RingLogic, 8, gen.ring(8), seed=7)
+        sim.run(1)
+        rows = sim.rows()
+        assert len(rows) == len(sim.results)
+        assert len(rows[0]) == 7
+
+    def test_churn_rate_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSimulation(RingLogic, 5, gen.ring(5), churn_rate=1.0)

@@ -1,0 +1,56 @@
+"""Profiling hooks."""
+
+import time
+
+from repro.analysis.profiling import Stopwatch, profile_call, time_block
+
+
+class TestProfileCall:
+    def test_returns_result_and_report(self):
+        result, report = profile_call(sum, range(1000))
+        assert result == 499500
+        assert "cumulative" in report or "function calls" in report
+
+    def test_top_limit(self):
+        _, report = profile_call(sorted, list(range(100)), top=3)
+        assert isinstance(report, str)
+
+
+class TestStopwatch:
+    def test_accumulates_sections(self):
+        sw = Stopwatch()
+        with sw.section("a"):
+            pass
+        with sw.section("a"):
+            pass
+        with sw.section("b"):
+            pass
+        assert sw.counts["a"] == 2
+        assert sw.counts["b"] == 1
+        assert sw.totals["a"] >= 0.0
+
+    def test_report_lists_sections(self):
+        sw = Stopwatch()
+        with sw.section("hot"):
+            time.sleep(0.001)
+        report = sw.report()
+        assert "hot" in report
+        assert "per_call_ms" in report
+
+    def test_section_survives_exceptions(self):
+        sw = Stopwatch()
+        try:
+            with sw.section("x"):
+                raise ValueError
+        except ValueError:
+            pass
+        assert sw.counts["x"] == 1
+
+
+class TestTimeBlock:
+    def test_sink_receives_label(self):
+        lines = []
+        with time_block("phase", sink=lines.append):
+            pass
+        assert len(lines) == 1
+        assert lines[0].startswith("phase:")

@@ -1,0 +1,79 @@
+"""ASCII graph rendering."""
+
+from repro.analysis.render import render_adjacency_list, render_matrix, render_modes
+from repro.sim.states import Mode, PState
+
+from tests.conftest import make_fdp_engine
+
+S, L = Mode.STAYING, Mode.LEAVING
+
+
+def small_engine():
+    return make_fdp_engine(
+        {
+            0: {"neighbors": {1: S}},
+            1: {"neighbors": {0: S, 2: L}},
+            2: {"mode": L},
+        }
+    )
+
+
+class TestAdjacencyList:
+    def test_lists_neighbours_and_modes(self):
+        out = render_adjacency_list(small_engine(), title="t")
+        assert out.startswith("t")
+        assert "0 → [1]" in out
+        assert "leaving" in out
+
+    def test_gone_marked(self):
+        eng = small_engine()
+        eng.attach()
+        eng._transition(eng.processes[2], PState.GONE)
+        out = render_adjacency_list(eng)
+        assert "✝ gone" in out
+
+
+class TestMatrix:
+    def test_explicit_marker(self):
+        out = render_matrix(small_engine())
+        assert "#" in out
+        assert "legend" in out
+
+    def test_implicit_marker(self):
+        from repro.sim.messages import RefInfo
+
+        eng = small_engine()
+        eng.post(None, eng.ref(0), "present", (RefInfo(eng.ref(2), L),))
+        out = render_matrix(eng)
+        assert "·" in out
+
+    def test_both_marker(self):
+        from repro.sim.messages import RefInfo
+
+        eng = small_engine()
+        eng.post(None, eng.ref(0), "present", (RefInfo(eng.ref(1), S),))
+        assert "@" in render_matrix(eng)
+
+    def test_gone_marker(self):
+        eng = small_engine()
+        eng.attach()
+        eng._transition(eng.processes[2], PState.GONE)
+        assert "x" in render_matrix(eng)
+
+
+class TestModesStrip:
+    def test_strip(self):
+        eng = small_engine()
+        assert render_modes(eng) == "SSL"
+
+    def test_asleep_lowercase_and_gone_cross(self):
+        from repro.sim.states import Capability
+
+        eng = make_fdp_engine(
+            {0: {}, 1: {"mode": L}, 2: {"mode": L}},
+            capability=Capability.BOTH,
+        )
+        eng.attach()
+        eng._transition(eng.processes[1], PState.ASLEEP)
+        eng._transition(eng.processes[2], PState.GONE)
+        assert render_modes(eng) == "Sl✝"

@@ -1,0 +1,79 @@
+"""Trial runner and series aggregation."""
+
+import math
+
+import pytest
+
+from repro.analysis.runner import SeriesResult, TrialResult, run_series, run_trial
+from repro.core.potential import fdp_legitimate
+from repro.core.scenarios import build_fdp_engine, choose_leaving
+from repro.graphs import generators as gen
+
+
+def builder(seed):
+    n = 8
+    edges = gen.ring(n)
+    leaving = choose_leaving(n, edges, fraction=0.3, seed=7)
+    return build_fdp_engine(n, edges, leaving, seed=seed)
+
+
+class TestRunTrial:
+    def test_converging_trial(self):
+        t = run_trial(builder, 1, until=fdp_legitimate, max_steps=100_000)
+        assert t.converged
+        assert t.steps > 0
+        assert t.messages > 0
+        assert t.exits > 0
+
+    def test_budget_exhaustion(self):
+        t = run_trial(builder, 1, until=lambda e: False, max_steps=50)
+        assert not t.converged
+        assert t.steps == 50
+
+    def test_collect_extra(self):
+        t = run_trial(
+            builder,
+            1,
+            until=fdp_legitimate,
+            max_steps=100_000,
+            collect=lambda e: {"phi": e.potential()},
+        )
+        assert t.extra["phi"] == 0
+
+
+class TestSeries:
+    def test_aggregation(self):
+        s = run_series(
+            builder,
+            range(4),
+            until=fdp_legitimate,
+            max_steps=100_000,
+            parallel=False,
+        )
+        assert s.n == 4
+        assert s.convergence_rate == 1.0
+        summary = s.steps_summary()
+        assert summary["min"] <= summary["median"] <= summary["max"]
+
+    def test_partial_convergence_rate(self):
+        trials = [
+            TrialResult(True, 10, {"messages_posted": 5}),
+            TrialResult(False, 99, {"messages_posted": 50}),
+        ]
+        s = SeriesResult(trials)
+        assert s.convergence_rate == 0.5
+        # summaries only cover converged trials
+        assert s.steps_summary()["max"] == 10
+
+    def test_empty_series(self):
+        s = SeriesResult([])
+        assert s.convergence_rate == 0.0
+        assert math.isnan(s.steps_summary()["median"])
+
+    def test_extra_summary(self):
+        trials = [
+            TrialResult(True, 1, {}, extra={"x": 2.0}),
+            TrialResult(True, 1, {}, extra={"x": 4.0}),
+        ]
+        s = SeriesResult(trials)
+        assert s.extra_summary("x")["mean"] == 3.0

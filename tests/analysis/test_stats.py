@@ -1,0 +1,83 @@
+"""Statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_median_ci,
+    is_nonincreasing,
+    loglog_slope,
+    normalized_area_under,
+)
+
+
+class TestBootstrapMedianCI:
+    def test_interval_contains_median(self):
+        values = [1.0, 2.0, 3.0, 4.0, 100.0]
+        med, lo, hi = bootstrap_median_ci(values, seed=1)
+        assert med == 3.0
+        assert lo <= med <= hi
+
+    def test_empty(self):
+        med, lo, hi = bootstrap_median_ci([])
+        assert math.isnan(med)
+
+    def test_deterministic_by_seed(self):
+        values = list(range(20))
+        assert bootstrap_median_ci(values, seed=5) == bootstrap_median_ci(
+            values, seed=5
+        )
+
+    @given(st.lists(st.floats(0, 1e6), min_size=3, max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_ci_ordered(self, values):
+        med, lo, hi = bootstrap_median_ci(values, n_boot=200, seed=0)
+        assert lo <= hi
+
+
+class TestLogLogSlope:
+    def test_linear_scaling(self):
+        xs = [2, 4, 8, 16]
+        ys = [10, 20, 40, 80]
+        assert loglog_slope(xs, ys) == pytest.approx(1.0)
+
+    def test_quadratic_scaling(self):
+        xs = [2, 4, 8, 16]
+        ys = [4, 16, 64, 256]
+        assert loglog_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_drops_nonpositive(self):
+        assert loglog_slope([1, 2, 0], [2, 4, -1]) == pytest.approx(1.0)
+
+    def test_insufficient_data(self):
+        assert math.isnan(loglog_slope([1], [1]))
+
+
+class TestIsNonincreasing:
+    def test_flat_and_decreasing(self):
+        assert is_nonincreasing([5, 5, 4, 1, 0])
+
+    def test_rise_detected(self):
+        assert not is_nonincreasing([3, 2, 4])
+
+    def test_tolerance(self):
+        assert is_nonincreasing([3.0, 3.05], tolerance=0.1)
+
+    def test_short_series(self):
+        assert is_nonincreasing([])
+        assert is_nonincreasing([7])
+
+
+class TestNormalizedArea:
+    def test_constant_series(self):
+        assert normalized_area_under([0, 10], [3, 3]) == pytest.approx(3.0)
+
+    def test_linear_decay(self):
+        assert normalized_area_under([0, 10], [10, 0]) == pytest.approx(5.0)
+
+    def test_degenerate(self):
+        assert normalized_area_under([1], [5]) == 5.0

@@ -1,0 +1,74 @@
+"""Parameter sweep grid tests."""
+
+from repro.analysis.sweep import SweepPoint, sweep
+from repro.core.potential import fdp_legitimate
+from repro.core.scenarios import build_fdp_engine, choose_leaving
+from repro.graphs import generators as gen
+
+
+def make_builder(n, fraction):
+    def build(seed):
+        edges = gen.ring(n)
+        leaving = choose_leaving(n, edges, fraction=fraction, seed=seed)
+        return build_fdp_engine(n, edges, leaving, seed=seed)
+
+    return build
+
+
+class TestSweep:
+    def test_grid_crossing(self):
+        points = sweep(
+            {"n": [4, 6], "fraction": [0.25, 0.5]},
+            make_builder,
+            until=fdp_legitimate,
+            max_steps=100_000,
+            seeds_per_point=2,
+            parallel=False,
+        )
+        assert len(points) == 4
+        params = [(p.params["n"], p.params["fraction"]) for p in points]
+        assert (4, 0.25) in params and (6, 0.5) in params
+
+    def test_all_points_converge(self):
+        points = sweep(
+            {"n": [5], "fraction": [0.2]},
+            make_builder,
+            until=fdp_legitimate,
+            max_steps=100_000,
+            seeds_per_point=3,
+            parallel=False,
+        )
+        assert points[0].result.convergence_rate == 1.0
+
+    def test_rows_flatten(self):
+        points = sweep(
+            {"n": [4]},
+            lambda n: make_builder(n, 0.25),
+            until=fdp_legitimate,
+            max_steps=100_000,
+            seeds_per_point=2,
+            parallel=False,
+        )
+        row = points[0].row()
+        assert row[0] == 4  # param
+        assert row[1] == 1.0  # convergence rate
+
+    def test_seeds_distinct_per_point(self):
+        seen = []
+
+        def builder_factory(n):
+            def build(seed):
+                seen.append(seed)
+                return make_builder(n, 0.25)(seed)
+
+            return build
+
+        sweep(
+            {"n": [4, 5]},
+            builder_factory,
+            until=fdp_legitimate,
+            max_steps=50_000,
+            seeds_per_point=2,
+            parallel=False,
+        )
+        assert len(set(seen)) == 4  # no seed collisions across grid points

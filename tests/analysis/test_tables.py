@@ -1,0 +1,68 @@
+"""Table/series/sparkline rendering."""
+
+from repro.analysis.tables import format_kv, format_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["name", "value"], [["alpha", 1], ["b", 22.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        # columns aligned: separators at consistent positions
+        assert lines[0].index("|") == lines[2].index("|")
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "========"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.5], [12345.678], [float("nan")]])
+        assert "0.5" in out
+        assert "1.23e+04" in out
+        assert "—" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "✓" in out and "✗" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4
+        assert s[0] != s[-1]
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_gap(self):
+        s = sparkline([1.0, float("nan"), 2.0])
+        assert s[1] == " "
+
+
+class TestFormatSeries:
+    def test_contains_values_and_shape(self):
+        out = format_series(
+            "n", [2, 4, 8], {"steps": [10.0, 20.0, 40.0]}, title="scaling"
+        )
+        assert "scaling" in out
+        assert "shape:" in out
+        assert "steps" in out
+        assert "40" in out
+
+
+class TestFormatKV:
+    def test_pairs(self):
+        out = format_kv({"alpha": 1, "bb": True}, title="cfg")
+        assert "cfg" in out
+        assert "alpha : 1" in out
+        assert "✓" in out

@@ -1,0 +1,122 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fdp import FDPProcess
+from repro.sim.engine import Engine
+from repro.sim.refs import Ref
+from repro.sim.scheduler import OldestFirstScheduler, RandomScheduler
+from repro.sim.states import Capability, Mode
+
+
+def ref(pid: int) -> Ref:
+    """Shorthand reference constructor."""
+    return Ref(pid)
+
+
+def make_fdp_engine(
+    specs: dict[int, dict],
+    *,
+    oracle=None,
+    scheduler=None,
+    capability: Capability = Capability.EXIT,
+    seed: int = 0,
+    monitors=(),
+    strict: bool = True,
+    require_staying: bool = False,
+):
+    """Build a small hand-wired FDP engine from per-process specs.
+
+    ``specs[pid]`` may contain: ``mode`` (default staying), ``neighbors``
+    (dict pid -> Mode belief), ``anchor`` (pid), ``anchor_belief`` (Mode).
+    """
+
+    from repro.core.oracles import SingleOracle
+
+    procs = {}
+    for pid, spec in specs.items():
+        procs[pid] = FDPProcess(pid, spec.get("mode", Mode.STAYING))
+    for pid, spec in specs.items():
+        for npid, belief in spec.get("neighbors", {}).items():
+            procs[pid].N[procs[npid].self_ref] = belief
+        if "anchor" in spec and spec["anchor"] is not None:
+            procs[pid].anchor = procs[spec["anchor"]].self_ref
+            procs[pid].anchor_belief = spec.get("anchor_belief", Mode.STAYING)
+    return Engine(
+        procs.values(),
+        scheduler if scheduler is not None else OldestFirstScheduler(),
+        capability=capability,
+        oracle=oracle if oracle is not None else SingleOracle(),
+        seed=seed,
+        monitors=monitors,
+        strict=strict,
+        require_staying_per_component=require_staying,
+    )
+
+
+def drive_timeout(engine: Engine, pid: int):
+    """Execute the timeout action of *pid* directly (unit-test helper)."""
+    from repro.sim.process import ActionContext
+
+    engine.attach()
+    proc = engine.processes[pid]
+    ctx = ActionContext(engine, proc)
+    proc.timeout(ctx)
+    requested = ctx._close()
+    if requested is not None:
+        engine._transition(proc, requested)
+    engine._dirty = True
+    return proc
+
+
+def deliver(engine: Engine, pid: int, label: str, *args):
+    """Deposit and immediately process one message at *pid* (unit helper)."""
+    from repro.sim.process import ActionContext
+
+    engine.attach()
+    proc = engine.processes[pid]
+    msg = engine.post(None, proc.self_ref, label, tuple(args))
+    engine.channels[pid].remove(msg.seq)
+    handler = proc.handler(label)
+    assert handler is not None, f"no handler for {label}"
+    if proc.state.value == "asleep":
+        engine._transition(proc, __import__("repro.sim.states", fromlist=["PState"]).PState.AWAKE)
+    ctx = ActionContext(engine, proc)
+    handler(ctx, *msg.args)
+    requested = ctx._close()
+    if requested is not None:
+        engine._transition(proc, requested)
+    engine._dirty = True
+    return proc
+
+
+def channel_labels(engine: Engine, pid: int) -> list[str]:
+    """Labels of messages currently pending at *pid* (oldest first)."""
+    return [m.label for m in engine.channels[pid]]
+
+
+def channel_payloads(engine: Engine, pid: int) -> list[tuple]:
+    """(label, ref-pid, belief) triples pending at *pid*."""
+    from repro.sim.refs import pid_of
+
+    out = []
+    for m in engine.channels[pid]:
+        infos = list(m.refinfos())
+        if infos:
+            out.append((m.label, pid_of(infos[0].ref), infos[0].mode))
+        else:
+            out.append((m.label, None, None))
+    return out
+
+
+@pytest.fixture
+def two_staying():
+    """Two staying processes knowing each other."""
+    return make_fdp_engine(
+        {
+            0: {"neighbors": {1: Mode.STAYING}},
+            1: {"neighbors": {0: Mode.STAYING}},
+        }
+    )

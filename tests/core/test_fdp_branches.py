@@ -1,0 +1,359 @@
+"""Per-branch unit tests for the FDP protocol (Algorithms 1–3).
+
+Each test drives exactly one pseudocode branch via a hand-wired engine and
+asserts the state changes and messages the paper's line prescribes.
+"""
+
+import pytest
+
+from repro.core.oracles import NeverOracle, SingleOracle
+from repro.sim.messages import RefInfo
+from repro.sim.refs import Ref
+from repro.sim.states import Mode, PState
+
+from tests.conftest import (
+    channel_payloads,
+    deliver,
+    drive_timeout,
+    make_fdp_engine,
+)
+
+L, S = Mode.LEAVING, Mode.STAYING
+
+
+class TestTimeoutAnchorPurge:
+    """Algorithm 1 lines 1–3."""
+
+    def test_leaving_believed_anchor_purged_to_self(self):
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "anchor": 1, "anchor_belief": L},
+                1: {"mode": S},
+            }
+        )
+        p = drive_timeout(eng, 0)
+        assert p.anchor is None
+        # the anchor reference became a pending present to ourselves
+        assert ("present", 1, L) in channel_payloads(eng, 0)
+
+    def test_staying_believed_anchor_kept_by_leaving(self):
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "anchor": 1, "anchor_belief": S},
+                1: {"mode": S, "neighbors": {0: L}},
+            },
+            oracle=NeverOracle(),
+        )
+        p = drive_timeout(eng, 0)
+        assert p.anchor == Ref(1)
+
+
+class TestTimeoutLeaving:
+    """Algorithm 1 lines 4–14."""
+
+    def test_empty_n_single_true_exits(self):
+        eng = make_fdp_engine({0: {"mode": L}, 1: {"mode": S}})
+        p = drive_timeout(eng, 0)
+        assert p.state is PState.GONE
+
+    def test_empty_n_single_false_waits(self):
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L},
+                1: {"mode": S, "neighbors": {0: L}},
+                2: {"mode": S, "neighbors": {0: L}},
+            }
+        )
+        p = drive_timeout(eng, 0)
+        assert p.state is PState.AWAKE
+        assert len(eng.channels[0]) == 0  # nothing to do but wait
+
+    def test_empty_n_not_single_with_anchor_verifies(self):
+        """Lines 8–10: self-introduction to the anchor."""
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "anchor": 1, "anchor_belief": S},
+                1: {"mode": S},
+                2: {"mode": S, "neighbors": {0: L}},
+                3: {"mode": S, "neighbors": {0: L}},
+            }
+        )
+        drive_timeout(eng, 0)
+        assert ("present", 0, L) in channel_payloads(eng, 1)
+
+    def test_exit_with_anchor_only_is_single(self):
+        """A leaving process whose only partner is its anchor may exit."""
+        eng = make_fdp_engine(
+            {0: {"mode": L, "anchor": 1, "anchor_belief": S}, 1: {"mode": S}}
+        )
+        p = drive_timeout(eng, 0)
+        assert p.state is PState.GONE
+
+    def test_nonempty_n_drained_to_self(self):
+        """Lines 11–14: every neighbour forwarded to ourselves, N cleared."""
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "neighbors": {1: S, 2: L}},
+                1: {"mode": S},
+                2: {"mode": L},
+            }
+        )
+        p = drive_timeout(eng, 0)
+        assert p.N == {}
+        payloads = channel_payloads(eng, 0)
+        assert ("forward", 1, S) in payloads
+        assert ("forward", 2, L) in payloads
+        assert p.state is PState.AWAKE  # no exit while refs outstanding
+
+    def test_drain_happens_even_with_anchor(self):
+        """The liveness-critical parse decision (transcription note 1)."""
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "anchor": 2, "anchor_belief": S, "neighbors": {1: S}},
+                1: {"mode": S},
+                2: {"mode": S},
+            }
+        )
+        p = drive_timeout(eng, 0)
+        assert p.N == {}
+        assert ("forward", 1, S) in channel_payloads(eng, 0)
+
+
+class TestTimeoutStaying:
+    """Algorithm 1 lines 15–22."""
+
+    def test_anchor_cleared_to_self(self):
+        eng = make_fdp_engine(
+            {0: {"anchor": 1, "anchor_belief": S}, 1: {"mode": S}}
+        )
+        p = drive_timeout(eng, 0)
+        assert p.anchor is None
+        assert ("present", 1, S) in channel_payloads(eng, 0)
+
+    def test_leaving_neighbors_dropped_and_reversed(self):
+        """Lines 20–22: drop + present(u) = reversal."""
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: L}}, 1: {"mode": L, "neighbors": {0: S}}}
+        )
+        p = drive_timeout(eng, 0)
+        assert Ref(1) not in p.N
+        assert ("present", 0, S) in channel_payloads(eng, 1)
+
+    def test_staying_neighbors_kept_and_introduced(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {"mode": S}}
+        )
+        p = drive_timeout(eng, 0)
+        assert p.N == {Ref(1): S}
+        assert ("present", 0, S) in channel_payloads(eng, 1)
+
+    def test_mixed_neighborhood(self):
+        eng = make_fdp_engine(
+            {
+                0: {"neighbors": {1: S, 2: L}},
+                1: {"mode": S},
+                2: {"mode": L, "neighbors": {0: S}},
+            }
+        )
+        p = drive_timeout(eng, 0)
+        assert set(p.N) == {Ref(1)}
+        assert ("present", 0, S) in channel_payloads(eng, 1)
+        assert ("present", 0, S) in channel_payloads(eng, 2)
+
+
+class TestPresentAction:
+    """Algorithm 2."""
+
+    def test_self_reference_discarded(self):
+        eng = make_fdp_engine({0: {"mode": S}})
+        p = deliver(eng, 0, "present", RefInfo(Ref(0), S))
+        assert p.N == {}
+        assert len(eng.channels[0]) == 0
+
+    def test_line1_anchor_dropped_on_leaving_info(self):
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "anchor": 1, "anchor_belief": S},
+                1: {"mode": L},
+                2: {"mode": S, "neighbors": {0: L, 1: L}},
+            },
+            oracle=NeverOracle(),
+        )
+        p = deliver(eng, 0, "present", RefInfo(Ref(1), L))
+        assert p.anchor is None
+
+    def test_leaving_gets_leaving_ref_reverses(self):
+        """Lines 4–5."""
+        eng = make_fdp_engine(
+            {0: {"mode": L}, 1: {"mode": L}, 2: {"mode": S, "neighbors": {0: L, 1: L}}}
+        )
+        deliver(eng, 0, "present", RefInfo(Ref(1), L))
+        assert ("forward", 0, L) in channel_payloads(eng, 1)
+
+    def test_staying_gets_leaving_ref_drops_and_reverses(self):
+        """Lines 6–9."""
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: L}}, 1: {"mode": L, "neighbors": {0: S}}}
+        )
+        p = deliver(eng, 0, "present", RefInfo(Ref(1), L))
+        assert Ref(1) not in p.N
+        assert ("forward", 0, S) in channel_payloads(eng, 1)
+
+    def test_staying_gets_leaving_ref_not_stored_still_reverses(self):
+        eng = make_fdp_engine(
+            {0: {}, 1: {"mode": L, "neighbors": {0: S}}}
+        )
+        deliver(eng, 0, "present", RefInfo(Ref(1), L))
+        assert ("forward", 0, S) in channel_payloads(eng, 1)
+
+    def test_leaving_no_anchor_adopts_staying_ref(self):
+        """Lines 14–15."""
+        eng = make_fdp_engine(
+            {0: {"mode": L}, 1: {"mode": S, "neighbors": {0: L}}}
+        )
+        p = deliver(eng, 0, "present", RefInfo(Ref(1), S))
+        assert p.anchor == Ref(1)
+        assert p.anchor_belief is S
+
+    def test_leaving_with_anchor_reverses_staying_ref(self):
+        """Lines 12–13."""
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "anchor": 2, "anchor_belief": S},
+                1: {"mode": S},
+                2: {"mode": S, "neighbors": {0: L}},
+            }
+        )
+        p = deliver(eng, 0, "present", RefInfo(Ref(1), S))
+        assert p.anchor == Ref(2)  # unchanged
+        assert ("forward", 0, L) in channel_payloads(eng, 1)
+
+    def test_staying_stores_staying_ref(self):
+        """Lines 16–17."""
+        eng = make_fdp_engine({0: {}, 1: {"mode": S}})
+        p = deliver(eng, 0, "present", RefInfo(Ref(1), S))
+        assert p.N == {Ref(1): S}
+
+    def test_fusion_on_duplicate(self):
+        eng = make_fdp_engine({0: {"neighbors": {1: S}}, 1: {"mode": S}})
+        p = deliver(eng, 0, "present", RefInfo(Ref(1), S))
+        assert len(p.N) == 1
+
+    def test_missing_mode_treated_as_staying(self):
+        """Transcription note 3."""
+        eng = make_fdp_engine({0: {}, 1: {"mode": S}})
+        p = deliver(eng, 0, "present", RefInfo(Ref(1), None))
+        assert p.N == {Ref(1): S}
+
+
+class TestForwardAction:
+    """Algorithm 3."""
+
+    def test_self_reference_discarded(self):
+        eng = make_fdp_engine({0: {"mode": S}})
+        p = deliver(eng, 0, "forward", RefInfo(Ref(0), S))
+        assert p.N == {}
+
+    def test_line1_anchor_dropped(self):
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "anchor": 1, "anchor_belief": S},
+                1: {"mode": L},
+                2: {"mode": S, "neighbors": {0: L, 1: L}},
+            },
+            oracle=NeverOracle(),
+        )
+        p = deliver(eng, 0, "forward", RefInfo(Ref(1), L))
+        assert p.anchor is None
+        # anchor now gone and ref believed leaving: reversal (lines 5–6)
+        assert ("forward", 0, L) in channel_payloads(eng, 1)
+
+    def test_leaving_no_anchor_reverses_leaving_ref(self):
+        """Lines 5–6 (the FDP ping-pong move that SINGLE terminates)."""
+        eng = make_fdp_engine(
+            {0: {"mode": L}, 1: {"mode": L}, 2: {"mode": S, "neighbors": {0: L, 1: L}}}
+        )
+        deliver(eng, 0, "forward", RefInfo(Ref(1), L))
+        assert ("forward", 0, L) in channel_payloads(eng, 1)
+
+    def test_leaving_with_anchor_delegates_leaving_ref(self):
+        """Lines 7–8: delegation to the anchor."""
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "anchor": 2, "anchor_belief": S},
+                1: {"mode": L},
+                2: {"mode": S, "neighbors": {1: L}},
+            }
+        )
+        deliver(eng, 0, "forward", RefInfo(Ref(1), L))
+        assert ("forward", 1, L) in channel_payloads(eng, 2)
+
+    def test_staying_drops_and_reverses_leaving_ref(self):
+        """Lines 9–12."""
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: L}}, 1: {"mode": L, "neighbors": {0: S}}}
+        )
+        p = deliver(eng, 0, "forward", RefInfo(Ref(1), L))
+        assert Ref(1) not in p.N
+        assert ("forward", 0, S) in channel_payloads(eng, 1)
+
+    def test_leaving_with_anchor_delegates_staying_ref(self):
+        """Lines 15–16."""
+        eng = make_fdp_engine(
+            {
+                0: {"mode": L, "anchor": 2, "anchor_belief": S},
+                1: {"mode": S},
+                2: {"mode": S, "neighbors": {0: L}},
+            }
+        )
+        deliver(eng, 0, "forward", RefInfo(Ref(1), S))
+        assert ("forward", 1, S) in channel_payloads(eng, 2)
+
+    def test_leaving_no_anchor_adopts_staying_ref(self):
+        """Lines 17–18."""
+        eng = make_fdp_engine(
+            {0: {"mode": L}, 1: {"mode": S, "neighbors": {0: L}}}
+        )
+        p = deliver(eng, 0, "forward", RefInfo(Ref(1), S))
+        assert p.anchor == Ref(1)
+
+    def test_staying_stores_staying_ref(self):
+        """Lines 19–20."""
+        eng = make_fdp_engine({0: {}, 1: {"mode": S}})
+        p = deliver(eng, 0, "forward", RefInfo(Ref(1), S))
+        assert p.N == {Ref(1): S}
+
+
+class TestConstructionEdgeCases:
+    def test_self_neighbor_ignored(self):
+        from repro.core.fdp import FDPProcess
+
+        p = FDPProcess(0, S, neighbors=[Ref(0), Ref(1)])
+        assert set(p.N) == {Ref(1)}
+
+    def test_self_anchor_ignored(self):
+        from repro.core.fdp import FDPProcess
+
+        p = FDPProcess(0, L, anchor=Ref(0))
+        assert p.anchor is None
+
+    def test_neighbors_mapping_with_beliefs(self):
+        from repro.core.fdp import FDPProcess
+
+        p = FDPProcess(0, S, neighbors={Ref(1): L, Ref(2): S})
+        assert p.N[Ref(1)] is L
+
+    def test_stored_refs_includes_anchor(self):
+        from repro.core.fdp import FDPProcess
+
+        p = FDPProcess(0, L, neighbors=[Ref(1)], anchor=Ref(2), anchor_belief=S)
+        pids = {info.ref for info in p.stored_refs()}
+        assert pids == {Ref(1), Ref(2)}
+
+    def test_describe_vars(self):
+        from repro.core.fdp import FDPProcess
+
+        p = FDPProcess(0, L, anchor=Ref(1), anchor_belief=S)
+        d = p.describe_vars()
+        assert d["anchor"] == "Ref<1>"
+        assert d["anchor_belief"] == "staying"

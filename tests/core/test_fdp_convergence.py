@@ -1,0 +1,220 @@
+"""Integration tests: Theorem 3 — the FDP protocol self-stabilizes.
+
+Safety (Lemma 2) and Φ-monotonicity (Lemma 3) are enforced per-step by
+monitors during every run; liveness is the convergence assertion itself.
+"""
+
+import pytest
+
+from repro.core.oracles import NeverOracle, SingleOracle
+from repro.core.potential import fdp_legitimate, relevant_connected_per_component
+from repro.core.scenarios import (
+    CLEAN,
+    HEAVY_CORRUPTION,
+    LIGHT_CORRUPTION,
+    build_fdp_engine,
+    choose_leaving,
+)
+from repro.graphs import generators as gen
+from repro.sim.monitors import ConnectivityMonitor, PotentialMonitor
+from repro.sim.scheduler import (
+    AdversarialScheduler,
+    OldestFirstScheduler,
+    RandomScheduler,
+    SynchronousScheduler,
+)
+from repro.sim.states import PState
+
+BUDGET = 300_000
+
+
+def converge(eng, budget=BUDGET):
+    return eng.run(budget, until=fdp_legitimate, check_every=64)
+
+
+def monitors():
+    return [ConnectivityMonitor(check_every=2), PotentialMonitor(check_every=2)]
+
+
+class TestCleanStates:
+    @pytest.mark.parametrize(
+        "topology",
+        ["ring", "bidirected_line", "star", "binary_tree", "clique"],
+    )
+    def test_converges_on_named_topologies(self, topology):
+        n = 10
+        edges = gen.GENERATORS[topology](n)
+        leaving = choose_leaving(n, edges, fraction=0.3, seed=1)
+        eng = build_fdp_engine(
+            n, edges, leaving, seed=1, corruption=CLEAN, monitors=monitors()
+        )
+        assert converge(eng)
+        assert eng.stats.exits == len(leaving)
+
+    def test_no_leaving_trivially_legitimate(self):
+        eng = build_fdp_engine(6, gen.ring(6), leaving=set(), seed=0)
+        assert converge(eng, budget=5_000)
+        assert eng.stats.exits == 0
+
+    def test_all_but_one_leaving(self):
+        n = 8
+        edges = gen.clique(n)
+        eng = build_fdp_engine(n, edges, leaving=set(range(1, n)), seed=2)
+        assert converge(eng)
+        survivors = [p for p in eng.processes.values() if p.state is not PState.GONE]
+        assert len(survivors) == 1 and survivors[0].is_staying
+
+
+class TestCorruptedStates:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heavy_corruption(self, seed):
+        n = 14
+        edges = gen.random_connected(n, 7, seed=seed)
+        leaving = choose_leaving(n, edges, fraction=0.4, seed=seed)
+        eng = build_fdp_engine(
+            n,
+            edges,
+            leaving,
+            seed=seed,
+            corruption=HEAVY_CORRUPTION,
+            monitors=monitors(),
+        )
+        assert converge(eng)
+        assert eng.potential() == 0
+
+    def test_bridge_topology_with_leaving_bridge_endpoint(self):
+        """The disconnection-risk case SINGLE exists to prevent: a leaving
+        articulation-like process."""
+        n = 10
+        edges = gen.two_cliques_bridge(n)
+        eng = build_fdp_engine(
+            n,
+            edges,
+            leaving={n // 2 - 1, n // 2},  # both bridge endpoints leave
+            seed=5,
+            corruption=LIGHT_CORRUPTION,
+            monitors=monitors(),
+        )
+        assert converge(eng)
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize(
+        "sched_factory",
+        [
+            lambda s: RandomScheduler(s),
+            lambda s: OldestFirstScheduler(),
+            lambda s: AdversarialScheduler(patience=32, seed=s),
+            lambda s: SynchronousScheduler(seed=s),
+        ],
+        ids=["random", "oldest", "adversarial", "sync"],
+    )
+    def test_converges_under_every_fair_scheduler(self, sched_factory):
+        n = 12
+        edges = gen.lollipop(n)
+        leaving = choose_leaving(n, edges, fraction=0.5, seed=9)
+        eng = build_fdp_engine(
+            n,
+            edges,
+            leaving,
+            seed=9,
+            scheduler=sched_factory(9),
+            corruption=HEAVY_CORRUPTION,
+            monitors=monitors(),
+        )
+        assert converge(eng)
+
+
+class TestClosure:
+    def test_legitimate_states_stay_legitimate(self):
+        """Closure: after reaching legitimacy, every subsequent state is
+        legitimate (the staying protocol churns but never regresses)."""
+        n = 10
+        edges = gen.random_connected(n, 5, seed=3)
+        leaving = choose_leaving(n, edges, fraction=0.3, seed=3)
+        eng = build_fdp_engine(
+            n, edges, leaving, seed=3, corruption=LIGHT_CORRUPTION
+        )
+        assert converge(eng)
+        for _ in range(300):
+            eng.step()
+            assert fdp_legitimate(eng)
+
+
+class TestOracleDependence:
+    def test_never_oracle_blocks_liveness_but_not_safety(self):
+        n = 8
+        edges = gen.ring(n)
+        leaving = choose_leaving(n, edges, fraction=0.4, seed=1)
+        eng = build_fdp_engine(
+            n,
+            edges,
+            leaving,
+            seed=1,
+            oracle=NeverOracle(),
+            monitors=monitors(),
+        )
+        assert not converge(eng, budget=20_000)
+        assert eng.stats.exits == 0
+        assert relevant_connected_per_component(eng)  # safety intact
+
+    def test_oracle_queries_counted(self):
+        n = 6
+        edges = gen.ring(n)
+        eng = build_fdp_engine(n, edges, leaving={2}, seed=0)
+        assert converge(eng)
+        assert eng.stats.oracle_queries >= 1
+        assert eng.stats.oracle_true >= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        def run(seed):
+            n = 10
+            edges = gen.random_connected(n, 5, seed=7)
+            leaving = choose_leaving(n, edges, fraction=0.4, seed=7)
+            eng = build_fdp_engine(
+                n, edges, leaving, seed=seed, corruption=HEAVY_CORRUPTION
+            )
+            converge(eng)
+            return (eng.step_count, eng.stats.as_dict())
+
+        assert run(123) == run(123)
+
+    def test_different_seeds_generally_differ(self):
+        def steps(seed):
+            n = 10
+            edges = gen.random_connected(n, 5, seed=7)
+            leaving = choose_leaving(n, edges, fraction=0.4, seed=7)
+            eng = build_fdp_engine(
+                n, edges, leaving, seed=seed, corruption=HEAVY_CORRUPTION
+            )
+            converge(eng)
+            return eng.step_count
+
+        results = {steps(s) for s in range(5)}
+        assert len(results) > 1
+
+
+class TestStructuralOutcome:
+    def test_gone_processes_have_left_the_graph(self):
+        n = 10
+        edges = gen.clique(n)
+        leaving = choose_leaving(n, edges, count=4, seed=2)
+        eng = build_fdp_engine(n, edges, leaving, seed=2)
+        assert converge(eng)
+        snap = eng.snapshot()
+        for pid in leaving:
+            assert pid not in snap
+
+    def test_staying_connected_after_half_leave(self):
+        n = 16
+        edges = gen.random_connected(n, 4, seed=11)
+        leaving = choose_leaving(n, edges, fraction=0.5, seed=11)
+        eng = build_fdp_engine(
+            n, edges, leaving, seed=11, corruption=LIGHT_CORRUPTION
+        )
+        assert converge(eng)
+        snap = eng.snapshot()
+        staying = snap.staying()
+        assert snap.is_weakly_connected(staying)

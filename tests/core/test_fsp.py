@@ -1,0 +1,266 @@
+"""The FSP variant: unit tests for its adaptations plus convergence.
+
+The FSP-specific machinery (parking, park notification, one-shot anchor
+verification) exists to remove livelocks of the naive exit→sleep
+translation; each unit test here pins one of those behaviours.
+"""
+
+import pytest
+
+from repro.core.fsp import FSPProcess
+from repro.core.potential import fsp_legitimate
+from repro.core.scenarios import (
+    HEAVY_CORRUPTION,
+    build_fsp_engine,
+    choose_leaving,
+)
+from repro.graphs import generators as gen
+from repro.sim.engine import Engine
+from repro.sim.messages import RefInfo
+from repro.sim.monitors import PotentialMonitor
+from repro.sim.refs import Ref
+from repro.sim.scheduler import AdversarialScheduler, OldestFirstScheduler, RandomScheduler
+from repro.sim.states import Capability, Mode, PState
+
+from tests.conftest import channel_payloads
+
+L, S = Mode.LEAVING, Mode.STAYING
+
+BUDGET = 300_000
+
+
+def make_fsp(specs, scheduler=None):
+    procs = {}
+    for pid, spec in specs.items():
+        procs[pid] = FSPProcess(pid, spec.get("mode", S))
+    for pid, spec in specs.items():
+        for npid, belief in spec.get("neighbors", {}).items():
+            procs[pid].N[procs[npid].self_ref] = belief
+        if spec.get("anchor") is not None:
+            procs[pid].anchor = procs[spec["anchor"]].self_ref
+            procs[pid].anchor_belief = spec.get("anchor_belief", S)
+        for ppid, belief in spec.get("parked", {}).items():
+            procs[pid].parked[procs[ppid].self_ref] = belief
+    return Engine(
+        procs.values(),
+        scheduler if scheduler is not None else OldestFirstScheduler(),
+        capability=Capability.SLEEP,
+        require_staying_per_component=False,
+    )
+
+
+def drive_timeout(eng, pid):
+    from tests.conftest import drive_timeout as dt
+
+    return dt(eng, pid)
+
+
+def deliver(eng, pid, label, *args):
+    from tests.conftest import deliver as dv
+
+    return dv(eng, pid, label, *args)
+
+
+class TestSleepInsteadOfExit:
+    def test_drained_leaving_process_sleeps(self):
+        eng = make_fsp({0: {"mode": L}, 1: {}})
+        p = drive_timeout(eng, 0)
+        assert p.state is PState.ASLEEP
+
+    def test_no_oracle_needed(self):
+        """The engine has no oracle configured; sleeping must not consult one."""
+        eng = make_fsp({0: {"mode": L}, 1: {}})
+        drive_timeout(eng, 0)  # would raise ConfigurationError if it asked
+
+    def test_staying_never_sleeps(self):
+        eng = make_fsp({0: {"neighbors": {1: S}}, 1: {}})
+        p = drive_timeout(eng, 0)
+        assert p.state is PState.AWAKE
+
+
+class TestParking:
+    def test_forwarded_leaving_ref_parked_not_bounced(self):
+        """Adaptation 2: the FDP would reverse here; the FSP parks."""
+        eng = make_fsp({0: {"mode": L}, 1: {"mode": L}})
+        p = deliver(eng, 0, "forward", RefInfo(Ref(1), L))
+        assert p.parked == {Ref(1): L}
+
+    def test_first_park_notifies_true_mode(self):
+        """Adaptation 3: self-introduction over the fresh parked edge."""
+        eng = make_fsp({0: {"mode": L}, 1: {"mode": L}})
+        deliver(eng, 0, "forward", RefInfo(Ref(1), L))
+        assert ("present", 0, L) in channel_payloads(eng, 1)
+
+    def test_repark_is_silent(self):
+        eng = make_fsp({0: {"mode": L}, 1: {"mode": L}})
+        deliver(eng, 0, "forward", RefInfo(Ref(1), L))
+        n_msgs = len(eng.channels[1])
+        deliver(eng, 0, "forward", RefInfo(Ref(1), L))
+        assert len(eng.channels[1]) == n_msgs  # no second notification
+
+    def test_parked_refs_drain_to_anchor(self):
+        eng = make_fsp(
+            {
+                0: {"mode": L, "anchor": 2, "anchor_belief": S, "parked": {1: L}},
+                1: {"mode": L},
+                2: {},
+            }
+        )
+        p = drive_timeout(eng, 0)
+        assert p.parked == {}
+        assert ("forward", 1, L) in channel_payloads(eng, 2)
+
+    def test_parked_anchor_requeued_to_self(self):
+        """u, v, w pairwise distinct: the anchor itself cannot be delegated
+        to the anchor."""
+        eng = make_fsp(
+            {
+                0: {"mode": L, "anchor": 1, "anchor_belief": S, "parked": {1: L}},
+                1: {},
+            }
+        )
+        p = drive_timeout(eng, 0)
+        assert p.parked == {}
+        assert ("present", 1, L) in channel_payloads(eng, 0)
+
+    def test_parked_edges_are_stored_refs(self):
+        p = FSPProcess(0, L)
+        p.parked[Ref(3)] = L
+        assert any(info.ref == Ref(3) for info in p.stored_refs())
+
+    def test_present_leaving_leaving_still_reverses(self):
+        """The present path keeps the FDP reversal (its answer travels as
+        forward and gets parked — one round-trip, no ping-pong)."""
+        eng = make_fsp({0: {"mode": L}, 1: {"mode": L}})
+        deliver(eng, 0, "present", RefInfo(Ref(1), L))
+        assert ("forward", 0, L) in channel_payloads(eng, 1)
+
+
+class TestAnchorVerification:
+    def test_probe_sent_once(self):
+        eng = make_fsp(
+            {0: {"mode": L, "anchor": 1, "anchor_belief": S}, 1: {}}
+        )
+        drive_timeout(eng, 0)
+        assert ("present", 0, L) in channel_payloads(eng, 1)
+        n = len(eng.channels[1])
+        p = eng.processes[0]
+        # woken again: no second probe
+        eng._transition(p, PState.AWAKE)
+        drive_timeout(eng, 0)
+        assert len(eng.channels[1]) == n
+
+    def test_confirmation_sets_verified(self):
+        eng = make_fsp(
+            {0: {"mode": L, "anchor": 1, "anchor_belief": S}, 1: {}}
+        )
+        p = deliver(eng, 0, "forward", RefInfo(Ref(1), S))
+        assert p.anchor_verified
+
+    def test_leaving_answer_purges_anchor_and_parks(self):
+        eng = make_fsp(
+            {0: {"mode": L, "anchor": 1, "anchor_belief": S}, 1: {"mode": L}}
+        )
+        p = deliver(eng, 0, "forward", RefInfo(Ref(1), L))
+        assert p.anchor is None
+        assert Ref(1) in p.parked
+
+    def test_new_anchor_resets_verification(self):
+        eng = make_fsp({0: {"mode": L}, 1: {}})
+        p = eng.processes[0]
+        p.anchor_verified = True
+        p.anchor_probe_sent = True
+        deliver(eng, 0, "forward", RefInfo(Ref(1), S))  # adopts anchor 1
+        assert p.anchor == Ref(1)
+        assert not p.anchor_verified
+        assert not p.anchor_probe_sent
+
+
+class TestLivelockRegressions:
+    def test_mutual_references_resolve(self):
+        """Two anchor-less leaving processes knowing only each other: the
+        naive FSP ping-pongs forever; parking ends it."""
+        eng = make_fsp(
+            {
+                0: {"mode": L, "neighbors": {1: L}},
+                1: {"mode": L, "neighbors": {0: L}},
+                2: {"neighbors": {0: L}},
+            },
+        )
+        assert eng.run(50_000, until=fsp_legitimate, check_every=16)
+
+    def test_mutual_anchor_pair_resolves(self):
+        """Two leaving processes anchored at each other with (invalid)
+        staying beliefs: one-shot verification flushes the lie."""
+        eng = make_fsp(
+            {
+                0: {"mode": L, "anchor": 1, "anchor_belief": S},
+                1: {"mode": L, "anchor": 0, "anchor_belief": S},
+                2: {"neighbors": {0: L}},
+            },
+        )
+        assert eng.run(50_000, until=fsp_legitimate, check_every=16)
+
+    def test_parked_staying_process_learns_truth(self):
+        """Park notification lets a wrongly-believed-leaving staying process
+        correct the lie and reconnect."""
+        eng = make_fsp(
+            {
+                0: {"mode": L, "neighbors": {1: L}},  # 1 is actually staying!
+                1: {},
+                2: {"neighbors": {0: L}},
+            },
+        )
+        eng.processes[0].N[Ref(1)] = L  # the lie
+        assert eng.run(50_000, until=fsp_legitimate, check_every=16)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heavy_corruption_random_and_adversarial(self, seed):
+        n = 12
+        edges = gen.random_connected(n, 6, seed=seed)
+        leaving = choose_leaving(n, edges, fraction=0.5, seed=seed)
+        sched = (
+            AdversarialScheduler(patience=32, seed=seed)
+            if seed % 2
+            else RandomScheduler(seed)
+        )
+        eng = build_fsp_engine(
+            n,
+            edges,
+            leaving,
+            seed=seed,
+            scheduler=sched,
+            corruption=HEAVY_CORRUPTION,
+            monitors=[PotentialMonitor(check_every=4)],
+        )
+        assert eng.run(BUDGET, until=fsp_legitimate, check_every=64)
+
+    def test_hibernating_processes_stay_asleep(self):
+        """The [15] claim reproduced in the paper: a hibernating process is
+        permanently asleep (closure of the FSP legitimate state)."""
+        n = 10
+        edges = gen.ring(n)
+        leaving = choose_leaving(n, edges, fraction=0.4, seed=2)
+        eng = build_fsp_engine(n, edges, leaving, seed=2)
+        assert eng.run(BUDGET, until=fsp_legitimate, check_every=64)
+        sleeping = {
+            pid for pid, p in eng.processes.items() if p.state is PState.ASLEEP
+        }
+        for _ in range(500):
+            eng.step()
+            assert fsp_legitimate(eng)
+        for pid in sleeping:
+            assert eng.processes[pid].state is PState.ASLEEP
+        assert eng.stats.wakes == 0 or all(
+            eng.processes[pid].state is PState.ASLEEP for pid in sleeping
+        )
+
+    def test_no_exits_ever_in_fsp(self):
+        n = 8
+        edges = gen.star(n)
+        leaving = choose_leaving(n, edges, fraction=0.4, seed=4)
+        eng = build_fsp_engine(n, edges, leaving, seed=4)
+        assert eng.run(BUDGET, until=fsp_legitimate, check_every=32)
+        assert eng.stats.exits == 0

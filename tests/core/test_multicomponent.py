@@ -1,0 +1,92 @@
+"""Multi-component systems: legitimacy is per initial component.
+
+The paper's condition (iii) quantifies over the weakly connected
+components of the *initial* process graph. Copy-store-send protocols can
+never merge components (no process can learn a reference nobody in its
+component holds), so each component must converge independently — and
+the engine/monitors must judge them independently.
+"""
+
+import pytest
+
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import (
+    LIGHT_CORRUPTION,
+    build_fdp_engine,
+    build_fsp_engine,
+)
+from repro.graphs import generators as gen
+from repro.sim.monitors import ConnectivityMonitor
+from repro.sim.refs import pid_of
+from repro.sim.states import PState
+
+
+def two_rings(n_each: int) -> list[tuple[int, int]]:
+    first = gen.ring(n_each)
+    second = [(a + n_each, b + n_each) for a, b in gen.ring(n_each)]
+    return first + second
+
+
+class TestComponentIsolation:
+    def test_components_never_merge(self):
+        n = 12
+        edges = two_rings(6)
+        eng = build_fdp_engine(
+            n, edges, leaving={2, 8}, seed=1, corruption=LIGHT_CORRUPTION
+        )
+        assert eng.run(200_000, until=fdp_legitimate, check_every=32)
+        snap = eng.snapshot()
+        comps = snap.weakly_connected_components()
+        # still (at least) two components; no reference crossed the gap
+        assert len(comps) >= 2
+        for e in snap.edges:
+            assert (e.src < 6) == (e.dst < 6)
+
+    def test_initial_components_recorded_separately(self):
+        eng = build_fdp_engine(8, two_rings(4), leaving=set(), seed=0)
+        eng.attach()
+        assert len(eng.initial_components) == 2
+
+    def test_per_component_convergence(self):
+        n = 14
+        edges = two_rings(7)
+        eng = build_fdp_engine(
+            n,
+            edges,
+            leaving={1, 2, 8, 9},
+            seed=3,
+            corruption=LIGHT_CORRUPTION,
+            monitors=[ConnectivityMonitor(check_every=4)],
+        )
+        assert eng.run(300_000, until=fdp_legitimate, check_every=64)
+        for pid in (1, 2, 8, 9):
+            assert eng.processes[pid].state is PState.GONE
+
+    def test_fsp_multicomponent(self):
+        n = 12
+        edges = two_rings(6)
+        eng = build_fsp_engine(
+            n, edges, leaving={0, 7}, seed=4, corruption=LIGHT_CORRUPTION
+        )
+        assert eng.run(300_000, until=fsp_legitimate, check_every=64)
+
+    def test_isolated_singletons(self):
+        """Isolated staying processes are their own (trivially legitimate)
+        components."""
+        eng = build_fdp_engine(5, [(0, 1), (1, 0)], leaving={1}, seed=5)
+        assert eng.run(100_000, until=fdp_legitimate, check_every=16)
+        # pids 2..4 never did anything but their timeouts
+        for pid in (2, 3, 4):
+            assert eng.processes[pid].state is PState.AWAKE
+
+    def test_component_with_all_leavers_rejected_by_builder_fix(self):
+        """choose_leaving flips one process per component back to staying;
+        manual leaving sets violating the precondition are rejected by the
+        engine at attach."""
+        from repro.errors import ConfigurationError
+
+        eng = build_fdp_engine(
+            6, two_rings(3), leaving={3, 4, 5}, seed=6
+        )
+        with pytest.raises(ConfigurationError, match="staying"):
+            eng.attach()

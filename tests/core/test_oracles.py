@@ -1,0 +1,175 @@
+"""Oracle semantics on hand-wired process graphs."""
+
+import pytest
+
+from repro.core.oracles import (
+    ORACLES,
+    AlwaysOracle,
+    NeverOracle,
+    NoIncomingOracle,
+    SingleOracle,
+    TimeoutSingleOracle,
+)
+from repro.sim.engine import Engine
+from repro.sim.messages import RefInfo
+from repro.sim.process import Process
+from repro.sim.scheduler import OldestFirstScheduler
+from repro.sim.states import Capability, Mode, PState
+
+
+class Holder(Process):
+    def __init__(self, pid, mode=Mode.STAYING):
+        super().__init__(pid, mode)
+        self.refs = {}
+
+    def stored_refs(self):
+        return (RefInfo(r, m) for r, m in self.refs.items())
+
+    def on_noop(self, ctx, *args):
+        pass
+
+
+def wire(n, explicit=(), leaving=(), implicit=()):
+    procs = {
+        i: Holder(i, Mode.LEAVING if i in leaving else Mode.STAYING)
+        for i in range(n)
+    }
+    for a, b in explicit:
+        procs[a].refs[procs[b].self_ref] = procs[b].mode
+    eng = Engine(
+        procs.values(),
+        OldestFirstScheduler(),
+        capability=Capability.EXIT,
+        require_staying_per_component=False,
+    )
+    for a, b in implicit:
+        eng.post(None, eng.ref(a), "noop", (RefInfo(eng.ref(b), procs[b].mode),))
+    return eng
+
+
+class TestSingleOracle:
+    def test_isolated_process_single(self):
+        eng = wire(2)
+        assert SingleOracle()(eng, 0)
+
+    def test_one_partner_single(self):
+        eng = wire(3, explicit=[(0, 1)])
+        assert SingleOracle()(eng, 0)
+        assert SingleOracle()(eng, 1)
+
+    def test_two_partners_not_single(self):
+        eng = wire(3, explicit=[(0, 1), (2, 0)])
+        assert not SingleOracle()(eng, 0)
+
+    def test_implicit_edges_count(self):
+        """In-flight references are edges with the process too."""
+        eng = wire(3, explicit=[(0, 1)], implicit=[(2, 0)])
+        assert not SingleOracle()(eng, 0)
+
+    def test_refs_carried_in_own_channel_count(self):
+        eng = wire(3, explicit=[(0, 1)], implicit=[(0, 2)])
+        assert not SingleOracle()(eng, 0)
+
+    def test_gone_partner_irrelevant(self):
+        eng = wire(3, explicit=[(0, 1), (2, 0)], leaving={2})
+        eng.attach()
+        eng._transition(eng.processes[2], PState.GONE)
+        assert SingleOracle()(eng, 0)
+
+    def test_hibernating_partner_irrelevant(self):
+        eng = wire(3, explicit=[(0, 1), (2, 0)], leaving={2})
+        eng.attach()
+        eng._transition(eng.processes[2], PState.ASLEEP)
+        # 2 is asleep with empty channel and nobody points to it: hibernating
+        assert SingleOracle()(eng, 0)
+
+    def test_self_loop_ignored(self):
+        eng = wire(2, explicit=[(0, 0), (0, 1)])
+        assert SingleOracle()(eng, 0)
+
+    def test_multi_edges_to_same_partner_still_single(self):
+        eng = wire(2, explicit=[(0, 1)], implicit=[(0, 1), (1, 0)])
+        assert SingleOracle()(eng, 0)
+
+
+class TestTrivialOracles:
+    def test_always(self):
+        eng = wire(3, explicit=[(0, 1), (0, 2), (1, 0), (2, 0)])
+        assert AlwaysOracle()(eng, 0)
+
+    def test_never(self):
+        eng = wire(1)
+        assert not NeverOracle()(eng, 0)
+
+    def test_registry(self):
+        assert set(ORACLES) == {
+            "single",
+            "always",
+            "never",
+            "timeout_single",
+            "no_incoming",
+        }
+
+
+class TestTimeoutSingleOracle:
+    def test_agrees_with_single_on_explicit_graphs(self):
+        eng = wire(3, explicit=[(0, 1), (2, 0)])
+        assert TimeoutSingleOracle()(eng, 0) == SingleOracle()(eng, 0)
+        eng2 = wire(3, explicit=[(0, 1)])
+        assert TimeoutSingleOracle()(eng2, 0) == SingleOracle()(eng2, 0)
+
+    def test_blind_to_inflight_references_elsewhere(self):
+        """The unsafe gap: a reference to us in someone else's channel is
+        invisible to the timeout-based approximation."""
+        eng = wire(3, explicit=[(0, 1)], implicit=[(2, 0)])
+        assert not SingleOracle()(eng, 0)  # exact oracle sees the edge
+        assert TimeoutSingleOracle()(eng, 0)  # approximation does not
+
+    def test_sees_own_channel(self):
+        eng = wire(3, explicit=[(0, 1)], implicit=[(0, 2)])
+        assert not TimeoutSingleOracle()(eng, 0)
+
+    def test_grace_requires_streak(self):
+        eng = wire(2, explicit=[(0, 1)])
+        oracle = TimeoutSingleOracle(grace=2)
+        assert not oracle(eng, 0)
+        assert not oracle(eng, 0)
+        assert oracle(eng, 0)  # third consecutive positive
+
+    def test_streak_resets(self):
+        oracle = TimeoutSingleOracle(grace=1)
+        eng = wire(3, explicit=[(0, 1)])
+        assert not oracle(eng, 0)
+        # now add a second partner: streak resets
+        eng.processes[0].refs[eng.ref(2)] = Mode.STAYING
+        eng._dirty = True
+        assert not oracle(eng, 0)
+        del eng.processes[0].refs[eng.ref(2)]
+        eng._dirty = True
+        assert not oracle(eng, 0)  # streak restarted at 1
+        assert oracle(eng, 0)
+
+    def test_grace_validation(self):
+        with pytest.raises(ValueError):
+            TimeoutSingleOracle(grace=-1)
+
+
+class TestNoIncomingOracle:
+    def test_true_when_unreferenced(self):
+        eng = wire(3, explicit=[(0, 1), (0, 2)])
+        assert NoIncomingOracle()(eng, 0)  # only outgoing edges
+
+    def test_false_with_explicit_in_edge(self):
+        eng = wire(2, explicit=[(1, 0)])
+        assert not NoIncomingOracle()(eng, 0)
+
+    def test_false_with_inflight_reference(self):
+        eng = wire(3, implicit=[(2, 0)])
+        assert not NoIncomingOracle()(eng, 0)
+
+    def test_differs_from_single(self):
+        """SINGLE counts out-edges as edges 'with' the process; NoIncoming
+        does not — the design difference between the two departure styles."""
+        eng = wire(3, explicit=[(0, 1), (0, 2)])
+        assert NoIncomingOracle()(eng, 0)
+        assert not SingleOracle()(eng, 0)

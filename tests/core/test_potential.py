@@ -1,0 +1,191 @@
+"""Φ (Lemma 3) and the legitimacy predicates (Section 1.2)."""
+
+import pytest
+
+from repro.core.potential import (
+    all_leaving_gone,
+    all_leaving_hibernating,
+    all_staying_awake,
+    fdp_legitimate,
+    fsp_legitimate,
+    invalid_edges,
+    is_valid_state,
+    potential,
+    relevant_connected_per_component,
+    staying_connected_induced,
+    staying_connected_per_component,
+)
+from repro.sim.messages import RefInfo
+from repro.sim.refs import Ref
+from repro.sim.states import Mode, PState
+
+from tests.conftest import make_fdp_engine
+
+L, S = Mode.LEAVING, Mode.STAYING
+
+
+class TestPotential:
+    def test_clean_state_zero(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {"mode": L, "neighbors": {0: S}}}
+        )
+        # 0's belief about leaving 1?  not set here: 0 believes 1 staying
+        eng.processes[0].N[Ref(1)] = L
+        assert potential(eng) == 0
+
+    def test_counts_stored_lies(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {"mode": L}}
+        )
+        assert potential(eng) == 1
+        (edge,) = invalid_edges(eng)
+        assert (edge.src, edge.dst) == (0, 1)
+
+    def test_counts_anchor_lies(self):
+        eng = make_fdp_engine(
+            {0: {"mode": L, "anchor": 1, "anchor_belief": S}, 1: {"mode": L}}
+        )
+        assert potential(eng) == 1
+
+    def test_counts_inflight_lies(self):
+        eng = make_fdp_engine({0: {}, 1: {"mode": L}})
+        eng.post(None, eng.ref(0), "present", (RefInfo(Ref(1), S),))
+        assert potential(eng) == 1
+
+    def test_multi_edges_counted_individually(self):
+        eng = make_fdp_engine({0: {}, 1: {"mode": L}})
+        for _ in range(3):
+            eng.post(None, eng.ref(0), "present", (RefInfo(Ref(1), S),))
+        assert potential(eng) == 3
+
+    def test_is_valid_state(self):
+        eng = make_fdp_engine({0: {"neighbors": {1: S}}, 1: {}})
+        assert is_valid_state(eng)
+
+
+class TestConditionI:
+    def test_all_staying_awake_true_initially(self):
+        eng = make_fdp_engine({0: {}, 1: {}})
+        assert all_staying_awake(eng)
+
+    def test_detects_sleeping_staying(self):
+        from repro.sim.states import Capability
+
+        eng = make_fdp_engine({0: {}, 1: {}}, capability=Capability.BOTH)
+        eng.attach()
+        eng._transition(eng.processes[0], PState.ASLEEP)
+        assert not all_staying_awake(eng)
+
+
+class TestConditionII:
+    def test_all_leaving_gone(self):
+        eng = make_fdp_engine({0: {"mode": L}, 1: {}})
+        eng.attach()
+        assert not all_leaving_gone(eng)
+        eng._transition(eng.processes[0], PState.GONE)
+        assert all_leaving_gone(eng)
+
+    def test_hibernating_reading(self):
+        from repro.sim.states import Capability
+
+        eng = make_fdp_engine(
+            {0: {"mode": L}, 1: {}}, capability=Capability.BOTH
+        )
+        eng.attach()
+        assert not all_leaving_hibernating(eng)
+        eng._transition(eng.processes[0], PState.ASLEEP)
+        assert all_leaving_hibernating(eng)  # asleep, unreferenced, empty
+
+    def test_referenced_sleeper_not_hibernating(self):
+        from repro.sim.states import Capability
+
+        eng = make_fdp_engine(
+            {0: {"mode": L}, 1: {"neighbors": {0: L}}},
+            capability=Capability.BOTH,
+        )
+        eng.attach()
+        eng._transition(eng.processes[0], PState.ASLEEP)
+        assert not all_leaving_hibernating(eng)  # awake 1 has a path to 0
+
+
+class TestConditionIII:
+    def test_connected_staying(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {"neighbors": {0: S}}}
+        )
+        eng.attach()
+        assert staying_connected_per_component(eng)
+
+    def test_disconnection_detected(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {}}
+        )
+        eng.attach()
+        eng.processes[0].N.clear()
+        eng._dirty = True
+        assert not staying_connected_per_component(eng)
+
+    def test_pg_reading_allows_hibernating_joints(self):
+        """Two staying processes held together only by a sleeping leaving
+        process: legitimate under the PG reading, not under the induced
+        one."""
+        from repro.sim.states import Capability
+
+        eng = make_fdp_engine(
+            {
+                0: {},
+                1: {},
+                2: {"mode": L, "neighbors": {0: S, 1: S}},
+            },
+            capability=Capability.BOTH,
+        )
+        eng.attach()
+        eng._transition(eng.processes[2], PState.ASLEEP)
+        assert staying_connected_per_component(eng)
+        assert not staying_connected_induced(eng)
+
+    def test_separate_initial_components_independent(self):
+        eng = make_fdp_engine({0: {}, 1: {}})  # two singleton components
+        eng.attach()
+        assert staying_connected_per_component(eng)
+
+    def test_relevant_connectivity(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: L}}, 1: {"mode": L, "neighbors": {0: S}}}
+        )
+        eng.attach()
+        assert relevant_connected_per_component(eng)
+        eng.processes[0].N.clear()
+        eng.processes[1].N.clear()
+        eng._dirty = True
+        assert not relevant_connected_per_component(eng)
+
+
+class TestFullPredicates:
+    def test_fdp_legitimate_end_state(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {"neighbors": {0: S}}, 2: {"mode": L}}
+        )
+        eng.attach()
+        assert not fdp_legitimate(eng)  # 2 not gone yet
+        eng._transition(eng.processes[2], PState.GONE)
+        assert fdp_legitimate(eng)
+
+    def test_fsp_legitimate_end_state(self):
+        from repro.sim.states import Capability
+
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {"neighbors": {0: S}}, 2: {"mode": L}},
+            capability=Capability.BOTH,
+        )
+        eng.attach()
+        assert not fsp_legitimate(eng)
+        eng._transition(eng.processes[2], PState.ASLEEP)
+        assert fsp_legitimate(eng)
+
+    def test_fdp_requires_staying_connectivity(self):
+        eng = make_fdp_engine({0: {"neighbors": {1: S}}, 1: {}})
+        eng.attach()
+        eng.processes[0].N.clear()
+        eng._dirty = True
+        assert not fdp_legitimate(eng)

@@ -1,0 +1,226 @@
+"""The four primitives: preconditions, effects, and Lemma 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.primitives import (
+    Primitive,
+    PrimitiveGraph,
+    PrimitiveOp,
+    apply_schedule,
+)
+from repro.errors import ModelViolation
+
+
+def pg(edges, nodes=None, **kw):
+    nodes = nodes if nodes is not None else sorted({x for e in edges for x in e}) or [0]
+    return PrimitiveGraph(nodes, edges, **kw)
+
+
+class TestIntroduction:
+    def test_creates_edge_keeps_originals(self):
+        g = pg([(0, 1), (0, 2)])
+        g.introduce(0, 1, 2)
+        assert g.has_edge(1, 2)
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_requires_both_edges(self):
+        g = pg([(0, 1)], nodes=[0, 1, 2])
+        with pytest.raises(ModelViolation):
+            g.introduce(0, 1, 2)
+
+    def test_requires_pairwise_distinct(self):
+        g = pg([(0, 1), (0, 2)])
+        with pytest.raises(ModelViolation):
+            g.introduce(0, 1, 1)
+
+    def test_parallel_copies_accumulate(self):
+        g = pg([(0, 1), (0, 2), (1, 2)])
+        g.introduce(0, 1, 2)
+        assert g.multiplicity(1, 2) == 2
+
+
+class TestSelfIntroduction:
+    def test_creates_reverse_edge(self):
+        g = pg([(0, 1)])
+        g.self_introduce(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.has_edge(0, 1)
+
+    def test_requires_edge(self):
+        g = pg([], nodes=[0, 1])
+        with pytest.raises(ModelViolation):
+            g.self_introduce(0, 1)
+
+    def test_requires_distinct(self):
+        g = pg([(0, 1)])
+        with pytest.raises(ModelViolation):
+            g.self_introduce(0, 0)
+
+
+class TestDelegation:
+    def test_moves_edge(self):
+        g = pg([(0, 1), (0, 2)])
+        g.delegate(0, 1, 2)
+        assert not g.has_edge(0, 2)
+        assert g.has_edge(1, 2)
+        assert g.has_edge(0, 1)
+
+    def test_requires_pairwise_distinct(self):
+        """Delegating v's own ref to v (w = v) is forbidden — this is what
+        makes Reversal non-redundant on two nodes (Theorem 2)."""
+        g = pg([(0, 1)])
+        with pytest.raises(ModelViolation):
+            g.delegate(0, 1, 1)
+
+    def test_requires_both_edges(self):
+        g = pg([(0, 1)], nodes=[0, 1, 2])
+        with pytest.raises(ModelViolation):
+            g.delegate(0, 1, 2)
+
+    def test_moves_one_copy_only(self):
+        g = pg([(0, 1), (0, 2), (0, 2)])
+        g.delegate(0, 1, 2)
+        assert g.multiplicity(0, 2) == 1
+        assert g.multiplicity(1, 2) == 1
+
+
+class TestFusion:
+    def test_consumes_duplicate(self):
+        g = pg([(0, 1), (0, 1)])
+        g.fuse(0, 1)
+        assert g.multiplicity(0, 1) == 1
+
+    def test_requires_two_copies(self):
+        g = pg([(0, 1)])
+        with pytest.raises(ModelViolation):
+            g.fuse(0, 1)
+
+    def test_single_self_loop_cannot_be_fused(self):
+        g = pg([(0, 0)])
+        with pytest.raises(ModelViolation):
+            g.fuse(0, 0)
+
+    def test_duplicate_self_loops_can(self):
+        g = pg([(0, 0), (0, 0)])
+        g.fuse(0, 0)
+        assert g.multiplicity(0, 0) == 1
+
+
+class TestReversal:
+    def test_flips_edge(self):
+        g = pg([(0, 1)])
+        g.reverse(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_requires_edge(self):
+        g = pg([], nodes=[0, 1])
+        with pytest.raises(ModelViolation):
+            g.reverse(0, 1)
+
+    def test_self_loop_cannot_reverse(self):
+        g = pg([(0, 0)])
+        with pytest.raises(ModelViolation):
+            g.reverse(0, 0)
+
+
+class TestLogAndReplay:
+    def test_operations_logged(self):
+        g = pg([(0, 1), (0, 2)])
+        g.introduce(0, 1, 2)
+        assert len(g.log) == 1
+        assert g.log[0].primitive is Primitive.INTRODUCTION
+
+    def test_replay_reproduces_graph(self):
+        g = pg([(0, 1), (0, 2)])
+        g.introduce(0, 1, 2)
+        g.self_introduce(0, 1)
+        g.delegate(0, 1, 2)
+        replayed = apply_schedule(pg([(0, 1), (0, 2)]), g.log)
+        assert replayed == g
+
+    def test_apply_unknown_via_dataclass(self):
+        g = pg([(0, 1)])
+        op = PrimitiveOp(Primitive.REVERSAL, 0, 1)
+        g.apply(op)
+        assert g.has_edge(1, 0)
+
+    def test_symbols(self):
+        assert Primitive.INTRODUCTION.symbol == "♦"
+        assert Primitive.DELEGATION.symbol == "♥"
+        assert Primitive.FUSION.symbol == "♠"
+        assert Primitive.REVERSAL.symbol == "♣"
+
+
+class TestGraphQueries:
+    def test_out_neighbours(self):
+        g = pg([(0, 1), (0, 2), (1, 2)])
+        assert g.out_neighbours(0) == {1, 2}
+
+    def test_edge_count_counts_copies(self):
+        g = pg([(0, 1), (0, 1), (1, 0)])
+        assert g.edge_count() == 3
+
+    def test_copy_is_independent(self):
+        g = pg([(0, 1)])
+        h = g.copy()
+        h.reverse(0, 1)
+        assert g.has_edge(0, 1)
+        assert not h.has_edge(0, 1)
+
+    def test_state_key_hashable_and_canonical(self):
+        g1 = pg([(0, 1), (1, 2)])
+        g2 = pg([(1, 2), (0, 1)])
+        assert g1.state_key() == g2.state_key()
+
+    def test_edges_iteration_with_multiplicity(self):
+        g = pg([(0, 1), (0, 1)])
+        assert sorted(g.edges()) == [(0, 1), (0, 1)]
+
+    def test_unknown_node_edge_rejected(self):
+        with pytest.raises(ModelViolation):
+            PrimitiveGraph([0, 1], [(0, 5)])
+
+
+# ----------------------------------------------------------------- Lemma 1
+
+
+@st.composite
+def connected_graph_and_ops(draw):
+    """A random weakly connected multigraph plus a random primitive walk."""
+    n = draw(st.integers(2, 6))
+    # random spanning structure + extras
+    edges = []
+    for i in range(1, n):
+        p = draw(st.integers(0, i - 1))
+        edges.append((p, i) if draw(st.booleans()) else (i, p))
+    for _ in range(draw(st.integers(0, 6))):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            edges.append((a, b))
+    steps = draw(st.integers(0, 30))
+    choices = draw(st.lists(st.integers(0, 10**6), min_size=steps, max_size=steps))
+    return n, edges, choices
+
+
+class TestLemma1:
+    @given(connected_graph_and_ops())
+    @settings(max_examples=80, deadline=None)
+    def test_random_primitive_walks_preserve_weak_connectivity(self, case):
+        """Lemma 1, property-based: any applicable primitive sequence keeps
+        the graph weakly connected (checked after every operation)."""
+        from repro.core.universality import enumerate_ops
+
+        n, edges, choices = case
+        g = PrimitiveGraph(range(n), edges, check_connectivity=True)
+        assert g.is_weakly_connected()
+        allowed = frozenset(Primitive)
+        for c in choices:
+            ops = enumerate_ops(g, allowed, max_multiplicity=3)
+            if not ops:
+                break
+            g.apply(ops[c % len(ops)])  # check_connectivity asserts Lemma 1
+        assert g.is_weakly_connected()

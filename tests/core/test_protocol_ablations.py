@@ -1,0 +1,146 @@
+"""Protocol ablations: demonstrating that the pseudocode's pieces are
+load-bearing.
+
+Each ablation removes one element of the Algorithms 1–3 transcription and
+exhibits an admissible initial state from which the crippled protocol
+makes no departure progress within a generous budget — while the faithful
+protocol converges quickly from the same state. (Bounded runs cannot
+prove non-termination; each case also states the invariant explaining
+*why* no later progress is possible.)
+"""
+
+import pytest
+
+from repro.core.fdp import FDPProcess
+from repro.core.oracles import SingleOracle
+from repro.core.potential import fdp_legitimate
+from repro.sim.engine import Engine
+from repro.sim.messages import RefInfo
+from repro.sim.refs import Ref
+from repro.sim.scheduler import OldestFirstScheduler
+from repro.sim.states import Capability, Mode
+
+L, S = Mode.LEAVING, Mode.STAYING
+
+
+class NoReversalFDPProcess(FDPProcess):
+    """Ablation: a staying process drops leaving-believed neighbours
+    WITHOUT the paired reversal (Algorithm 1 line 22's present for the
+    dropped case) — an edge deletion that is not a primitive."""
+
+    def timeout(self, ctx):
+        if self.mode is S:
+            if self.anchor is not None:
+                self._clear_anchor_to_self(ctx)
+            for v, belief in list(self.N.items()):
+                if belief is L:
+                    del self.N[v]  # drop ... and tell nobody (NOT ♣)
+                else:
+                    ctx.send(v, "present", RefInfo(self.self_ref, self.mode))
+            return
+        super().timeout(ctx)
+
+
+class NoDrainFDPProcess(FDPProcess):
+    """Ablation: the rejected parse of Algorithm 1 lines 8–14 — a leaving
+    process with an anchor only verifies it and never drains N."""
+
+    def timeout(self, ctx):
+        if self.anchor is not None and self.anchor_belief is L:
+            self._clear_anchor_to_self(ctx)
+        if self.mode is L:
+            if not self.N:
+                if self._consult_oracle(ctx):
+                    self._departure_ready(ctx)
+                elif self.anchor is not None:
+                    ctx.send(self.anchor, "present", RefInfo(self.self_ref, L))
+            elif self.anchor is not None:
+                # the alternative reading: anchor present, N untouched
+                ctx.send(self.anchor, "present", RefInfo(self.self_ref, L))
+            else:
+                for v, belief in self.N.items():
+                    ctx.send(self.self_ref, "forward", RefInfo(v, belief))
+                self.N.clear()
+            return
+        super().timeout(ctx)
+
+
+def build(process_cls, specs):
+    procs = {}
+    for pid, spec in specs.items():
+        procs[pid] = process_cls(pid, spec.get("mode", S))
+    for pid, spec in specs.items():
+        for npid, belief in spec.get("neighbors", {}).items():
+            procs[pid].N[procs[npid].self_ref] = belief
+        if spec.get("anchor") is not None:
+            procs[pid].anchor = procs[spec["anchor"]].self_ref
+            procs[pid].anchor_belief = spec.get("anchor_belief", S)
+    return Engine(
+        procs.values(),
+        OldestFirstScheduler(),
+        capability=Capability.EXIT,
+        oracle=SingleOracle(),
+    )
+
+
+#: the edge (0, 1) is the only thing tying staying 0 to the rest; the
+#: leaving process 1 does not know 0 back.
+SCENARIO_NO_REVERSAL = {
+    0: {"neighbors": {1: L}},
+    1: {"mode": L, "neighbors": {2: S}},
+    2: {},
+}
+
+#: leaving 0 holds an anchor AND a neighbour — the state the rejected
+#: parse can never clear.
+SCENARIO_NO_DRAIN = {
+    0: {"mode": L, "anchor": 2, "anchor_belief": S, "neighbors": {1: S}},
+    1: {"mode": S, "neighbors": {2: S}},
+    2: {"mode": S, "neighbors": {1: S}},
+}
+
+
+class TestNoReversalAblation:
+    def test_faithful_protocol_converges(self):
+        eng = build(FDPProcess, SCENARIO_NO_REVERSAL)
+        assert eng.run(50_000, until=fdp_legitimate, check_every=16)
+
+    def test_silent_drop_disconnects_the_overlay(self):
+        """Dropping a reference without the reversal is not one of the
+        four primitives; on this instance it severs staying 0 from the
+        rest permanently — the Lemma 2 monitor raises at the exact step."""
+        from repro.errors import SafetyViolation
+        from repro.sim.monitors import ConnectivityMonitor
+
+        eng = build(NoReversalFDPProcess, SCENARIO_NO_REVERSAL)
+        eng.monitors.append(ConnectivityMonitor(check_every=1))
+        with pytest.raises(SafetyViolation, match="Lemma 2"):
+            eng.run(30_000, until=fdp_legitimate, check_every=64)
+
+    def test_silent_drop_blocks_legitimacy(self):
+        """Without the monitor: the run simply never reaches condition
+        (iii) — staying 0 and 2 are permanently disconnected (no process
+        holds any reference bridging them, and copy-store-send cannot
+        manufacture one)."""
+        eng = build(NoReversalFDPProcess, SCENARIO_NO_REVERSAL)
+        assert not eng.run(30_000, until=fdp_legitimate, check_every=64)
+        from repro.core.potential import staying_connected_per_component
+
+        assert not staying_connected_per_component(eng)
+
+
+class TestNoDrainAblation:
+    def test_faithful_protocol_converges(self):
+        eng = build(FDPProcess, SCENARIO_NO_DRAIN)
+        assert eng.run(50_000, until=fdp_legitimate, check_every=16)
+
+    def test_rejected_parse_never_departs(self):
+        """Invariant: with a (correct, staying) anchor present, the
+        rejected reading never executes the drain, so 0's stored edge to 1
+        persists; SINGLE(0) sees partners {1, 2} at every state and 0 can
+        never exit — the contradiction with Lemma 3 that justified the
+        transcription choice (DESIGN.md, fdp.py note 1)."""
+        eng = build(NoDrainFDPProcess, SCENARIO_NO_DRAIN)
+        assert not eng.run(30_000, until=fdp_legitimate, check_every=64)
+        assert eng.stats.exits == 0
+        assert Ref(1) in eng.processes[0].N  # the never-drained neighbour

@@ -1,0 +1,155 @@
+"""Stronger-than-connectivity safety measures (future-work module)."""
+
+import math
+
+import pytest
+
+from repro.core.potential import fdp_legitimate
+from repro.core.safety_plus import (
+    StretchMonitor,
+    degree_blowup,
+    staying_distances,
+    staying_out_degrees,
+    stretch,
+)
+from repro.core.scenarios import build_fdp_engine, choose_leaving
+from repro.errors import SafetyViolation
+from repro.graphs import generators as gen
+from repro.sim.states import Mode
+
+from tests.conftest import make_fdp_engine
+
+S, L = Mode.STAYING, Mode.LEAVING
+
+
+class TestStayingDistances:
+    def test_line_distances(self):
+        eng = make_fdp_engine(
+            {
+                0: {"neighbors": {1: S}},
+                1: {"neighbors": {2: S}},
+                2: {},
+            }
+        )
+        d = staying_distances(eng)
+        assert d[(0, 2)] == 2
+        assert d[(2, 0)] == 2  # undirected view
+
+    def test_leaving_excluded(self):
+        eng = make_fdp_engine(
+            {
+                0: {"neighbors": {1: L}},
+                1: {"mode": L, "neighbors": {2: S}},
+                2: {},
+            }
+        )
+        d = staying_distances(eng)
+        assert (0, 2) not in d  # only connected through the leaver
+
+
+class TestStretch:
+    def test_unchanged_graph_stretch_one(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {"neighbors": {0: S}}}
+        )
+        base = staying_distances(eng)
+        assert stretch(eng, base) == 1.0
+
+    def test_detour_detected(self):
+        eng = make_fdp_engine(
+            {
+                0: {"neighbors": {1: S, 2: S}},
+                1: {"neighbors": {2: S}},
+                2: {},
+            }
+        )
+        base = staying_distances(eng)
+        # remove the direct 0–2 edge: distance 1 becomes 2 via 1
+        del eng.processes[0].N[eng.ref(2)]
+        eng._dirty = True
+        assert stretch(eng, base) == pytest.approx(2.0)
+
+    def test_disconnection_is_infinite(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {}}
+        )
+        base = staying_distances(eng)
+        eng.processes[0].N.clear()
+        eng._dirty = True
+        assert math.isinf(stretch(eng, base))
+
+    def test_restricted_pairs(self):
+        eng = make_fdp_engine(
+            {
+                0: {"neighbors": {1: S, 2: S}},
+                1: {"neighbors": {2: S}},
+                2: {},
+            }
+        )
+        base = staying_distances(eng)
+        del eng.processes[0].N[eng.ref(2)]
+        eng._dirty = True
+        assert stretch(eng, base, pairs=[(0, 1)]) == 1.0
+
+
+class TestDegreeBlowup:
+    def test_no_growth(self):
+        eng = make_fdp_engine(
+            {0: {"neighbors": {1: S}}, 1: {}}
+        )
+        base = staying_out_degrees(eng)
+        assert degree_blowup(eng, base) == 1.0
+
+    def test_growth_measured(self):
+        eng = make_fdp_engine({0: {"neighbors": {1: S}}, 1: {}, 2: {}})
+        base = staying_out_degrees(eng)
+        eng.processes[0].N[eng.ref(2)] = S
+        eng._dirty = True
+        assert degree_blowup(eng, base) == pytest.approx(2.0)
+
+    def test_zero_baseline_compared_to_one(self):
+        eng = make_fdp_engine({0: {}, 1: {}})
+        base = staying_out_degrees(eng)
+        eng.processes[0].N[eng.ref(1)] = S
+        eng._dirty = True
+        assert degree_blowup(eng, base) == pytest.approx(1.0)
+
+
+class TestStretchMonitor:
+    def test_records_series_on_real_run(self):
+        n = 10
+        edges = gen.ring(n)
+        leaving = choose_leaving(n, edges, fraction=0.3, seed=2)
+        monitor = StretchMonitor(check_every=8)
+        eng = build_fdp_engine(n, edges, leaving, seed=2, monitors=[monitor])
+        assert eng.run(200_000, until=fdp_legitimate, check_every=32)
+        assert monitor.series  # sampled
+        assert monitor.peak >= 1.0
+        # final stretch finite: stayers end connected
+        assert not math.isinf(monitor.series[-1])
+
+    def test_bound_enforced(self):
+        class Dropper(Exception):
+            pass
+
+        eng = make_fdp_engine(
+            {
+                0: {"neighbors": {1: S, 2: S}},
+                1: {"neighbors": {2: S}},
+                2: {},
+            }
+        )
+        monitor = StretchMonitor(bound=1.0, check_every=1)
+        eng.monitors.append(monitor)
+        eng.attach()
+        # force a detour by removing the direct edge, then step
+        monitor(eng, None)  # captures baseline
+        del eng.processes[0].N[eng.ref(2)]
+        eng._dirty = True
+        eng.step_count = 1  # align with check_every
+        with pytest.raises(SafetyViolation, match="stretch"):
+            monitor(eng, None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StretchMonitor(check_every=0)

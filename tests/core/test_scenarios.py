@@ -1,0 +1,175 @@
+"""Scenario builder tests: admissibility, corruption knobs, determinism."""
+
+import pytest
+
+from repro.core.scenarios import (
+    CLEAN,
+    HEAVY_CORRUPTION,
+    LIGHT_CORRUPTION,
+    Corruption,
+    build_fdp_engine,
+    build_fsp_engine,
+    choose_leaving,
+    components_of_edges,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import generators as gen
+from repro.sim.refs import pid_of
+from repro.sim.states import Mode
+
+
+class TestChooseLeaving:
+    def test_fraction_size(self):
+        leaving = choose_leaving(20, gen.ring(20), fraction=0.5, seed=0)
+        assert 8 <= len(leaving) <= 10  # component fix may shrink slightly
+
+    def test_count(self):
+        leaving = choose_leaving(10, gen.ring(10), count=3, seed=0)
+        assert len(leaving) == 3
+
+    def test_every_component_keeps_a_stayer(self):
+        # two disjoint rings
+        edges = gen.ring(5) + [(a + 5, b + 5) for a, b in gen.ring(5)]
+        leaving = choose_leaving(10, edges, fraction=1.0, seed=3)
+        for comp in components_of_edges(10, edges):
+            assert comp - leaving, "component fully leaving"
+
+    def test_exclusive_parameters(self):
+        with pytest.raises(ConfigurationError):
+            choose_leaving(5, gen.ring(5), fraction=0.5, count=2)
+        with pytest.raises(ConfigurationError):
+            choose_leaving(5, gen.ring(5))
+
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            choose_leaving(5, gen.ring(5), fraction=1.5)
+
+    def test_deterministic(self):
+        a = choose_leaving(20, gen.ring(20), fraction=0.4, seed=9)
+        b = choose_leaving(20, gen.ring(20), fraction=0.4, seed=9)
+        assert a == b
+
+
+class TestCorruption:
+    def test_clean_has_zero_potential(self):
+        eng = build_fdp_engine(8, gen.ring(8), leaving={2}, corruption=CLEAN)
+        assert eng.potential() == 0
+
+    def test_lies_raise_potential(self):
+        eng = build_fdp_engine(
+            10,
+            gen.clique(10),
+            leaving={1, 2, 3},
+            corruption=Corruption(belief_lie_prob=1.0),
+            seed=4,
+        )
+        assert eng.potential() > 0
+
+    def test_garbage_fills_channels(self):
+        eng = build_fdp_engine(
+            8,
+            gen.ring(8),
+            leaving={2},
+            corruption=Corruption(garbage_per_process=2.0),
+            seed=1,
+        )
+        assert sum(len(ch) for ch in eng.channels.values()) == 16
+
+    def test_anchors_planted_within_component(self):
+        edges = gen.ring(4) + [(a + 4, b + 4) for a, b in gen.ring(4)]
+        eng = build_fdp_engine(
+            8,
+            edges,
+            leaving={1, 5},
+            corruption=Corruption(anchor_prob=1.0),
+            seed=2,
+        )
+        for pid, proc in eng.processes.items():
+            if proc.anchor is not None:
+                assert (pid < 4) == (pid_of(proc.anchor) < 4)
+
+    def test_scaled(self):
+        half = HEAVY_CORRUPTION.scaled(0.5)
+        assert half.belief_lie_prob == pytest.approx(0.25)
+        assert half.garbage_per_process == pytest.approx(1.0)
+        capped = HEAVY_CORRUPTION.scaled(10.0)
+        assert capped.belief_lie_prob == 1.0
+
+    def test_presets_ordered(self):
+        assert (
+            CLEAN.belief_lie_prob
+            < LIGHT_CORRUPTION.belief_lie_prob
+            < HEAVY_CORRUPTION.belief_lie_prob
+        )
+
+
+class TestBuilders:
+    def test_modes_assigned(self):
+        eng = build_fdp_engine(6, gen.ring(6), leaving={1, 4})
+        assert eng.processes[1].mode is Mode.LEAVING
+        assert eng.processes[0].mode is Mode.STAYING
+
+    def test_neighborhoods_from_edges(self):
+        eng = build_fdp_engine(4, [(0, 1), (2, 3), (3, 0)], leaving=set())
+        assert eng.ref(1) in eng.processes[0].N
+        assert eng.ref(3) in eng.processes[2].N
+        assert eng.ref(2) not in eng.processes[0].N
+
+    def test_self_loops_skipped(self):
+        eng = build_fdp_engine(3, [(0, 0), (0, 1), (1, 2)], leaving=set())
+        assert eng.ref(0) not in eng.processes[0].N
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_fdp_engine(3, [(0, 9)], leaving=set())
+
+    def test_bad_leaving_pid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_fdp_engine(3, gen.ring(3), leaving={9})
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_fdp_engine(0, [], leaving=set())
+
+    def test_fsp_builder_uses_sleep_capability(self):
+        eng = build_fsp_engine(4, gen.ring(4), leaving={1})
+        assert eng.capability.allows_sleep
+        assert not eng.capability.allows_exit
+
+    def test_fdp_builder_uses_exit_capability(self):
+        eng = build_fdp_engine(4, gen.ring(4), leaving={1})
+        assert eng.capability.allows_exit
+        assert not eng.capability.allows_sleep
+
+    def test_identical_seeds_identical_initial_state(self):
+        def fingerprint(seed):
+            eng = build_fdp_engine(
+                8,
+                gen.ring(8),
+                leaving={1, 3},
+                seed=seed,
+                corruption=HEAVY_CORRUPTION,
+            )
+            return (
+                eng.potential(),
+                sum(len(c) for c in eng.channels.values()),
+                {
+                    pid: sorted(repr(i) for i in p.stored_refs())
+                    for pid, p in eng.processes.items()
+                },
+            )
+
+        assert fingerprint(5) == fingerprint(5)
+
+
+class TestComponentsOfEdges:
+    def test_two_components(self):
+        comps = components_of_edges(4, [(0, 1), (2, 3)])
+        assert {frozenset(c) for c in comps} == {
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+        }
+
+    def test_isolated_nodes_are_components(self):
+        comps = components_of_edges(3, [])
+        assert len(comps) == 3

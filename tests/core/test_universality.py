@@ -1,0 +1,233 @@
+"""Theorem 1 (universality), Corollary 1 and Theorem 2 (necessity)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.primitives import Primitive, PrimitiveGraph
+from repro.core.universality import (
+    NECESSITY_WITNESSES,
+    bidirected_extension,
+    plan_transformation,
+    plan_weak_transformation,
+    restricted_reachable,
+    rounds_to_clique,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import generators as gen
+
+
+@st.composite
+def connected_edge_list(draw, n):
+    edges = set()
+    for i in range(1, n):
+        p = draw(st.integers(0, i - 1))
+        edges.add((p, i) if draw(st.booleans()) else (i, p))
+    for _ in range(draw(st.integers(0, n))):
+        a, b = draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1))
+        if a != b:
+            edges.add((a, b))
+    return sorted(edges)
+
+
+@st.composite
+def transformation_instance(draw):
+    n = draw(st.integers(2, 7))
+    return n, draw(connected_edge_list(n)), draw(connected_edge_list(n))
+
+
+class TestTheorem1:
+    @given(transformation_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_any_to_any(self, case):
+        """The planner transforms any weakly connected G into any G′, with
+        Lemma 1 holding at every intermediate step (checked replay)."""
+        n, initial, target = case
+        plan = plan_transformation(range(n), initial, target)
+        result = plan.replay(check_connectivity=True)
+        assert result.simple_edges() == frozenset(target)
+        assert all(result.multiplicity(a, b) == 1 for a, b in target)
+
+    def test_line_to_ring(self):
+        plan = plan_transformation(range(6), gen.line(6), gen.ring(6))
+        assert plan.replay().simple_edges() == frozenset(gen.ring(6))
+
+    def test_ring_to_star(self):
+        plan = plan_transformation(range(5), gen.ring(5), gen.star(5))
+        assert plan.replay().simple_edges() == frozenset(gen.star(5))
+
+    def test_single_edge_reversal_instance(self):
+        plan = plan_transformation([0, 1], [(0, 1)], [(1, 0)])
+        assert plan.replay().simple_edges() == {(1, 0)}
+        assert any(op.primitive is Primitive.REVERSAL for op in plan.schedule)
+
+    def test_identity_transformation(self):
+        edges = gen.ring(4)
+        plan = plan_transformation(range(4), edges, edges)
+        assert plan.replay().simple_edges() == frozenset(edges)
+
+    def test_multigraph_initial_deduped(self):
+        plan = plan_transformation([0, 1], [(0, 1), (0, 1), (1, 0)], [(0, 1), (1, 0)])
+        g = plan.replay()
+        assert g.multiplicity(0, 1) == 1
+
+    def test_single_node(self):
+        plan = plan_transformation([0], [], [])
+        assert len(plan) == 0
+
+    def test_counts_accounting(self):
+        plan = plan_transformation(range(5), gen.line(5), gen.ring(5))
+        counts = plan.counts()
+        assert sum(counts.values()) == len(plan)
+        assert counts["introduction"] > 0
+
+    def test_rejects_disconnected_initial(self):
+        with pytest.raises(ConfigurationError):
+            plan_transformation(range(4), [(0, 1)], gen.ring(4))
+
+    def test_rejects_disconnected_target(self):
+        with pytest.raises(ConfigurationError):
+            plan_transformation(range(4), gen.ring(4), [(0, 1)])
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ConfigurationError, match="self-loop"):
+            plan_transformation(range(2), [(0, 1), (0, 0)], [(0, 1)])
+
+    def test_rejects_foreign_nodes(self):
+        with pytest.raises(ConfigurationError):
+            plan_transformation(range(2), [(0, 5)], [(0, 1)])
+
+
+class TestCliqueRounds:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_logarithmic_rounds_on_bidirected_line(self, n):
+        """Theorem 1's O(log n) clique-formation claim: distances halve per
+        introduction round."""
+        rounds = rounds_to_clique(range(n), gen.bidirected_line(n))
+        assert rounds <= math.ceil(math.log2(n)) + 1
+
+    def test_clique_needs_zero_rounds(self):
+        assert rounds_to_clique(range(4), gen.clique(4)) == 0
+
+    def test_monotone_in_diameter(self):
+        line = rounds_to_clique(range(16), gen.bidirected_line(16))
+        star = rounds_to_clique(range(16), gen.star(16) + [(i, 0) for i in range(1, 16)])
+        assert star <= line
+
+
+class TestCorollary1:
+    def test_weak_plan_avoids_reversal(self):
+        plan = plan_weak_transformation(range(5), gen.line(5), gen.ring(5))
+        assert all(op.primitive is not Primitive.REVERSAL for op in plan.schedule)
+        assert plan.replay().simple_edges() == frozenset(gen.ring(5))
+
+    def test_weak_plan_to_clique(self):
+        plan = plan_weak_transformation(range(4), gen.line(4), gen.clique(4))
+        assert plan.replay().simple_edges() == frozenset(gen.clique(4))
+
+    def test_rejects_non_strongly_connected_target(self):
+        with pytest.raises(ConfigurationError, match="strongly connected"):
+            plan_weak_transformation(range(3), gen.ring(3), gen.line(3))
+
+    @given(st.integers(3, 7), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_weak_plan_to_random_ring_rotation(self, n, seed):
+        initial = gen.random_connected(n, 2, seed=seed)
+        target = gen.ring(n)
+        plan = plan_weak_transformation(range(n), initial, target)
+        assert plan.replay(check_connectivity=True).simple_edges() == frozenset(
+            target
+        )
+
+
+class TestBidirectedExtension:
+    def test_both_orientations(self):
+        assert bidirected_extension([(0, 1)]) == {(0, 1), (1, 0)}
+
+    def test_idempotent(self):
+        e = bidirected_extension([(0, 1), (1, 2)])
+        assert bidirected_extension(e) == e
+
+
+class TestTheorem2:
+    """Each primitive is necessary: the witness instances are unreachable
+    without it — verified by exhaustive search on the witness instance AND
+    by the invariant argument of the proof."""
+
+    @pytest.mark.parametrize("name", sorted(NECESSITY_WITNESSES))
+    def test_full_calculus_reaches_witness_target(self, name):
+        w = NECESSITY_WITNESSES[name]
+        plan = plan_transformation(w.nodes, w.initial, w.target)
+        assert plan.replay().simple_edges() == frozenset(w.target)
+
+    @pytest.mark.parametrize("name", ["reversal", "fusion"])
+    def test_exhaustive_unreachability_small(self, name):
+        w = NECESSITY_WITNESSES[name]
+        allowed = frozenset(Primitive) - {w.dropped}
+        if w.dropped is Primitive.INTRODUCTION:
+            allowed -= {Primitive.SELF_INTRODUCTION}
+        reachable = restricted_reachable(
+            w.nodes, w.initial, allowed, max_multiplicity=2
+        )
+        target_key = PrimitiveGraph(w.nodes, w.target).state_key()
+        assert target_key not in reachable
+
+    @pytest.mark.parametrize("name", ["introduction", "delegation"])
+    def test_exhaustive_unreachability_3nodes(self, name):
+        w = NECESSITY_WITNESSES[name]
+        allowed = frozenset(Primitive) - {w.dropped}
+        if w.dropped is Primitive.INTRODUCTION:
+            allowed -= {Primitive.SELF_INTRODUCTION}
+        reachable = restricted_reachable(
+            w.nodes, w.initial, allowed, max_multiplicity=2, max_states=500_000
+        )
+        target_key = PrimitiveGraph(w.nodes, w.target).state_key()
+        assert target_key not in reachable
+
+    @pytest.mark.parametrize("name", sorted(NECESSITY_WITNESSES))
+    def test_invariant_separates_initial_from_target(self, name):
+        """The proof's invariant differs between G and G′ in the direction
+        the restricted calculus cannot cross."""
+        w = NECESSITY_WITNESSES[name]
+        gi = PrimitiveGraph(w.nodes, w.initial)
+        gt = PrimitiveGraph(w.nodes, w.target)
+        vi, vt = w.invariant(gi), w.invariant(gt)
+        if w.invariant_kind == "non-increasing":
+            assert vt > vi  # target needs an increase — impossible
+        elif w.invariant_kind == "non-decreasing":
+            assert vt < vi  # target needs a decrease — impossible
+        elif w.invariant_kind == "superset":
+            assert not (vi <= vt)  # target lost an adjacency — impossible
+        else:  # pragma: no cover
+            pytest.fail(f"unknown kind {w.invariant_kind}")
+
+    @pytest.mark.parametrize("name", sorted(NECESSITY_WITNESSES))
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_preserved_by_restricted_walks(self, name, data):
+        """Random walks in the restricted calculus never violate the
+        invariant direction."""
+        from repro.core.universality import enumerate_ops
+
+        w = NECESSITY_WITNESSES[name]
+        allowed = frozenset(Primitive) - {w.dropped}
+        if w.dropped is Primitive.INTRODUCTION:
+            allowed -= {Primitive.SELF_INTRODUCTION}
+        g = PrimitiveGraph(w.nodes, w.initial)
+        previous = w.invariant(g)
+        for _ in range(15):
+            ops = enumerate_ops(g, allowed, max_multiplicity=3)
+            if not ops:
+                break
+            op = ops[data.draw(st.integers(0, len(ops) - 1))]
+            g.apply(op)
+            current = w.invariant(g)
+            if w.invariant_kind == "non-increasing":
+                assert current <= previous
+            elif w.invariant_kind == "non-decreasing":
+                assert current >= previous
+            elif w.invariant_kind == "superset":
+                assert previous <= current
+            previous = current

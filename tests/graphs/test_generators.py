@@ -1,0 +1,108 @@
+"""Topology generator tests: shapes, sizes and the connectivity guarantee."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.connectivity import is_weakly_connected
+
+
+def undirected(n, edges):
+    adj = {i: set() for i in range(n)}
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    return adj
+
+
+class TestShapes:
+    def test_line(self):
+        assert gen.line(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_bidirected_line(self):
+        edges = set(gen.bidirected_line(3))
+        assert edges == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_ring(self):
+        assert set(gen.ring(3)) == {(0, 1), (1, 2), (2, 0)}
+        assert gen.ring(1) == []
+
+    def test_star(self):
+        assert set(gen.star(4)) == {(0, 1), (0, 2), (0, 3)}
+        assert set(gen.star(3, center=1)) == {(1, 0), (1, 2)}
+
+    def test_clique(self):
+        edges = gen.clique(3)
+        assert len(edges) == 6
+        assert (0, 0) not in edges
+
+    def test_binary_tree(self):
+        assert set(gen.binary_tree(5)) == {(0, 1), (0, 2), (1, 3), (1, 4)}
+
+    def test_lollipop_has_clique_and_tail(self):
+        edges = set(gen.lollipop(8, head=4))
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert (i, j) in edges
+        assert (6, 7) in edges
+
+    def test_two_cliques_bridge(self):
+        edges = set(gen.two_cliques_bridge(6))
+        assert (2, 3) in edges  # the bridge
+        assert (0, 3) not in edges
+
+    def test_minimum_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            gen.line(0)
+        with pytest.raises(ValueError):
+            gen.two_cliques_bridge(3)
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            gen.random_weakly_connected_digraph(5, density=1.5)
+
+
+class TestConnectivityGuarantee:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in gen.GENERATORS if n not in ("random_tree", "random_connected")],
+    )
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_named_generators_connected(self, name, n):
+        if name == "two_cliques_bridge" and n < 4:
+            pytest.skip("size constraint")
+        edges = gen.GENERATORS[name](n)
+        assert is_weakly_connected(undirected(n, edges))
+
+    @given(st.integers(1, 40), st.integers(0, 30), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_connected_is_connected(self, n, extra, seed):
+        edges = gen.random_connected(n, extra_edges=extra, seed=seed)
+        assert is_weakly_connected(undirected(n, edges))
+        assert len(edges) >= n - 1
+
+    @given(st.integers(1, 40), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_tree_is_spanning(self, n, seed):
+        edges = gen.random_tree(n, seed=seed)
+        assert len(edges) == n - 1
+        assert is_weakly_connected(undirected(n, edges))
+
+    def test_determinism(self):
+        assert gen.random_connected(10, 5, seed=4) == gen.random_connected(
+            10, 5, seed=4
+        )
+        assert gen.random_tree(10, seed=1) == gen.random_tree(10, seed=1)
+
+    def test_no_self_loops_anywhere(self):
+        for name, fn in gen.GENERATORS.items():
+            n = 6
+            edges = fn(n)
+            assert all(a != b for a, b in edges), name
+
+    def test_edges_within_range(self):
+        for name, fn in gen.GENERATORS.items():
+            for a, b in fn(7):
+                assert 0 <= a < 7 and 0 <= b < 7, name

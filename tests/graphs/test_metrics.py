@@ -1,0 +1,104 @@
+"""Graph metric and target-topology recognizer tests."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.metrics import (
+    degree_stats,
+    density,
+    diameter,
+    eccentricities,
+    edge_count,
+    is_clique,
+    is_sorted_line,
+    is_sorted_ring,
+    is_star,
+    undirected_view,
+)
+
+
+class TestDegreeStats:
+    def test_star_degrees(self):
+        stats = degree_stats(gen.star(5), range(5))
+        assert stats["max"] == 4
+        assert stats["min"] == 0
+
+    def test_empty(self):
+        stats = degree_stats([], [])
+        assert stats["mean"] == 0.0
+
+    def test_regular_graph_zero_std(self):
+        stats = degree_stats(gen.ring(6), range(6))
+        assert stats["std"] == 0.0
+        assert stats["mean"] == 1.0
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        adj = undirected_view(gen.line(5), range(5))
+        assert diameter(adj) == 4
+
+    def test_clique_diameter(self):
+        adj = undirected_view(gen.clique(5), range(5))
+        assert diameter(adj) == 1
+
+    def test_disconnected_is_negative(self):
+        adj = undirected_view([], range(3))
+        assert diameter(adj) == -1
+
+    def test_single_node(self):
+        assert diameter({0: set()}) == 0
+
+    def test_eccentricities_of_path(self):
+        adj = undirected_view(gen.line(4), range(4))
+        ecc = eccentricities(adj)
+        assert ecc[0] == 3 and ecc[1] == 2
+
+
+class TestDensity:
+    def test_clique_density_one(self):
+        assert density(gen.clique(4), 4) == 1.0
+
+    def test_small_n(self):
+        assert density([], 1) == 0.0
+
+    def test_edge_count(self):
+        assert edge_count(gen.ring(5)) == 5
+
+
+class TestRecognizers:
+    def test_sorted_line_accepts_target(self):
+        keys = {i: float(i) for i in range(5)}
+        assert is_sorted_line(frozenset(gen.bidirected_line(5)), keys)
+
+    def test_sorted_line_rejects_extra_edge(self):
+        keys = {i: float(i) for i in range(4)}
+        edges = set(gen.bidirected_line(4)) | {(0, 3)}
+        assert not is_sorted_line(frozenset(edges), keys)
+
+    def test_sorted_line_respects_keys_not_pids(self):
+        keys = {0: 10.0, 1: 0.0, 2: 5.0}  # order: 1, 2, 0
+        edges = {(1, 2), (2, 1), (2, 0), (0, 2)}
+        assert is_sorted_line(frozenset(edges), keys)
+
+    def test_sorted_ring(self):
+        keys = {i: float(i) for i in range(4)}
+        assert is_sorted_ring(frozenset(gen.ring(4)), keys)
+        assert not is_sorted_ring(frozenset(gen.bidirected_line(4)), keys)
+
+    def test_sorted_ring_tiny(self):
+        assert is_sorted_ring(frozenset(), {0: 0.0})
+
+    def test_is_clique(self):
+        assert is_clique(frozenset(gen.clique(4)), range(4))
+        missing = set(gen.clique(4)) - {(1, 2)}
+        assert not is_clique(frozenset(missing), range(4))
+
+    def test_is_clique_allows_extra(self):
+        """Clique check is a superset check (self-loops tolerated upstream)."""
+        assert is_clique(frozenset(gen.clique(3)), range(3))
+
+    def test_is_star(self):
+        edges = {(0, 1), (1, 0), (0, 2), (2, 0)}
+        assert is_star(frozenset(edges), {0, 1, 2}, center=0)
+        assert not is_star(frozenset(edges | {(1, 2)}), {0, 1, 2}, center=0)

@@ -1,0 +1,191 @@
+"""ProcessGraph snapshot semantics: edges, hibernation, invalid info."""
+
+import pytest
+
+from repro.graphs.snapshot import Edge, EdgeKind, NodeView, ProcessGraph
+from repro.sim.states import Mode, PState
+
+
+def node(pid, mode=Mode.STAYING, state=PState.AWAKE, ch=0):
+    return NodeView(pid=pid, mode=mode, state=state, channel_len=ch)
+
+
+def graph(nodes, edges):
+    return ProcessGraph(nodes, edges)
+
+
+class TestBasics:
+    def test_nodes_and_edges(self):
+        g = graph([node(0), node(1)], [Edge(0, 1, EdgeKind.EXPLICIT)])
+        assert g.pids == {0, 1}
+        assert len(g.edges) == 1
+        assert 0 in g and 2 not in g
+
+    def test_out_in_edges(self):
+        e = Edge(0, 1, EdgeKind.IMPLICIT)
+        g = graph([node(0), node(1)], [e])
+        assert g.out_edges(0) == [e]
+        assert g.in_edges(1) == [e]
+        assert g.out_edges(1) == []
+
+    def test_edge_to_absent_node_kept_in_out_only(self):
+        """Edges to gone (absent) processes dangle: they appear in the
+        holder's out-list but not in any in-list."""
+        e = Edge(0, 5, EdgeKind.EXPLICIT)
+        g = graph([node(0)], [e])
+        assert g.out_edges(0) == [e]
+        assert g.in_edges(5) == []
+
+    def test_staying_leaving_partition(self):
+        g = graph([node(0), node(1, Mode.LEAVING)], [])
+        assert g.staying() == {0}
+        assert g.leaving() == {1}
+
+    def test_edge_multiset(self):
+        g = graph(
+            [node(0), node(1)],
+            [Edge(0, 1, EdgeKind.EXPLICIT), Edge(0, 1, EdgeKind.IMPLICIT)],
+        )
+        assert g.edge_multiset() == {(0, 1): 2}
+        assert g.simple_edges() == {(0, 1)}
+
+    def test_self_loops_excluded_from_simple_edges(self):
+        g = graph([node(0)], [Edge(0, 0, EdgeKind.EXPLICIT)])
+        assert g.simple_edges() == frozenset()
+
+
+class TestPartners:
+    def test_both_directions_count(self):
+        g = graph(
+            [node(0), node(1), node(2)],
+            [Edge(0, 1, EdgeKind.EXPLICIT), Edge(2, 0, EdgeKind.IMPLICIT)],
+        )
+        assert g.partners(0) == {1, 2}
+
+    def test_within_filter(self):
+        g = graph(
+            [node(0), node(1), node(2)],
+            [Edge(0, 1, EdgeKind.EXPLICIT), Edge(0, 2, EdgeKind.EXPLICIT)],
+        )
+        assert g.partners(0, within=frozenset({1})) == {1}
+
+    def test_self_loop_not_a_partner(self):
+        g = graph([node(0)], [Edge(0, 0, EdgeKind.EXPLICIT)])
+        assert g.partners(0) == set()
+
+
+class TestHibernation:
+    def test_quiet_isolated_sleeper_hibernates(self):
+        g = graph([node(0, Mode.LEAVING, PState.ASLEEP, ch=0)], [])
+        assert g.hibernating() == {0}
+
+    def test_nonempty_channel_blocks(self):
+        g = graph([node(0, Mode.LEAVING, PState.ASLEEP, ch=1)], [])
+        assert g.hibernating() == frozenset()
+
+    def test_awake_upstream_blocks(self):
+        g = graph(
+            [node(0, Mode.LEAVING, PState.ASLEEP), node(1)],
+            [Edge(1, 0, EdgeKind.EXPLICIT)],
+        )
+        assert g.hibernating() == frozenset()
+
+    def test_transitively_awake_upstream_blocks(self):
+        """awake → asleep → asleep chain: the far sleeper is reachable from
+        the awake node, so neither sleeper hibernates."""
+        g = graph(
+            [
+                node(0),
+                node(1, Mode.LEAVING, PState.ASLEEP),
+                node(2, Mode.LEAVING, PState.ASLEEP),
+            ],
+            [Edge(0, 1, EdgeKind.EXPLICIT), Edge(1, 2, EdgeKind.EXPLICIT)],
+        )
+        assert g.hibernating() == frozenset()
+
+    def test_mutually_parked_sleepers_hibernate(self):
+        g = graph(
+            [
+                node(0, Mode.LEAVING, PState.ASLEEP),
+                node(1, Mode.LEAVING, PState.ASLEEP),
+            ],
+            [Edge(0, 1, EdgeKind.EXPLICIT), Edge(1, 0, EdgeKind.EXPLICIT)],
+        )
+        assert g.hibernating() == {0, 1}
+
+    def test_outgoing_edge_to_awake_does_not_block(self):
+        """Hibernation is about paths *to* the sleeper, not from it."""
+        g = graph(
+            [node(0, Mode.LEAVING, PState.ASLEEP), node(1)],
+            [Edge(0, 1, EdgeKind.EXPLICIT)],
+        )
+        assert g.hibernating() == {0}
+
+    def test_relevant_excludes_hibernating(self):
+        g = graph(
+            [node(0), node(1, Mode.LEAVING, PState.ASLEEP)],
+            [],
+        )
+        assert g.relevant() == {0}
+
+
+class TestConnectivityHelpers:
+    def test_is_weakly_connected_subset(self):
+        g = graph(
+            [node(0), node(1), node(2)],
+            [Edge(0, 1, EdgeKind.EXPLICIT)],
+        )
+        assert g.is_weakly_connected(frozenset({0, 1}))
+        assert not g.is_weakly_connected(frozenset({0, 2}))
+
+    def test_within_allows_intermediate_nodes(self):
+        g = graph(
+            [node(0), node(1), node(2)],
+            [Edge(0, 1, EdgeKind.EXPLICIT), Edge(1, 2, EdgeKind.EXPLICIT)],
+        )
+        members = frozenset({0, 2})
+        assert not g.is_weakly_connected(members)  # induced on {0, 2}: no edge
+        assert g.is_weakly_connected_within(members, frozenset({0, 1, 2}))
+
+    def test_filter_nodes(self):
+        g = graph(
+            [node(0), node(1, Mode.LEAVING), node(2)],
+            [Edge(0, 1, EdgeKind.EXPLICIT), Edge(0, 2, EdgeKind.EXPLICIT)],
+        )
+        sub = g.filter_nodes(lambda n: n.mode is Mode.STAYING)
+        assert sub.pids == {0, 2}
+        assert sub.simple_edges() == {(0, 2)}
+
+
+class TestInvalidEdges:
+    def actual(self, pid):
+        return Mode.LEAVING if pid == 1 else Mode.STAYING
+
+    def test_wrong_belief_counts(self):
+        g = graph(
+            [node(0), node(1, Mode.LEAVING)],
+            [Edge(0, 1, EdgeKind.EXPLICIT, Mode.STAYING)],
+        )
+        assert len(list(g.iter_invalid_edges(self.actual))) == 1
+
+    def test_correct_belief_does_not_count(self):
+        g = graph(
+            [node(0), node(1, Mode.LEAVING)],
+            [Edge(0, 1, EdgeKind.EXPLICIT, Mode.LEAVING)],
+        )
+        assert list(g.iter_invalid_edges(self.actual)) == []
+
+    def test_none_belief_about_leaving_counts(self):
+        """Unknown belief = implicit staying claim (transcription note 3)."""
+        g = graph(
+            [node(0), node(1, Mode.LEAVING)],
+            [Edge(0, 1, EdgeKind.IMPLICIT, None)],
+        )
+        assert len(list(g.iter_invalid_edges(self.actual))) == 1
+
+    def test_none_belief_about_staying_is_valid(self):
+        g = graph(
+            [node(0), node(2)],
+            [Edge(0, 2, EdgeKind.IMPLICIT, None)],
+        )
+        assert list(g.iter_invalid_edges(self.actual)) == []

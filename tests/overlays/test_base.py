@@ -1,0 +1,108 @@
+"""The stand-alone overlay host (OverlayProcess) and the logic contract."""
+
+import pytest
+
+from repro.errors import ConfigurationError, CopyStoreSendViolation
+from repro.graphs import generators as gen
+from repro.overlays.base import OverlayLogic, OverlayProcess
+from repro.overlays.builders import build_overlay_engine
+from repro.overlays.clique import CliqueLogic
+from repro.overlays.linearization import LinearizationLogic
+from repro.sim.engine import Engine
+from repro.sim.messages import RefInfo
+from repro.sim.refs import Ref
+from repro.sim.scheduler import OldestFirstScheduler
+from repro.sim.states import Capability, Mode
+
+
+def make(procs):
+    return Engine(
+        procs,
+        OldestFirstScheduler(),
+        capability=Capability.NONE,
+        require_staying_per_component=False,
+    )
+
+
+class TestOverlayProcessHost:
+    def test_logic_constructed_with_self_ref(self):
+        p = OverlayProcess(3, Mode.STAYING, CliqueLogic)
+        assert p.logic.self_ref == Ref(3)
+
+    def test_requires_order_propagates(self):
+        assert OverlayProcess(0, Mode.STAYING, LinearizationLogic).requires_order
+        assert not OverlayProcess(0, Mode.STAYING, CliqueLogic).requires_order
+
+    def test_stored_refs_reflect_logic(self):
+        p = OverlayProcess(0, Mode.STAYING, CliqueLogic)
+        p.logic.known.add(Ref(1))
+        assert [i.ref for i in p.stored_refs()] == [Ref(1)]
+
+    def test_p_message_dispatched_into_logic(self):
+        a = OverlayProcess(0, Mode.STAYING, CliqueLogic)
+        b = OverlayProcess(1, Mode.STAYING, CliqueLogic)
+        eng = make([a, b])
+        eng.post(None, a.self_ref, "p_insert", (RefInfo(b.self_ref, Mode.STAYING),))
+        eng.run(10, until=lambda e: False)
+        assert Ref(1) in a.logic.known
+
+    def test_unknown_label_falls_back_to_base(self):
+        p = OverlayProcess(0, Mode.STAYING, CliqueLogic)
+        assert p.handler("p_insert") is not None
+        assert p.handler("unrelated") is None
+
+    def test_sends_carry_staying_beliefs(self):
+        a = OverlayProcess(0, Mode.STAYING, CliqueLogic)
+        b = OverlayProcess(1, Mode.STAYING, CliqueLogic)
+        c = OverlayProcess(2, Mode.STAYING, CliqueLogic)
+        a.logic.known |= {b.self_ref, c.self_ref}
+        eng = make([a, b, c])
+        eng.attach()
+        from tests.conftest import drive_timeout
+
+        drive_timeout(eng, 0)
+        for msg in eng.channels[1]:
+            for info in msg.refinfos():
+                assert info.mode is Mode.STAYING
+
+    def test_describe_vars_delegates(self):
+        p = OverlayProcess(0, Mode.STAYING, CliqueLogic)
+        assert isinstance(p.describe_vars(), dict)
+
+
+class TestLogicBaseContract:
+    def test_abstract_hooks_raise(self):
+        lg = OverlayLogic(Ref(0))
+        with pytest.raises(NotImplementedError):
+            list(lg.neighbor_refs())
+        with pytest.raises(NotImplementedError):
+            lg.integrate(lambda *a: None, Ref(1))
+        with pytest.raises(NotImplementedError):
+            lg.drop_neighbor(Ref(1))
+        with pytest.raises(NotImplementedError):
+            lg.p_timeout(lambda *a: None, None)
+        with pytest.raises(NotImplementedError):
+            lg.handle(lambda *a: None, None, "x")
+        with pytest.raises(NotImplementedError):
+            OverlayLogic.target_reached(None)
+
+
+class TestBuilder:
+    def test_rejects_empty_population(self):
+        with pytest.raises(ConfigurationError):
+            build_overlay_engine(0, [], CliqueLogic)
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(ConfigurationError):
+            build_overlay_engine(3, [(0, 7)], CliqueLogic)
+
+    def test_initial_neighborhoods_wired(self):
+        eng = build_overlay_engine(3, [(0, 1), (1, 2)], CliqueLogic)
+        assert Ref(1) in eng.processes[0].logic.known
+        assert Ref(2) in eng.processes[1].logic.known
+
+    def test_keyed_logic_initialized_by_side(self):
+        eng = build_overlay_engine(3, [(1, 0), (1, 2)], LinearizationLogic)
+        lg = eng.processes[1].logic
+        assert Ref(0) in lg.left
+        assert Ref(2) in lg.right

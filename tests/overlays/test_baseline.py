@@ -1,0 +1,183 @@
+"""The Foreback-style sorted-list departure baseline (E10's comparator)."""
+
+import pytest
+
+from repro.core.potential import fdp_legitimate, relevant_connected_per_component
+from repro.core.scenarios import choose_leaving
+from repro.graphs import generators as gen
+from repro.graphs.metrics import is_sorted_line
+from repro.graphs.snapshot import EdgeKind
+from repro.overlays.baseline_foreback import BaselineListProcess
+from repro.overlays.builders import build_baseline_engine
+from repro.sim.engine import Engine
+from repro.sim.messages import RefInfo
+from repro.sim.monitors import ConnectivityMonitor
+from repro.sim.refs import Ref
+from repro.sim.scheduler import OldestFirstScheduler
+from repro.sim.states import Capability, Mode, PState
+
+from tests.conftest import channel_payloads
+
+L, S = Mode.LEAVING, Mode.STAYING
+BUDGET = 400_000
+
+
+def make_baseline(specs):
+    from repro.core.oracles import NoIncomingOracle
+
+    procs = {}
+    for pid, spec in specs.items():
+        procs[pid] = BaselineListProcess(pid, spec.get("mode", S))
+    for pid, spec in specs.items():
+        for npid, belief in spec.get("candidates", {}).items():
+            procs[pid].candidates[procs[npid].self_ref] = belief
+    return Engine(
+        procs.values(),
+        OldestFirstScheduler(),
+        capability=Capability.EXIT,
+        oracle=NoIncomingOracle(),
+        require_staying_per_component=False,
+    )
+
+
+def drive_timeout(eng, pid):
+    from tests.conftest import drive_timeout as dt
+
+    return dt(eng, pid)
+
+
+def deliver(eng, pid, label, *args):
+    from tests.conftest import deliver as dv
+
+    return dv(eng, pid, label, *args)
+
+
+class TestSheddingRule:
+    def test_staying_sheds_any_leaving(self):
+        eng = make_baseline({0: {"candidates": {1: L}}, 1: {"mode": L}})
+        p = drive_timeout(eng, 0)
+        assert Ref(1) not in p.candidates
+        assert ("b_insert", 0, S) in channel_payloads(eng, 1)
+
+    def test_leaving_sheds_smaller_key_leaving(self):
+        eng = make_baseline(
+            {5: {"mode": L, "candidates": {1: L}}, 1: {"mode": L}}
+        )
+        p = drive_timeout(eng, 5)
+        assert Ref(1) not in p.candidates
+
+    def test_leaving_keeps_larger_key_leaving(self):
+        eng = make_baseline(
+            {1: {"mode": L, "candidates": {5: L}}, 5: {"mode": L}}
+        )
+        p = drive_timeout(eng, 1)
+        assert Ref(5) in p.candidates
+
+    def test_handler_applies_same_rule(self):
+        eng = make_baseline({0: {}, 1: {"mode": L}})
+        p = deliver(eng, 0, "b_insert", RefInfo(Ref(1), L))
+        assert Ref(1) not in p.candidates
+        assert ("b_insert", 0, S) in channel_payloads(eng, 1)
+
+
+class TestLinearizeAndBridge:
+    def test_delegation_toward_sides(self):
+        eng = make_baseline(
+            {5: {"candidates": {1: S, 3: S, 7: S, 9: S}}, 1: {}, 3: {}, 7: {}, 9: {}}
+        )
+        p = drive_timeout(eng, 5)
+        assert set(p.candidates) == {Ref(3), Ref(7)}
+        assert ("b_insert", 1, S) in channel_payloads(eng, 3)
+        assert ("b_insert", 9, S) in channel_payloads(eng, 7)
+
+    def test_leaving_bridges_endpoints(self):
+        eng = make_baseline(
+            {5: {"mode": L, "candidates": {3: S, 7: S}}, 3: {}, 7: {}}
+        )
+        drive_timeout(eng, 5)
+        assert ("b_insert", 7, S) in channel_payloads(eng, 3)
+        assert ("b_insert", 3, S) in channel_payloads(eng, 7)
+
+    def test_leaving_announces_mode_when_blocked(self):
+        eng = make_baseline(
+            {5: {"mode": L, "candidates": {3: S}}, 3: {"candidates": {5: L}}}
+        )
+        drive_timeout(eng, 5)  # 3 still holds our ref: oracle false
+        assert ("b_insert", 5, L) in channel_payloads(eng, 3)
+        assert eng.processes[5].state is PState.AWAKE
+
+    def test_unreferenced_leaving_exits(self):
+        eng = make_baseline(
+            {5: {"mode": L, "candidates": {3: S, 7: S}}, 3: {}, 7: {}}
+        )
+        p = drive_timeout(eng, 5)
+        assert p.state is PState.GONE
+        # the bridge was in flight at exit time: endpoints stay connected
+        assert ("b_insert", 7, S) in channel_payloads(eng, 3)
+
+
+class TestBaselineConvergence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_converges_with_departures(self, seed):
+        n = 12
+        edges = gen.random_connected(n, 6, seed=seed)
+        leaving = choose_leaving(n, edges, fraction=0.4, seed=seed)
+        eng = build_baseline_engine(
+            n,
+            edges,
+            leaving,
+            seed=seed,
+            monitors=[ConnectivityMonitor(check_every=8)],
+        )
+        assert eng.run(BUDGET, until=fdp_legitimate, check_every=64)
+        assert eng.stats.exits == len(leaving)
+
+    def test_staying_end_in_sorted_list(self):
+        """The baseline's defining property: it reshapes everything into
+        the sorted list."""
+        n = 10
+        edges = gen.random_connected(n, 5, seed=8)
+        leaving = choose_leaving(n, edges, fraction=0.3, seed=8)
+
+        def done(e):
+            if not fdp_legitimate(e):
+                return False
+            staying = {
+                pid
+                for pid, p in e.processes.items()
+                if p.mode is S and p.state is not PState.GONE
+            }
+            snap = e.snapshot()
+            explicit = {
+                (x.src, x.dst)
+                for x in snap.edges
+                if x.kind is EdgeKind.EXPLICIT
+                and x.src in staying
+                and x.dst in staying
+            }
+            return is_sorted_line(
+                frozenset(explicit), {pid: float(pid) for pid in staying}
+            )
+
+        eng = build_baseline_engine(n, edges, leaving, seed=8)
+        assert eng.run(BUDGET, until=done, check_every=64)
+
+    def test_adjacent_leaving_chain_resolves(self):
+        """Order-based tie-breaking: consecutive leaving list nodes exit."""
+        n = 8
+        edges = gen.bidirected_line(n)
+        eng = build_baseline_engine(n, edges, leaving={3, 4, 5}, seed=1)
+        assert eng.run(BUDGET, until=fdp_legitimate, check_every=32)
+
+    def test_belief_corruption_tolerated(self):
+        n = 10
+        edges = gen.bidirected_line(n)
+        leaving = choose_leaving(n, edges, fraction=0.3, seed=5)
+        eng = build_baseline_engine(
+            n, edges, leaving, seed=5, belief_lie_prob=0.4,
+            monitors=[ConnectivityMonitor(check_every=8)],
+        )
+        assert eng.run(BUDGET, until=fdp_legitimate, check_every=64)
+
+    def test_requires_order_declared(self):
+        assert BaselineListProcess.requires_order is True

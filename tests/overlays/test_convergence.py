@@ -1,0 +1,90 @@
+"""Stand-alone overlay convergence: topological self-stabilization of 𝒫."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.overlays import LOGICS
+from repro.overlays.builders import build_overlay_engine
+from repro.sim.monitors import ConnectivityMonitor
+from repro.sim.scheduler import AdversarialScheduler, SynchronousScheduler
+
+BUDGET = 300_000
+
+
+@pytest.mark.parametrize("name", sorted(LOGICS))
+class TestOverlayConvergence:
+    def test_from_random_connected(self, name):
+        logic = LOGICS[name]
+        n = 10
+        edges = gen.random_connected(n, 5, seed=13)
+        eng = build_overlay_engine(
+            n, edges, logic, seed=13, monitors=[ConnectivityMonitor(8)]
+        )
+        assert eng.run(BUDGET, until=logic.target_reached, check_every=64)
+
+    def test_from_line(self, name):
+        logic = LOGICS[name]
+        n = 9
+        eng = build_overlay_engine(n, gen.line(n), logic, seed=1)
+        assert eng.run(BUDGET, until=logic.target_reached, check_every=64)
+
+    def test_from_own_target_stays(self, name):
+        """Closure: started at the target, the protocol remains there."""
+        logic = LOGICS[name]
+        n = 8
+        target_edges = {
+            "linearization": gen.bidirected_line,
+            "ring": lambda n: gen.ring(n) + [(b, a) for a, b in gen.ring(n)],
+            "robust_ring": lambda n: gen.ring(n)
+            + [(b, a) for a, b in gen.ring(n)]
+            + [(i, (i + 2) % n) for i in range(n)],
+            "clique": gen.clique,
+            "star": lambda n: gen.star(n) + [(i, 0) for i in range(1, n)],
+        }[name](n)
+        eng = build_overlay_engine(n, target_edges, logic, seed=2)
+        assert eng.run(BUDGET, until=logic.target_reached, check_every=32)
+        for _ in range(500):
+            eng.step()
+        assert logic.target_reached(eng)
+
+    def test_under_adversarial_schedule(self, name):
+        logic = LOGICS[name]
+        n = 8
+        edges = gen.random_connected(n, 4, seed=3)
+        eng = build_overlay_engine(
+            n,
+            edges,
+            logic,
+            seed=3,
+            scheduler=AdversarialScheduler(patience=24, seed=3),
+        )
+        assert eng.run(BUDGET, until=logic.target_reached, check_every=64)
+
+    def test_single_process(self, name):
+        logic = LOGICS[name]
+        eng = build_overlay_engine(1, [], logic, seed=0)
+        assert eng.run(1000, until=logic.target_reached, check_every=8)
+
+    def test_two_processes(self, name):
+        logic = LOGICS[name]
+        eng = build_overlay_engine(2, [(0, 1)], logic, seed=0)
+        assert eng.run(20_000, until=logic.target_reached, check_every=16)
+
+
+class TestCliqueRoundComplexity:
+    def test_synchronous_rounds_logarithmic(self):
+        """The O(log n) transitive-closure argument, measured on the live
+        protocol under the synchronous scheduler."""
+        import math
+
+        logic = LOGICS["clique"]
+        results = {}
+        for n in (4, 8, 16):
+            sched = SynchronousScheduler(seed=0)
+            eng = build_overlay_engine(
+                n, gen.bidirected_line(n), logic, scheduler=sched, seed=0
+            )
+            assert eng.run(2_000_000, until=logic.target_reached, check_every=n)
+            results[n] = sched.round_count
+        for n, rounds in results.items():
+            assert rounds <= 4 * (math.log2(n) + 2), (n, rounds)

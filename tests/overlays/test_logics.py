@@ -1,0 +1,202 @@
+"""Unit tests for the overlay logics (stand-alone semantics)."""
+
+import pytest
+
+from repro.overlays.clique import CliqueLogic
+from repro.overlays.linearization import LinearizationLogic
+from repro.overlays.ring import RingLogic
+from repro.overlays.star import StarLogic
+from repro.sim.refs import KeyProvider, Ref
+
+KEYS = KeyProvider()
+
+
+class Sent:
+    """Capture a logic's outgoing sends."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, target, label, *args):
+        self.calls.append((target, label, args))
+
+    def to(self, target):
+        return [(l, a) for t, l, a in self.calls if t == target]
+
+
+class TestLinearizationLogic:
+    def make(self, pid=5):
+        return LinearizationLogic(Ref(pid))
+
+    def test_integrate_classifies_sides(self):
+        lg = self.make(5)
+        lg.integrate_with_keys(KEYS, Ref(2))
+        lg.integrate_with_keys(KEYS, Ref(8))
+        assert lg.left == {Ref(2)}
+        assert lg.right == {Ref(8)}
+
+    def test_integrate_self_ignored(self):
+        lg = self.make(5)
+        lg.integrate_with_keys(KEYS, Ref(5))
+        assert not lg.left and not lg.right
+
+    def test_side_reclassification(self):
+        lg = self.make(5)
+        lg.left.add(Ref(8))  # corrupted placement
+        lg.integrate_with_keys(KEYS, Ref(8))
+        assert Ref(8) in lg.right and Ref(8) not in lg.left
+
+    def test_timeout_keeps_closest_delegates_rest(self):
+        lg = self.make(5)
+        for pid in (1, 3, 7, 9):
+            lg.integrate_with_keys(KEYS, Ref(pid))
+        sent = Sent()
+        lg.p_timeout(sent, KEYS)
+        assert lg.left == {Ref(3)}
+        assert lg.right == {Ref(7)}
+        # far left 1 delegated to 3; far right 9 delegated to 7
+        assert ("p_insert", (Ref(1),)) in sent.to(Ref(3))
+        assert ("p_insert", (Ref(9),)) in sent.to(Ref(7))
+        # self-introduction to both closest neighbours
+        assert ("p_insert", (Ref(5),)) in sent.to(Ref(3))
+        assert ("p_insert", (Ref(5),)) in sent.to(Ref(7))
+
+    def test_chain_delegation_direction(self):
+        lg = self.make(10)
+        for pid in (1, 4, 7):
+            lg.integrate_with_keys(KEYS, Ref(pid))
+        sent = Sent()
+        lg.p_timeout(sent, KEYS)
+        # 1 → 4, 4 → 7 (toward their positions)
+        assert ("p_insert", (Ref(1),)) in sent.to(Ref(4))
+        assert ("p_insert", (Ref(4),)) in sent.to(Ref(7))
+
+    def test_drop_neighbor(self):
+        lg = self.make(5)
+        lg.integrate_with_keys(KEYS, Ref(2))
+        assert lg.drop_neighbor(Ref(2))
+        assert not lg.drop_neighbor(Ref(2))
+
+    def test_handle_p_insert(self):
+        lg = self.make(5)
+        lg.handle(Sent(), KEYS, "p_insert", Ref(1))
+        assert Ref(1) in lg.left
+
+
+class TestRingLogic:
+    def make(self, pid):
+        return RingLogic(Ref(pid))
+
+    def test_succ_is_next_larger(self):
+        lg = self.make(5)
+        for pid in (2, 7, 9):
+            lg.integrate(Sent(), Ref(pid))
+        lg.p_timeout(Sent(), KEYS)
+        assert lg.succ == Ref(7)
+
+    def test_succ_wraps_to_minimum(self):
+        lg = self.make(9)
+        for pid in (2, 5):
+            lg.integrate(Sent(), Ref(pid))
+        lg.p_timeout(Sent(), KEYS)
+        assert lg.succ == Ref(2)
+
+    def test_pred_is_next_smaller_or_wrap(self):
+        lg = self.make(5)
+        for pid in (2, 7):
+            lg.integrate(Sent(), Ref(pid))
+        lg.p_timeout(Sent(), KEYS)
+        assert lg.pred == Ref(2)
+        lg2 = self.make(2)
+        for pid in (5, 7):
+            lg2.integrate(Sent(), Ref(pid))
+        lg2.p_timeout(Sent(), KEYS)
+        assert lg2.pred == Ref(7)  # wrap: largest
+
+    def test_self_introduces_to_both_kept_neighbours(self):
+        lg = self.make(5)
+        for pid in (2, 7):
+            lg.integrate(Sent(), Ref(pid))
+        sent = Sent()
+        lg.p_timeout(sent, KEYS)
+        assert ("p_insert", (Ref(5),)) in sent.to(Ref(7))  # succ
+        assert ("p_insert", (Ref(5),)) in sent.to(Ref(2))  # pred
+
+    def test_spares_delegated_to_succ(self):
+        lg = self.make(1)
+        for pid in (2, 3, 4):
+            lg.integrate(Sent(), Ref(pid))
+        sent = Sent()
+        lg.p_timeout(sent, KEYS)
+        assert lg.succ == Ref(2)
+        assert ("p_insert", (Ref(3),)) in sent.to(Ref(2))
+
+    def test_drop_neighbor_clears_roles(self):
+        lg = self.make(1)
+        lg.integrate(Sent(), Ref(2))
+        lg.p_timeout(Sent(), KEYS)
+        assert lg.drop_neighbor(Ref(2))
+        assert lg.succ is None and lg.pred is None
+
+    def test_empty_timeout_noop(self):
+        lg = self.make(1)
+        lg.p_timeout(Sent(), KEYS)  # no candidates: nothing to do
+
+
+class TestCliqueLogic:
+    def test_introduces_all_pairs_and_self(self):
+        lg = CliqueLogic(Ref(0))
+        for pid in (1, 2):
+            lg.integrate(Sent(), Ref(pid))
+        sent = Sent()
+        lg.p_timeout(sent, None)
+        assert ("p_insert", (Ref(2),)) in sent.to(Ref(1))
+        assert ("p_insert", (Ref(1),)) in sent.to(Ref(2))
+        assert ("p_insert", (Ref(0),)) in sent.to(Ref(1))
+        assert ("p_insert", (Ref(0),)) in sent.to(Ref(2))
+
+    def test_requires_no_order(self):
+        assert CliqueLogic.requires_order is False
+
+    def test_integrate_dedups(self):
+        lg = CliqueLogic(Ref(0))
+        lg.integrate(Sent(), Ref(1))
+        lg.integrate(Sent(), Ref(1))
+        assert len(list(lg.neighbor_refs())) == 1
+
+
+class TestStarLogic:
+    def test_smaller_keeps_and_broadcasts(self):
+        lg = StarLogic(Ref(0))
+        for pid in (3, 5):
+            lg.integrate(Sent(), Ref(pid))
+        sent = Sent()
+        lg.p_timeout(sent, KEYS)
+        assert set(lg.known) == {Ref(3), Ref(5)}
+        assert ("p_insert", (Ref(0),)) in sent.to(Ref(3))
+        assert ("p_insert", (Ref(0),)) in sent.to(Ref(5))
+
+    def test_larger_delegates_to_min(self):
+        lg = StarLogic(Ref(9))
+        for pid in (2, 5):
+            lg.integrate(Sent(), Ref(pid))
+        sent = Sent()
+        lg.p_timeout(sent, KEYS)
+        assert set(lg.known) == {Ref(2)}
+        assert ("p_insert", (Ref(5),)) in sent.to(Ref(2))
+        assert ("p_insert", (Ref(9),)) in sent.to(Ref(2))
+
+
+class TestCommonLogicContract:
+    @pytest.mark.parametrize(
+        "logic_cls", [LinearizationLogic, RingLogic, CliqueLogic, StarLogic]
+    )
+    def test_message_labels_declared(self, logic_cls):
+        assert logic_cls.message_labels == ("p_insert",)
+
+    @pytest.mark.parametrize(
+        "logic_cls", [LinearizationLogic, RingLogic, CliqueLogic, StarLogic]
+    )
+    def test_describe_vars_is_dict(self, logic_cls):
+        lg = logic_cls(Ref(0))
+        assert isinstance(lg.describe_vars(), dict)

@@ -1,0 +1,134 @@
+"""Unit tests for the robust ring (succ² shortcut) overlay."""
+
+import pytest
+
+from repro.overlays.robust_ring import RobustRingLogic
+from repro.sim.refs import KeyProvider, Ref
+
+KEYS = KeyProvider()
+
+
+class Sent:
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, target, label, *args):
+        self.calls.append((target, label, args))
+
+    def to(self, target, label=None):
+        return [
+            (l, a)
+            for t, l, a in self.calls
+            if t == target and (label is None or l == label)
+        ]
+
+
+class TestSucc2Gossip:
+    def test_timeout_gossips_succ_to_pred(self):
+        lg = RobustRingLogic(Ref(5))
+        for pid in (2, 7):
+            lg.integrate(Sent(), Ref(pid))
+        sent = Sent()
+        lg.p_timeout(sent, KEYS)
+        # pred=2 is told about succ=7 via the dedicated label
+        assert ("p_succ2", (Ref(7),)) in sent.to(Ref(2))
+
+    def test_no_gossip_on_two_node_ring(self):
+        lg = RobustRingLogic(Ref(5))
+        lg.integrate(Sent(), Ref(2))
+        sent = Sent()
+        lg.p_timeout(sent, KEYS)  # pred == succ == 2
+        assert sent.to(Ref(2), "p_succ2") == []
+
+    def test_handle_sets_succ2(self):
+        lg = RobustRingLogic(Ref(1))
+        lg.handle(Sent(), KEYS, "p_succ2", Ref(3))
+        assert lg.succ2 == Ref(3)
+
+    def test_self_reference_ignored(self):
+        lg = RobustRingLogic(Ref(1))
+        lg.handle(Sent(), KEYS, "p_succ2", Ref(1))
+        assert lg.succ2 is None
+
+    def test_replaced_succ2_delegated_not_dropped(self):
+        lg = RobustRingLogic(Ref(1))
+        lg.integrate(Sent(), Ref(2))
+        lg.p_timeout(Sent(), KEYS)  # succ = 2
+        lg.handle(Sent(), KEYS, "p_succ2", Ref(3))
+        sent = Sent()
+        lg.handle(sent, KEYS, "p_succ2", Ref(4))
+        assert lg.succ2 == Ref(4)
+        # the old shortcut travelled to the successor: edge preserved
+        assert ("p_insert", (Ref(3),)) in sent.to(Ref(2))
+
+    def test_replaced_succ2_equal_to_succ_pooled(self):
+        lg = RobustRingLogic(Ref(1))
+        lg.integrate(Sent(), Ref(2))
+        lg.p_timeout(Sent(), KEYS)  # succ = 2
+        lg.handle(Sent(), KEYS, "p_succ2", Ref(2))
+        sent = Sent()
+        lg.handle(sent, KEYS, "p_succ2", Ref(4))
+        # old succ2 == succ: no delegation needed (edge still stored)
+        assert lg.succ2 == Ref(4)
+
+    def test_succ2_self_introduced_to(self):
+        lg = RobustRingLogic(Ref(1))
+        lg.integrate(Sent(), Ref(2))
+        lg.handle(Sent(), KEYS, "p_succ2", Ref(3))
+        sent = Sent()
+        lg.p_timeout(sent, KEYS)
+        assert ("p_insert", (Ref(1),)) in sent.to(Ref(3))
+
+
+class TestStateSurface:
+    def test_succ2_in_neighbor_refs(self):
+        lg = RobustRingLogic(Ref(1))
+        lg.handle(Sent(), KEYS, "p_succ2", Ref(3))
+        assert Ref(3) in set(lg.neighbor_refs())
+
+    def test_drop_neighbor_clears_succ2(self):
+        lg = RobustRingLogic(Ref(1))
+        lg.handle(Sent(), KEYS, "p_succ2", Ref(3))
+        assert lg.drop_neighbor(Ref(3))
+        assert lg.succ2 is None
+
+    def test_two_labels_declared(self):
+        assert RobustRingLogic.message_labels == ("p_insert", "p_succ2")
+
+    def test_describe_vars(self):
+        lg = RobustRingLogic(Ref(1))
+        lg.handle(Sent(), KEYS, "p_succ2", Ref(3))
+        assert lg.describe_vars()["succ2"] == "Ref<3>"
+
+
+class TestConvergence:
+    def test_standalone_reaches_ring_plus_shortcuts(self):
+        from repro.graphs import generators as gen
+        from repro.overlays.builders import build_overlay_engine
+
+        eng = build_overlay_engine(
+            9, gen.random_connected(9, 4, seed=5), RobustRingLogic, seed=5
+        )
+        assert eng.run(300_000, until=RobustRingLogic.target_reached, check_every=64)
+
+    def test_framework_embedding(self):
+        from repro.core.potential import fdp_legitimate
+        from repro.core.scenarios import build_framework_engine, choose_leaving
+        from repro.graphs import generators as gen
+
+        n = 9
+        edges = gen.random_connected(n, 4, seed=8)
+        leaving = choose_leaving(n, edges, fraction=0.3, seed=8)
+        eng = build_framework_engine(n, edges, leaving, RobustRingLogic, seed=8)
+
+        def done(e):
+            return fdp_legitimate(e) and RobustRingLogic.target_reached(e)
+
+        assert eng.run(600_000, until=done, check_every=128)
+
+    def test_tiny_rings_trivially_reach_target(self):
+        from repro.overlays.builders import build_overlay_engine
+
+        for n in (1, 2):
+            eng = build_overlay_engine(n, [(0, 1)] if n == 2 else [], RobustRingLogic)
+            assert eng.run(20_000, until=RobustRingLogic.target_reached, check_every=16)

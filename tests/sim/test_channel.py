@@ -1,0 +1,91 @@
+"""Unit tests for the unbounded non-FIFO channel."""
+
+import pytest
+
+from repro.sim.channel import Channel
+from repro.sim.messages import Message
+
+
+def msg(seq: int, label: str = "x") -> Message:
+    return Message(label, (), seq=seq)
+
+
+class TestChannelBasics:
+    def test_starts_empty(self):
+        ch = Channel()
+        assert len(ch) == 0
+        assert not ch
+
+    def test_add_and_len(self):
+        ch = Channel()
+        ch.add(msg(1))
+        ch.add(msg(2))
+        assert len(ch) == 2
+        assert ch
+
+    def test_contains_by_seq(self):
+        ch = Channel()
+        ch.add(msg(7))
+        assert 7 in ch
+        assert 8 not in ch
+
+    def test_duplicate_seq_rejected(self):
+        ch = Channel()
+        ch.add(msg(1))
+        with pytest.raises(ValueError):
+            ch.add(msg(1))
+
+    def test_remove_returns_message(self):
+        ch = Channel()
+        m = msg(3, "hello")
+        ch.add(m)
+        assert ch.remove(3) is m
+        assert 3 not in ch
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Channel().remove(1)
+
+    def test_peek_does_not_remove(self):
+        ch = Channel()
+        ch.add(msg(1))
+        assert ch.peek(1).seq == 1
+        assert 1 in ch
+
+
+class TestChannelOrderAndMultiset:
+    def test_iteration_oldest_first(self):
+        ch = Channel()
+        for s in (5, 9, 7):
+            ch.add(msg(s))
+        assert [m.seq for m in ch] == [5, 9, 7]  # insertion order
+
+    def test_equal_content_messages_coexist(self):
+        """Channels are multisets: identical payloads differ only by seq."""
+        ch = Channel()
+        ch.add(Message("present", ("a",), seq=1))
+        ch.add(Message("present", ("a",), seq=2))
+        assert len(ch) == 2
+
+    def test_oldest_seq(self):
+        ch = Channel()
+        assert ch.oldest_seq() is None
+        ch.add(msg(4))
+        ch.add(msg(6))
+        assert ch.oldest_seq() == 4
+        ch.remove(4)
+        assert ch.oldest_seq() == 6
+
+    def test_clear_drains_in_order(self):
+        ch = Channel()
+        for s in (1, 2, 3):
+            ch.add(msg(s))
+        drained = ch.clear()
+        assert [m.seq for m in drained] == [1, 2, 3]
+        assert len(ch) == 0
+
+    def test_seqs_iteration(self):
+        ch = Channel()
+        for s in (2, 8):
+            ch.add(msg(s))
+        assert list(ch.seqs()) == [2, 8]

@@ -1,0 +1,110 @@
+"""Tests for the generic fault injector (admissible corrupted states)."""
+
+from random import Random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.faults import (
+    plant_ref_message,
+    plant_unknown_label_messages,
+    random_mode_claim,
+    scatter_garbage_messages,
+)
+from repro.sim.process import Process
+from repro.sim.refs import pid_of
+from repro.sim.scheduler import OldestFirstScheduler
+from repro.sim.states import Capability, Mode
+
+
+class Dummy(Process):
+    def on_present(self, ctx, info):
+        pass
+
+    def on_forward(self, ctx, info):
+        pass
+
+
+def make(n=4, leaving=()):
+    procs = [
+        Dummy(i, Mode.LEAVING if i in leaving else Mode.STAYING) for i in range(n)
+    ]
+    return Engine(
+        procs,
+        OldestFirstScheduler(),
+        capability=Capability.NONE,
+        strict=False,
+        require_staying_per_component=False,
+    )
+
+
+class TestRandomModeClaim:
+    def test_zero_lie_prob_truthful(self):
+        rng = Random(0)
+        assert all(
+            random_mode_claim(rng, Mode.STAYING, 0.0) is Mode.STAYING
+            for _ in range(50)
+        )
+
+    def test_one_lie_prob_always_lies(self):
+        rng = Random(0)
+        assert all(
+            random_mode_claim(rng, Mode.STAYING, 1.0) is Mode.LEAVING
+            for _ in range(50)
+        )
+
+    def test_invalid_prob_rejected(self):
+        with pytest.raises(ValueError):
+            random_mode_claim(Random(0), Mode.STAYING, 1.5)
+
+
+class TestPlanting:
+    def test_plant_ref_message(self):
+        eng = make()
+        plant_ref_message(eng, 0, "present", 2, Mode.LEAVING)
+        (msg,) = list(eng.channels[0])
+        (info,) = list(msg.refinfos())
+        assert pid_of(info.ref) == 2
+        assert info.mode is Mode.LEAVING
+
+    def test_plant_validates_pids(self):
+        eng = make()
+        with pytest.raises(ConfigurationError):
+            plant_ref_message(eng, 0, "present", 99, Mode.STAYING)
+
+    def test_scatter_respects_pools(self):
+        eng = make(n=6)
+        rng = Random(1)
+        planted = scatter_garbage_messages(
+            eng, rng, 20, targets=[0, 1], subjects=[2, 3]
+        )
+        assert planted == 20
+        for pid in (2, 3, 4, 5):
+            assert len(eng.channels[pid]) == 0
+        for pid in (0, 1):
+            for msg in eng.channels[pid]:
+                for info in msg.refinfos():
+                    assert pid_of(info.ref) in (2, 3)
+
+    def test_scatter_creates_invalid_information(self):
+        eng = make(n=4, leaving={1})
+        rng = Random(3)
+        scatter_garbage_messages(eng, rng, 30, lie_prob=1.0)
+        assert eng.potential() > 0
+
+    def test_scatter_truthful_keeps_phi_zero(self):
+        eng = make(n=4)
+        rng = Random(3)
+        scatter_garbage_messages(eng, rng, 30, lie_prob=0.0)
+        assert eng.potential() == 0  # all-staying population, true claims
+
+    def test_scatter_empty_pool(self):
+        eng = make()
+        assert scatter_garbage_messages(eng, Random(0), 5, targets=[]) == 0
+
+    def test_unknown_label_messages_dropped_by_model(self):
+        eng = make()
+        plant_unknown_label_messages(eng, Random(0), 4)
+        eng.run(50, until=lambda e: False)
+        assert eng.stats.dropped_unknown == 4

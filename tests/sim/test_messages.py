@@ -1,0 +1,74 @@
+"""Unit tests for messages and piggybacked mode information."""
+
+import pytest
+
+from repro.sim.messages import Message, RefInfo, iter_refinfos, iter_refs
+from repro.sim.refs import Ref
+from repro.sim.states import Mode
+
+
+class TestRefInfo:
+    def test_carries_ref_and_mode(self):
+        info = RefInfo(Ref(1), Mode.LEAVING)
+        assert info.ref == Ref(1)
+        assert info.mode is Mode.LEAVING
+
+    def test_mode_optional(self):
+        assert RefInfo(Ref(1)).mode is None
+
+    def test_believed(self):
+        assert RefInfo(Ref(1), Mode.STAYING).believed(Mode.STAYING)
+        assert not RefInfo(Ref(1), Mode.STAYING).believed(Mode.LEAVING)
+        assert not RefInfo(Ref(1)).believed(Mode.STAYING)
+
+    def test_with_mode_returns_new_info(self):
+        a = RefInfo(Ref(1), Mode.STAYING)
+        b = a.with_mode(Mode.LEAVING)
+        assert a.mode is Mode.STAYING
+        assert b.mode is Mode.LEAVING
+        assert b.ref == a.ref
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RefInfo(Ref(1)).mode = Mode.STAYING
+
+
+class TestMessage:
+    def test_refinfos_yields_parameter_refs(self):
+        msg = Message("present", (RefInfo(Ref(1), Mode.STAYING), "data"), seq=0)
+        assert [i.ref for i in msg.refinfos()] == [Ref(1)]
+
+    def test_refs_shortcut(self):
+        msg = Message("x", (RefInfo(Ref(1)), RefInfo(Ref(2))), seq=0)
+        assert list(msg.refs()) == [Ref(1), Ref(2)]
+
+    def test_sender_excluded_from_equality(self):
+        a = Message("x", (), seq=1, sender=5)
+        b = Message("x", (), seq=1, sender=7)
+        assert a == b
+
+
+class TestIterRefinfos:
+    def test_nested_containers(self):
+        payload = (
+            RefInfo(Ref(1)),
+            [RefInfo(Ref(2)), ("deep", RefInfo(Ref(3)))],
+            {"k": RefInfo(Ref(4))},
+            frozenset({RefInfo(Ref(5))}),
+            42,
+            "str",
+        )
+        pids = sorted(r._pid for r in iter_refs(payload))
+        assert pids == [1, 2, 3, 4, 5]
+
+    def test_empty(self):
+        assert list(iter_refinfos(())) == []
+
+    def test_bare_ref_rejected(self):
+        """Bare references would lose their mode piggyback — refuse them."""
+        with pytest.raises(TypeError, match="bare Ref"):
+            list(iter_refinfos((Ref(1),)))
+
+    def test_bare_ref_nested_rejected(self):
+        with pytest.raises(TypeError):
+            list(iter_refinfos(([Ref(1)],)))

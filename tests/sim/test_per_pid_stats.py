@@ -1,0 +1,54 @@
+"""Per-process accounting: who executed, sent and received how much."""
+
+import pytest
+
+from repro.core.potential import fdp_legitimate
+from repro.core.scenarios import build_fdp_engine, choose_leaving
+from repro.graphs import generators as gen
+from repro.sim.engine import EngineStats
+
+
+class TestPerPidCounters:
+    def test_counters_populated_on_real_run(self):
+        n = 8
+        edges = gen.ring(n)
+        leaving = choose_leaving(n, edges, fraction=0.25, seed=1)
+        eng = build_fdp_engine(n, edges, leaving, seed=1)
+        assert eng.run(100_000, until=fdp_legitimate, check_every=32)
+        s = eng.stats
+        assert sum(s.timeouts_by.values()) == s.timeouts
+        assert sum(s.deliveries_by.values()) == s.deliveries
+        assert sum(s.received_by.values()) == s.messages_posted
+        # protocol-originated messages all have senders
+        assert sum(s.sent_by.values()) == s.messages_posted
+
+    def test_injected_messages_have_no_sender(self):
+        eng = build_fdp_engine(4, gen.ring(4), leaving=set(), seed=0)
+        eng.post(None, eng.ref(0), "present", ())
+        assert eng.stats.sent_by == {}
+        assert eng.stats.received_by == {0: 1}
+
+    def test_as_dict_scalars_only(self):
+        s = EngineStats()
+        s._bump(s.timeouts_by, 3)
+        d = s.as_dict()
+        assert "timeouts_by" not in d
+        assert "steps" in d
+
+    def test_load_imbalance(self):
+        s = EngineStats()
+        assert s.load_imbalance() == 1.0
+        s.deliveries_by = {0: 10, 1: 10}
+        assert s.load_imbalance() == 1.0
+        s.deliveries_by = {0: 30, 1: 10}
+        assert s.load_imbalance() == pytest.approx(1.5)
+
+    def test_gone_processes_stop_accumulating(self):
+        n = 6
+        edges = gen.clique(n)
+        leaving = {2}
+        eng = build_fdp_engine(n, edges, leaving, seed=4)
+        assert eng.run(100_000, until=fdp_legitimate, check_every=16)
+        t2 = eng.stats.timeouts_by.get(2, 0)
+        eng.run(500, until=lambda e: False)
+        assert eng.stats.timeouts_by.get(2, 0) == t2

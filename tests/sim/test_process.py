@@ -1,0 +1,181 @@
+"""Unit tests for the process base class and the action context."""
+
+import pytest
+
+from repro.errors import StateViolation
+from repro.sim.engine import Engine
+from repro.sim.messages import RefInfo
+from repro.sim.process import ActionContext, Process
+from repro.sim.scheduler import OldestFirstScheduler
+from repro.sim.states import Capability, Mode, PState
+
+
+class Echo(Process):
+    """Minimal process: records handled messages, optional special command."""
+
+    def __init__(self, pid, mode=Mode.STAYING, on_timeout=None):
+        super().__init__(pid, mode)
+        self.seen = []
+        self._on_timeout = on_timeout
+
+    def timeout(self, ctx):
+        if self._on_timeout:
+            self._on_timeout(self, ctx)
+
+    def on_ping(self, ctx, payload):
+        self.seen.append(payload)
+
+
+def make_engine(procs, capability=Capability.BOTH, **kw):
+    return Engine(
+        procs,
+        OldestFirstScheduler(),
+        capability=capability,
+        require_staying_per_component=False,
+        **kw,
+    )
+
+
+class TestProcessBasics:
+    def test_identity(self):
+        p = Echo(5)
+        assert p.pid == 5
+        assert p.self_ref == p.self_ref
+        assert p.is_staying and not p.is_leaving
+
+    def test_mode_read_only_property(self):
+        p = Echo(1, Mode.LEAVING)
+        assert p.mode is Mode.LEAVING
+        with pytest.raises(AttributeError):
+            p.mode = Mode.STAYING
+
+    def test_initial_state_awake(self):
+        assert Echo(1).state is PState.AWAKE
+
+    def test_handler_lookup(self):
+        p = Echo(1)
+        assert p.handler("ping") is not None
+        assert p.handler("nonexistent") is None
+
+    def test_default_stored_refs_empty(self):
+        assert list(Echo(1).stored_refs()) == []
+
+    def test_repr_mentions_mode_and_state(self):
+        text = repr(Echo(1, Mode.LEAVING))
+        assert "leaving" in text and "awake" in text
+
+
+class TestActionContext:
+    def test_send_posts_message(self):
+        a, b = Echo(0), Echo(1)
+        eng = make_engine([a, b])
+        ctx = ActionContext(eng, a)
+        ctx.send(b.self_ref, "ping", "hello")
+        assert len(eng.channels[1]) == 1
+        msg = next(iter(eng.channels[1]))
+        assert msg.label == "ping"
+        assert msg.args == ("hello",)
+        assert msg.sender == 0
+
+    def test_send_corrects_self_mode_info(self):
+        """Information about oneself is always valid, whatever the caller
+        attached."""
+        a, b = Echo(0, Mode.LEAVING), Echo(1)
+        eng = make_engine([a, b])
+        ctx = ActionContext(eng, a)
+        ctx.send(b.self_ref, "ping", RefInfo(a.self_ref, Mode.STAYING))
+        msg = next(iter(eng.channels[1]))
+        (info,) = msg.refinfos()
+        assert info.mode is Mode.LEAVING
+
+    def test_send_leaves_third_party_info_alone(self):
+        a, b, c = Echo(0), Echo(1), Echo(2, Mode.LEAVING)
+        eng = make_engine([a, b, c])
+        ctx = ActionContext(eng, a)
+        ctx.send(b.self_ref, "ping", RefInfo(c.self_ref, Mode.STAYING))
+        (info,) = next(iter(eng.channels[1])).refinfos()
+        assert info.mode is Mode.STAYING  # the (wrong) belief is the sender's
+
+    def test_context_closed_after_action(self):
+        a = Echo(0)
+        eng = make_engine([a])
+        ctx = ActionContext(eng, a)
+        ctx._close()
+        with pytest.raises(StateViolation):
+            ctx.send(a.self_ref, "ping", "x")
+
+    def test_exit_requires_capability(self):
+        a = Echo(0)
+        eng = make_engine([a], capability=Capability.SLEEP)
+        ctx = ActionContext(eng, a)
+        with pytest.raises(StateViolation):
+            ctx.exit()
+
+    def test_sleep_requires_capability(self):
+        a = Echo(0)
+        eng = make_engine([a], capability=Capability.EXIT)
+        ctx = ActionContext(eng, a)
+        with pytest.raises(StateViolation):
+            ctx.sleep()
+
+    def test_exit_applied_after_action_returns(self):
+        def do_exit(proc, ctx):
+            ctx.exit()
+            # still awake inside the action (atomicity)
+            assert proc.state is PState.AWAKE
+
+        a = Echo(0, Mode.LEAVING, on_timeout=do_exit)
+        eng = make_engine([a])
+        eng.attach()
+        eng.step()
+        assert a.state is PState.GONE
+
+    def test_sleep_then_wake_on_message(self):
+        def do_sleep(proc, ctx):
+            ctx.sleep()
+
+        a = Echo(0, Mode.LEAVING, on_timeout=do_sleep)
+        b = Echo(1)
+        eng = make_engine([a, b])
+        eng.attach()
+        # run until a sleeps
+        for _ in range(10):
+            if a.state is PState.ASLEEP:
+                break
+            eng.step()
+        assert a.state is PState.ASLEEP
+        eng.post(1, a.self_ref, "ping", ("wake-up",))
+        for _ in range(20):
+            if a.seen:
+                break
+            eng.step()
+        assert a.seen == ["wake-up"]
+        assert a.state is PState.AWAKE
+        assert eng.stats.wakes >= 1
+
+    def test_oracle_without_configuration_raises(self):
+        from repro.errors import ConfigurationError
+
+        a = Echo(0)
+        eng = make_engine([a])
+        ctx = ActionContext(eng, a)
+        with pytest.raises(ConfigurationError):
+            ctx.oracle()
+
+    def test_keys_requires_declared_order(self):
+        from repro.errors import CopyStoreSendViolation
+
+        a = Echo(0)
+        eng = make_engine([a])
+        ctx = ActionContext(eng, a)
+        with pytest.raises(CopyStoreSendViolation):
+            _ = ctx.keys
+
+    def test_keys_granted_when_declared(self):
+        class Ordered(Echo):
+            requires_order = True
+
+        a = Ordered(0)
+        eng = make_engine([a])
+        ctx = ActionContext(eng, a)
+        assert ctx.keys.key(a.self_ref) == 0.0

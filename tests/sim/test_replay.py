@@ -1,0 +1,107 @@
+"""Record-and-replay: any schedule is exactly reproducible by value."""
+
+import pytest
+
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import (
+    HEAVY_CORRUPTION,
+    build_fdp_engine,
+    build_fsp_engine,
+    choose_leaving,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import generators as gen
+from repro.sim.replay import (
+    RecordedEvent,
+    ReplayScheduler,
+    ScheduleRecorder,
+    replay_run,
+)
+from repro.sim.scheduler import RandomScheduler
+
+
+def fingerprint(engine) -> tuple:
+    """A deep state digest: per-process vars, states, channels, stats."""
+    return (
+        engine.step_count,
+        tuple(sorted((pid, p.state.value) for pid, p in engine.processes.items())),
+        tuple(
+            sorted(
+                (pid, tuple(repr(m) for m in ch))
+                for pid, ch in engine.channels.items()
+            )
+        ),
+        tuple(
+            sorted(
+                (pid, repr(sorted(p.describe_vars().items())))
+                for pid, p in engine.processes.items()
+            )
+        ),
+        engine.potential(),
+    )
+
+
+def builder(kind="fdp", seed=11):
+    n = 10
+    edges = gen.random_connected(n, 5, seed=3)
+    leaving = choose_leaving(n, edges, fraction=0.4, seed=3)
+    factory = build_fdp_engine if kind == "fdp" else build_fsp_engine
+    return lambda: factory(
+        n,
+        edges,
+        leaving,
+        seed=seed,
+        corruption=HEAVY_CORRUPTION,
+        scheduler=RandomScheduler(seed),
+    )
+
+
+@pytest.mark.parametrize("kind", ["fdp", "fsp"])
+def test_replay_reproduces_random_run_exactly(kind):
+    recorder = ScheduleRecorder()
+    original = builder(kind)()
+    original.tracer = recorder
+    until = fdp_legitimate if kind == "fdp" else fsp_legitimate
+    assert original.run(300_000, until=until, check_every=64)
+    assert len(recorder) == original.step_count
+
+    replayed = replay_run(builder(kind), recorder.events)
+    assert fingerprint(replayed) == fingerprint(original)
+
+
+def test_partial_replay_prefix():
+    recorder = ScheduleRecorder()
+    original = builder()()
+    original.tracer = recorder
+    original.run(50, until=lambda e: False)
+    replayed = replay_run(builder(), recorder.events[:20])
+    assert replayed.step_count == 20
+
+
+def test_divergence_detected_on_wrong_initial_state():
+    recorder = ScheduleRecorder()
+    original = builder(seed=11)()
+    original.tracer = recorder
+    original.run(200, until=lambda e: False)
+
+    def other_build():
+        # different run seed ⇒ different corruption ⇒ different channels
+        return builder(seed=12)()
+
+    with pytest.raises(ConfigurationError, match="diverged"):
+        replay_run(other_build, recorder.events)
+
+
+def test_replay_scheduler_exhausts_then_quiesces():
+    sched = ReplayScheduler([])
+    engine = builder()()
+    engine.scheduler = sched
+    assert engine.run(100, until=lambda e: False) is False
+    assert engine.step_count == 0
+
+
+def test_bad_event_kind_rejected():
+    engine = builder()()
+    engine.scheduler = ReplayScheduler([RecordedEvent(kind="bogus", pid=0)])
+    with pytest.raises(ConfigurationError, match="unknown recorded"):
+        engine.run(1, until=lambda e: False)

@@ -1,0 +1,63 @@
+"""Failure localization: shortest failing schedule prefix."""
+
+import pytest
+
+from repro.core.scenarios import build_fdp_engine, choose_leaving
+from repro.graphs import generators as gen
+from repro.sim.replay import (
+    ScheduleRecorder,
+    replay_run,
+    shortest_failing_prefix,
+)
+from repro.sim.scheduler import RandomScheduler
+from repro.sim.states import PState
+
+
+def builder():
+    n = 8
+    edges = gen.ring(n)
+    leaving = choose_leaving(n, edges, fraction=0.3, seed=2)
+    return build_fdp_engine(
+        n, edges, leaving, seed=2, scheduler=RandomScheduler(2)
+    )
+
+
+def record_until(predicate, budget=100_000):
+    recorder = ScheduleRecorder()
+    engine = builder()
+    engine.tracer = recorder
+    assert engine.run(budget, until=predicate, check_every=1)
+    return recorder.events, engine
+
+
+class TestShortestFailingPrefix:
+    def test_localizes_first_exit(self):
+        def some_exit(engine):
+            return any(
+                p.state is PState.GONE for p in engine.processes.values()
+            )
+
+        events, engine = record_until(some_exit)
+        k = shortest_failing_prefix(builder, events, some_exit)
+        # prefix k exhibits the exit, prefix k-1 does not
+        assert some_exit(replay_run(builder, events[:k]))
+        assert not some_exit(replay_run(builder, events[: k - 1]))
+
+    def test_zero_when_initial_state_fails(self):
+        events, _ = record_until(lambda e: e.step_count >= 5)
+        assert shortest_failing_prefix(builder, events, lambda e: True) == 0
+
+    def test_raises_when_never_failing(self):
+        events, _ = record_until(lambda e: e.step_count >= 5)
+        with pytest.raises(ValueError):
+            shortest_failing_prefix(builder, events, lambda e: False)
+
+    def test_localizes_message_count_threshold(self):
+        def threshold(engine):
+            return engine.stats.messages_posted >= 20
+
+        events, _ = record_until(threshold)
+        k = shortest_failing_prefix(builder, events, threshold)
+        assert threshold(replay_run(builder, events[:k]))
+        if k:
+            assert not threshold(replay_run(builder, events[: k - 1]))

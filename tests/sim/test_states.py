@@ -1,0 +1,55 @@
+"""Unit tests for modes, lifecycle states and capabilities (Figure 1)."""
+
+from repro.sim.states import LEGAL_TRANSITIONS, Capability, Mode, PState
+
+
+class TestMode:
+    def test_two_modes(self):
+        assert {Mode.STAYING, Mode.LEAVING} == set(Mode)
+
+    def test_opposite(self):
+        assert Mode.STAYING.opposite is Mode.LEAVING
+        assert Mode.LEAVING.opposite is Mode.STAYING
+
+    def test_opposite_is_involution(self):
+        for m in Mode:
+            assert m.opposite.opposite is m
+
+
+class TestStateGraph:
+    def test_exactly_three_states(self):
+        assert {PState.AWAKE, PState.ASLEEP, PState.GONE} == set(PState)
+
+    def test_figure_1_transitions(self):
+        """The legal transition set is exactly the edges drawn in Figure 1."""
+        assert LEGAL_TRANSITIONS == {
+            (PState.AWAKE, PState.GONE),
+            (PState.AWAKE, PState.ASLEEP),
+            (PState.ASLEEP, PState.AWAKE),
+        }
+
+    def test_gone_is_absorbing(self):
+        assert not any(src is PState.GONE for src, _ in LEGAL_TRANSITIONS)
+
+    def test_asleep_cannot_exit_directly(self):
+        assert (PState.ASLEEP, PState.GONE) not in LEGAL_TRANSITIONS
+
+
+class TestCapability:
+    def test_fdp_setting(self):
+        cap = Capability.EXIT
+        assert cap.allows_exit
+        assert not cap.allows_sleep
+
+    def test_fsp_setting(self):
+        cap = Capability.SLEEP
+        assert cap.allows_sleep
+        assert not cap.allows_exit
+
+    def test_both(self):
+        assert Capability.BOTH.allows_exit
+        assert Capability.BOTH.allows_sleep
+
+    def test_none(self):
+        assert not Capability.NONE.allows_exit
+        assert not Capability.NONE.allows_sleep

@@ -1,0 +1,92 @@
+"""Tests for the tracer and metric series recorder."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.scheduler import OldestFirstScheduler
+from repro.sim.states import Capability, Mode
+from repro.sim.tracing import STANDARD_PROBES, SeriesRecorder, Tracer
+
+
+class Ping(Process):
+    def on_ping(self, ctx):
+        pass
+
+
+def make(procs, tracer=None, monitors=()):
+    return Engine(
+        procs,
+        OldestFirstScheduler(),
+        capability=Capability.NONE,
+        tracer=tracer,
+        monitors=monitors,
+        require_staying_per_component=False,
+    )
+
+
+class TestTracer:
+    def test_records_executed_steps(self):
+        t = Tracer()
+        p = Ping(0, Mode.STAYING)
+        eng = make([p], tracer=t)
+        eng.post(None, p.self_ref, "ping", ())
+        eng.run(5, until=lambda e: False)
+        assert len(t) == 5
+        assert "ping" in t.labels()
+
+    def test_by_pid_filters(self):
+        t = Tracer()
+        a, b = Ping(0, Mode.STAYING), Ping(1, Mode.STAYING)
+        eng = make([a, b], tracer=t)
+        eng.run(8, until=lambda e: False)
+        assert all(e.pid == 0 for e in t.by_pid(0))
+        assert len(t.by_pid(0)) + len(t.by_pid(1)) == len(t)
+
+    def test_bounded_capacity(self):
+        t = Tracer(capacity=3)
+        eng = make([Ping(0, Mode.STAYING)], tracer=t)
+        eng.run(10, until=lambda e: False)
+        assert len(t) == 3
+
+
+class TestSeriesRecorder:
+    def test_samples_every_k_steps(self):
+        rec = SeriesRecorder(every=2)
+        eng = make([Ping(0, Mode.STAYING)], monitors=[rec])
+        eng.run(10, until=lambda e: False)
+        assert len(rec.steps) == 5
+        assert rec.steps == [2, 4, 6, 8, 10]
+
+    def test_standard_probes_present(self):
+        rec = SeriesRecorder()
+        for name in ("potential", "gone", "pending_messages", "edges"):
+            assert name in rec.probes
+
+    def test_custom_probe(self):
+        rec = SeriesRecorder(probes={"const": lambda e: 42.0})
+        eng = make([Ping(0, Mode.STAYING)], monitors=[rec])
+        eng.run(3, until=lambda e: False)
+        assert rec.series["const"] == [42.0, 42.0, 42.0]
+        assert rec.last("const") == 42.0
+
+    def test_manual_sample(self):
+        rec = SeriesRecorder()
+        eng = make([Ping(0, Mode.STAYING)])
+        rec.sample(eng)
+        assert rec.steps == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeriesRecorder(every=0)
+
+    def test_probe_values_track_state(self):
+        rec = SeriesRecorder(every=1)
+        p = Ping(0, Mode.STAYING)
+        eng = make([p], monitors=[rec])
+        eng.post(None, p.self_ref, "ping", ())
+        eng.post(None, p.self_ref, "ping", ())
+        eng.run(6, until=lambda e: False)
+        # pending messages decrease as pings are consumed
+        pend = rec.series["pending_messages"]
+        assert pend[0] >= pend[-1]

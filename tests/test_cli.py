@@ -1,0 +1,97 @@
+"""Command-line interface tests (every subcommand exercised)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fdp", "--topology", "nonsense"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fdp"])
+        assert args.n == 16
+        assert args.oracle == "single"
+
+
+class TestCommands:
+    def test_fdp_converges(self, capsys):
+        rc = main(
+            ["fdp", "--n", "10", "--topology", "ring", "--leaving", "0.3",
+             "--seed", "2", "--corruption", "0.4", "--monitor"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged : ✓" in out
+        assert "final Φ   : 0" in out
+
+    def test_fdp_never_oracle_fails_to_converge(self, capsys):
+        rc = main(
+            ["fdp", "--n", "8", "--topology", "ring", "--oracle", "never",
+             "--max-steps", "4000"]
+        )
+        assert rc == 1
+        assert "✗" in capsys.readouterr().out
+
+    def test_fsp(self, capsys):
+        rc = main(["fsp", "--n", "10", "--topology", "star", "--leaving", "0.3",
+                   "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hibernating" in out
+
+    def test_overlay(self, capsys):
+        rc = main(
+            ["overlay", "--n", "8", "--protocol", "clique", "--topology", "line"]
+        )
+        assert rc == 0
+        assert "clique" in capsys.readouterr().out
+
+    def test_framework(self, capsys):
+        rc = main(
+            ["framework", "--n", "8", "--protocol", "star", "--topology",
+             "ring", "--leaving", "0.25", "--seed", "3"]
+        )
+        assert rc == 0
+
+    def test_baseline(self, capsys):
+        rc = main(
+            ["baseline", "--n", "8", "--topology", "bidirected_line",
+             "--leaving", "0.25", "--seed", "1"]
+        )
+        assert rc == 0
+
+    def test_transform(self, capsys):
+        rc = main(["transform", "--source", "line", "--target", "star", "--n", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified" in out
+
+    def test_scheduler_choices(self, capsys):
+        for sched in ("random", "oldest", "adversarial", "sync"):
+            rc = main(
+                ["fdp", "--n", "6", "--topology", "ring", "--leaving", "0.2",
+                 "--scheduler", sched]
+            )
+            assert rc == 0
+
+
+class TestListings:
+    def test_topologies(self, capsys):
+        assert main(["topologies"]) == 0
+        assert "lollipop" in capsys.readouterr().out
+
+    def test_overlays(self, capsys):
+        assert main(["overlays"]) == 0
+        out = capsys.readouterr().out
+        assert "linearization" in out and "needs total order" in out
+
+    def test_oracles(self, capsys):
+        assert main(["oracles"]) == 0
+        assert "single" in capsys.readouterr().out

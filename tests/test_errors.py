@@ -1,0 +1,58 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    CopyStoreSendViolation,
+    ModelViolation,
+    ReproError,
+    SafetyViolation,
+    StateViolation,
+    UnknownActionError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            ConvergenceError,
+            CopyStoreSendViolation,
+            ModelViolation,
+            SafetyViolation,
+            StateViolation,
+            UnknownActionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("x")
+
+    def test_model_violation_family(self):
+        assert issubclass(CopyStoreSendViolation, ModelViolation)
+        assert issubclass(StateViolation, ModelViolation)
+        assert issubclass(UnknownActionError, ModelViolation)
+
+    def test_safety_is_not_a_model_violation(self):
+        """A tripped invariant is the system failing a theorem, not the
+        protocol misusing the model."""
+        assert not issubclass(SafetyViolation, ModelViolation)
+
+
+class TestConvergenceError:
+    def test_carries_stats(self):
+        err = ConvergenceError("budget", stats={"steps": 5})
+        assert err.stats == {"steps": 5}
+
+    def test_stats_default_empty(self):
+        assert ConvergenceError("x").stats == {}
+
+    def test_stats_copied(self):
+        source = {"a": 1}
+        err = ConvergenceError("x", stats=source)
+        source["a"] = 2
+        assert err.stats["a"] == 1

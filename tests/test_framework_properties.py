@@ -1,0 +1,75 @@
+"""Property-based tests for the Section 4 framework (Theorem 4).
+
+Hypothesis draws overlay type, topology, leaving set, corruption and
+scheduler; every draw must keep Lemma 2's invariant throughout and reach
+both Theorem 4 obligations within budget.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.potential import fdp_legitimate
+from repro.core.scenarios import (
+    Corruption,
+    build_framework_engine,
+    choose_leaving,
+)
+from repro.graphs import generators as gen
+from repro.overlays import LOGICS
+from repro.sim.monitors import ConnectivityMonitor
+from repro.sim.scheduler import AdversarialScheduler, RandomScheduler
+
+
+@st.composite
+def framework_scenario(draw):
+    name = draw(st.sampled_from(sorted(LOGICS)))
+    n = draw(st.integers(4, 12))
+    extra = draw(st.integers(0, n // 2))
+    topo_seed = draw(st.integers(0, 5000))
+    edges = gen.random_connected(n, extra_edges=extra, seed=topo_seed)
+    fraction = draw(st.floats(0.0, 0.5))
+    leaving = choose_leaving(
+        n, edges, fraction=fraction, seed=draw(st.integers(0, 5000))
+    )
+    corruption = Corruption(
+        belief_lie_prob=draw(st.floats(0.0, 0.4)),
+        anchor_prob=draw(st.floats(0.0, 0.5)),
+        anchor_lie_prob=draw(st.floats(0.0, 0.5)),
+        garbage_per_process=draw(st.floats(0.0, 1.0)),
+    )
+    seed = draw(st.integers(0, 5000))
+    adversarial = draw(st.booleans())
+    return name, n, edges, leaving, corruption, seed, adversarial
+
+
+class TestTheorem4Properties:
+    @given(framework_scenario())
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_framework_safety_and_double_convergence(self, case):
+        name, n, edges, leaving, corruption, seed, adversarial = case
+        logic = LOGICS[name]
+        scheduler = (
+            AdversarialScheduler(patience=24, seed=seed)
+            if adversarial
+            else RandomScheduler(seed)
+        )
+        engine = build_framework_engine(
+            n,
+            edges,
+            leaving,
+            logic,
+            seed=seed,
+            corruption=corruption,
+            scheduler=scheduler,
+            monitors=[ConnectivityMonitor(check_every=8)],
+        )
+
+        def done(e):
+            return fdp_legitimate(e) and logic.target_reached(e)
+
+        assert engine.run(500_000, until=done, check_every=128)
+        assert engine.stats.exits == len(leaving)

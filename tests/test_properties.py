@@ -1,0 +1,136 @@
+"""Property-based tests: the paper's invariants over random initial states.
+
+Hypothesis drives the admissible-initial-state space (random weakly
+connected topologies, random leaving sets, random belief corruption,
+random channel garbage, random schedules) and checks the executable forms
+of the paper's claims:
+
+* Lemma 2 — the relevant subgraph stays weakly connected at every step;
+* Lemma 3 — Φ never increases at any step, and convergence drives it to 0;
+* Theorem 3 — legitimacy is reached and then kept (closure);
+* the FSP analogue of the above.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.potential import (
+    fdp_legitimate,
+    fsp_legitimate,
+    relevant_connected_per_component,
+)
+from repro.core.scenarios import (
+    Corruption,
+    build_fdp_engine,
+    build_fsp_engine,
+    choose_leaving,
+)
+from repro.graphs import generators as gen
+from repro.sim.monitors import ConnectivityMonitor, PotentialMonitor
+from repro.sim.scheduler import AdversarialScheduler, RandomScheduler
+
+COMMON = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def scenario(draw):
+    n = draw(st.integers(3, 14))
+    extra = draw(st.integers(0, n))
+    topo_seed = draw(st.integers(0, 10_000))
+    edges = gen.random_connected(n, extra_edges=extra, seed=topo_seed)
+    fraction = draw(st.floats(0.0, 0.8))
+    leave_seed = draw(st.integers(0, 10_000))
+    leaving = choose_leaving(n, edges, fraction=fraction, seed=leave_seed)
+    corruption = Corruption(
+        belief_lie_prob=draw(st.floats(0.0, 1.0)),
+        anchor_prob=draw(st.floats(0.0, 1.0)),
+        anchor_lie_prob=draw(st.floats(0.0, 1.0)),
+        garbage_per_process=draw(st.floats(0.0, 2.0)),
+        garbage_lie_prob=draw(st.floats(0.0, 1.0)),
+    )
+    run_seed = draw(st.integers(0, 10_000))
+    adversarial = draw(st.booleans())
+    return n, edges, leaving, corruption, run_seed, adversarial
+
+
+def _scheduler(adversarial, seed):
+    if adversarial:
+        return AdversarialScheduler(patience=24, seed=seed)
+    return RandomScheduler(seed)
+
+
+class TestFDPProperties:
+    @given(scenario())
+    @settings(**COMMON)
+    def test_safety_and_potential_monotone_under_random_states(self, case):
+        """Lemmas 2 and 3, checked at every executed step of a bounded run
+        (the monitors raise on violation)."""
+        n, edges, leaving, corruption, seed, adversarial = case
+        eng = build_fdp_engine(
+            n,
+            edges,
+            leaving,
+            seed=seed,
+            corruption=corruption,
+            scheduler=_scheduler(adversarial, seed),
+            monitors=[ConnectivityMonitor(1), PotentialMonitor(1)],
+        )
+        eng.run(3_000, until=fdp_legitimate, check_every=64)
+        # no SafetyViolation raised ⇒ both lemmas held on this prefix
+        assert relevant_connected_per_component(eng)
+
+    @given(scenario())
+    @settings(**COMMON)
+    def test_convergence_and_closure(self, case):
+        """Theorem 3 end-to-end: legitimacy reached within budget, then
+        maintained."""
+        n, edges, leaving, corruption, seed, adversarial = case
+        eng = build_fdp_engine(
+            n,
+            edges,
+            leaving,
+            seed=seed,
+            corruption=corruption,
+            scheduler=_scheduler(adversarial, seed),
+        )
+        assert eng.run(400_000, until=fdp_legitimate, check_every=64)
+        assert eng.potential() == 0 or fdp_legitimate(eng)
+        for _ in range(100):
+            eng.step()
+        assert fdp_legitimate(eng)
+
+
+class TestFSPProperties:
+    @given(scenario())
+    @settings(**COMMON)
+    def test_fsp_reaches_legitimacy(self, case):
+        n, edges, leaving, corruption, seed, adversarial = case
+        eng = build_fsp_engine(
+            n,
+            edges,
+            leaving,
+            seed=seed,
+            corruption=corruption,
+            scheduler=_scheduler(adversarial, seed),
+            monitors=[PotentialMonitor(2)],
+        )
+        assert eng.run(400_000, until=fsp_legitimate, check_every=64)
+        assert eng.stats.exits == 0  # no exit command exists in FSP
+
+    @given(scenario())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fsp_closure(self, case):
+        n, edges, leaving, corruption, seed, adversarial = case
+        eng = build_fsp_engine(
+            n, edges, leaving, seed=seed, corruption=corruption
+        )
+        assert eng.run(400_000, until=fsp_legitimate, check_every=64)
+        for _ in range(150):
+            if eng.step() is None:
+                break
+            assert fsp_legitimate(eng)

@@ -1,0 +1,52 @@
+"""Public API stability: everything advertised in __all__ exists."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.graphs",
+    "repro.core",
+    "repro.overlays",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    for attr in module.__all__:
+        assert hasattr(module, attr), f"{name}.{attr} advertised but missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_is_sorted_unique(name):
+    module = importlib.import_module(name)
+    names = [n for n in module.__all__ if n != "__version__"]
+    assert len(names) == len(set(names)), f"{name}: duplicate __all__ entries"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_quickstart_docstring_snippet_runs():
+    """The package docstring's quickstart must keep working verbatim-ish."""
+    from repro import build_fdp_engine, fdp_legitimate
+    from repro.graphs import generators
+
+    n = 12
+    edges = generators.random_connected(n, extra_edges=6, seed=1)
+    engine = build_fdp_engine(n, edges, leaving={3, 7}, seed=1)
+    assert engine.run(200_000, until=fdp_legitimate, check_every=64)
+
+
+def test_cli_entrypoint_importable():
+    from repro.cli import build_parser, main  # noqa: F401
+
+    assert build_parser().prog == "repro"
