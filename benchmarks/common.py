@@ -10,6 +10,7 @@ wall-clock cost of the core workload on top.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -30,3 +31,16 @@ def emit(name: str, text: str) -> None:
     """Print and persist an experiment rendering."""
     print(f"\n{text}\n")
     save_result(name, text)
+
+
+def save_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable result under benchmarks/results/.
+
+    Used by the CI smoke benchmarks (``BENCH_*.json``) so regressions in
+    quantitative claims — e.g. the incremental graph path's steps/sec
+    advantage — are diffable artifacts, not just log lines.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

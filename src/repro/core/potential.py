@@ -53,7 +53,12 @@ __all__ = [
 
 
 def potential(engine: "Engine") -> int:
-    """Φ: the number of edges carrying invalid mode information."""
+    """Φ: the number of edges carrying invalid mode information.
+
+    An O(1) counter read in the engine's incremental graph mode (the
+    live graph buckets incident beliefs per target pid); a full edge
+    scan only in rebuild mode.
+    """
     return engine.potential()
 
 
@@ -153,14 +158,17 @@ def staying_connected_induced(engine: "Engine") -> bool:
 def relevant_connected_per_component(engine: "Engine") -> bool:
     """Lemma 2's running invariant: per initial component, the currently
     relevant processes remain weakly connected (paths through any relevant
-    process count)."""
-    snap = engine.snapshot()
-    relevant = snap.relevant()
+    process count).
+
+    Served by the engine's live graph in incremental mode — no snapshot
+    is built, making this safe to evaluate in per-step loops.
+    """
+    relevant = engine.relevant_pids()
     for comp in engine.initial_components:
         members = frozenset(comp) & relevant
         if len(members) <= 1:
             continue
-        if not snap.is_weakly_connected(members):
+        if not engine.members_weakly_connected(members):
             return False
     return True
 

@@ -143,6 +143,7 @@ def _build_engine(
     oracle: Callable | None = None,
     monitors: Sequence[Callable] = (),
     strict: bool = True,
+    graph_mode: str | None = None,
 ) -> Engine:
     if n < 1:
         raise ConfigurationError("need at least one process")
@@ -196,6 +197,7 @@ def _build_engine(
         seed=seed,
         strict=strict,
         monitors=monitors,
+        graph_mode=graph_mode,
     )
 
     # Stale in-flight messages, per component.
@@ -225,6 +227,7 @@ def build_fdp_engine(
     oracle: Callable | None = None,
     monitors: Sequence[Callable] = (),
     strict: bool = True,
+    graph_mode: str | None = None,
 ) -> Engine:
     """An FDP run: :class:`FDPProcess` population, ``exit`` available,
     ``SINGLE`` oracle by default."""
@@ -241,6 +244,7 @@ def build_fdp_engine(
         oracle=oracle if oracle is not None else SingleOracle(),
         monitors=monitors,
         strict=strict,
+        graph_mode=graph_mode,
     )
 
 
@@ -256,6 +260,7 @@ def build_framework_engine(
     oracle: Callable | None = None,
     monitors: Sequence[Callable] = (),
     strict: bool = True,
+    graph_mode: str | None = None,
 ) -> Engine:
     """A Section 4 run: P′ = framework(P) population over *logic_cls*.
 
@@ -321,6 +326,7 @@ def build_framework_engine(
         seed=seed,
         strict=strict,
         monitors=monitors,
+        graph_mode=graph_mode,
     )
     if corruption.garbage_per_process > 0.0:
         for comp in comps:
@@ -347,6 +353,7 @@ def build_fsp_engine(
     seed: int = 0,
     monitors: Sequence[Callable] = (),
     strict: bool = True,
+    graph_mode: str | None = None,
 ) -> Engine:
     """An FSP run: :class:`FSPProcess` population, ``sleep`` available,
     no oracle (the FSP needs none)."""
@@ -363,4 +370,5 @@ def build_fsp_engine(
         oracle=None,
         monitors=monitors,
         strict=strict,
+        graph_mode=graph_mode,
     )

@@ -15,12 +15,14 @@ from repro.graphs.connectivity import (
     weakly_connected_components,
 )
 from repro.graphs.generators import GENERATORS
+from repro.graphs.livegraph import LiveGraph
 from repro.graphs.snapshot import Edge, EdgeKind, NodeView, ProcessGraph
 
 __all__ = [
     "Edge",
     "EdgeKind",
     "GENERATORS",
+    "LiveGraph",
     "NodeView",
     "ProcessGraph",
     "UnionFind",

@@ -1,0 +1,495 @@
+"""Incrementally maintained live view of the process multigraph.
+
+:class:`~repro.graphs.snapshot.ProcessGraph` is a *rebuild-on-read*
+snapshot: one full pass over every local memory and channel. That is the
+right shape for analysis code, but per-step monitoring and oracle
+evaluation made the engine rebuild it after nearly every step —
+O(steps·(V+E)) observation cost dominating oracle- and monitor-heavy
+runs. :class:`LiveGraph` replaces that path with *event-sourced
+incremental maintenance*: the engine feeds it typed deltas at the
+mutation sources and every observable quantity is updated in O(Δ).
+
+The delta vocabulary (the only ways the process graph can change):
+
+* ``on_enqueue(pid, msg)`` / ``on_dequeue(pid, msg)`` — a message enters
+  or leaves ``pid.Ch``; its :class:`~repro.sim.messages.RefInfo` payloads
+  are the implicit edges ``(pid, ref)``.
+* ``apply_explicit_diff(pid, before)`` — the engine diffs the *acting*
+  process's ``stored_refs()`` around each atomic action (only the acting
+  process may mutate its own local memory), yielding explicit-edge
+  store/drop deltas at O(deg) cost.
+* ``on_state(pid, state)`` — lifecycle transitions. ``exit`` purges the
+  process's out-edges (exit removes a process and its incident edges
+  from PG); ``sleep``/wake only flip the state used by relevance queries.
+* ``reprice(pid)`` — re-derive pid's Φ contribution after a (hypothetical)
+  mode change. Modes are read-only in the paper's model, so the engine
+  never calls this; it exists so the Φ bucketing stays correct if a
+  future extension makes modes dynamic.
+
+Maintained structures:
+
+* an edge multiset with per-``(src, dst, kind, belief)`` counts, indexed
+  by source process (so an exiting process's edges purge in O(deg));
+* per-node out/in partner indices (``pid → partner → multiplicity``) —
+  the ``SINGLE`` oracle's partner set becomes an O(deg) dictionary read;
+* the potential Φ of Lemma 3 as a running counter, bucketed by target
+  pid and (normalized) believed mode, so each edge delta is O(1) and a
+  mode reprice touches only that pid's incident beliefs;
+* weak connectivity via an epoch-based union-find: edge additions union
+  incrementally; a deletion that kills the last parallel copy of an
+  undirected pair only records the pair as *dead*. At the next
+  connectivity query each dead pair gets the cheap bridge-candidate
+  test — endpoints sharing a surviving common neighbour exhibit a
+  2-edge path, so the union-find cannot over-merge — and only a pair
+  failing it invalidates the epoch, triggering a lazy rebuild from the
+  maintained pair counts (O(V + distinct pairs), no edge expansion).
+  Deferring the test to query time is what absorbs the protocols'
+  dominant churn pattern: a reference dequeued from a channel and
+  immediately stored (implicit edge dies, same explicit pair reappears
+  within one atomic step) never costs a rebuild.
+
+Invariant (enforced by the differential property tests): at every step,
+``LiveGraph ≡ rebuild(state)`` — materializing a
+:class:`ProcessGraph` from the live counters is step-for-step identical,
+as an edge multiset and in every derived predicate, to a from-scratch
+rebuild of the engine state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.graphs.connectivity import UnionFind
+from repro.graphs.snapshot import Edge, EdgeKind, NodeView, ProcessGraph
+from repro.sim.refs import pid_of
+from repro.sim.states import Mode, PState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.sim.messages import Message
+    from repro.sim.process import Process
+
+__all__ = ["LiveGraph", "explicit_fingerprint"]
+
+#: Edge-multiset key: (dst, kind, raw belief). Keyed per source process.
+_EdgeKey = tuple[int, EdgeKind, "Mode | None"]
+
+
+def _normalize(belief: Mode | None) -> Mode:
+    """Missing beliefs count as *staying* claims (Φ convention; see
+    :meth:`ProcessGraph.iter_invalid_edges`)."""
+    return belief if belief is not None else Mode.STAYING
+
+
+def explicit_fingerprint(proc: "Process") -> Counter:
+    """Multiset of *proc*'s explicit edges as ``(dst, belief)`` counts.
+
+    Taken by the engine before and after each atomic action; the
+    difference is exactly the set of ref store/drop deltas the action
+    performed on its own local memory.
+    """
+
+    return Counter((pid_of(info.ref), info.mode) for info in proc.stored_refs())
+
+
+class LiveGraph:
+    """Event-sourced, O(Δ)-maintained view of the process multigraph."""
+
+    __slots__ = (
+        "_mode",
+        "_state",
+        "_channel_len",
+        "_edges_by_src",
+        "_out",
+        "_in",
+        "_phi_buckets",
+        "_phi",
+        "_edge_total",
+        "_pending_total",
+        "_pair_counts",
+        "_dead_pairs",
+        "_uf",
+        "_uf_stale",
+    )
+
+    def __init__(self, engine: "Engine") -> None:
+        #: immutable per-pid mode (defined even for gone processes — Φ
+        #: counts edges whose target already left).
+        self._mode: dict[int, Mode] = {}
+        self._state: dict[int, PState] = {}
+        self._channel_len: dict[int, int] = {}
+        #: src → {(dst, kind, belief) → count}; only non-gone sources.
+        self._edges_by_src: dict[int, dict[_EdgeKey, int]] = {}
+        #: src → {dst → multiplicity} and the reverse index.
+        self._out: dict[int, dict[int, int]] = {}
+        self._in: dict[int, dict[int, int]] = {}
+        #: dst → {normalized belief → count of incident edges}.
+        self._phi_buckets: dict[int, dict[Mode, int]] = {}
+        self._phi = 0
+        self._edge_total = 0
+        self._pending_total = 0
+        #: unordered pair (a < b) → number of parallel edge copies.
+        self._pair_counts: dict[tuple[int, int], int] = {}
+        #: pairs whose last copy died since the union-find was last
+        #: trusted; bridge-tested lazily at the next connectivity query.
+        self._dead_pairs: set[tuple[int, int]] = set()
+        self._uf: UnionFind = UnionFind()
+        self._uf_stale = True
+        self._build(engine)
+
+    # ------------------------------------------------------------------ build
+
+    def _build(self, engine: "Engine") -> None:
+        """Full scan of the engine state — done once, at attach time.
+
+        Everything afterwards arrives as deltas.
+        """
+
+        for pid, proc in engine.processes.items():
+            self._mode[pid] = proc.mode
+            self._state[pid] = proc.state
+            self._channel_len[pid] = len(engine.channels[pid])
+            self._edges_by_src[pid] = {}
+            self._out[pid] = {}
+            self._in.setdefault(pid, {})
+            self._phi_buckets.setdefault(pid, {})
+        for pid, proc in engine.processes.items():
+            self._pending_total += len(engine.channels[pid])
+            if proc.state is PState.GONE:
+                continue
+            for info in proc.stored_refs():
+                self._add_edge(pid, pid_of(info.ref), EdgeKind.EXPLICIT, info.mode)
+            for msg in engine.channels[pid]:
+                for info in msg.refinfos():
+                    self._add_edge(
+                        pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode
+                    )
+
+    # ------------------------------------------------------------------ edge deltas
+
+    def _add_edge(
+        self, src: int, dst: int, kind: EdgeKind, belief: Mode | None, count: int = 1
+    ) -> None:
+        key: _EdgeKey = (dst, kind, belief)
+        store = self._edges_by_src[src]
+        store[key] = store.get(key, 0) + count
+        out = self._out[src]
+        out[dst] = out.get(dst, 0) + count
+        inn = self._in.setdefault(dst, {})
+        inn[src] = inn.get(src, 0) + count
+        self._edge_total += count
+        # Φ: bucketed by target pid so a reprice touches only one pid.
+        nb = _normalize(belief)
+        bucket = self._phi_buckets.setdefault(dst, {})
+        bucket[nb] = bucket.get(nb, 0) + count
+        if nb is not self._mode[dst]:
+            self._phi += count
+        # Connectivity: self-loops and edges to gone targets never count.
+        if src != dst and self._state.get(dst) is not PState.GONE:
+            pair = (src, dst) if src < dst else (dst, src)
+            self._pair_counts[pair] = self._pair_counts.get(pair, 0) + count
+            self._dead_pairs.discard(pair)
+            if not self._uf_stale:
+                self._uf.union(src, dst)
+
+    def _remove_edge(
+        self, src: int, dst: int, kind: EdgeKind, belief: Mode | None, count: int = 1
+    ) -> None:
+        key: _EdgeKey = (dst, kind, belief)
+        store = self._edges_by_src[src]
+        left = store[key] - count
+        if left:
+            store[key] = left
+        else:
+            del store[key]
+        out = self._out[src]
+        left = out[dst] - count
+        if left:
+            out[dst] = left
+        else:
+            del out[dst]
+        inn = self._in[dst]
+        left = inn[src] - count
+        if left:
+            inn[src] = left
+        else:
+            del inn[src]
+        self._edge_total -= count
+        nb = _normalize(belief)
+        bucket = self._phi_buckets[dst]
+        left = bucket[nb] - count
+        if left:
+            bucket[nb] = left
+        else:
+            del bucket[nb]
+        if nb is not self._mode[dst]:
+            self._phi -= count
+        if src != dst and self._state.get(dst) is not PState.GONE:
+            pair = (src, dst) if src < dst else (dst, src)
+            left = self._pair_counts[pair] - count
+            if left:
+                self._pair_counts[pair] = left
+            else:
+                del self._pair_counts[pair]
+                # Last parallel copy of the pair died; the union-find may
+                # now over-merge. Defer the judgment: the pair usually
+                # reappears within the same atomic step (dequeue → store),
+                # and the bridge-candidate test runs at the next query.
+                if not self._uf_stale:
+                    self._dead_pairs.add(pair)
+
+    def _neighbours(self, pid: int) -> set[int]:
+        """Live undirected neighbours of *pid* (non-gone, no self)."""
+        found: set[int] = set()
+        for q in self._out.get(pid, ()):
+            if q != pid and self._state.get(q) is not PState.GONE:
+                found.add(q)
+        for q in self._in.get(pid, ()):
+            if q != pid and self._state.get(q) is not PState.GONE:
+                found.add(q)
+        return found
+
+    def _share_neighbour(self, a: int, b: int) -> bool:
+        na, nb = self._neighbours(a), self._neighbours(b)
+        if len(nb) < len(na):
+            na, nb = nb, na
+        return any(q in nb for q in na)
+
+    # ------------------------------------------------------------------ deltas
+
+    def on_enqueue(self, pid: int, msg: "Message") -> None:
+        """A message entered ``pid.Ch`` (implicit edges appear)."""
+        self._channel_len[pid] = self._channel_len.get(pid, 0) + 1
+        self._pending_total += 1
+        if self._state.get(pid) is PState.GONE:
+            return  # gone processes are outside PG; their mail is inert
+        for info in msg.refinfos():
+            self._add_edge(pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode)
+
+    def on_dequeue(self, pid: int, msg: "Message") -> None:
+        """A message left ``pid.Ch`` (implicit edges disappear)."""
+        self._channel_len[pid] -= 1
+        self._pending_total -= 1
+        if self._state.get(pid) is PState.GONE:
+            return
+        for info in msg.refinfos():
+            self._remove_edge(pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode)
+
+    def apply_explicit_diff(self, pid: int, before: Counter, proc: "Process") -> None:
+        """Commit the acting process's ref store/drop deltas.
+
+        *before* is the :func:`explicit_fingerprint` taken when the action
+        started; the current ``stored_refs()`` of *proc* is the after
+        image. Cost is O(deg) of the acting process — the Δ of the step.
+        """
+
+        after = explicit_fingerprint(proc)
+        if after == before:
+            return
+        for (dst, belief), count in before.items():
+            extra = count - after.get((dst, belief), 0)
+            if extra > 0:
+                self._remove_edge(pid, dst, EdgeKind.EXPLICIT, belief, extra)
+        for (dst, belief), count in after.items():
+            extra = count - before.get((dst, belief), 0)
+            if extra > 0:
+                self._add_edge(pid, dst, EdgeKind.EXPLICIT, belief, extra)
+
+    def on_state(self, pid: int, state: PState) -> None:
+        """Lifecycle delta: exit purges the pid's out-edges; sleep/wake
+        only flips the state consulted by relevance queries."""
+
+        old = self._state.get(pid)
+        self._state[pid] = state
+        if state is PState.GONE and old is not PState.GONE:
+            # Out-edges leave PG with the process (its stored refs and
+            # channel content remain physically present but unobservable).
+            for (dst, kind, belief), count in list(
+                self._edges_by_src.get(pid, {}).items()
+            ):
+                self._remove_edge(pid, dst, kind, belief, count)
+            # In-edges from live processes survive in the multiset (Φ still
+            # counts them) but stop carrying connectivity; the union-find
+            # must forget the node entirely.
+            self._uf_stale = True
+
+    def reprice(self, pid: int, new_mode: Mode) -> None:
+        """Re-derive Φ's contribution from edges into *pid* after a mode
+        change, touching only that pid's belief buckets.
+
+        Unused at runtime (modes are read-only in the paper's model);
+        kept so the per-target bucketing discipline is honest about what
+        it buys: a dynamic-mode extension reprices one pid in O(1).
+        """
+
+        self._phi -= self._phi_for(pid)
+        self._mode[pid] = new_mode
+        self._phi += self._phi_for(pid)
+
+    def _phi_for(self, pid: int) -> int:
+        """Φ contribution of the edges currently pointing at *pid*."""
+        actual = self._mode[pid]
+        return sum(
+            c for b, c in self._phi_buckets.get(pid, {}).items() if b is not actual
+        )
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def phi(self) -> int:
+        """The potential Φ of Lemma 3, maintained as a running counter."""
+        return self._phi
+
+    @property
+    def edge_total(self) -> int:
+        """Number of edges in PG (parallel copies and self-loops counted)."""
+        return self._edge_total
+
+    @property
+    def pending_total(self) -> int:
+        """Messages pending across *all* channels (gone pids included)."""
+        return self._pending_total
+
+    def state_of(self, pid: int) -> PState:
+        return self._state[pid]
+
+    def alive_pids(self) -> list[int]:
+        return [p for p, s in self._state.items() if s is not PState.GONE]
+
+    def partners(self, pid: int) -> set[int]:
+        """Non-gone processes (≠ *pid*) sharing an edge with *pid* — the
+        SINGLE oracle's partner index, read in O(deg)."""
+
+        if self._state.get(pid) is PState.GONE:
+            return set()
+        found = self._neighbours(pid)
+        return found
+
+    # -- connectivity ---------------------------------------------------------
+
+    def _fresh_uf(self) -> UnionFind:
+        if not self._uf_stale and self._dead_pairs:
+            # Bridge-candidate test per dead pair: a surviving common
+            # live neighbour exhibits a 2-edge path between the
+            # endpoints, so the union-find's historical merge is still
+            # sound; any pair without one forces an epoch rebuild.
+            for a, b in self._dead_pairs:
+                if not self._share_neighbour(a, b):
+                    self._uf_stale = True
+                    break
+            self._dead_pairs.clear()
+        if self._uf_stale:
+            uf = UnionFind(
+                p for p, s in self._state.items() if s is not PState.GONE
+            )
+            for (a, b), _count in self._pair_counts.items():
+                if (
+                    self._state.get(a) is not PState.GONE
+                    and self._state.get(b) is not PState.GONE
+                ):
+                    uf.union(a, b)
+            self._uf = uf
+            self._uf_stale = False
+            self._dead_pairs.clear()
+        return self._uf
+
+    def same_component(self, members: Iterable[int]) -> bool:
+        """Whether *members* (non-gone pids) share one weakly connected
+        component of the full live graph.
+
+        Exact for the Lemma 2 check on sleeper-free runs: under
+        copy-store-send protocols initial components never merge, so a
+        path between members cannot leave their initial component, and
+        with no sleepers every same-component node is itself a member.
+        """
+
+        it = iter(members)
+        try:
+            first = next(it)
+        except StopIteration:
+            return True
+        uf = self._fresh_uf()
+        root = uf.find(first)
+        return all(uf.find(pid) == root for pid in it)
+
+    def n_components(self) -> int:
+        """Number of weakly connected components among non-gone processes."""
+        return self._fresh_uf().n_sets
+
+    def induced_connected(self, members: frozenset[int]) -> bool:
+        """Weak connectivity of the subgraph induced on *members* — the
+        exact predicate the monitors need when hibernating processes must
+        be excluded (O(Σ deg(members)), no snapshot)."""
+
+        if len(members) <= 1:
+            return True
+        uf = UnionFind(members)
+        for a in members:
+            for b in self._out.get(a, ()):
+                if b != a and b in members:
+                    uf.union(a, b)
+        return uf.n_sets == 1
+
+    # -- relevance (hibernation) ---------------------------------------------
+
+    def hibernating(self) -> frozenset[int]:
+        """Fixpoint of the hibernation definition over the live indices
+        (quiet-asleep processes not reachable from any non-quiet one)."""
+
+        quiet = {
+            pid
+            for pid, s in self._state.items()
+            if s is PState.ASLEEP and self._channel_len.get(pid, 0) == 0
+        }
+        if not quiet:
+            return frozenset()
+        changed = True
+        while changed:
+            changed = False
+            for pid in list(quiet):
+                for src in self._in.get(pid, ()):
+                    if src not in quiet and self._state.get(src) is not PState.GONE:
+                        quiet.discard(pid)
+                        changed = True
+                        break
+        return frozenset(quiet)
+
+    def relevant(self) -> frozenset[int]:
+        """Non-gone, non-hibernating pids."""
+        return frozenset(
+            p for p, s in self._state.items() if s is not PState.GONE
+        ) - self.hibernating()
+
+    # ------------------------------------------------------------------ materialize
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Expand the counted multiset into concrete :class:`Edge` values."""
+        for src, store in self._edges_by_src.items():
+            for (dst, kind, belief), count in store.items():
+                edge = Edge(src, dst, kind, belief)
+                for _ in range(count):
+                    yield edge
+
+    def materialize(self) -> ProcessGraph:
+        """An immutable :class:`ProcessGraph` equal to a from-scratch
+        rebuild of the current state — the analysis/test-oracle view,
+        built on demand from the live counters."""
+
+        nodes = [
+            NodeView(
+                pid=pid,
+                mode=self._mode[pid],
+                state=state,
+                channel_len=self._channel_len.get(pid, 0),
+            )
+            for pid, state in self._state.items()
+            if state is not PState.GONE
+        ]
+        return ProcessGraph(nodes, self.iter_edges())
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveGraph(n={len(self._state)}, m={self._edge_total}, "
+            f"phi={self._phi}, pending={self._pending_total})"
+        )

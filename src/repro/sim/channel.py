@@ -17,7 +17,7 @@ parallel implicit edges are possible.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.sim.messages import Message
 
@@ -25,12 +25,22 @@ __all__ = ["Channel"]
 
 
 class Channel:
-    """The incoming-message buffer of one process."""
+    """The incoming-message buffer of one process.
 
-    __slots__ = ("_messages",)
+    ``observer`` is an optional callback ``(message, delta) -> None``
+    invoked with ``+1`` on every enqueue and ``-1`` on every dequeue
+    (including :meth:`clear`). The engine installs one per channel to
+    feed implicit-edge deltas to the live process graph — putting the
+    hook on the channel itself means *every* mutation path (deliveries,
+    fault injection, tests poking channels directly) is captured at the
+    source.
+    """
+
+    __slots__ = ("_messages", "observer")
 
     def __init__(self) -> None:
         self._messages: dict[int, Message] = {}
+        self.observer: Callable[[Message, int], None] | None = None
 
     def add(self, message: Message) -> None:
         """Deposit *message* into the channel.
@@ -42,10 +52,15 @@ class Channel:
         if message.seq in self._messages:
             raise ValueError(f"duplicate message seq {message.seq}")
         self._messages[message.seq] = message
+        if self.observer is not None:
+            self.observer(message, +1)
 
     def remove(self, seq: int) -> Message:
         """Remove and return the message with sequence number *seq*."""
-        return self._messages.pop(seq)
+        msg = self._messages.pop(seq)
+        if self.observer is not None:
+            self.observer(msg, -1)
+        return msg
 
     def peek(self, seq: int) -> Message:
         """Return the message with sequence number *seq* without removing it."""
@@ -76,6 +91,9 @@ class Channel:
         """Drain the channel, returning the removed messages (oldest first)."""
         drained = list(self._messages.values())
         self._messages.clear()
+        if self.observer is not None:
+            for msg in drained:
+                self.observer(msg, -1)
         return drained
 
     def __repr__(self) -> str:

@@ -14,18 +14,37 @@ model of Section 1.1 prescribes:
   (dropped), per the model; *strict* mode turns this into an error so the
   test-suite catches typos.
 
-The engine is also the measurement instrument: it produces
-:class:`~repro.graphs.snapshot.ProcessGraph` snapshots (cached per state),
-evaluates oracles, computes the potential Φ of Lemma 3 and exposes the
-run statistics the experiment harness aggregates. Snapshots are rebuilt
-lazily and only when the state actually changed — the single most
-important optimization for the convergence sweeps (profiling showed
-snapshot construction dominating naive per-step monitoring).
+The engine is also the measurement instrument: it evaluates oracles,
+computes the potential Φ of Lemma 3, answers connectivity queries and
+exposes the run statistics the experiment harness aggregates. Those
+observations are served by a :class:`~repro.graphs.livegraph.LiveGraph`
+fed with typed deltas at every mutation source (channel enqueue/dequeue,
+per-action ref store/drop diffs, lifecycle transitions), so per-step
+observation cost scales with the *change*, not the *system*:
+
+* ``potential()`` reads a running counter (O(1));
+* ``partner_pids()`` reads the live partner index (O(deg));
+* connectivity checks use an epoch-based union-find (O(Δ) amortized);
+* ``snapshot()`` materializes an immutable
+  :class:`~repro.graphs.snapshot.ProcessGraph` on demand (cached per
+  state) for analysis code that wants the full rebuild-style view.
+
+Deltas commit at atomic-action boundaries: an oracle consulted *inside*
+an action observes the pre-action explicit edges plus all sends made so
+far. This is equivalent for the shipped oracles — a process's in-edges
+cannot change during its own action, and the protocols' purge-to-message
+idiom (dropping a stored ref by mailing it to oneself) preserves the
+outgoing partner multiset mid-action.
+
+Setting ``REPRO_GRAPH_MODE=rebuild`` (or ``graph_mode="rebuild"``)
+selects the historical rebuild-on-read path — kept for differential
+testing against the incremental structures.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -36,6 +55,7 @@ from repro.errors import (
     StateViolation,
     UnknownActionError,
 )
+from repro.graphs.livegraph import LiveGraph, explicit_fingerprint
 from repro.graphs.snapshot import Edge, EdgeKind, NodeView, ProcessGraph
 from repro.sim.channel import Channel
 from repro.sim.messages import Message, RefInfo, iter_refs
@@ -142,6 +162,11 @@ class Engine:
     require_staying_per_component:
         Validate the paper's Section 3/4 precondition that every weakly
         connected component initially contains a staying process.
+    graph_mode:
+        ``"incremental"`` (default) maintains the live process graph via
+        deltas; ``"rebuild"`` restores the historical rebuild-on-read
+        observation path. ``None`` consults the ``REPRO_GRAPH_MODE``
+        environment variable (differential-testing escape hatch).
     """
 
     def __init__(
@@ -157,6 +182,7 @@ class Engine:
         monitors: Sequence[Callable[["Engine", ExecutedStep], None]] = (),
         tracer: Any | None = None,
         require_staying_per_component: bool = True,
+        graph_mode: str | None = None,
     ) -> None:
         self.processes: dict[int, Process] = {}
         for proc in processes:
@@ -190,15 +216,108 @@ class Engine:
         self.stats = EngineStats()
         self.step_count = 0
         self._attached = False
-        self._dirty = True
+        self._stale = True
+        self._live_stale = False
         self._snapshot_cache: ProcessGraph | None = None
         self._initial_components: tuple[frozenset[int], ...] | None = None
+        if graph_mode is None:
+            graph_mode = os.environ.get("REPRO_GRAPH_MODE", "incremental")
+        if graph_mode not in ("incremental", "rebuild"):
+            raise ConfigurationError(
+                f"unknown graph_mode {graph_mode!r} (incremental|rebuild)"
+            )
+        self._graph_mode = graph_mode
+        self._live: LiveGraph | None = None
+        #: lifecycle counters maintained at the same transition points
+        #: that feed the live graph (recounted at attach); they replace
+        #: the O(n) sleeper/gone scans on the observation hot paths.
+        self._asleep_count = 0
+        self._gone_count = 0
 
     # ------------------------------------------------------------------ plumbing
 
     def next_stamp(self) -> int:
         """Advance and return the global freshness clock."""
         return next(self._clock)
+
+    @property
+    def _dirty(self) -> bool:
+        return self._stale
+
+    @_dirty.setter
+    def _dirty(self, value: bool) -> None:
+        # Out-of-band mutation hook. Tests and tools that edit process or
+        # channel state directly (rather than through actions) signal it by
+        # setting ``engine._dirty = True``; the live graph cannot have seen
+        # those edits, so schedule a full lazy rebuild and refresh the
+        # lifecycle counters. Engine-internal code paths — whose mutations
+        # the live graph *does* observe as deltas — set ``_stale`` instead.
+        self._stale = bool(value)
+        if value:
+            if self._attached:
+                self._recount_lifecycle()
+            if self._live is not None:
+                self._live_stale = True
+
+    @property
+    def graph_mode(self) -> str:
+        """Active observation path: ``"incremental"`` or ``"rebuild"``."""
+        return self._graph_mode
+
+    @property
+    def asleep_count(self) -> int:
+        """Number of currently asleep processes (O(1) counter)."""
+        return self._asleep_count
+
+    @property
+    def gone_count(self) -> int:
+        """Number of gone processes (O(1) counter)."""
+        return self._gone_count
+
+    def _recount_lifecycle(self) -> None:
+        self._asleep_count = sum(
+            1 for p in self.processes.values() if p.state is PState.ASLEEP
+        )
+        self._gone_count = sum(
+            1 for p in self.processes.values() if p.state is PState.GONE
+        )
+
+    def _build_live(self) -> LiveGraph:
+        """(Re)build the live graph from a full scan and hook the
+        channel observers so all later mutations arrive as deltas."""
+        self._recount_lifecycle()
+        self._live_stale = False
+        self._live = LiveGraph(self)
+        for pid, channel in self.channels.items():
+            channel.observer = self._channel_observer(pid)
+        return self._live
+
+    def _channel_observer(self, pid: int) -> Callable[[Message, int], None]:
+        def observe(msg: Message, delta: int) -> None:
+            live = self._live
+            if live is None:
+                return
+            if delta > 0:
+                live.on_enqueue(pid, msg)
+            else:
+                live.on_dequeue(pid, msg)
+
+        return observe
+
+    def _ensure_live(self) -> LiveGraph:
+        live = self._live
+        if live is None or self._live_stale:
+            live = self._build_live()
+        return live
+
+    @property
+    def live_graph(self) -> LiveGraph:
+        """The incrementally maintained graph view (incremental mode)."""
+        if self._graph_mode != "incremental":
+            raise ConfigurationError(
+                "live graph unavailable in rebuild graph_mode"
+            )
+        return self._ensure_live()
 
     def audit_exit(self, pid: int) -> None:
         """Invoke exit auditors for *pid* (pre-transition; see exit_auditors)."""
@@ -259,7 +378,7 @@ class Engine:
         if sender is not None:
             EngineStats._bump(self.stats.sent_by, sender)
         EngineStats._bump(self.stats.received_by, tpid)
-        self._dirty = True
+        self._stale = True
         if self._attached and self.processes[tpid].state is not PState.GONE:
             self.scheduler.notify_send(tpid, msg.seq)
         return msg
@@ -273,21 +392,27 @@ class Engine:
         if (old, new_state) not in LEGAL_TRANSITIONS:
             raise StateViolation(f"illegal transition {old.value} → {new_state.value}")
         proc._state = new_state  # noqa: SLF001 - engine owns lifecycle
-        self._dirty = True
+        self._stale = True
+        if old is PState.ASLEEP:
+            self._asleep_count -= 1
         if new_state is PState.GONE:
             self.stats.exits += 1
+            self._gone_count += 1
             if self._attached:
                 self.scheduler.notify_gone(
                     proc.pid, list(self.channels[proc.pid].seqs())
                 )
         elif new_state is PState.ASLEEP:
             self.stats.sleeps += 1
+            self._asleep_count += 1
             if self._attached:
                 self.scheduler.notify_sleep(proc.pid)
         elif new_state is PState.AWAKE:
             self.stats.wakes += 1
             if self._attached:
                 self.scheduler.notify_wake(proc.pid, self.next_stamp())
+        if self._live is not None:
+            self._live.on_state(proc.pid, new_state)
 
     # ------------------------------------------------------------------ execution
 
@@ -301,6 +426,13 @@ class Engine:
 
         if self._attached:
             return
+        if self._graph_mode == "incremental":
+            # Initial-state construction (planting messages, corrupting
+            # process variables) is over: scan once, stream deltas after.
+            self._build_live()
+            self._stale = True
+        else:
+            self._recount_lifecycle()
         snap = self.snapshot()
         comps = snap.weakly_connected_components()
         self._initial_components = tuple(comps)
@@ -342,7 +474,7 @@ class Engine:
 
         self.step_count += 1
         self.stats.steps += 1
-        self._dirty = True
+        self._stale = True
         if self.tracer is not None:
             self.tracer.record(self, executed)
         for monitor in self.monitors:
@@ -353,9 +485,15 @@ class Engine:
         proc = self.processes[pid]
         if proc.state is not PState.AWAKE:  # pragma: no cover - scheduler contract
             raise StateViolation(f"timeout selected for non-awake process {pid}")
+        live = self._live
+        before = explicit_fingerprint(proc) if live is not None else None
         ctx = ActionContext(self, proc)
         proc.timeout(ctx)
         requested = ctx._close()  # noqa: SLF001 - engine owns context lifecycle
+        if live is not None:
+            # Ref store/drop deltas commit before the lifecycle change so
+            # an exit purges exactly the edges the action left behind.
+            live.apply_explicit_diff(pid, before, proc)
         if requested is not None:
             self._transition(proc, requested)
         self.stats.timeouts += 1
@@ -371,7 +509,7 @@ class Engine:
         if proc.state is PState.GONE:  # pragma: no cover - scheduler contract
             raise StateViolation(f"delivery selected for gone process {pid}")
         msg = self.channels[pid].remove(seq)
-        self._dirty = True
+        self._stale = True
         if proc.state is PState.ASLEEP:
             # Processing a message wakes an asleep process (Figure 1).
             self._transition(proc, PState.AWAKE)
@@ -385,9 +523,13 @@ class Engine:
                     f"'{msg.label}'"
                 )
         else:
+            live = self._live
+            before = explicit_fingerprint(proc) if live is not None else None
             ctx = ActionContext(self, proc)
             handler(ctx, *msg.args)
             requested = ctx._close()  # noqa: SLF001
+            if live is not None:
+                live.apply_explicit_diff(pid, before, proc)
             if requested is not None:
                 self._transition(proc, requested)
         self.stats.deliveries += 1
@@ -441,10 +583,28 @@ class Engine:
     def snapshot(self) -> ProcessGraph:
         """Snapshot of the current process multigraph (cached until the
         state next changes). Gone processes and their edges are excluded —
-        exit removes a process and its incident edges from PG."""
+        exit removes a process and its incident edges from PG.
 
-        if not self._dirty and self._snapshot_cache is not None:
+        In incremental mode the snapshot is materialized from the live
+        counters on demand; in rebuild mode it is built by a full scan.
+        Either way the result is the same immutable analysis view.
+        """
+
+        if not self._stale and self._snapshot_cache is not None:
             return self._snapshot_cache
+        if self._graph_mode == "incremental":
+            graph = self._ensure_live().materialize()
+        else:
+            graph = self.rebuild_snapshot()
+        self._snapshot_cache = graph
+        self._stale = False
+        return graph
+
+    def rebuild_snapshot(self) -> ProcessGraph:
+        """Always build the snapshot by a from-scratch scan of processes
+        and channels — the differential-testing oracle for the live
+        graph, and the rebuild-mode implementation of :meth:`snapshot`."""
+
         nodes: list[NodeView] = []
         edges: list[Edge] = []
         for pid, proc in self.processes.items():
@@ -467,10 +627,7 @@ class Engine:
                     edges.append(
                         Edge(pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode)
                     )
-        graph = ProcessGraph(nodes, edges)
-        self._snapshot_cache = graph
-        self._dirty = False
-        return graph
+        return ProcessGraph(nodes, edges)
 
     # ------------------------------------------------------------------ oracles & Φ
 
@@ -491,9 +648,23 @@ class Engine:
         whether the count exceeds one, so it passes ``limit=1`` — under
         message backlogs this turns a full-system scan into a handful of
         lookups (profiled: the dominant cost of oracle-heavy runs).
+
+        In incremental mode both arms read the live partner index
+        instead of scanning: O(deg) always, and the sleeper test is an
+        O(1) counter rather than an O(n) state scan.
         """
 
-        if any(p.state is PState.ASLEEP for p in self.processes.values()):
+        if self._graph_mode == "incremental":
+            if self.processes[pid].state is PState.GONE:
+                return set()
+            live = self._ensure_live()
+            partners = live.partners(pid)
+            if self._asleep_count:
+                # Hibernation-aware path: SINGLE quantifies over the
+                # relevant processes only.
+                partners &= live.relevant()
+            return partners
+        if self._asleep_count:
             snap = self.snapshot()
             if pid not in snap:
                 return set()
@@ -553,10 +724,43 @@ class Engine:
 
     def potential(self) -> int:
         """The potential Φ of Lemma 3: number of (explicit or implicit)
-        edges ``(x, y)`` whose attached belief differs from ``mode(y)``."""
+        edges ``(x, y)`` whose attached belief differs from ``mode(y)``.
 
+        O(1) in incremental mode (a running counter bucketed by target
+        pid); a full snapshot scan in rebuild mode.
+        """
+
+        if self._graph_mode == "incremental":
+            return self._ensure_live().phi
         snap = self.snapshot()
         return sum(1 for _ in snap.iter_invalid_edges(self.actual_mode))
+
+    def relevant_pids(self) -> frozenset[int]:
+        """Pids of relevant (non-gone, non-hibernating) processes."""
+        if self._graph_mode == "incremental":
+            return self._ensure_live().relevant()
+        return self.snapshot().relevant()
+
+    def members_weakly_connected(self, members: frozenset[int]) -> bool:
+        """Whether *members* (all relevant) lie in one weakly connected
+        component of the subgraph induced on *members* — the per-initial-
+        component invariant of Lemma 2, served without a snapshot.
+
+        Sleeper-free incremental runs answer via the epoch union-find
+        (exact: components never merge under copy-store-send protocols,
+        and with no sleepers every node of a member's component is itself
+        a member). With sleepers present the induced check runs directly
+        on the live adjacency, excluding hibernating processes.
+        """
+
+        if len(members) <= 1:
+            return True
+        if self._graph_mode == "incremental":
+            live = self._ensure_live()
+            if self._asleep_count == 0:
+                return live.same_component(members)
+            return live.induced_connected(members)
+        return self.snapshot().is_weakly_connected(members)
 
     # ------------------------------------------------------------------ reporting
 
@@ -569,19 +773,39 @@ class Engine:
         return [p for p, proc in self.processes.items() if proc.state is not PState.GONE]
 
     def describe(self) -> dict[str, Any]:
-        """Diagnostic summary of the current system state."""
-        snap = self.snapshot()
+        """Diagnostic summary of the current system state.
+
+        Cheap enough for hot loops in incremental mode: ``edges``,
+        ``pending_messages`` and ``potential`` come straight from the
+        live counters and the lifecycle tallies are O(1), so no snapshot
+        is built.
+        """
+
+        if self._graph_mode == "incremental":
+            live = self._ensure_live()
+            edges = live.edge_total
+            pending = live.pending_total
+            phi = live.phi
+            gone = self._gone_count
+            asleep = self._asleep_count
+        else:
+            snap = self.snapshot()
+            edges = len(snap.edges)
+            pending = sum(len(ch) for ch in self.channels.values())
+            phi = self.potential()
+            gone = sum(
+                1 for p in self.processes.values() if p.state is PState.GONE
+            )
+            asleep = sum(
+                1 for p in self.processes.values() if p.state is PState.ASLEEP
+            )
         return {
             "step": self.step_count,
             "processes": len(self.processes),
-            "gone": sum(
-                1 for p in self.processes.values() if p.state is PState.GONE
-            ),
-            "asleep": sum(
-                1 for p in self.processes.values() if p.state is PState.ASLEEP
-            ),
-            "edges": len(snap.edges),
-            "pending_messages": sum(len(ch) for ch in self.channels.values()),
-            "potential": self.potential(),
+            "gone": gone,
+            "asleep": asleep,
+            "edges": edges,
+            "pending_messages": pending,
+            "potential": phi,
             "stats": self.stats.as_dict(),
         }
