@@ -1,0 +1,192 @@
+"""Step-loop and trial-fabric throughput benchmarks.
+
+Guardrails for the two hot paths this library optimizes:
+
+* the **engine step loop** — steps/sec of a heavily corrupted FDP run,
+  monitored (per-step Lemma 2/3 monitors) and unmonitored, n ∈ {64, 256};
+* the **trial fabric** — wall-clock of an E6-style convergence sweep,
+  serial vs parallel workers, plus the serial ≡ parallel identity check.
+
+Run as a module for the CI smoke check::
+
+    PYTHONPATH=src:. python benchmarks/bench_step_loop.py --smoke
+
+which writes ``benchmarks/results/BENCH_step_loop.json``. The payload
+embeds the pre-optimization baseline (measured on the same host at the
+commit before the dirty-ref/allocation work, fingerprint diffing on the
+hot path and a cold pool per series) so the speedup is a diffable
+artifact. ``--strict`` additionally fails the run unless the ≥2x
+unmonitored n=256 target holds — meaningful only on the measurement
+host; CI machines differ, so CI runs without it and only smoke-checks
+that the harness works and serial ≡ parallel holds.
+"""
+
+import argparse
+import functools
+import os
+import sys
+import time
+
+from benchmarks.common import save_json
+from repro.analysis.runner import run_series
+from repro.analysis.sweep import sweep
+from repro.core.potential import fdp_legitimate
+from repro.core.scenarios import HEAVY_CORRUPTION, build_fdp_engine, choose_leaving
+from repro.graphs import generators as gen
+from repro.sim.monitors import ConnectivityMonitor, PotentialMonitor
+
+#: Pre-optimization reference, measured at the parent commit of the
+#: step-loop work on the authoring host (higher of two runs — the
+#: conservative choice for speedup claims). Same scenarios as below.
+BASELINE_PR1 = {
+    "steps_per_s": {
+        "n64_unmonitored": 21377.0,
+        "n64_monitored": 11711.0,
+        "n256_unmonitored": 18540.0,
+        "n256_monitored": 6869.0,
+    },
+    "sweep_serial_wall_s": 1.15,
+}
+
+SWEEP_AXES = {"n": [24, 32]}
+SWEEP_SEEDS = 6
+SWEEP_BUDGET = 60_000
+
+
+def _build(n: int, seed: int):
+    edges = gen.random_connected(n, n // 2, seed=seed)
+    leaving = choose_leaving(n, edges, fraction=0.3, seed=seed)
+    return build_fdp_engine(n, edges, leaving, seed=seed, corruption=HEAVY_CORRUPTION)
+
+
+def step_rate(n: int, monitored: bool, steps: int = 6_000) -> float:
+    """Steps/sec of one long run (no convergence predicate — pure loop)."""
+    engine = _build(n, seed=7)
+    engine.attach()
+    if monitored:
+        engine.monitors.append(ConnectivityMonitor(check_every=1))
+        engine.monitors.append(PotentialMonitor(check_every=1))
+    start = time.perf_counter()
+    engine.run(steps, check_every=256)
+    wall = time.perf_counter() - start
+    return engine.step_count / wall if wall > 0 else 0.0
+
+
+def make_builder(n: int):
+    return functools.partial(_build, n)
+
+
+def sweep_wall(parallel: bool, max_workers: int | None = None) -> float:
+    start = time.perf_counter()
+    points = sweep(
+        SWEEP_AXES,
+        make_builder,
+        until=fdp_legitimate,
+        max_steps=SWEEP_BUDGET,
+        seeds_per_point=SWEEP_SEEDS,
+        parallel=parallel,
+        max_workers=max_workers,
+    )
+    wall = time.perf_counter() - start
+    assert all(p.result.convergence_rate == 1.0 for p in points)
+    return wall
+
+
+# ----------------------------------------------------------- pytest benchmarks
+
+
+def test_step_loop_unmonitored_n64(benchmark):
+    rate = benchmark.pedantic(
+        lambda: step_rate(64, monitored=False, steps=3_000), rounds=3, iterations=1
+    )
+    assert rate > 0
+
+
+def test_step_loop_monitored_n64(benchmark):
+    rate = benchmark.pedantic(
+        lambda: step_rate(64, monitored=True, steps=3_000), rounds=3, iterations=1
+    )
+    assert rate > 0
+
+
+def test_serial_parallel_identity():
+    """The fabric's determinism contract, exercised at benchmark scale."""
+    kw = dict(until=fdp_legitimate, max_steps=SWEEP_BUDGET, check_every=64)
+    serial = run_series(make_builder(24), range(4), parallel=False, **kw)
+    fanned = run_series(make_builder(24), range(4), parallel=True, max_workers=2, **kw)
+    assert serial.trials == fanned.trials
+
+
+# ------------------------------------------------------------- CI smoke entry
+
+
+def smoke(steps: int = 6_000) -> dict:
+    rates = {}
+    for n in (64, 256):
+        for monitored in (False, True):
+            key = f"n{n}_{'monitored' if monitored else 'unmonitored'}"
+            rates[key] = round(step_rate(n, monitored, steps), 1)
+    serial_wall = sweep_wall(parallel=False)
+    workers = min(4, os.cpu_count() or 1)
+    parallel_wall = sweep_wall(parallel=True, max_workers=workers)
+    payload = {
+        "benchmark": "step_loop",
+        "steps_budget": steps,
+        "cpu_count": os.cpu_count(),
+        "steps_per_s": rates,
+        "sweep": {
+            "axes": SWEEP_AXES,
+            "seeds_per_point": SWEEP_SEEDS,
+            "serial_wall_s": round(serial_wall, 3),
+            "parallel_wall_s": round(parallel_wall, 3),
+            "parallel_workers": workers,
+            "parallel_speedup": round(serial_wall / parallel_wall, 2)
+            if parallel_wall > 0
+            else None,
+        },
+        "baseline_pr1": BASELINE_PR1,
+        "speedup_vs_baseline": {
+            key: round(rates[key] / ref, 2)
+            for key, ref in BASELINE_PR1["steps_per_s"].items()
+        },
+    }
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="measure step-loop + fabric throughput and write "
+        "benchmarks/results/BENCH_step_loop.json",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail unless unmonitored n=256 is >= 2x the embedded baseline "
+        "(only meaningful on the baseline's measurement host)",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do; pass --smoke (pytest runs the benchmarks)")
+    payload = smoke()
+    path = save_json("BENCH_step_loop", payload)
+    for key, rate in payload["steps_per_s"].items():
+        speedup = payload["speedup_vs_baseline"][key]
+        print(f"{key:<20} steps/s={rate:>10.1f}  ({speedup:.2f}x baseline)")
+    sw = payload["sweep"]
+    print(
+        f"sweep serial={sw['serial_wall_s']:.2f}s "
+        f"parallel[{sw['parallel_workers']}w]={sw['parallel_wall_s']:.2f}s "
+        f"speedup={sw['parallel_speedup']}x (host cpus: {payload['cpu_count']})"
+    )
+    print(f"wrote {path}")
+    if args.strict and payload["speedup_vs_baseline"]["n256_unmonitored"] < 2.0:
+        print("FAIL: expected >= 2x unmonitored steps/s at n=256", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

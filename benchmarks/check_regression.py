@@ -1,0 +1,88 @@
+"""Bench-regression gate: fresh smoke run vs the committed baseline.
+
+Loads the committed ``benchmarks/results/BENCH_incremental_graph.json``
+*before* re-running the smoke benchmark (whose ``save_json`` would
+overwrite it), measures afresh, and fails if any incremental-mode
+steps/sec figure dropped more than ``--tolerance`` (default 30%) below
+the committed number.
+
+Two kinds of drift can trip this gate: a real hot-path regression, or a
+slower CI host than the one that committed the baseline. The rebuild-mode
+rows are exempt on purpose — they are the legacy path kept only for
+comparison — and ``--tolerance`` exists to absorb ordinary host jitter;
+if the gate fires across the board (every row down by a similar factor)
+suspect the host, re-baseline deliberately, and say so in the commit.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/check_regression.py [--tolerance 0.3]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from benchmarks.bench_throughput import smoke
+
+COMMITTED = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_incremental_graph.json"
+)
+
+
+def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return one failure line per incremental run below the floor."""
+    committed_by = {
+        (r["n"], r["mode"]): r["steps_per_s"] for r in committed["runs"]
+    }
+    failures = []
+    for run in fresh["runs"]:
+        if run["mode"] != "incremental":
+            continue
+        key = (run["n"], run["mode"])
+        base = committed_by.get(key)
+        if base is None or base <= 0:
+            continue
+        floor = base * (1.0 - tolerance)
+        if run["steps_per_s"] < floor:
+            failures.append(
+                f"n={run['n']} {run['mode']}: {run['steps_per_s']:.1f} steps/s "
+                f"< floor {floor:.1f} (committed {base:.1f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below the committed steps/s",
+    )
+    parser.add_argument(
+        "--committed",
+        type=pathlib.Path,
+        default=COMMITTED,
+        help="baseline JSON to compare against",
+    )
+    args = parser.parse_args(argv)
+    committed = json.loads(args.committed.read_text())
+    fresh = smoke()
+    for run in fresh["runs"]:
+        print(
+            f"n={run['n']:>4} mode={run['mode']:<12} "
+            f"steps/s={run['steps_per_s']:>10.1f}"
+        )
+    failures = compare(committed, fresh, args.tolerance)
+    if failures:
+        for line in failures:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print("no regression: incremental steps/s within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ from typing import Callable
 
 __all__ = [
     "profile_call",
+    "profile_scenario",
     "Stopwatch",
     "time_block",
     "TimedMonitor",
@@ -45,6 +46,74 @@ def profile_call(
     stats = pstats.Stats(profiler, stream=buf)
     stats.strip_dirs().sort_stats(sort).print_stats(top)
     return result, buf.getvalue()
+
+
+def profile_scenario(
+    scenario: str = "fdp",
+    n: int = 128,
+    *,
+    steps: int = 5_000,
+    seed: int = 7,
+    leaving_fraction: float = 0.3,
+    monitored: bool = False,
+    top: int = 20,
+    sort: str = "cumulative",
+) -> dict:
+    """cProfile one standard scenario run (the ``repro profile`` command).
+
+    Builds the same heavily corrupted random-connected scenario the
+    throughput benchmarks use — FDP or FSP — optionally with the per-step
+    Lemma 2/3 monitors attached, runs it for up to *steps* steps under
+    cProfile, and returns the run facts plus the formatted ``report``.
+    This is the first stop when a change regresses ``BENCH_step_loop``:
+    the top of the report names the function that grew.
+    """
+    from repro.core.potential import fdp_legitimate, fsp_legitimate
+    from repro.core.scenarios import (
+        HEAVY_CORRUPTION,
+        build_fdp_engine,
+        build_fsp_engine,
+        choose_leaving,
+    )
+    from repro.graphs import generators as gen
+    from repro.sim.monitors import ConnectivityMonitor, PotentialMonitor
+
+    if scenario not in ("fdp", "fsp"):
+        raise ValueError(f"scenario must be 'fdp' or 'fsp', not {scenario!r}")
+    build = build_fdp_engine if scenario == "fdp" else build_fsp_engine
+    until = fdp_legitimate if scenario == "fdp" else fsp_legitimate
+    edges = gen.random_connected(n, extra_edges=n // 2, seed=seed)
+    leaving = choose_leaving(n, edges, fraction=leaving_fraction, seed=seed)
+    monitors = (
+        [ConnectivityMonitor(check_every=1), PotentialMonitor(check_every=1)]
+        if monitored
+        else []
+    )
+    engine = build(
+        n,
+        edges,
+        leaving,
+        seed=seed,
+        corruption=HEAVY_CORRUPTION,
+        monitors=monitors,
+    )
+    engine.attach()
+    start = time.perf_counter()
+    converged, report = profile_call(
+        engine.run, steps, until=until, check_every=256, top=top, sort=sort
+    )
+    wall = time.perf_counter() - start
+    executed = engine.step_count
+    return {
+        "scenario": scenario,
+        "n": n,
+        "monitored": monitored,
+        "steps": executed,
+        "wall_s": round(wall, 4),
+        "steps_per_s": round(executed / wall, 1) if wall > 0 else 0.0,
+        "converged": converged,
+        "report": report,
+    }
 
 
 @dataclass

@@ -3,34 +3,60 @@
 A *trial* is one fully-specified run (scenario builder + seed + budget); a
 *series* is many trials differing only in seed. The runner is the
 experiment harness's engine room: deterministic, budget-bounded, and —
-following the HPC guides — embarrassingly parallel across trials via
-``multiprocessing`` when the host has cores to spare (trial functions and
-their arguments must then be picklable: use module-level scenario
-functions, as the benchmark suite does).
+following the HPC guides — embarrassingly parallel across trials.
+
+Parallel execution runs on a :class:`TrialFabric`: a *persistent* worker
+pool whose workers are warmed once (the scenario registry is imported by
+the pool initializer, not re-imported per task) and fed *seed-chunked*
+batches instead of one pickled task per trial. Chunk assignment is a pure
+function of the seed list and the chunk size, results are reassembled in
+chunk order, and failures inside a worker come back as structured
+:class:`TrialResult` errors rather than killing the pool — which is what
+makes ``parallel=True`` and ``parallel=False`` produce identical result
+sequences for the same seeds (tested property, not an aspiration).
+
+Builders and predicates crossing the process boundary must be picklable:
+use module-level scenario functions, as the benchmark suite does.
 """
 
 from __future__ import annotations
 
+import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
 from repro.sim.engine import Engine
 
-__all__ = ["TrialResult", "SeriesResult", "run_trial", "run_series"]
+__all__ = [
+    "TrialResult",
+    "SeriesResult",
+    "TrialFabric",
+    "run_trial",
+    "run_series",
+]
 
 
 @dataclass(frozen=True)
 class TrialResult:
-    """Outcome of one run."""
+    """Outcome of one run.
+
+    ``error`` is ``None`` for clean trials; a worker that hit an
+    exception (safety violation, builder bug) reports it here as
+    ``"ExcType: message"`` instead of tearing down the pool — a failed
+    trial is data, not a crash. Budget exhaustion is *not* an error:
+    it comes back as ``converged=False`` with ``error=None``.
+    """
 
     converged: bool
     steps: int
     stats: dict[str, int]
     extra: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    error: str | None = None
 
     @property
     def messages(self) -> int:
@@ -39,6 +65,10 @@ class TrialResult:
     @property
     def exits(self) -> int:
         return self.stats.get("exits", 0)
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 @dataclass
@@ -50,6 +80,11 @@ class SeriesResult:
     @property
     def n(self) -> int:
         return len(self.trials)
+
+    @property
+    def failures(self) -> list[TrialResult]:
+        """Trials that errored inside a worker (structured failures)."""
+        return [t for t in self.trials if t.error is not None]
 
     @property
     def convergence_rate(self) -> float:
@@ -96,28 +131,173 @@ def run_trial(
     max_steps: int,
     check_every: int = 64,
     collect: Callable[[Engine], dict[str, Any]] | None = None,
+    capture_errors: bool = False,
 ) -> TrialResult:
-    """Build the engine for *seed*, run it to *until* or the budget."""
-    engine = build(seed)
-    converged = engine.run(max_steps, until=until, check_every=check_every)
-    return TrialResult(
-        converged=converged,
-        steps=engine.step_count,
-        stats=engine.stats.as_dict(),
-        extra=collect(engine) if collect is not None else {},
-    )
+    """Build the engine for *seed*, run it to *until* or the budget.
+
+    With ``capture_errors=True`` any exception becomes a structured
+    :class:`TrialResult` (``error`` set, ``converged=False``) — the form
+    fabric workers use so one bad trial cannot kill the pool.
+    """
+    try:
+        engine = build(seed)
+        converged = engine.run(max_steps, until=until, check_every=check_every)
+        return TrialResult(
+            converged=converged,
+            steps=engine.step_count,
+            stats=engine.stats.as_dict(),
+            extra=collect(engine) if collect is not None else {},
+            seed=seed,
+        )
+    except Exception as exc:  # noqa: BLE001 - structured failure surface
+        if not capture_errors:
+            raise
+        return TrialResult(
+            converged=False,
+            steps=0,
+            stats={},
+            extra={},
+            seed=seed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
 
-def _trial_star(args: tuple) -> TrialResult:  # helper for ProcessPoolExecutor
-    build, seed, until, max_steps, check_every, collect = args
-    return run_trial(
-        build,
-        seed,
-        until=until,
-        max_steps=max_steps,
-        check_every=check_every,
-        collect=collect,
-    )
+# ---------------------------------------------------------------------------
+# the persistent-worker execution fabric
+
+
+@dataclass(frozen=True)
+class _TrialSpec:
+    """Everything a worker needs to run one series' trials.
+
+    Pickled once per *chunk* (not per trial); the heavyweight imports the
+    callables drag in are already resident from the pool initializer.
+    """
+
+    build: Callable[[int], Engine]
+    until: Callable[[Engine], bool]
+    max_steps: int
+    check_every: int
+    collect: Callable[[Engine], dict[str, Any]] | None
+
+
+def _fabric_warm() -> None:
+    """Pool initializer: import the heavy registries once per worker.
+
+    Workers persist across series (and across a whole sweep grid), so
+    this cost is paid ``max_workers`` times total, not per trial.
+    """
+    import repro.core.scenarios  # noqa: F401
+    import repro.graphs.generators  # noqa: F401
+
+
+def _run_chunk(payload: tuple[int, _TrialSpec, list[int]]) -> tuple[int, list[TrialResult]]:
+    """Worker entry: run one seed chunk serially, in seed order."""
+    index, spec, seeds = payload
+    results = [
+        run_trial(
+            spec.build,
+            seed,
+            until=spec.until,
+            max_steps=spec.max_steps,
+            check_every=spec.check_every,
+            collect=spec.collect,
+            capture_errors=True,
+        )
+        for seed in seeds
+    ]
+    return index, results
+
+
+class TrialFabric:
+    """Persistent worker pool executing seed-chunked trial batches.
+
+    One fabric outlives many :meth:`run` calls — ``sweep`` reuses a
+    single fabric across every grid point, so workers are spawned and
+    warmed exactly once per sweep instead of once per point.
+
+    Determinism: chunking is a pure function of ``(seeds, chunk_size)``,
+    every chunk runs its seeds in order, and results are reassembled in
+    chunk-index order regardless of completion order — the returned
+    sequence is bit-identical to the serial path for the same seeds.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        self.max_workers = (
+            max_workers if max_workers is not None else (os.cpu_count() or 1)
+        )
+        self.chunk_size = chunk_size
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, initializer=_fabric_warm
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "TrialFabric":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------------
+
+    def _chunks(self, seeds: list[int]) -> list[list[int]]:
+        size = self.chunk_size
+        if size is None:
+            # ~4 chunks per worker: granular enough to balance load,
+            # coarse enough to amortize the per-task pickle of the spec.
+            size = max(1, math.ceil(len(seeds) / (self.max_workers * 4)))
+        return [seeds[lo : lo + size] for lo in range(0, len(seeds), size)]
+
+    def run(
+        self,
+        build: Callable[[int], Engine],
+        seeds: Iterable[int],
+        *,
+        until: Callable[[Engine], bool],
+        max_steps: int,
+        check_every: int = 64,
+        collect: Callable[[Engine], dict[str, Any]] | None = None,
+        progress: Callable[[TrialResult], None] | None = None,
+    ) -> list[TrialResult]:
+        """Run one trial per seed on the pool; results in seed order.
+
+        ``progress`` (if given) streams each chunk's results as it
+        lands — completion order, not seed order — for live reporting
+        while the fabric keeps working.
+        """
+        seeds = list(seeds)
+        if not seeds:
+            return []
+        spec = _TrialSpec(build, until, max_steps, check_every, collect)
+        chunks = self._chunks(seeds)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_chunk, (index, spec, chunk))
+            for index, chunk in enumerate(chunks)
+        ]
+        buckets: list[list[TrialResult] | None] = [None] * len(chunks)
+        for fut in as_completed(futures):
+            index, results = fut.result()
+            buckets[index] = results
+            if progress is not None:
+                for trial in results:
+                    progress(trial)
+        return [trial for bucket in buckets for trial in bucket or []]
 
 
 def run_series(
@@ -129,17 +309,35 @@ def run_series(
     check_every: int = 64,
     collect: Callable[[Engine], dict[str, Any]] | None = None,
     parallel: bool | None = None,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+    fabric: TrialFabric | None = None,
+    progress: Callable[[TrialResult], None] | None = None,
+    on_error: str = "raise",
 ) -> SeriesResult:
-    """Run one trial per seed; optionally fan out over processes.
+    """Run one trial per seed; optionally fan out over a worker fabric.
 
     ``parallel=None`` auto-enables multiprocessing when >1 CPU is
     available and more than 3 seeds are requested (the pool's spawn cost
     isn't worth it below that — measured, not guessed, per the guides).
+    Passing an external *fabric* reuses its warm pool (and implies
+    ``parallel=True``); otherwise a transient fabric is created and torn
+    down around the call.
+
+    ``on_error="raise"`` re-raises the first trial failure (serial path:
+    at the failing trial; fabric path: after the batch, as a
+    ``RuntimeError`` carrying the structured message). ``"capture"``
+    keeps failures as :class:`TrialResult` entries with ``error`` set —
+    identical between serial and parallel execution.
     """
 
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture', not {on_error!r}")
     seeds = list(seeds)
     if parallel is None:
-        parallel = (os.cpu_count() or 1) > 1 and len(seeds) > 3
+        parallel = fabric is not None or (
+            (os.cpu_count() or 1) > 1 and len(seeds) > 3
+        )
     if not parallel:
         trials = [
             run_trial(
@@ -149,11 +347,28 @@ def run_series(
                 max_steps=max_steps,
                 check_every=check_every,
                 collect=collect,
+                capture_errors=(on_error == "capture"),
             )
             for s in seeds
         ]
         return SeriesResult(trials)
-    payload = [(build, s, until, max_steps, check_every, collect) for s in seeds]
-    with ProcessPoolExecutor() as pool:
-        trials = list(pool.map(_trial_star, payload))
+    own_fabric = fabric is None
+    fab = fabric if fabric is not None else TrialFabric(max_workers, chunk_size)
+    try:
+        trials = fab.run(
+            build,
+            seeds,
+            until=until,
+            max_steps=max_steps,
+            check_every=check_every,
+            collect=collect,
+            progress=progress,
+        )
+    finally:
+        if own_fabric:
+            fab.close()
+    if on_error == "raise":
+        for t in trials:
+            if t.error is not None:
+                raise RuntimeError(f"trial seed={t.seed} failed: {t.error}")
     return SeriesResult(trials)

@@ -4,15 +4,22 @@ A sweep crosses named parameter axes, runs a seed series per grid point
 (via :mod:`repro.analysis.runner`) and collects rows ready for
 :func:`repro.analysis.tables.format_table`. Deterministic: the seeds of a
 grid point are derived from the point's position and the base seed.
+
+Parallel sweeps share **one** :class:`~repro.analysis.runner.TrialFabric`
+across the whole grid: the worker pool is spawned and warmed once, then
+every grid point's seed chunks are fed to the same resident workers.
+Before the fabric, each grid point paid a fresh pool spawn — for E6-style
+grids that cost dominated the actual simulation time.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
-from repro.analysis.runner import SeriesResult, run_series
+from repro.analysis.runner import SeriesResult, TrialFabric, run_series
 from repro.sim.engine import Engine
 
 __all__ = ["SweepPoint", "sweep"]
@@ -48,28 +55,48 @@ def sweep(
     check_every: int = 64,
     collect: Callable[[Engine], dict[str, Any]] | None = None,
     parallel: bool | None = None,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+    on_error: str = "raise",
 ) -> list[SweepPoint]:
     """Cross the axes and run a seed series at every grid point.
 
     ``make_builder(**params)`` must return a picklable ``seed -> Engine``
     callable (for the multiprocessing path use module-level functions or
     ``functools.partial`` over module-level functions).
+
+    When the parallel path is taken, a single warm :class:`TrialFabric`
+    serves every grid point; it is closed when the sweep finishes (or
+    aborts). ``on_error`` is forwarded to :func:`run_series`.
     """
 
     names = list(axes.keys())
+    grid = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(axes[n] for n in names))
+    ]
+    if parallel is None:
+        total = len(grid) * seeds_per_point
+        parallel = (os.cpu_count() or 1) > 1 and total > 3
+    fabric = TrialFabric(max_workers, chunk_size) if parallel else None
     points: list[SweepPoint] = []
-    for idx, combo in enumerate(itertools.product(*(axes[n] for n in names))):
-        params = dict(zip(names, combo))
-        builder = make_builder(**params)
-        seeds = [base_seed + idx * 10_000 + i for i in range(seeds_per_point)]
-        result = run_series(
-            builder,
-            seeds,
-            until=until,
-            max_steps=max_steps,
-            check_every=check_every,
-            collect=collect,
-            parallel=parallel,
-        )
-        points.append(SweepPoint(params=params, result=result))
+    try:
+        for idx, params in enumerate(grid):
+            builder = make_builder(**params)
+            seeds = [base_seed + idx * 10_000 + i for i in range(seeds_per_point)]
+            result = run_series(
+                builder,
+                seeds,
+                until=until,
+                max_steps=max_steps,
+                check_every=check_every,
+                collect=collect,
+                parallel=parallel,
+                fabric=fabric,
+                on_error=on_error,
+            )
+            points.append(SweepPoint(params=params, result=result))
+    finally:
+        if fabric is not None:
+            fabric.close()
     return points

@@ -13,6 +13,8 @@ Installed as ``python -m repro``. Subcommands:
 * ``bench-monitors`` — run one monitored scenario under both graph modes
   (incremental live-graph vs legacy rebuild-on-read) and print the
   observation-cost table;
+* ``profile`` — cProfile one standard run and print the hottest
+  functions (see docs/PERF.md for the profiling workflow);
 * ``topologies`` / ``overlays`` / ``oracles`` — list the registries;
 * ``experiments`` — browse the E1–E13 reproduction index.
 
@@ -289,6 +291,38 @@ def cmd_bench_monitors(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.analysis.profiling import profile_scenario
+
+    r = profile_scenario(
+        args.scenario,
+        args.n,
+        steps=args.steps,
+        seed=args.seed,
+        monitored=args.monitored,
+        top=args.top,
+        sort=args.sort,
+    )
+    print(
+        format_kv(
+            {
+                "scenario": r["scenario"],
+                "n": r["n"],
+                "monitored": r["monitored"],
+                "steps executed": r["steps"],
+                "wall s (under profiler)": r["wall_s"],
+                "steps/s (under profiler)": r["steps_per_s"],
+                "converged": r["converged"],
+            },
+            title="cProfile of one standard run — rates include profiler "
+            "overhead; use benchmarks/bench_step_loop.py for honest numbers",
+        )
+    )
+    print()
+    print(r["report"])
+    return 0
+
+
 def cmd_topologies(args) -> int:
     print(format_table(["name"], [[n] for n in sorted(GENERATORS)]))
     return 0
@@ -392,6 +426,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=2_000, help="step budget per mode")
     p.add_argument("--seed", type=int, default=7, help="master seed")
     p.set_defaults(func=cmd_bench_monitors)
+
+    p = sub.add_parser(
+        "profile",
+        help="cProfile one standard run and print the hottest functions",
+    )
+    p.add_argument("--scenario", choices=("fdp", "fsp"), default="fdp")
+    p.add_argument("--n", type=int, default=128, help="number of processes")
+    p.add_argument("--steps", type=int, default=5_000, help="step budget")
+    p.add_argument("--seed", type=int, default=7, help="master seed")
+    p.add_argument(
+        "--monitored",
+        action="store_true",
+        help="attach per-step connectivity+potential monitors",
+    )
+    p.add_argument("--top", type=int, default=20, help="report lines")
+    p.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "calls"),
+        help="pstats sort key",
+    )
+    p.set_defaults(func=cmd_profile)
 
     sub.add_parser("topologies", help="list topology generators").set_defaults(
         func=cmd_topologies

@@ -59,7 +59,7 @@ from typing import Iterable, Iterator, Mapping
 
 from repro.sim.messages import RefInfo
 from repro.sim.process import ActionContext, Process
-from repro.sim.refs import Ref
+from repro.sim.refs import Ref, RefCell, RefMap
 from repro.sim.states import Mode
 
 __all__ = ["FDPProcess", "normalize_belief"]
@@ -73,6 +73,11 @@ def normalize_belief(mode: Mode | None) -> Mode:
 class FDPProcess(Process):
     """One process running the departure protocol of Algorithms 1–3."""
 
+    #: All stored refs live in tracked containers (``N`` is a
+    #: :class:`~repro.sim.refs.RefMap`, the anchor a ``RefCell``), so the
+    #: engine drains write-through deltas instead of fingerprinting.
+    ref_tracking = True
+
     def __init__(
         self,
         pid: int,
@@ -84,7 +89,7 @@ class FDPProcess(Process):
     ) -> None:
         super().__init__(pid, mode)
         #: u.N — stored references with mode beliefs (u.mode(v)).
-        self.N: dict[Ref, Mode] = {}
+        self.N: RefMap = RefMap(self._ref_log)
         if isinstance(neighbors, Mapping):
             for ref, belief in neighbors.items():
                 self._add_neighbor(ref, belief)
@@ -92,11 +97,30 @@ class FDPProcess(Process):
             for ref in neighbors:
                 self._add_neighbor(ref, Mode.STAYING)
         #: u.anchor — the leaving process's escape hatch (⊥ encoded as None).
-        self.anchor: Ref | None = None
-        self.anchor_belief: Mode | None = None
+        self._anchor_cell = RefCell(self._ref_log)
         if anchor is not None and anchor != self.self_ref:
             self.anchor = anchor
             self.anchor_belief = normalize_belief(anchor_belief)
+
+    # The anchor slot reads/writes through the tracked cell so every
+    # assignment site (protocol code, scenario corruption, tests) logs
+    # its edge delta without changing the ``u.anchor`` surface syntax.
+
+    @property
+    def anchor(self) -> Ref | None:
+        return self._anchor_cell.ref
+
+    @anchor.setter
+    def anchor(self, ref: Ref | None) -> None:
+        self._anchor_cell.set_ref(ref)
+
+    @property
+    def anchor_belief(self) -> Mode | None:
+        return self._anchor_cell.belief
+
+    @anchor_belief.setter
+    def anchor_belief(self, belief: Mode | None) -> None:
+        self._anchor_cell.set_belief(belief)
 
     # ------------------------------------------------------------------ state
 

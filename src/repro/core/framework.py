@@ -100,6 +100,12 @@ class FrameworkProcess(FDPProcess):
     #: verify resends before unanswered modes are presumed leaving.
     max_verify_retries: int = 8
 
+    #: Stored refs span the overlay logic's internals, ``beliefs`` and the
+    #: mlist — too diffuse for write-through tracking; the engine keeps
+    #: fingerprint-diffing this protocol (the inherited tracked N/anchor
+    #: containers stay dormant: their log is never armed).
+    ref_tracking = False
+
     def __init__(self, pid: int, mode: Mode, logic_factory) -> None:
         super().__init__(pid, mode)
         self.logic = logic_factory(self.self_ref)
@@ -200,6 +206,14 @@ class FrameworkProcess(FDPProcess):
                 # Reversal: the (possibly gone, then harmless) leaving
                 # process receives our reference instead of us keeping
                 # its.                                                    ♣
+                # P must also forget the reference (as on_present does for
+                # a *verified* leaving mode) — otherwise a presumed-gone
+                # neighbour stays in P, P re-targets it on every timeout,
+                # and each round spawns a fresh verify cycle that can
+                # never be answered: a livelock with unbounded channel
+                # growth.
+                if self.logic.drop_neighbor(ref):
+                    self.beliefs.pop(ref, None)
                 ctx.send(ref, "present", RefInfo(self.self_ref, self.mode))
         payload = tuple(a for a in entry.args if not isinstance(a, Ref))
         if payload:

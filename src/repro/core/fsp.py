@@ -65,7 +65,7 @@ from typing import Iterator
 from repro.core.fdp import FDPProcess
 from repro.sim.messages import RefInfo
 from repro.sim.process import ActionContext
-from repro.sim.refs import Ref
+from repro.sim.refs import Ref, RefMap
 from repro.sim.states import Mode
 
 __all__ = ["FSPProcess"]
@@ -76,8 +76,9 @@ class FSPProcess(FDPProcess):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        #: leaving-believed references held while we have no anchor.
-        self.parked: dict[Ref, Mode] = {}
+        #: leaving-believed references held while we have no anchor
+        #: (tracked, like ``N``, so ref_tracking stays sound).
+        self.parked: RefMap = RefMap(self._ref_log)
         #: anchor-verification state (adaptation 4).
         self.anchor_verified = False
         self.anchor_probe_sent = False

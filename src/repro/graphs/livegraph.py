@@ -14,10 +14,14 @@ The delta vocabulary (the only ways the process graph can change):
 * ``on_enqueue(pid, msg)`` / ``on_dequeue(pid, msg)`` — a message enters
   or leaves ``pid.Ch``; its :class:`~repro.sim.messages.RefInfo` payloads
   are the implicit edges ``(pid, ref)``.
-* ``apply_explicit_diff(pid, before)`` — the engine diffs the *acting*
-  process's ``stored_refs()`` around each atomic action (only the acting
-  process may mutate its own local memory), yielding explicit-edge
-  store/drop deltas at O(deg) cost.
+* ``apply_ref_deltas(pid, deltas)`` — the acting process's tracked ref
+  containers recorded net store/drop deltas write-through during the
+  action (only the acting process may mutate its own local memory); the
+  engine drains them here at O(writes) cost.
+* ``apply_explicit_diff(pid, before)`` — fingerprint fallback for
+  untracked processes (and the ``REPRO_REF_MODE`` differential oracle):
+  the engine diffs the acting process's ``stored_refs()`` around the
+  action, yielding the same deltas at O(refs) cost.
 * ``on_state(pid, state)`` — lifecycle transitions. ``exit`` purges the
   process's out-edges (exit removes a process and its incident edges
   from PG); ``sleep``/wake only flip the state used by relevance queries.
@@ -295,6 +299,23 @@ class LiveGraph:
             extra = count - before.get((dst, belief), 0)
             if extra > 0:
                 self._add_edge(pid, dst, EdgeKind.EXPLICIT, belief, extra)
+
+    def apply_ref_deltas(self, pid: int, deltas: dict) -> None:
+        """Commit net explicit-edge deltas recorded write-through.
+
+        *deltas* is a drained :class:`~repro.sim.refs.RefDeltaLog`
+        ``pending`` dict: ``(dst_pid, belief) → ±count`` accumulated by
+        the acting process's tracked ref containers during one atomic
+        action. Equivalent to :meth:`apply_explicit_diff` with the
+        before/after fingerprints, but O(writes) instead of O(refs) —
+        no fingerprint is ever taken.
+        """
+
+        for (dst, belief), count in deltas.items():
+            if count > 0:
+                self._add_edge(pid, dst, EdgeKind.EXPLICIT, belief, count)
+            elif count < 0:
+                self._remove_edge(pid, dst, EdgeKind.EXPLICIT, belief, -count)
 
     def on_state(self, pid: int, state: PState) -> None:
         """Lifecycle delta: exit purges the pid's out-edges; sleep/wake

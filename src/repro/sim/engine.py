@@ -76,16 +76,45 @@ __all__ = ["Engine", "ExecutedStep", "EngineStats"]
 Oracle = Callable[["Engine", int], bool]
 
 
-@dataclass(frozen=True)
 class ExecutedStep:
-    """Record of one executed event, handed to monitors and tracers."""
+    """Record of one executed event, handed to monitors and tracers.
 
-    index: int
-    kind: str  # "timeout" | "deliver"
-    pid: int
-    label: str | None = None
-    seq: int | None = None
-    new_state: PState | None = None
+    One is allocated per step, so this is a ``__slots__`` class (not a
+    dataclass) to keep the hot loop allocation-light. Treat as immutable.
+    """
+
+    __slots__ = ("index", "kind", "pid", "label", "seq", "new_state")
+
+    def __init__(
+        self,
+        index: int,
+        kind: str,  # "timeout" | "deliver"
+        pid: int,
+        label: str | None = None,
+        seq: int | None = None,
+        new_state: PState | None = None,
+    ) -> None:
+        self.index = index
+        self.kind = kind
+        self.pid = pid
+        self.label = label
+        self.seq = seq
+        self.new_state = new_state
+
+    def _key(self) -> tuple:
+        return (self.index, self.kind, self.pid, self.label, self.seq, self.new_state)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ExecutedStep):
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutedStep(index={self.index}, kind={self.kind!r}, "
+            f"pid={self.pid}, label={self.label!r}, seq={self.seq}, "
+            f"new_state={self.new_state})"
+        )
 
 
 @dataclass
@@ -167,6 +196,17 @@ class Engine:
         deltas; ``"rebuild"`` restores the historical rebuild-on-read
         observation path. ``None`` consults the ``REPRO_GRAPH_MODE``
         environment variable (differential-testing escape hatch).
+    ref_mode:
+        How the live graph learns about per-action ref store/drop deltas.
+        ``"tracked"`` (default) drains the write-through
+        :class:`~repro.sim.refs.RefDeltaLog` of processes that declare
+        ``ref_tracking`` — O(writes) per action; untracked processes fall
+        back to fingerprint diffing. ``"fingerprint"`` forces the
+        historical before/after ``explicit_fingerprint`` diff for every
+        process. ``"verify"`` computes both and raises
+        :class:`~repro.errors.StateViolation` on divergence — the
+        differential oracle the property suite runs under. ``None``
+        consults the ``REPRO_REF_MODE`` environment variable.
     """
 
     def __init__(
@@ -183,6 +223,7 @@ class Engine:
         tracer: Any | None = None,
         require_staying_per_component: bool = True,
         graph_mode: str | None = None,
+        ref_mode: str | None = None,
     ) -> None:
         self.processes: dict[int, Process] = {}
         for proc in processes:
@@ -227,6 +268,20 @@ class Engine:
                 f"unknown graph_mode {graph_mode!r} (incremental|rebuild)"
             )
         self._graph_mode = graph_mode
+        if ref_mode is None:
+            ref_mode = os.environ.get("REPRO_REF_MODE", "tracked")
+        if ref_mode not in ("tracked", "fingerprint", "verify"):
+            raise ConfigurationError(
+                f"unknown ref_mode {ref_mode!r} (tracked|fingerprint|verify)"
+            )
+        self._ref_mode = ref_mode
+        #: resolved per-run fast-path flags (set at attach, when the
+        #: graph mode is known): _track → drain write-through logs,
+        #: _ref_verify → additionally cross-check against fingerprints.
+        self._track = False
+        self._ref_verify = ref_mode == "verify"
+        #: pooled action context, reset per action instead of allocated.
+        self._ctx = ActionContext(self, None)  # type: ignore[arg-type]
         self._live: LiveGraph | None = None
         #: lifecycle counters maintained at the same transition points
         #: that feed the live graph (recounted at attach); they replace
@@ -263,6 +318,12 @@ class Engine:
     def graph_mode(self) -> str:
         """Active observation path: ``"incremental"`` or ``"rebuild"``."""
         return self._graph_mode
+
+    @property
+    def ref_mode(self) -> str:
+        """Active ref-delta path: ``"tracked"``, ``"fingerprint"`` or
+        ``"verify"``."""
+        return self._ref_mode
 
     @property
     def asleep_count(self) -> int:
@@ -367,17 +428,21 @@ class Engine:
                 raise ConfigurationError(
                     f"message parameter references unknown process {pid_of(ref)}"
                 )
-        msg = Message(
-            label=label,
-            args=tuple(args),
-            seq=next(self._msg_clock),
-            sender=sender,
-        )
+        msg = Message(label, tuple(args), next(self._msg_clock), sender)
         self.channels[tpid].add(msg)
-        self.stats.messages_posted += 1
+        stats = self.stats
+        stats.messages_posted += 1
         if sender is not None:
-            EngineStats._bump(self.stats.sent_by, sender)
-        EngineStats._bump(self.stats.received_by, tpid)
+            by = stats.sent_by
+            try:
+                by[sender] += 1
+            except KeyError:
+                by[sender] = 1
+        by = stats.received_by
+        try:
+            by[tpid] += 1
+        except KeyError:
+            by[tpid] = 1
         self._stale = True
         if self._attached and self.processes[tpid].state is not PState.GONE:
             self.scheduler.notify_send(tpid, msg.seq)
@@ -426,7 +491,16 @@ class Engine:
 
         if self._attached:
             return
-        if self._graph_mode == "incremental":
+        incremental = self._graph_mode == "incremental"
+        self._track = incremental and self._ref_mode == "tracked"
+        log_consumers = incremental and self._ref_mode != "fingerprint"
+        for proc in self.processes.values():
+            # Arm the write-through logs only where a drain will consume
+            # them; everywhere else mutations cost a single dead branch.
+            log = proc._ref_log  # noqa: SLF001 - engine owns the drain
+            log.enabled = log_consumers and proc.ref_tracking
+            log.pending.clear()
+        if incremental:
             # Initial-state construction (planting messages, corrupting
             # process variables) is over: scan once, stream deltas after.
             self._build_live()
@@ -465,9 +539,10 @@ class Engine:
         if event is None:
             return None
 
-        if isinstance(event, TimeoutEvent):
+        kind = type(event)
+        if kind is TimeoutEvent:
             executed = self._run_timeout(event.pid)
-        elif isinstance(event, DeliverEvent):
+        elif kind is DeliverEvent:
             executed = self._run_delivery(event.pid, event.seq)
         else:  # pragma: no cover - scheduler contract
             raise ConfigurationError(f"unknown event {event!r}")
@@ -477,32 +552,98 @@ class Engine:
         self._stale = True
         if self.tracer is not None:
             self.tracer.record(self, executed)
-        for monitor in self.monitors:
-            monitor(self, executed)
+        monitors = self.monitors
+        if monitors:
+            for monitor in monitors:
+                monitor(self, executed)
         return executed
+
+    # -- per-action ref-delta plumbing ------------------------------------
+
+    def _pre_action(self, proc: Process):
+        """Pre-action ref bookkeeping for *proc*.
+
+        Returns the fingerprint *before* image for the diff fallback, or
+        ``None`` when the process's write-through log will supply the
+        deltas (the O(1)-for-unchanged-refs fast path).
+        """
+        if self._live is None:
+            return None
+        if proc.ref_tracking:
+            pending = proc._ref_log.pending  # noqa: SLF001
+            if pending:
+                # Out-of-band mutations since the last drain (tests/tools
+                # poking process state) are reconciled via the ``_dirty``
+                # hook or a manual apply_explicit_diff; either way the
+                # action starts from a clean log.
+                pending.clear()
+            if self._track:
+                return None
+        return explicit_fingerprint(proc)
+
+    def _post_action(self, pid: int, proc: Process, before) -> None:
+        """Commit the action's ref store/drop deltas to the live graph.
+
+        Runs before the requested lifecycle ``_transition`` so an exit
+        purges exactly the edges the action left behind.
+        """
+        live = self._live
+        if live is None:
+            return
+        if before is None:
+            pending = proc._ref_log.pending  # noqa: SLF001
+            if pending:
+                live.apply_ref_deltas(pid, pending)
+                pending.clear()
+            return
+        if self._ref_verify and proc.ref_tracking:
+            self._verify_ref_log(pid, proc, before)
+        live.apply_explicit_diff(pid, before, proc)
+
+    def _verify_ref_log(self, pid: int, proc: Process, before) -> None:
+        """Differential oracle: the write-through log must equal the
+        before/after fingerprint diff, key for key (``ref_mode="verify"``)."""
+        after = explicit_fingerprint(proc)
+        net: dict = {}
+        for key, count in after.items():
+            diff = count - before.get(key, 0)
+            if diff:
+                net[key] = diff
+        for key, count in before.items():
+            if key not in after:
+                net[key] = -count
+        log = proc._ref_log  # noqa: SLF001
+        if net != log.pending:
+            raise StateViolation(
+                f"write-through ref log diverged from fingerprint diff for "
+                f"pid {pid}: logged={log.pending!r} fingerprint={net!r}"
+            )
+        log.pending.clear()
 
     def _run_timeout(self, pid: int) -> ExecutedStep:
         proc = self.processes[pid]
         if proc.state is not PState.AWAKE:  # pragma: no cover - scheduler contract
             raise StateViolation(f"timeout selected for non-awake process {pid}")
-        live = self._live
-        before = explicit_fingerprint(proc) if live is not None else None
-        ctx = ActionContext(self, proc)
+        before = self._pre_action(proc)
+        ctx = self._ctx
+        ctx._reset(proc)  # noqa: SLF001 - engine owns context lifecycle
         proc.timeout(ctx)
-        requested = ctx._close()  # noqa: SLF001 - engine owns context lifecycle
-        if live is not None:
-            # Ref store/drop deltas commit before the lifecycle change so
-            # an exit purges exactly the edges the action left behind.
-            live.apply_explicit_diff(pid, before, proc)
+        requested = ctx._close()  # noqa: SLF001
+        # Ref store/drop deltas commit before the lifecycle change so
+        # an exit purges exactly the edges the action left behind.
+        self._post_action(pid, proc, before)
         if requested is not None:
             self._transition(proc, requested)
-        self.stats.timeouts += 1
-        EngineStats._bump(self.stats.timeouts_by, pid)
+        stats = self.stats
+        stats.timeouts += 1
+        by = stats.timeouts_by
+        try:
+            by[pid] += 1
+        except KeyError:
+            by[pid] = 1
         if proc.state is PState.AWAKE:
             self.scheduler.notify_timeout_executed(pid, self.next_stamp())
-        return ExecutedStep(
-            index=self.step_count, kind="timeout", pid=pid, new_state=proc.state
-        )
+        return ExecutedStep(self.step_count, "timeout", pid, None, None, proc.state)
 
     def _run_delivery(self, pid: int, seq: int) -> ExecutedStep:
         proc = self.processes[pid]
@@ -523,24 +664,23 @@ class Engine:
                     f"'{msg.label}'"
                 )
         else:
-            live = self._live
-            before = explicit_fingerprint(proc) if live is not None else None
-            ctx = ActionContext(self, proc)
+            before = self._pre_action(proc)
+            ctx = self._ctx
+            ctx._reset(proc)  # noqa: SLF001
             handler(ctx, *msg.args)
             requested = ctx._close()  # noqa: SLF001
-            if live is not None:
-                live.apply_explicit_diff(pid, before, proc)
+            self._post_action(pid, proc, before)
             if requested is not None:
                 self._transition(proc, requested)
-        self.stats.deliveries += 1
-        EngineStats._bump(self.stats.deliveries_by, pid)
+        stats = self.stats
+        stats.deliveries += 1
+        by = stats.deliveries_by
+        try:
+            by[pid] += 1
+        except KeyError:
+            by[pid] = 1
         return ExecutedStep(
-            index=self.step_count,
-            kind="deliver",
-            pid=pid,
-            label=msg.label,
-            seq=seq,
-            new_state=proc.state,
+            self.step_count, "deliver", pid, msg.label, seq, proc.state
         )
 
     def run(
@@ -569,7 +709,10 @@ class Engine:
                 return until(self) if until is not None else False
             if until is not None and (i + 1) % check_every == 0 and until(self):
                 return True
-        if until is not None and until(self):
+        # Final check only when the last loop iteration did not just
+        # evaluate the predicate (max_steps == 0 was covered pre-loop,
+        # and 0 % check_every == 0 skips it here too).
+        if until is not None and max_steps % check_every != 0 and until(self):
             return True
         if raise_on_budget:
             raise ConvergenceError(

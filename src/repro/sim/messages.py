@@ -19,7 +19,6 @@ Parameters may also contain plain data (ints, strings, tuples); only
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.sim.refs import Ref
@@ -28,17 +27,41 @@ from repro.sim.states import Mode
 __all__ = ["RefInfo", "Message", "iter_refinfos", "iter_refs"]
 
 
-@dataclass(frozen=True)
 class RefInfo:
     """A process reference bundled with the sender's belief about its mode.
 
     ``mode`` may be ``None`` for protocols that do not track modes (plain
     overlay maintenance without departures); the FDP/FSP protocols always
     attach a concrete belief.
+
+    Immutable and hashable (RefInfos live in frozensets and Counter
+    keys). A hand-rolled ``__slots__`` class rather than a frozen
+    dataclass: RefInfo construction sits on the engine's hot send path,
+    and the dataclass machinery's per-field ``object.__setattr__``
+    plus ``__dict__`` storage measurably dominates it.
     """
 
-    ref: Ref
-    mode: Mode | None = None
+    __slots__ = ("ref", "mode")
+
+    def __init__(self, ref: Ref, mode: Mode | None = None) -> None:
+        object.__setattr__(self, "ref", ref)
+        object.__setattr__(self, "mode", mode)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("RefInfo is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RefInfo):
+            return self.ref == other.ref and self.mode is other.mode
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, RefInfo):
+            return not (self.ref == other.ref and self.mode is other.mode)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.ref, self.mode))
 
     def believed(self, mode: Mode) -> bool:
         """Return whether the attached belief equals *mode*."""
@@ -53,9 +76,13 @@ class RefInfo:
         return f"{self.ref!r}:{m}"
 
 
-@dataclass(frozen=True)
 class Message:
     """One entry of a channel: an action call request.
+
+    Equality ignores ``sender`` (trace-only metadata); one Message is
+    allocated per send, so this is a ``__slots__`` class for the same
+    hot-path reason as :class:`RefInfo`. Treat instances as immutable —
+    channels and the live graph index them by ``seq``.
 
     Attributes
     ----------
@@ -77,10 +104,37 @@ class Message:
         explicit parameter).
     """
 
-    label: str
-    args: tuple[Any, ...] = ()
-    seq: int = -1
-    sender: int | None = field(default=None, compare=False)
+    __slots__ = ("label", "args", "seq", "sender")
+
+    def __init__(
+        self,
+        label: str,
+        args: tuple[Any, ...] = (),
+        seq: int = -1,
+        sender: int | None = None,
+    ) -> None:
+        self.label = label
+        self.args = args
+        self.seq = seq
+        self.sender = sender
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Message):
+            return (
+                self.label == other.label
+                and self.args == other.args
+                and self.seq == other.seq
+            )
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return eq
+        return not eq
+
+    def __hash__(self) -> int:
+        return hash((self.label, self.args, self.seq))
 
     def refinfos(self) -> Iterator[RefInfo]:
         """Iterate over all :class:`RefInfo` entries in the parameters."""

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.errors import StateViolation
 from repro.sim.messages import RefInfo
-from repro.sim.refs import KeyProvider, Ref
+from repro.sim.refs import KeyProvider, Ref, RefDeltaLog
 from repro.sim.states import Mode, PState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -56,6 +56,18 @@ class ActionContext:
         self._requested_state: PState | None = None
 
     # -- plumbing -------------------------------------------------------------
+
+    def _reset(self, process: "Process") -> None:
+        """Re-arm this context for *process*'s next action.
+
+        The engine keeps one pooled context per run and resets it instead
+        of allocating per action; a closed context stays closed for any
+        handler that stashed it, because the pool re-arms only at the
+        start of the next action.
+        """
+        self._process = process
+        self._closed = False
+        self._requested_state = None
 
     def _check_open(self) -> None:
         if self._closed:
@@ -171,11 +183,22 @@ class Process:
     #: not; the linearization overlay and the Foreback-style baseline do.
     requires_order: bool = False
 
+    #: True when every reference this process stores lives in tracked
+    #: containers (:class:`~repro.sim.refs.RefMap`/``RefCell``) wired to
+    #: ``_ref_log``, so the engine can drain write-through deltas instead
+    #: of fingerprint-diffing ``stored_refs()`` around each action.
+    #: Protocols whose ref storage is too diffuse to track (e.g. the
+    #: Section 4 framework, which spans overlay-logic internals) leave
+    #: this False and keep the fingerprint path.
+    ref_tracking: bool = False
+
     def __init__(self, pid: int, mode: Mode) -> None:
         self._pid = int(pid)
         self._mode = mode
         self._state = PState.AWAKE
         self._self_ref = Ref(self._pid)
+        #: net explicit-edge deltas since the last engine drain.
+        self._ref_log = RefDeltaLog()
 
     # -- identity ---------------------------------------------------------------
 

@@ -33,7 +33,15 @@ from typing import Iterator
 
 from repro.errors import CopyStoreSendViolation
 
-__all__ = ["Ref", "pid_of", "KeyProvider", "RefFactory"]
+__all__ = [
+    "Ref",
+    "pid_of",
+    "KeyProvider",
+    "RefFactory",
+    "RefDeltaLog",
+    "RefMap",
+    "RefCell",
+]
 
 
 class Ref:
@@ -61,7 +69,13 @@ class Ref:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(("repro.Ref", self._pid))
+        # Must be stable ACROSS processes: a string in the hash input
+        # would pick up per-process PYTHONHASHSEED randomization, making
+        # every set-of-Refs iterate in a different order per interpreter
+        # — which breaks the trial fabric's serial ≡ parallel guarantee
+        # for any protocol that walks such a set (the Section 4
+        # framework does). Int hashing is randomization-free.
+        return hash((0x5EED, self._pid))
 
     # -- everything else is forbidden ---------------------------------------------
 
@@ -135,6 +149,212 @@ class RefFactory:
 
     def __len__(self) -> int:
         return len(self._cache)
+
+
+class RefDeltaLog:
+    """Per-process accumulator of net explicit-edge deltas.
+
+    Tracked ref containers (:class:`RefMap`, :class:`RefCell`) record
+    every store/drop as ``(dst_pid, belief) → ±count`` into ``pending``
+    at mutation time; the engine drains the log at atomic-action
+    boundaries into the live graph. Accumulating the *net* count makes
+    the intermediate mutation order irrelevant — a drop-then-restore of
+    the same (dst, belief) leaves no entry at all, so unchanged-ref
+    actions drain in O(1) instead of paying an O(refs) fingerprint diff.
+
+    ``enabled`` is flipped off by the engine when no consumer exists
+    (rebuild graph mode, fingerprint ref mode) so mutations cost one
+    extra branch and nothing accumulates.
+    """
+
+    __slots__ = ("enabled", "pending")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        #: (dst_pid, stored belief) → net count since the last drain.
+        self.pending: dict = {}
+
+    def record(self, dst_pid: int, belief, count: int) -> None:
+        """Accumulate ``count`` copies of the edge ``(dst_pid, belief)``."""
+        key = (dst_pid, belief)
+        pending = self.pending
+        net = pending.get(key, 0) + count
+        if net:
+            pending[key] = net
+        else:
+            del pending[key]
+
+
+_MISSING = object()
+
+
+class RefMap:
+    """Dict-like ``Ref → belief`` store that write-through-logs deltas.
+
+    Drop-in for the plain dicts protocol processes keep their
+    neighbourhoods in (``u.N``, ``parked``): supports the mapping surface
+    the protocols and tests use, and mirrors every mutation into the
+    owning process's :class:`RefDeltaLog` so the engine never has to
+    fingerprint the store to learn what changed.
+    """
+
+    __slots__ = ("_log", "_d")
+
+    def __init__(self, log: RefDeltaLog, items=None) -> None:
+        self._log = log
+        self._d: dict = {}
+        if items:
+            for ref, belief in dict(items).items():
+                self[ref] = belief
+
+    # -- mutations (logged) ---------------------------------------------------
+
+    def __setitem__(self, ref: Ref, belief) -> None:
+        d = self._d
+        old = d.get(ref, _MISSING)
+        if old is belief:
+            return
+        d[ref] = belief
+        log = self._log
+        if log.enabled:
+            pid = ref._pid  # noqa: SLF001 - this module owns Ref
+            if old is not _MISSING:
+                log.record(pid, old, -1)
+            log.record(pid, belief, 1)
+
+    def __delitem__(self, ref: Ref) -> None:
+        old = self._d.pop(ref)  # raises KeyError like a dict
+        log = self._log
+        if log.enabled:
+            log.record(ref._pid, old, -1)  # noqa: SLF001
+
+    def pop(self, ref: Ref, *default):
+        old = self._d.pop(ref, _MISSING)
+        if old is _MISSING:
+            if default:
+                return default[0]
+            raise KeyError(ref)
+        log = self._log
+        if log.enabled:
+            log.record(ref._pid, old, -1)  # noqa: SLF001
+        return old
+
+    def clear(self) -> None:
+        d = self._d
+        if not d:
+            return
+        log = self._log
+        if log.enabled:
+            record = log.record
+            for ref, belief in d.items():
+                record(ref._pid, belief, -1)  # noqa: SLF001
+        d.clear()
+
+    def update(self, items) -> None:
+        for ref, belief in dict(items).items():
+            self[ref] = belief
+
+    # -- reads (plain dict semantics) ----------------------------------------
+
+    def __getitem__(self, ref: Ref):
+        return self._d[ref]
+
+    def get(self, ref: Ref, default=None):
+        return self._d.get(ref, default)
+
+    def __contains__(self, ref) -> bool:
+        return ref in self._d
+
+    def __iter__(self):
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __bool__(self) -> bool:
+        return bool(self._d)
+
+    def items(self):
+        return self._d.items()
+
+    def keys(self):
+        return self._d.keys()
+
+    def values(self):
+        return self._d.values()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RefMap):
+            return self._d == other._d
+        if isinstance(other, dict):
+            return self._d == other
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return eq
+        return not eq
+
+    def __repr__(self) -> str:
+        return f"RefMap({self._d!r})"
+
+
+class RefCell:
+    """A single ``(ref, belief)`` slot — e.g. the FDP anchor — with
+    write-through delta logging.
+
+    Reads go through the ``ref``/``belief`` properties; writes through
+    :meth:`set_ref`/:meth:`set_belief` (protocol classes expose them as
+    property setters), which log the net edge transition.
+    """
+
+    __slots__ = ("_log", "_ref", "_belief")
+
+    def __init__(self, log: RefDeltaLog, ref: Ref | None = None, belief=None) -> None:
+        self._log = log
+        self._ref = None
+        self._belief = None
+        if belief is not None:
+            self.set_belief(belief)
+        if ref is not None:
+            self.set_ref(ref)
+
+    @property
+    def ref(self) -> Ref | None:
+        return self._ref
+
+    @property
+    def belief(self):
+        return self._belief
+
+    def set_ref(self, ref: Ref | None) -> None:
+        old = self._ref
+        if old is ref:
+            return
+        log = self._log
+        if log.enabled:
+            belief = self._belief
+            if old is not None:
+                log.record(old._pid, belief, -1)  # noqa: SLF001
+            if ref is not None:
+                log.record(ref._pid, belief, 1)  # noqa: SLF001
+        self._ref = ref
+
+    def set_belief(self, belief) -> None:
+        old = self._belief
+        if old is belief:
+            return
+        ref = self._ref
+        log = self._log
+        if ref is not None and log.enabled:
+            pid = ref._pid  # noqa: SLF001
+            log.record(pid, old, -1)
+            log.record(pid, belief, 1)
+        self._belief = belief
+
+    def __repr__(self) -> str:
+        return f"RefCell({self._ref!r}, {self._belief!r})"
 
 
 class KeyProvider:

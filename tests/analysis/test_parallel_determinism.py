@@ -1,0 +1,101 @@
+"""Serial ≡ parallel determinism of the trial fabric.
+
+The fabric's contract is that ``run_series(parallel=True)`` returns the
+*same sequence of TrialResult objects* as the serial path for the same
+seeds — chunking, worker scheduling, and completion order must be
+invisible in the output. These tests exercise the real FDP and FSP
+scenarios (heavy corruption, so the runs are nontrivial) through actual
+worker processes; builders live at module level so they pickle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import TrialFabric, run_series
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import (
+    HEAVY_CORRUPTION,
+    build_fdp_engine,
+    build_fsp_engine,
+    choose_leaving,
+)
+from repro.graphs import generators as gen
+
+N = 12
+BUDGET = 60_000
+
+
+def _topology(seed: int):
+    edges = gen.random_connected(N, N // 2, seed=seed)
+    leaving = choose_leaving(N, edges, fraction=0.3, seed=seed)
+    return edges, leaving
+
+
+def build_fdp(seed: int):
+    edges, leaving = _topology(seed)
+    return build_fdp_engine(
+        N, edges, leaving, seed=seed, corruption=HEAVY_CORRUPTION
+    )
+
+
+def build_fsp(seed: int):
+    edges, leaving = _topology(seed)
+    return build_fsp_engine(
+        N, edges, leaving, seed=seed, corruption=HEAVY_CORRUPTION
+    )
+
+
+def collect_phi(engine) -> dict:
+    return {"phi": float(engine.potential())}
+
+
+def _series(build, until, **kw):
+    return run_series(
+        build,
+        range(6),
+        until=until,
+        max_steps=BUDGET,
+        check_every=64,
+        collect=collect_phi,
+        **kw,
+    )
+
+
+class TestSerialParallelIdentity:
+    def test_fdp_sequences_identical(self):
+        serial = _series(build_fdp, fdp_legitimate, parallel=False)
+        fanned = _series(build_fdp, fdp_legitimate, parallel=True, max_workers=2)
+        assert serial.trials == fanned.trials
+        assert [t.seed for t in fanned.trials] == list(range(6))
+
+    def test_fsp_sequences_identical(self):
+        serial = _series(build_fsp, fsp_legitimate, parallel=False)
+        fanned = _series(build_fsp, fsp_legitimate, parallel=True, max_workers=2)
+        assert serial.trials == fanned.trials
+
+    def test_chunk_size_does_not_leak_into_results(self):
+        """Different chunkings reassemble to the same sequence."""
+        one = _series(build_fdp, fdp_legitimate, parallel=True, max_workers=2,
+                      chunk_size=1)
+        big = _series(build_fdp, fdp_legitimate, parallel=True, max_workers=2,
+                      chunk_size=4)
+        assert one.trials == big.trials
+
+    def test_warm_fabric_reuse_identical(self):
+        """A fabric shared across two series (the sweep pattern) gives the
+        same results as fresh pools."""
+        with TrialFabric(max_workers=2, chunk_size=2) as fab:
+            first = _series(build_fdp, fdp_legitimate, fabric=fab)
+            second = _series(build_fdp, fdp_legitimate, fabric=fab)
+        assert first.trials == second.trials
+        assert first.trials == _series(build_fdp, fdp_legitimate,
+                                       parallel=False).trials
+
+
+class TestStructuredFailures:
+    def test_capture_identical_serial_and_parallel(self):
+        serial = _series(build_fdp, fdp_legitimate, parallel=False,
+                         on_error="capture")
+        fanned = _series(build_fdp, fdp_legitimate, parallel=True,
+                         max_workers=2, on_error="capture")
+        assert serial.trials == fanned.trials
+        assert serial.failures == []

@@ -137,12 +137,19 @@ class TestRetriesAndFallback:
         eng._transition(eng.processes[1], PState.GONE)
         p = eng.processes[0]
         p.max_verify_retries = 3
-        for _ in range(6):
+        for _ in range(10):
             drive_timeout(eng, 0)
         assert p.mlist == [] or all(e.retries <= 4 for e in p.mlist)
-        assert not any(
-            r == Ref(1) for r in p.logic.neighbor_refs()
-        ) or True  # neighbour dropped after presumption sweeps
+        # Presumption must also evict the gone neighbour from P — if it
+        # stays, P re-targets it on every p_timeout and the verify cycle
+        # restarts forever (livelock with unbounded channel growth).
+        assert not any(r == Ref(1) for r in p.logic.neighbor_refs())
+        assert not any(Ref(1) in set(e.refs()) for e in p.mlist)
+        # With the ref evicted, traffic to the gone channel dries up.
+        before = len(eng.channels[1])
+        for _ in range(5):
+            drive_timeout(eng, 0)
+        assert len(eng.channels[1]) == before
 
 
 class TestLeavingBehaviour:
@@ -236,3 +243,41 @@ class TestTheorem4:
 
         assert eng.run(BUDGET, until=done, check_every=128)
         assert eng.stats.exits == len(leaving)
+
+    def test_presumed_leaving_evicted_from_p(self):
+        """Pinned hypothesis-found livelock: a staying robust-ring process
+        whose pred departed must presume it leaving AND evict it from P.
+
+        Before the eviction (see ``_postprocess``), the gone pred stayed
+        in P's pointers, P re-targeted it every timeout, and each round
+        spawned a fresh unanswerable verify cycle — Φ stalled while the
+        gone process's channel grew without bound (~1M pending messages
+        by 3M steps) and the target was never reached.
+        """
+        from repro.core.scenarios import Corruption
+        from repro.overlays import LOGICS
+        from repro.sim.scheduler import RandomScheduler
+
+        logic = LOGICS["robust_ring"]
+        eng = build_framework_engine(
+            6,
+            [(0, 1), (1, 2), (1, 4), (2, 3), (2, 4), (4, 1), (4, 3), (5, 4)],
+            frozenset({2, 3, 4}),
+            logic,
+            seed=1201,
+            corruption=Corruption(
+                belief_lie_prob=0.2047035841490263,
+                anchor_prob=0.18379276174876072,
+                anchor_lie_prob=0.2047035841490263,
+                garbage_per_process=0.3418840602302751,
+                garbage_lie_prob=0.5,
+            ),
+            scheduler=RandomScheduler(1201),
+            monitors=[ConnectivityMonitor(check_every=8)],
+        )
+
+        def done(e):
+            return fdp_legitimate(e) and logic.target_reached(e)
+
+        assert eng.run(100_000, until=done, check_every=128)
+        assert eng.stats.exits == 3

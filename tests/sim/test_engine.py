@@ -230,6 +230,42 @@ class TestRun:
         eng = make([Recorder(0)])
         assert eng.run(0, until=lambda e: True)
 
+    def test_predicate_evaluated_once_per_interval(self):
+        """Regression: when check_every divides max_steps the predicate
+        used to be evaluated twice at the budget boundary (once by the
+        final loop iteration, once by the post-loop safety check)."""
+        eng = make([Recorder(0)])
+        calls = 0
+
+        def pred(engine):
+            nonlocal calls
+            calls += 1
+            return False
+
+        assert eng.run(40, until=pred, check_every=8) is False
+        assert eng.step_count == 40  # Recorder never quiesces (timeouts)
+        assert calls == 1 + 40 // 8  # pre-loop check + one per interval
+
+    def test_final_partial_interval_still_checked(self):
+        """When check_every does NOT divide max_steps, the tail steps
+        after the last full interval still get one closing check."""
+        eng = make([Recorder(0)])
+        calls = 0
+
+        def pred(engine):
+            nonlocal calls
+            calls += 1
+            return False
+
+        assert eng.run(10, until=pred, check_every=8) is False
+        assert calls == 1 + 10 // 8 + 1
+
+    def test_predicate_satisfied_in_tail_interval(self):
+        eng = make([Recorder(0)])
+        # Becomes true at step 10; only the post-loop check can see it
+        # (the last in-loop check fires at step 8).
+        assert eng.run(10, until=lambda e: e.step_count >= 10, check_every=8)
+
 
 class TestMeasurements:
     def test_potential_counts_invalid_edges(self):

@@ -239,3 +239,114 @@ def test_bad_graph_mode_rejected():
 
     with pytest.raises(ConfigurationError):
         build_fdp_engine(3, [(0, 1), (1, 2)], {2}, graph_mode="bogus")
+
+
+# ---------------------------------------------------------------------------
+# dirty-ref tracking ≡ fingerprint diffing
+#
+# The write-through ref log replaced per-action fingerprint diffing on the
+# hot path; ``ref_mode="verify"`` keeps both alive and cross-checks the
+# logged net deltas against the fingerprint diff after *every* atomic
+# action (raising StateViolation on divergence). Driving the usual
+# differential workloads in verify mode therefore tests three things at
+# once: the log matches the oracle, and both match the rebuilt graph.
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    steps=st.integers(1, 60),
+    heavy=st.booleans(),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+def test_fdp_ref_log_equals_fingerprint_diff(monkeypatch, seed, steps, heavy):
+    monkeypatch.setenv("REPRO_REF_MODE", "verify")
+    n = 9
+    edges = gen.random_connected(n, 5, seed=seed)
+    leaving = choose_leaving(n, edges, fraction=0.4, seed=seed)
+    engine = build_fdp_engine(
+        n,
+        edges,
+        leaving,
+        seed=seed,
+        corruption=HEAVY_CORRUPTION if heavy else CLEAN,
+    )
+    assert engine.ref_mode == "verify"
+    drive_and_check(engine, steps)
+
+
+@given(seed=st.integers(0, 10_000), steps=st.integers(1, 60))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+def test_fsp_ref_log_equals_fingerprint_diff(monkeypatch, seed, steps):
+    """FSP adds the tracked ``parked`` RefMap and the anchor RefCell
+    churn of park/delegate cycles — the log must net them correctly."""
+    monkeypatch.setenv("REPRO_REF_MODE", "verify")
+    n = 8
+    edges = gen.random_connected(n, 4, seed=seed)
+    leaving = choose_leaving(n, edges, fraction=0.5, seed=seed)
+    engine = build_fsp_engine(
+        n, edges, leaving, seed=seed, corruption=HEAVY_CORRUPTION
+    )
+    drive_and_check(engine, steps)
+
+
+def test_ref_mode_trajectories_identical(monkeypatch):
+    """tracked / fingerprint / verify are observation choices, not
+    semantics: one scenario run to legitimacy in all three modes yields
+    identical trajectories and final observables."""
+    from repro.core.potential import fdp_legitimate
+
+    n = 12
+    edges = gen.random_connected(n, 6, seed=5)
+    leaving = choose_leaving(n, edges, fraction=0.3, seed=5)
+    results = {}
+    for mode in ("tracked", "fingerprint", "verify"):
+        monkeypatch.setenv("REPRO_REF_MODE", mode)
+        engine = build_fdp_engine(
+            n, edges, leaving, seed=5, corruption=HEAVY_CORRUPTION
+        )
+        assert engine.ref_mode == mode
+        converged = engine.run(50_000, until=fdp_legitimate, check_every=8)
+        results[mode] = (
+            converged,
+            engine.step_count,
+            engine.potential(),
+            engine.states(),
+            edge_multiset(engine.snapshot()),
+        )
+    assert results["tracked"] == results["fingerprint"]
+    assert results["tracked"] == results["verify"]
+
+
+def test_fingerprint_mode_disarms_logs(monkeypatch):
+    """The fingerprint escape hatch must not pay the logging cost: every
+    process's ref log stays disabled after attach."""
+    monkeypatch.setenv("REPRO_REF_MODE", "fingerprint")
+    engine = build_fdp_engine(4, [(0, 1), (1, 2), (2, 3)], {3}, seed=0)
+    engine.attach()
+    assert all(not p._ref_log.enabled for p in engine.processes.values())
+    for _ in range(30):
+        if engine.step() is None:
+            break
+    assert_equivalent(engine)
+
+
+def test_bad_ref_mode_rejected(monkeypatch):
+    from repro.errors import ConfigurationError
+
+    monkeypatch.setenv("REPRO_REF_MODE", "bogus")
+    with pytest.raises(ConfigurationError):
+        build_fdp_engine(3, [(0, 1), (1, 2)], {2})

@@ -1,0 +1,197 @@
+"""Unit semantics of the write-through ref-tracking primitives.
+
+:class:`RefDeltaLog` / :class:`RefMap` / :class:`RefCell` are the
+foundation of the dirty-ref observation path — the differential suite
+(:mod:`tests.sim.test_livegraph_differential`) proves them equivalent to
+fingerprint diffing end to end; these tests pin the local contracts the
+equivalence rests on: net-delta accumulation, plain-dict read semantics,
+and the disabled-log fast path.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.refs import Ref, RefCell, RefDeltaLog, RefMap
+from repro.sim.states import Mode
+
+
+class TestRefDeltaLog:
+    def test_nets_opposite_records_to_nothing(self):
+        log = RefDeltaLog()
+        log.record(3, Mode.STAYING, 1)
+        log.record(3, Mode.STAYING, -1)
+        assert log.pending == {}
+
+    def test_accumulates_same_key(self):
+        log = RefDeltaLog()
+        log.record(3, Mode.STAYING, 1)
+        log.record(3, Mode.STAYING, 1)
+        assert log.pending == {(3, Mode.STAYING): 2}
+
+    def test_beliefs_are_distinct_keys(self):
+        log = RefDeltaLog()
+        log.record(3, Mode.STAYING, 1)
+        log.record(3, Mode.LEAVING, -1)
+        assert log.pending == {
+            (3, Mode.STAYING): 1,
+            (3, Mode.LEAVING): -1,
+        }
+
+
+class TestRefMap:
+    def _fresh(self):
+        log = RefDeltaLog()
+        return log, RefMap(log)
+
+    def test_reads_behave_like_dict(self):
+        log, m = self._fresh()
+        a, b = Ref(1), Ref(2)
+        m[a] = Mode.STAYING
+        m[b] = Mode.LEAVING
+        assert m[a] is Mode.STAYING
+        assert m.get(Ref(9)) is None
+        assert a in m and Ref(9) not in m
+        assert set(m) == {a, b}
+        assert len(m) == 2 and bool(m)
+        assert dict(m.items()) == {a: Mode.STAYING, b: Mode.LEAVING}
+        assert m == {a: Mode.STAYING, b: Mode.LEAVING}
+        assert m != {a: Mode.STAYING}
+
+    def test_set_logs_plus_one(self):
+        log, m = self._fresh()
+        m[Ref(4)] = Mode.STAYING
+        assert log.pending == {(4, Mode.STAYING): 1}
+
+    def test_overwrite_logs_belief_swap(self):
+        log, m = self._fresh()
+        m[Ref(4)] = Mode.STAYING
+        m[Ref(4)] = Mode.LEAVING
+        # +STAYING then -STAYING nets away; only the new belief remains.
+        assert log.pending == {(4, Mode.LEAVING): 1}
+
+    def test_same_value_rewrite_is_a_noop(self):
+        log, m = self._fresh()
+        m[Ref(4)] = Mode.STAYING
+        log.pending.clear()
+        m[Ref(4)] = Mode.STAYING
+        assert log.pending == {}
+
+    def test_delete_and_pop_log_minus_one(self):
+        log, m = self._fresh()
+        a, b = Ref(1), Ref(2)
+        m[a] = Mode.STAYING
+        m[b] = Mode.LEAVING
+        log.pending.clear()
+        del m[a]
+        assert m.pop(b) is Mode.LEAVING
+        assert log.pending == {
+            (1, Mode.STAYING): -1,
+            (2, Mode.LEAVING): -1,
+        }
+        with pytest.raises(KeyError):
+            del m[a]
+        with pytest.raises(KeyError):
+            m.pop(a)
+        assert m.pop(a, "fallback") == "fallback"
+
+    def test_add_then_remove_nets_to_zero(self):
+        log, m = self._fresh()
+        m[Ref(7)] = Mode.LEAVING
+        del m[Ref(7)]
+        assert log.pending == {}
+
+    def test_clear_logs_every_entry(self):
+        log, m = self._fresh()
+        m[Ref(1)] = Mode.STAYING
+        m[Ref(2)] = Mode.STAYING
+        log.pending.clear()
+        m.clear()
+        assert log.pending == {
+            (1, Mode.STAYING): -1,
+            (2, Mode.STAYING): -1,
+        }
+        m.clear()  # empty clear: no-op, no log traffic
+        assert len(m) == 0
+
+    def test_disabled_log_records_nothing(self):
+        log, m = self._fresh()
+        log.enabled = False
+        m[Ref(1)] = Mode.STAYING
+        m[Ref(1)] = Mode.LEAVING
+        del m[Ref(1)]
+        assert log.pending == {}
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["set", "del", "pop", "clear"]),
+                st.integers(0, 4),
+                st.sampled_from(list(Mode)),
+            ),
+            max_size=40,
+        )
+    )
+    def test_pending_always_equals_store_diff(self, ops):
+        """Invariant: after any mutation sequence, the pending net deltas
+        equal (multiset of current entries) − (multiset at last drain)."""
+        log = RefDeltaLog()
+        m = RefMap(log)
+        for op, pid, belief in ops:
+            ref = Ref(pid)
+            if op == "set":
+                m[ref] = belief
+            elif op == "del" and ref in m:
+                del m[ref]
+            elif op == "pop":
+                m.pop(ref, None)
+            elif op == "clear":
+                m.clear()
+        # Started empty and never drained, so the pending net deltas must
+        # be exactly the multiset of current entries — with no zeros kept.
+        expected: dict = {}
+        for ref, belief in m.items():
+            key = (ref._pid, belief)
+            expected[key] = expected.get(key, 0) + 1
+        assert log.pending == expected
+
+
+class TestRefCell:
+    def test_ref_transition_moves_edge(self):
+        log = RefDeltaLog()
+        c = RefCell(log)
+        c.set_belief(Mode.STAYING)
+        assert log.pending == {}  # belief without a ref is not an edge
+        c.set_ref(Ref(1))
+        assert log.pending == {(1, Mode.STAYING): 1}
+        c.set_ref(Ref(2))
+        # the +1 on pid 1 netted away against the -1 of the move
+        assert log.pending == {(2, Mode.STAYING): 1}
+        c.set_ref(None)
+        assert log.pending == {}
+
+    def test_belief_transition_swaps_edge(self):
+        log = RefDeltaLog()
+        c = RefCell(log, Ref(3), Mode.STAYING)
+        log.pending.clear()
+        c.set_belief(Mode.LEAVING)
+        assert log.pending == {
+            (3, Mode.STAYING): -1,
+            (3, Mode.LEAVING): 1,
+        }
+
+    def test_identity_rewrites_are_noops(self):
+        log = RefDeltaLog()
+        c = RefCell(log, Ref(3), Mode.STAYING)
+        log.pending.clear()
+        c.set_ref(c.ref)
+        c.set_belief(c.belief)
+        assert log.pending == {}
+
+    def test_disabled_log_untouched(self):
+        log = RefDeltaLog()
+        log.enabled = False
+        c = RefCell(log, Ref(3), Mode.STAYING)
+        c.set_ref(Ref(4))
+        c.set_belief(Mode.LEAVING)
+        assert log.pending == {}
