@@ -65,7 +65,7 @@ def test_e3_universality(benchmark):
             title="E3 — Phase A introduction rounds vs n (claim: O(log n))",
         ),
     )
-    assert all(r <= b for r, b in zip(rounds, bounds))
+    assert all(r <= b for r, b in zip(rounds, bounds, strict=True))
     # Shape: logarithmic growth — the log-log slope of rounds vs n must be
     # well below linear.
     assert loglog_slope(ns, rounds) < 0.5

@@ -79,6 +79,13 @@ def main(argv=None) -> int:
     if failures:
         for line in failures:
             print(f"REGRESSION: {line}", file=sys.stderr)
+        print(
+            "Performance regression against the committed baseline. See "
+            "docs/PERF.md for the measurement protocol, the profiling "
+            "workflow to locate the regression, and how to re-baseline "
+            "if CI hardware legitimately shifted.",
+            file=sys.stderr,
+        )
         return 1
     print("no regression: incremental steps/s within tolerance of baseline")
     return 0

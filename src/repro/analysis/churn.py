@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.potential import fdp_legitimate
 from repro.core.scenarios import CLEAN, Corruption, build_framework_engine

@@ -15,7 +15,7 @@ import pstats
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = [
     "profile_call",

@@ -35,7 +35,7 @@ def _marker(proc) -> str:
     return tag
 
 
-def render_adjacency_list(engine: "Engine", title: str | None = None) -> str:
+def render_adjacency_list(engine: Engine, title: str | None = None) -> str:
     """One line per non-gone process: explicit out-neighbours + status."""
     snap = engine.snapshot()
     lines = [title] if title else []
@@ -51,7 +51,7 @@ def render_adjacency_list(engine: "Engine", title: str | None = None) -> str:
     return "\n".join(lines)
 
 
-def render_matrix(engine: "Engine", title: str | None = None) -> str:
+def render_matrix(engine: Engine, title: str | None = None) -> str:
     """Adjacency matrix: ``#`` explicit, ``·`` implicit, ``@`` both.
 
     Gone processes render as a struck-out row/column (``x``). Intended
@@ -89,7 +89,7 @@ def render_matrix(engine: "Engine", title: str | None = None) -> str:
     return "\n".join(lines)
 
 
-def render_modes(engine: "Engine") -> str:
+def render_modes(engine: Engine) -> str:
     """Population strip: S/L (lowercase = asleep), ✝ = gone, pid order."""
     out = []
     for pid in sorted(engine.processes):

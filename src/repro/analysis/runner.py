@@ -25,7 +25,8 @@ import math
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from collections.abc import Callable, Iterable
+from typing import Any
 
 import numpy as np
 
@@ -247,7 +248,7 @@ class TrialFabric:
             self._pool.shutdown()
             self._pool = None
 
-    def __enter__(self) -> "TrialFabric":
+    def __enter__(self) -> TrialFabric:
         return self
 
     def __exit__(self, *exc_info) -> None:

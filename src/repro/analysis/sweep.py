@@ -17,7 +17,8 @@ from __future__ import annotations
 import itertools
 import os
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro.analysis.runner import SeriesResult, TrialFabric, run_series
 from repro.sim.engine import Engine
@@ -72,7 +73,7 @@ def sweep(
 
     names = list(axes.keys())
     grid = [
-        dict(zip(names, combo))
+        dict(zip(names, combo, strict=True))
         for combo in itertools.product(*(axes[n] for n in names))
     ]
     if parallel is None:

@@ -8,7 +8,8 @@ formatting — no I/O — so tests can assert on the output.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 __all__ = ["format_table", "format_series", "sparkline", "format_kv"]
 
@@ -44,11 +45,11 @@ def format_table(
     if title:
         lines.append(title)
         lines.append("=" * len(title))
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append(sep)
     for row in str_rows:
         lines.append(
-            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=False))
         )
     return "\n".join(lines)
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.analysis.tables import format_kv, format_table
 from repro.core.oracles import ORACLES
@@ -342,6 +342,19 @@ def cmd_oracles(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.runner import list_rules, run_lint
+
+    if args.list_rules:
+        return list_rules()
+    return run_lint(
+        args.paths,
+        select=tuple(args.select.split(",")) if args.select else (),
+        ignore=tuple(args.ignore.split(",")) if args.ignore else (),
+        output_format=args.format,
+    )
+
+
 #: The experiment index (DESIGN.md) in CLI-browsable form.
 EXPERIMENTS = [
     ("E1", "Figure 1", "state-graph transitions", "bench_e1_state_graph.py"),
@@ -448,6 +461,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="pstats sort key",
     )
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "lint",
+        help="static model-conformance/determinism analysis (docs/LINT.md)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", default="", help="comma-separated rule prefixes")
+    p.add_argument("--ignore", default="", help="comma-separated rule prefixes")
+    p.add_argument("--list-rules", action="store_true", help="print the catalogue")
+    p.set_defaults(func=cmd_lint)
 
     sub.add_parser("topologies", help="list topology generators").set_defaults(
         func=cmd_topologies

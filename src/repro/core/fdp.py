@@ -55,7 +55,7 @@ Transcription notes (faithfulness decisions, also recorded in DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 from repro.sim.messages import RefInfo
 from repro.sim.process import ActionContext, Process

@@ -49,7 +49,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from functools import partial
+from collections.abc import Iterator
+from typing import Any
 
 from repro.core.fdp import FDPProcess, normalize_belief
 from repro.sim.messages import RefInfo
@@ -60,7 +62,7 @@ from repro.sim.states import Mode
 __all__ = ["FrameworkProcess", "PendingMessage"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingMessage:
     """One withheld P message awaiting mode verification."""
 
@@ -114,6 +116,15 @@ class FrameworkProcess(FDPProcess):
         self.beliefs: dict[Ref, Mode] = {}
         self.mlist: list[PendingMessage] = []
         self._uid = itertools.count()
+        #: context threaded to P's send function for the current atomic
+        #: action (set by _p_send_fn, consumed synchronously by _p_send —
+        #: avoids allocating a closure per action).
+        self._p_ctx: ActionContext | None = None
+        #: per-label dispatchers, built once (handler() must not allocate).
+        self._p_handlers = {
+            label: partial(self._dispatch_p, label)
+            for label in self.logic.message_labels
+        }
 
     # ------------------------------------------------------------------ state
 
@@ -147,11 +158,13 @@ class FrameworkProcess(FDPProcess):
 
     def _p_send_fn(self, ctx: ActionContext):
         """The send function handed to P: every send is preprocessed."""
+        self._p_ctx = ctx
+        return self._p_send
 
-        def send(target: Ref, label: str, *args: Any) -> None:
-            self._preprocess(ctx, target, label, args)
-
-        return send
+    def _p_send(self, target: Ref, label: str, *args: Any) -> None:
+        ctx = self._p_ctx
+        assert ctx is not None, "P send outside an atomic action"
+        self._preprocess(ctx, target, label, args)
 
     def _keys(self, ctx: ActionContext):
         return ctx.keys if self.requires_order else None
@@ -295,7 +308,7 @@ class FrameworkProcess(FDPProcess):
             ctx.send(self.self_ref, "forward", RefInfo(ref, belief))  #    ♦
             drained = True
         for entry in self.mlist:
-            for ref in set(entry.refs()):
+            for ref in dict.fromkeys(entry.refs()):  # ordered dedup
                 if ref == self.self_ref:
                     continue
                 ctx.send(
@@ -386,12 +399,13 @@ class FrameworkProcess(FDPProcess):
     # ------------------------------------------------------------------ P messages
 
     def handler(self, label: str):
-        if label in self.logic.message_labels:
-            def _dispatch(ctx: ActionContext, *args) -> None:
-                self._handle_p_message(ctx, label, args)
-
-            return _dispatch
+        fn = self._p_handlers.get(label)
+        if fn is not None:
+            return fn
         return super().handler(label)
+
+    def _dispatch_p(self, label: str, ctx: ActionContext, *args) -> None:
+        self._handle_p_message(ctx, label, args)
 
     def _handle_p_message(
         self, ctx: ActionContext, label: str, args: tuple[Any, ...]

@@ -60,7 +60,7 @@ translation, and each is recorded in DESIGN.md:
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.core.fdp import FDPProcess
 from repro.sim.messages import RefInfo

@@ -55,7 +55,7 @@ class SingleOracle:
 
     name = "single"
 
-    def __call__(self, engine: "Engine", pid: int) -> bool:
+    def __call__(self, engine: Engine, pid: int) -> bool:
         # engine.partner_pids implements exactly this predicate's partner
         # set. In incremental graph mode it is an O(deg) read of the live
         # partner index; in rebuild mode the limit stops the legacy scan
@@ -76,7 +76,7 @@ class AlwaysOracle:
 
     name = "always"
 
-    def __call__(self, engine: "Engine", pid: int) -> bool:
+    def __call__(self, engine: Engine, pid: int) -> bool:
         return True
 
     def __repr__(self) -> str:
@@ -93,7 +93,7 @@ class NeverOracle:
 
     name = "never"
 
-    def __call__(self, engine: "Engine", pid: int) -> bool:
+    def __call__(self, engine: Engine, pid: int) -> bool:
         return False
 
     def __repr__(self) -> str:
@@ -124,7 +124,7 @@ class TimeoutSingleOracle:
         self.grace = grace
         self._streak: dict[int, int] = {}
 
-    def _locally_single(self, engine: "Engine", pid: int) -> bool:
+    def _locally_single(self, engine: Engine, pid: int) -> bool:
         snap = engine.snapshot()
         if pid not in snap:
             return True
@@ -143,7 +143,7 @@ class TimeoutSingleOracle:
                 partners.add(e.src)
         return len(partners) <= 1
 
-    def __call__(self, engine: "Engine", pid: int) -> bool:
+    def __call__(self, engine: Engine, pid: int) -> bool:
         if self._locally_single(engine, pid):
             self._streak[pid] = self._streak.get(pid, 0) + 1
         else:
@@ -179,7 +179,7 @@ class NoIncomingOracle:
 
     name = "no_incoming"
 
-    def __call__(self, engine: "Engine", pid: int) -> bool:
+    def __call__(self, engine: Engine, pid: int) -> bool:
         if len(engine.channels[pid]):
             return False
         snap = engine.snapshot()

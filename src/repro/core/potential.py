@@ -52,7 +52,7 @@ __all__ = [
 ]
 
 
-def potential(engine: "Engine") -> int:
+def potential(engine: Engine) -> int:
     """Φ: the number of edges carrying invalid mode information.
 
     An O(1) counter read in the engine's incremental graph mode (the
@@ -62,13 +62,13 @@ def potential(engine: "Engine") -> int:
     return engine.potential()
 
 
-def invalid_edges(engine: "Engine") -> list[Edge]:
+def invalid_edges(engine: Engine) -> list[Edge]:
     """The edges counted by Φ (for diagnostics and targeted tests)."""
     snap = engine.snapshot()
     return list(snap.iter_invalid_edges(engine.actual_mode))
 
 
-def is_valid_state(engine: "Engine") -> bool:
+def is_valid_state(engine: Engine) -> bool:
     """Whether no relevant process holds or is owed invalid information."""
     return engine.potential() == 0
 
@@ -76,13 +76,13 @@ def is_valid_state(engine: "Engine") -> bool:
 # ---------------------------------------------------------------- legitimacy parts
 
 
-def _staying_pids(engine: "Engine") -> frozenset[int]:
+def _staying_pids(engine: Engine) -> frozenset[int]:
     return frozenset(
         pid for pid, p in engine.processes.items() if p.mode is Mode.STAYING
     )
 
 
-def all_staying_awake(engine: "Engine") -> bool:
+def all_staying_awake(engine: Engine) -> bool:
     """Condition (i): every staying process is awake."""
     return all(
         p.state is PState.AWAKE
@@ -91,7 +91,7 @@ def all_staying_awake(engine: "Engine") -> bool:
     )
 
 
-def all_leaving_gone(engine: "Engine") -> bool:
+def all_leaving_gone(engine: Engine) -> bool:
     """FDP reading of condition (ii): every leaving process is gone."""
     return all(
         p.state is PState.GONE
@@ -100,7 +100,7 @@ def all_leaving_gone(engine: "Engine") -> bool:
     )
 
 
-def all_leaving_hibernating(engine: "Engine") -> bool:
+def all_leaving_hibernating(engine: Engine) -> bool:
     """FSP reading of condition (ii): every leaving process is hibernating
     (gone also accepted, matching the general definition)."""
     snap = engine.snapshot()
@@ -115,7 +115,7 @@ def all_leaving_hibernating(engine: "Engine") -> bool:
     return True
 
 
-def staying_connected_per_component(engine: "Engine") -> bool:
+def staying_connected_per_component(engine: Engine) -> bool:
     """Condition (iii): per initial component, the staying processes still
     lie in one weakly connected component of the current process graph.
 
@@ -138,7 +138,7 @@ def staying_connected_per_component(engine: "Engine") -> bool:
     return True
 
 
-def staying_connected_induced(engine: "Engine") -> bool:
+def staying_connected_induced(engine: Engine) -> bool:
     """Strict variant of condition (iii): connectivity of each component's
     staying processes in the subgraph induced on staying processes only
     (no paths through hibernating processes). Reported by the analysis
@@ -155,7 +155,7 @@ def staying_connected_induced(engine: "Engine") -> bool:
     return True
 
 
-def relevant_connected_per_component(engine: "Engine") -> bool:
+def relevant_connected_per_component(engine: Engine) -> bool:
     """Lemma 2's running invariant: per initial component, the currently
     relevant processes remain weakly connected (paths through any relevant
     process count).
@@ -176,7 +176,7 @@ def relevant_connected_per_component(engine: "Engine") -> bool:
 # ---------------------------------------------------------------- full predicates
 
 
-def fdp_legitimate(engine: "Engine") -> bool:
+def fdp_legitimate(engine: Engine) -> bool:
     """Legitimacy for the Finite Departure Problem: (i) ∧ (ii:gone) ∧ (iii)."""
     return (
         all_staying_awake(engine)
@@ -185,7 +185,7 @@ def fdp_legitimate(engine: "Engine") -> bool:
     )
 
 
-def fsp_legitimate(engine: "Engine") -> bool:
+def fsp_legitimate(engine: Engine) -> bool:
     """Legitimacy for the Finite Sleep Problem: (i) ∧ (ii:hibernating) ∧ (iii)."""
     return (
         all_staying_awake(engine)

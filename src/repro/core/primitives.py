@@ -35,7 +35,7 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import ModelViolation
 from repro.graphs.connectivity import is_weakly_connected
@@ -168,7 +168,7 @@ class PrimitiveGraph:
     def is_weakly_connected(self) -> bool:
         return is_weakly_connected(self.undirected_adjacency())
 
-    def copy(self) -> "PrimitiveGraph":
+    def copy(self) -> PrimitiveGraph:
         clone = PrimitiveGraph(self._nodes)
         clone._edges = Counter(self._edges)
         return clone

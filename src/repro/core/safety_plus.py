@@ -28,7 +28,8 @@ condition could the FDP protocol already promise?".
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
 
 from repro.errors import SafetyViolation
 from repro.sim.states import Mode
@@ -44,7 +45,7 @@ __all__ = [
 ]
 
 
-def _staying_adjacency(engine: "Engine") -> dict[int, set[int]]:
+def _staying_adjacency(engine: Engine) -> dict[int, set[int]]:
     """Undirected adjacency of the staying-induced subgraph (all edges)."""
     snap = engine.snapshot()
     staying = frozenset(
@@ -53,7 +54,7 @@ def _staying_adjacency(engine: "Engine") -> dict[int, set[int]]:
     return snap.undirected_adjacency(staying)
 
 
-def staying_distances(engine: "Engine") -> dict[tuple[int, int], int]:
+def staying_distances(engine: Engine) -> dict[tuple[int, int], int]:
     """All-pairs BFS distances over the staying-induced overlay.
 
     Unreachable pairs are omitted (callers treat them as infinite).
@@ -78,7 +79,7 @@ def staying_distances(engine: "Engine") -> dict[tuple[int, int], int]:
 
 
 def stretch(
-    engine: "Engine",
+    engine: Engine,
     baseline: Mapping[tuple[int, int], int],
     pairs: Iterable[tuple[int, int]] | None = None,
 ) -> float:
@@ -105,7 +106,7 @@ def stretch(
 
 
 def degree_blowup(
-    engine: "Engine", baseline_degrees: Mapping[int, int]
+    engine: Engine, baseline_degrees: Mapping[int, int]
 ) -> float:
     """Worst-case growth factor of staying explicit out-degrees.
 
@@ -128,7 +129,7 @@ def degree_blowup(
     return worst
 
 
-def staying_out_degrees(engine: "Engine") -> dict[int, int]:
+def staying_out_degrees(engine: Engine) -> dict[int, int]:
     """Explicit staying→staying out-degrees (baseline for degree_blowup)."""
     snap = engine.snapshot()
     staying = {
@@ -168,7 +169,7 @@ class StretchMonitor:
         self.series: list[float] = []
         self.peak = 1.0
 
-    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+    def __call__(self, engine: Engine, executed: ExecutedStep) -> None:
         if self.baseline is None:
             self.baseline = staying_distances(engine)
         if engine.step_count % self.check_every != 0:

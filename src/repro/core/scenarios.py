@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from random import Random
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.core.fdp import FDPProcess
 from repro.core.fsp import FSPProcess
@@ -55,7 +55,7 @@ class Corruption:
     garbage_per_process: float = 0.0
     garbage_lie_prob: float = 0.5
 
-    def scaled(self, factor: float) -> "Corruption":
+    def scaled(self, factor: float) -> Corruption:
         """A proportionally milder/harsher copy (for corruption sweeps)."""
         return replace(
             self,

@@ -37,7 +37,7 @@ Theorem 2 (each primitive is *necessary*) is reproduced two ways:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.graphs.connectivity import bfs_shortest_path, is_weakly_connected

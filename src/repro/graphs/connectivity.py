@@ -16,7 +16,8 @@ at runtime) because the simulator calls these in hot monitoring loops:
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterable, Mapping, Sequence, TypeVar
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import TypeVar
 
 __all__ = [
     "UnionFind",

@@ -14,7 +14,7 @@ transformation instances.
 from __future__ import annotations
 
 from random import Random
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = [
     "line",

@@ -62,7 +62,8 @@ rebuild of the engine state.
 from __future__ import annotations
 
 from collections import Counter
-from typing import TYPE_CHECKING, Iterable, Iterator
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from repro.graphs.connectivity import UnionFind
 from repro.graphs.snapshot import Edge, EdgeKind, NodeView, ProcessGraph
@@ -79,6 +80,9 @@ __all__ = ["LiveGraph", "explicit_fingerprint"]
 #: Edge-multiset key: (dst, kind, raw belief). Keyed per source process.
 _EdgeKey = tuple[int, EdgeKind, "Mode | None"]
 
+#: Explicit-edge fingerprint / delta key: (dst pid, stored belief).
+_RefKey = tuple[int, "Mode | None"]
+
 
 def _normalize(belief: Mode | None) -> Mode:
     """Missing beliefs count as *staying* claims (Φ convention; see
@@ -86,7 +90,7 @@ def _normalize(belief: Mode | None) -> Mode:
     return belief if belief is not None else Mode.STAYING
 
 
-def explicit_fingerprint(proc: "Process") -> Counter:
+def explicit_fingerprint(proc: Process) -> Counter[_RefKey]:
     """Multiset of *proc*'s explicit edges as ``(dst, belief)`` counts.
 
     Taken by the engine before and after each atomic action; the
@@ -102,7 +106,7 @@ class LiveGraph:
 
     __slots__ = (
         "_mode",
-        "_state",
+        "_pstate",
         "_channel_len",
         "_edges_by_src",
         "_out",
@@ -117,11 +121,11 @@ class LiveGraph:
         "_uf_stale",
     )
 
-    def __init__(self, engine: "Engine") -> None:
+    def __init__(self, engine: Engine) -> None:
         #: immutable per-pid mode (defined even for gone processes — Φ
         #: counts edges whose target already left).
         self._mode: dict[int, Mode] = {}
-        self._state: dict[int, PState] = {}
+        self._pstate: dict[int, PState] = {}
         self._channel_len: dict[int, int] = {}
         #: src → {(dst, kind, belief) → count}; only non-gone sources.
         self._edges_by_src: dict[int, dict[_EdgeKey, int]] = {}
@@ -144,7 +148,7 @@ class LiveGraph:
 
     # ------------------------------------------------------------------ build
 
-    def _build(self, engine: "Engine") -> None:
+    def _build(self, engine: Engine) -> None:
         """Full scan of the engine state — done once, at attach time.
 
         Everything afterwards arrives as deltas.
@@ -152,7 +156,7 @@ class LiveGraph:
 
         for pid, proc in engine.processes.items():
             self._mode[pid] = proc.mode
-            self._state[pid] = proc.state
+            self._pstate[pid] = proc.state
             self._channel_len[pid] = len(engine.channels[pid])
             self._edges_by_src[pid] = {}
             self._out[pid] = {}
@@ -190,7 +194,7 @@ class LiveGraph:
         if nb is not self._mode[dst]:
             self._phi += count
         # Connectivity: self-loops and edges to gone targets never count.
-        if src != dst and self._state.get(dst) is not PState.GONE:
+        if src != dst and self._pstate.get(dst) is not PState.GONE:
             pair = (src, dst) if src < dst else (dst, src)
             self._pair_counts[pair] = self._pair_counts.get(pair, 0) + count
             self._dead_pairs.discard(pair)
@@ -229,7 +233,7 @@ class LiveGraph:
             del bucket[nb]
         if nb is not self._mode[dst]:
             self._phi -= count
-        if src != dst and self._state.get(dst) is not PState.GONE:
+        if src != dst and self._pstate.get(dst) is not PState.GONE:
             pair = (src, dst) if src < dst else (dst, src)
             left = self._pair_counts[pair] - count
             if left:
@@ -247,10 +251,10 @@ class LiveGraph:
         """Live undirected neighbours of *pid* (non-gone, no self)."""
         found: set[int] = set()
         for q in self._out.get(pid, ()):
-            if q != pid and self._state.get(q) is not PState.GONE:
+            if q != pid and self._pstate.get(q) is not PState.GONE:
                 found.add(q)
         for q in self._in.get(pid, ()):
-            if q != pid and self._state.get(q) is not PState.GONE:
+            if q != pid and self._pstate.get(q) is not PState.GONE:
                 found.add(q)
         return found
 
@@ -262,25 +266,27 @@ class LiveGraph:
 
     # ------------------------------------------------------------------ deltas
 
-    def on_enqueue(self, pid: int, msg: "Message") -> None:
+    def on_enqueue(self, pid: int, msg: Message) -> None:
         """A message entered ``pid.Ch`` (implicit edges appear)."""
         self._channel_len[pid] = self._channel_len.get(pid, 0) + 1
         self._pending_total += 1
-        if self._state.get(pid) is PState.GONE:
+        if self._pstate.get(pid) is PState.GONE:
             return  # gone processes are outside PG; their mail is inert
         for info in msg.refinfos():
             self._add_edge(pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode)
 
-    def on_dequeue(self, pid: int, msg: "Message") -> None:
+    def on_dequeue(self, pid: int, msg: Message) -> None:
         """A message left ``pid.Ch`` (implicit edges disappear)."""
         self._channel_len[pid] -= 1
         self._pending_total -= 1
-        if self._state.get(pid) is PState.GONE:
+        if self._pstate.get(pid) is PState.GONE:
             return
         for info in msg.refinfos():
             self._remove_edge(pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode)
 
-    def apply_explicit_diff(self, pid: int, before: Counter, proc: "Process") -> None:
+    def apply_explicit_diff(
+        self, pid: int, before: Counter[_RefKey], proc: Process
+    ) -> None:
         """Commit the acting process's ref store/drop deltas.
 
         *before* is the :func:`explicit_fingerprint` taken when the action
@@ -300,7 +306,7 @@ class LiveGraph:
             if extra > 0:
                 self._add_edge(pid, dst, EdgeKind.EXPLICIT, belief, extra)
 
-    def apply_ref_deltas(self, pid: int, deltas: dict) -> None:
+    def apply_ref_deltas(self, pid: int, deltas: dict[_RefKey, int]) -> None:
         """Commit net explicit-edge deltas recorded write-through.
 
         *deltas* is a drained :class:`~repro.sim.refs.RefDeltaLog`
@@ -321,8 +327,8 @@ class LiveGraph:
         """Lifecycle delta: exit purges the pid's out-edges; sleep/wake
         only flips the state consulted by relevance queries."""
 
-        old = self._state.get(pid)
-        self._state[pid] = state
+        old = self._pstate.get(pid)
+        self._pstate[pid] = state
         if state is PState.GONE and old is not PState.GONE:
             # Out-edges leave PG with the process (its stored refs and
             # channel content remain physically present but unobservable).
@@ -373,16 +379,16 @@ class LiveGraph:
         return self._pending_total
 
     def state_of(self, pid: int) -> PState:
-        return self._state[pid]
+        return self._pstate[pid]
 
     def alive_pids(self) -> list[int]:
-        return [p for p, s in self._state.items() if s is not PState.GONE]
+        return [p for p, s in self._pstate.items() if s is not PState.GONE]
 
     def partners(self, pid: int) -> set[int]:
         """Non-gone processes (≠ *pid*) sharing an edge with *pid* — the
         SINGLE oracle's partner index, read in O(deg)."""
 
-        if self._state.get(pid) is PState.GONE:
+        if self._pstate.get(pid) is PState.GONE:
             return set()
         found = self._neighbours(pid)
         return found
@@ -402,12 +408,12 @@ class LiveGraph:
             self._dead_pairs.clear()
         if self._uf_stale:
             uf = UnionFind(
-                p for p, s in self._state.items() if s is not PState.GONE
+                p for p, s in self._pstate.items() if s is not PState.GONE
             )
             for (a, b), _count in self._pair_counts.items():
                 if (
-                    self._state.get(a) is not PState.GONE
-                    and self._state.get(b) is not PState.GONE
+                    self._pstate.get(a) is not PState.GONE
+                    and self._pstate.get(b) is not PState.GONE
                 ):
                     uf.union(a, b)
             self._uf = uf
@@ -460,7 +466,7 @@ class LiveGraph:
 
         quiet = {
             pid
-            for pid, s in self._state.items()
+            for pid, s in self._pstate.items()
             if s is PState.ASLEEP and self._channel_len.get(pid, 0) == 0
         }
         if not quiet:
@@ -470,7 +476,7 @@ class LiveGraph:
             changed = False
             for pid in list(quiet):
                 for src in self._in.get(pid, ()):
-                    if src not in quiet and self._state.get(src) is not PState.GONE:
+                    if src not in quiet and self._pstate.get(src) is not PState.GONE:
                         quiet.discard(pid)
                         changed = True
                         break
@@ -479,7 +485,7 @@ class LiveGraph:
     def relevant(self) -> frozenset[int]:
         """Non-gone, non-hibernating pids."""
         return frozenset(
-            p for p, s in self._state.items() if s is not PState.GONE
+            p for p, s in self._pstate.items() if s is not PState.GONE
         ) - self.hibernating()
 
     # ------------------------------------------------------------------ materialize
@@ -504,13 +510,13 @@ class LiveGraph:
                 state=state,
                 channel_len=self._channel_len.get(pid, 0),
             )
-            for pid, state in self._state.items()
+            for pid, state in self._pstate.items()
             if state is not PState.GONE
         ]
         return ProcessGraph(nodes, self.iter_edges())
 
     def __repr__(self) -> str:
         return (
-            f"LiveGraph(n={len(self._state)}, m={self._edge_total}, "
+            f"LiveGraph(n={len(self._pstate)}, m={self._edge_total}, "
             f"phi={self._phi}, pending={self._pending_total})"
         )

@@ -10,7 +10,7 @@ Python for clarity.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 import numpy as np
 
@@ -106,7 +106,7 @@ def is_sorted_line(edges: frozenset[tuple[int, int]], keys: Mapping[int, float])
     """Whether *edges* is exactly the doubly linked list sorted by *keys*."""
     order = sorted(keys, key=keys.__getitem__)
     want: set[tuple[int, int]] = set()
-    for a, b in zip(order, order[1:]):
+    for a, b in zip(order, order[1:], strict=False):
         want.add((a, b))
         want.add((b, a))
     return set(edges) == want
@@ -117,7 +117,7 @@ def is_sorted_ring(edges: frozenset[tuple[int, int]], keys: Mapping[int, float])
     order = sorted(keys, key=keys.__getitem__)
     if len(order) < 2:
         return len(edges) == 0
-    want = {(a, b) for a, b in zip(order, order[1:] + order[:1])}
+    want = {(a, b) for a, b in zip(order, order[1:] + order[:1], strict=True)}
     return set(edges) == want
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.sim.states import Mode, PState
 
@@ -42,7 +42,7 @@ class EdgeKind(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Edge:
     """One directed edge of the process multigraph.
 
@@ -61,7 +61,7 @@ class Edge:
         return self.src == self.dst
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeView:
     """Mode, lifecycle state and channel occupancy of one process."""
 
@@ -241,7 +241,7 @@ class ProcessGraph:
                 return True
         return False
 
-    def filter_nodes(self, keep: Callable[[NodeView], bool]) -> "ProcessGraph":
+    def filter_nodes(self, keep: Callable[[NodeView], bool]) -> ProcessGraph:
         """Return the snapshot induced on nodes satisfying *keep*."""
         nodes = [n for n in self._nodes.values() if keep(n)]
         kept = {n.pid for n in nodes}

@@ -1,0 +1,28 @@
+"""``repro lint`` — AST-based model-conformance and determinism analyzer.
+
+Static checks (stdlib ``ast`` only, no third-party dependencies) that
+enforce the invariants the reproduction's correctness arguments rest on:
+the copy-store-send reference discipline and reversal bookkeeping
+(REF0xx), hot-path determinism (DET0xx), the PR 2 allocation-free step
+loop (PERF0xx), and the class-𝒫 interaction grammar (API0xx).
+
+See docs/LINT.md for the rule catalogue and suppression syntax
+(``# repro: noqa[RULE]``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.model import Finding, Module, Rule, parse_module
+from repro.lint.rules import ALL_RULES
+from repro.lint.runner import LintResult, lint_paths, run_lint
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintResult",
+    "Module",
+    "Rule",
+    "lint_paths",
+    "parse_module",
+    "run_lint",
+]

@@ -1,0 +1,323 @@
+"""DET0xx — determinism rules for the engine hot path.
+
+A run is an experiment: given (scenario, seed) it must replay bit-for-bit
+on any interpreter, or divergence debugging (exactly what diagnosed the
+PR 2 livelock) becomes impossible. These rules flag the ways real
+nondeterminism crept in or nearly crept in:
+
+* global ``random`` state and wall clocks feeding scheduling decisions;
+* ``id()``-derived values (memory addresses differ per run);
+* iterating a set of refs in hash order (the cross-interpreter
+  divergence class fixed in PR 2 by making ``Ref.__hash__`` seed-free);
+* ``__hash__`` implementations feeding ``str``/``bytes`` into ``hash``
+  (salted per-process by PYTHONHASHSEED — the exact shipped bug shape).
+
+All but DET005 are scoped to the hot modules (the import closure of the
+engine plus protocol modules); analysis/offline tooling may use clocks
+freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.model import Finding, Module, Rule, attr_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import Project
+
+__all__ = [
+    "UnseededRandom",
+    "WallClock",
+    "IdentityKey",
+    "UnsortedRefSetIteration",
+    "SaltedHash",
+]
+
+#: module-level ``random`` functions sharing the global unseeded state.
+_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "getrandbits",
+        "gauss",
+        "SystemRandom",
+    }
+)
+
+#: wall-clock reads (dotted form and their from-import targets).
+_CLOCK_CHAINS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+
+_SET_BINOPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+_SET_METHODS = frozenset(
+    {"copy", "difference", "union", "intersection", "symmetric_difference"}
+)
+
+
+def _function_stack_walk(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+    """Walk yielding (node, enclosing-function-name stack)."""
+
+    def rec(node: ast.AST, stack: tuple[str, ...]) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, stack
+                yield from rec(child, (*stack, child.name))
+            else:
+                yield child, stack
+                yield from rec(child, stack)
+
+    yield from rec(tree, ())
+
+
+class UnseededRandom(Rule):
+    id = "DET001"
+    title = "unseeded global random in hot path"
+    rationale = (
+        "Module-level random.* functions share interpreter-global state; "
+        "runs stop replaying from (scenario, seed). Use a seeded "
+        "random.Random instance owned by the scheduler."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not project.is_hot(module):
+            return
+        aliases = project.aliases.get(module.name, {})
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if len(parts) == 2 and aliases.get(parts[0]) == "random":
+                if parts[1] != "Random":  # Random(seed) is the sanctioned path
+                    yield self.finding(
+                        module, node, f"call to global {chain}() in hot-path module"
+                    )
+            elif len(parts) == 1:
+                target = aliases.get(parts[0], "")
+                if (
+                    target.startswith("random.")
+                    and target.split(".")[-1] in _RANDOM_FUNCS
+                ):
+                    yield self.finding(
+                        module, node, f"call to global {target}() in hot-path module"
+                    )
+
+
+class WallClock(Rule):
+    id = "DET002"
+    title = "wall-clock read in hot path"
+    rationale = (
+        "Simulated time is the step counter; real-time reads make "
+        "scheduling decisions unreproducible across machines and runs."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not project.is_hot(module):
+            return
+        aliases = project.aliases.get(module.name, {})
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            head = chain.split(".")[0]
+            dotted = chain
+            if head in aliases:
+                dotted = aliases[head] + chain[len(head) :]
+            if chain in _CLOCK_CHAINS or dotted in _CLOCK_CHAINS:
+                yield self.finding(
+                    module, node, f"wall-clock call {chain}() in hot-path module"
+                )
+
+
+class IdentityKey(Rule):
+    id = "DET003"
+    title = "id()-derived value in hot path"
+    rationale = (
+        "id() is a memory address: it differs across runs and "
+        "interpreters, so id()-keyed containers iterate and compare "
+        "nondeterministically. Key by Ref/pid instead."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not project.is_hot(module):
+            return
+        for node, stack in _function_stack_walk(module.tree):
+            if stack and stack[-1] in {"__repr__", "__str__"}:
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1
+            ):
+                yield self.finding(
+                    module, node, "id()-derived value in hot-path module"
+                )
+
+
+def _refy(expr: ast.AST) -> bool:
+    """Whether an expression syntactically mentions references."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and "ref" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "ref" in node.attr.lower():
+            return True
+    return False
+
+
+class _SetTyping:
+    """Per-module knowledge of which expressions are sets of refs."""
+
+    def __init__(self, module: Module):
+        #: attribute names annotated ``set[Ref]``/``frozenset[Ref]``.
+        self.set_attrs: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AnnAssign) and node.annotation is not None:
+                ann = ast.unparse(node.annotation).replace(" ", "")
+                if ann in {"set[Ref]", "frozenset[Ref]", "Set[Ref]", "FrozenSet[Ref]"}:
+                    if isinstance(node.target, ast.Attribute):
+                        self.set_attrs.add(node.target.attr)
+                    elif isinstance(node.target, ast.Name):
+                        self.set_attrs.add(node.target.id)
+
+    def locals_of(self, fn: ast.AST) -> set[str]:
+        """Local names bound to a ref-set expression anywhere in *fn*."""
+        out: set[str] = set()
+        for _ in range(2):  # fixpoint over simple chains (a = b; c = a - x)
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    tgt = node.targets[0]
+                    if isinstance(tgt, ast.Name) and self.is_ref_set(node.value, out):
+                        out.add(tgt.id)
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    ann = ast.unparse(node.annotation).replace(" ", "")
+                    if ann in {"set[Ref]", "frozenset[Ref]"}:
+                        out.add(node.target.id)
+        return out
+
+    def is_ref_set(self, expr: ast.AST, local_sets: set[str]) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in local_sets or (
+                expr.id in self.set_attrs
+            )
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in self.set_attrs
+        if isinstance(expr, ast.Set):
+            return _refy(expr)
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_BINOPS):
+            return self.is_ref_set(expr.left, local_sets) or self.is_ref_set(
+                expr.right, local_sets
+            )
+        if isinstance(expr, ast.Call):
+            chain = attr_chain(expr.func) or ""
+            leaf = chain.split(".")[-1]
+            if leaf in {"set", "frozenset"} and len(chain.split(".")) == 1:
+                if expr.args and (
+                    _refy(expr.args[0]) or self.is_ref_set(expr.args[0], local_sets)
+                ):
+                    return True
+                return False
+            if leaf in {"list", "tuple", "iter"} and len(chain.split(".")) == 1:
+                return bool(expr.args) and self.is_ref_set(expr.args[0], local_sets)
+            if leaf in _SET_METHODS and isinstance(expr.func, ast.Attribute):
+                return self.is_ref_set(expr.func.value, local_sets)
+        return False
+
+
+class UnsortedRefSetIteration(Rule):
+    id = "DET004"
+    title = "iteration over a set of refs without sorted()"
+    rationale = (
+        "Set iteration order follows hash order. With a salted hash this "
+        "diverges per interpreter (the pre-PR 2 Ref.__hash__ bug class); "
+        "even seed-free, protocol decisions taken in set order are fragile "
+        "under refactors. Wrap in sorted()/keys.sorted()."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not project.is_hot(module):
+            return
+        typing_info = _SetTyping(module)
+        for fn in project.functions.values():
+            if fn.module is not module:
+                continue
+            local_sets = typing_info.locals_of(fn.node)
+            iters: list[ast.expr] = []
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    iters.extend(gen.iter for gen in node.generators)
+            for expr in iters:
+                if typing_info.is_ref_set(expr, local_sets):
+                    yield self.finding(
+                        module,
+                        expr,
+                        f"iterating ref set {ast.unparse(expr)!r} in hash "
+                        "order; wrap in sorted()/keys.sorted()",
+                    )
+
+
+class SaltedHash(Rule):
+    id = "DET005"
+    title = "__hash__ built from str/bytes constants"
+    rationale = (
+        "str/bytes hashing is salted by PYTHONHASHSEED, so such a "
+        "__hash__ differs per interpreter process — the exact shipped "
+        "Ref.__hash__ bug (fixed by hashing ints only: "
+        "hash((0x5EED, pid)))."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for node, stack in _function_stack_walk(module.tree):
+            if not stack or stack[-1] != "__hash__":
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                for arg in node.args:
+                    if any(
+                        isinstance(sub, ast.Constant)
+                        and isinstance(sub.value, (str, bytes))
+                        for sub in ast.walk(arg)
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "__hash__ feeds a str/bytes constant into hash() "
+                            "(PYTHONHASHSEED-salted); hash ints only",
+                        )
+                        break

@@ -1,0 +1,178 @@
+"""API0xx — framework-grammar rules.
+
+The paper's universality result only covers protocols in class 𝒫 —
+protocols whose inter-process interactions decompose into the four
+connectivity-preserving primitives. The simulator mirrors that
+restriction as an API surface: overlay logic is driven *only* through
+``integrate``/``drop_neighbor``/``handle``/``p_timeout`` (plus read-only
+introspection), all interaction goes through ``send``, and process
+lifecycle state is owned by the engine. These rules make the surface a
+checked contract instead of a convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.model import Finding, Module, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import Project
+
+__all__ = ["LogicSurface", "ForeignStateMutation", "LifecycleOwnership"]
+
+#: the OverlayLogic surface the framework/engine may touch.
+_SANCTIONED_LOGIC_ATTRS = frozenset(
+    {
+        "integrate",
+        "integrate_with_keys",
+        "drop_neighbor",
+        "handle",
+        "p_timeout",
+        "neighbor_refs",
+        "message_labels",
+        "requires_order",
+        "postprocess_extra",
+        "describe_vars",
+        "target_reached",
+        "self_ref",
+    }
+)
+
+#: container mutators that change state in place.
+_MUTATORS = frozenset(
+    {"add", "discard", "remove", "append", "extend", "insert", "pop", "clear", "update"}
+)
+
+#: modules that own process lifecycle state.
+_LIFECYCLE_OWNERS = frozenset(
+    {"repro.sim.process", "repro.sim.engine", "repro.sim.states"}
+)
+
+_LIFECYCLE_ATTRS = frozenset({"mode", "_state", "state"})
+
+
+class LogicSurface(Rule):
+    id = "API001"
+    title = "only the sanctioned OverlayLogic surface may be used"
+    rationale = (
+        "Class 𝒫 (paper Section 2) restricts protocols to the four "
+        "primitives; the simulator's equivalent is the OverlayLogic "
+        "surface. Host code reaching into logic internals bypasses the "
+        "grammar the universality framework depends on."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if (
+                isinstance(node.value, ast.Attribute)
+                and node.value.attr == "logic"
+                and node.attr not in _SANCTIONED_LOGIC_ATTRS
+                and not node.attr.startswith("__")
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"access to unsanctioned logic attribute "
+                    f"'.logic.{node.attr}' (surface: integrate/"
+                    "drop_neighbor/handle/p_timeout + introspection)",
+                )
+
+
+class ForeignStateMutation(Rule):
+    id = "API002"
+    title = "overlay logic must not mutate received objects"
+    rationale = (
+        "In the model all interaction is message passing: a logic method "
+        "mutating an object it received (another process's state, a "
+        "shared container) is a shared-memory shortcut no primitive "
+        "decomposition can express."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for cls in project.classes.values():
+            if cls.module is not module or not project.is_overlay_logic_class(cls):
+                continue
+            for stmt in cls.node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                params = {
+                    a.arg
+                    for a in [
+                        *stmt.args.posonlyargs,
+                        *stmt.args.args,
+                        *stmt.args.kwonlyargs,
+                    ]
+                } - {"self"}
+                for node in ast.walk(stmt):
+                    if isinstance(node, (ast.Assign, ast.AugAssign)):
+                        targets = (
+                            node.targets
+                            if isinstance(node, ast.Assign)
+                            else [node.target]
+                        )
+                        for tgt in targets:
+                            root = tgt
+                            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                                root = root.value
+                            if (
+                                isinstance(root, ast.Name)
+                                and root.id in params
+                                and root is not tgt
+                            ):
+                                yield self.finding(
+                                    module,
+                                    tgt,
+                                    f"logic method {stmt.name!r} mutates "
+                                    f"received object {root.id!r} "
+                                    "(interaction must go through send)",
+                                )
+                    elif isinstance(node, ast.Call) and isinstance(
+                        node.func, ast.Attribute
+                    ):
+                        if node.func.attr not in _MUTATORS:
+                            continue
+                        root = node.func.value
+                        while isinstance(root, (ast.Attribute, ast.Subscript)):
+                            root = root.value
+                        if isinstance(root, ast.Name) and root.id in params:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"logic method {stmt.name!r} mutates received "
+                                f"object {root.id!r} via .{node.func.attr}() "
+                                "(interaction must go through send)",
+                            )
+
+
+class LifecycleOwnership(Rule):
+    id = "API003"
+    title = "lifecycle state is engine-owned"
+    rationale = (
+        "Mode/PState transitions carry the paper's legality constraints "
+        "(e.g. leaving is irreversible); only the engine and the process "
+        "shell may assign them, everything else observes."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if module.name in _LIFECYCLE_OWNERS:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for tgt in targets:
+                if isinstance(tgt, ast.Attribute) and tgt.attr in _LIFECYCLE_ATTRS:
+                    yield self.finding(
+                        module,
+                        tgt,
+                        f"assignment to lifecycle attribute "
+                        f"'{ast.unparse(tgt)}' outside the engine/process "
+                        "shell",
+                    )

@@ -1,0 +1,99 @@
+"""PERF0xx — hot-path hygiene rules.
+
+PR 2 made the step loop allocation-free (pooled ``ActionContext``,
+``__slots__`` everywhere on the step path, no per-delivery closures) and
+the benchmarks gate on it. These rules keep that invariant from
+regressing silently: they walk the name-based call graph from
+``Engine.step`` and the protocol action methods (see
+``lint/callgraph.py``) and check every function reachable from there.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.callgraph import _own_statements
+from repro.lint.model import Finding, Module, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import Project
+
+__all__ = ["SlotsOnStepPath", "ClosureOnStepPath"]
+
+
+class SlotsOnStepPath(Rule):
+    id = "PERF001"
+    title = "step-path classes must declare __slots__"
+    rationale = (
+        "A class instantiated inside Engine.step's call graph without "
+        "__slots__ carries a per-instance __dict__: more allocation, "
+        "worse cache locality, and it breaks the PR 2 allocation-budget "
+        "benchmarks. Declare __slots__ or @dataclass(slots=True)."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        seen: set[str] = set()
+        for fn in project.functions.values():
+            if fn.module is not module or not project.is_step_reachable(fn.qualname):
+                continue
+            for node in _own_statements(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                cls = project.resolve_class(module, node)
+                if cls is None or cls.qualname in seen or cls.has_slots:
+                    continue
+                if project.is_exception_class(cls) or project.is_enum_like(cls):
+                    continue
+                # A base we cannot resolve may bring its own __dict__ (or
+                # its own slots); only judge fully-resolvable hierarchies.
+                if any(
+                    b.split(".")[-1] not in project.classes_by_name
+                    and b.split(".")[-1] != "object"
+                    for b in cls.base_names
+                ):
+                    continue
+                seen.add(cls.qualname)
+                yield self.finding(
+                    module,
+                    node,
+                    f"class {cls.name!r} ({cls.module.path}:"
+                    f"{cls.node.lineno}) is instantiated on the step "
+                    "path but declares no __slots__",
+                )
+
+
+class ClosureOnStepPath(Rule):
+    id = "PERF002"
+    title = "no per-call closures on the step path"
+    rationale = (
+        "A lambda or nested def allocates a function object (plus cells) "
+        "every call; in handlers and timeouts that is per-message cost. "
+        "PR 2 removed these from the loop — hoist to a bound method or a "
+        "table built in __init__."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for fn in project.functions.values():
+            if fn.module is not module or not project.is_step_reachable(fn.qualname):
+                continue
+            if "<locals>" in fn.qualname:
+                # The nested def itself was already reported at its
+                # definition site inside the parent.
+                continue
+            for node in _own_statements(fn.node):
+                if isinstance(node, ast.Lambda):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"lambda allocated per call in step-path function "
+                        f"{fn.name!r}",
+                    )
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"nested function {node.name!r} allocated per call "
+                        f"in step-path function {fn.name!r}",
+                    )

@@ -1,0 +1,242 @@
+"""REF0xx — reference-safety / connectivity rules.
+
+The paper's connectivity argument (Theorem 1 / Lemma 2) rests on the
+copy-store-send discipline: a reference a process receives must end up
+*somewhere* — forwarded in a message, stored in a neighborhood
+container, or explicitly released through the sanctioned purge surface.
+A reference that silently falls out of scope is a potential cut edge.
+
+These rules run only on protocol modules (modules defining a
+``Process``/``OverlayLogic`` subclass) — utility code passes refs around
+freely.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.model import Finding, Module, Rule, attr_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import Project
+
+__all__ = ["RefConsumption", "ReversalEviction", "RefIdentityComparison"]
+
+#: methods that receive references from the network / the framework.
+_HANDLER_RE = re.compile(r"^(on_|handle|_handle|integrate)")
+
+#: annotations naming reference-carrying parameters.
+_REF_ANNOTATIONS = frozenset({"Ref", "RefInfo"})
+
+#: container methods that release a stored reference.
+_EVICT_METHODS = frozenset({"drop_neighbor", "pop", "discard", "remove"})
+
+
+def _names_in(expr: ast.AST | None) -> Iterator[str]:
+    if expr is None:
+        return
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def _consumed_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names that flow into a sink: call argument, store, return/yield,
+    subscript key of a store, or an explicit ``del``."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            for arg in node.args:
+                out.update(_names_in(arg))
+            for kw in node.keywords:
+                out.update(_names_in(kw.value))
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            out.update(_names_in(node.value))
+        elif isinstance(node, ast.Assign):
+            out.update(_names_in(node.value))
+            for tgt in node.targets:
+                for sub in ast.walk(tgt):
+                    if isinstance(sub, ast.Subscript):
+                        out.update(_names_in(sub.slice))
+        elif isinstance(node, ast.AugAssign):
+            out.update(_names_in(node.value))
+            if isinstance(node.target, ast.Subscript):
+                out.update(_names_in(node.target.slice))
+        elif isinstance(node, ast.AnnAssign):
+            out.update(_names_in(node.value))
+        elif isinstance(node, ast.Delete):
+            for tgt in node.targets:
+                out.update(_names_in(tgt))
+    return out
+
+
+def _protocol_methods(
+    module: Module, project: Project
+) -> Iterator[tuple[ast.ClassDef, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    for cls in project.classes.values():
+        if cls.module is not module or not project.is_protocol_class(cls):
+            continue
+        for stmt in cls.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield cls.node, stmt
+
+
+class RefConsumption(Rule):
+    id = "REF001"
+    title = "received reference must be consumed"
+    rationale = (
+        "Copy-store-send (paper Section 2): a handler that receives a Ref "
+        "and lets it fall out of scope may disconnect the overlay — the "
+        "reference was an edge of the relation graph."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not project.is_protocol(module):
+            return
+        for _cls, fn in _protocol_methods(module, project):
+            if not _HANDLER_RE.match(fn.name):
+                continue
+            if any(isinstance(n, ast.Raise) for n in ast.walk(fn)):
+                continue  # abstract / intentionally unsupported
+            ref_params = [
+                arg
+                for arg in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
+                if arg.annotation is not None
+                and (attr_chain(arg.annotation) or "").split(".")[-1]
+                in _REF_ANNOTATIONS
+            ]
+            if not ref_params:
+                continue
+            consumed = _consumed_names(fn)
+            for arg in ref_params:
+                if arg.arg not in consumed:
+                    yield self.finding(
+                        module,
+                        arg,
+                        f"handler {fn.name!r} receives reference parameter "
+                        f"{arg.arg!r} but never sends, stores, or drops it "
+                        "(potential connectivity leak)",
+                    )
+
+
+def _walk_sends(
+    node: ast.AST, tests: tuple[str, ...], out: list[tuple[ast.Call, tuple[str, ...]]]
+) -> None:
+    if isinstance(node, ast.If):
+        guard = (*tests, ast.unparse(node.test))
+        for child in [*node.body, *node.orelse]:
+            _walk_sends(child, guard, out)
+        return
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+        return
+    if isinstance(node, ast.Call):
+        chain = attr_chain(node.func) or ""
+        if (
+            chain.split(".")[-1] == "send"
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and node.args[1].value == "present"
+        ):
+            out.append((node, tests))
+    for child in ast.iter_child_nodes(node):
+        _walk_sends(child, tests, out)
+
+
+def _has_eviction(fn: ast.AST, target_src: str) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func) or ""
+            if chain.split(".")[-1] in _EVICT_METHODS and any(
+                ast.unparse(arg) == target_src for arg in node.args
+            ):
+                return True
+        elif isinstance(node, ast.Delete):
+            for tgt in node.targets:
+                if (
+                    isinstance(tgt, ast.Subscript)
+                    and ast.unparse(tgt.slice) == target_src
+                ):
+                    return True
+    return False
+
+
+class ReversalEviction(Rule):
+    id = "REF002"
+    title = "reversal `present` to a leaving ref must evict it"
+    rationale = (
+        "PR 2 livelock: _postprocess presumed an unresponsive ref leaving "
+        "and sent the reversal `present` (♣) without evicting it from P, "
+        "so every later timeout re-targeted the gone process and spawned "
+        "an unanswerable verify cycle. Any mode-conditioned `present` send "
+        "must be paired with drop_neighbor/pop/del of the target."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not project.is_protocol(module):
+            return
+        for _cls, fn in _protocol_methods(module, project):
+            # Receipt handlers answer `present` symmetrically; the rule
+            # targets the *presumption/reversal* paths (timeouts,
+            # postprocess) where the sender also holds the ref in P.
+            if fn.name.startswith("on_") or "handle" in fn.name:
+                continue
+            sends: list[tuple[ast.Call, tuple[str, ...]]] = []
+            for stmt in fn.body:
+                _walk_sends(stmt, (), sends)
+            for call, tests in sends:
+                mode_guarded = any(
+                    "Mode.LEAVING" in t or "Mode.STAYING" in t for t in tests
+                )
+                own_mode = any("self.mode" in t for t in tests)
+                if not mode_guarded or own_mode:
+                    continue
+                target_src = ast.unparse(call.args[0])
+                if not _has_eviction(fn, target_src):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{fn.name!r} sends reversal 'present' to "
+                        f"{target_src} under a mode test without evicting it "
+                        "(drop_neighbor/pop/del) — PR 2 livelock shape",
+                    )
+
+
+class RefIdentityComparison(Rule):
+    id = "REF003"
+    title = "references compared by identity"
+    rationale = (
+        "Copy-store-send duplicates Ref objects: two distinct objects may "
+        "denote the same process, so `is` comparisons silently diverge "
+        "from the model's reference equality."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not project.is_protocol(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops):
+                continue
+            # ``ref is None`` / ``ref is not None`` is the optional-field
+            # idiom, not an identity comparison between two references.
+            if any(
+                isinstance(side, ast.Constant)
+                for side in [node.left, *node.comparators]
+            ):
+                continue
+            for side in [node.left, *node.comparators]:
+                chain = attr_chain(side)
+                if chain is None:
+                    continue
+                if chain.split(".")[-1].lower().endswith("ref"):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"identity comparison of reference {chain!r} "
+                        "(use ==; refs are copied, not shared)",
+                    )
+                    break

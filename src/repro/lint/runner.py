@@ -1,0 +1,159 @@
+"""File discovery, rule execution, and reporting for ``repro lint``.
+
+Exit codes (CI contract): 0 = clean, 1 = findings, 2 = analysis error
+(unparseable file, unknown rule selector).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from collections.abc import Iterable, Sequence
+from typing import TextIO
+
+from repro.lint.callgraph import Project
+from repro.lint.model import Finding, Module, parse_module, rule_registry
+from repro.lint.rules import ALL_RULES
+
+__all__ = ["LintResult", "lint_paths", "run_lint"]
+
+
+def discover_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in {"__pycache__", ".git", ".ruff_cache"}
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.add(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.add(path)
+    return sorted(out)
+
+
+def module_name_for(path: str) -> str:
+    """Derive a dotted module name by walking up through __init__.py dirs."""
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    parent = os.path.dirname(path)
+    while os.path.isfile(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    if parts[0] == "__init__":
+        parts = parts[1:] or parts
+    return ".".join(reversed(parts))
+
+
+class LintResult:
+    """Findings plus the exit code they imply."""
+
+    __slots__ = ("findings", "errors")
+
+    def __init__(self, findings: list[Finding], errors: list[Finding]):
+        self.findings = findings
+        self.errors = errors
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+def _selected(rule_id: str, select: Iterable[str], ignore: Iterable[str]) -> bool:
+    if any(rule_id.startswith(p) for p in ignore):
+        return False
+    select = list(select)
+    if not select:
+        return True
+    return any(rule_id.startswith(p) for p in select)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> LintResult:
+    """Run the analyzer over *paths* and return suppression-filtered findings."""
+    registry = rule_registry(ALL_RULES)
+    known = {rid for rid in registry}
+    for prefix in [*select, *ignore]:
+        if not any(rid.startswith(prefix) for rid in known):
+            return LintResult(
+                [],
+                [
+                    Finding(
+                        rule="LINT001",
+                        path="<cli>",
+                        line=1,
+                        col=0,
+                        message=f"unknown rule selector {prefix!r}",
+                    )
+                ],
+            )
+    modules: list[Module] = []
+    errors: list[Finding] = []
+    for path in discover_files(paths):
+        parsed = parse_module(path, module_name_for(path))
+        if isinstance(parsed, Finding):
+            errors.append(parsed)
+        else:
+            modules.append(parsed)
+    project = Project(modules)
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in registry.values():
+            if not _selected(rule.id, select, ignore):
+                continue
+            for finding in rule.check(module, project):
+                if not module.suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    errors.sort(key=Finding.sort_key)
+    return LintResult(findings, errors)
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    output_format: str = "text",
+    stream: TextIO | None = None,
+) -> int:
+    """CLI entry: lint, report, return the exit code."""
+    stream = stream if stream is not None else sys.stdout
+    result = lint_paths(paths, select=select, ignore=ignore)
+    everything = [*result.errors, *result.findings]
+    if output_format == "json":
+        json.dump(
+            {
+                "findings": [f.to_dict() for f in everything],
+                "count": len(everything),
+                "exit_code": result.exit_code,
+            },
+            stream,
+            indent=2,
+        )
+        stream.write("\n")
+    else:
+        for finding in everything:
+            stream.write(finding.render() + "\n")
+        noun = "finding" if len(everything) == 1 else "findings"
+        stream.write(f"{len(everything)} {noun}\n")
+    return result.exit_code
+
+
+def list_rules(stream: TextIO | None = None) -> int:
+    """Print the rule catalogue (id, title, rationale)."""
+    stream = stream if stream is not None else sys.stdout
+    for rule in rule_registry(ALL_RULES).values():
+        stream.write(f"{rule.id}  {rule.title}\n")
+        stream.write(f"        {rule.rationale}\n")
+    return 0

@@ -30,7 +30,9 @@ Design contract for :class:`OverlayLogic` implementations:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+from functools import partial
+from collections.abc import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from repro.sim.messages import RefInfo
 from repro.sim.process import ActionContext, Process
@@ -115,7 +117,7 @@ class OverlayLogic:
         return {"neighbors": [repr(r) for r in self.neighbor_refs()]}
 
     @classmethod
-    def target_reached(cls, engine: "Engine") -> bool:
+    def target_reached(cls, engine: Engine) -> bool:
         """Whether the engine's staying population forms P's target topology.
 
         Class-level because the target is a *global* predicate; used by
@@ -136,16 +138,26 @@ class OverlayProcess(Process):
         super().__init__(pid, mode)
         self.logic: OverlayLogic = logic_factory(self.self_ref)
         self.requires_order = self.logic.requires_order
+        #: context threaded to P's send function for the current atomic
+        #: action (set by _send_fn, consumed synchronously by _send —
+        #: avoids allocating a closure per action).
+        self._ctx: ActionContext | None = None
+        #: per-label dispatchers, built once (handler() must not allocate).
+        self._p_handlers = {
+            label: partial(self._dispatch_p, label)
+            for label in self.logic.message_labels
+        }
 
     # -- plumbing ---------------------------------------------------------------
 
     def _send_fn(self, ctx: ActionContext) -> SendFn:
-        def send(target: Ref, label: str, *refs: Ref) -> None:
-            ctx.send(
-                target, label, *(RefInfo(r, self._belief_for(r)) for r in refs)
-            )
+        self._ctx = ctx
+        return self._send
 
-        return send
+    def _send(self, target: Ref, label: str, *refs: Ref) -> None:
+        ctx = self._ctx
+        assert ctx is not None, "overlay send outside an atomic action"
+        ctx.send(target, label, *(RefInfo(r, self._belief_for(r)) for r in refs))
 
     def _belief_for(self, ref: Ref) -> Mode:
         # Stand-alone overlay populations are all staying; believing
@@ -168,11 +180,12 @@ class OverlayProcess(Process):
         self.logic.p_timeout(self._send_fn(ctx), keys)
 
     def handler(self, label: str):
-        if label in self.logic.message_labels:
-            def _dispatch(ctx: ActionContext, *args) -> None:
-                keys = ctx.keys if self.requires_order else None
-                refs = tuple(a.ref if isinstance(a, RefInfo) else a for a in args)
-                self.logic.handle(self._send_fn(ctx), keys, label, *refs)
-
-            return _dispatch
+        fn = self._p_handlers.get(label)
+        if fn is not None:
+            return fn
         return super().handler(label)
+
+    def _dispatch_p(self, label: str, ctx: ActionContext, *args) -> None:
+        keys = ctx.keys if self.requires_order else None
+        refs = tuple(a.ref if isinstance(a, RefInfo) else a for a in args)
+        self.logic.handle(self._send_fn(ctx), keys, label, *refs)

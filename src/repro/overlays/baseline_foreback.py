@@ -39,7 +39,7 @@ topology-agnostic and composes with arbitrary P ∈ 𝒫 via Section 4.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.sim.messages import RefInfo
 from repro.sim.process import ActionContext, Process
@@ -106,12 +106,12 @@ class BaselineListProcess(Process):
             left = keys.sorted(r for r in self.candidates if keys.key(r) < mine)
             right = keys.sorted(r for r in self.candidates if keys.key(r) > mine)
             # Linearize: delegate non-closest candidates toward their side. ♥
-            for nearer, farther in zip(left[1:], left[:-1]):
+            for nearer, farther in zip(left[1:], left[:-1], strict=True):
                 ctx.send(
                     nearer, "b_insert", RefInfo(farther, self.candidates[farther])
                 )
                 del self.candidates[farther]
-            for nearer, farther in zip(right[:-1], right[1:]):
+            for nearer, farther in zip(right[:-1], right[1:], strict=True):
                 ctx.send(
                     nearer, "b_insert", RefInfo(farther, self.candidates[farther])
                 )
@@ -133,7 +133,7 @@ class BaselineListProcess(Process):
             # Chain-bridge all candidates in key order, both directions
             # (introduction: our own copies are kept until exit), so that
             # removing us and our out-edges cannot disconnect them.      ♦
-            for a, b in zip(ordered, ordered[1:]):
+            for a, b in zip(ordered, ordered[1:], strict=False):
                 ctx.send(a, "b_insert", RefInfo(b, self.candidates[b]))
                 ctx.send(b, "b_insert", RefInfo(a, self.candidates[a]))
             ctx.exit()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from random import Random
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.overlays.base import OverlayLogic, OverlayProcess

@@ -15,7 +15,8 @@ a pure copy-store-send protocol.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.overlays.base import OverlayLogic, SendFn
 from repro.sim.refs import KeyProvider, Ref
@@ -54,9 +55,13 @@ class CliqueLogic(OverlayLogic):
     # ------------------------------------------------------------------ behaviour
 
     def p_timeout(self, send: SendFn, keys: KeyProvider | None) -> None:
-        for v in self.known:
+        # The clique is key-free (keys may be None) and every neighbour
+        # receives the same introductions, so send order cannot change
+        # protocol state; Ref.__hash__ is seed-free (ints only), so the
+        # order is also identical across interpreters given one history.
+        for v in self.known:  # repro: noqa[DET004] — order-insensitive, key-free
             send(v, "p_insert", self.self_ref)  # self-introduction       ♦
-            for w in self.known:
+            for w in self.known:  # repro: noqa[DET004] — order-insensitive, key-free
                 if v != w:
                     send(v, "p_insert", w)  # introduction                ♦
 
@@ -70,7 +75,7 @@ class CliqueLogic(OverlayLogic):
     # ------------------------------------------------------------------ target
 
     @classmethod
-    def target_reached(cls, engine: "Engine") -> bool:
+    def target_reached(cls, engine: Engine) -> bool:
         """Every staying process stores every other staying process."""
         from repro.sim.refs import pid_of
         from repro.sim.states import Mode, PState

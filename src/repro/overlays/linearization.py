@@ -25,7 +25,8 @@ by non-list edges while self-introduction makes surviving links mutual.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.overlays.base import OverlayLogic, SendFn
 from repro.sim.refs import KeyProvider, Ref
@@ -83,7 +84,7 @@ class LinearizationLogic(OverlayLogic):
         assert keys is not None, "linearization requires ordered keys"
         if self.left:
             ordered = keys.sorted(self.left)  # l1 < l2 < … < lk (closest last)
-            for nearer, farther in zip(ordered[1:], ordered[:-1]):
+            for nearer, farther in zip(ordered[1:], ordered[:-1], strict=True):
                 # Delegate l_i toward its position via l_{i+1}.          ♥
                 send(nearer, "p_insert", farther)
                 self.left.discard(farther)
@@ -91,7 +92,7 @@ class LinearizationLogic(OverlayLogic):
             send(closest_left, "p_insert", self.self_ref)  #             ♦
         if self.right:
             ordered = keys.sorted(self.right)  # r1 < r2 < … (closest first)
-            for nearer, farther in zip(ordered[:-1], ordered[1:]):
+            for nearer, farther in zip(ordered[:-1], ordered[1:], strict=True):
                 send(nearer, "p_insert", farther)  #                     ♥
                 self.right.discard(farther)
             closest_right = ordered[0]
@@ -107,14 +108,14 @@ class LinearizationLogic(OverlayLogic):
 
     def describe_vars(self) -> dict:
         return {
-            "left": [repr(r) for r in self.left],
-            "right": [repr(r) for r in self.right],
+            "left": [repr(r) for r in sorted(self.left, key=repr)],
+            "right": [repr(r) for r in sorted(self.right, key=repr)],
         }
 
     # ------------------------------------------------------------------ target
 
     @classmethod
-    def target_reached(cls, engine: "Engine") -> bool:
+    def target_reached(cls, engine: Engine) -> bool:
         """Explicit staying↔staying edges form exactly the sorted doubly
         linked list over the staying population, and no stray references
         to staying processes remain in flight."""

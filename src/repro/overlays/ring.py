@@ -17,7 +17,8 @@ integrates us as its predecessor, making the cycle bidirected).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.overlays.base import OverlayLogic, SendFn
 from repro.sim.refs import KeyProvider, Ref
@@ -40,18 +41,6 @@ class RingLogic(OverlayLogic):
         self.pred: Ref | None = None
         #: not-yet-placed candidates awaiting the next timeout.
         self.pool: set[Ref] = set()
-
-    # ------------------------------------------------------------------ helpers
-
-    def _succ_rank(self, keys: KeyProvider, ref: Ref):
-        """Sort key for 'how good a cyclic successor is' (smaller = better)."""
-        mine, theirs = keys.key(self.self_ref), keys.key(ref)
-        return (0, theirs) if theirs > mine else (1, theirs)
-
-    def _pred_rank(self, keys: KeyProvider, ref: Ref):
-        """Sort key for 'how good a cyclic predecessor is' (smaller = better)."""
-        mine, theirs = keys.key(self.self_ref), keys.key(ref)
-        return (0, -theirs) if theirs < mine else (1, -theirs)
 
     # ------------------------------------------------------------------ state
 
@@ -90,11 +79,20 @@ class RingLogic(OverlayLogic):
         self.pool.clear()
         if not candidates:
             return
-        best_succ = min(candidates, key=lambda r: self._succ_rank(keys, r))
-        best_pred = min(candidates, key=lambda r: self._pred_rank(keys, r))
+        # Candidates in key order; cyclic successor = smallest key larger
+        # than ours (wrapping to the global minimum), predecessor
+        # symmetrically. Deterministic and lambda-free by construction.
+        ordered = keys.sorted(candidates)
+        mine = keys.key(self.self_ref)
+        larger = [r for r in ordered if keys.key(r) > mine]
+        smaller = [r for r in ordered if keys.key(r) < mine]
+        best_succ = larger[0] if larger else ordered[0]
+        best_pred = smaller[-1] if smaller else ordered[-1]
         self.succ = best_succ
         self.pred = best_pred
-        for ref in candidates - {best_succ, best_pred}:
+        for ref in ordered:
+            if ref == best_succ or ref == best_pred:
+                continue
             # Send spare candidates travelling around the cycle.         ♥
             send(best_succ, "p_insert", ref)
         # Self-introduce to *every* kept neighbour (Section 4 requires
@@ -122,13 +120,13 @@ class RingLogic(OverlayLogic):
         return {
             "succ": repr(self.succ) if self.succ else None,
             "pred": repr(self.pred) if self.pred else None,
-            "pool": [repr(r) for r in self.pool],
+            "pool": [repr(r) for r in sorted(self.pool, key=repr)],
         }
 
     # ------------------------------------------------------------------ target
 
     @classmethod
-    def target_reached(cls, engine: "Engine") -> bool:
+    def target_reached(cls, engine: Engine) -> bool:
         """Every staying process's succ/pred pointers are cyclically
         correct over the staying key order.
 
@@ -149,7 +147,7 @@ class RingLogic(OverlayLogic):
         if len(staying) <= 1:
             return True
         succ_of = {
-            a: b for a, b in zip(staying, staying[1:] + staying[:1])
+            a: b for a, b in zip(staying, staying[1:] + staying[:1], strict=True)
         }
         for pid in staying:
             logic = getattr(engine.processes[pid], "logic", None)

@@ -22,7 +22,8 @@ postprocessed independently.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.overlays.ring import RingLogic
 from repro.sim.refs import KeyProvider, Ref
@@ -101,7 +102,7 @@ class RobustRingLogic(RingLogic):
     # ------------------------------------------------------------------ target
 
     @classmethod
-    def target_reached(cls, engine: "Engine") -> bool:
+    def target_reached(cls, engine: Engine) -> bool:
         """Ring pointers correct AND every succ2 is the second cyclic
         successor (n ≥ 3; smaller rings have no meaningful shortcut)."""
         from repro.sim.refs import pid_of

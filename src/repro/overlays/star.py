@@ -14,7 +14,8 @@ minimum eventually absorbs every reference and broadcasts itself.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.overlays.base import OverlayLogic, SendFn
 from repro.sim.refs import KeyProvider, Ref
@@ -60,10 +61,10 @@ class StarLogic(OverlayLogic):
         if keys.key(self.self_ref) < keys.key(best):
             # We are the best centre we know of: keep everyone, let them
             # know us.                                                    ♦
-            for v in self.known:
+            for v in keys.sorted(self.known):
                 send(v, "p_insert", self.self_ref)
         else:
-            for v in list(self.known):
+            for v in keys.sorted(self.known):
                 if v != best:
                     send(best, "p_insert", v)  # delegate toward centre   ♥
                     self.known.discard(v)
@@ -79,7 +80,7 @@ class StarLogic(OverlayLogic):
     # ------------------------------------------------------------------ target
 
     @classmethod
-    def target_reached(cls, engine: "Engine") -> bool:
+    def target_reached(cls, engine: Engine) -> bool:
         """Explicit staying↔staying edges form exactly the bidirected star
         around the minimum-key staying process."""
         from repro.graphs.metrics import is_star

@@ -17,7 +17,7 @@ parallel implicit edges are possible.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 from repro.sim.messages import Message
 

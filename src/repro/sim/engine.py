@@ -46,7 +46,9 @@ from __future__ import annotations
 import itertools
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from functools import partial
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 from repro.errors import (
     ConfigurationError,
@@ -350,20 +352,17 @@ class Engine:
         self._live_stale = False
         self._live = LiveGraph(self)
         for pid, channel in self.channels.items():
-            channel.observer = self._channel_observer(pid)
+            channel.observer = partial(self._observe_channel, pid)
         return self._live
 
-    def _channel_observer(self, pid: int) -> Callable[[Message, int], None]:
-        def observe(msg: Message, delta: int) -> None:
-            live = self._live
-            if live is None:
-                return
-            if delta > 0:
-                live.on_enqueue(pid, msg)
-            else:
-                live.on_dequeue(pid, msg)
-
-        return observe
+    def _observe_channel(self, pid: int, msg: Message, delta: int) -> None:
+        live = self._live
+        if live is None:
+            return
+        if delta > 0:
+            live.on_enqueue(pid, msg)
+        else:
+            live.on_dequeue(pid, msg)
 
     def _ensure_live(self) -> LiveGraph:
         live = self._live

@@ -20,7 +20,8 @@ in :mod:`repro.core.scenarios`.
 from __future__ import annotations
 
 from random import Random
-from typing import TYPE_CHECKING, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.sim.messages import RefInfo
 from repro.sim.states import Mode
@@ -48,7 +49,7 @@ def random_mode_claim(rng: Random, actual: Mode, lie_prob: float) -> Mode:
 
 
 def plant_ref_message(
-    engine: "Engine",
+    engine: Engine,
     target_pid: int,
     label: str,
     ref_pid: int,
@@ -71,7 +72,7 @@ def plant_ref_message(
 
 
 def scatter_garbage_messages(
-    engine: "Engine",
+    engine: Engine,
     rng: Random,
     count: int,
     *,
@@ -106,7 +107,7 @@ def scatter_garbage_messages(
 
 
 def plant_unknown_label_messages(
-    engine: "Engine", rng: Random, count: int, label: str = "bogus_action"
+    engine: Engine, rng: Random, count: int, label: str = "bogus_action"
 ) -> int:
     """Plant messages whose label no process implements.
 

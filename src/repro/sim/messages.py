@@ -19,7 +19,8 @@ Parameters may also contain plain data (ints, strings, tuples); only
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from repro.sim.refs import Ref
 from repro.sim.states import Mode
@@ -67,7 +68,7 @@ class RefInfo:
         """Return whether the attached belief equals *mode*."""
         return self.mode is mode
 
-    def with_mode(self, mode: Mode | None) -> "RefInfo":
+    def with_mode(self, mode: Mode | None) -> RefInfo:
         """Return a copy of this info carrying a different belief."""
         return RefInfo(self.ref, mode)
 

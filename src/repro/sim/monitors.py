@@ -57,12 +57,12 @@ class ConnectivityMonitor:
         self.check_every = check_every
         self.checks = 0
 
-    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+    def __call__(self, engine: Engine, executed: ExecutedStep) -> None:
         if engine.step_count % self.check_every != 0:
             return
         self.verify(engine)
 
-    def verify(self, engine: "Engine") -> None:
+    def verify(self, engine: Engine) -> None:
         """Run the check now, raising on violation."""
         self.checks += 1
         relevant = engine.relevant_pids()
@@ -95,7 +95,7 @@ class PotentialMonitor:
         self.values: list[int] = []
         self._last: int | None = None
 
-    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+    def __call__(self, engine: Engine, executed: ExecutedStep) -> None:
         if engine.step_count % self.check_every != 0:
             return
         phi = engine.potential()
@@ -120,7 +120,7 @@ class TransitionMonitor:
         self._prev: dict[int, PState] = {}
         self.observed: set[tuple[PState, PState]] = set()
 
-    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+    def __call__(self, engine: Engine, executed: ExecutedStep) -> None:
         pid = executed.pid
         new = engine.processes[pid].state
         old = self._prev.get(pid, PState.AWAKE)
@@ -149,7 +149,7 @@ class ExitGuardMonitor:
         self.unsafe_exits: list[int] = []
         self.audited = 0
 
-    def __call__(self, engine: "Engine", pid: int) -> None:
+    def __call__(self, engine: Engine, pid: int) -> None:
         self.audited += 1
         if not self.reference_oracle(engine, pid):
             self.unsafe_exits.append(pid)

@@ -24,7 +24,8 @@ is what lets the test-suite drive each pseudocode branch in isolation.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import StateViolation
 from repro.sim.messages import RefInfo
@@ -48,7 +49,7 @@ class ActionContext:
 
     __slots__ = ("_engine", "_process", "_closed", "_requested_state")
 
-    def __init__(self, engine: "Engine", process: "Process") -> None:
+    def __init__(self, engine: Engine, process: Process) -> None:
         self._engine = engine
         self._process = process
         self._closed = False
@@ -57,7 +58,7 @@ class ActionContext:
 
     # -- plumbing -------------------------------------------------------------
 
-    def _reset(self, process: "Process") -> None:
+    def _reset(self, process: Process) -> None:
         """Re-arm this context for *process*'s next action.
 
         The engine keeps one pooled context per run and resets it instead

@@ -29,9 +29,22 @@ than by peeking into references.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import (
+    Hashable,
+    Iterable,
+    ItemsView,
+    Iterator,
+    KeysView,
+    Mapping,
+    ValuesView,
+)
+from typing import NoReturn
 
 from repro.errors import CopyStoreSendViolation
+
+#: What protocols may store alongside a reference: an arbitrary but
+#: hashable tag (it keys the delta log's ``(dst_pid, belief)`` entries).
+Belief = Hashable
 
 __all__ = [
     "Ref",
@@ -52,6 +65,8 @@ class Ref:
     """
 
     __slots__ = ("_pid",)
+
+    _pid: int
 
     def __init__(self, pid: int) -> None:
         object.__setattr__(self, "_pid", int(pid))
@@ -79,31 +94,31 @@ class Ref:
 
     # -- everything else is forbidden ---------------------------------------------
 
-    def _forbidden(self, op: str):
+    def _forbidden(self, op: str) -> NoReturn:
         raise CopyStoreSendViolation(
             f"references cannot be {op}: copy-store-send protocols may only "
             "copy, store, send and equality-compare references"
         )
 
-    def __lt__(self, other: object):  # pragma: no cover - exercised via tests
+    def __lt__(self, other: object) -> NoReturn:  # pragma: no cover - exercised via tests
         self._forbidden("ordered")
 
-    def __le__(self, other: object):
+    def __le__(self, other: object) -> NoReturn:
         self._forbidden("ordered")
 
-    def __gt__(self, other: object):
+    def __gt__(self, other: object) -> NoReturn:
         self._forbidden("ordered")
 
-    def __ge__(self, other: object):
+    def __ge__(self, other: object) -> NoReturn:
         self._forbidden("ordered")
 
-    def __int__(self):
+    def __int__(self) -> NoReturn:
         self._forbidden("converted to integers")
 
-    def __index__(self):
+    def __index__(self) -> NoReturn:
         self._forbidden("used as integers")
 
-    def __add__(self, other: object):
+    def __add__(self, other: object) -> NoReturn:
         self._forbidden("used in arithmetic")
 
     def __setattr__(self, name: str, value: object) -> None:
@@ -170,11 +185,11 @@ class RefDeltaLog:
     __slots__ = ("enabled", "pending")
 
     def __init__(self) -> None:
-        self.enabled = True
+        self.enabled: bool = True
         #: (dst_pid, stored belief) → net count since the last drain.
-        self.pending: dict = {}
+        self.pending: dict[tuple[int, Belief], int] = {}
 
-    def record(self, dst_pid: int, belief, count: int) -> None:
+    def record(self, dst_pid: int, belief: Belief, count: int) -> None:
         """Accumulate ``count`` copies of the edge ``(dst_pid, belief)``."""
         key = (dst_pid, belief)
         pending = self.pending
@@ -200,16 +215,19 @@ class RefMap:
 
     __slots__ = ("_log", "_d")
 
-    def __init__(self, log: RefDeltaLog, items=None) -> None:
+    def __init__(
+        self,
+        log: RefDeltaLog,
+        items: Mapping[Ref, Belief] | Iterable[tuple[Ref, Belief]] | None = None,
+    ) -> None:
         self._log = log
-        self._d: dict = {}
-        if items:
-            for ref, belief in dict(items).items():
-                self[ref] = belief
+        self._d: dict[Ref, Belief] = {}
+        if items is not None:
+            self.update(items)
 
     # -- mutations (logged) ---------------------------------------------------
 
-    def __setitem__(self, ref: Ref, belief) -> None:
+    def __setitem__(self, ref: Ref, belief: Belief) -> None:
         d = self._d
         old = d.get(ref, _MISSING)
         if old is belief:
@@ -228,7 +246,7 @@ class RefMap:
         if log.enabled:
             log.record(ref._pid, old, -1)  # noqa: SLF001
 
-    def pop(self, ref: Ref, *default):
+    def pop(self, ref: Ref, *default: Belief) -> Belief:
         old = self._d.pop(ref, _MISSING)
         if old is _MISSING:
             if default:
@@ -250,22 +268,25 @@ class RefMap:
                 record(ref._pid, belief, -1)  # noqa: SLF001
         d.clear()
 
-    def update(self, items) -> None:
-        for ref, belief in dict(items).items():
+    def update(
+        self, items: Mapping[Ref, Belief] | Iterable[tuple[Ref, Belief]]
+    ) -> None:
+        pairs = items.items() if isinstance(items, Mapping) else items
+        for ref, belief in pairs:
             self[ref] = belief
 
     # -- reads (plain dict semantics) ----------------------------------------
 
-    def __getitem__(self, ref: Ref):
+    def __getitem__(self, ref: Ref) -> Belief:
         return self._d[ref]
 
-    def get(self, ref: Ref, default=None):
+    def get(self, ref: Ref, default: Belief = None) -> Belief:
         return self._d.get(ref, default)
 
-    def __contains__(self, ref) -> bool:
+    def __contains__(self, ref: object) -> bool:
         return ref in self._d
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Ref]:
         return iter(self._d)
 
     def __len__(self) -> int:
@@ -274,23 +295,23 @@ class RefMap:
     def __bool__(self) -> bool:
         return bool(self._d)
 
-    def items(self):
+    def items(self) -> ItemsView[Ref, Belief]:
         return self._d.items()
 
-    def keys(self):
+    def keys(self) -> KeysView[Ref]:
         return self._d.keys()
 
-    def values(self):
+    def values(self) -> ValuesView[Belief]:
         return self._d.values()
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, RefMap):
             return self._d == other._d
         if isinstance(other, dict):
             return self._d == other
         return NotImplemented
 
-    def __ne__(self, other) -> bool:
+    def __ne__(self, other: object) -> bool:
         eq = self.__eq__(other)
         if eq is NotImplemented:
             return eq
@@ -311,10 +332,12 @@ class RefCell:
 
     __slots__ = ("_log", "_ref", "_belief")
 
-    def __init__(self, log: RefDeltaLog, ref: Ref | None = None, belief=None) -> None:
+    def __init__(
+        self, log: RefDeltaLog, ref: Ref | None = None, belief: Belief = None
+    ) -> None:
         self._log = log
-        self._ref = None
-        self._belief = None
+        self._ref: Ref | None = None
+        self._belief: Belief = None
         if belief is not None:
             self.set_belief(belief)
         if ref is not None:
@@ -325,7 +348,7 @@ class RefCell:
         return self._ref
 
     @property
-    def belief(self):
+    def belief(self) -> Belief:
         return self._belief
 
     def set_ref(self, ref: Ref | None) -> None:
@@ -341,7 +364,7 @@ class RefCell:
                 log.record(ref._pid, belief, 1)  # noqa: SLF001
         self._ref = ref
 
-    def set_belief(self, belief) -> None:
+    def set_belief(self, belief: Belief) -> None:
         old = self._belief
         if old is belief:
             return
@@ -371,9 +394,11 @@ class KeyProvider:
 
     __slots__ = ("_keys",)
 
-    def __init__(self, keys: dict[int, float] | None = None) -> None:
+    def __init__(self, keys: Mapping[int, float] | None = None) -> None:
         # Default key is the pid itself: "names do not change".
-        self._keys = dict(keys) if keys is not None else None
+        self._keys: dict[int, float] | None = (
+            dict(keys) if keys is not None else None
+        )
 
     def key(self, ref: Ref) -> float:
         """Return the immutable, totally-ordered key of *ref*'s process."""
@@ -382,14 +407,14 @@ class KeyProvider:
             return float(pid)
         return self._keys[pid]
 
-    def min(self, refs) -> Ref:
+    def min(self, refs: Iterable[Ref]) -> Ref:
         """Return the reference with the smallest key among *refs*."""
         return min(refs, key=self.key)
 
-    def max(self, refs) -> Ref:
+    def max(self, refs: Iterable[Ref]) -> Ref:
         """Return the reference with the largest key among *refs*."""
         return max(refs, key=self.key)
 
-    def sorted(self, refs) -> list[Ref]:
+    def sorted(self, refs: Iterable[Ref]) -> list[Ref]:
         """Return *refs* sorted by key, ascending."""
         return sorted(refs, key=self.key)

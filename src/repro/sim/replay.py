@@ -22,7 +22,8 @@ all protocols.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.sim.scheduler import DeliverEvent, Scheduler, TimeoutEvent
@@ -42,7 +43,7 @@ class RecordedEvent:
     seq: int | None = None
 
     @classmethod
-    def from_step(cls, step: "ExecutedStep") -> "RecordedEvent":
+    def from_step(cls, step: ExecutedStep) -> RecordedEvent:
         return cls(kind=step.kind, pid=step.pid, seq=step.seq)
 
 
@@ -56,7 +57,7 @@ class ScheduleRecorder:
     def __init__(self) -> None:
         self.events: list[RecordedEvent] = []
 
-    def record(self, engine: "Engine", executed: "ExecutedStep") -> None:
+    def record(self, engine: Engine, executed: ExecutedStep) -> None:
         self.events.append(RecordedEvent.from_step(executed))
 
     def __len__(self) -> int:
@@ -83,7 +84,7 @@ class ReplayScheduler(Scheduler):
         return len(self._events) - self._cursor
 
     # replay needs no notifications — the transcript is the truth
-    def attach(self, engine: "Engine") -> None:  # noqa: D102
+    def attach(self, engine: Engine) -> None:  # noqa: D102
         return
 
     def notify_send(self, pid: int, seq: int) -> None:  # noqa: D102
@@ -101,7 +102,7 @@ class ReplayScheduler(Scheduler):
     def notify_timeout_executed(self, pid: int, new_stamp: int) -> None:  # noqa: D102
         return
 
-    def select(self, engine: "Engine"):
+    def select(self, engine: Engine):
         if self._cursor >= len(self._events):
             return None
         event = self._events[self._cursor]
@@ -131,7 +132,7 @@ class ReplayScheduler(Scheduler):
 def replay_run(
     build: Callable[[], "Engine"],
     events: Sequence[RecordedEvent],
-) -> "Engine":
+) -> Engine:
     """Rebuild the initial state via *build* and re-execute *events*.
 
     *build* must reconstruct the exact initial state of the recorded run

@@ -49,7 +49,8 @@ import heapq
 import itertools
 from dataclasses import dataclass
 from random import Random
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
@@ -65,14 +66,14 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimeoutEvent:
     """Execute the timeout action of process *pid*."""
 
     pid: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliverEvent:
     """Process message *seq* pending in the channel of process *pid*."""
 
@@ -92,7 +93,7 @@ class Scheduler:
     woken/slept/gone, timeout executed).
     """
 
-    def attach(self, engine: "Engine") -> None:
+    def attach(self, engine: Engine) -> None:
         """Register the initial state: awake processes and pending messages."""
         for pid, proc in engine.processes.items():
             if proc.state.value == "awake":
@@ -124,7 +125,7 @@ class Scheduler:
         """The timeout of *pid* ran; it re-enables with freshness *new_stamp*."""
         raise NotImplementedError
 
-    def select(self, engine: "Engine") -> Event | None:
+    def select(self, engine: Engine) -> Event | None:
         """Pick the next enabled event, or ``None`` if nothing is enabled."""
         raise NotImplementedError
 
@@ -215,7 +216,7 @@ class RandomScheduler(_PoolScheduler):
         super().__init__()
         self._rng = Random(seed)
 
-    def select(self, engine: "Engine") -> Event | None:
+    def select(self, engine: Engine) -> Event | None:
         if not self._pool:
             return None
         entry = self._pool[self._rng.randrange(len(self._pool))]
@@ -272,7 +273,7 @@ class OldestFirstScheduler(Scheduler):
             self._timeout_stamp[pid] = stamp
             heapq.heappush(self._heap, (stamp, entry))
 
-    def select(self, engine: "Engine") -> Event | None:
+    def select(self, engine: Engine) -> Event | None:
         while self._heap:
             stamp, entry = heapq.heappop(self._heap)
             if entry not in self._live:
@@ -315,7 +316,7 @@ class AdversarialScheduler(_PoolScheduler):
         if fresh:
             heapq.heappush(self._age_heap, (self._steps, entry))
 
-    def select(self, engine: "Engine") -> Event | None:
+    def select(self, engine: Engine) -> Event | None:
         if not self._pool:
             return None
         self._steps += 1
@@ -363,7 +364,7 @@ class SynchronousScheduler(Scheduler):
         return self._round
 
     # Round rebuilding makes incremental notifications unnecessary.
-    def attach(self, engine: "Engine") -> None:  # noqa: D102
+    def attach(self, engine: Engine) -> None:  # noqa: D102
         return
 
     def notify_send(self, pid: int, seq: int) -> None:  # noqa: D102
@@ -381,7 +382,7 @@ class SynchronousScheduler(Scheduler):
     def notify_timeout_executed(self, pid: int, new_stamp: int) -> None:  # noqa: D102
         return
 
-    def _build_round(self, engine: "Engine") -> None:
+    def _build_round(self, engine: Engine) -> None:
         deliveries: list[tuple] = []
         timeouts: list[tuple] = []
         for pid, proc in engine.processes.items():
@@ -398,7 +399,7 @@ class SynchronousScheduler(Scheduler):
         self._queue = [*phases[1], *phases[0]][::-1]
         self._round += 1
 
-    def select(self, engine: "Engine") -> Event | None:
+    def select(self, engine: Engine) -> Event | None:
         for _ in range(2):  # at most one rebuild per call
             while self._queue:
                 entry = self._queue.pop()

@@ -42,7 +42,7 @@ class Mode(enum.Enum):
         return self.value
 
     @property
-    def opposite(self) -> "Mode":
+    def opposite(self) -> Mode:
         """Return the other mode (used by fault injectors to corrupt beliefs)."""
         return Mode.LEAVING if self is Mode.STAYING else Mode.STAYING
 

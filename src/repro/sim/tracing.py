@@ -13,7 +13,8 @@ Two instruments, both optional and cheap when unused:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine, ExecutedStep
@@ -27,7 +28,7 @@ class Tracer:
     def __init__(self, capacity: int | None = None) -> None:
         self.events: deque = deque(maxlen=capacity)
 
-    def record(self, engine: "Engine", executed: "ExecutedStep") -> None:
+    def record(self, engine: Engine, executed: ExecutedStep) -> None:
         """Engine hook: store the executed step."""
         self.events.append(executed)
 
@@ -80,12 +81,12 @@ class SeriesRecorder:
         self.steps: list[int] = []
         self.series: dict[str, list[float]] = {name: [] for name in self.probes}
 
-    def __call__(self, engine: "Engine", executed: "ExecutedStep") -> None:
+    def __call__(self, engine: Engine, executed: ExecutedStep) -> None:
         if engine.step_count % self.every != 0:
             return
         self.sample(engine)
 
-    def sample(self, engine: "Engine") -> None:
+    def sample(self, engine: Engine) -> None:
         """Record one sample now (also usable before/after a run)."""
         self.steps.append(engine.step_count)
         for name, probe in self.probes.items():

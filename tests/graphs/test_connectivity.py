@@ -194,5 +194,5 @@ class TestShortestPath:
         assert path is not None
         assert len(path) - 1 == expected
         # and it is an actual path
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             assert (a, b) in set(edges)

@@ -1,0 +1,17 @@
+"""Helpers for the analyzer's fixture-driven tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.runner import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def fixture_findings(name: str) -> list[str]:
+    """Lint one fixture file and return the finding rule ids."""
+    result = lint_paths([str(FIXTURES / name)])
+    assert not result.errors, [f.render() for f in result.errors]
+    return [f.rule for f in result.findings]

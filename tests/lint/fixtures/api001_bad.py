@@ -1,0 +1,8 @@
+"""API001 known-bad: host code reaching into overlay-logic internals."""
+
+from repro.sim.process import Process
+
+
+class MeddlingHost(Process):
+    def timeout(self, ctx) -> None:
+        self.logic.known.clear()  # bypasses drop_neighbor

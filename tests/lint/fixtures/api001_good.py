@@ -1,0 +1,9 @@
+"""API001 known-good: the host drives logic via the sanctioned surface."""
+
+from repro.sim.process import Process
+
+
+class PoliteHost(Process):
+    def timeout(self, ctx) -> None:
+        for ref in list(self.logic.neighbor_refs()):
+            self.logic.drop_neighbor(ref)

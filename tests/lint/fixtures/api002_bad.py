@@ -1,0 +1,9 @@
+"""API002 known-bad: overlay logic mutating an object it received."""
+
+from repro.overlays.base import OverlayLogic
+
+
+class PushyLogic(OverlayLogic):
+    def merge(self, other) -> None:
+        other.known.add(self.self_ref)  # shared-memory shortcut
+        other.generation = 0

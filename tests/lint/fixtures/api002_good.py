@@ -1,0 +1,10 @@
+"""API002 known-good: overlay logic interacts only via send."""
+
+from repro.overlays.base import OverlayLogic
+
+
+class MessagingLogic(OverlayLogic):
+    def integrate(self, send, ref) -> None:
+        if ref != self.self_ref:
+            self.known.add(ref)  # own state is fine
+            send(ref, "p_insert", self.self_ref)

@@ -1,0 +1,8 @@
+"""API003 known-bad: lifecycle state assigned outside the engine."""
+
+from repro.sim.states import Mode
+
+
+class Meddler:
+    def hurry(self, proc) -> None:
+        proc.mode = Mode.LEAVING  # leaving is engine-initiated

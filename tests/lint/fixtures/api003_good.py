@@ -1,0 +1,8 @@
+"""API003 known-good: lifecycle state is observed, never assigned."""
+
+from repro.sim.states import Mode
+
+
+class Observer:
+    def is_leaving(self, proc) -> bool:
+        return proc.mode is Mode.LEAVING

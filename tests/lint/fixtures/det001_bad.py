@@ -1,0 +1,11 @@
+"""DET001 known-bad: global random state on the hot path."""
+
+import random
+
+from repro.sim.process import Process
+
+
+class CoinFlipProcess(Process):
+    def timeout(self, ctx) -> None:
+        if random.random() < 0.5:
+            ctx.send(self.self_ref, "noop")

@@ -1,0 +1,15 @@
+"""DET001 known-good: a seeded Random instance owned by the process."""
+
+from random import Random
+
+from repro.sim.process import Process
+
+
+class SeededProcess(Process):
+    def __init__(self, pid, mode, seed: int) -> None:
+        super().__init__(pid, mode)
+        self.rng = Random(seed)
+
+    def timeout(self, ctx) -> None:
+        if self.rng.random() < 0.5:
+            ctx.send(self.self_ref, "noop")

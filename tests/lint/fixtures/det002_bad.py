@@ -1,0 +1,11 @@
+"""DET002 known-bad: wall-clock read feeding a hot-path decision."""
+
+import time
+
+from repro.sim.process import Process
+
+
+class ClockProcess(Process):
+    def timeout(self, ctx) -> None:
+        if time.time() - self.last_seen > 1.0:
+            ctx.send(self.self_ref, "expire")

@@ -1,0 +1,9 @@
+"""DET002 known-good: simulated time is the engine's step counter."""
+
+from repro.sim.process import Process
+
+
+class StepClockProcess(Process):
+    def timeout(self, ctx) -> None:
+        if ctx.now - self.last_seen > 10:
+            ctx.send(self.self_ref, "expire")

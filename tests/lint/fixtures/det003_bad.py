@@ -1,0 +1,8 @@
+"""DET003 known-bad: id()-keyed container on the hot path."""
+
+from repro.sim.process import Process
+
+
+class AddressKeyedProcess(Process):
+    def on_msg(self, ctx, msg) -> None:
+        self.pending[id(msg)] = msg

@@ -1,0 +1,11 @@
+"""DET003 known-good: containers keyed by stable pids (id() only in repr)."""
+
+from repro.sim.process import Process
+
+
+class PidKeyedProcess(Process):
+    def on_msg(self, ctx, msg) -> None:
+        self.pending[msg.seq] = msg
+
+    def __repr__(self) -> str:
+        return f"<PidKeyedProcess at {id(self):#x}>"

@@ -1,0 +1,18 @@
+"""DET004 known-bad: protocol decisions taken in set-iteration order."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class HashOrderProcess(Process):
+    def __init__(self, pid, mode) -> None:
+        super().__init__(pid, mode)
+        self.known: set[Ref] = set()
+
+    def timeout(self, ctx) -> None:
+        for ref in self.known:
+            ctx.send(ref, "ping")
+
+    def on_drain(self, ctx, batch) -> None:
+        for ref in set(batch.refs()):
+            ctx.send(ref, "pong")

@@ -1,0 +1,18 @@
+"""DET004 known-good: ref sets are iterated in an explicit order."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref, pid_of
+
+
+class SortedOrderProcess(Process):
+    def __init__(self, pid, mode) -> None:
+        super().__init__(pid, mode)
+        self.known: set[Ref] = set()
+
+    def timeout(self, ctx) -> None:
+        for ref in sorted(self.known, key=pid_of):
+            ctx.send(ref, "ping")
+
+    def on_drain(self, ctx, batch) -> None:
+        for ref in dict.fromkeys(batch.refs()):  # ordered dedup
+            ctx.send(ref, "pong")

@@ -1,0 +1,15 @@
+"""DET005 known-bad: the shipped PYTHONHASHSEED-sensitive ``Ref.__hash__``.
+
+str hashing is salted per interpreter process, so this hash — and every
+set/dict iteration order derived from it — differed between runs.
+"""
+
+
+class BadRef:
+    __slots__ = ("_pid",)
+
+    def __init__(self, pid: int) -> None:
+        self._pid = pid
+
+    def __hash__(self) -> int:
+        return hash(("Ref", self._pid))

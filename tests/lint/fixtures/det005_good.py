@@ -1,0 +1,11 @@
+"""DET005 known-good: the fixed seed-free ``Ref.__hash__`` (ints only)."""
+
+
+class GoodRef:
+    __slots__ = ("_pid",)
+
+    def __init__(self, pid: int) -> None:
+        self._pid = pid
+
+    def __hash__(self) -> int:
+        return hash((0x5EED, self._pid))

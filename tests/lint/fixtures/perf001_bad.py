@@ -1,0 +1,15 @@
+"""PERF001 known-bad: a dict-ful class instantiated on the step path."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class Token:
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+
+
+class SpawningProcess(Process):
+    def on_msg(self, ctx, ref: Ref) -> None:
+        self.last = Token(self.seq)
+        self.neighbors.add(ref)

@@ -1,0 +1,17 @@
+"""PERF001 known-good: step-path classes declare __slots__."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class Token:
+    __slots__ = ("seq",)
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+
+
+class SlottedProcess(Process):
+    def on_msg(self, ctx, ref: Ref) -> None:
+        self.last = Token(self.seq)
+        self.neighbors.add(ref)

@@ -1,0 +1,16 @@
+"""PERF002 known-bad: closures allocated per handler call."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class ClosureProcess(Process):
+    def timeout(self, ctx) -> None:
+        best = min(self.pool, key=lambda r: self.rank(r))
+        ctx.send(best, "ping")
+
+    def on_msg(self, ctx, ref: Ref) -> None:
+        def forward(target: Ref) -> None:
+            ctx.send(target, "fwd", ref)
+
+        forward(self.succ)

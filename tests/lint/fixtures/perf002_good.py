@@ -1,0 +1,16 @@
+"""PERF002 known-good: bound methods instead of per-call closures."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class BoundMethodProcess(Process):
+    def rank(self, ref: Ref) -> int:
+        return self.keys[ref]
+
+    def timeout(self, ctx) -> None:
+        best = min(self.pool, key=self.rank)
+        ctx.send(best, "ping")
+
+    def on_msg(self, ctx, ref: Ref) -> None:
+        ctx.send(self.succ, "fwd", ref)

@@ -1,0 +1,11 @@
+"""REF001 known-bad: handler lets a received reference fall out of scope."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class LeakyProcess(Process):
+    def on_join(self, ctx, ref: Ref) -> None:
+        if ref == self.self_ref:
+            return
+        self.count += 1  # ref neither sent, stored, nor dropped

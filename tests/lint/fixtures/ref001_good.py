@@ -1,0 +1,14 @@
+"""REF001 known-good: every received reference is stored or forwarded."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class CarefulProcess(Process):
+    def on_join(self, ctx, ref: Ref) -> None:
+        if ref == self.self_ref:
+            return
+        self.neighbors.add(ref)
+
+    def on_bounce(self, ctx, ref: Ref) -> None:
+        ctx.send(self.succ, "insert", ref)

@@ -1,0 +1,26 @@
+"""REF002 known-bad: the PR 2-era ``_postprocess`` presumption path.
+
+Faithful shape of the shipped livelock: when a withheld P message turns
+out to involve a (presumed-)leaving reference, the reversal ``present``
+is sent — but the reference is never evicted from P, so the sender
+re-targets the gone process on every later timeout.
+"""
+
+from repro.sim.messages import RefInfo
+from repro.sim.process import Process
+from repro.sim.states import Mode
+
+
+class FrameworkProcessPR2(Process):
+    def _postprocess(self, ctx, entry) -> None:
+        handled = set()
+        for ref in entry.refs():
+            if ref == self.self_ref or ref in handled:
+                continue
+            handled.add(ref)
+            mode = entry.modes.get(ref, Mode.STAYING)
+            if mode is Mode.STAYING:
+                self._integrate(ctx, ref)
+            else:
+                # Reversal without eviction: the livelock.
+                ctx.send(ref, "present", RefInfo(self.self_ref, self.mode))

@@ -1,0 +1,22 @@
+"""REF002 known-good: the fixed ``_postprocess`` — reversal plus eviction."""
+
+from repro.sim.messages import RefInfo
+from repro.sim.process import Process
+from repro.sim.states import Mode
+
+
+class FrameworkProcessFixed(Process):
+    def _postprocess(self, ctx, entry) -> None:
+        handled = set()
+        for ref in entry.refs():
+            if ref == self.self_ref or ref in handled:
+                continue
+            handled.add(ref)
+            mode = entry.modes.get(ref, Mode.STAYING)
+            if mode is Mode.STAYING:
+                self._integrate(ctx, ref)
+            else:
+                # P forgets the reference before the reversal `present`.
+                if self.logic.drop_neighbor(ref):
+                    self.beliefs.pop(ref, None)
+                ctx.send(ref, "present", RefInfo(self.self_ref, self.mode))

@@ -1,0 +1,11 @@
+"""REF003 known-bad: references compared by identity."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class IdentityProcess(Process):
+    def on_ping(self, ctx, ref: Ref) -> None:
+        if ref is self.self_ref:  # distinct Ref objects may be equal
+            return
+        self.neighbors.add(ref)

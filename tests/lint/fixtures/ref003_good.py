@@ -1,0 +1,14 @@
+"""REF003 known-good: reference equality plus optional-field None checks."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class EqualityProcess(Process):
+    def on_ping(self, ctx, ref: Ref) -> None:
+        if ref == self.self_ref:
+            return
+        if self.anchor_ref is not None:  # None check is not identity abuse
+            ctx.send(self.anchor_ref, "fwd", ref)
+            return
+        self.neighbors.add(ref)

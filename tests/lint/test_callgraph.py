@@ -1,0 +1,132 @@
+"""Tests for the import/call-graph index (lint/callgraph.py)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.callgraph import Project
+from repro.lint.model import Module, parse_module
+
+ENGINE_SRC = '''
+from hotutil import helper
+
+
+class Engine:
+    def step(self) -> None:
+        helper()
+        self._inner()
+
+    def _inner(self) -> None:
+        fanout()
+
+    def offline_report(self) -> None:
+        untouched()
+
+
+def fanout() -> None:
+    pass
+'''
+
+HOTUTIL_SRC = '''
+def helper() -> None:
+    pass
+'''
+
+PROTOCOL_SRC = '''
+class MyLogic(OverlayLogic):
+    def p_timeout(self, send, keys) -> None:
+        self._spread(send)
+
+    def _spread(self, send) -> None:
+        pass
+
+    def offline(self) -> None:
+        pass
+
+
+class Derived(MyLogic):
+    pass
+'''
+
+COLD_SRC = '''
+def analysis() -> None:
+    pass
+'''
+
+
+def _project(tmp_path: Path) -> Project:
+    sources = {
+        "repro.sim.engine": ENGINE_SRC,
+        "hotutil": HOTUTIL_SRC,
+        "proto": PROTOCOL_SRC,
+        "cold": COLD_SRC,
+    }
+    modules: list[Module] = []
+    for name, src in sources.items():
+        path = tmp_path / f"{name}.py"
+        path.write_text(src)
+        parsed = parse_module(str(path), name)
+        assert isinstance(parsed, Module)
+        modules.append(parsed)
+    return Project(modules)
+
+
+class TestHierarchy:
+    def test_protocol_class_via_bare_base_name(self, tmp_path: Path) -> None:
+        project = _project(tmp_path)
+        assert project.protocol_modules == {"proto"}
+
+    def test_transitive_base_chain(self, tmp_path: Path) -> None:
+        project = _project(tmp_path)
+        derived = project.classes["proto.Derived"]
+        assert project.is_overlay_logic_class(derived)
+
+
+class TestHotModules:
+    def test_import_closure_from_engine_seed(self, tmp_path: Path) -> None:
+        project = _project(tmp_path)
+        assert "repro.sim.engine" in project.hot_modules
+        assert "hotutil" in project.hot_modules  # imported by the engine
+        assert "proto" in project.hot_modules  # protocol module
+        assert "cold" not in project.hot_modules
+
+    def test_fixture_without_engine_falls_back_to_protocols(
+        self, tmp_path: Path
+    ) -> None:
+        path = tmp_path / "solo.py"
+        path.write_text(PROTOCOL_SRC)
+        parsed = parse_module(str(path), "solo")
+        assert isinstance(parsed, Module)
+        project = Project([parsed])
+        assert project.hot_modules == {"solo"}
+
+
+class TestStepReachability:
+    def test_reaches_through_calls(self, tmp_path: Path) -> None:
+        project = _project(tmp_path)
+        assert project.is_step_reachable("repro.sim.engine.Engine.step")
+        assert project.is_step_reachable("repro.sim.engine.Engine._inner")
+        assert project.is_step_reachable("repro.sim.engine.fanout")
+        assert project.is_step_reachable("hotutil.helper")
+
+    def test_action_methods_are_roots(self, tmp_path: Path) -> None:
+        project = _project(tmp_path)
+        assert project.is_step_reachable("proto.MyLogic.p_timeout")
+        assert project.is_step_reachable("proto.MyLogic._spread")
+
+    def test_offline_functions_are_not_reachable(self, tmp_path: Path) -> None:
+        project = _project(tmp_path)
+        assert not project.is_step_reachable("repro.sim.engine.Engine.offline_report")
+        assert not project.is_step_reachable("proto.MyLogic.offline")
+        assert not project.is_step_reachable("cold.analysis")
+
+
+class TestClassResolution:
+    def test_same_module_wins(self, tmp_path: Path) -> None:
+        import ast
+
+        project = _project(tmp_path)
+        call = ast.parse("MyLogic(x)").body[0].value
+        module = next(m for m in project.modules.values() if m.name == "proto")
+        resolved = project.resolve_class(module, call)
+        assert resolved is not None and resolved.qualname == "proto.MyLogic"

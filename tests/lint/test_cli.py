@@ -1,0 +1,105 @@
+"""CLI contract of ``repro lint``: exit codes, output formats, selection,
+and the ``# repro: noqa[RULE]`` suppression syntax."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint.runner import lint_paths
+from tests.lint.conftest import FIXTURES
+
+BAD = str(FIXTURES / "det005_bad.py")
+GOOD = str(FIXTURES / "det005_good.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys) -> None:
+        assert main(["lint", GOOD]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys) -> None:
+        assert main(["lint", BAD]) == 1
+        out = capsys.readouterr().out
+        assert "DET005" in out and "1 finding" in out
+
+    def test_syntax_error_exits_two(self, tmp_path: Path, capsys) -> None:
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        assert main(["lint", str(broken)]) == 2
+        assert "LINT000" in capsys.readouterr().out
+
+    def test_unknown_selector_exits_two(self, capsys) -> None:
+        assert main(["lint", GOOD, "--select", "NOPE"]) == 2
+
+
+class TestOutput:
+    def test_json_format(self, capsys) -> None:
+        assert main(["lint", BAD, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET005"
+        assert finding["path"].endswith("det005_bad.py")
+        assert finding["line"] > 0
+
+    def test_text_format_has_location(self, capsys) -> None:
+        main(["lint", BAD])
+        out = capsys.readouterr().out
+        assert "det005_bad.py:" in out
+
+    def test_list_rules(self, capsys) -> None:
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REF001", "DET004", "PERF001", "API003"):
+            assert rule_id in out
+
+
+class TestSelection:
+    def test_select_excludes_other_families(self, capsys) -> None:
+        assert main(["lint", BAD, "--select", "REF"]) == 0
+
+    def test_ignore_silences_family(self, capsys) -> None:
+        assert main(["lint", BAD, "--ignore", "DET"]) == 0
+
+    def test_family_prefix_selects_members(self, capsys) -> None:
+        assert main(["lint", BAD, "--select", "DET"]) == 1
+
+
+class TestNoqa:
+    def _lint_text(self, tmp_path: Path, text: str) -> list[str]:
+        path = tmp_path / "snippet.py"
+        path.write_text(text)
+        result = lint_paths([str(path)])
+        assert not result.errors
+        return [f.rule for f in result.findings]
+
+    SNIPPET = (
+        "class R:\n"
+        "    def __hash__(self):\n"
+        "        return hash(('R', self.pid)){noqa}\n"
+    )
+
+    def test_unsuppressed_fires(self, tmp_path: Path) -> None:
+        assert self._lint_text(tmp_path, self.SNIPPET.format(noqa="")) == ["DET005"]
+
+    def test_exact_rule_suppression(self, tmp_path: Path) -> None:
+        text = self.SNIPPET.format(noqa="  # repro: noqa[DET005]")
+        assert self._lint_text(tmp_path, text) == []
+
+    def test_family_prefix_suppression(self, tmp_path: Path) -> None:
+        text = self.SNIPPET.format(noqa="  # repro: noqa[DET]")
+        assert self._lint_text(tmp_path, text) == []
+
+    def test_blanket_suppression(self, tmp_path: Path) -> None:
+        text = self.SNIPPET.format(noqa="  # repro: noqa")
+        assert self._lint_text(tmp_path, text) == []
+
+    def test_other_rule_does_not_suppress(self, tmp_path: Path) -> None:
+        text = self.SNIPPET.format(noqa="  # repro: noqa[REF001]")
+        assert self._lint_text(tmp_path, text) == ["DET005"]
+
+    def test_suppression_is_line_scoped(self, tmp_path: Path) -> None:
+        text = "# repro: noqa[DET005]\n" + self.SNIPPET.format(noqa="")
+        assert self._lint_text(tmp_path, text) == ["DET005"]

@@ -1,0 +1,16 @@
+"""Acceptance gate: ``repro lint src/`` is clean on the merged tree.
+
+Every finding must be fixed or carry a justified ``# repro: noqa[RULE]``
+— this test is what "zero un-triaged findings" means in CI.
+"""
+
+from __future__ import annotations
+
+from repro.lint.runner import lint_paths
+from tests.lint.conftest import SRC
+
+
+def test_src_tree_is_clean() -> None:
+    result = lint_paths([str(SRC)])
+    rendered = [f.render() for f in [*result.errors, *result.findings]]
+    assert result.exit_code == 0, "\n".join(rendered)
