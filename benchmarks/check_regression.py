@@ -1,10 +1,14 @@
 """Bench-regression gate: fresh smoke run vs the committed baseline.
 
 Loads the committed ``benchmarks/results/BENCH_incremental_graph.json``
-*before* re-running the smoke benchmark (whose ``save_json`` would
-overwrite it), measures afresh, and fails if any incremental-mode
-steps/sec figure dropped more than ``--tolerance`` (default 30%) below
-the committed number.
+and ``BENCH_telemetry.json`` *before* re-running the smoke benchmarks
+(whose ``save_json`` would overwrite them), measures afresh, and fails if
+
+* any incremental-mode steps/sec figure dropped more than
+  ``--tolerance`` (default 30%) below the committed number, or
+* the JSONL trace sink's overhead vs tracing-off exceeds the 15%
+  budget recorded in the telemetry baseline, or the tracing-off
+  steps/sec dropped more than ``--tolerance`` below the committed one.
 
 Two kinds of drift can trip this gate: a real hot-path regression, or a
 slower CI host than the one that committed the baseline. The rebuild-mode
@@ -23,10 +27,14 @@ import json
 import pathlib
 import sys
 
+from benchmarks.bench_telemetry import smoke as telemetry_smoke
 from benchmarks.bench_throughput import smoke
 
 COMMITTED = (
     pathlib.Path(__file__).parent / "results" / "BENCH_incremental_graph.json"
+)
+COMMITTED_TELEMETRY = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_telemetry.json"
 )
 
 
@@ -53,6 +61,28 @@ def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def compare_telemetry(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Gate the trace-sink overhead budget and the tracing-off floor."""
+    failures = []
+    limit = committed.get("jsonl_overhead_limit", 0.15)
+    if fresh["jsonl_overhead_frac"] > limit:
+        failures.append(
+            f"telemetry: JSONL sink overhead {fresh['jsonl_overhead_frac']:.1%} "
+            f"exceeds the {limit:.0%} budget"
+        )
+    committed_off = next(
+        (r["steps_per_s"] for r in committed["runs"] if r["sink"] == "off"), 0
+    )
+    fresh_off = next(r["steps_per_s"] for r in fresh["runs"] if r["sink"] == "off")
+    if committed_off > 0 and fresh_off < committed_off * (1.0 - tolerance):
+        failures.append(
+            f"telemetry: tracing-off {fresh_off:.1f} steps/s < floor "
+            f"{committed_off * (1.0 - tolerance):.1f} (committed "
+            f"{committed_off:.1f}, tolerance {tolerance:.0%})"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -67,15 +97,31 @@ def main(argv=None) -> int:
         default=COMMITTED,
         help="baseline JSON to compare against",
     )
+    parser.add_argument(
+        "--committed-telemetry",
+        type=pathlib.Path,
+        default=COMMITTED_TELEMETRY,
+        help="telemetry baseline JSON to compare against",
+    )
     args = parser.parse_args(argv)
     committed = json.loads(args.committed.read_text())
+    committed_telemetry = json.loads(args.committed_telemetry.read_text())
     fresh = smoke()
     for run in fresh["runs"]:
         print(
             f"n={run['n']:>4} mode={run['mode']:<12} "
             f"steps/s={run['steps_per_s']:>10.1f}"
         )
+    fresh_telemetry = telemetry_smoke()
+    for run in fresh_telemetry["runs"]:
+        print(
+            f"sink={run['sink']:<12} steps/s={run['steps_per_s']:>10.1f} "
+            f"overhead={100 * run['overhead_frac']:6.2f}%"
+        )
     failures = compare(committed, fresh, args.tolerance)
+    failures += compare_telemetry(
+        committed_telemetry, fresh_telemetry, args.tolerance
+    )
     if failures:
         for line in failures:
             print(f"REGRESSION: {line}", file=sys.stderr)

@@ -13,6 +13,10 @@ Installed as ``python -m repro``. Subcommands:
 * ``bench-monitors`` — run one monitored scenario under both graph modes
   (incremental live-graph vs legacy rebuild-on-read) and print the
   observation-cost table;
+* ``trace`` — record a run to a JSONL trace file, inspect a trace, or
+  replay one bit-identically (docs/OBSERVABILITY.md);
+* ``metrics`` — the documented probe catalog; with ``--sample``, run a
+  scenario and print every probe plus the top Φ contributors;
 * ``profile`` — cProfile one standard run and print the hottest
   functions (see docs/PERF.md for the profiling workflow);
 * ``topologies`` / ``overlays`` / ``oracles`` — list the registries;
@@ -259,6 +263,167 @@ def cmd_transform(args) -> int:
     return 0 if ok else 1
 
 
+def _edges_for(topology: str, n: int, seed: int) -> list[tuple[int, int]]:
+    gen = GENERATORS[topology]
+    try:
+        return gen(n, seed=seed)  # type: ignore[call-arg]
+    except TypeError:
+        return gen(n)
+
+
+def _engine_from_trace_meta(meta: dict, tracer=None):
+    """Rebuild a recorded scenario's initial state from its trace header.
+
+    The header stores the full seeded parameter set, and every builder in
+    the chain (topology generator, ``choose_leaving``, corruption,
+    engine construction) is a pure function of it — so this reconstructs
+    the bit-identical initial state the trace was recorded against.
+    """
+
+    n = meta["n"]
+    seed = meta["seed"]
+    edges = _edges_for(meta["topology"], n, seed)
+    leaving = choose_leaving(n, edges, fraction=meta["leaving"], seed=seed)
+    common = dict(
+        corruption=_corruption(meta["corruption"]),
+        scheduler=SCHEDULERS[meta["scheduler"]](seed),
+        seed=seed,
+        tracer=tracer,
+    )
+    if meta["scenario"] == "fsp":
+        return build_fsp_engine(n, edges, leaving, **common)
+    oracle_cls = ORACLES[meta["oracle"]]
+    return build_fdp_engine(n, edges, leaving, oracle=oracle_cls(), **common)
+
+
+def cmd_trace_record(args) -> int:
+    from repro.obs.trace import JsonlTraceSink
+
+    meta = {
+        "scenario": args.scenario,
+        "n": args.n,
+        "topology": args.topology,
+        "seed": args.seed,
+        "scheduler": args.scheduler,
+        "leaving": args.leaving,
+        "corruption": args.corruption,
+        "oracle": args.oracle,
+    }
+    legitimate = fsp_legitimate if args.scenario == "fsp" else fdp_legitimate
+    with JsonlTraceSink(
+        args.out, meta=meta, metrics_every=args.metrics_every
+    ) as sink:
+        engine = _engine_from_trace_meta(meta, tracer=sink)
+        converged = engine.run(args.max_steps, until=legitimate, check_every=64)
+        sink.finalize(engine)
+    return _report(
+        engine,
+        converged,
+        {"trace": args.out, "steps recorded": sink.steps_recorded},
+    )
+
+
+def cmd_trace_inspect(args) -> int:
+    from repro.analysis.tables import sparkline
+    from repro.obs.trace import read_trace
+
+    data = read_trace(args.file)
+    timeouts = sum(1 for e in data.events if e.kind == "timeout")
+    labels: dict[str, int] = {}
+    for rec in data.steps:
+        label = rec.get("l")
+        if label is not None:
+            labels[label] = labels.get(label, 0) + 1
+    info = {
+        "file": args.file,
+        "version": data.version,
+        **{f"meta.{k}": v for k, v in sorted(data.meta.items())},
+        "steps": len(data.events),
+        "timeouts": timeouts,
+        "deliveries": len(data.events) - timeouts,
+    }
+    if data.final is not None:
+        info.update({f"final.{k}": v for k, v in sorted(data.final.items()) if k != "t"})
+    print(format_kv(info, title="trace summary"))
+    if labels:
+        rows = sorted(labels.items(), key=lambda kv: (-kv[1], kv[0]))
+        print()
+        print(format_table(["label", "deliveries"], rows[:10]))
+    phis = [rec["phi"] for rec in data.metrics if "phi" in rec]
+    if phis:
+        print(f"\nΦ over run:  {sparkline(phis)}  ({phis[0]} → {phis[-1]})")
+    return 0
+
+
+def cmd_trace_replay(args) -> int:
+    from repro.obs.trace import read_trace, replay_trace
+
+    data = read_trace(args.file)
+    if not data.meta:
+        print(
+            f"error: {args.file} carries no scenario metadata; replay it "
+            "programmatically with repro.obs.replay_trace and your own builder",
+            file=sys.stderr,
+        )
+        return 2
+
+    def build():
+        return _engine_from_trace_meta(data.meta)
+
+    engine = replay_trace(build, args.file, verify=not args.no_verify)
+    info = {
+        "file": args.file,
+        "replayed steps": engine.step_count,
+        "verified against final record": not args.no_verify
+        and data.final is not None,
+        "final Φ": engine.potential(),
+        "gone": engine.gone_count,
+    }
+    print(format_kv(info, title="bit-identical replay"))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs.metrics import REGISTRY, sample_all, top_phi
+
+    rows = [[p.name, p.cost, p.description] for p in REGISTRY.values()]
+    print(format_table(["probe", "cost", "reads"], rows, title="probe catalog"))
+    if not args.sample:
+        return 0
+    meta = {
+        "scenario": "fdp",
+        "n": args.n,
+        "topology": args.topology,
+        "seed": args.seed,
+        "scheduler": args.scheduler,
+        "leaving": args.leaving,
+        "corruption": args.corruption,
+        "oracle": args.oracle,
+    }
+    engine = _engine_from_trace_meta(meta)
+    engine.run(args.max_steps, until=fdp_legitimate, check_every=64)
+    print()
+    print(
+        format_kv(
+            {k: v for k, v in sample_all(engine).items()},
+            title=f"probe sample after {engine.step_count} steps "
+            f"(n={args.n}, corruption={args.corruption})",
+        )
+    )
+    for by in ("subject", "holder"):
+        contributors = top_phi(engine, by=by, limit=5)
+        if contributors:
+            print()
+            print(
+                format_table(
+                    ["pid", "Φ contribution"],
+                    contributors,
+                    title=f"top Φ by {by}",
+                )
+            )
+    return 0
+
+
 def cmd_bench_monitors(args) -> int:
     from repro.analysis.profiling import observation_cost
 
@@ -430,6 +595,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source", choices=sorted(GENERATORS), required=True)
     p.add_argument("--target", choices=sorted(GENERATORS), required=True)
     p.set_defaults(func=cmd_transform)
+
+    p = sub.add_parser(
+        "trace", help="record/inspect/replay JSONL execution traces"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    t = tsub.add_parser("record", help="run a scenario, stream a trace file")
+    _add_common(t)
+    t.add_argument("--scenario", choices=("fdp", "fsp"), default="fdp")
+    t.add_argument("--oracle", choices=sorted(ORACLES), default="single")
+    t.add_argument("--out", required=True, help="trace file to write (JSONL)")
+    t.add_argument(
+        "--metrics-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also record Φ/gone/edges/pending every K steps (0 = off)",
+    )
+    t.set_defaults(func=cmd_trace_record)
+
+    t = tsub.add_parser("inspect", help="summarize a trace file")
+    t.add_argument("file", help="trace file (JSONL)")
+    t.set_defaults(func=cmd_trace_inspect)
+
+    t = tsub.add_parser(
+        "replay", help="re-execute a trace bit-identically and verify it"
+    )
+    t.add_argument("file", help="trace file (JSONL)")
+    t.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip checking the replay against the trace's final record",
+    )
+    t.set_defaults(func=cmd_trace_replay)
+
+    p = sub.add_parser(
+        "metrics", help="probe catalog; --sample runs a scenario through it"
+    )
+    _add_common(p)
+    p.add_argument("--oracle", choices=sorted(ORACLES), default="single")
+    p.add_argument(
+        "--sample",
+        action="store_true",
+        help="run an FDP scenario and print every probe + top Φ holders",
+    )
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser(
         "bench-monitors",

@@ -142,6 +142,8 @@ def _build_engine(
     seed: int = 0,
     oracle: Callable | None = None,
     monitors: Sequence[Callable] = (),
+    tracer: object | None = None,
+    provenance: object | None = None,
     strict: bool = True,
     graph_mode: str | None = None,
 ) -> Engine:
@@ -197,10 +199,13 @@ def _build_engine(
         seed=seed,
         strict=strict,
         monitors=monitors,
+        tracer=tracer,
+        provenance=provenance,
         graph_mode=graph_mode,
     )
 
-    # Stale in-flight messages, per component.
+    # The engine (and with it any provenance tracker) exists before the
+    # garbage is scattered, so planted messages get lineage roots too.
     if corruption.garbage_per_process > 0.0:
         for comp in comps:
             members = sorted(comp)
@@ -226,6 +231,8 @@ def build_fdp_engine(
     seed: int = 0,
     oracle: Callable | None = None,
     monitors: Sequence[Callable] = (),
+    tracer: object | None = None,
+    provenance: object | None = None,
     strict: bool = True,
     graph_mode: str | None = None,
 ) -> Engine:
@@ -243,6 +250,8 @@ def build_fdp_engine(
         seed=seed,
         oracle=oracle if oracle is not None else SingleOracle(),
         monitors=monitors,
+        tracer=tracer,
+        provenance=provenance,
         strict=strict,
         graph_mode=graph_mode,
     )
@@ -352,6 +361,8 @@ def build_fsp_engine(
     scheduler: Scheduler | None = None,
     seed: int = 0,
     monitors: Sequence[Callable] = (),
+    tracer: object | None = None,
+    provenance: object | None = None,
     strict: bool = True,
     graph_mode: str | None = None,
 ) -> Engine:
@@ -369,6 +380,8 @@ def build_fsp_engine(
         seed=seed,
         oracle=None,
         monitors=monitors,
+        tracer=tracer,
+        provenance=provenance,
         strict=strict,
         graph_mode=graph_mode,
     )

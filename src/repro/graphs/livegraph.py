@@ -361,6 +361,42 @@ class LiveGraph:
             c for b, c in self._phi_buckets.get(pid, {}).items() if b is not actual
         )
 
+    def phi_by_subject(self) -> dict[int, int]:
+        """Φ broken down by the process the invalid information is *about*.
+
+        ``{y: count}`` over edges ``(x, y)`` whose attached belief differs
+        from ``mode(y)`` — read straight from the per-target Φ buckets,
+        O(targets with incident edges). Zero contributions are omitted, so
+        ``sum(...) == phi``.
+        """
+
+        out: dict[int, int] = {}
+        for pid in self._phi_buckets:
+            contribution = self._phi_for(pid)
+            if contribution:
+                out[pid] = contribution
+        return out
+
+    def phi_by_holder(self) -> dict[int, int]:
+        """Φ broken down by the process *holding* the invalid information.
+
+        ``{x: count}`` over edges ``(x, y)`` whose attached belief differs
+        from ``mode(y)`` — who still stores or carries stale knowledge,
+        the "who is blocking the drain" view used in livelock diagnosis.
+        Requires a scan of the edge multiset (O(distinct edge keys)); an
+        analysis query, not a per-step probe.
+        """
+
+        out: dict[int, int] = {}
+        for src, store in self._edges_by_src.items():
+            total = 0
+            for (dst, _kind, belief), count in store.items():
+                if _normalize(belief) is not self._mode[dst]:
+                    total += count
+            if total:
+                out[src] = total
+        return out
+
     # ------------------------------------------------------------------ queries
 
     @property

@@ -21,7 +21,11 @@ from repro.lint.rules.grammar import (
     LifecycleOwnership,
     LogicSurface,
 )
-from repro.lint.rules.hotpath import ClosureOnStepPath, SlotsOnStepPath
+from repro.lint.rules.hotpath import (
+    ClosureOnStepPath,
+    SlotsOnStepPath,
+    SnapshotInObservationPath,
+)
 from repro.lint.rules.ref_safety import (
     RefConsumption,
     RefIdentityComparison,
@@ -41,6 +45,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SaltedHash,
     SlotsOnStepPath,
     ClosureOnStepPath,
+    SnapshotInObservationPath,
     LogicSurface,
     ForeignStateMutation,
     LifecycleOwnership,

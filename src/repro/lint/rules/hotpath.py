@@ -11,16 +11,17 @@ regressing silently: they walk the name-based call graph from
 from __future__ import annotations
 
 import ast
+import re
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
 from repro.lint.callgraph import _own_statements
-from repro.lint.model import Finding, Module, Rule
+from repro.lint.model import Finding, Module, Rule, attr_chain
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.callgraph import Project
 
-__all__ = ["SlotsOnStepPath", "ClosureOnStepPath"]
+__all__ = ["SlotsOnStepPath", "ClosureOnStepPath", "SnapshotInObservationPath"]
 
 
 class SlotsOnStepPath(Rule):
@@ -97,3 +98,93 @@ class ClosureOnStepPath(Rule):
                         f"nested function {node.name!r} allocated per call "
                         f"in step-path function {fn.name!r}",
                     )
+
+
+#: classes whose methods are per-step observation code: monitors, metric
+#: probes/recorders, tracers and trace sinks, provenance trackers.
+_OBS_CLASS_RE = re.compile(r"(Monitor|Recorder|Tracer|Tracker|Sink|Probe|Auditor)$")
+#: free functions that are metric probes by convention.
+_OBS_FN_RE = re.compile(r"^_?probe")
+#: module-level dicts of probes (``STANDARD_PROBES`` and friends).
+_PROBES_NAME_RE = re.compile(r"PROBES")
+#: calls that materialize a full graph snapshot.
+_SNAPSHOT_NAMES = frozenset({"snapshot", "rebuild_snapshot", "materialize"})
+#: engine collections whose full iteration is an O(n) scan.
+_SCAN_ATTRS = frozenset({"processes", "channels"})
+
+
+class SnapshotInObservationPath(Rule):
+    id = "PERF003"
+    title = "no snapshots or full scans in observation code"
+    rationale = (
+        "The shipped STANDARD_PROBES scanned every process per sample "
+        "('gone'/'asleep') and rebuilt a full snapshot per sample "
+        "('edges'), silently undoing the O(delta) live-graph observation "
+        "path for every monitored run. Probes, monitors, tracers and "
+        "sinks must read the engine's O(1) counters (gone_count, "
+        "asleep_count, edge_count, pending_count, potential()) instead "
+        "of calling snapshot()/materialize() or iterating "
+        "engine.processes / engine.channels."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for fn in project.functions.values():
+            if fn.module is not module or "<locals>" in fn.qualname:
+                continue
+            in_obs_class = fn.cls is not None and _OBS_CLASS_RE.search(fn.cls)
+            if not in_obs_class and not _OBS_FN_RE.match(fn.name):
+                continue
+            where = f"{fn.cls}.{fn.name}" if fn.cls else fn.name
+            for node in _own_statements(fn.node):
+                message = self._offense(node, where)
+                if message is not None:
+                    yield self.finding(module, node, message)
+        # Probe tables: lambdas inside ``*PROBES*`` dict literals are not
+        # indexed as functions, so scan the assigned values directly.
+        for stmt in module.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            if not any(
+                isinstance(t, ast.Name) and _PROBES_NAME_RE.search(t.id)
+                for t in targets
+            ):
+                continue
+            value = stmt.value
+            assert value is not None
+            name = next(
+                t.id for t in targets if isinstance(t, ast.Name)
+            )
+            for node in ast.walk(value):
+                message = self._offense(node, f"probe table {name}")
+                if message is not None:
+                    yield self.finding(module, node, message)
+
+    @staticmethod
+    def _offense(node: ast.AST, where: str) -> str | None:
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain is not None and chain.split(".")[-1] in _SNAPSHOT_NAMES:
+                return (
+                    f"{where} materializes a graph snapshot per sample "
+                    f"({chain}()); read the live O(1) counters instead"
+                )
+            return None
+        it: ast.expr | None = None
+        if isinstance(node, ast.For):
+            it = node.iter
+        elif isinstance(node, ast.comprehension):
+            it = node.iter
+        if it is None:
+            return None
+        chain = attr_chain(it)
+        if chain is None and isinstance(it, ast.Call):
+            chain = attr_chain(it.func)
+        if chain is not None and _SCAN_ATTRS & set(chain.split(".")):
+            return (
+                f"{where} iterates {chain} — an O(n) full scan per "
+                "sample; read the engine's O(1) lifecycle/graph counters"
+            )
+        return None

@@ -1,0 +1,223 @@
+"""The documented probe catalog and per-process Φ attribution.
+
+:data:`REGISTRY` is the named, documented superset of
+:data:`repro.sim.tracing.STANDARD_PROBES`: every probe carries a
+description and an asymptotic cost annotation, so experiment code (and
+``repro metrics``) can pick instruments knowing what a per-step sample
+costs. All catalog probes read counters the engine already maintains —
+the PERF003 lint rule rejects probes that rebuild snapshots or scan the
+process population (the shipped ``STANDARD_PROBES`` bug).
+
+Φ attribution answers *where* the invalid information sits once Φ > 0:
+
+* :func:`phi_by_subject` — per process the invalid information is
+  *about* (beliefs contradicting that process's true mode);
+* :func:`phi_by_holder` — per process *holding* the invalid information
+  (in its memory or channel).
+
+Both are analysis queries, not per-step probes: O(targets) /
+O(distinct edge keys) in incremental graph mode, one snapshot scan in
+rebuild mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+from collections.abc import Callable
+
+from repro.sim.tracing import (
+    STANDARD_PROBES,
+    _probe_asleep,
+    _probe_edges,
+    _probe_gone,
+    _probe_messages_posted,
+    _probe_pending,
+    _probe_potential,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = [
+    "Probe",
+    "REGISTRY",
+    "sample_all",
+    "standard_probe_fns",
+    "phi_by_subject",
+    "phi_by_holder",
+    "top_phi",
+]
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One documented metric probe: a named ``Engine -> float`` reader."""
+
+    name: str
+    description: str
+    cost: str
+    fn: Callable[["Engine"], float]
+
+    def __call__(self, engine: "Engine") -> float:
+        return self.fn(engine)
+
+
+def _probe_steps(e: "Engine") -> float:
+    return float(e.step_count)
+
+
+def _probe_exits(e: "Engine") -> float:
+    return float(e.stats.exits)
+
+
+def _probe_sleeps(e: "Engine") -> float:
+    return float(e.stats.sleeps)
+
+
+def _probe_dropped_unknown(e: "Engine") -> float:
+    return float(e.stats.dropped_unknown)
+
+
+def _probe_oracle_queries(e: "Engine") -> float:
+    return float(e.stats.oracle_queries)
+
+
+def _probe_oracle_true(e: "Engine") -> float:
+    return float(e.stats.oracle_true)
+
+
+def _probe_load_imbalance(e: "Engine") -> float:
+    return e.stats.load_imbalance()
+
+
+_CATALOG: tuple[Probe, ...] = (
+    Probe(
+        "potential",
+        "the potential Φ of Lemma 3 — edges carrying invalid mode information",
+        "O(1)",
+        _probe_potential,
+    ),
+    Probe("gone", "processes that have exited", "O(1)", _probe_gone),
+    Probe("asleep", "processes currently hibernating", "O(1)", _probe_asleep),
+    Probe(
+        "pending_messages",
+        "messages in flight across all channels (gone pids included)",
+        "O(1)",
+        _probe_pending,
+    ),
+    Probe(
+        "messages_posted",
+        "cumulative messages posted since the start of the run",
+        "O(1)",
+        _probe_messages_posted,
+    ),
+    Probe(
+        "edges",
+        "edges of PG, parallel copies and self-loops counted",
+        "O(1)",
+        _probe_edges,
+    ),
+    Probe("steps", "executed steps so far", "O(1)", _probe_steps),
+    Probe("exits", "exit transitions taken", "O(1)", _probe_exits),
+    Probe("sleeps", "sleep transitions taken", "O(1)", _probe_sleeps),
+    Probe(
+        "dropped_unknown",
+        "deliveries whose label no action matched (model: ignored)",
+        "O(1)",
+        _probe_dropped_unknown,
+    ),
+    Probe(
+        "oracle_queries", "oracle consultations so far", "O(1)", _probe_oracle_queries
+    ),
+    Probe(
+        "oracle_true",
+        "oracle consultations that answered true",
+        "O(1)",
+        _probe_oracle_true,
+    ),
+    Probe(
+        "load_imbalance",
+        "max/mean ratio of per-process delivered messages (1.0 = even)",
+        "O(n)",
+        _probe_load_imbalance,
+    ),
+)
+
+#: name → probe; the documented catalog ``repro metrics`` renders.
+REGISTRY: dict[str, Probe] = {p.name: p for p in _CATALOG}
+
+# The registry must cover everything a default SeriesRecorder samples —
+# guarded by tests/obs/test_metrics.py.
+assert set(STANDARD_PROBES) <= set(REGISTRY)
+
+
+def standard_probe_fns(names: tuple[str, ...] | None = None) -> dict[
+    str, Callable[["Engine"], float]
+]:
+    """Catalog probes as a plain ``SeriesRecorder``-ready dict."""
+    if names is None:
+        return {name: probe.fn for name, probe in REGISTRY.items()}
+    return {name: REGISTRY[name].fn for name in names}
+
+
+def sample_all(engine: "Engine") -> dict[str, float]:
+    """One sample of every catalog probe."""
+    return {name: probe.fn(engine) for name, probe in REGISTRY.items()}
+
+
+# ------------------------------------------------------------ Φ attribution
+
+
+def phi_by_subject(engine: "Engine") -> dict[int, int]:
+    """Φ broken down by the process the invalid information is *about*.
+
+    ``sum(phi_by_subject(e).values()) == e.potential()`` always. Served
+    from the live graph's per-target Φ buckets in incremental mode; by a
+    snapshot scan in rebuild mode.
+    """
+
+    if engine.graph_mode == "incremental":
+        return engine.live_graph.phi_by_subject()
+    out: dict[int, int] = {}
+    snap = engine.snapshot()
+    for edge in snap.iter_invalid_edges(engine.actual_mode):
+        out[edge.dst] = out.get(edge.dst, 0) + 1
+    return out
+
+
+def phi_by_holder(engine: "Engine") -> dict[int, int]:
+    """Φ broken down by the process *holding* the invalid information
+    (stored in its memory or sitting in its channel)."""
+
+    if engine.graph_mode == "incremental":
+        return engine.live_graph.phi_by_holder()
+    out: dict[int, int] = {}
+    snap = engine.snapshot()
+    for edge in snap.iter_invalid_edges(engine.actual_mode):
+        out[edge.src] = out.get(edge.src, 0) + 1
+    return out
+
+
+def top_phi(
+    engine: "Engine", *, by: str = "subject", limit: int = 10
+) -> list[tuple[int, int]]:
+    """The *limit* largest Φ contributors as ``(pid, contribution)``.
+
+    ``by="subject"`` attributes to the process the information is about,
+    ``by="holder"`` to the process holding it. Ties break by pid for
+    deterministic output.
+    """
+
+    if by == "subject":
+        table = phi_by_subject(engine)
+    elif by == "holder":
+        table = phi_by_holder(engine)
+    else:
+        raise ValueError(f"by must be 'subject' or 'holder', not {by!r}")
+    ranked = sorted(table.items(), key=_rank_key)
+    return ranked[:limit]
+
+
+def _rank_key(item: tuple[int, int]) -> tuple[int, int]:
+    return (-item[1], item[0])

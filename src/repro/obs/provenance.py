@@ -1,0 +1,279 @@
+"""Message provenance: happens-before lineage over posted messages.
+
+Every message either exists in the initial state (planted by the fault
+injector — the "finitely many action-triggering messages" of Section
+1.2's admissibility constraints) or was posted by an action, and every
+action is either a timeout or the delivery of exactly one message. That
+gives each message a unique *parent* — the message whose delivery posted
+it (``None`` for timeout-posted and planted messages) — and the parent
+relation organizes an execution's messages into forests rooted at the
+initial state and at timeouts.
+
+Relays (Scheideler & Setzer) and Berns' general framework analyze
+exactly these causal chains when arguing departure safety; making them
+observable lets the test-suite ask questions like "which planted garbage
+message ultimately triggered this unsafe exit" directly.
+
+The tracker is wired into the engine's post/deliver hot path behind a
+``provenance is not None`` check — one predicted-false branch per
+post/delivery when off. When on, bookkeeping is O(1) per message: one
+:class:`Lineage` record (``__slots__``, engine-hot-path discipline) and
+two dict operations. Memory is O(messages posted); provenance is a
+diagnostic instrument, not an always-on monitor — for multi-million-step
+soak runs prefer the bounded :class:`~repro.obs.trace.JsonlTraceSink`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.messages import Message
+
+__all__ = ["Lineage", "ExitRecord", "ProvenanceTracker"]
+
+
+class Lineage:
+    """Provenance record of one message (allocated on the hot path).
+
+    Attributes
+    ----------
+    seq:
+        The message's engine-assigned sequence number (its identity).
+    parent:
+        Seq of the message whose delivery posted this one, or ``None``
+        for roots (timeout-posted, planted, or posted before the tracker
+        was attached).
+    label / sender / target:
+        The message's action label, sending pid (``None`` for planted
+        messages) and receiving pid.
+    born_step:
+        ``engine.step_count`` at post time (0 for initial-state plants;
+        -1 for synthetic roots the tracker never saw posted).
+    depth:
+        Hop count from the root of this message's causal tree (0 for
+        roots) — "how long is the chain of actions behind this message".
+    delivered_step:
+        ``engine.step_count`` when the message was delivered, or ``None``
+        while still in flight (messages to gone processes stay in flight
+        forever; their lineage records why they exist regardless).
+    """
+
+    __slots__ = (
+        "seq",
+        "parent",
+        "label",
+        "sender",
+        "target",
+        "born_step",
+        "depth",
+        "delivered_step",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        parent: int | None,
+        label: str,
+        sender: int | None,
+        target: int,
+        born_step: int,
+        depth: int,
+    ) -> None:
+        self.seq = seq
+        self.parent = parent
+        self.label = label
+        self.sender = sender
+        self.target = target
+        self.born_step = born_step
+        self.depth = depth
+        self.delivered_step: int | None = None
+
+    @property
+    def planted(self) -> bool:
+        """Whether this message was planted (no sending process)."""
+        return self.sender is None and self.parent is None
+
+    def __repr__(self) -> str:
+        parent = f"<-#{self.parent}" if self.parent is not None else "(root)"
+        return (
+            f"Lineage(#{self.seq}{parent} {self.label!r} "
+            f"{self.sender}->{self.target} depth={self.depth})"
+        )
+
+
+class ExitRecord:
+    """One ``exit`` transition with its causal trigger.
+
+    ``trigger_seq`` is the message whose delivery ran the exiting action
+    (``None`` for exits out of timeout actions); ``root_seq`` is the root
+    of that message's causal chain — when the root is a planted message,
+    this exit traces back to the corrupted initial state.
+    """
+
+    __slots__ = ("pid", "step", "trigger_seq", "root_seq")
+
+    def __init__(
+        self, pid: int, step: int, trigger_seq: int | None, root_seq: int | None
+    ) -> None:
+        self.pid = pid
+        self.step = step
+        self.trigger_seq = trigger_seq
+        self.root_seq = root_seq
+
+    def __repr__(self) -> str:
+        return (
+            f"ExitRecord(pid={self.pid}, step={self.step}, "
+            f"trigger=#{self.trigger_seq}, root=#{self.root_seq})"
+        )
+
+
+class ProvenanceTracker:
+    """Maintains the message-lineage forest of one run.
+
+    Install via ``Engine(..., provenance=tracker)`` (or the scenario
+    builders' ``provenance=`` passthrough — they construct the engine
+    before scattering garbage, so planted messages get root records).
+    The engine calls four O(1) hooks; everything else is offline query
+    API over the accumulated records.
+    """
+
+    def __init__(self) -> None:
+        #: seq → lineage, for every message the tracker has seen.
+        self.records: dict[int, Lineage] = {}
+        #: exit transitions with their causal triggers, in exit order.
+        self.exits: list[ExitRecord] = []
+        #: seq of the message currently being delivered (None outside
+        #: delivery actions — i.e. during timeouts and between steps).
+        self._current: int | None = None
+
+    # ------------------------------------------------------------ engine hooks
+
+    def on_post(self, msg: Message, target: int, step: int) -> None:
+        """Engine hook: a message entered a channel."""
+        parent = self._current
+        if parent is not None:
+            depth = self.records[parent].depth + 1
+        else:
+            depth = 0
+        self.records[msg.seq] = Lineage(
+            msg.seq, parent, msg.label, msg.sender, target, step, depth
+        )
+
+    def begin_deliver(self, msg: Message, pid: int, step: int) -> None:
+        """Engine hook: a delivery action started for *msg*."""
+        rec = self.records.get(msg.seq)
+        if rec is None:
+            # Posted before the tracker was attached: synthesize a root.
+            rec = Lineage(msg.seq, None, msg.label, msg.sender, pid, -1, 0)
+            self.records[msg.seq] = rec
+        rec.delivered_step = step
+        self._current = msg.seq
+
+    def end_action(self) -> None:
+        """Engine hook: the delivery action (and its sends) completed."""
+        self._current = None
+
+    def on_exit(self, pid: int, step: int) -> None:
+        """Engine hook: *pid* transitioned to gone."""
+        trigger = self._current
+        root = self.root_seq(trigger) if trigger is not None else None
+        self.exits.append(ExitRecord(pid, step, trigger, root))
+
+    # ------------------------------------------------------------ queries
+
+    def lineage(self, seq: int) -> Lineage | None:
+        """The lineage record of message *seq*, if seen."""
+        return self.records.get(seq)
+
+    def chain(self, seq: int) -> list[Lineage]:
+        """Causal chain of *seq*: the message first, its root last."""
+        out: list[Lineage] = []
+        cursor: int | None = seq
+        while cursor is not None:
+            rec = self.records.get(cursor)
+            if rec is None:
+                break
+            out.append(rec)
+            cursor = rec.parent
+        return out
+
+    def root_seq(self, seq: int) -> int:
+        """Seq of the root of *seq*'s causal chain (itself if a root)."""
+        cursor = seq
+        while True:
+            rec = self.records.get(cursor)
+            if rec is None or rec.parent is None:
+                return cursor
+            cursor = rec.parent
+
+    def hops(self, seq: int) -> int:
+        """Causal depth of message *seq* (0 = root)."""
+        rec = self.records.get(seq)
+        return rec.depth if rec is not None else 0
+
+    def age(self, seq: int) -> int | None:
+        """Steps *seq* spent in flight, or ``None`` if undelivered."""
+        rec = self.records.get(seq)
+        if rec is None or rec.delivered_step is None or rec.born_step < 0:
+            return None
+        return rec.delivered_step - rec.born_step
+
+    def planted_seqs(self) -> list[int]:
+        """Seqs of planted root messages (the adversary's garbage)."""
+        return sorted(
+            seq for seq, rec in self.records.items() if rec.planted
+        )
+
+    def descendants_of(self, seq: int) -> list[int]:
+        """Seqs of all messages causally downstream of *seq* (excl.)."""
+        children: dict[int, list[int]] = {}
+        for rec in self.records.values():
+            if rec.parent is not None:
+                children.setdefault(rec.parent, []).append(rec.seq)
+        out: list[int] = []
+        stack = list(children.get(seq, ()))
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(children.get(cur, ()))
+        return sorted(out)
+
+    def exits_from_planted(self) -> list[ExitRecord]:
+        """Exit records whose causal root is a planted message — the
+        "which planted garbage ultimately triggered this exit" answer."""
+        out: list[ExitRecord] = []
+        for rec in self.exits:
+            if rec.root_seq is None:
+                continue
+            root = self.records.get(rec.root_seq)
+            if root is not None and root.planted:
+                out.append(rec)
+        return out
+
+    def hop_stats(self) -> dict[str, float]:
+        """Summary (count/min/max/mean) of causal depth over messages."""
+        return _summary([rec.depth for rec in self.records.values()])
+
+    def age_stats(self) -> dict[str, float]:
+        """Summary of in-flight age over delivered messages."""
+        ages = [
+            rec.delivered_step - rec.born_step
+            for rec in self.records.values()
+            if rec.delivered_step is not None and rec.born_step >= 0
+        ]
+        return _summary(ages)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _summary(values: list[int]) -> dict[str, float]:
+    if not values:
+        return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0}
+    return {
+        "count": len(values),
+        "min": float(min(values)),
+        "max": float(max(values)),
+        "mean": sum(values) / len(values),
+    }

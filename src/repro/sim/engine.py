@@ -190,6 +190,13 @@ class Engine:
         Callables ``(engine, executed_step) -> None`` run after every step;
         they raise :class:`~repro.errors.SafetyViolation` on invariant
         breaks.
+    provenance:
+        Optional :class:`~repro.obs.provenance.ProvenanceTracker`. When
+        set, every posted message is assigned a lineage record whose
+        parent is the message being delivered when the post happened —
+        the happens-before chains the paper's proofs argue over. ``None``
+        (the default) keeps the hot path at one predicted-false branch
+        per post/delivery.
     require_staying_per_component:
         Validate the paper's Section 3/4 precondition that every weakly
         connected component initially contains a staying process.
@@ -223,6 +230,7 @@ class Engine:
         strict: bool = True,
         monitors: Sequence[Callable[["Engine", ExecutedStep], None]] = (),
         tracer: Any | None = None,
+        provenance: Any | None = None,
         require_staying_per_component: bool = True,
         graph_mode: str | None = None,
         ref_mode: str | None = None,
@@ -244,6 +252,7 @@ class Engine:
         self.strict = strict
         self.monitors = list(monitors)
         self.tracer = tracer
+        self.provenance = provenance
         self._require_staying = require_staying_per_component
 
         #: scheduler freshness stamps — deliberately SEPARATE from message
@@ -337,6 +346,30 @@ class Engine:
         """Number of gone processes (O(1) counter)."""
         return self._gone_count
 
+    @property
+    def edge_count(self) -> int:
+        """Number of edges in PG (parallel copies and self-loops counted).
+
+        O(1) in incremental mode — a live-counter read; rebuild mode
+        falls back to the (cached) snapshot. This is the sanctioned way
+        for probes and monitors to observe the edge count: reading it
+        never materializes a snapshot on the incremental path.
+        """
+        if self._graph_mode == "incremental":
+            return self._ensure_live().edge_total
+        return len(self.snapshot().edges)
+
+    @property
+    def pending_count(self) -> int:
+        """Messages pending across all channels (gone pids included).
+
+        O(1) in incremental mode; an O(n) channel-length sum in rebuild
+        mode (no snapshot is built either way).
+        """
+        if self._graph_mode == "incremental":
+            return self._ensure_live().pending_total
+        return sum(len(c) for c in self.channels.values())
+
     def _recount_lifecycle(self) -> None:
         self._asleep_count = sum(
             1 for p in self.processes.values() if p.state is PState.ASLEEP
@@ -429,6 +462,8 @@ class Engine:
                 )
         msg = Message(label, tuple(args), next(self._msg_clock), sender)
         self.channels[tpid].add(msg)
+        if self.provenance is not None:
+            self.provenance.on_post(msg, tpid, self.step_count)
         stats = self.stats
         stats.messages_posted += 1
         if sender is not None:
@@ -462,6 +497,8 @@ class Engine:
         if new_state is PState.GONE:
             self.stats.exits += 1
             self._gone_count += 1
+            if self.provenance is not None:
+                self.provenance.on_exit(proc.pid, self.step_count)
             if self._attached:
                 self.scheduler.notify_gone(
                     proc.pid, list(self.channels[proc.pid].seqs())
@@ -650,6 +687,9 @@ class Engine:
             raise StateViolation(f"delivery selected for gone process {pid}")
         msg = self.channels[pid].remove(seq)
         self._stale = True
+        prov = self.provenance
+        if prov is not None:
+            prov.begin_deliver(msg, pid, self.step_count)
         if proc.state is PState.ASLEEP:
             # Processing a message wakes an asleep process (Figure 1).
             self._transition(proc, PState.AWAKE)
@@ -671,6 +711,8 @@ class Engine:
             self._post_action(pid, proc, before)
             if requested is not None:
                 self._transition(proc, requested)
+        if prov is not None:
+            prov.end_action()
         stats = self.stats
         stats.deliveries += 1
         by = stats.deliveries_by

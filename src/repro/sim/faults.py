@@ -113,11 +113,16 @@ def plant_unknown_label_messages(
 
     The model says such messages are ignored; planting them verifies the
     drop path (run with ``strict=False``). No references are attached so
-    they add no edges.
+    they add no edges. Returns the number actually planted (0 for an
+    engine with no processes, mirroring :func:`scatter_garbage_messages`).
     """
 
     pids = list(engine.processes)
+    if not pids:
+        return 0
+    planted = 0
     for _ in range(count):
         tpid = pids[rng.randrange(len(pids))]
         engine.post(None, engine.ref(tpid), label, ())
-    return count
+        planted += 1
+    return planted

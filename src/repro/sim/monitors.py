@@ -16,6 +16,17 @@ protocol transcription violated a proof obligation.
   equals the drawn set.
 * :class:`ExitGuardMonitor` — the FDP contract that a protocol relying on
   an oracle only lets a process exit when the oracle held for it.
+
+Monitors run once per executed step, so they are observation hot-path
+code: they must read the engine's O(1)/O(Δ) surfaces (``potential()``,
+``gone_count``, ``edge_count``, ``members_weakly_connected``) and never
+materialize a snapshot or scan the process population — the ``repro
+lint`` rule PERF003 enforces this for every ``*Monitor`` class. Richer
+causal instrumentation (message lineage, streaming trace export, the
+documented probe catalog) lives in :mod:`repro.obs`; an exit's causal
+trigger, for example, is answered by
+:meth:`repro.obs.provenance.ProvenanceTracker.exits_from_planted` rather
+than by a monitor.
 """
 
 from __future__ import annotations

@@ -2,30 +2,62 @@
 
 Two instruments, both optional and cheap when unused:
 
-* :class:`Tracer` — append-only log of executed steps (bounded ring
-  buffer), used by tests to assert on event sequences and by examples to
-  narrate runs;
+* :class:`Tracer` — bounded ring buffer of executed steps, used by tests
+  to assert on event sequences and by examples to narrate runs;
 * :class:`SeriesRecorder` — samples engine-level metrics (potential Φ,
   number of gone processes, pending messages, …) every *k* steps, feeding
   the convergence plots/series of experiments E5–E9.
+
+The standard probes read the engine's O(1) lifecycle counters and live
+graph totals — never ``snapshot()``, never a full process scan — so
+per-sample cost is constant on the incremental observation path. The
+``repro lint`` rule PERF003 guards this invariant for every probe,
+monitor and tracer in the tree. The richer, documented probe registry
+(descriptions, cost annotations, Φ attribution) lives in
+:mod:`repro.obs.metrics`; the dict here is the engine-facing subset it
+wraps.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine, ExecutedStep
 
-__all__ = ["Tracer", "SeriesRecorder", "STANDARD_PROBES"]
+__all__ = [
+    "DEFAULT_TRACER_CAPACITY",
+    "Tracer",
+    "SeriesRecorder",
+    "STANDARD_PROBES",
+]
+
+#: Default ring-buffer size of :class:`Tracer`: large enough to hold the
+#: interesting suffix of any run, small enough (a few MB of records) that
+#: multi-million-step runs — exactly the PR 3 livelock regime — cannot
+#: leak memory through a forgotten tracer.
+DEFAULT_TRACER_CAPACITY = 65_536
 
 
 class Tracer:
-    """Bounded log of executed steps."""
+    """Bounded ring buffer of executed steps.
 
-    def __init__(self, capacity: int | None = None) -> None:
+    Holds the most recent ``capacity`` steps (default
+    :data:`DEFAULT_TRACER_CAPACITY`); older entries are evicted, so
+    memory stays O(capacity) no matter how long the run. Passing
+    ``capacity=None`` explicitly opts in to an unbounded log — memory
+    then grows with every step, which is only safe for short runs.
+    """
+
+    def __init__(self, capacity: int | None = DEFAULT_TRACER_CAPACITY) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                "capacity must be >= 1 (pass capacity=None to explicitly "
+                "opt in to an unbounded trace)"
+            )
+        self.capacity = capacity
         self.events: deque = deque(maxlen=capacity)
 
     def record(self, engine: Engine, executed: ExecutedStep) -> None:
@@ -44,19 +76,47 @@ class Tracer:
         return len(self.events)
 
 
+# -- standard probes ----------------------------------------------------------
+#
+# Named module-level functions (not lambdas) so the observation-path lint
+# (PERF003) covers their bodies. Each reads a counter the engine already
+# maintains; none may rebuild a snapshot or scan the process population.
+
+
+def _probe_potential(e: "Engine") -> float:
+    return float(e.potential())
+
+
+def _probe_gone(e: "Engine") -> float:
+    return float(e.gone_count)
+
+
+def _probe_asleep(e: "Engine") -> float:
+    return float(e.asleep_count)
+
+
+def _probe_pending(e: "Engine") -> float:
+    return float(e.pending_count)
+
+
+def _probe_messages_posted(e: "Engine") -> float:
+    return float(e.stats.messages_posted)
+
+
+def _probe_edges(e: "Engine") -> float:
+    return float(e.edge_count)
+
+
 #: Named metric probes a :class:`SeriesRecorder` can sample. Each maps an
-#: engine to a number; recorders may mix standard and custom probes.
+#: engine to a number; recorders may mix standard and custom probes. See
+#: :data:`repro.obs.metrics.REGISTRY` for the documented catalog.
 STANDARD_PROBES: dict[str, Callable[["Engine"], float]] = {
-    "potential": lambda e: float(e.potential()),
-    "gone": lambda e: float(
-        sum(1 for p in e.processes.values() if p.state.value == "gone")
-    ),
-    "asleep": lambda e: float(
-        sum(1 for p in e.processes.values() if p.state.value == "asleep")
-    ),
-    "pending_messages": lambda e: float(sum(len(c) for c in e.channels.values())),
-    "messages_posted": lambda e: float(e.stats.messages_posted),
-    "edges": lambda e: float(len(e.snapshot().edges)),
+    "potential": _probe_potential,
+    "gone": _probe_gone,
+    "asleep": _probe_asleep,
+    "pending_messages": _probe_pending,
+    "messages_posted": _probe_messages_posted,
+    "edges": _probe_edges,
 }
 
 

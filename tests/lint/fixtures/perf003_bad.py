@@ -1,0 +1,18 @@
+"""PERF003 known-bad: snapshots and full scans in observation code."""
+
+
+class GoneCountMonitor:
+    def __call__(self, engine, executed) -> None:
+        self.gone = sum(
+            1 for p in engine.processes.values() if p.state.value == "gone"
+        )
+
+
+class EdgeSeriesRecorder:
+    def __call__(self, engine, executed) -> None:
+        self.edges.append(len(engine.snapshot().edges))
+
+
+MY_PROBES = {
+    "pending": lambda e: sum(len(c) for c in e.channels.values()),
+}

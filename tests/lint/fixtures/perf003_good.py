@@ -1,0 +1,20 @@
+"""PERF003 known-good: observation code reading the O(1) counters."""
+
+
+class GoneCountMonitor:
+    def __call__(self, engine, executed) -> None:
+        self.gone = engine.gone_count
+
+
+class EdgeSeriesRecorder:
+    def __call__(self, engine, executed) -> None:
+        self.edges.append(engine.edge_count)
+
+
+def _probe_pending(e) -> float:
+    return float(e.pending_count)
+
+
+MY_PROBES = {
+    "pending": _probe_pending,
+}

@@ -22,6 +22,7 @@ RULES = [
     "DET005",
     "PERF001",
     "PERF002",
+    "PERF003",
     "API001",
     "API002",
     "API003",
@@ -47,6 +48,11 @@ def test_det004_flags_both_shapes() -> None:
 
 def test_api002_flags_assignment_and_mutator() -> None:
     assert fixture_findings("api002_bad.py").count("API002") == 2
+
+
+def test_perf003_flags_all_three_shapes() -> None:
+    # the full-process scan, the snapshot call, and the probe-table lambda
+    assert fixture_findings("perf003_bad.py").count("PERF003") == 3
 
 
 def test_registry_is_complete() -> None:

@@ -1,0 +1,199 @@
+"""Message lineage: happens-before chains over posted messages."""
+
+from repro.core.potential import fdp_legitimate
+from repro.core.scenarios import (
+    HEAVY_CORRUPTION,
+    build_fdp_engine,
+    choose_leaving,
+)
+from repro.graphs import generators as gen
+from repro.obs.provenance import ProvenanceTracker
+from repro.sim.engine import Engine
+from repro.sim.messages import RefInfo
+from repro.sim.process import Process
+from repro.sim.scheduler import OldestFirstScheduler
+from repro.sim.states import Capability, Mode
+
+
+class Chainer(Process):
+    """Every delivery posts one follow-up to the carried reference."""
+
+    def on_hop(self, ctx, info, remaining):
+        if remaining > 0:
+            ctx.send(info.ref, "hop", info, remaining - 1)
+
+    def on_leaf(self, ctx):
+        pass
+
+
+def make(n=3, provenance=None):
+    procs = [Chainer(i, Mode.STAYING) for i in range(n)]
+    return (
+        Engine(
+            procs,
+            OldestFirstScheduler(),
+            capability=Capability.NONE,
+            provenance=provenance,
+            require_staying_per_component=False,
+        ),
+        procs,
+    )
+
+
+class TestLineage:
+    def test_planted_message_is_root(self):
+        prov = ProvenanceTracker()
+        eng, procs = make(provenance=prov)
+        msg = eng.post(None, procs[0].self_ref, "leaf", ())
+        rec = prov.lineage(msg.seq)
+        assert rec is not None
+        assert rec.parent is None
+        assert rec.depth == 0
+        assert rec.planted
+        assert prov.planted_seqs() == [msg.seq]
+
+    def test_delivery_posts_get_parent_and_depth(self):
+        prov = ProvenanceTracker()
+        eng, procs = make(provenance=prov)
+        info = RefInfo(procs[1].self_ref, Mode.STAYING)
+        root = eng.post(None, procs[0].self_ref, "hop", (info, 3))
+        eng.run(50, until=lambda e: False)
+        # root hop → 3 descendant hops, one per remaining count
+        descendants = prov.descendants_of(root.seq)
+        assert len(descendants) == 3
+        depths = sorted(prov.hops(seq) for seq in descendants)
+        assert depths == [1, 2, 3]
+        deepest = max(descendants, key=prov.hops)
+        chain = prov.chain(deepest)
+        assert [rec.seq for rec in chain][-1] == root.seq
+        assert prov.root_seq(deepest) == root.seq
+        assert not prov.lineage(deepest).planted  # sender is a process
+
+    def test_age_and_delivery_tracking(self):
+        prov = ProvenanceTracker()
+        eng, procs = make(provenance=prov)
+        msg = eng.post(None, procs[0].self_ref, "leaf", ())
+        assert prov.age(msg.seq) is None  # still in flight
+        eng.run(5, until=lambda e: False)
+        rec = prov.lineage(msg.seq)
+        assert rec.delivered_step is not None
+        assert prov.age(msg.seq) == rec.delivered_step - rec.born_step
+
+    def test_stats_shapes(self):
+        prov = ProvenanceTracker()
+        eng, procs = make(provenance=prov)
+        info = RefInfo(procs[1].self_ref, Mode.STAYING)
+        eng.post(None, procs[0].self_ref, "hop", (info, 2))
+        eng.run(20, until=lambda e: False)
+        hops = prov.hop_stats()
+        ages = prov.age_stats()
+        assert hops["count"] == len(prov)
+        assert hops["max"] == 2
+        assert ages["count"] >= 1
+        assert ages["min"] >= 1
+
+    def test_unknown_seq_queries_are_safe(self):
+        prov = ProvenanceTracker()
+        assert prov.lineage(999) is None
+        assert prov.chain(999) == []
+        assert prov.root_seq(999) == 999
+        assert prov.hops(999) == 0
+        assert prov.age(999) is None
+
+
+class TestExitCausality:
+    def _run_corrupted_fdp(self):
+        n = 12
+        edges = gen.random_connected(n, 5, seed=3)
+        leaving = choose_leaving(n, edges, fraction=0.4, seed=3)
+        prov = ProvenanceTracker()
+        engine = build_fdp_engine(
+            n,
+            edges,
+            leaving,
+            seed=7,
+            corruption=HEAVY_CORRUPTION,
+            provenance=prov,
+        )
+        assert engine.run(300_000, until=fdp_legitimate, check_every=64)
+        return engine, prov
+
+    def test_every_exit_has_a_record(self):
+        engine, prov = self._run_corrupted_fdp()
+        assert engine.gone_count > 0
+        assert len(prov.exits) == engine.gone_count
+        gone = {rec.pid for rec in prov.exits}
+        assert gone == {
+            pid
+            for pid, p in engine.processes.items()
+            if p.state.value == "gone"
+        }
+
+    def test_triggered_exits_chain_to_a_root(self):
+        _, prov = self._run_corrupted_fdp()
+        for rec in prov.exits:
+            if rec.trigger_seq is None:
+                assert rec.root_seq is None  # exit out of a timeout action
+                continue
+            assert rec.root_seq is not None
+            chain = prov.chain(rec.trigger_seq)
+            assert chain[-1].seq == rec.root_seq
+            assert chain[-1].parent is None
+
+    def test_exits_from_planted_is_subset(self):
+        _, prov = self._run_corrupted_fdp()
+        subset = prov.exits_from_planted()
+        assert set(id(r) for r in subset) <= set(id(r) for r in prov.exits)
+        planted = set(prov.planted_seqs())
+        for rec in subset:
+            assert rec.root_seq in planted
+
+    def test_scenario_builder_tracks_planted_garbage(self):
+        # the builder constructs the engine before scattering garbage, so
+        # every planted message must carry a lineage root
+        n = 10
+        edges = gen.random_connected(n, 5, seed=3)
+        leaving = choose_leaving(n, edges, fraction=0.3, seed=3)
+        prov = ProvenanceTracker()
+        engine = build_fdp_engine(
+            n,
+            edges,
+            leaving,
+            seed=5,
+            corruption=HEAVY_CORRUPTION,
+            provenance=prov,
+        )
+        pending = sum(len(ch) for ch in engine.channels.values())
+        assert pending > 0
+        assert len(prov.planted_seqs()) == pending
+
+
+class TestZeroCostWhenOff:
+    def test_engine_without_tracker_has_no_records(self):
+        eng, procs = make(provenance=None)
+        eng.post(None, procs[0].self_ref, "leaf", ())
+        eng.run(5, until=lambda e: False)
+        assert eng.provenance is None
+
+    def test_identical_run_with_and_without_tracker(self):
+        # provenance must be observation-only: same schedule, same state
+        def run_one(prov):
+            n = 8
+            edges = gen.random_connected(n, 4, seed=2)
+            leaving = choose_leaving(n, edges, fraction=0.25, seed=2)
+            engine = build_fdp_engine(
+                n,
+                edges,
+                leaving,
+                seed=9,
+                corruption=HEAVY_CORRUPTION,
+                provenance=prov,
+            )
+            engine.run(5_000, until=fdp_legitimate, check_every=64)
+            return engine
+
+        a = run_one(None)
+        b = run_one(ProvenanceTracker())
+        assert a.step_count == b.step_count
+        assert a.stats.as_dict() == b.stats.as_dict()
+        assert a.potential() == b.potential()

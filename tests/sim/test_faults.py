@@ -108,3 +108,18 @@ class TestPlanting:
         plant_unknown_label_messages(eng, Random(0), 4)
         eng.run(50, until=lambda e: False)
         assert eng.stats.dropped_unknown == 4
+
+    def test_unknown_label_returns_planted_count(self):
+        eng = make()
+        assert plant_unknown_label_messages(eng, Random(0), 7) == 7
+
+    def test_unknown_label_empty_engine_returns_zero(self):
+        # regression: used to raise from rng.choice on an empty pool
+        eng = Engine(
+            [],
+            OldestFirstScheduler(),
+            capability=Capability.NONE,
+            strict=False,
+            require_staying_per_component=False,
+        )
+        assert plant_unknown_label_messages(eng, Random(0), 5) == 0
