@@ -1,0 +1,168 @@
+"""Chaos-supervision overhead benchmarks (library performance).
+
+The watchdog catalog promises to be cheap enough to leave on for every
+run: each per-step check is a modulo test, and each sampled check reads
+only the engine's O(1) counters (Φ, pending, edge, lifecycle). This
+suite enforces that promise:
+
+* the full default watchdog set (livelock + no-progress + backlog) must
+  keep a fault-injected FDP run within 15% of the unsupervised
+  steps/sec at n = 256 — the acceptance bound;
+* a run with an active :class:`~repro.chaos.campaigns.ChaosCampaign` is
+  measured alongside for visibility. Its figure is not gated: an
+  injection deliberately *adds work* (new messages to deliver, a
+  component scan, supervisor rebasing), so its cost is a feature budget,
+  not overhead.
+
+Run as a module for the CI smoke check::
+
+    PYTHONPATH=src:. python benchmarks/bench_chaos.py --smoke
+
+which writes ``benchmarks/results/BENCH_chaos.json`` and asserts the
+watchdog overhead bound. Configurations are timed interleaved,
+best-of-``REPS``, exactly like ``bench_telemetry.py`` — host jitter hits
+every configuration alike and the best-of reduction approximates the
+noise-free runtime.
+"""
+
+import argparse
+import sys
+import time
+
+from benchmarks.common import save_json
+from repro.chaos import ChaosCampaign, default_watchdogs
+from repro.core.scenarios import HEAVY_CORRUPTION, build_fdp_engine, choose_leaving
+from repro.graphs import generators as gen
+
+N = 256
+STEPS = 20_000
+REPS = 5
+WATCHDOG_OVERHEAD_LIMIT = 0.15
+CAMPAIGN_PERIOD = 2_000
+
+
+def _never(engine):
+    return False
+
+
+def _build(monitors=()):
+    edges = gen.random_connected(N, 16, seed=9)
+    leaving = choose_leaving(N, edges, fraction=0.3, seed=9)
+    return build_fdp_engine(
+        N,
+        edges,
+        leaving,
+        seed=9,
+        corruption=HEAVY_CORRUPTION,
+        monitors=list(monitors),
+    )
+
+
+def _run_fixed(monitors=()) -> float:
+    """One fault-injected run of STEPS steps; returns steps/sec."""
+    engine = _build(monitors)
+    engine.attach()
+    start = time.perf_counter()
+    engine.run(STEPS, until=_never)
+    wall = time.perf_counter() - start
+    assert engine.step_count == STEPS
+    return STEPS / wall
+
+
+def run_plain() -> float:
+    return _run_fixed()
+
+
+def run_watchdogs() -> float:
+    return _run_fixed(default_watchdogs())
+
+
+def run_campaign() -> float:
+    campaign = ChaosCampaign(seed=9, period=CAMPAIGN_PERIOD)
+    return _run_fixed([campaign, *default_watchdogs()])
+
+
+# --------------------------------------------------------- pytest-benchmark
+
+
+def test_throughput_plain(benchmark):
+    rate = benchmark.pedantic(run_plain, rounds=3, iterations=1)
+    assert rate > 0
+
+
+def test_throughput_watchdogs(benchmark):
+    rate = benchmark.pedantic(run_watchdogs, rounds=3, iterations=1)
+    assert rate > 0
+
+
+def test_throughput_campaign(benchmark):
+    rate = benchmark.pedantic(run_campaign, rounds=3, iterations=1)
+    assert rate > 0
+
+
+# ----------------------------------------------------------- CI smoke entry
+
+
+def smoke() -> dict:
+    """Best-of-REPS steps/sec per supervision configuration."""
+    samples: dict[str, list[float]] = {"plain": [], "watchdogs": [], "campaign": []}
+    for _ in range(REPS):
+        samples["plain"].append(run_plain())
+        samples["watchdogs"].append(run_watchdogs())
+        samples["campaign"].append(run_campaign())
+    rates = {config: max(values) for config, values in samples.items()}
+    plain = rates["plain"]
+    runs = [
+        {
+            "config": config,
+            "steps_per_s": round(rate, 1),
+            "overhead_frac": round(1.0 - rate / plain, 4),
+        }
+        for config, rate in rates.items()
+    ]
+    watchdog_overhead = next(
+        r["overhead_frac"] for r in runs if r["config"] == "watchdogs"
+    )
+    return {
+        "benchmark": "chaos",
+        "n": N,
+        "steps": STEPS,
+        "reps": REPS,
+        "campaign_period": CAMPAIGN_PERIOD,
+        "runs": runs,
+        "watchdog_overhead_frac": watchdog_overhead,
+        "watchdog_overhead_limit": WATCHDOG_OVERHEAD_LIMIT,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="measure supervision overhead and write "
+        "benchmarks/results/BENCH_chaos.json",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do; pass --smoke (pytest runs the benchmarks)")
+    payload = smoke()
+    path = save_json("BENCH_chaos", payload)
+    for run in payload["runs"]:
+        print(
+            f"config={run['config']:<10} steps/s={run['steps_per_s']:>10.1f} "
+            f"overhead={100 * run['overhead_frac']:6.2f}%"
+        )
+    print(f"wrote {path}")
+    ok = payload["watchdog_overhead_frac"] <= WATCHDOG_OVERHEAD_LIMIT
+    if not ok:
+        print(
+            f"FAIL: watchdog overhead {payload['watchdog_overhead_frac']:.1%} "
+            f"exceeds the {WATCHDOG_OVERHEAD_LIMIT:.0%} budget",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

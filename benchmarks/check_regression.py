@@ -1,13 +1,17 @@
 """Bench-regression gate: fresh smoke run vs the committed baseline.
 
-Loads the committed ``benchmarks/results/BENCH_incremental_graph.json``
-and ``BENCH_telemetry.json`` *before* re-running the smoke benchmarks
-(whose ``save_json`` would overwrite them), measures afresh, and fails if
+Loads the committed ``benchmarks/results/BENCH_incremental_graph.json``,
+``BENCH_telemetry.json``, and ``BENCH_chaos.json`` *before* re-running
+the smoke benchmarks (whose ``save_json`` would overwrite them),
+measures afresh, and fails if
 
 * any incremental-mode steps/sec figure dropped more than
   ``--tolerance`` (default 30%) below the committed number, or
 * the JSONL trace sink's overhead vs tracing-off exceeds the 15%
   budget recorded in the telemetry baseline, or the tracing-off
+  steps/sec dropped more than ``--tolerance`` below the committed one, or
+* the default watchdog set's overhead vs the unsupervised run exceeds
+  the 15% budget recorded in the chaos baseline, or the unsupervised
   steps/sec dropped more than ``--tolerance`` below the committed one.
 
 Two kinds of drift can trip this gate: a real hot-path regression, or a
@@ -27,6 +31,7 @@ import json
 import pathlib
 import sys
 
+from benchmarks.bench_chaos import smoke as chaos_smoke
 from benchmarks.bench_telemetry import smoke as telemetry_smoke
 from benchmarks.bench_throughput import smoke
 
@@ -35,6 +40,9 @@ COMMITTED = (
 )
 COMMITTED_TELEMETRY = (
     pathlib.Path(__file__).parent / "results" / "BENCH_telemetry.json"
+)
+COMMITTED_CHAOS = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_chaos.json"
 )
 
 
@@ -83,6 +91,31 @@ def compare_telemetry(committed: dict, fresh: dict, tolerance: float) -> list[st
     return failures
 
 
+def compare_chaos(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Gate the watchdog overhead budget and the unsupervised floor."""
+    failures = []
+    limit = committed.get("watchdog_overhead_limit", 0.15)
+    if fresh["watchdog_overhead_frac"] > limit:
+        failures.append(
+            f"chaos: watchdog overhead {fresh['watchdog_overhead_frac']:.1%} "
+            f"exceeds the {limit:.0%} budget"
+        )
+    committed_plain = next(
+        (r["steps_per_s"] for r in committed["runs"] if r["config"] == "plain"),
+        0,
+    )
+    fresh_plain = next(
+        r["steps_per_s"] for r in fresh["runs"] if r["config"] == "plain"
+    )
+    if committed_plain > 0 and fresh_plain < committed_plain * (1.0 - tolerance):
+        failures.append(
+            f"chaos: unsupervised {fresh_plain:.1f} steps/s < floor "
+            f"{committed_plain * (1.0 - tolerance):.1f} (committed "
+            f"{committed_plain:.1f}, tolerance {tolerance:.0%})"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -103,9 +136,16 @@ def main(argv=None) -> int:
         default=COMMITTED_TELEMETRY,
         help="telemetry baseline JSON to compare against",
     )
+    parser.add_argument(
+        "--committed-chaos",
+        type=pathlib.Path,
+        default=COMMITTED_CHAOS,
+        help="chaos-supervision baseline JSON to compare against",
+    )
     args = parser.parse_args(argv)
     committed = json.loads(args.committed.read_text())
     committed_telemetry = json.loads(args.committed_telemetry.read_text())
+    committed_chaos = json.loads(args.committed_chaos.read_text())
     fresh = smoke()
     for run in fresh["runs"]:
         print(
@@ -118,10 +158,17 @@ def main(argv=None) -> int:
             f"sink={run['sink']:<12} steps/s={run['steps_per_s']:>10.1f} "
             f"overhead={100 * run['overhead_frac']:6.2f}%"
         )
+    fresh_chaos = chaos_smoke()
+    for run in fresh_chaos["runs"]:
+        print(
+            f"config={run['config']:<12} steps/s={run['steps_per_s']:>10.1f} "
+            f"overhead={100 * run['overhead_frac']:6.2f}%"
+        )
     failures = compare(committed, fresh, args.tolerance)
     failures += compare_telemetry(
         committed_telemetry, fresh_telemetry, args.tolerance
     )
+    failures += compare_chaos(committed_chaos, fresh_chaos, args.tolerance)
     if failures:
         for line in failures:
             print(f"REGRESSION: {line}", file=sys.stderr)

@@ -23,13 +23,16 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable
 from typing import Any
 
 import numpy as np
 
+from repro.errors import TrialTimeout
 from repro.sim.engine import Engine
 
 __all__ = [
@@ -124,6 +127,24 @@ def _summary(values: np.ndarray) -> dict[str, float]:
     }
 
 
+def _deadline_until(
+    until: Callable[[Engine], bool] | None,
+    deadline: float,
+    budget: float,
+) -> Callable[[Engine], bool]:
+    """Wrap *until* with a wall-clock check (resolution: ``check_every``)."""
+
+    def wrapped(engine: Engine) -> bool:
+        if time.monotonic() > deadline:
+            raise TrialTimeout(
+                f"trial exceeded its {budget:g}s wall-clock budget at step "
+                f"{engine.step_count}"
+            )
+        return until(engine) if until is not None else False
+
+    return wrapped
+
+
 def run_trial(
     build: Callable[[int], Engine],
     seed: int,
@@ -133,16 +154,36 @@ def run_trial(
     check_every: int = 64,
     collect: Callable[[Engine], dict[str, Any]] | None = None,
     capture_errors: bool = False,
+    timeout: float | None = None,
 ) -> TrialResult:
     """Build the engine for *seed*, run it to *until* or the budget.
 
     With ``capture_errors=True`` any exception becomes a structured
-    :class:`TrialResult` (``error`` set, ``converged=False``) — the form
-    fabric workers use so one bad trial cannot kill the pool.
+    :class:`TrialResult` (``error`` set, ``converged=False``, the step
+    count and stats preserved as far as the run got) — the form fabric
+    workers use so one bad trial cannot kill the pool.
+
+    *timeout* bounds the trial in wall-clock seconds, checked alongside
+    the predicate every ``check_every`` steps (a step budget alone does
+    not protect a sweep from one pathological scenario whose *steps* are
+    slow). Exceeding it raises :class:`~repro.errors.TrialTimeout` —
+    captured like any structured failure under ``capture_errors``. Note
+    that timeouts are wall-clock facts: unlike every other field, their
+    presence may differ between machines (never between the serial and
+    parallel paths *given* the same timings, but bit-identity guarantees
+    only hold for ``timeout=None``).
     """
+    engine: Engine | None = None
     try:
         engine = build(seed)
-        converged = engine.run(max_steps, until=until, check_every=check_every)
+        run_until = until
+        if timeout is not None:
+            run_until = _deadline_until(
+                until, time.monotonic() + timeout, timeout
+            )
+        converged = engine.run(
+            max_steps, until=run_until, check_every=check_every
+        )
         return TrialResult(
             converged=converged,
             steps=engine.step_count,
@@ -155,8 +196,8 @@ def run_trial(
             raise
         return TrialResult(
             converged=False,
-            steps=0,
-            stats={},
+            steps=engine.step_count if engine is not None else 0,
+            stats=engine.stats.as_dict() if engine is not None else {},
             extra={},
             seed=seed,
             error=f"{type(exc).__name__}: {exc}",
@@ -180,6 +221,7 @@ class _TrialSpec:
     max_steps: int
     check_every: int
     collect: Callable[[Engine], dict[str, Any]] | None
+    timeout: float | None = None
 
 
 def _fabric_warm() -> None:
@@ -204,6 +246,7 @@ def _run_chunk(payload: tuple[int, _TrialSpec, list[int]]) -> tuple[int, list[Tr
             check_every=spec.check_every,
             collect=spec.collect,
             capture_errors=True,
+            timeout=spec.timeout,
         )
         for seed in seeds
     ]
@@ -221,18 +264,37 @@ class TrialFabric:
     every chunk runs its seeds in order, and results are reassembled in
     chunk-index order regardless of completion order — the returned
     sequence is bit-identical to the serial path for the same seeds.
+
+    Worker death (OOM-killed child, segfault in native code, an
+    ``os._exit`` escaping a trial) breaks a ``ProcessPoolExecutor``
+    permanently: every outstanding and future submission raises
+    ``BrokenProcessPool``. The fabric absorbs that instead of losing the
+    batch — completed chunks are kept, the pool is rebuilt, and only the
+    *missing* chunks are resubmitted, up to ``max_pool_retries`` times;
+    past the budget the stragglers run serially in-process. Either way
+    every chunk executes the same ``_run_chunk`` code on the same seed
+    list, so recovered results stay bit-identical to an undisturbed run.
+    Recoveries are logged in :attr:`recovery_log` (one dict per rebuild
+    or fallback), never silent.
     """
 
     def __init__(
         self,
         max_workers: int | None = None,
         chunk_size: int | None = None,
+        max_pool_retries: int = 2,
     ) -> None:
         self.max_workers = (
             max_workers if max_workers is not None else (os.cpu_count() or 1)
         )
         self.chunk_size = chunk_size
+        if max_pool_retries < 0:
+            raise ValueError("max_pool_retries must be >= 0")
+        self.max_pool_retries = max_pool_retries
         self._pool: ProcessPoolExecutor | None = None
+        #: structured recovery events: {"event": "pool_rebuilt" |
+        #: "serial_fallback", "chunks": [indices], "attempt": k}
+        self.recovery_log: list[dict[str, Any]] = []
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -247,6 +309,12 @@ class TrialFabric:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool without waiting on its corpse."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> TrialFabric:
         return self
@@ -274,30 +342,73 @@ class TrialFabric:
         check_every: int = 64,
         collect: Callable[[Engine], dict[str, Any]] | None = None,
         progress: Callable[[TrialResult], None] | None = None,
+        timeout: float | None = None,
     ) -> list[TrialResult]:
         """Run one trial per seed on the pool; results in seed order.
 
         ``progress`` (if given) streams each chunk's results as it
         lands — completion order, not seed order — for live reporting
-        while the fabric keeps working.
+        while the fabric keeps working. ``timeout`` is the per-trial
+        wall-clock budget forwarded to :func:`run_trial` (captured as a
+        structured ``TrialTimeout`` failure, never a crash).
         """
         seeds = list(seeds)
         if not seeds:
             return []
-        spec = _TrialSpec(build, until, max_steps, check_every, collect)
+        spec = _TrialSpec(build, until, max_steps, check_every, collect, timeout)
         chunks = self._chunks(seeds)
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_run_chunk, (index, spec, chunk))
-            for index, chunk in enumerate(chunks)
-        ]
         buckets: list[list[TrialResult] | None] = [None] * len(chunks)
-        for fut in as_completed(futures):
-            index, results = fut.result()
-            buckets[index] = results
-            if progress is not None:
-                for trial in results:
-                    progress(trial)
+        pending: dict[int, list[int]] = dict(enumerate(chunks))
+        attempt = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_run_chunk, (index, spec, chunk))
+                for index, chunk in sorted(pending.items())
+            ]
+            broken = False
+            for fut in as_completed(futures):
+                try:
+                    index, results = fut.result()
+                except BrokenProcessPool:
+                    broken = True
+                    continue
+                buckets[index] = results
+                del pending[index]
+                if progress is not None:
+                    for trial in results:
+                        progress(trial)
+            if not pending:
+                break
+            if not broken:  # pragma: no cover - as_completed covers all futures
+                raise RuntimeError("fabric lost chunks without pool breakage")
+            self._discard_pool()
+            attempt += 1
+            if attempt <= self.max_pool_retries:
+                self.recovery_log.append(
+                    {
+                        "event": "pool_rebuilt",
+                        "chunks": sorted(pending),
+                        "attempt": attempt,
+                    }
+                )
+                continue
+            # retry budget spent: run the stragglers serially in-process —
+            # same _run_chunk, same seed lists, so results are identical.
+            self.recovery_log.append(
+                {
+                    "event": "serial_fallback",
+                    "chunks": sorted(pending),
+                    "attempt": attempt,
+                }
+            )
+            for index, chunk in sorted(pending.items()):
+                _, results = _run_chunk((index, spec, chunk))
+                buckets[index] = results
+                if progress is not None:
+                    for trial in results:
+                        progress(trial)
+            pending.clear()
         return [trial for bucket in buckets for trial in bucket or []]
 
 
@@ -315,6 +426,7 @@ def run_series(
     fabric: TrialFabric | None = None,
     progress: Callable[[TrialResult], None] | None = None,
     on_error: str = "raise",
+    timeout: float | None = None,
 ) -> SeriesResult:
     """Run one trial per seed; optionally fan out over a worker fabric.
 
@@ -330,6 +442,11 @@ def run_series(
     ``RuntimeError`` carrying the structured message). ``"capture"``
     keeps failures as :class:`TrialResult` entries with ``error`` set —
     identical between serial and parallel execution.
+
+    ``timeout`` bounds each trial in wall-clock seconds (see
+    :func:`run_trial`); a timed-out trial surfaces as a structured
+    ``TrialTimeout`` failure under ``on_error="capture"`` and re-raises
+    under ``"raise"``.
     """
 
     if on_error not in ("raise", "capture"):
@@ -349,6 +466,7 @@ def run_series(
                 check_every=check_every,
                 collect=collect,
                 capture_errors=(on_error == "capture"),
+                timeout=timeout,
             )
             for s in seeds
         ]
@@ -364,6 +482,7 @@ def run_series(
             check_every=check_every,
             collect=collect,
             progress=progress,
+            timeout=timeout,
         )
     finally:
         if own_fabric:

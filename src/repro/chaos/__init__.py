@@ -1,0 +1,62 @@
+"""Runtime chaos subsystem: campaigns, watchdogs, capsules, shrinking.
+
+The robustness loop the paper's adversary model demands but a
+seed-and-pray harness cannot deliver:
+
+* :mod:`~repro.chaos.campaigns` — admissible transient faults injected
+  mid-run on a seeded schedule;
+* :mod:`~repro.chaos.watchdogs` — livelock / no-progress / backlog
+  supervisors over the engine's O(1) counters;
+* :mod:`~repro.chaos.capsule` — failures frozen as bit-identically
+  replayable JSON capsules (:func:`run_chaos` is the capture harness);
+* :mod:`~repro.chaos.shrink` — delta-debugging a capsule down to a
+  minimal reproducer.
+
+See ``docs/ROBUSTNESS.md`` for the campaign admissibility argument, the
+watchdog catalog and the capsule schema.
+"""
+
+from repro.chaos.campaigns import CAMPAIGN_KINDS, ChaosCampaign, InjectionRecord
+from repro.chaos.capsule import (
+    CAPSULE_VERSION,
+    Capsule,
+    ChaosRunResult,
+    capture_capsule,
+    replay_capsule,
+    run_chaos,
+)
+from repro.chaos.shrink import ShrinkResult, shrink_capsule
+from repro.chaos.watchdogs import (
+    WATCHDOG_KINDS,
+    BacklogWatchdog,
+    LivelockWatchdog,
+    NoProgressWatchdog,
+    StallDiagnosis,
+    Watchdog,
+    WatchdogTrip,
+    default_watchdogs,
+    watchdog_from_config,
+)
+
+__all__ = [
+    "BacklogWatchdog",
+    "CAMPAIGN_KINDS",
+    "CAPSULE_VERSION",
+    "Capsule",
+    "ChaosCampaign",
+    "ChaosRunResult",
+    "InjectionRecord",
+    "LivelockWatchdog",
+    "NoProgressWatchdog",
+    "ShrinkResult",
+    "StallDiagnosis",
+    "WATCHDOG_KINDS",
+    "Watchdog",
+    "WatchdogTrip",
+    "capture_capsule",
+    "default_watchdogs",
+    "replay_capsule",
+    "run_chaos",
+    "shrink_capsule",
+    "watchdog_from_config",
+]

@@ -1,0 +1,369 @@
+"""Delta-debugging minimizer for failure capsules.
+
+A 64-process livelock capsule proves a bug exists; an 6-process one
+shows *why*. :func:`shrink_capsule` takes a failing capsule and greedily
+reduces it along three axes, keeping every reduction that still
+reproduces the failure *class*:
+
+1. **fewer processes** — a ddmin-style pass removing pid blocks from
+   explicit-edge scenarios (survivors' subgraph induced, pids remapped
+   densely), or a size ladder for generator-backed scenarios;
+2. **fewer injected faults** — drop the campaign entirely if the bug
+   survives, else walk ``max_injections`` down a ladder and halve the
+   per-injection counts;
+3. **shorter schedule** — cut ``max_steps`` to just past the step at
+   which the minimized failure actually trips.
+
+"Reproduces" is deliberately class-level, not schedule-level: a
+candidate counts when *some* fresh run of it (a handful of probe seeds)
+fails the same way — watchdog trip for watchdog capsules, safety
+violation for safety capsules, non-convergence for budget capsules.
+Bit-exact schedule replay is the capsule's own job
+(:func:`~repro.chaos.capsule.replay_capsule`); the shrinker's job is a
+*smaller* instance of the same bug, which necessarily has a different
+schedule.
+
+Probes are structured :class:`~repro.analysis.runner.TrialResult` runs
+(``capture_errors=True`` — an invalid candidate, e.g. an induced
+subgraph that lost its staying process, surfaces as a
+``ConfigurationError`` failure and is simply not a match). With
+``parallel=True`` the probe batch for each candidate fans out over a
+:class:`~repro.analysis.runner.TrialFabric`; the default is serial,
+which monkeypatch-based regression fixtures require (a worker process
+does not see the test's patched protocol unless it forked after the
+patch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.runner import TrialFabric, TrialResult, run_trial
+from repro.chaos.campaigns import ChaosCampaign
+from repro.chaos.capsule import Capsule, ChaosRunResult, run_chaos
+from repro.chaos.watchdogs import watchdog_from_config
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import build_from_meta
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["ShrinkResult", "shrink_capsule"]
+
+#: candidate sizes for generator-backed scenarios, smallest first.
+_SIZE_LADDER = (2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64, 96, 128)
+
+#: candidate injection caps, smallest first (None = drop the campaign).
+_INJECTION_LADDER = (1, 2, 4, 8, 16)
+
+
+def _never(engine: Engine) -> bool:
+    """Probe predicate for trip-seeking runs: never converge early."""
+    return False
+
+
+def _until_for(scenario: dict):
+    """Legitimacy predicate for budget-kind probes (non-convergence is
+    only meaningful against the scenario's own notion of done)."""
+    return fsp_legitimate if scenario.get("scenario") == "fsp" else fdp_legitimate
+
+
+def _campaign_config(
+    campaign: dict | None, seed: int, base_seed: int, base_campaign_seed: int
+) -> dict | None:
+    """The campaign config a probe with *seed* should run: the captured
+    campaign seed for the captured scenario seed, the probe seed
+    otherwise (fresh schedule, fresh injection stream — one knob)."""
+    if campaign is None:
+        return None
+    config = dict(campaign)
+    config["seed"] = base_campaign_seed if seed == base_seed else seed
+    return config
+
+
+class _CandidateBuild:
+    """Picklable builder: (scenario, campaign, watchdogs) configs → engine.
+
+    Module-level class so fabric workers can unpickle it; all state is
+    plain JSON-shaped data.
+    """
+
+    def __init__(
+        self,
+        scenario: dict,
+        campaign: dict | None,
+        watchdogs: list[dict],
+        base_seed: int,
+        base_campaign_seed: int,
+    ) -> None:
+        self.scenario = scenario
+        self.campaign = campaign
+        self.watchdogs = watchdogs
+        self.base_seed = base_seed
+        self.base_campaign_seed = base_campaign_seed
+
+    def __call__(self, seed: int) -> Engine:
+        meta = dict(self.scenario)
+        meta["seed"] = seed
+        monitors: list = []
+        campaign_cfg = _campaign_config(
+            self.campaign, seed, self.base_seed, self.base_campaign_seed
+        )
+        if campaign_cfg is not None:
+            monitors.append(ChaosCampaign.from_config(campaign_cfg))
+        monitors.extend(watchdog_from_config(c) for c in self.watchdogs)
+        return build_from_meta(meta, monitors=monitors)
+
+
+def _matches(result: TrialResult, kind: str) -> bool:
+    """Does this probe outcome reproduce the capsule's failure class?"""
+    if kind == "budget":
+        return result.error is None and not result.converged
+    if result.error is None:
+        return False
+    name = result.error.split(":", 1)[0]
+    if kind == "watchdog":
+        return name == "WatchdogTrip"
+    if kind == "safety":
+        return name == "SafetyViolation"
+    # generic "error" capsules: any structured failure except an invalid
+    # candidate (a ConfigurationError means the *shrunk spec* is broken,
+    # not that the bug reproduced).
+    return name not in ("ConfigurationError",)
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing spec, plus the trail that led there."""
+
+    capsule: Capsule | None
+    scenario: dict
+    campaign: dict | None
+    seed: int
+    max_steps: int
+    steps_to_failure: int
+    probes: int
+    original_n: int
+    final_n: int
+    history: list[dict] = field(default_factory=list)
+
+
+def _induced(scenario: dict, keep: list[int]) -> dict:
+    """Induce the explicit-edge scenario on *keep*, remapping pids densely."""
+    keep_set = set(keep)
+    remap = {pid: new for new, pid in enumerate(keep)}
+    new = dict(scenario)
+    new["n"] = len(keep)
+    new["edges"] = [
+        [remap[a], remap[b]]
+        for a, b in scenario["edges"]
+        if a in keep_set and b in keep_set
+    ]
+    if scenario.get("leaving_pids") is not None:
+        new["leaving_pids"] = [
+            remap[p] for p in scenario["leaving_pids"] if p in keep_set
+        ]
+    return new
+
+
+def shrink_capsule(
+    capsule: Capsule,
+    *,
+    parallel: bool = False,
+    fabric: TrialFabric | None = None,
+    seeds_per_candidate: int = 3,
+    max_steps: int | None = None,
+    check_every: int = 16,
+    timeout: float | None = None,
+    capsule_dir: str | None = None,
+) -> ShrinkResult:
+    """Greedily minimize *capsule* along processes, faults and schedule.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the original
+    spec does not reproduce its failure class under fresh probe seeds —
+    a failure that exists only on one exact schedule cannot be shrunk by
+    re-running, only replayed.
+
+    Returns a :class:`ShrinkResult` whose ``capsule`` is a freshly
+    captured (and replayable) capsule of the minimized spec — written to
+    *capsule_dir* when given.
+    """
+    kind = capsule.kind
+    scenario = dict(capsule.scenario)
+    campaign = dict(capsule.campaign) if capsule.campaign is not None else None
+    watchdogs = [dict(c) for c in capsule.watchdogs]
+    base_seed = scenario.get("seed", 0)
+    base_campaign_seed = campaign["seed"] if campaign is not None else base_seed
+    budget = (
+        max_steps
+        if max_steps is not None
+        else max(2 * len(capsule.schedule), 4096)
+    )
+    until = _until_for(scenario) if kind == "budget" else _never
+    probe_watchdogs = [] if kind == "budget" else watchdogs
+    own_fabric = parallel and fabric is None
+    fab = fabric if fabric is not None else (TrialFabric() if parallel else None)
+    probes = 0
+    history: list[dict] = []
+
+    def attempt(
+        cand_scenario: dict, cand_campaign: dict | None, cand_budget: int
+    ) -> TrialResult | None:
+        nonlocal probes
+        build = _CandidateBuild(
+            cand_scenario,
+            cand_campaign,
+            probe_watchdogs,
+            base_seed,
+            base_campaign_seed,
+        )
+        seeds = [base_seed + i for i in range(seeds_per_candidate)]
+        if fab is not None:
+            results = fab.run(
+                build,
+                seeds,
+                until=until,
+                max_steps=cand_budget,
+                check_every=check_every,
+                timeout=timeout,
+            )
+        else:
+            results = [
+                run_trial(
+                    build,
+                    s,
+                    until=until,
+                    max_steps=cand_budget,
+                    check_every=check_every,
+                    capture_errors=True,
+                    timeout=timeout,
+                )
+                for s in seeds
+            ]
+        probes += len(results)
+        for result in results:
+            if _matches(result, kind):
+                return result
+        return None
+
+    try:
+        best = attempt(scenario, campaign, budget)
+        if best is None:
+            raise ConfigurationError(
+                "the capsule's failure does not reproduce under fresh "
+                "schedules; shrinking needs a seed-reproducible failure "
+                "(the capsule itself still replays bit-identically)"
+            )
+        original_n = scenario["n"]
+
+        # -- axis 1: fewer processes ----------------------------------------
+        if scenario.get("edges") is not None:
+            pids = list(range(scenario["n"]))
+            chunk = max(1, len(pids) // 2)
+            while chunk >= 1:
+                i = 0
+                while i < len(pids) and len(pids) > 2:
+                    keep = pids[:i] + pids[i + chunk :]
+                    if len(keep) < 2:
+                        i += chunk
+                        continue
+                    hit = attempt(_induced(scenario, keep), campaign, budget)
+                    if hit is not None:
+                        history.append(
+                            {"axis": "process", "from": len(pids), "to": len(keep)}
+                        )
+                        pids, best = keep, hit
+                    else:
+                        i += chunk
+                chunk //= 2
+            scenario = _induced(scenario, pids) if len(pids) != original_n else scenario
+        elif scenario.get("leaving_pids") is None:
+            for size in _SIZE_LADDER:
+                if size >= scenario["n"]:
+                    break
+                candidate = dict(scenario)
+                candidate["n"] = size
+                hit = attempt(candidate, campaign, budget)
+                if hit is not None:
+                    history.append(
+                        {"axis": "process", "from": scenario["n"], "to": size}
+                    )
+                    scenario, best = candidate, hit
+                    break
+
+        # -- axis 2: fewer injected faults ----------------------------------
+        if campaign is not None:
+            hit = attempt(scenario, None, budget)
+            if hit is not None:
+                history.append({"axis": "fault", "from": "campaign", "to": None})
+                campaign, best = None, hit
+        if campaign is not None:
+            current = campaign.get("max_injections")
+            for cap in _INJECTION_LADDER:
+                if current is not None and cap >= current:
+                    break
+                candidate = dict(campaign)
+                candidate["max_injections"] = cap
+                hit = attempt(scenario, candidate, budget)
+                if hit is not None:
+                    history.append(
+                        {"axis": "fault", "from": current, "to": cap}
+                    )
+                    campaign, best = candidate, hit
+                    break
+            for key in ("garbage_count", "lie_count"):
+                while campaign.get(key, 0) > 1:
+                    candidate = dict(campaign)
+                    candidate[key] = campaign[key] // 2
+                    hit = attempt(scenario, candidate, budget)
+                    if hit is None:
+                        break
+                    history.append(
+                        {"axis": "fault", "from": f"{key}={campaign[key]}",
+                         "to": f"{key}={candidate[key]}"}
+                    )
+                    campaign, best = candidate, hit
+
+        # -- axis 3: shorter schedule ---------------------------------------
+        trimmed = best.steps + max(64, best.steps // 8)
+        if trimmed < budget:
+            hit = attempt(scenario, campaign, trimmed)
+            if hit is not None:
+                history.append({"axis": "budget", "from": budget, "to": trimmed})
+                budget, best = trimmed, hit
+    finally:
+        if own_fabric and fab is not None:
+            fab.close()
+
+    # -- recapture the minimized failure as a fresh, replayable capsule ----
+    final_seed = best.seed if best.seed is not None else base_seed
+    final_scenario = dict(scenario)
+    final_scenario["seed"] = final_seed
+    final_campaign_cfg = _campaign_config(
+        campaign, final_seed, base_seed, base_campaign_seed
+    )
+    result: ChaosRunResult = run_chaos(
+        final_scenario,
+        campaign=ChaosCampaign.from_config(final_campaign_cfg)
+        if final_campaign_cfg is not None
+        else None,
+        watchdogs=[watchdog_from_config(c) for c in probe_watchdogs],
+        max_steps=budget,
+        until=until if kind == "budget" else None,
+        check_every=check_every,
+        capsule_dir=capsule_dir,
+    )
+    return ShrinkResult(
+        capsule=result.capsule,
+        scenario=final_scenario,
+        campaign=final_campaign_cfg,
+        seed=final_seed,
+        max_steps=budget,
+        steps_to_failure=best.steps,
+        probes=probes,
+        original_n=original_n,
+        final_n=scenario["n"],
+        history=history,
+    )

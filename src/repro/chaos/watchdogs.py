@@ -1,0 +1,423 @@
+"""Livelock and no-progress supervisors over the engine's O(1) counters.
+
+The PR 2 presumed-leaving bug had a precise runtime signature long before
+its 3M-step budget ran out: Φ had stopped decreasing while a gone
+process's channel grew without bound. Nothing in the engine watched for
+that shape — a run would burn its whole step budget and report only
+"did not converge". The watchdogs here are engine monitors (callables
+``(engine, executed_step) -> None``) that detect such shapes *mid-run*
+and trip with a structured :class:`StallDiagnosis`:
+
+* :class:`LivelockWatchdog` — Φ non-decreasing over a whole sampling
+  window while total channel backlog keeps growing (the livelock shape:
+  work is being done, none of it reduces invalid information);
+* :class:`NoProgressWatchdog` — the engine's observable fingerprint
+  (Φ, pending, edges, lifecycle counts) frozen for a whole window with
+  zero lifecycle transitions (the deadlock-in-disguise shape);
+* :class:`BacklogWatchdog` — total pending messages above a hard bound
+  (the memory guard: unbounded channel growth kills the host before any
+  step budget is reached).
+
+Hot-path discipline: every per-step check reads only O(1) counters
+(``potential()``/``pending_count``/``edge_count``/lifecycle counts).
+The O(n) channel attribution (:func:`repro.obs.metrics.top_backlog`)
+runs only when building a trip diagnosis — i.e. once, on the way out.
+
+Chaos campaigns legitimately disturb these counters mid-run (an
+injection raises Φ and pending out of band); campaigns therefore call
+:meth:`Watchdog.rebase` after every injection so windows restart from
+the post-injection level and injections can never masquerade as
+protocol stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, WatchdogTrip
+from repro.obs.metrics import top_backlog
+from repro.sim.states import PState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine, ExecutedStep
+
+__all__ = [
+    "StallDiagnosis",
+    "Watchdog",
+    "LivelockWatchdog",
+    "NoProgressWatchdog",
+    "BacklogWatchdog",
+    "WATCHDOG_KINDS",
+    "watchdog_from_config",
+    "default_watchdogs",
+]
+
+
+@dataclass
+class StallDiagnosis:
+    """Structured evidence attached to a :class:`~repro.errors.WatchdogTrip`.
+
+    Everything a failure capsule needs to explain *why* the supervisor
+    gave up: the Φ trend over the observation window, the total backlog
+    trend, the most backlogged channels (gone pids flagged — a growing
+    channel of a departed process is the livelock signature), and the
+    last step at which the run made verifiable progress.
+    """
+
+    kind: str
+    step: int
+    phi: int
+    pending: int
+    gone: int
+    asleep: int
+    window_steps: int
+    phi_start: int
+    pending_start: int
+    last_progress_step: int
+    top_channels: list[tuple[int, int]] = field(default_factory=list)
+    offending_pids: list[int] = field(default_factory=list)
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (capsules embed this verbatim)."""
+        return {
+            "kind": self.kind,
+            "step": self.step,
+            "phi": self.phi,
+            "pending": self.pending,
+            "gone": self.gone,
+            "asleep": self.asleep,
+            "window_steps": self.window_steps,
+            "phi_start": self.phi_start,
+            "pending_start": self.pending_start,
+            "last_progress_step": self.last_progress_step,
+            "top_channels": [list(item) for item in self.top_channels],
+            "offending_pids": list(self.offending_pids),
+            "detail": self.detail,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.kind} at step {self.step}: {self.detail} "
+            f"(phi {self.phi_start}->{self.phi}, pending "
+            f"{self.pending_start}->{self.pending} over {self.window_steps} "
+            f"steps; last progress at step {self.last_progress_step})"
+        )
+
+
+class Watchdog:
+    """Base class: counter sampling, windowing, trip/latch plumbing.
+
+    Subclasses implement :meth:`_check` returning a ``(detail,
+    window_steps, phi_start, pending_start)`` tuple when the stall
+    condition holds, else ``None``. On a trip the watchdog builds the
+    O(n) diagnosis, latches it in :attr:`tripped` and — with the default
+    ``raise_on_trip=True`` — raises :class:`~repro.errors.WatchdogTrip`
+    to abort the run. With ``raise_on_trip=False`` it latches silently
+    (soak batteries count trips without dying on the first).
+    """
+
+    kind = "watchdog"
+
+    def __init__(self, *, check_every: int, raise_on_trip: bool = True) -> None:
+        if check_every < 1:
+            raise ConfigurationError("check_every must be >= 1")
+        self.check_every = int(check_every)
+        self.raise_on_trip = bool(raise_on_trip)
+        self.tripped: StallDiagnosis | None = None
+        self.checks = 0
+
+    def __call__(self, engine: Engine, executed: ExecutedStep) -> None:
+        if engine.step_count % self.check_every != 0:
+            return
+        if self.tripped is not None:
+            return  # latched (raise_on_trip=False); one diagnosis per run
+        self.checks += 1
+        verdict = self._check(engine)
+        if verdict is None:
+            return
+        detail, window_steps, phi_start, pending_start = verdict
+        self.tripped = self._diagnose(
+            engine, detail, window_steps, phi_start, pending_start
+        )
+        self.rebase(engine)
+        if self.raise_on_trip:
+            raise WatchdogTrip(self.tripped.summary(), self.tripped)
+
+    # -- subclass surface -------------------------------------------------------
+
+    def _check(
+        self, engine: Engine
+    ) -> tuple[str, int, int, int] | None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def rebase(self, engine: Engine | None = None) -> None:
+        """Restart the observation window (campaigns call this after an
+        injection so the out-of-band disturbance cannot trip us)."""
+
+    def config(self) -> dict:
+        """Constructor-equivalent parameters, capsule-serializable."""
+        return {"watchdog": self.kind, "check_every": self.check_every}
+
+    # -- trip path (deliberately O(n): runs once) -------------------------------
+
+    def _diagnose(
+        self,
+        engine: Engine,
+        detail: str,
+        window_steps: int,
+        phi_start: int,
+        pending_start: int,
+    ) -> StallDiagnosis:
+        channels = top_backlog(engine, limit=5)
+        gone_backlogged = [
+            pid
+            for pid, _ in channels
+            if engine.processes[pid].state is PState.GONE
+        ]
+        return StallDiagnosis(
+            kind=self.kind,
+            step=engine.step_count,
+            phi=engine.potential(),
+            pending=engine.pending_count,
+            gone=engine.gone_count,
+            asleep=engine.asleep_count,
+            window_steps=window_steps,
+            phi_start=phi_start,
+            pending_start=pending_start,
+            last_progress_step=engine.last_progress_step,
+            top_channels=channels,
+            offending_pids=gone_backlogged or [pid for pid, _ in channels],
+            detail=detail,
+        )
+
+
+class LivelockWatchdog(Watchdog):
+    """Trips when Φ never decreases over a full window while the total
+    channel backlog grows by at least ``min_backlog_growth``.
+
+    That conjunction is the PR 2 livelock shape: the scheduler is fair
+    and messages flow, but none of the work reduces invalid information,
+    and the flow accumulates in channels nobody drains (typically a gone
+    process's). Φ merely *stalling* is not enough — a converged-but-idle
+    run has constant Φ = 0 and constant pending; requiring backlog
+    growth keeps healthy equilibria out.
+
+    ``window`` counts samples taken every ``check_every`` steps, so the
+    observation window spans ``window * check_every`` engine steps. The
+    defaults (32 × 512 = 16384 steps) are deliberately generous: healthy
+    runs decrease Φ far more often than that, and a true livelock does
+    not care about an extra few thousand steps of evidence-gathering.
+    """
+
+    kind = "livelock"
+
+    def __init__(
+        self,
+        *,
+        check_every: int = 32,
+        window: int = 512,
+        min_backlog_growth: int = 256,
+        raise_on_trip: bool = True,
+    ) -> None:
+        super().__init__(check_every=check_every, raise_on_trip=raise_on_trip)
+        if window < 2:
+            raise ConfigurationError("window must be >= 2 samples")
+        if min_backlog_growth < 1:
+            raise ConfigurationError("min_backlog_growth must be >= 1")
+        self.window = int(window)
+        self.min_backlog_growth = int(min_backlog_growth)
+        self._start: tuple[int, int, int] | None = None  # (step, phi, pending)
+        self._samples = 0
+
+    def rebase(self, engine: Engine | None = None) -> None:
+        self._start = None
+        self._samples = 0
+
+    def config(self) -> dict:
+        return {
+            "watchdog": self.kind,
+            "check_every": self.check_every,
+            "window": self.window,
+            "min_backlog_growth": self.min_backlog_growth,
+        }
+
+    def _check(self, engine: Engine) -> tuple[str, int, int, int] | None:
+        phi = engine.potential()
+        pending = engine.pending_count
+        if self._start is None:
+            self._start = (engine.step_count, phi, pending)
+            self._samples = 1
+            return None
+        start_step, start_phi, start_pending = self._start
+        if phi < start_phi:
+            # Φ made progress: restart the window from the new level.
+            self.rebase(engine)
+            return None
+        self._samples += 1
+        if self._samples < self.window:
+            return None
+        growth = pending - start_pending
+        if growth < self.min_backlog_growth:
+            # Φ stalled but backlog did not blow up — plausibly a healthy
+            # equilibrium. Slide the window forward.
+            self._start = (engine.step_count, phi, pending)
+            self._samples = 1
+            return None
+        return (
+            f"potential stalled at {phi} while channel backlog grew by "
+            f"{growth} messages",
+            engine.step_count - start_step,
+            start_phi,
+            start_pending,
+        )
+
+
+class NoProgressWatchdog(Watchdog):
+    """Trips when the engine's observable fingerprint is frozen.
+
+    The fingerprint is ``(Φ, pending, edges, gone, asleep)`` plus the
+    cumulative lifecycle-transition count. If every sample in a window
+    is bit-identical *and* no exit/sleep/wake happened across it, the
+    run is cycling through states indistinguishable to every observer —
+    deadlock in all but name. ``check_every`` defaults to a prime (37)
+    so the sampler cannot resonate with small periodic schedules (a
+    period-2 oscillation sampled every 2 steps looks frozen; sampled
+    every 37 it still does — but a period-37-divisible one cannot hide
+    from a window of identical *lifecycle* counters too).
+    """
+
+    kind = "no_progress"
+
+    def __init__(
+        self,
+        *,
+        check_every: int = 37,
+        window: int = 256,
+        raise_on_trip: bool = True,
+    ) -> None:
+        super().__init__(check_every=check_every, raise_on_trip=raise_on_trip)
+        if window < 2:
+            raise ConfigurationError("window must be >= 2 samples")
+        self.window = int(window)
+        self._ref: tuple[int, ...] | None = None
+        self._ref_step = 0
+        self._streak = 0
+
+    def rebase(self, engine: Engine | None = None) -> None:
+        self._ref = None
+        self._streak = 0
+
+    def config(self) -> dict:
+        return {
+            "watchdog": self.kind,
+            "check_every": self.check_every,
+            "window": self.window,
+        }
+
+    def _fingerprint(self, engine: Engine) -> tuple[int, ...]:
+        stats = engine.stats
+        return (
+            engine.potential(),
+            engine.pending_count,
+            engine.edge_count,
+            engine.gone_count,
+            engine.asleep_count,
+            stats.exits + stats.sleeps + stats.wakes,
+        )
+
+    def _check(self, engine: Engine) -> tuple[str, int, int, int] | None:
+        cur = self._fingerprint(engine)
+        if cur != self._ref:
+            self._ref = cur
+            self._ref_step = engine.step_count
+            self._streak = 1
+            return None
+        self._streak += 1
+        if self._streak < self.window:
+            return None
+        return (
+            f"state fingerprint frozen for {self._streak} consecutive "
+            f"samples with zero lifecycle transitions",
+            engine.step_count - self._ref_step,
+            cur[0],
+            cur[1],
+        )
+
+
+class BacklogWatchdog(Watchdog):
+    """Trips when total pending messages exceed a hard bound.
+
+    The memory guard: a livelock that floods channels will OOM the host
+    long before a generous step budget runs out. Pure O(1) counter
+    comparison; the bound should sit far above any healthy scenario's
+    peak (admissible initial states have finitely many messages, and
+    Lemma 3 runs drain them).
+    """
+
+    kind = "backlog"
+
+    def __init__(
+        self,
+        *,
+        check_every: int = 8,
+        max_pending: int = 250_000,
+        raise_on_trip: bool = True,
+    ) -> None:
+        super().__init__(check_every=check_every, raise_on_trip=raise_on_trip)
+        if max_pending < 1:
+            raise ConfigurationError("max_pending must be >= 1")
+        self.max_pending = int(max_pending)
+        self._floor: tuple[int, int] | None = None  # (step, pending) at window open
+
+    def rebase(self, engine: Engine | None = None) -> None:
+        self._floor = None
+
+    def config(self) -> dict:
+        return {
+            "watchdog": self.kind,
+            "check_every": self.check_every,
+            "max_pending": self.max_pending,
+        }
+
+    def _check(self, engine: Engine) -> tuple[str, int, int, int] | None:
+        pending = engine.pending_count
+        if self._floor is None:
+            self._floor = (engine.step_count, pending)
+        if pending <= self.max_pending:
+            return None
+        start_step, start_pending = self._floor
+        return (
+            f"channel backlog {pending} exceeded the bound "
+            f"{self.max_pending}",
+            engine.step_count - start_step,
+            engine.potential(),
+            start_pending,
+        )
+
+
+#: kind → class, for capsule round-tripping.
+WATCHDOG_KINDS: dict[str, type[Watchdog]] = {
+    cls.kind: cls  # type: ignore[misc]
+    for cls in (LivelockWatchdog, NoProgressWatchdog, BacklogWatchdog)
+}
+
+
+def watchdog_from_config(config: dict) -> Watchdog:
+    """Rebuild a watchdog from its :meth:`Watchdog.config` dict."""
+    params = dict(config)
+    kind = params.pop("watchdog", None)
+    cls = WATCHDOG_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown watchdog kind {kind!r}")
+    return cls(**params)
+
+
+def default_watchdogs(*, raise_on_trip: bool = True) -> tuple[Watchdog, ...]:
+    """The standard supervisor set: livelock + no-progress + backlog."""
+    return (
+        LivelockWatchdog(raise_on_trip=raise_on_trip),
+        NoProgressWatchdog(raise_on_trip=raise_on_trip),
+        BacklogWatchdog(raise_on_trip=raise_on_trip),
+    )

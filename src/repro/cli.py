@@ -15,6 +15,11 @@ Installed as ``python -m repro``. Subcommands:
   observation-cost table;
 * ``trace`` — record a run to a JSONL trace file, inspect a trace, or
   replay one bit-identically (docs/OBSERVABILITY.md);
+* ``chaos`` — run a scenario under a mid-run fault campaign with
+  livelock/no-progress/backlog watchdogs attached (``run``), soak the
+  whole scenario × scheduler matrix (``soak``), or delta-debug a failure
+  capsule to a minimal reproducer (``shrink``) — docs/ROBUSTNESS.md;
+* ``capsule`` — replay a captured failure capsule bit-identically;
 * ``metrics`` — the documented probe catalog; with ``--sample``, run a
   scenario and print every probe plus the top Φ contributors;
 * ``profile`` — cProfile one standard run and print the hottest
@@ -36,33 +41,25 @@ from repro.analysis.tables import format_kv, format_table
 from repro.core.oracles import ORACLES
 from repro.core.potential import fdp_legitimate, fsp_legitimate
 from repro.core.scenarios import (
-    CLEAN,
+    SCHEDULER_FACTORIES,
     Corruption,
     build_fdp_engine,
     build_framework_engine,
+    build_from_meta,
     build_fsp_engine,
     choose_leaving,
+    corruption_from_factor,
 )
 from repro.core.universality import plan_transformation
 from repro.graphs.generators import GENERATORS
 from repro.overlays import LOGICS
 from repro.overlays.builders import build_baseline_engine, build_overlay_engine
 from repro.sim.monitors import ConnectivityMonitor, PotentialMonitor
-from repro.sim.scheduler import (
-    AdversarialScheduler,
-    OldestFirstScheduler,
-    RandomScheduler,
-    SynchronousScheduler,
-)
 
 __all__ = ["main", "build_parser"]
 
-SCHEDULERS = {
-    "random": lambda seed: RandomScheduler(seed),
-    "oldest": lambda seed: OldestFirstScheduler(),
-    "adversarial": lambda seed: AdversarialScheduler(patience=32, seed=seed),
-    "sync": lambda seed: SynchronousScheduler(seed=seed),
-}
+#: scheduler-name registry, shared with scenario metadata / capsules.
+SCHEDULERS = SCHEDULER_FACTORIES
 
 
 def _add_common(parser: argparse.ArgumentParser, with_leaving: bool = True) -> None:
@@ -111,14 +108,7 @@ def _topology(args) -> list[tuple[int, int]]:
 
 
 def _corruption(factor: float) -> Corruption:
-    if factor <= 0:
-        return CLEAN
-    return Corruption(
-        belief_lie_prob=0.5 * factor,
-        anchor_prob=0.8 * factor,
-        anchor_lie_prob=0.5 * factor,
-        garbage_per_process=2.0 * factor,
-    )
+    return corruption_from_factor(factor)
 
 
 def _monitors(args):
@@ -263,37 +253,15 @@ def cmd_transform(args) -> int:
     return 0 if ok else 1
 
 
-def _edges_for(topology: str, n: int, seed: int) -> list[tuple[int, int]]:
-    gen = GENERATORS[topology]
-    try:
-        return gen(n, seed=seed)  # type: ignore[call-arg]
-    except TypeError:
-        return gen(n)
-
-
 def _engine_from_trace_meta(meta: dict, tracer=None):
     """Rebuild a recorded scenario's initial state from its trace header.
 
-    The header stores the full seeded parameter set, and every builder in
-    the chain (topology generator, ``choose_leaving``, corruption,
-    engine construction) is a pure function of it — so this reconstructs
-    the bit-identical initial state the trace was recorded against.
+    Thin alias for :func:`repro.core.scenarios.build_from_meta` — trace
+    headers and failure capsules share the same metadata vocabulary, so
+    both replay paths go through one reconstruction function.
     """
 
-    n = meta["n"]
-    seed = meta["seed"]
-    edges = _edges_for(meta["topology"], n, seed)
-    leaving = choose_leaving(n, edges, fraction=meta["leaving"], seed=seed)
-    common = dict(
-        corruption=_corruption(meta["corruption"]),
-        scheduler=SCHEDULERS[meta["scheduler"]](seed),
-        seed=seed,
-        tracer=tracer,
-    )
-    if meta["scenario"] == "fsp":
-        return build_fsp_engine(n, edges, leaving, **common)
-    oracle_cls = ORACLES[meta["oracle"]]
-    return build_fdp_engine(n, edges, leaving, oracle=oracle_cls(), **common)
+    return build_from_meta(meta, tracer=tracer)
 
 
 def cmd_trace_record(args) -> int:
@@ -380,6 +348,199 @@ def cmd_trace_replay(args) -> int:
         "gone": engine.gone_count,
     }
     print(format_kv(info, title="bit-identical replay"))
+    return 0
+
+
+def _chaos_meta(args) -> dict:
+    meta = {
+        "scenario": args.scenario,
+        "n": args.n,
+        "topology": args.topology,
+        "seed": args.seed,
+        "scheduler": args.scheduler,
+        "leaving": args.leaving,
+        "corruption": args.corruption,
+    }
+    if args.scenario == "framework":
+        meta["protocol"] = args.protocol
+    return meta
+
+
+def _chaos_until(meta: dict):
+    """The scenario's own notion of done (None ⇒ watchdogs decide)."""
+    if meta.get("scenario") == "fsp":
+        return fsp_legitimate
+    if meta.get("scenario") == "framework":
+        logic = LOGICS[meta["protocol"]]
+
+        def done(e):
+            return fdp_legitimate(e) and logic.target_reached(e)
+
+        return done
+    return fdp_legitimate
+
+
+def cmd_chaos_run(args) -> int:
+    from repro.chaos import ChaosCampaign, default_watchdogs, run_chaos
+
+    meta = _chaos_meta(args)
+    campaign = None
+    if args.injections:
+        campaign = ChaosCampaign(
+            seed=args.seed,
+            period=args.inject_every,
+            max_injections=None if args.injections < 0 else args.injections,
+        )
+    monitors = _monitors(args)
+    if meta["scenario"] == "framework":
+        # Lemma 3 (Φ never rises) is an FDP/FSP statement; the Section 4
+        # verify machinery legitimately copies unvalidated beliefs, so a
+        # PotentialMonitor would report phantom violations here.
+        monitors = tuple(
+            m for m in monitors if not isinstance(m, PotentialMonitor)
+        )
+    result = run_chaos(
+        meta,
+        campaign=campaign,
+        watchdogs=default_watchdogs(),
+        monitors=monitors,
+        max_steps=args.max_steps,
+        until=_chaos_until(meta),
+        capsule_dir=args.capsule_dir,
+    )
+    engine = result.engine
+    info = {
+        "outcome": result.outcome,
+        "steps": engine.step_count,
+        "injections": len(campaign.injections) if campaign is not None else 0,
+        "final Φ": engine.potential(),
+        "pending": engine.pending_count,
+        "gone": engine.gone_count,
+    }
+    if result.error:
+        info["error"] = result.error
+    if result.capsule_path:
+        info["capsule"] = result.capsule_path
+    print(format_kv(info, title="chaos run"))
+    if result.outcome == "converged":
+        return 0
+    return 1 if result.outcome == "budget" else 2
+
+
+def cmd_chaos_soak(args) -> int:
+    """Seeded campaign battery: every scenario under every scheduler.
+
+    A cell fails on a safety violation, a watchdog trip or an engine
+    error — i.e. on evidence of a protocol bug or a watchdog false
+    positive. Running out of the per-cell step budget is recorded but
+    not fatal (chaos slows convergence; soak is a bug hunt, not a
+    performance gate).
+    """
+    from repro.chaos import ChaosCampaign, default_watchdogs, run_chaos
+
+    schedulers = ("random",) if args.quick else tuple(sorted(SCHEDULERS))
+    scenarios: list[dict] = [
+        {"scenario": "fdp"},
+        {"scenario": "fsp"},
+    ] + [
+        {"scenario": "framework", "protocol": name} for name in sorted(LOGICS)
+    ]
+    rows = []
+    failures = 0
+    for scheduler in schedulers:
+        for base in scenarios:
+            meta = {
+                **base,
+                "n": args.n,
+                "topology": "random_connected",
+                "seed": args.seed,
+                "scheduler": scheduler,
+                "leaving": 0.25,
+                "corruption": 0.5,
+            }
+            campaign = ChaosCampaign(
+                seed=args.seed, period=args.inject_every, max_injections=3
+            )
+            # Lemma 2 is checked everywhere; Lemma 3's Φ-monotonicity is
+            # an FDP/FSP statement (the Section 4 framework's verify
+            # machinery legitimately copies unvalidated beliefs around).
+            cell_monitors: tuple = (ConnectivityMonitor(check_every=16),)
+            if base["scenario"] in ("fdp", "fsp"):
+                cell_monitors += (PotentialMonitor(check_every=16),)
+            result = run_chaos(
+                meta,
+                campaign=campaign,
+                watchdogs=default_watchdogs(),
+                monitors=cell_monitors,
+                max_steps=args.max_steps,
+                until=_chaos_until(meta),
+                capture_on_budget=False,
+            )
+            if result.outcome not in ("converged", "budget"):
+                failures += 1
+            rows.append(
+                [
+                    base.get("protocol", base["scenario"]),
+                    base["scenario"],
+                    scheduler,
+                    result.outcome,
+                    result.engine.step_count,
+                    len(campaign.injections),
+                ]
+            )
+    print(
+        format_table(
+            ["protocol", "scenario", "scheduler", "outcome", "steps", "injections"],
+            rows,
+            title=f"chaos soak (n={args.n}, seed={args.seed}, "
+            f"{len(rows)} cells, {failures} failures)",
+        )
+    )
+    return 1 if failures else 0
+
+
+def cmd_chaos_shrink(args) -> int:
+    from repro.chaos import Capsule, shrink_capsule
+
+    capsule = Capsule.load(args.file)
+    result = shrink_capsule(
+        capsule,
+        parallel=args.parallel,
+        seeds_per_candidate=args.seeds,
+        capsule_dir=args.out_dir,
+    )
+    info = {
+        "kind": capsule.kind,
+        "processes": f"{result.original_n} -> {result.final_n}",
+        "campaign": "kept" if result.campaign is not None else "dropped",
+        "max_steps": result.max_steps,
+        "steps to failure": result.steps_to_failure,
+        "reproducing seed": result.seed,
+        "probes": result.probes,
+    }
+    for event in result.history:
+        info[f"shrink[{event['axis']}]"] = f"{event['from']} -> {event['to']}"
+    print(format_kv(info, title="capsule shrink"))
+    return 0
+
+
+def cmd_capsule_replay(args) -> int:
+    from repro.chaos import Capsule, replay_capsule
+
+    capsule = Capsule.load(args.file)
+    engine = replay_capsule(capsule, verify=not args.no_verify)
+    info = {
+        "file": args.file,
+        "kind": capsule.kind,
+        "replayed steps": engine.step_count,
+        "verified against final record": not args.no_verify,
+        "final Φ": engine.potential(),
+        "pending": engine.pending_count,
+        "gone": engine.gone_count,
+    }
+    if capsule.diagnosis:
+        info["diagnosis"] = capsule.diagnosis.get("detail", capsule.diagnosis)
+    print(format_kv(info, title="bit-identical capsule replay"))
     return 0
 
 
@@ -629,6 +790,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip checking the replay against the trace's final record",
     )
     t.set_defaults(func=cmd_trace_replay)
+
+    p = sub.add_parser(
+        "chaos",
+        help="mid-run fault campaigns, stall watchdogs, capsule shrinking",
+    )
+    csub = p.add_subparsers(dest="chaos_command", required=True)
+
+    c = csub.add_parser(
+        "run", help="run one scenario under a campaign with watchdogs"
+    )
+    _add_common(c)
+    c.add_argument(
+        "--scenario", choices=("fdp", "fsp", "framework"), default="fdp"
+    )
+    c.add_argument(
+        "--protocol",
+        choices=sorted(LOGICS),
+        default="linearization",
+        help="overlay logic (framework scenario only)",
+    )
+    c.add_argument(
+        "--inject-every",
+        type=int,
+        default=1_000,
+        metavar="STEPS",
+        help="mean steps between injections (seeded jitter applies)",
+    )
+    c.add_argument(
+        "--injections",
+        type=int,
+        default=5,
+        metavar="MAX",
+        help="injection cap (0 = no campaign, -1 = unbounded)",
+    )
+    c.add_argument(
+        "--capsule-dir",
+        default="capsules",
+        help="directory for failure capsules (written only on failure)",
+    )
+    c.set_defaults(func=cmd_chaos_run)
+
+    c = csub.add_parser(
+        "soak", help="campaign battery over every scenario × scheduler"
+    )
+    c.add_argument("--n", type=int, default=12, help="processes per cell")
+    c.add_argument("--seed", type=int, default=0, help="master seed")
+    c.add_argument(
+        "--max-steps", type=int, default=60_000, help="step budget per cell"
+    )
+    c.add_argument(
+        "--inject-every", type=int, default=400, metavar="STEPS",
+        help="mean steps between injections",
+    )
+    c.add_argument(
+        "--quick",
+        action="store_true",
+        help="random scheduler only (CI smoke)",
+    )
+    c.set_defaults(func=cmd_chaos_soak)
+
+    c = csub.add_parser(
+        "shrink", help="delta-debug a failure capsule to a minimal reproducer"
+    )
+    c.add_argument("file", help="failure capsule (JSON)")
+    c.add_argument(
+        "--parallel",
+        action="store_true",
+        help="probe candidates on a worker fabric",
+    )
+    c.add_argument(
+        "--seeds", type=int, default=3, help="probe seeds per candidate"
+    )
+    c.add_argument(
+        "--out-dir",
+        default="capsules",
+        help="directory for the minimized capsule",
+    )
+    c.set_defaults(func=cmd_chaos_shrink)
+
+    p = sub.add_parser(
+        "capsule", help="replay captured failure capsules bit-identically"
+    )
+    psub = p.add_subparsers(dest="capsule_command", required=True)
+    c = psub.add_parser(
+        "replay", help="re-execute a capsule and verify its final state"
+    )
+    c.add_argument("file", help="failure capsule (JSON)")
+    c.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip checking the replay against the captured final counters",
+    )
+    c.set_defaults(func=cmd_capsule_replay)
 
     p = sub.add_parser(
         "metrics", help="probe catalog; --sample runs a scenario through it"

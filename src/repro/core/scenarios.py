@@ -19,24 +19,61 @@ from collections.abc import Callable, Iterable, Sequence
 
 from repro.core.fdp import FDPProcess
 from repro.core.fsp import FSPProcess
-from repro.core.oracles import SingleOracle
+from repro.core.oracles import ORACLES, SingleOracle
 from repro.errors import ConfigurationError
 from repro.graphs.connectivity import weakly_connected_components
 from repro.sim.engine import Engine
 from repro.sim.faults import random_mode_claim, scatter_garbage_messages
-from repro.sim.scheduler import RandomScheduler, Scheduler
-from repro.sim.states import Capability, Mode
+from repro.sim.refs import pid_of
+from repro.sim.scheduler import (
+    AdversarialScheduler,
+    OldestFirstScheduler,
+    RandomScheduler,
+    Scheduler,
+    SynchronousScheduler,
+)
+from repro.sim.states import Capability, Mode, PState
 
 __all__ = [
     "Corruption",
     "CLEAN",
     "LIGHT_CORRUPTION",
     "HEAVY_CORRUPTION",
+    "SCHEDULER_FACTORIES",
     "choose_leaving",
     "components_of_edges",
+    "corruption_from_factor",
     "build_fdp_engine",
     "build_fsp_engine",
+    "build_from_meta",
+    "scramble_beliefs",
 ]
+
+#: name → seeded scheduler factory: the four fair scheduler families the
+#: CLI, trace headers and failure capsules refer to by name.
+SCHEDULER_FACTORIES: dict[str, Callable[[int], Scheduler]] = {
+    "random": lambda seed: RandomScheduler(seed),
+    "oldest": lambda seed: OldestFirstScheduler(),
+    "adversarial": lambda seed: AdversarialScheduler(patience=32, seed=seed),
+    "sync": lambda seed: SynchronousScheduler(seed=seed),
+}
+
+
+def corruption_from_factor(factor: float) -> Corruption:
+    """Map a scalar knob in [0, 1] to a :class:`Corruption` profile.
+
+    0 is :data:`CLEAN`; 1 is :data:`HEAVY_CORRUPTION`'s coefficients. The
+    scalar form is what the CLI, trace headers and failure capsules
+    store, so the mapping lives here as part of the meta vocabulary.
+    """
+    if factor <= 0:
+        return CLEAN
+    return Corruption(
+        belief_lie_prob=0.5 * factor,
+        anchor_prob=0.8 * factor,
+        anchor_lie_prob=0.5 * factor,
+        garbage_per_process=2.0 * factor,
+    )
 
 
 @dataclass(frozen=True)
@@ -217,6 +254,7 @@ def _build_engine(
                 lie_prob=corruption.garbage_lie_prob,
                 targets=members,
                 subjects=members,
+                confine_component=True,
             )
     return engine
 
@@ -268,6 +306,7 @@ def build_framework_engine(
     seed: int = 0,
     oracle: Callable | None = None,
     monitors: Sequence[Callable] = (),
+    tracer: object | None = None,
     strict: bool = True,
     graph_mode: str | None = None,
 ) -> Engine:
@@ -335,6 +374,7 @@ def build_framework_engine(
         seed=seed,
         strict=strict,
         monitors=monitors,
+        tracer=tracer,
         graph_mode=graph_mode,
     )
     if corruption.garbage_per_process > 0.0:
@@ -348,6 +388,7 @@ def build_framework_engine(
                 lie_prob=corruption.garbage_lie_prob,
                 targets=members,
                 subjects=members,
+                confine_component=True,
             )
     return engine
 
@@ -385,3 +426,150 @@ def build_fsp_engine(
         strict=strict,
         graph_mode=graph_mode,
     )
+
+
+# ------------------------------------------------------------ mid-run faults
+
+
+def scramble_beliefs(
+    engine: Engine,
+    rng: Random,
+    *,
+    lie_prob: float = 0.5,
+    pids: Iterable[int] | None = None,
+) -> int:
+    """Protocol-specific mid-run transient fault: corrupt stored beliefs.
+
+    Walks each (non-gone) process's belief surfaces — the FDP/FSP
+    neighbourhood table ``N``, the framework's mode-belief table
+    ``beliefs``, and the anchor belief — and with probability *lie_prob*
+    per entry sets the stored mode to the *wrong* one. No reference is
+    added or removed: the edge multiset keeps its endpoints, so §1.2's
+    "references belong to existing processes" and the per-component
+    structure hold trivially; Φ may rise, which is the point (the
+    adversary re-poisons the information layer without touching
+    connectivity). Processes without belief surfaces (plain overlay
+    logics) are skipped.
+
+    Signals ``engine._dirty = True`` when anything changed so the live
+    graph rebuilds. Callers running a
+    :class:`~repro.sim.monitors.PotentialMonitor` must ``rebase()`` it
+    afterwards. Returns the number of beliefs flipped.
+    """
+
+    if not 0.0 <= lie_prob <= 1.0:
+        raise ConfigurationError("lie_prob must lie in [0, 1]")
+    pool = sorted(pids) if pids is not None else sorted(engine.processes)
+    flipped = 0
+    for pid in pool:
+        proc = engine.processes[pid]
+        if proc.state is PState.GONE:
+            continue
+        for table_name in ("N", "beliefs"):
+            table = getattr(proc, table_name, None)
+            if table is None or not hasattr(table, "items"):
+                continue
+            for ref, belief in list(table.items()):
+                if not isinstance(belief, Mode):
+                    continue
+                if rng.random() < lie_prob:
+                    wrong = engine.actual_mode(pid_of(ref)).opposite
+                    if belief is not wrong:
+                        table[ref] = wrong
+                        flipped += 1
+        anchor = getattr(proc, "anchor", None)
+        if anchor is not None and rng.random() < lie_prob:
+            wrong = engine.actual_mode(pid_of(anchor)).opposite
+            if getattr(proc, "anchor_belief", None) is not wrong:
+                proc.anchor_belief = wrong
+                flipped += 1
+    if flipped:
+        # Out-of-band writes bypassed the delta plumbing; schedule a full
+        # live-graph rebuild and lifecycle recount.
+        engine._dirty = True  # noqa: SLF001 - sanctioned out-of-band hook
+    return flipped
+
+
+# ------------------------------------------------------------ meta rebuilds
+
+
+def _edges_from_generator(topology: str, n: int, seed: int) -> list[tuple[int, int]]:
+    from repro.graphs.generators import GENERATORS
+
+    gen = GENERATORS[topology]
+    try:
+        return gen(n, seed=seed)  # type: ignore[call-arg]
+    except TypeError:
+        return gen(n)
+
+
+def build_from_meta(
+    meta: dict,
+    *,
+    tracer: object | None = None,
+    monitors: Sequence[Callable] = (),
+) -> Engine:
+    """Rebuild a scenario's exact initial state from its metadata dict.
+
+    The dict is the JSON-serializable parameter set that trace headers
+    and failure capsules store; every builder in the chain (topology
+    generator, :func:`choose_leaving`, corruption, engine construction)
+    is a pure function of it, so the reconstruction is bit-identical.
+    Recognized keys:
+
+    * ``scenario`` — ``"fdp"`` (default), ``"fsp"`` or ``"framework"``;
+    * ``n``, ``seed`` — population size and master seed;
+    * ``topology`` — generator name, or explicit ``edges`` as
+      ``[[a, b], ...]`` (takes precedence; what the shrinker emits);
+    * ``leaving`` — fraction for :func:`choose_leaving`, or explicit
+      ``leaving_pids`` (takes precedence);
+    * ``corruption`` — scalar factor for :func:`corruption_from_factor`,
+      or a dict of :class:`Corruption` fields;
+    * ``scheduler`` — a :data:`SCHEDULER_FACTORIES` name (default
+      ``"random"``), seeded with ``seed``;
+    * ``oracle`` — an oracle registry name (default ``"single"``);
+    * ``protocol`` — overlay logic name (framework scenario only).
+    """
+
+    n = meta["n"]
+    seed = meta.get("seed", 0)
+    if meta.get("edges") is not None:
+        edges = [tuple(e) for e in meta["edges"]]
+    else:
+        edges = _edges_from_generator(meta["topology"], n, seed)
+    if meta.get("leaving_pids") is not None:
+        leaving: frozenset[int] = frozenset(meta["leaving_pids"])
+    else:
+        leaving = choose_leaving(
+            n, edges, fraction=meta.get("leaving", 0.0), seed=seed
+        )
+    corr = meta.get("corruption", 0.0)
+    corruption = (
+        Corruption(**corr) if isinstance(corr, dict)
+        else corruption_from_factor(float(corr))
+    )
+    scheduler_name = meta.get("scheduler", "random")
+    if scheduler_name not in SCHEDULER_FACTORIES:
+        raise ConfigurationError(f"unknown scheduler {scheduler_name!r} in meta")
+    scheduler = SCHEDULER_FACTORIES[scheduler_name](seed)
+    scenario = meta.get("scenario", "fdp")
+    common = dict(
+        corruption=corruption,
+        scheduler=scheduler,
+        seed=seed,
+        tracer=tracer,
+        monitors=monitors,
+    )
+    if scenario == "fsp":
+        return build_fsp_engine(n, edges, leaving, **common)
+    oracle_cls = ORACLES[meta.get("oracle", "single")]
+    if scenario == "framework":
+        from repro.overlays import LOGICS
+
+        logic = LOGICS[meta["protocol"]]
+        return build_framework_engine(
+            n, edges, leaving, logic, oracle=oracle_cls(), **common
+        )
+    if scenario != "fdp":
+        raise ConfigurationError(f"unknown scenario {scenario!r} in meta")
+    return build_fdp_engine(n, edges, leaving, oracle=oracle_cls(), **common)

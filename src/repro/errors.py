@@ -22,7 +22,9 @@ __all__ = [
     "StateViolation",
     "SafetyViolation",
     "ConvergenceError",
+    "TrialTimeout",
     "UnknownActionError",
+    "WatchdogTrip",
 ]
 
 
@@ -79,12 +81,47 @@ class ConvergenceError(ReproError):
     """A run exhausted its step budget before reaching the target predicate.
 
     Carries the final engine statistics in :attr:`stats` when available so
-    experiment harnesses can report how far the run got.
+    experiment harnesses can report how far the run got, and a
+    :attr:`diagnostics` payload (current Φ, pending messages, gone/asleep
+    counts, last-progress step) so budget exhaustion is debuggable without
+    a rerun.
     """
 
-    def __init__(self, message: str, stats: dict | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        stats: dict | None = None,
+        diagnostics: dict | None = None,
+    ) -> None:
         super().__init__(message)
         self.stats = dict(stats) if stats else {}
+        self.diagnostics = dict(diagnostics) if diagnostics else {}
+
+
+class WatchdogTrip(ReproError):
+    """A chaos watchdog detected a stalled or diverging run.
+
+    Raised by the supervisors in :mod:`repro.chaos.watchdogs` (livelock,
+    no-progress, backlog). Carries the structured
+    :class:`~repro.chaos.watchdogs.StallDiagnosis` in :attr:`diagnosis`
+    so failure capsules can persist the trip verbatim.
+    """
+
+    def __init__(self, message: str, diagnosis: object | None = None) -> None:
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
+class TrialTimeout(ReproError):
+    """A trial exceeded its per-trial wall-clock budget.
+
+    Raised from inside :func:`repro.analysis.runner.run_trial` when a
+    ``timeout=`` was requested; under ``on_error="capture"`` it surfaces
+    as a structured :class:`~repro.analysis.runner.TrialResult` failure
+    instead of hanging the sweep. Wall-clock dependent by nature, so —
+    unlike every other failure in the family — whether it fires is not a
+    pure function of the seed.
+    """
 
 
 class UnknownActionError(ModelViolation):

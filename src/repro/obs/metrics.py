@@ -47,6 +47,7 @@ __all__ = [
     "phi_by_subject",
     "phi_by_holder",
     "top_phi",
+    "top_backlog",
 ]
 
 
@@ -221,3 +222,25 @@ def top_phi(
 
 def _rank_key(item: tuple[int, int]) -> tuple[int, int]:
     return (-item[1], item[0])
+
+
+def top_backlog(engine: "Engine", limit: int = 5) -> list[tuple[int, int]]:
+    """The *limit* most backlogged channels as ``(pid, pending)``.
+
+    An analysis query (one O(n) pass over the channel table), not a
+    per-step probe: watchdogs read the O(1) ``pending_count`` on the hot
+    path and call this only when building a trip diagnosis. Gone pids
+    are included — a gone process's growing channel is precisely the
+    livelock signature this attribution exists to expose. Ties break by
+    pid for deterministic output; empty channels are omitted.
+    """
+
+    ranked = sorted(
+        (
+            (pid, len(channel))
+            for pid, channel in engine.channels.items()
+            if len(channel)
+        ),
+        key=_rank_key,
+    )
+    return ranked[:limit]

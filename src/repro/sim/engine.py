@@ -299,6 +299,12 @@ class Engine:
         #: the O(n) sleeper/gone scans on the observation hot paths.
         self._asleep_count = 0
         self._gone_count = 0
+        #: step index of the last observed progress event: a lifecycle
+        #: transition (both graph modes), or a strict Φ decrease
+        #: (incremental mode only — rebuild mode would pay a snapshot per
+        #: step to watch Φ, so there only transitions count).
+        self._last_progress_step = 0
+        self._last_phi_seen: int | None = None
 
     # ------------------------------------------------------------------ plumbing
 
@@ -347,6 +353,35 @@ class Engine:
         return self._gone_count
 
     @property
+    def last_progress_step(self) -> int:
+        """Step index of the most recent progress event.
+
+        Progress means a lifecycle transition (exit/sleep/wake) or — in
+        incremental graph mode, where Φ is an O(1) read — a strict Φ
+        decrease. Watchdogs and the budget-exhaustion diagnostics use it
+        to say *when* a stuck run last did anything useful.
+        """
+        return self._last_progress_step
+
+    def progress_diagnostics(self) -> dict[str, int]:
+        """Where the run stands right now, as a plain dict.
+
+        The payload :meth:`run` attaches to a budget-exhaustion
+        :class:`~repro.errors.ConvergenceError`: current Φ, pending
+        messages, gone/asleep counts and the last-progress step. All O(1)
+        reads in incremental mode (one snapshot in rebuild mode).
+        """
+        return {
+            "step": self.step_count,
+            "phi": self.potential(),
+            "pending": self.pending_count,
+            "edges": self.edge_count,
+            "gone": self._gone_count,
+            "asleep": self._asleep_count,
+            "last_progress_step": self._last_progress_step,
+        }
+
+    @property
     def edge_count(self) -> int:
         """Number of edges in PG (parallel copies and self-loops counted).
 
@@ -390,7 +425,7 @@ class Engine:
 
     def _observe_channel(self, pid: int, msg: Message, delta: int) -> None:
         live = self._live
-        if live is None:
+        if live is None or self._live_stale:
             return
         if delta > 0:
             live.on_enqueue(pid, msg)
@@ -492,6 +527,7 @@ class Engine:
             raise StateViolation(f"illegal transition {old.value} → {new_state.value}")
         proc._state = new_state  # noqa: SLF001 - engine owns lifecycle
         self._stale = True
+        self._last_progress_step = self.step_count
         if old is PState.ASLEEP:
             self._asleep_count -= 1
         if new_state is PState.GONE:
@@ -586,6 +622,17 @@ class Engine:
         self.step_count += 1
         self.stats.steps += 1
         self._stale = True
+        live = self._live
+        if live is not None and not self._live_stale:
+            phi = live.phi
+            last = self._last_phi_seen
+            if last is None or phi > last:
+                # First sample, or an out-of-band injection raised Φ:
+                # rebase so only decreases from the new level count.
+                self._last_phi_seen = phi
+            elif phi < last:
+                self._last_phi_seen = phi
+                self._last_progress_step = self.step_count
         if self.tracer is not None:
             self.tracer.record(self, executed)
         monitors = self.monitors
@@ -625,6 +672,13 @@ class Engine:
         """
         live = self._live
         if live is None:
+            return
+        if self._live_stale:
+            # An out-of-band mutation (``_dirty``) scheduled a full
+            # rebuild that will re-scan this action's effects; applying
+            # deltas now would hit pre-mutation edge keys.
+            if proc.ref_tracking:
+                proc._ref_log.pending.clear()  # noqa: SLF001
             return
         if before is None:
             pending = proc._ref_log.pending  # noqa: SLF001
@@ -759,6 +813,7 @@ class Engine:
             raise ConvergenceError(
                 f"predicate not reached within {max_steps} steps",
                 stats=self.stats.as_dict(),
+                diagnostics=self.progress_diagnostics(),
             )
         return False
 

@@ -23,8 +23,9 @@ from random import Random
 from collections.abc import Iterable, Sequence
 from typing import TYPE_CHECKING
 
+from repro.errors import ConfigurationError
 from repro.sim.messages import RefInfo
-from repro.sim.states import Mode
+from repro.sim.states import Mode, PState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
@@ -71,6 +72,22 @@ def plant_ref_message(
     )
 
 
+def _same_component(engine: Engine, a: int, b: int) -> bool:
+    """Whether *a* and *b* (non-gone) share a weak component right now.
+
+    The full-graph component query (paths through asleep processes
+    count — raw connectivity is what leak detection is about, not
+    Lemma 2's relevance-restricted invariant): the live union-find in
+    incremental mode, a snapshot walk in rebuild mode.
+    """
+    if a == b:
+        return True
+    if engine.graph_mode == "incremental":
+        return engine.live_graph.same_component((a, b))
+    snap = engine.snapshot()
+    return snap.is_weakly_connected_within(frozenset((a, b)), snap.pids)
+
+
 def scatter_garbage_messages(
     engine: Engine,
     rng: Random,
@@ -80,6 +97,7 @@ def scatter_garbage_messages(
     lie_prob: float = 0.5,
     targets: Iterable[int] | None = None,
     subjects: Iterable[int] | None = None,
+    confine_component: bool = False,
 ) -> int:
     """Plant *count* random stale messages; returns how many were planted.
 
@@ -89,6 +107,15 @@ def scatter_garbage_messages(
     keep corruption within one component (constraint: references must not
     leak across components, otherwise the injector would be *creating*
     connectivity the adversary could not have).
+
+    ``confine_component=True`` enforces that constraint instead of
+    trusting the pools: before each plant, the target and subject are
+    checked to be non-gone and weakly connected in the *current* process
+    graph, and a cross-component (or dead-process) pair raises
+    :class:`~repro.errors.ConfigurationError` before anything is posted.
+    Chaos campaigns and the scenario builders run with the check on; it
+    defaults to off so callers deliberately sampling the whole population
+    (single-component topologies) pay nothing.
     """
 
     target_pool = list(targets) if targets is not None else list(engine.processes)
@@ -100,6 +127,19 @@ def scatter_garbage_messages(
         tpid = target_pool[rng.randrange(len(target_pool))]
         spid = subject_pool[rng.randrange(len(subject_pool))]
         label = labels[rng.randrange(len(labels))]
+        if confine_component:
+            for pid in (tpid, spid):
+                if engine.processes[pid].state is PState.GONE:
+                    raise ConfigurationError(
+                        f"garbage injection references gone process {pid}; "
+                        "an admissible adversary cannot revive departed refs"
+                    )
+            if not _same_component(engine, tpid, spid):
+                raise ConfigurationError(
+                    f"garbage message would leak a reference across weak "
+                    f"components: target {tpid} and subject {spid} are not "
+                    "connected, so the injection would fabricate connectivity"
+                )
         claim = random_mode_claim(rng, engine.actual_mode(spid), lie_prob)
         plant_ref_message(engine, tpid, label, spid, claim)
         planted += 1

@@ -118,6 +118,17 @@ class PotentialMonitor:
             )
         self._last = phi
 
+    def rebase(self, engine: Engine | None = None) -> None:
+        """Forget the last observed Φ (keeping the recorded series).
+
+        Lemma 3 bounds Φ under *protocol* actions only; a chaos campaign
+        that injects invalid information mid-run legitimately raises Φ
+        out of band. The campaign calls this right after each injection
+        so the monitor restarts its monotonicity check from the new level
+        instead of reporting a phantom violation.
+        """
+        self._last = None
+
 
 class TransitionMonitor:
     """Records the set of lifecycle transitions observed in a run.

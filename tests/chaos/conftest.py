@@ -1,0 +1,90 @@
+"""Shared fixtures for the chaos-subsystem tests.
+
+The load-bearing one is ``buggy_postprocess``: it re-introduces the PR 2
+presumed-leaving livelock by stripping the P-eviction from
+``FrameworkProcess._postprocess`` — the exact bug the watchdog /
+capsule / shrink pipeline exists to detect, freeze and minimize. The
+fixture patches the class in-process, so everything driven through it
+(including :func:`repro.core.scenarios.build_from_meta` rebuilds and
+capsule replays within the same test) sees the buggy protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import FrameworkProcess
+from repro.sim.messages import RefInfo
+from repro.sim.refs import Ref
+from repro.sim.states import Mode
+
+#: pinned hypothesis-found livelock scenario from tests/core (n=6,
+#: robust ring): with the eviction removed, a staying process keeps a
+#: gone pred in P and respawns unanswerable verify cycles forever.
+LIVELOCK_EDGES = [(0, 1), (1, 2), (1, 4), (2, 3), (2, 4), (4, 1), (4, 3), (5, 4)]
+LIVELOCK_LEAVING = frozenset({2, 3, 4})
+LIVELOCK_CORRUPTION = {
+    "belief_lie_prob": 0.2047035841490263,
+    "anchor_prob": 0.18379276174876072,
+    "anchor_lie_prob": 0.2047035841490263,
+    "garbage_per_process": 0.3418840602302751,
+    "garbage_lie_prob": 0.5,
+}
+
+#: tight livelock watchdog for tests: 96 samples x 16 steps = a 1536-step
+#: observation window, so the pinned scenarios trip well inside 40k steps.
+TEST_LIVELOCK_WATCHDOG = {
+    "check_every": 16,
+    "window": 96,
+    "min_backlog_growth": 48,
+}
+
+
+def livelock_meta(*, n: int = 12, seed: int = 52, scheduler: str = "random") -> dict:
+    """A capsule-vocabulary scenario that livelocks under the buggy
+    ``_postprocess`` (explicit edges, so the shrinker's ddmin axis runs)."""
+    from repro.graphs.generators import GENERATORS
+
+    return {
+        "scenario": "framework",
+        "protocol": "robust_ring",
+        "n": n,
+        "edges": [list(e) for e in GENERATORS["random_connected"](n, seed=seed)],
+        "leaving": 0.4,
+        "seed": seed,
+        "corruption": {
+            "belief_lie_prob": 0.2,
+            "anchor_prob": 0.18,
+            "anchor_lie_prob": 0.2,
+            "garbage_per_process": 0.34,
+            "garbage_lie_prob": 0.5,
+        },
+        "scheduler": scheduler,
+    }
+
+
+def _postprocess_without_eviction(self, ctx, entry) -> None:
+    """``FrameworkProcess._postprocess`` as it stood before the PR 2 fix:
+    the presumed-leaving reference is reversed but never evicted from P,
+    so a gone pred is re-targeted on every timeout — the livelock."""
+    handled: set[Ref] = set()
+    for ref in entry.refs():
+        if ref == self.self_ref or ref in handled:
+            continue
+        handled.add(ref)
+        mode = entry.modes.get(ref, Mode.STAYING)
+        if mode is Mode.STAYING:
+            self._integrate(ctx, ref)
+        else:
+            ctx.send(ref, "present", RefInfo(self.self_ref, self.mode))
+    payload = tuple(a for a in entry.args if not isinstance(a, Ref))
+    if payload:
+        self.logic.postprocess_extra(ctx, payload)
+
+
+@pytest.fixture
+def buggy_postprocess(monkeypatch):
+    """Re-introduce the PR 2 presumed-leaving livelock for this test."""
+    monkeypatch.setattr(
+        FrameworkProcess, "_postprocess", _postprocess_without_eviction
+    )

@@ -1,0 +1,187 @@
+"""Chaos campaigns: admissible mid-run faults, never a safety breach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.campaigns import CAMPAIGN_KINDS, ChaosCampaign, InjectionRecord
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import build_from_meta
+from repro.errors import ConfigurationError, SafetyViolation
+from repro.overlays import LOGICS
+from repro.sim.monitors import ConnectivityMonitor, PotentialMonitor
+from repro.sim.states import Mode
+
+from tests.conftest import make_fdp_engine
+
+BUDGET = 400_000
+
+
+def _framework_done(logic):
+    def done(engine):
+        return fdp_legitimate(engine) and logic.target_reached(engine)
+
+    return done
+
+
+def _battery_cells():
+    """One cell per overlay (Lemma 2 monitored) plus the fdp/fsp base
+    scenarios (Lemma 2 *and* Lemma 3 — Φ-monotonicity is an FDP/FSP
+    statement; the framework's verify machinery legitimately copies
+    unvalidated beliefs, so PotentialMonitor must stay off those cells).
+    """
+    cells = []
+    for name in sorted(LOGICS):
+        meta = {
+            "scenario": "framework",
+            "protocol": name,
+            "n": 8,
+            "topology": "random_connected",
+            "leaving": 0.25,
+            "seed": 11,
+            "corruption": 0.5,
+        }
+        cells.append(
+            (name, meta, _framework_done(LOGICS[name]), [ConnectivityMonitor(check_every=16)])
+        )
+    for scenario, until in (("fdp", fdp_legitimate), ("fsp", fsp_legitimate)):
+        meta = {
+            "scenario": scenario,
+            "n": 10,
+            "topology": "random_connected",
+            "leaving": 0.3,
+            "seed": 11,
+            "corruption": 0.5,
+        }
+        cells.append(
+            (
+                scenario,
+                meta,
+                until,
+                [
+                    ConnectivityMonitor(check_every=16),
+                    PotentialMonitor(check_every=16),
+                ],
+            )
+        )
+    return cells
+
+
+class TestCampaignBattery:
+    @pytest.mark.parametrize(
+        "meta, until, monitors",
+        [cell[1:] for cell in _battery_cells()],
+        ids=[cell[0] for cell in _battery_cells()],
+    )
+    def test_injections_never_break_safety(self, meta, until, monitors):
+        """Every overlay and both base scenarios converge through a
+        seeded campaign with the safety monitors live: admissibility is
+        asserted after every injection, Lemma 2 throughout."""
+        campaign = ChaosCampaign(seed=7, period=200, max_injections=3)
+        eng = build_from_meta(meta, monitors=[campaign, *monitors])
+        assert eng.run(BUDGET, until=until, check_every=64)
+        assert campaign.injections, "campaign never fired"
+        assert campaign.admissibility_checks == len(campaign.injections)
+        for record in campaign.injections:
+            assert record.kind in CAMPAIGN_KINDS
+            assert record.component
+            assert record.step > 0
+
+
+class TestDeterminism:
+    def _run(self):
+        meta = {
+            "scenario": "framework",
+            "protocol": "robust_ring",
+            "n": 8,
+            "topology": "random_connected",
+            "leaving": 0.25,
+            "seed": 13,
+            "corruption": 0.5,
+        }
+        campaign = ChaosCampaign(seed=3, period=150, max_injections=4)
+        eng = build_from_meta(meta, monitors=[campaign])
+        eng.run(BUDGET, until=_framework_done(LOGICS["robust_ring"]), check_every=64)
+        fingerprint = (
+            eng.step_count,
+            eng.potential(),
+            eng.pending_count,
+            eng.gone_count,
+            eng.stats.messages_posted,
+        )
+        return [r.as_dict() for r in campaign.injections], fingerprint
+
+    def test_same_seeds_same_injections_same_run(self):
+        first_injections, first_fp = self._run()
+        second_injections, second_fp = self._run()
+        assert first_injections == second_injections
+        assert first_fp == second_fp
+        assert first_injections  # the comparison must not be vacuous
+
+    def test_config_roundtrip_preserves_schedule(self):
+        campaign = ChaosCampaign(
+            seed=9,
+            period=120,
+            start_after=50,
+            max_injections=2,
+            kinds=("garbage", "scramble"),
+            garbage_count=3,
+        )
+        rebuilt = ChaosCampaign.from_config(campaign.config())
+        assert rebuilt.config() == campaign.config()
+        assert rebuilt._next_due == campaign._next_due
+
+
+class TestAdmissibility:
+    def test_component_without_staying_process_rejected(self):
+        eng = make_fdp_engine(
+            {
+                0: {"mode": Mode.LEAVING, "neighbors": {1: Mode.LEAVING}},
+                1: {"mode": Mode.LEAVING, "neighbors": {0: Mode.LEAVING}},
+            },
+            require_staying=False,
+        )
+        eng.attach()
+        campaign = ChaosCampaign()
+        with pytest.raises(SafetyViolation):
+            campaign._assert_admissible(eng)
+
+    def test_healthy_component_passes(self):
+        eng = make_fdp_engine(
+            {
+                0: {"mode": Mode.STAYING, "neighbors": {1: Mode.LEAVING}},
+                1: {"mode": Mode.LEAVING, "neighbors": {0: Mode.STAYING}},
+            },
+            require_staying=False,
+        )
+        eng.attach()
+        campaign = ChaosCampaign()
+        campaign._assert_admissible(eng)
+        assert campaign.admissibility_checks == 1
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosCampaign(kinds=("garbage", "meteor_strike"))
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosCampaign(kinds=())
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosCampaign(period=0)
+
+    def test_exhaustion_stops_firing(self):
+        campaign = ChaosCampaign(max_injections=0)
+        assert campaign.exhausted
+
+    def test_injection_record_serializes(self):
+        record = InjectionRecord(step=5, kind="garbage", count=3, component=(0, 1))
+        assert record.as_dict() == {
+            "step": 5,
+            "kind": "garbage",
+            "count": 3,
+            "component": [0, 1],
+        }

@@ -1,0 +1,148 @@
+"""Failure capsules: capture once, replay bit-identically forever."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.campaigns import ChaosCampaign
+from repro.chaos.capsule import CAPSULE_VERSION, Capsule, replay_capsule, run_chaos
+from repro.chaos.watchdogs import LivelockWatchdog, default_watchdogs
+from repro.core.potential import fdp_legitimate
+from repro.errors import ConfigurationError
+
+from tests.chaos.conftest import TEST_LIVELOCK_WATCHDOG, livelock_meta
+
+HEALTHY_FDP = {
+    "scenario": "fdp",
+    "n": 10,
+    "topology": "random_connected",
+    "leaving": 0.3,
+    "seed": 5,
+    "corruption": 0.5,
+}
+
+
+class TestTripCapture:
+    def test_livelock_captured_and_replayed_bit_identically(
+        self, buggy_postprocess, tmp_path
+    ):
+        """The full acceptance loop minus shrinking: the re-introduced
+        PR 2 livelock trips the watchdog mid-campaign, the capsule is
+        written, and a from-disk replay — campaign re-injections and all
+        — lands on the exact captured counters (replay verification
+        raises on any divergence, so passing *is* the bit-identity
+        check)."""
+        result = run_chaos(
+            livelock_meta(),
+            campaign=ChaosCampaign(seed=52, period=150, max_injections=3),
+            watchdogs=[LivelockWatchdog(**TEST_LIVELOCK_WATCHDOG)],
+            max_steps=40_000,
+            capsule_dir=str(tmp_path),
+        )
+        assert result.outcome == "watchdog"
+        assert result.failed
+        assert result.capsule_path is not None
+        capsule = Capsule.load(result.capsule_path)
+        assert capsule.kind == "watchdog"
+        assert capsule.diagnosis["kind"] == "livelock"
+        assert capsule.error.startswith("WatchdogTrip")
+        assert capsule.injections, "campaign should have fired before the trip"
+        assert len(capsule.schedule) == result.engine.step_count
+        replayed = replay_capsule(capsule)  # raises on divergence
+        assert replayed.step_count == len(capsule.schedule)
+        assert replayed.potential() == capsule.final["phi"]
+        assert replayed.pending_count == capsule.final["pending"]
+
+    def test_converged_run_produces_no_capsule(self):
+        result = run_chaos(
+            HEALTHY_FDP,
+            watchdogs=list(default_watchdogs()),
+            max_steps=400_000,
+            until=fdp_legitimate,
+        )
+        assert result.outcome == "converged"
+        assert not result.failed
+        assert result.capsule is None
+        assert result.error is None
+
+    def test_budget_exhaustion_captured_with_diagnostics(self, tmp_path):
+        result = run_chaos(
+            HEALTHY_FDP,
+            max_steps=64,
+            until=fdp_legitimate,
+            check_every=8,
+            capsule_dir=str(tmp_path),
+        )
+        assert result.outcome == "budget"
+        capsule = result.capsule
+        assert capsule is not None and capsule.kind == "budget"
+        assert capsule.diagnosis["step"] == 64
+        assert "phi" in capsule.diagnosis
+        replayed = replay_capsule(capsule)
+        assert replayed.step_count == 64
+
+    def test_budget_capture_can_be_disabled(self):
+        result = run_chaos(
+            HEALTHY_FDP,
+            max_steps=64,
+            until=fdp_legitimate,
+            capture_on_budget=False,
+        )
+        assert result.outcome == "budget"
+        assert result.capsule is None
+
+
+class TestSerialization:
+    def _capsule(self, tmp_path) -> Capsule:
+        result = run_chaos(
+            HEALTHY_FDP,
+            campaign=ChaosCampaign(seed=1, period=20),
+            max_steps=64,
+            until=fdp_legitimate,
+            capsule_dir=str(tmp_path),
+        )
+        return result.capsule
+
+    def test_dict_roundtrip_is_lossless(self, tmp_path):
+        capsule = self._capsule(tmp_path)
+        assert Capsule.from_dict(capsule.as_dict()).as_dict() == capsule.as_dict()
+
+    def test_file_roundtrip_is_lossless(self, tmp_path):
+        capsule = self._capsule(tmp_path)
+        path = str(tmp_path / "roundtrip.json")
+        capsule.save(path)
+        assert Capsule.load(path).as_dict() == capsule.as_dict()
+
+    def test_capsule_is_plain_json(self, tmp_path):
+        capsule = self._capsule(tmp_path)
+        payload = json.loads(json.dumps(capsule.as_dict()))
+        assert payload["version"] == CAPSULE_VERSION
+        assert payload["scenario"]["scenario"] == "fdp"
+        assert all(len(event) == 3 for event in payload["schedule"])
+
+    def test_unknown_version_rejected(self, tmp_path):
+        capsule = self._capsule(tmp_path)
+        payload = capsule.as_dict()
+        payload["version"] = CAPSULE_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            Capsule.from_dict(payload)
+
+
+class TestReplayVerification:
+    def test_tampered_final_counters_detected(self, tmp_path):
+        result = run_chaos(
+            HEALTHY_FDP, max_steps=64, until=fdp_legitimate, capsule_dir=str(tmp_path)
+        )
+        capsule = result.capsule
+        capsule.final["phi"] += 1
+        with pytest.raises(ConfigurationError, match="diverged"):
+            replay_capsule(capsule)
+
+    def test_verification_can_be_skipped(self, tmp_path):
+        result = run_chaos(HEALTHY_FDP, max_steps=64, until=fdp_legitimate)
+        capsule = result.capsule
+        capsule.final["phi"] += 1
+        replayed = capsule.replay(verify=False)
+        assert replayed.step_count == 64

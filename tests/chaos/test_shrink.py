@@ -1,0 +1,138 @@
+"""Capsule shrinking: a 12-process livelock becomes a ≤8-process repro."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import TrialFabric
+from repro.chaos.capsule import Capsule, replay_capsule, run_chaos
+from repro.chaos.shrink import shrink_capsule
+from repro.chaos.watchdogs import (
+    BacklogWatchdog,
+    LivelockWatchdog,
+    watchdog_from_config,
+)
+from repro.core.potential import fdp_legitimate
+from repro.errors import ConfigurationError
+
+from tests.chaos.conftest import TEST_LIVELOCK_WATCHDOG, livelock_meta
+
+
+class TestLivelockShrink:
+    def test_pr2_livelock_shrinks_to_small_reproducer(
+        self, buggy_postprocess, tmp_path
+    ):
+        """The ISSUE's end-to-end acceptance path: the re-introduced
+        livelock is detected by the watchdog, captured, and delta-debugged
+        down to at most 8 processes; the minimized capsule still replays
+        and a fresh run of the minimized spec still trips."""
+        captured = run_chaos(
+            livelock_meta(),
+            watchdogs=[LivelockWatchdog(**TEST_LIVELOCK_WATCHDOG)],
+            max_steps=40_000,
+        )
+        assert captured.outcome == "watchdog"
+
+        result = shrink_capsule(captured.capsule, capsule_dir=str(tmp_path))
+        assert result.original_n == 12
+        assert result.final_n <= 8
+        assert result.probes > 0
+        assert any(step["axis"] == "process" for step in result.history)
+        assert result.scenario["n"] == result.final_n
+        assert len(result.scenario["edges"]) <= len(captured.capsule.scenario["edges"])
+
+        # the minimized capsule is itself bit-identically replayable ...
+        minimal = result.capsule
+        assert minimal is not None and minimal.kind == "watchdog"
+        replayed = replay_capsule(minimal)
+        assert replayed.step_count == len(minimal.schedule)
+
+        # ... and the minimized *spec* still trips on a fresh run.
+        rerun = run_chaos(
+            result.scenario,
+            watchdogs=[watchdog_from_config(c) for c in minimal.watchdogs],
+            max_steps=result.max_steps,
+        )
+        assert rerun.outcome == "watchdog"
+        assert rerun.capsule.diagnosis["kind"] == "livelock"
+
+    def test_nonreproducible_capsule_rejected(self):
+        """A capsule whose failure exists only on its exact schedule
+        cannot be shrunk by re-running — the shrinker must say so instead
+        of silently returning the original."""
+        capsule = Capsule(
+            kind="watchdog",
+            scenario={
+                "scenario": "fdp",
+                "n": 6,
+                "topology": "random_connected",
+                "leaving": 0.3,
+                "seed": 5,
+                "corruption": 0.2,
+            },
+            schedule=[],
+            watchdogs=[BacklogWatchdog(max_pending=10**9).config()],
+        )
+        with pytest.raises(ConfigurationError, match="does not reproduce"):
+            shrink_capsule(capsule, max_steps=2_000)
+
+
+class TestParallelShrink:
+    def test_backlog_failure_shrinks_over_a_fabric(self, tmp_path):
+        """An unpatched (real-protocol) failure class — the backlog bound
+        set below the scenario's working set — shrinks with probe batches
+        fanned out over a worker fabric. No monkeypatching involved, so
+        worker processes see the same protocol the parent does."""
+        scenario = {
+            "scenario": "fdp",
+            "n": 12,
+            "topology": "random_connected",
+            "leaving": 0.3,
+            "seed": 9,
+            "corruption": 0.8,
+        }
+        captured = run_chaos(
+            scenario,
+            watchdogs=[BacklogWatchdog(check_every=1, max_pending=8)],
+            max_steps=4_000,
+        )
+        assert captured.outcome == "watchdog"
+        with TrialFabric(max_workers=2, chunk_size=1) as fabric:
+            result = shrink_capsule(
+                captured.capsule,
+                parallel=True,
+                fabric=fabric,
+                capsule_dir=str(tmp_path),
+            )
+        assert result.final_n < 12
+        assert result.capsule is not None
+        rerun = run_chaos(
+            result.scenario,
+            watchdogs=[watchdog_from_config(c) for c in result.capsule.watchdogs],
+            max_steps=result.max_steps,
+        )
+        assert rerun.outcome == "watchdog"
+
+
+class TestBudgetShrink:
+    def test_budget_capsule_shrinks_against_legitimacy(self, tmp_path):
+        """Budget-kind capsules reproduce as ``not converged`` against the
+        scenario's own legitimacy predicate (no watchdogs on probes)."""
+        scenario = {
+            "scenario": "fdp",
+            "n": 10,
+            "topology": "random_connected",
+            "leaving": 0.3,
+            "seed": 5,
+            "corruption": 0.9,
+            "oracle": "never",  # oracle denies every exit: never legitimate
+        }
+        captured = run_chaos(
+            scenario, max_steps=500, until=fdp_legitimate, check_every=16
+        )
+        assert captured.outcome == "budget"
+        result = shrink_capsule(
+            captured.capsule, max_steps=500, capsule_dir=str(tmp_path)
+        )
+        assert result.final_n <= 10
+        assert result.capsule is not None and result.capsule.kind == "budget"

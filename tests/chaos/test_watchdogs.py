@@ -1,0 +1,242 @@
+"""Watchdogs: the PR 2 livelock trips them, healthy runs never do."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import (
+    SCHEDULER_FACTORIES,
+    Corruption,
+    build_framework_engine,
+    build_from_meta,
+)
+from repro.errors import ConfigurationError, WatchdogTrip
+from repro.chaos.watchdogs import (
+    WATCHDOG_KINDS,
+    BacklogWatchdog,
+    LivelockWatchdog,
+    NoProgressWatchdog,
+    default_watchdogs,
+    watchdog_from_config,
+)
+from repro.overlays import LOGICS
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+from repro.sim.scheduler import OldestFirstScheduler
+from repro.sim.states import Capability, Mode
+
+from tests.chaos.conftest import (
+    LIVELOCK_CORRUPTION,
+    LIVELOCK_EDGES,
+    LIVELOCK_LEAVING,
+    TEST_LIVELOCK_WATCHDOG,
+)
+
+BUDGET = 40_000
+
+#: per-scheduler-family seeds under which the pinned n=6 scenario
+#: livelocks (the adversarial scheduler *masks* the bug at the others'
+#: seed — it drains the gone pid's channel — hence its own).
+LIVELOCK_SEEDS = {
+    "random": 1201,
+    "oldest": 1211,
+    "adversarial": 1211,
+    "sync": 1211,
+}
+
+
+def build_livelock_engine(scheduler_name: str, seed: int, monitors):
+    logic = LOGICS["robust_ring"]
+    return build_framework_engine(
+        6,
+        LIVELOCK_EDGES,
+        LIVELOCK_LEAVING,
+        logic,
+        seed=seed,
+        corruption=Corruption(**LIVELOCK_CORRUPTION),
+        scheduler=SCHEDULER_FACTORIES[scheduler_name](seed),
+        monitors=monitors,
+    )
+
+
+def framework_done(logic):
+    def done(engine):
+        return fdp_legitimate(engine) and logic.target_reached(engine)
+
+    return done
+
+
+class TestLivelockDetection:
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULER_FACTORIES))
+    def test_revived_pr2_livelock_trips_under_every_family(
+        self, buggy_postprocess, scheduler
+    ):
+        """The re-introduced presumed-leaving bug is detected mid-run by
+        the livelock watchdog under all four scheduler families — in a
+        couple thousand steps instead of a burned multi-million budget."""
+        watchdog = LivelockWatchdog(**TEST_LIVELOCK_WATCHDOG)
+        eng = build_livelock_engine(
+            scheduler, LIVELOCK_SEEDS[scheduler], [watchdog]
+        )
+        with pytest.raises(WatchdogTrip) as excinfo:
+            eng.run(BUDGET, until=framework_done(LOGICS["robust_ring"]))
+        diagnosis = excinfo.value.diagnosis
+        assert diagnosis is not None
+        assert diagnosis.kind == "livelock"
+        assert diagnosis.step <= BUDGET
+        assert diagnosis.pending > diagnosis.pending_start
+        # the signature artifact: a *gone* process's channel is growing.
+        assert diagnosis.offending_pids
+        assert watchdog.tripped is diagnosis
+
+    def test_latch_mode_counts_without_raising(self, buggy_postprocess):
+        watchdog = LivelockWatchdog(
+            raise_on_trip=False, **TEST_LIVELOCK_WATCHDOG
+        )
+        eng = build_livelock_engine("random", LIVELOCK_SEEDS["random"], [watchdog])
+        converged = eng.run(6_000, until=framework_done(LOGICS["robust_ring"]))
+        assert not converged
+        assert watchdog.tripped is not None
+        assert "livelock" in watchdog.tripped.summary()
+        payload = watchdog.tripped.as_dict()
+        assert payload["kind"] == "livelock"
+        assert payload["pending"] > payload["pending_start"]
+
+    def test_fixed_protocol_same_scenario_is_silent(self):
+        """Identical scenario, stock (fixed) protocol: converges with the
+        same tight watchdog attached and silent — the detector keys on
+        the bug, not on the scenario."""
+        watchdog = LivelockWatchdog(**TEST_LIVELOCK_WATCHDOG)
+        eng = build_livelock_engine("random", LIVELOCK_SEEDS["random"], [watchdog])
+        assert eng.run(200_000, until=framework_done(LOGICS["robust_ring"]))
+        assert watchdog.tripped is None
+
+
+class TestHealthySilence:
+    @pytest.mark.parametrize(
+        "meta, until",
+        [
+            (
+                {"scenario": "fdp", "n": 12, "topology": "random_connected",
+                 "leaving": 0.3, "seed": 5, "corruption": 0.5},
+                fdp_legitimate,
+            ),
+            (
+                {"scenario": "fsp", "n": 12, "topology": "random_connected",
+                 "leaving": 0.3, "seed": 5, "corruption": 0.5},
+                fsp_legitimate,
+            ),
+            (
+                {"scenario": "framework", "protocol": "ring", "n": 10,
+                 "topology": "random_connected", "leaving": 0.3, "seed": 5,
+                 "corruption": 0.5},
+                framework_done(LOGICS["ring"]),
+            ),
+        ],
+        ids=["fdp", "fsp", "framework-ring"],
+    )
+    def test_default_watchdogs_silent_to_convergence(self, meta, until):
+        watchdogs = default_watchdogs()
+        eng = build_from_meta(meta, monitors=list(watchdogs))
+        assert eng.run(400_000, until=until, check_every=64)
+        assert all(w.tripped is None for w in watchdogs)
+        assert all(w.checks > 0 for w in watchdogs)
+
+
+class PingProcess(Process):
+    """Eternal ping-pong: every delivery posts one message back, so the
+    observable fingerprint (Φ=0, constant pending, zero lifecycle
+    transitions) is frozen forever — the no-progress shape."""
+
+    def __init__(self, pid: int, peer: int) -> None:
+        super().__init__(pid, Mode.STAYING)
+        self._peer = peer
+
+    def on_ping(self, ctx) -> None:
+        ctx.send(Ref(self._peer), "ping")
+
+
+def make_pingpong(n_messages: int = 4) -> Engine:
+    procs = [PingProcess(0, 1), PingProcess(1, 0)]
+    eng = Engine(
+        procs,
+        OldestFirstScheduler(),
+        capability=Capability.NONE,
+        strict=False,
+        require_staying_per_component=False,
+    )
+    for i in range(n_messages):
+        eng.post(None, eng.ref(i % 2), "ping", ())
+    return eng
+
+
+class TestNoProgress:
+    def test_frozen_fingerprint_trips(self):
+        watchdog = NoProgressWatchdog(check_every=3, window=16)
+        eng = make_pingpong()
+        eng.monitors.append(watchdog)
+        with pytest.raises(WatchdogTrip) as excinfo:
+            eng.run(2_000, until=lambda e: False)
+        assert excinfo.value.diagnosis.kind == "no_progress"
+
+    def test_rebase_restarts_the_streak(self):
+        watchdog = NoProgressWatchdog(check_every=3, window=16)
+        eng = make_pingpong()
+        eng.monitors.append(watchdog)
+        for _ in range(15 * 3):
+            eng.step()
+        assert watchdog.tripped is None
+        watchdog.rebase(eng)
+        for _ in range(15 * 3):  # streak must rebuild from scratch
+            eng.step()
+        assert watchdog.tripped is None
+        with pytest.raises(WatchdogTrip):
+            eng.run(16 * 3, until=lambda e: False)
+
+
+class TestBacklog:
+    def test_hard_bound_trips(self):
+        watchdog = BacklogWatchdog(check_every=1, max_pending=5)
+        eng = make_pingpong(n_messages=12)
+        eng.monitors.append(watchdog)
+        with pytest.raises(WatchdogTrip) as excinfo:
+            eng.run(50, until=lambda e: False)
+        diagnosis = excinfo.value.diagnosis
+        assert diagnosis.kind == "backlog"
+        assert diagnosis.pending > 5
+
+    def test_under_bound_silent(self):
+        watchdog = BacklogWatchdog(check_every=1, max_pending=1_000)
+        eng = make_pingpong()
+        eng.monitors.append(watchdog)
+        eng.run(100, until=lambda e: False)
+        assert watchdog.tripped is None
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("kind", sorted(WATCHDOG_KINDS))
+    def test_config_reconstructs_equivalent_watchdog(self, kind):
+        original = WATCHDOG_KINDS[kind]()
+        rebuilt = watchdog_from_config(original.config())
+        assert type(rebuilt) is type(original)
+        assert rebuilt.config() == original.config()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            watchdog_from_config({"watchdog": "clairvoyant"})
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: LivelockWatchdog(window=1),
+            lambda: LivelockWatchdog(min_backlog_growth=0),
+            lambda: NoProgressWatchdog(window=0),
+            lambda: BacklogWatchdog(max_pending=0),
+            lambda: BacklogWatchdog(check_every=0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory()

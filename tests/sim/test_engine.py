@@ -214,6 +214,23 @@ class TestRun:
         with pytest.raises(ConvergenceError):
             eng.run(3, until=lambda e: False, raise_on_budget=True)
 
+    def test_budget_error_carries_progress_diagnostics(self):
+        from repro.errors import ConvergenceError
+
+        r = Recorder(0)
+        eng = make([r])
+        for _ in range(10):
+            eng.post(None, eng.ref(0), "ping", ())
+        with pytest.raises(ConvergenceError) as excinfo:
+            eng.run(4, until=lambda e: False, raise_on_budget=True)
+        diagnostics = excinfo.value.diagnostics
+        assert diagnostics["step"] == 4
+        for key in ("phi", "pending", "edges", "gone", "asleep",
+                    "last_progress_step"):
+            assert key in diagnostics
+        assert diagnostics == eng.progress_diagnostics()
+        assert excinfo.value.stats == eng.stats.as_dict()
+
     def test_quiescence_detected(self):
         """A process that sleeps with no pending messages quiesces the run."""
 

@@ -123,3 +123,51 @@ class TestPlanting:
             require_staying_per_component=False,
         )
         assert plant_unknown_label_messages(eng, Random(0), 5) == 0
+
+
+class TestComponentConfinement:
+    def _two_components(self):
+        """0-1 and 2-3 connected pairwise (via in-flight refs), no link
+        between the pairs — two weak components."""
+        eng = make(n=4)
+        plant_ref_message(eng, 0, "present", 1, Mode.STAYING)
+        plant_ref_message(eng, 2, "present", 3, Mode.STAYING)
+        return eng
+
+    def test_within_component_injection_allowed(self):
+        eng = self._two_components()
+        planted = scatter_garbage_messages(
+            eng, Random(0), 5, targets=[0], subjects=[1], confine_component=True
+        )
+        assert planted == 5
+
+    def test_cross_component_leak_rejected(self):
+        eng = self._two_components()
+        with pytest.raises(ConfigurationError, match="components"):
+            scatter_garbage_messages(
+                eng, Random(0), 1, targets=[0], subjects=[2],
+                confine_component=True,
+            )
+
+    def test_gone_process_reference_rejected(self):
+        from repro.core.potential import fdp_legitimate
+        from repro.core.scenarios import build_fdp_engine
+
+        eng = build_fdp_engine(
+            4, [(0, 1), (1, 2), (2, 3)], frozenset({3}), seed=1
+        )
+        assert eng.run(100_000, until=fdp_legitimate, check_every=16)
+        assert eng.processes[3].state.name == "GONE"
+        with pytest.raises(ConfigurationError, match="gone"):
+            scatter_garbage_messages(
+                eng, Random(0), 1, targets=[0], subjects=[3],
+                confine_component=True,
+            )
+
+    def test_unconfined_default_trusts_pools(self):
+        # back-compat: the same cross-component plant goes through when
+        # confinement is off (deliberate whole-population sampling).
+        eng = self._two_components()
+        assert scatter_garbage_messages(
+            eng, Random(0), 1, targets=[0], subjects=[2]
+        ) == 1

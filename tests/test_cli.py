@@ -95,3 +95,76 @@ class TestListings:
     def test_oracles(self, capsys):
         assert main(["oracles"]) == 0
         assert "single" in capsys.readouterr().out
+
+
+class TestChaosCommands:
+    def test_chaos_run_converges(self, capsys, tmp_path):
+        rc = main(
+            ["chaos", "run", "--n", "10", "--leaving", "0.3", "--seed", "5",
+             "--corruption", "0.5", "--inject-every", "100",
+             "--injections", "2", "--monitor",
+             "--capsule-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+        assert list(tmp_path.iterdir()) == []  # no failure, no capsule
+
+    def test_chaos_run_framework_with_monitor(self, capsys, tmp_path):
+        """--monitor on a framework scenario must not attach the Lemma 3
+        monitor (Φ legitimately rises while verify copies beliefs)."""
+        rc = main(
+            ["chaos", "run", "--scenario", "framework", "--protocol", "ring",
+             "--n", "8", "--leaving", "0.25", "--seed", "5",
+             "--corruption", "0.5", "--inject-every", "100",
+             "--injections", "2", "--monitor",
+             "--capsule-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_chaos_run_budget_writes_capsule_and_replays(self, capsys, tmp_path):
+        rc = main(
+            ["chaos", "run", "--n", "10", "--leaving", "0.3", "--seed", "5",
+             "--corruption", "0.5", "--injections", "0",
+             "--max-steps", "64", "--capsule-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1  # budget exhausted
+        (capsule_path,) = list(tmp_path.iterdir())
+        assert "capsule" in out
+        rc = main(["capsule", "replay", str(capsule_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-identical" in out
+
+    def test_chaos_shrink_cli(self, capsys, tmp_path):
+        # seed a reproducible (seed-independent) failure: the backlog
+        # bound set far below the scenario's working set.
+        from repro.chaos import BacklogWatchdog, run_chaos
+
+        captured = run_chaos(
+            {"scenario": "fdp", "n": 10, "topology": "random_connected",
+             "leaving": 0.3, "seed": 9, "corruption": 0.8},
+            watchdogs=[BacklogWatchdog(check_every=1, max_pending=8)],
+            max_steps=4_000,
+            capsule_dir=str(tmp_path),
+        )
+        assert captured.outcome == "watchdog"
+        out_dir = tmp_path / "minimized"
+        rc = main(
+            ["chaos", "shrink", captured.capsule_path, "--out-dir", str(out_dir)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shrink" in out
+        assert list(out_dir.iterdir())
+
+    def test_chaos_soak_quick(self, capsys):
+        rc = main(
+            ["chaos", "soak", "--quick", "--n", "8", "--max-steps", "30000",
+             "--inject-every", "200"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 failures" in out

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.core",
     "repro.overlays",
     "repro.analysis",
+    "repro.chaos",
 ]
 
 
