@@ -52,11 +52,29 @@ SWEEP_AXES = {"n": [24, 32]}
 SWEEP_SEEDS = 6
 SWEEP_BUDGET = 60_000
 
+#: timed step budget per SoA scale point (full methodology; ``--smoke``
+#: divides by 4). Long ranges matter: the workload drifts as pending
+#: messages accumulate, so short windows flatter whichever mode runs
+#: first. Both modes always time the SAME step range.
+SOA_STEPS = {256: 200_000, 4096: 440_000, 16384: 120_000}
+#: steps executed before the timer starts: excludes attach() (graph +
+#: LiveGraph construction) and first-touch warmup from the rate.
+SOA_WARMUP = 256
+#: the tentpole's acceptance floor at n=4096 (unmonitored steps/s ratio).
+SOA_TARGET_RATIO = 5.0
 
-def _build(n: int, seed: int):
+
+def _build(n: int, seed: int, engine_mode: str | None = None):
     edges = gen.random_connected(n, n // 2, seed=seed)
     leaving = choose_leaving(n, edges, fraction=0.3, seed=seed)
-    return build_fdp_engine(n, edges, leaving, seed=seed, corruption=HEAVY_CORRUPTION)
+    return build_fdp_engine(
+        n,
+        edges,
+        leaving,
+        seed=seed,
+        corruption=HEAVY_CORRUPTION,
+        engine_mode=engine_mode,
+    )
 
 
 def step_rate(n: int, monitored: bool, steps: int = 6_000) -> float:
@@ -90,6 +108,74 @@ def sweep_wall(parallel: bool, max_workers: int | None = None) -> float:
     wall = time.perf_counter() - start
     assert all(p.result.convergence_rate == 1.0 for p in points)
     return wall
+
+
+# --------------------------------------------------------- SoA core benchmark
+
+
+def core_rate(n: int, engine_mode: str, steps: int, seed: int = 7) -> float:
+    """Unmonitored steps/sec of one warmed-up run on the chosen core.
+
+    The warmup run performs attach() (graph + LiveGraph build) and the
+    first :data:`SOA_WARMUP` steps outside the timed window; the timed
+    window then covers an identical step range for every mode, so the
+    ratio compares like against like even though the workload drifts as
+    the pending-message population grows.
+    """
+    engine = _build(n, seed=seed, engine_mode=engine_mode)
+    engine.run(SOA_WARMUP, check_every=SOA_WARMUP)
+    start = time.perf_counter()
+    engine.run(steps, check_every=steps)
+    wall = time.perf_counter() - start
+    timed = engine.step_count - SOA_WARMUP
+    return timed / wall if wall > 0 else 0.0
+
+
+def soa_smoke(scale_points: list[int], *, smoke: bool = False, pairs: int = 2) -> dict:
+    """Objects-vs-SoA throughput at the requested scale points.
+
+    Runs interleaved (objects, soa) pairs per point — interleaving
+    averages out thermal/host drift that would bias a
+    all-objects-then-all-soa order — and reports the median per-pair
+    ratio. ``smoke`` quarters the step budget and runs one pair (the CI
+    configuration; the committed baseline stores both).
+    """
+    runs = []
+    ratios: dict[int, list[float]] = {}
+    npairs = 1 if smoke else pairs
+    for n in scale_points:
+        steps = SOA_STEPS[n] // (4 if smoke else 1)
+        ratios[n] = []
+        for pair in range(npairs):
+            rates = {}
+            for engine_mode in ("objects", "soa"):
+                rate = core_rate(n, engine_mode, steps)
+                rates[engine_mode] = rate
+                runs.append(
+                    {
+                        "n": n,
+                        "mode": engine_mode,
+                        "pair": pair,
+                        "timed_steps": steps,
+                        "steps_per_s": round(rate, 1),
+                    }
+                )
+            ratios[n].append(rates["soa"] / rates["objects"])
+    medians = {
+        n: sorted(rs)[len(rs) // 2] for n, rs in ratios.items() if rs
+    }
+    return {
+        "benchmark": "soa_core",
+        "smoke": smoke,
+        "warmup_steps": SOA_WARMUP,
+        "pairs_per_point": npairs,
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+        "ratio_soa_vs_objects": {
+            str(n): round(r, 2) for n, r in medians.items()
+        },
+        "target_ratio_n4096": SOA_TARGET_RATIO,
+    }
 
 
 # ----------------------------------------------------------- pytest benchmarks
@@ -165,9 +251,44 @@ def main(argv=None) -> int:
         "--strict",
         action="store_true",
         help="fail unless unmonitored n=256 is >= 2x the embedded baseline "
-        "(only meaningful on the baseline's measurement host)",
+        "(only meaningful on the baseline's measurement host); with --n "
+        "4096, fail unless the SoA core clears its >= 5x ratio floor",
+    )
+    parser.add_argument(
+        "--n",
+        action="append",
+        type=int,
+        dest="scale_points",
+        metavar="N",
+        help="benchmark the SoA core vs the object model at this scale "
+        f"point (repeatable; choices: {sorted(SOA_STEPS)}) and write "
+        "benchmarks/results/BENCH_soa.json instead of the step-loop smoke",
     )
     args = parser.parse_args(argv)
+    if args.scale_points:
+        for n in args.scale_points:
+            if n not in SOA_STEPS:
+                parser.error(f"--n must be one of {sorted(SOA_STEPS)}, got {n}")
+        payload = soa_smoke(args.scale_points, smoke=args.smoke)
+        path = save_json("BENCH_soa", payload)
+        for run in payload["runs"]:
+            print(
+                f"n={run['n']:>6} mode={run['mode']:<8} pair={run['pair']} "
+                f"steps/s={run['steps_per_s']:>10.1f}"
+            )
+        for n_str, ratio in payload["ratio_soa_vs_objects"].items():
+            print(f"n={n_str:>6} soa/objects ratio = {ratio:.2f}x")
+        print(f"wrote {path}")
+        if args.strict:
+            ratio = payload["ratio_soa_vs_objects"].get("4096")
+            if ratio is not None and ratio < SOA_TARGET_RATIO:
+                print(
+                    f"FAIL: expected >= {SOA_TARGET_RATIO}x soa/objects "
+                    f"at n=4096, measured {ratio:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+        return 0
     if not args.smoke:
         parser.error("nothing to do; pass --smoke (pytest runs the benchmarks)")
     payload = smoke()

@@ -12,7 +12,15 @@ measures afresh, and fails if
   steps/sec dropped more than ``--tolerance`` below the committed one, or
 * the default watchdog set's overhead vs the unsupervised run exceeds
   the 15% budget recorded in the chaos baseline, or the unsupervised
-  steps/sec dropped more than ``--tolerance`` below the committed one.
+  steps/sec dropped more than ``--tolerance`` below the committed one, or
+* the SoA core's n=4096 steps/sec (``BENCH_soa.json``) dropped more
+  than ``--tolerance`` below the committed figure. The fresh run uses
+  the committed file's *full* step budget (one interleaved pair,
+  ~30 s) — the quartered smoke budget measures systematically lower
+  rates, so comparing it against full-budget baselines would eat the
+  whole tolerance — and the committed base is the *minimum* soa rate
+  across the baseline's pairs, the conservative choice against pair
+  variance.
 
 Two kinds of drift can trip this gate: a real hot-path regression, or a
 slower CI host than the one that committed the baseline. The rebuild-mode
@@ -32,6 +40,7 @@ import pathlib
 import sys
 
 from benchmarks.bench_chaos import smoke as chaos_smoke
+from benchmarks.bench_step_loop import soa_smoke
 from benchmarks.bench_telemetry import smoke as telemetry_smoke
 from benchmarks.bench_throughput import smoke
 
@@ -43,6 +52,9 @@ COMMITTED_TELEMETRY = (
 )
 COMMITTED_CHAOS = (
     pathlib.Path(__file__).parent / "results" / "BENCH_chaos.json"
+)
+COMMITTED_SOA = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_soa.json"
 )
 
 
@@ -116,6 +128,38 @@ def compare_chaos(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def _soa_rates(payload: dict, n: int) -> list[float]:
+    return [
+        run["steps_per_s"]
+        for run in payload["runs"]
+        if run["n"] == n and run["mode"] == "soa"
+    ]
+
+
+def compare_soa(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Gate the SoA core's n=4096 unmonitored throughput floor.
+
+    Base = the committed file's lowest soa rate at n=4096 (pairs of the
+    same run legitimately spread ~20% — see the committed artifact — so
+    the minimum is the number a healthy host reliably clears); fresh =
+    the best fresh pair, both measured on the full step budget.
+    """
+    rates = _soa_rates(committed, 4096)
+    if not rates:
+        return []
+    base = min(rates)
+    if base <= 0:
+        return []
+    fresh_rate = max(_soa_rates(fresh, 4096))
+    floor = base * (1.0 - tolerance)
+    if fresh_rate < floor:
+        return [
+            f"soa core: n=4096 {fresh_rate:.1f} steps/s < floor "
+            f"{floor:.1f} (committed {base:.1f}, tolerance {tolerance:.0%})"
+        ]
+    return []
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -142,10 +186,17 @@ def main(argv=None) -> int:
         default=COMMITTED_CHAOS,
         help="chaos-supervision baseline JSON to compare against",
     )
+    parser.add_argument(
+        "--committed-soa",
+        type=pathlib.Path,
+        default=COMMITTED_SOA,
+        help="SoA-core baseline JSON to compare against",
+    )
     args = parser.parse_args(argv)
     committed = json.loads(args.committed.read_text())
     committed_telemetry = json.loads(args.committed_telemetry.read_text())
     committed_chaos = json.loads(args.committed_chaos.read_text())
+    committed_soa = json.loads(args.committed_soa.read_text())
     fresh = smoke()
     for run in fresh["runs"]:
         print(
@@ -164,11 +215,18 @@ def main(argv=None) -> int:
             f"config={run['config']:<12} steps/s={run['steps_per_s']:>10.1f} "
             f"overhead={100 * run['overhead_frac']:6.2f}%"
         )
+    fresh_soa = soa_smoke([4096], pairs=1)
+    for run in fresh_soa["runs"]:
+        print(
+            f"core n={run['n']:>6} mode={run['mode']:<8} "
+            f"steps/s={run['steps_per_s']:>10.1f}"
+        )
     failures = compare(committed, fresh, args.tolerance)
     failures += compare_telemetry(
         committed_telemetry, fresh_telemetry, args.tolerance
     )
     failures += compare_chaos(committed_chaos, fresh_chaos, args.tolerance)
+    failures += compare_soa(committed_soa, fresh_soa, args.tolerance)
     if failures:
         for line in failures:
             print(f"REGRESSION: {line}", file=sys.stderr)

@@ -148,8 +148,10 @@ class Capsule:
 
     # -- replay -----------------------------------------------------------------
 
-    def replay(self, *, verify: bool = True) -> Engine:
-        return replay_capsule(self, verify=verify)
+    def replay(
+        self, *, verify: bool = True, engine_mode: str | None = None
+    ) -> Engine:
+        return replay_capsule(self, verify=verify, engine_mode=engine_mode)
 
 
 def capture_capsule(
@@ -179,7 +181,9 @@ def capture_capsule(
     )
 
 
-def replay_capsule(capsule: Capsule, *, verify: bool = True) -> Engine:
+def replay_capsule(
+    capsule: Capsule, *, verify: bool = True, engine_mode: str | None = None
+) -> Engine:
     """Rebuild the captured run and re-execute its schedule.
 
     Returns the engine in its final replayed state. With *verify* (the
@@ -187,11 +191,17 @@ def replay_capsule(capsule: Capsule, *, verify: bool = True) -> Engine:
     captured ones and a mismatch raises
     :class:`~repro.errors.ConfigurationError` — either the capsule was
     edited, or protocol/injection code is nondeterministic (forbidden).
+
+    *engine_mode* picks the execution core for the replay
+    (``objects``/``soa``/``verify``); capsules are core-agnostic, so a
+    capsule captured on one core replays bit-identically on the other.
     """
     monitors: list = []
     if capsule.campaign is not None:
         monitors.append(ChaosCampaign.from_config(capsule.campaign))
-    engine = build_from_meta(capsule.scenario, monitors=monitors)
+    engine = build_from_meta(
+        capsule.scenario, monitors=monitors, engine_mode=engine_mode
+    )
     engine.scheduler = ReplayScheduler(capsule.schedule)
     engine.run(len(capsule.schedule), until=None)
     if verify and capsule.final:

@@ -197,8 +197,13 @@ class FrameworkProcess(FDPProcess):
     def _finalize(self, ctx: ActionContext, entry: PendingMessage) -> None:
         """All modes known: send the P message, or postprocess."""
         if entry.all_staying():
+            # Building the outgoing payload happens once per *finalized*
+            # message; each RefInfo IS the piggybacked belief the model
+            # requires the message to carry, not incidental copying.
             wrapped = tuple(
-                RefInfo(a, entry.modes.get(a, self.mode)) if isinstance(a, Ref) else a
+                RefInfo(a, entry.modes.get(a, self.mode))  # repro: noqa[PERF004]
+                if isinstance(a, Ref)
+                else a
                 for a in entry.args
             )
             ctx.send(entry.target, entry.label, *wrapped)

@@ -183,6 +183,7 @@ def _build_engine(
     provenance: object | None = None,
     strict: bool = True,
     graph_mode: str | None = None,
+    engine_mode: str | None = None,
 ) -> Engine:
     if n < 1:
         raise ConfigurationError("need at least one process")
@@ -239,6 +240,7 @@ def _build_engine(
         tracer=tracer,
         provenance=provenance,
         graph_mode=graph_mode,
+        engine_mode=engine_mode,
     )
 
     # The engine (and with it any provenance tracker) exists before the
@@ -273,6 +275,7 @@ def build_fdp_engine(
     provenance: object | None = None,
     strict: bool = True,
     graph_mode: str | None = None,
+    engine_mode: str | None = None,
 ) -> Engine:
     """An FDP run: :class:`FDPProcess` population, ``exit`` available,
     ``SINGLE`` oracle by default."""
@@ -292,6 +295,7 @@ def build_fdp_engine(
         provenance=provenance,
         strict=strict,
         graph_mode=graph_mode,
+        engine_mode=engine_mode,
     )
 
 
@@ -309,6 +313,7 @@ def build_framework_engine(
     tracer: object | None = None,
     strict: bool = True,
     graph_mode: str | None = None,
+    engine_mode: str | None = None,
 ) -> Engine:
     """A Section 4 run: P′ = framework(P) population over *logic_cls*.
 
@@ -376,6 +381,7 @@ def build_framework_engine(
         monitors=monitors,
         tracer=tracer,
         graph_mode=graph_mode,
+        engine_mode=engine_mode,
     )
     if corruption.garbage_per_process > 0.0:
         for comp in comps:
@@ -406,6 +412,7 @@ def build_fsp_engine(
     provenance: object | None = None,
     strict: bool = True,
     graph_mode: str | None = None,
+    engine_mode: str | None = None,
 ) -> Engine:
     """An FSP run: :class:`FSPProcess` population, ``sleep`` available,
     no oracle (the FSP needs none)."""
@@ -425,6 +432,7 @@ def build_fsp_engine(
         provenance=provenance,
         strict=strict,
         graph_mode=graph_mode,
+        engine_mode=engine_mode,
     )
 
 
@@ -508,6 +516,7 @@ def build_from_meta(
     *,
     tracer: object | None = None,
     monitors: Sequence[Callable] = (),
+    engine_mode: str | None = None,
 ) -> Engine:
     """Rebuild a scenario's exact initial state from its metadata dict.
 
@@ -529,6 +538,12 @@ def build_from_meta(
       ``"random"``), seeded with ``seed``;
     * ``oracle`` — an oracle registry name (default ``"single"``);
     * ``protocol`` — overlay logic name (framework scenario only).
+
+    *engine_mode* selects the execution core for the rebuilt engine
+    (``objects``/``soa``/``verify``; ``None`` defers to the
+    ``REPRO_ENGINE_MODE`` environment default). The cores are
+    bit-identical, so replays agree regardless of which core the
+    original run used.
     """
 
     n = meta["n"]
@@ -559,6 +574,7 @@ def build_from_meta(
         seed=seed,
         tracer=tracer,
         monitors=monitors,
+        engine_mode=engine_mode,
     )
     if scenario == "fsp":
         return build_fsp_engine(n, edges, leaving, **common)

@@ -169,10 +169,8 @@ class LiveGraph:
             for info in proc.stored_refs():
                 self._add_edge(pid, pid_of(info.ref), EdgeKind.EXPLICIT, info.mode)
             for msg in engine.channels[pid]:
-                for info in msg.refinfos():
-                    self._add_edge(
-                        pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode
-                    )
+                for dst, belief in msg.edge_pairs():
+                    self._add_edge(pid, dst, EdgeKind.IMPLICIT, belief)
 
     # ------------------------------------------------------------------ edge deltas
 
@@ -272,8 +270,10 @@ class LiveGraph:
         self._pending_total += 1
         if self._pstate.get(pid) is PState.GONE:
             return  # gone processes are outside PG; their mail is inert
-        for info in msg.refinfos():
-            self._add_edge(pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode)
+        # The int-pair delta feed: no Ref objects, no generator chain —
+        # the pairs were computed once when the message was first seen.
+        for dst, belief in msg.edge_pairs():
+            self._add_edge(pid, dst, EdgeKind.IMPLICIT, belief)
 
     def on_dequeue(self, pid: int, msg: Message) -> None:
         """A message left ``pid.Ch`` (implicit edges disappear)."""
@@ -281,8 +281,8 @@ class LiveGraph:
         self._pending_total -= 1
         if self._pstate.get(pid) is PState.GONE:
             return
-        for info in msg.refinfos():
-            self._remove_edge(pid, pid_of(info.ref), EdgeKind.IMPLICIT, info.mode)
+        for dst, belief in msg.edge_pairs():
+            self._remove_edge(pid, dst, EdgeKind.IMPLICIT, belief)
 
     def apply_explicit_diff(
         self, pid: int, before: Counter[_RefKey], proc: Process

@@ -23,6 +23,7 @@ from repro.lint.rules.grammar import (
 )
 from repro.lint.rules.hotpath import (
     ClosureOnStepPath,
+    RefKeyedContainerOnStepPath,
     SlotsOnStepPath,
     SnapshotInObservationPath,
 )
@@ -46,6 +47,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SlotsOnStepPath,
     ClosureOnStepPath,
     SnapshotInObservationPath,
+    RefKeyedContainerOnStepPath,
     LogicSurface,
     ForeignStateMutation,
     LifecycleOwnership,

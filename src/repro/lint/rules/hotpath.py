@@ -21,7 +21,12 @@ from repro.lint.model import Finding, Module, Rule, attr_chain
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.callgraph import Project
 
-__all__ = ["SlotsOnStepPath", "ClosureOnStepPath", "SnapshotInObservationPath"]
+__all__ = [
+    "SlotsOnStepPath",
+    "ClosureOnStepPath",
+    "SnapshotInObservationPath",
+    "RefKeyedContainerOnStepPath",
+]
 
 
 class SlotsOnStepPath(Rule):
@@ -188,3 +193,143 @@ class SnapshotInObservationPath(Rule):
                 "sample; read the engine's O(1) lifecycle/graph counters"
             )
         return None
+
+
+#: key/element expressions that carry a Ref by name (``ref``, ``info.ref``).
+def _ref_valued(expr: ast.AST) -> bool:
+    """Whether *expr* IS a reference (not merely mentions one).
+
+    A bare name or attribute whose leaf mentions ``ref`` is a Ref; a
+    call wrapping it (``pid_of(ref)``, ``slot_of[ref]``) or an attribute
+    projecting an int field (``ref.pid``) already did the right thing
+    and is not flagged.
+    """
+    if isinstance(expr, ast.Name):
+        return "ref" in expr.id.lower()
+    if isinstance(expr, ast.Attribute):
+        return "ref" in expr.attr.lower()
+    if isinstance(expr, ast.Tuple):
+        return any(_ref_valued(elt) for elt in expr.elts)
+    return False
+
+
+#: iteration sources that yield one item per pending/delivered message.
+_MESSAGE_SOURCE_RE = re.compile(r"(channel|message|msgs|inbox|args)", re.IGNORECASE)
+
+
+class RefKeyedContainerOnStepPath(Rule):
+    id = "PERF004"
+    title = "no Ref-keyed containers or per-message allocation on the step path"
+    rationale = (
+        "The struct-of-arrays core keys every table by int pid/slot; a "
+        "dict or set constructed over Ref objects inside the step loop "
+        "re-introduces per-message object hashing and allocation, which "
+        "is exactly what the tagged-int refactor removed (and what the "
+        "verify-mode differential cannot see — it is a pure perf "
+        "regression). Key by pid_of(ref)/slot instead. Likewise, "
+        "constructing an object per message inside a loop over a "
+        "channel or message buffer allocates on every delivery; hoist "
+        "the object out or operate on the packed int records."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for fn in project.functions.values():
+            if fn.module is not module or not project.is_step_reachable(fn.qualname):
+                continue
+            yield from self._ref_keyed(module, fn)
+            yield from self._per_message_allocs(module, project, fn)
+
+    def _ref_keyed(self, module: Module, fn) -> Iterator[Finding]:
+        for node in _own_statements(fn.node):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is not None and _ref_valued(key):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"Ref-keyed dict literal in step-path function "
+                            f"{fn.name!r}; key by pid_of(ref)/slot",
+                        )
+                        break
+            elif isinstance(node, ast.DictComp):
+                if _ref_valued(node.key):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"Ref-keyed dict comprehension in step-path "
+                        f"function {fn.name!r}; key by pid_of(ref)/slot",
+                    )
+            elif isinstance(node, ast.Set):
+                if any(_ref_valued(elt) for elt in node.elts):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"set of Refs constructed in step-path function "
+                        f"{fn.name!r}; collect pids/slots instead",
+                    )
+            elif isinstance(node, ast.SetComp):
+                if _ref_valued(node.elt):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"set of Refs constructed in step-path function "
+                        f"{fn.name!r}; collect pids/slots instead",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if (
+                    chain in {"dict", "set", "frozenset"}
+                    and node.args
+                    and _ref_valued(node.args[0])
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{chain}() built over Refs in step-path function "
+                        f"{fn.name!r}; key by pid_of(ref)/slot",
+                    )
+
+    def _per_message_allocs(
+        self, module: Module, project: Project, fn
+    ) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()  # nested loops walk bodies twice
+        for node in _own_statements(fn.node):
+            body: list[ast.stmt] | list[ast.expr]
+            if isinstance(node, ast.For):
+                source, body = node.iter, node.body
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                source = node.generators[0].iter
+                body = (
+                    [node.key, node.value]
+                    if isinstance(node, ast.DictComp)
+                    else [node.elt]
+                )
+            else:
+                continue
+            chain = attr_chain(source)
+            if chain is None and isinstance(source, ast.Call):
+                chain = attr_chain(source.func)
+            if chain is None or not _MESSAGE_SOURCE_RE.search(chain):
+                continue
+            for stmt in body:
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    cls = project.resolve_class(module, sub)
+                    if cls is None:
+                        continue
+                    if project.is_exception_class(cls) or project.is_enum_like(cls):
+                        continue
+                    where = (sub.lineno, sub.col_offset)
+                    if where in seen:
+                        continue
+                    seen.add(where)
+                    yield self.finding(
+                        module,
+                        sub,
+                        f"{cls.name!r} allocated per message (loop over "
+                        f"{chain}) in step-path function {fn.name!r}; "
+                        "hoist the object or use the packed records",
+                    )

@@ -92,6 +92,10 @@ def _probe_load_imbalance(e: "Engine") -> float:
     return e.stats.load_imbalance()
 
 
+def _probe_core_active(e: "Engine") -> float:
+    return 1.0 if e.core_status["active"] else 0.0
+
+
 _CATALOG: tuple[Probe, ...] = (
     Probe(
         "potential",
@@ -142,6 +146,12 @@ _CATALOG: tuple[Probe, ...] = (
         "max/mean ratio of per-process delivered messages (1.0 = even)",
         "O(n)",
         _probe_load_imbalance,
+    ),
+    Probe(
+        "core_active",
+        "1.0 when the struct-of-arrays core is executing this run",
+        "O(1)",
+        _probe_core_active,
     ),
 )
 

@@ -39,11 +39,19 @@ outgoing partner multiset mid-action.
 Setting ``REPRO_GRAPH_MODE=rebuild`` (or ``graph_mode="rebuild"``)
 selects the historical rebuild-on-read path — kept for differential
 testing against the incremental structures.
+
+``engine_mode`` selects the execution core the same way: ``"objects"``
+(default) runs the historical object-per-process step loop above;
+``"soa"`` executes eligible runs on the struct-of-arrays
+:class:`~repro.sim.soa.EngineCore` (int-slotted processes, tagged-int
+refs) and exports the final state back into the object model;
+``"verify"`` runs both in lockstep and raises
+:class:`~repro.errors.StateViolation` on any divergence — the
+differential oracle mirroring the ``ref_mode="verify"`` pattern.
 """
 
 from __future__ import annotations
 
-import itertools
 import os
 from dataclasses import dataclass, field
 from functools import partial
@@ -205,6 +213,15 @@ class Engine:
         deltas; ``"rebuild"`` restores the historical rebuild-on-read
         observation path. ``None`` consults the ``REPRO_GRAPH_MODE``
         environment variable (differential-testing escape hatch).
+    engine_mode:
+        Which execution core runs the step loop. ``"objects"`` (default)
+        is the object-per-process loop. ``"soa"`` executes eligible runs
+        (homogeneous FDP/FSP populations under a core-drivable
+        scheduler, no monitors/tracer) on the struct-of-arrays
+        :class:`~repro.sim.soa.EngineCore` and falls back to the object
+        loop otherwise. ``"verify"`` executes every step on both cores
+        and cross-checks them — the differential oracle. ``None``
+        consults the ``REPRO_ENGINE_MODE`` environment variable.
     ref_mode:
         How the live graph learns about per-action ref store/drop deltas.
         ``"tracked"`` (default) drains the write-through
@@ -234,6 +251,7 @@ class Engine:
         require_staying_per_component: bool = True,
         graph_mode: str | None = None,
         ref_mode: str | None = None,
+        engine_mode: str | None = None,
     ) -> None:
         self.processes: dict[int, Process] = {}
         for proc in processes:
@@ -259,9 +277,11 @@ class Engine:
         #: sequence numbers: schedulers consume stamps at attach/bookkeeping
         #: time in scheduler-specific amounts, and message seqs must stay a
         #: pure function of the posting order so that recorded schedules
-        #: replay bit-identically under a ReplayScheduler.
-        self._clock = itertools.count()
-        self._msg_clock = itertools.count()
+        #: replay bit-identically under a ReplayScheduler. Plain ints (not
+        #: itertools.count) so the struct-of-arrays core can read the
+        #: current position and hand the counters back after a batch.
+        self._clock = 0
+        self._msg_seq = 0
         #: Callables ``(engine, pid) -> None`` invoked at the instant a
         #: process requests exit, while it is still part of the graph.
         self.exit_auditors: list[Callable[["Engine", int], None]] = []
@@ -286,6 +306,26 @@ class Engine:
                 f"unknown ref_mode {ref_mode!r} (tracked|fingerprint|verify)"
             )
         self._ref_mode = ref_mode
+        if engine_mode is None:
+            engine_mode = os.environ.get("REPRO_ENGINE_MODE", "objects")
+        if engine_mode not in ("objects", "soa", "verify"):
+            raise ConfigurationError(
+                f"unknown engine_mode {engine_mode!r} (objects|soa|verify)"
+            )
+        self._engine_mode = engine_mode
+        #: the struct-of-arrays execution core (``engine_mode`` soa/verify);
+        #: ``None`` when the population/config is core-ineligible, with the
+        #: reason kept for ``core_status``.
+        self._core: Any | None = None
+        self._core_stale = False
+        self._core_reason: str | None = (
+            None if engine_mode != "objects" else "engine_mode=objects"
+        )
+        #: True while :meth:`step` is executing — distinguishes in-step
+        #: mutations (which the verify core replays itself) from
+        #: out-of-band ones (fault injection, tests poking state), which
+        #: mark the core stale for a rebuild.
+        self._stepping = False
         #: resolved per-run fast-path flags (set at attach, when the
         #: graph mode is known): _track → drain write-through logs,
         #: _ref_verify → additionally cross-check against fingerprints.
@@ -297,8 +337,12 @@ class Engine:
         #: lifecycle counters maintained at the same transition points
         #: that feed the live graph (recounted at attach); they replace
         #: the O(n) sleeper/gone scans on the observation hot paths.
+        #: ``_lifecycle_stale`` defers the recount after out-of-band
+        #: mutations until a counter is actually read — step and describe
+        #: paths never pay the O(n) scan.
         self._asleep_count = 0
         self._gone_count = 0
+        self._lifecycle_stale = False
         #: step index of the last observed progress event: a lifecycle
         #: transition (both graph modes), or a strict Φ decrease
         #: (incremental mode only — rebuild mode would pay a snapshot per
@@ -310,7 +354,9 @@ class Engine:
 
     def next_stamp(self) -> int:
         """Advance and return the global freshness clock."""
-        return next(self._clock)
+        value = self._clock
+        self._clock = value + 1
+        return value
 
     @property
     def _dirty(self) -> bool:
@@ -321,15 +367,17 @@ class Engine:
         # Out-of-band mutation hook. Tests and tools that edit process or
         # channel state directly (rather than through actions) signal it by
         # setting ``engine._dirty = True``; the live graph cannot have seen
-        # those edits, so schedule a full lazy rebuild and refresh the
-        # lifecycle counters. Engine-internal code paths — whose mutations
-        # the live graph *does* observe as deltas — set ``_stale`` instead.
+        # those edits, so schedule a full lazy rebuild and mark the
+        # lifecycle counters stale (recounted on next read, never on the
+        # step path). Engine-internal code paths — whose mutations the
+        # live graph *does* observe as deltas — set ``_stale`` instead.
         self._stale = bool(value)
         if value:
-            if self._attached:
-                self._recount_lifecycle()
+            self._lifecycle_stale = True
             if self._live is not None:
                 self._live_stale = True
+            if self._core is not None:
+                self._core_stale = True
 
     @property
     def graph_mode(self) -> str:
@@ -343,13 +391,37 @@ class Engine:
         return self._ref_mode
 
     @property
+    def engine_mode(self) -> str:
+        """Active execution core: ``"objects"``, ``"soa"`` or ``"verify"``."""
+        return self._engine_mode
+
+    @property
+    def core_status(self) -> dict[str, Any]:
+        """Whether the struct-of-arrays core is active, and why not if not.
+
+        O(1); safe for probes. ``active`` is True when a core instance is
+        mirroring (verify) or eligible to drive (soa) this engine.
+        """
+        return {
+            "engine_mode": self._engine_mode,
+            "active": self._core is not None,
+            "reason": self._core_reason,
+        }
+
+    @property
     def asleep_count(self) -> int:
-        """Number of currently asleep processes (O(1) counter)."""
+        """Number of currently asleep processes (O(1) counter; recounted
+        lazily after out-of-band mutations)."""
+        if self._lifecycle_stale:
+            self._recount_lifecycle()
         return self._asleep_count
 
     @property
     def gone_count(self) -> int:
-        """Number of gone processes (O(1) counter)."""
+        """Number of gone processes (O(1) counter; recounted lazily after
+        out-of-band mutations)."""
+        if self._lifecycle_stale:
+            self._recount_lifecycle()
         return self._gone_count
 
     @property
@@ -376,8 +448,8 @@ class Engine:
             "phi": self.potential(),
             "pending": self.pending_count,
             "edges": self.edge_count,
-            "gone": self._gone_count,
-            "asleep": self._asleep_count,
+            "gone": self.gone_count,
+            "asleep": self.asleep_count,
             "last_progress_step": self._last_progress_step,
         }
 
@@ -406,12 +478,23 @@ class Engine:
         return sum(len(c) for c in self.channels.values())
 
     def _recount_lifecycle(self) -> None:
-        self._asleep_count = sum(
-            1 for p in self.processes.values() if p.state is PState.ASLEEP
-        )
-        self._gone_count = sum(
-            1 for p in self.processes.values() if p.state is PState.GONE
-        )
+        """Recount the lifecycle tallies in one pass over the population.
+
+        Called only on explicit rebuilds (attach, live-graph rebuild) and
+        lazily from the counter properties after an out-of-band mutation
+        — never from the step or describe paths, which read the
+        incrementally maintained counters.
+        """
+        asleep = gone = 0
+        for p in self.processes.values():
+            state = p.state
+            if state is PState.ASLEEP:
+                asleep += 1
+            elif state is PState.GONE:
+                gone += 1
+        self._asleep_count = asleep
+        self._gone_count = gone
+        self._lifecycle_stale = False
 
     def _build_live(self) -> LiveGraph:
         """(Re)build the live graph from a full scan and hook the
@@ -424,6 +507,10 @@ class Engine:
         return self._live
 
     def _observe_channel(self, pid: int, msg: Message, delta: int) -> None:
+        if self._core is not None and not self._stepping:
+            # Direct channel surgery outside an action (fault injectors
+            # dropping/duplicating messages) invalidates the mirror core.
+            self._core_stale = True
         live = self._live
         if live is None or self._live_stale:
             return
@@ -495,7 +582,9 @@ class Engine:
                 raise ConfigurationError(
                     f"message parameter references unknown process {pid_of(ref)}"
                 )
-        msg = Message(label, tuple(args), next(self._msg_clock), sender)
+        seq = self._msg_seq
+        self._msg_seq = seq + 1
+        msg = Message(label, tuple(args), seq, sender)
         self.channels[tpid].add(msg)
         if self.provenance is not None:
             self.provenance.on_post(msg, tpid, self.step_count)
@@ -513,6 +602,10 @@ class Engine:
         except KeyError:
             by[tpid] = 1
         self._stale = True
+        if self._core is not None and not self._stepping:
+            # Out-of-band post (fault injection, tests planting messages
+            # mid-run): the mirror core did not see it — rebuild lazily.
+            self._core_stale = True
         if self._attached and self.processes[tpid].state is not PState.GONE:
             self.scheduler.notify_send(tpid, msg.seq)
         return msg
@@ -593,6 +686,26 @@ class Engine:
                     )
         self._attached = True
         self.scheduler.attach(self)
+        if self._engine_mode != "objects":
+            self._rebuild_core()
+
+    def _rebuild_core(self) -> None:
+        """(Re)build the struct-of-arrays mirror from the object state.
+
+        Ineligible populations (heterogeneous process types, kernel-unknown
+        oracles, unencodable channel content, …) leave ``_core`` as ``None``
+        with the reason recorded — verify/soa modes then fall back to the
+        object loop rather than failing the run.
+        """
+        from repro.sim.soa import CoreUnsupported, EngineCore
+
+        self._core_stale = False
+        try:
+            self._core = EngineCore(self)
+            self._core_reason = None
+        except CoreUnsupported as exc:
+            self._core = None
+            self._core_reason = str(exc)
 
     @property
     def initial_components(self) -> tuple[frozenset[int], ...]:
@@ -607,6 +720,47 @@ class Engine:
 
         if not self._attached:
             self.attach()
+        if self._engine_mode == "verify":
+            return self._step_verified()
+        if self._core is not None:
+            # soa mode stepped one-at-a-time runs on the object loop;
+            # the core re-syncs from the object state at the next run().
+            self._core_stale = True
+        return self._step_objects()
+
+    def _step_verified(self) -> ExecutedStep | None:
+        """One object-loop step, mirrored and cross-checked on the core.
+
+        The differential oracle of ``engine_mode="verify"``: the core
+        replays the same event on its int-slotted state and
+        :meth:`~repro.sim.soa.EngineCore.mirror_step` raises
+        :class:`~repro.errors.StateViolation` if any counter, Φ value or
+        lifecycle outcome disagrees.
+        """
+        if self._core_stale:
+            self._rebuild_core()
+        core = self._core
+        if core is None:
+            return self._step_objects()
+        self._stepping = True
+        try:
+            executed = self._step_objects()
+        except BaseException:
+            # The object step may have half-applied effects (e.g. a strict
+            # unknown-label raise mid-delivery); resync before reuse.
+            self._core_stale = True
+            raise
+        finally:
+            self._stepping = False
+        if executed is not None and not self._core_stale:
+            # A monitor that mutated state out-of-band (a chaos campaign
+            # injecting faults) marked the core stale mid-step; the
+            # mutation is not an event the mirror can replay, so skip the
+            # cross-check here — the next step's entry rebuild resyncs.
+            core.mirror_step(self, executed)
+        return executed
+
+    def _step_objects(self) -> ExecutedStep | None:
         event = self.scheduler.select(self)
         if event is None:
             return None
@@ -637,6 +791,13 @@ class Engine:
             self.tracer.record(self, executed)
         monitors = self.monitors
         if monitors:
+            # Anything a monitor mutates (a chaos campaign injecting
+            # faults) is out-of-band even though it runs inside the step:
+            # the mirror-core staleness checks in post() and
+            # _observe_channel key off _stepping, so it must be False
+            # here or verify mode would cross-check against a mirror
+            # that never saw the injection.
+            self._stepping = False
             for monitor in monitors:
                 monitor(self, executed)
         return executed
@@ -652,6 +813,14 @@ class Engine:
         """
         if self._live is None:
             return None
+        if self._live_stale:
+            # An out-of-band mutation (``_dirty``) scheduled a rebuild.
+            # Do it now, before the action body runs: deferred any
+            # further, the rebuild can fire mid-action (an oracle
+            # connectivity query calls ``_ensure_live``), scan the
+            # half-applied action and then double-count its deltas in
+            # ``_post_action``.
+            self._build_live()
         if proc.ref_tracking:
             pending = proc._ref_log.pending  # noqa: SLF001
             if pending:
@@ -792,10 +961,49 @@ class Engine:
         predicate is given and the budget ran out). ``check_every`` spaces
         out predicate evaluation — legitimacy checks walk the whole graph,
         so evaluating every step would dominate large runs.
+
+        In ``engine_mode="soa"`` eligible runs (no monitors/tracer/
+        provenance/auditors, core-drivable scheduler) execute in batches
+        on the struct-of-arrays core, exporting back into the object
+        model at every predicate boundary and at the end; anything else
+        falls back to the object loop. In ``"verify"`` mode the whole
+        run additionally ends with a deep state cross-check.
         """
 
         if not self._attached:
             self.attach()
+        if self._engine_mode == "soa":
+            driver = self._soa_driver()
+            if driver is not None:
+                return self._run_soa(
+                    max_steps,
+                    driver,
+                    until=until,
+                    check_every=check_every,
+                    raise_on_budget=raise_on_budget,
+                )
+        result = self._run_objects(
+            max_steps,
+            until=until,
+            check_every=check_every,
+            raise_on_budget=raise_on_budget,
+        )
+        if (
+            self._engine_mode == "verify"
+            and self._core is not None
+            and not self._core_stale
+        ):
+            self._core.verify_full(self)
+        return result
+
+    def _run_objects(
+        self,
+        max_steps: int,
+        *,
+        until: Callable[["Engine"], bool] | None = None,
+        check_every: int = 1,
+        raise_on_budget: bool = False,
+    ) -> bool:
         if until is not None and until(self):
             return True
         for i in range(max_steps):
@@ -816,6 +1024,128 @@ class Engine:
                 diagnostics=self.progress_diagnostics(),
             )
         return False
+
+    def _soa_driver(self) -> Any | None:
+        """Scheduler driver for a batched soa run, or ``None`` to fall back.
+
+        Observers (monitors, tracer, provenance, exit auditors) need the
+        object model per step, so their presence forces the object loop.
+        """
+        if (
+            self.monitors
+            or self.tracer is not None
+            or self.provenance is not None
+            or self.exit_auditors
+        ):
+            return None
+        if self._core_stale:
+            self._rebuild_core()
+        core = self._core
+        if core is None:
+            return None
+        driver = core.cached_driver
+        if driver is None or core.cached_driver_for is not self.scheduler:
+            # One driver per core lifetime: after a run, splice() leaves
+            # the scheduler and the mirror in agreement, and every path
+            # that desynchronizes them marks the core stale (rebuilding
+            # both). Rebuilding the mirror per run would rescan the pool.
+            # A swapped-in scheduler (replay installs one post-build)
+            # invalidates the cache by identity.
+            from repro.sim.soa import make_driver
+
+            driver = make_driver(self, core)
+            core.cached_driver = driver
+            core.cached_driver_for = self.scheduler
+        return driver
+
+    def _run_soa(
+        self,
+        max_steps: int,
+        driver: Any,
+        *,
+        until: Callable[["Engine"], bool] | None = None,
+        check_every: int = 1,
+        raise_on_budget: bool = False,
+    ) -> bool:
+        """Batched run on the struct-of-arrays core.
+
+        The core executes up to ``check_every`` steps per batch without
+        touching the object model; at each predicate boundary (and at
+        quiescence / budget end) :meth:`~repro.sim.soa.EngineCore.export_to`
+        copies the full state back so *until* and all observation APIs see
+        exactly what the object loop would have produced. A predicate that
+        mutates engine state out-of-band marks the core stale, and the
+        remainder of the budget finishes on the object loop.
+        """
+        core = self._core
+        core.driver = driver
+        try:
+            if until is not None:
+                if until(self):
+                    return True
+                if self._core_stale:
+                    return self._run_objects(
+                        max_steps,
+                        until=until,
+                        check_every=check_every,
+                        raise_on_budget=raise_on_budget,
+                    )
+            i = 0
+            while i < max_steps:
+                if until is not None:
+                    batch = min(check_every - (i % check_every), max_steps - i)
+                else:
+                    batch = max_steps - i
+                executed = core.run_batch(batch)
+                i += executed
+                if executed < batch:  # quiescent: state can no longer change
+                    core.export_to(self)
+                    return until(self) if until is not None else False
+                if until is not None and i % check_every == 0:
+                    core.export_to(self)
+                    if until(self):
+                        return True
+                    if self._core_stale:
+                        # The predicate poked engine state; the core no
+                        # longer mirrors it. Finish on the object loop.
+                        return self._run_objects(
+                            max_steps - i,
+                            until=until,
+                            check_every=check_every,
+                            raise_on_budget=raise_on_budget,
+                        )
+            core.export_to(self)
+            if until is not None and max_steps % check_every != 0 and until(self):
+                return True
+            if raise_on_budget:
+                raise ConvergenceError(
+                    f"predicate not reached within {max_steps} steps",
+                    stats=self.stats.as_dict(),
+                    diagnostics=self.progress_diagnostics(),
+                )
+            return False
+        finally:
+            core.driver = None
+
+    def verify_core_state(self) -> bool:
+        """Deep cross-check of the struct-of-arrays core against the
+        object state (per-slot lifecycle, neighbor stores, anchors,
+        channels, counters, Φ).
+
+        Returns ``False`` when no core is active (``engine_mode=objects``
+        or an ineligible population); raises
+        :class:`~repro.errors.StateViolation` on any divergence.
+        """
+        if self._engine_mode == "objects":
+            return False
+        if not self._attached:
+            self.attach()
+        if self._core_stale:
+            self._rebuild_core()
+        if self._core is None:
+            return False
+        self._core.verify_full(self)
+        return True
 
     # ------------------------------------------------------------------ snapshots
 
@@ -898,12 +1228,12 @@ class Engine:
                 return set()
             live = self._ensure_live()
             partners = live.partners(pid)
-            if self._asleep_count:
+            if self.asleep_count:
                 # Hibernation-aware path: SINGLE quantifies over the
                 # relevant processes only.
                 partners &= live.relevant()
             return partners
-        if self._asleep_count:
+        if self.asleep_count:
             snap = self.snapshot()
             if pid not in snap:
                 return set()
@@ -996,7 +1326,7 @@ class Engine:
             return True
         if self._graph_mode == "incremental":
             live = self._ensure_live()
-            if self._asleep_count == 0:
+            if self.asleep_count == 0:
                 return live.same_component(members)
             return live.induced_connected(members)
         return self.snapshot().is_weakly_connected(members)
@@ -1025,19 +1355,15 @@ class Engine:
             edges = live.edge_total
             pending = live.pending_total
             phi = live.phi
-            gone = self._gone_count
-            asleep = self._asleep_count
         else:
             snap = self.snapshot()
             edges = len(snap.edges)
             pending = sum(len(ch) for ch in self.channels.values())
             phi = self.potential()
-            gone = sum(
-                1 for p in self.processes.values() if p.state is PState.GONE
-            )
-            asleep = sum(
-                1 for p in self.processes.values() if p.state is PState.ASLEEP
-            )
+        # Lifecycle tallies come from the maintained counters in both
+        # graph modes — describe() never scans the population.
+        gone = self.gone_count
+        asleep = self.asleep_count
         return {
             "step": self.step_count,
             "processes": len(self.processes),

@@ -105,7 +105,7 @@ class Message:
         explicit parameter).
     """
 
-    __slots__ = ("label", "args", "seq", "sender")
+    __slots__ = ("label", "args", "seq", "sender", "_pairs")
 
     def __init__(
         self,
@@ -118,6 +118,8 @@ class Message:
         self.args = args
         self.seq = seq
         self.sender = sender
+        #: lazily computed (pid, belief) pairs; see :meth:`edge_pairs`.
+        self._pairs: tuple[tuple[int, Mode | None], ...] | None = None
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Message):
@@ -140,6 +142,33 @@ class Message:
     def refinfos(self) -> Iterator[RefInfo]:
         """Iterate over all :class:`RefInfo` entries in the parameters."""
         return iter_refinfos(self.args)
+
+    def edge_pairs(self) -> tuple[tuple[int, Mode | None], ...]:
+        """The message's implicit-edge deltas as ``(dst_pid, belief)`` int
+        pairs, computed once and cached.
+
+        This is the hot-path feed for the live graph: a message's edges
+        are consumed at least twice (enqueue and dequeue), and walking
+        the ``refinfos()`` generator re-allocates an iterator chain each
+        time. Messages are immutable once posted, so the pair tuple is a
+        pure function of ``args`` and safe to cache on first use. The
+        pairs carry no :class:`Ref` objects — downstream consumers (the
+        live graph, the struct-of-arrays core) stay in the int domain.
+        """
+
+        pairs = self._pairs
+        if pairs is None:
+            args = self.args
+            if len(args) == 1 and type(args[0]) is RefInfo:
+                info = args[0]
+                pairs = ((info.ref._pid, info.mode),)  # noqa: SLF001
+            else:
+                pairs = tuple(
+                    (info.ref._pid, info.mode)  # noqa: SLF001
+                    for info in iter_refinfos(args)
+                )
+            self._pairs = pairs
+        return pairs
 
     def refs(self) -> Iterator[Ref]:
         """Iterate over all references in the parameters."""

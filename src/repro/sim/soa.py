@@ -1,0 +1,1638 @@
+"""Struct-of-arrays execution core: the engine's int-domain fast path.
+
+:class:`EngineCore` holds the *entire* mutable simulation state of an
+eligible run in flat, int-indexed structures — no ``Ref``, ``RefInfo``,
+``Message`` or per-process Python objects on the hot path:
+
+* processes live in **slots** ``0..n-1`` (engine pid order); per-slot
+  ``bytearray``/``array`` columns carry mode, lifecycle state, the FSP
+  flag bits and the per-process statistics counters;
+* references are **tagged ints** (:func:`~repro.sim.refs.tag_ref`): the
+  low bits index the slot, the high bits a generation bumped when the
+  slot's process exits, so a stale tag never equals a live one;
+* neighbourhood/anchor/parked stores are per-slot dicts keyed by slot
+  index with small-int belief codes, preserving the object model's
+  insertion order (drain order ⇒ message seq order ⇒ bit-identity);
+* channels are per-slot insertion-ordered ``{seq: record}`` maps whose
+  records pack label, belief, subject slot and sender into one int;
+* Φ, the edge multiset totals and the pending-message count are running
+  counters updated by the same delta rules as
+  :class:`~repro.graphs.livegraph.LiveGraph`.
+
+The core runs in two roles selected by ``Engine(engine_mode=...)``:
+
+* ``verify`` — the object engine executes every step and the core
+  *mirrors* it (:meth:`mirror_step`), replaying the event through the
+  int kernels and cross-checking counters after every step plus a deep
+  structural comparison (:meth:`verify_full`) at run end. Divergence
+  raises :class:`~repro.errors.StateViolation` — the same differential-
+  oracle pattern as ``ref_mode="verify"``.
+* ``soa`` — the core *drives* (:meth:`run_batch`): it selects events
+  through a scheduler driver, executes kernels, and the engine exports
+  the final state back into the object model
+  (:meth:`export_to`) at predicate boundaries and run end.
+
+Eligibility is checked at construction: homogeneous exact-type
+FDP/FSP populations, a kernelizable oracle (``None``/SINGLE/ALWAYS/
+NEVER), and encodable channel content. Anything else raises
+:class:`CoreUnsupported` and the engine falls back to (or stays on)
+the object path, recording the reason in ``Engine.core_status``.
+
+The kernels below are line-for-line transcriptions of
+:class:`~repro.core.fdp.FDPProcess` / :class:`~repro.core.fsp.FSPProcess`
+and the engine's post/deliver/transition plumbing; every send, clock
+consumption and scheduler notification happens in the exact order of
+the object path so that message sequence numbers, RNG draws and dict
+iteration orders stay bit-identical between the two cores.
+"""
+
+from __future__ import annotations
+
+from array import array
+from random import Random
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError, StateViolation, UnknownActionError
+from repro.sim.messages import Message, RefInfo
+from repro.sim.refs import REF_SLOT_BITS, tag_ref
+from repro.sim.scheduler import (
+    DeliverEvent,
+    RandomScheduler,
+    TimeoutEvent,
+)
+from repro.sim.states import Mode, PState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["EngineCore", "CoreUnsupported", "SlotRefView"]
+
+# Belief codes: raw piggybacked/stored beliefs. Normalization (the Φ
+# convention: an absent belief counts as a staying claim) maps 2 → 0.
+_STAYING, _LEAVING, _NONE = 0, 1, 2
+# Lifecycle codes, aligned with PState ordering used throughout.
+_AWAKE, _ASLEEP, _GONE = 0, 1, 2
+
+_MODE_BY_CODE: tuple = (Mode.STAYING, Mode.LEAVING, None)
+_STATE_BY_CODE: tuple = (PState.AWAKE, PState.ASLEEP, PState.GONE)
+
+# Channel record layout: one Python int per pending message.
+#   bits 0-7   label id (0=present, 1=forward, >=2 interned others)
+#   bits 8-9   raw belief code of the single RefInfo parameter
+#   bits 10-31 subject slot + 1 (0 = no reference parameter)
+#   bits 32+   sender slot + 1 (0 = planted message, sender None)
+_LABEL_MASK = 0xFF
+_BEL_SHIFT = 8
+_SUBJ_SHIFT = 10
+_SUBJ_MASK = (1 << 22) - 1
+_SENDER_SHIFT = 32
+
+
+def _code(belief: Mode | None) -> int:
+    if belief is Mode.STAYING:
+        return _STAYING
+    if belief is Mode.LEAVING:
+        return _LEAVING
+    if belief is None:
+        return _NONE
+    raise CoreUnsupported(f"unencodable belief {belief!r}")
+
+
+class CoreUnsupported(Exception):
+    """This run cannot execute on the struct-of-arrays core.
+
+    Raised during :class:`EngineCore` construction; the engine catches
+    it, stays on the object path and records the message in
+    ``core_status["reason"]``.
+    """
+
+
+class SlotRefView:
+    """Thin copy-store-send view over a tagged-int reference.
+
+    The boundary object handed out when core state is surfaced without
+    going through the object model (debug dumps, delta feeds): equality
+    and hashing delegate to the tagged int, so two views are equal iff
+    slot *and* generation agree — a reference that survived its
+    process's exit never matches a live one.
+    """
+
+    __slots__ = ("_tag",)
+
+    def __init__(self, tag: int) -> None:
+        object.__setattr__(self, "_tag", tag)
+
+    @property
+    def tag(self) -> int:
+        return self._tag
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SlotRefView):
+            return self._tag == other._tag
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, SlotRefView):
+            return self._tag != other._tag
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((0x50A, self._tag))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SlotRefView is immutable")
+
+    def __repr__(self) -> str:
+        slot = self._tag & ((1 << REF_SLOT_BITS) - 1)
+        gen = self._tag >> REF_SLOT_BITS
+        return f"SlotRef<{slot}@{gen}>"
+
+
+# ---------------------------------------------------------------------------
+# Scheduler drivers (soa mode): the core's event source.
+
+
+class _ObjectSchedDriver:
+    """Drive a real (core-drivable) scheduler object from the int loop.
+
+    Used for :class:`OldestFirstScheduler` and
+    :class:`AdversarialScheduler`: their ``select`` never reads engine
+    state, so the core can feed them notifications in the engine's
+    exact order and translate the returned events to slots.
+    """
+
+    __slots__ = ("_sched", "_pids", "_slot_of")
+
+    def __init__(self, sched: Any, pids: list[int], slot_of: dict[int, int]) -> None:
+        self._sched = sched
+        self._pids = pids
+        self._slot_of = slot_of
+
+    def select(self) -> tuple[bool, int, int] | None:
+        ev = self._sched.select(None)
+        if ev is None:
+            return None
+        if type(ev) is TimeoutEvent:
+            return (True, self._slot_of[ev.pid], -1)
+        return (False, self._slot_of[ev.pid], ev.seq)
+
+    def notify_send(self, slot: int, seq: int) -> None:
+        self._sched.notify_send(self._pids[slot], seq)
+
+    def notify_wake(self, slot: int, stamp: int) -> None:
+        self._sched.notify_wake(self._pids[slot], stamp)
+
+    def notify_sleep(self, slot: int) -> None:
+        self._sched.notify_sleep(self._pids[slot])
+
+    def notify_gone(self, slot: int, seqs: list[int]) -> None:
+        self._sched.notify_gone(self._pids[slot], seqs)
+
+    def notify_timeout_executed(self, slot: int, stamp: int) -> None:
+        self._sched.notify_timeout_executed(self._pids[slot], stamp)
+
+    def splice(self) -> None:
+        """Nothing to write back: the real object was mutated in place."""
+
+
+class _ReplayDriver:
+    """Drive a :class:`~repro.sim.replay.ReplayScheduler` from the int loop.
+
+    Replays need no notifications; the only engine reads in the object
+    scheduler's ``select`` are the validation guards, re-expressed here
+    against the core's own columns (``state_``, ``ch``) so recorded
+    schedules — including chaos capsules — execute on the core without
+    a per-step export. The cursor advances on the shared scheduler
+    object, so the object path continues seamlessly after a batch.
+    """
+
+    __slots__ = ("_sched", "_core", "_slot_of")
+
+    def __init__(self, sched: Any, core: EngineCore) -> None:
+        self._sched = sched
+        self._core = core
+        self._slot_of = core.slot_of
+
+    def select(self) -> tuple[bool, int, int] | None:
+        sched = self._sched
+        events = sched._events  # noqa: SLF001 - shared-cursor contract
+        cursor = sched._cursor  # noqa: SLF001
+        if cursor >= len(events):
+            return None
+        event = events[cursor]
+        sched._cursor = cursor + 1  # noqa: SLF001
+        core = self._core
+        u = self._slot_of.get(event.pid)
+        if event.kind == "timeout":
+            if u is None or core.state_[u] != _AWAKE:
+                raise ConfigurationError(
+                    f"replay diverged at #{cursor + 1}: timeout for "
+                    f"non-awake process {event.pid}"
+                )
+            return (True, u, -1)
+        if event.kind == "deliver":
+            if u is None or event.seq not in core.ch[u]:
+                raise ConfigurationError(
+                    f"replay diverged at #{cursor + 1}: message "
+                    f"{event.seq} not pending at process {event.pid}"
+                )
+            return (False, u, event.seq)
+        raise ConfigurationError(f"unknown recorded event kind {event.kind!r}")
+
+    def notify_send(self, slot: int, seq: int) -> None:
+        return
+
+    def notify_wake(self, slot: int, stamp: int) -> None:
+        return
+
+    def notify_sleep(self, slot: int) -> None:
+        return
+
+    def notify_gone(self, slot: int, seqs: list[int]) -> None:
+        return
+
+    def notify_timeout_executed(self, slot: int, stamp: int) -> None:
+        return
+
+    def splice(self) -> None:
+        """Nothing to write back: the cursor lives on the shared object."""
+
+
+class _RandomMirror:
+    """Int-entry mirror of a :class:`RandomScheduler`'s pool.
+
+    The pool scheduler's tuple entries (``("d", pid, seq)``) dominate
+    the allocation profile of an unmonitored run, so for the exact
+    default scheduler type the core mirrors the pool as packed ints:
+    a timeout entry is the slot itself; a delivery entry is
+    ``(seq + 1) << nbits | slot``. The mirror *shares* the scheduler's
+    ``Random`` instance (its state advances identically) and replicates
+    the pool's swap-remove order and the arrival-clock consumption
+    rules exactly, so every ``randrange`` draw sees the same pool size
+    and index layout as the object path would. :meth:`splice` writes
+    the pool back as tuples so the object scheduler continues
+    seamlessly after the batch.
+    """
+
+    __slots__ = (
+        "_sched",
+        "_pids",
+        "_slot_of",
+        "_nbits",
+        "_dbase",
+        "_smask",
+        "_pool",
+        "_pos",
+        "_stamps",
+        "_arrival",
+        "_rng",
+    )
+
+    def __init__(
+        self, sched: RandomScheduler, pids: list[int], slot_of: dict[int, int]
+    ) -> None:
+        self._sched = sched
+        self._pids = pids
+        self._slot_of = slot_of
+        nbits = max(1, len(pids).bit_length())
+        self._nbits = nbits
+        self._dbase = 1 << nbits
+        self._smask = self._dbase - 1
+        self._pool: list[int] = []
+        self._pos: dict[int, int] = {}
+        # Arrival stamps as a list aligned index-for-index with _pool
+        # (swap-remove maintains the pairing): list append/pop beats a
+        # second big dict on the hot path, and delivered entries leave
+        # no dead stamps behind.
+        self._stamps: list[int] = []
+        self._arrival = sched._arrival  # noqa: SLF001 - mirror splice contract
+        self._rng: Random = sched._rng  # noqa: SLF001 - shared state, no splice
+        for entry in sched._pool:  # noqa: SLF001
+            enc = self._encode(entry)
+            self._pos[enc] = len(self._pool)
+            self._pool.append(enc)
+            self._stamps.append(sched._stamp[entry])  # noqa: SLF001
+
+    def _encode(self, entry: tuple) -> int:
+        slot = self._slot_of[entry[1]]
+        if entry[0] == "t":
+            return slot
+        return ((entry[2] + 1) << self._nbits) | slot
+
+    def _decode(self, enc: int) -> tuple:
+        slot = enc & self._smask
+        if enc < self._dbase:
+            return ("t", self._pids[slot])
+        return ("d", self._pids[slot], (enc >> self._nbits) - 1)
+
+    # -- pool primitives (replicating _PoolScheduler exactly) ------------------
+
+    def _add(self, enc: int, stamp: int) -> None:
+        if enc in self._pos:
+            return
+        self._pos[enc] = len(self._pool)
+        self._pool.append(enc)
+        self._stamps.append(stamp)
+
+    def _remove(self, enc: int) -> None:
+        idx = self._pos.pop(enc, None)
+        if idx is None:
+            return
+        last = self._pool.pop()
+        st = self._stamps.pop()
+        if last != enc:
+            self._pool[idx] = last
+            self._stamps[idx] = st
+            self._pos[last] = idx
+
+    # -- notification hooks ----------------------------------------------------
+
+    def notify_send(self, slot: int, seq: int) -> None:
+        # Call-site semantics: the arrival clock advances on every
+        # notification, even when _add dedups the entry.
+        value = self._arrival
+        self._arrival = value + 1
+        self._add(((seq + 1) << self._nbits) | slot, value)
+
+    def notify_wake(self, slot: int, stamp: int) -> None:
+        value = self._arrival
+        self._arrival = value + 1
+        self._add(slot, value)
+
+    def notify_sleep(self, slot: int) -> None:
+        self._remove(slot)
+
+    def notify_gone(self, slot: int, seqs: list[int]) -> None:
+        self._remove(slot)
+        nbits = self._nbits
+        for seq in seqs:
+            self._remove(((seq + 1) << nbits) | slot)
+
+    def notify_timeout_executed(self, slot: int, stamp: int) -> None:
+        # Arrival consumed only when the entry is present (the object
+        # scheduler guards the consumption inside the method body).
+        idx = self._pos.get(slot)
+        if idx is not None:
+            value = self._arrival
+            self._arrival = value + 1
+            self._stamps[idx] = value
+
+    def select(self) -> tuple[bool, int, int] | None:
+        pool = self._pool
+        if not pool:
+            return None
+        enc = pool[self._rng.randrange(len(pool))]
+        if enc >= self._dbase:
+            self._remove(enc)
+            return (False, enc & self._smask, (enc >> self._nbits) - 1)
+        return (True, enc, -1)
+
+    def splice(self) -> None:
+        """Write the mirrored pool state back into the real scheduler.
+
+        One decode per live pool entry; the aligned stamps list gives
+        each entry's arrival stamp by position.
+        """
+        sched = self._sched
+        nbits = self._nbits
+        smask = self._smask
+        dbase = self._dbase
+        pids = self._pids
+        mstamps = self._stamps
+        pool: list[tuple] = []
+        stamps: dict[tuple, int] = {}
+        for i, enc in enumerate(self._pool):
+            slot = enc & smask
+            if enc < dbase:
+                entry: tuple = ("t", pids[slot])
+            else:
+                entry = ("d", pids[slot], (enc >> nbits) - 1)
+            pool.append(entry)
+            stamps[entry] = mstamps[i]
+        sched._pool = pool  # noqa: SLF001 - mirror splice contract
+        sched._pos = {entry: i for i, entry in enumerate(pool)}  # noqa: SLF001
+        sched._stamp = stamps  # noqa: SLF001
+        sched._arrival = self._arrival  # noqa: SLF001
+
+
+# ---------------------------------------------------------------------------
+# The core itself.
+
+
+class EngineCore:
+    """Flat-array replica of one engine's simulation state.
+
+    Built from an attached :class:`~repro.sim.engine.Engine`; raises
+    :class:`CoreUnsupported` when the population, oracle or channel
+    content cannot be kernelized. See the module docstring for the
+    layout and the two operating roles.
+    """
+
+    __slots__ = (
+        "is_fsp",
+        "oracle_kind",
+        "pids",
+        "slot_of",
+        "strict",
+        "mode_",
+        "state_",
+        "gen_",
+        "anchor_",
+        "abelief_",
+        "N",
+        "parked",
+        "averified_",
+        "aprobe_",
+        "labels",
+        "_label_of",
+        "ch",
+        "in_",
+        "_mirror",
+        "phi",
+        "edge_total",
+        "pending",
+        "steps",
+        "stat_steps",
+        "timeouts",
+        "deliveries",
+        "posted",
+        "dropped",
+        "exits",
+        "sleeps",
+        "wakes",
+        "oq",
+        "otrue",
+        "timeouts_by",
+        "deliveries_by",
+        "sent_by",
+        "received_by",
+        "clock",
+        "next_seq",
+        "_seq0",
+        "_posted0",
+        "_pending0",
+        "_del0",
+        "_drop0",
+        "asleep",
+        "gone",
+        "last_progress",
+        "last_phi_seen",
+        "track_phi",
+        "last_acted",
+        "driver",
+        "cached_driver",
+        "cached_driver_for",
+    )
+
+    def __init__(self, engine: Engine) -> None:
+        from repro.core.fdp import FDPProcess
+        from repro.core.fsp import FSPProcess
+        from repro.core.oracles import AlwaysOracle, NeverOracle, SingleOracle
+
+        procs = list(engine.processes.values())
+        if not procs:
+            raise CoreUnsupported("empty population")
+        n = len(procs)
+        if n > (1 << REF_SLOT_BITS):
+            raise CoreUnsupported(f"population {n} exceeds slot space")
+        first = type(procs[0])
+        if first is FSPProcess:
+            self.is_fsp = True
+            if not engine.capability.allows_sleep:
+                raise CoreUnsupported("FSP population without SLEEP capability")
+        elif first is FDPProcess:
+            self.is_fsp = False
+            if not engine.capability.allows_exit:
+                raise CoreUnsupported("FDP population without EXIT capability")
+        else:
+            raise CoreUnsupported(f"non-FDP/FSP population ({first.__name__})")
+        if any(type(p) is not first for p in procs):
+            raise CoreUnsupported("heterogeneous population")
+
+        oracle = engine._oracle  # noqa: SLF001 - core is an engine internal
+        if oracle is None:
+            self.oracle_kind: str | None = None
+        elif type(oracle) is SingleOracle:
+            self.oracle_kind = "single"
+        elif type(oracle) is AlwaysOracle:
+            self.oracle_kind = "always"
+        elif type(oracle) is NeverOracle:
+            self.oracle_kind = "never"
+        else:
+            raise CoreUnsupported(f"unkernelized oracle {oracle!r}")
+
+        self.pids: list[int] = [p.pid for p in procs]
+        slot_of = {pid: i for i, pid in enumerate(self.pids)}
+        self.slot_of: dict[int, int] = slot_of
+        self.strict = engine.strict
+
+        self.mode_ = bytearray(n)
+        self.state_ = bytearray(n)
+        self.gen_ = array("I", bytes(4 * n))
+        # Plain lists for the slot columns the kernels index every step:
+        # list item access reuses the stored int objects, while array()
+        # re-boxes a fresh int on every read.
+        self.anchor_ = [-1] * n
+        self.abelief_ = bytearray([_NONE]) * n
+        self.N: list[dict[int, int]] = [dict() for _ in range(n)]
+        if self.is_fsp:
+            self.parked: list[dict[int, int]] = [dict() for _ in range(n)]
+            self.averified_ = bytearray(n)
+            self.aprobe_ = bytearray(n)
+        else:
+            self.parked = []
+            self.averified_ = bytearray(0)
+            self.aprobe_ = bytearray(0)
+        for i, p in enumerate(procs):
+            if p.mode is Mode.LEAVING:
+                self.mode_[i] = _LEAVING
+            st = p.state
+            self.state_[i] = (
+                _GONE if st is PState.GONE else _ASLEEP if st is PState.ASLEEP else _AWAKE
+            )
+            nd = self.N[i]
+            for ref, belief in p.N.items():
+                slot = slot_of[ref._pid]  # noqa: SLF001
+                if slot == i:
+                    # The object path's ctx.send auto-completes beliefs on
+                    # self references when draining such (corrupted) stores;
+                    # the kernels do not model that corner.
+                    raise CoreUnsupported(f"self-reference stored by pid {p.pid}")
+                nd[slot] = _code(belief)
+            anchor = p.anchor
+            if anchor is not None:
+                aslot = slot_of[anchor._pid]  # noqa: SLF001
+                if aslot == i:
+                    raise CoreUnsupported(f"self-anchor stored by pid {p.pid}")
+                self.anchor_[i] = aslot
+            self.abelief_[i] = _code(p.anchor_belief)
+            if self.is_fsp:
+                pk = self.parked[i]
+                for ref, belief in p.parked.items():
+                    slot = slot_of[ref._pid]  # noqa: SLF001
+                    if slot == i:
+                        raise CoreUnsupported(f"self-reference parked by pid {p.pid}")
+                    pk[slot] = _code(belief)
+                self.averified_[i] = 1 if p.anchor_verified else 0
+                self.aprobe_[i] = 1 if p.anchor_probe_sent else 0
+
+        # Channels: per-slot insertion-ordered {seq: packed record}.
+        self.labels: list[str] = ["present", "forward"]
+        label_of = {"present": 0, "forward": 1}
+        self.ch: list[dict[int, int]] = [dict() for _ in range(n)]
+        for i, pid in enumerate(self.pids):
+            store = self.ch[i]
+            for msg in engine.channels[pid]:
+                store[msg.seq] = self._encode_msg(msg, label_of)
+        self._label_of = label_of
+
+        # Edge multiset totals + incoming adjacency, built by the LiveGraph
+        # scan order (explicit stores first, then channel content; gone
+        # sources contribute pending but no edges). Only the *incoming*
+        # direction is indexed: the SINGLE oracle reads a process's
+        # out-partners straight from its own stores at query time, so the
+        # hot path pays one adjacency update per edge delta, not two.
+        self.in_: list[dict[int, int]] = [dict() for _ in range(n)]
+        self.phi = 0
+        self.edge_total = 0
+        self.pending = 0
+        for i in range(n):
+            self.pending += len(self.ch[i])
+            if self.state_[i] == _GONE:
+                continue
+            for v, bel in self.N[i].items():
+                self._edge(i, v, _STAYING if bel == _NONE else bel, 1)
+            a = self.anchor_[i]
+            if a >= 0:
+                ab = self.abelief_[i]
+                self._edge(i, a, _STAYING if ab == _NONE else ab, 1)
+            if self.is_fsp:
+                for v, bel in self.parked[i].items():
+                    self._edge(i, v, _STAYING if bel == _NONE else bel, 1)
+            for rec in self.ch[i].values():
+                subj = ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1
+                if subj >= 0:
+                    bel = (rec >> _BEL_SHIFT) & 3
+                    self._edge(i, subj, _STAYING if bel == _NONE else bel, 1)
+
+        # Counters, spliced from the engine's current position.
+        stats = engine.stats
+        self.steps = engine.step_count
+        self.stat_steps = stats.steps
+        self.timeouts = stats.timeouts
+        self.deliveries = stats.deliveries
+        self.posted = stats.messages_posted
+        self.dropped = stats.dropped_unknown
+        self.exits = stats.exits
+        self.sleeps = stats.sleeps
+        self.wakes = stats.wakes
+        self.oq = stats.oracle_queries
+        self.otrue = stats.oracle_true
+        self.timeouts_by = self._by_list(stats.timeouts_by, n)
+        self.deliveries_by = self._by_list(stats.deliveries_by, n)
+        self.sent_by = self._by_list(stats.sent_by, n)
+        self.received_by = self._by_list(stats.received_by, n)
+        self.clock = engine._clock  # noqa: SLF001
+        self.next_seq = engine._msg_seq  # noqa: SLF001
+        # posted/pending bases: both counters move in lockstep with
+        # next_seq/deliveries/dropped, so the hot path skips their
+        # read-modify-writes and _sync_flow recomputes them on demand.
+        self._seq0 = self.next_seq
+        self._posted0 = self.posted
+        self._pending0 = self.pending
+        self._del0 = self.deliveries
+        self._drop0 = self.dropped
+        self.asleep = engine.asleep_count
+        self.gone = engine.gone_count
+        self.last_progress = engine._last_progress_step  # noqa: SLF001
+        self.last_phi_seen = engine._last_phi_seen  # noqa: SLF001
+        self.track_phi = engine.graph_mode == "incremental"
+        #: action cursor: the step index at which each slot last executed
+        #: an action (timeout or delivery) — new SoA-only observability.
+        self.last_acted = [-1] * n
+        #: scheduler driver while the core drives (soa mode); None while
+        #: mirroring (verify mode). ``_mirror`` caches the driver iff it
+        #: is the inlinable :class:`_RandomMirror`.
+        self.driver: Any | None = None
+        self._mirror: _RandomMirror | None = None
+        #: engine-held driver cache (one driver per core lifetime).
+        self.cached_driver: Any | None = None
+        self.cached_driver_for: Any | None = None
+
+    def _by_list(self, by: dict[int, int], n: int) -> list[int]:
+        arr = [0] * n
+        slot_of = self.slot_of
+        for pid, count in by.items():
+            slot = slot_of.get(pid)
+            if slot is None:
+                raise CoreUnsupported(f"stats reference unknown pid {pid}")
+            arr[slot] = count
+        return arr
+
+    def _encode_msg(self, msg: Message, label_of: dict[str, int]) -> int:
+        label_id = label_of.get(msg.label)
+        if label_id is None:
+            if len(self.labels) > _LABEL_MASK:
+                raise CoreUnsupported("label table overflow")
+            label_id = len(self.labels)
+            self.labels.append(msg.label)
+            label_of[msg.label] = label_id
+        args = msg.args
+        if len(args) == 1 and type(args[0]) is RefInfo:
+            info = args[0]
+            subj = self.slot_of.get(info.ref._pid)  # noqa: SLF001
+            if subj is None:
+                raise CoreUnsupported("message references unknown pid")
+            bel = _code(info.mode)
+        elif len(args) == 0:
+            if label_id < 2:
+                raise CoreUnsupported(f"malformed zero-arg {msg.label!r} message")
+            subj, bel = -1, _NONE
+        else:
+            raise CoreUnsupported("message with unencodable parameter list")
+        sender = msg.sender
+        if sender is None:
+            sslot = -1
+        else:
+            sslot = self.slot_of.get(sender, -2)
+            if sslot == -2:
+                raise CoreUnsupported(f"message sender unknown pid {sender}")
+        return (
+            label_id
+            | (bel << _BEL_SHIFT)
+            | ((subj + 1) << _SUBJ_SHIFT)
+            | ((sslot + 1) << _SENDER_SHIFT)
+        )
+
+    # ------------------------------------------------------------------ refs
+
+    def tagged_ref(self, slot: int) -> int:
+        """Current tagged-int reference for *slot*."""
+        return tag_ref(slot, self.gen_[slot])
+
+    def ref_view(self, slot: int) -> SlotRefView:
+        """Boundary view object for *slot*'s current reference."""
+        return SlotRefView(self.tagged_ref(slot))
+
+    # ------------------------------------------------------------------ edges
+
+    def _edge(self, src: int, dst: int, nb: int, count: int) -> None:
+        """Apply an edge-multiset delta (*nb* is the normalized belief)."""
+        inn = self.in_[dst]
+        c = inn.get(src, 0) + count
+        if c:
+            inn[src] = c
+        else:
+            del inn[src]
+        self.edge_total += count
+        if nb != self.mode_[dst]:
+            self.phi += count
+
+    def _purge_out_edges(self, u: int) -> None:
+        """Exit delta: the slot's out-edges (explicit and implicit) leave
+        the process graph; the underlying stores stay physically intact,
+        exactly like the object model's gone processes."""
+        for v, bel in self.N[u].items():
+            self._edge(u, v, _STAYING if bel == _NONE else bel, -1)
+        a = self.anchor_[u]
+        if a >= 0:
+            ab = self.abelief_[u]
+            self._edge(u, a, _STAYING if ab == _NONE else ab, -1)
+        if self.is_fsp:
+            for v, bel in self.parked[u].items():
+                self._edge(u, v, _STAYING if bel == _NONE else bel, -1)
+        for rec in self.ch[u].values():
+            subj = ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1
+            if subj >= 0:
+                bel = (rec >> _BEL_SHIFT) & 3
+                self._edge(u, subj, _STAYING if bel == _NONE else bel, -1)
+
+    # ------------------------------------------------------------------ plumbing
+
+    def _send(self, src: int, dst: int, label_id: int, subj: int, bel: int) -> None:
+        """Kernel of ``Engine.post`` for an in-protocol single-RefInfo send."""
+        seq = self.next_seq
+        self.next_seq = seq + 1
+        self.ch[dst][seq] = (
+            label_id
+            | (bel << _BEL_SHIFT)
+            | ((subj + 1) << _SUBJ_SHIFT)
+            | ((src + 1) << _SENDER_SHIFT)
+        )
+        # posted/pending are derived from next_seq by _sync_flow.
+        self.sent_by[src] += 1
+        self.received_by[dst] += 1
+        if self.state_[dst] != _GONE:
+            # _edge(dst, subj, normalized bel, +1), inlined: the enqueue
+            # edge is the hottest delta in the whole simulation.
+            inn = self.in_[subj]
+            inn[dst] = inn.get(dst, 0) + 1
+            self.edge_total += 1
+            if (_STAYING if bel == _NONE else bel) != self.mode_[subj]:
+                self.phi += 1
+            m = self._mirror
+            if m is not None:
+                # inline _RandomMirror.notify_send (arrival always
+                # consumed). The generic _add dedups on the entry, but a
+                # freshly allocated seq can never already be pooled, so
+                # the membership probe is elided here.
+                value = m._arrival
+                m._arrival = value + 1
+                enc = ((seq + 1) << m._nbits) | dst
+                pool = m._pool
+                m._pos[enc] = len(pool)
+                pool.append(enc)
+                m._stamps.append(value)
+            else:
+                driver = self.driver
+                if driver is not None:
+                    driver.notify_send(dst, seq)
+
+    def _transition(self, u: int, new_state: int) -> None:
+        """Kernel of ``Engine._transition`` (legality is guaranteed by the
+        kernels: awake→gone, awake→asleep, asleep→awake only)."""
+        old = self.state_[u]
+        if old == new_state:
+            return
+        self.state_[u] = new_state
+        self.last_progress = self.steps
+        if old == _ASLEEP:
+            self.asleep -= 1
+        driver = self.driver
+        if new_state == _GONE:
+            self.exits += 1
+            self.gone += 1
+            self.gen_[u] += 1
+            if driver is not None:
+                driver.notify_gone(u, list(self.ch[u]))
+            self._purge_out_edges(u)
+        elif new_state == _ASLEEP:
+            self.sleeps += 1
+            self.asleep += 1
+            if driver is not None:
+                driver.notify_sleep(u)
+        else:
+            self.wakes += 1
+            stamp = self.clock
+            self.clock = stamp + 1
+            if driver is not None:
+                driver.notify_wake(u, stamp)
+
+    # ------------------------------------------------------------------ oracle
+
+    def _single(self, u: int) -> bool:
+        """SINGLE(u): at most one distinct non-gone partner in either
+        direction (sleeper-free populations only — enforced at build).
+
+        Incoming partners come from the maintained index; outgoing ones
+        are enumerated from u's own stores (N, anchor, parked, channel
+        subjects) at query time — oracle queries are rare enough that
+        indexing the outgoing direction on the hot path never pays off.
+        """
+        state_ = self.state_
+        first = -1
+        for q in self.in_[u]:
+            if q != u and state_[q] != _GONE and q != first:
+                if first >= 0:
+                    return False
+                first = q
+        for q in self.N[u]:
+            if q != u and state_[q] != _GONE and q != first:
+                if first >= 0:
+                    return False
+                first = q
+        a = self.anchor_[u]
+        if a >= 0 and a != u and state_[a] != _GONE and a != first:
+            if first >= 0:
+                return False
+            first = a
+        if self.is_fsp:
+            for q in self.parked[u]:
+                if q != u and state_[q] != _GONE and q != first:
+                    if first >= 0:
+                        return False
+                    first = q
+        for rec in self.ch[u].values():
+            q = ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1
+            if q >= 0 and q != u and state_[q] != _GONE and q != first:
+                if first >= 0:
+                    return False
+                first = q
+        return True
+
+    def _consult_oracle(self, u: int) -> bool:
+        if self.is_fsp:
+            # FSP overrides _consult_oracle with a constant — no oracle
+            # machinery, no stats.
+            return True
+        kind = self.oracle_kind
+        if kind is None:
+            raise ConfigurationError(
+                "no oracle configured but the protocol consulted one"
+            )
+        self.oq += 1
+        if kind == "always":
+            verdict = True
+        elif kind == "never":
+            verdict = False
+        else:
+            verdict = self._single(u)
+        if verdict:
+            self.otrue += 1
+        return verdict
+
+    # ------------------------------------------------------------------ protocol kernels
+
+    def _drop_anchor_edge(self, u: int) -> None:
+        """``anchor := ⊥`` with its edge delta (raw belief key removal)."""
+        a = self.anchor_[u]
+        ab = self.abelief_[u]
+        self._edge(u, a, _STAYING if ab == _NONE else ab, -1)
+        self.anchor_[u] = -1
+        self.abelief_[u] = _NONE
+
+    def _set_anchor(self, u: int, v: int, m: int) -> None:
+        """``anchor := v; anchor_belief := m`` (net edge delta)."""
+        self.anchor_[u] = v
+        self.abelief_[u] = m
+        self._edge(u, v, m, 1)
+
+    def _nstore(self, u: int, v: int, m: int) -> None:
+        """``N[v] := m`` with RefMap write-through semantics."""
+        nd = self.N[u]
+        old = nd.get(v, -1)
+        if old == m:
+            return
+        nd[v] = m
+        if old >= 0:
+            self._edge(u, v, _STAYING if old == _NONE else old, -1)
+        self._edge(u, v, m, 1)
+
+    def _ndrop(self, u: int, v: int) -> None:
+        """``del N[v]`` with its edge delta."""
+        old = self.N[u].pop(v)
+        self._edge(u, v, _STAYING if old == _NONE else old, -1)
+
+    def _timeout_kernel(self, u: int) -> int | None:
+        """Algorithm 1 (+ the FSP pre-phase); returns the requested
+        lifecycle code or None, applied by the caller after the action."""
+        mode = self.mode_[u]
+        if self.is_fsp:
+            anchor = self.anchor_[u]
+            trusted = anchor >= 0 and self.abelief_[u] != _LEAVING
+            pk = self.parked[u]
+            if trusted and pk:
+                for v, bel in pk.items():
+                    if v == anchor:
+                        self._send(u, u, 0, v, bel)
+                    else:
+                        self._send(u, anchor, 1, v, bel)
+                for v, bel in pk.items():
+                    self._edge(u, v, _STAYING if bel == _NONE else bel, -1)
+                pk.clear()
+            if trusted and mode == _LEAVING and not self.averified_[u] and not self.aprobe_[u]:
+                self._send(u, anchor, 0, u, mode)
+                self.aprobe_[u] = 1
+        # Algorithm 1 lines 1-3: purge an anchor believed to be leaving.
+        if self.anchor_[u] >= 0 and self.abelief_[u] == _LEAVING:
+            self._send(u, u, 0, self.anchor_[u], self.abelief_[u])
+            self._drop_anchor_edge(u)
+        if mode == _LEAVING:  # line 4
+            nd = self.N[u]
+            if not nd:  # line 5
+                if self._consult_oracle(u):  # line 6
+                    # line 7: exit (FDP) / sleep (FSP departure hook)
+                    return _ASLEEP if self.is_fsp else _GONE
+                anchor = self.anchor_[u]
+                if anchor >= 0:  # lines 8-10
+                    self._send(u, anchor, 0, u, mode)
+            else:  # lines 11-14: drain the neighbourhood to ourselves
+                for v, bel in nd.items():
+                    self._send(u, u, 1, v, bel)
+                for v, bel in nd.items():
+                    self._edge(u, v, _STAYING if bel == _NONE else bel, -1)
+                nd.clear()
+        else:  # lines 15-22: staying
+            if self.anchor_[u] >= 0:  # lines 16-18
+                self._send(u, u, 0, self.anchor_[u], self.abelief_[u])
+                self._drop_anchor_edge(u)
+            # line 19: iterate the store directly; drops are deferred to
+            # after the loop (the edge deltas commute with the sends —
+            # neither reads N — and Φ is only observed between actions).
+            drops = None
+            nd = self.N[u]
+            m = self._mirror
+            if m is None:
+                for v, bel in nd.items():
+                    if bel == _LEAVING:  # lines 20-21
+                        if drops is None:
+                            drops = [v]
+                        else:
+                            drops.append(v)
+                    self._send(u, v, 0, u, mode)  # line 22
+            elif nd:
+                # line 22 bulk-specialized for the mirror path: sender
+                # and subject are both u, the belief is u's own mode
+                # (staying), so the packed record is loop-constant and
+                # Φ can never move (the enqueue edge always agrees with
+                # mode_[u]). Everything batchable is batched.
+                seq = self.next_seq
+                value = m._arrival
+                nbits = m._nbits
+                pool = m._pool
+                pos = m._pos
+                stamps = m._stamps
+                ch = self.ch
+                state_ = self.state_
+                received_by = self.received_by
+                inn = self.in_[u]
+                rec = (
+                    (mode << _BEL_SHIFT)
+                    | ((u + 1) << _SUBJ_SHIFT)
+                    | ((u + 1) << _SENDER_SHIFT)
+                )
+                edges = 0
+                for v, bel in nd.items():
+                    if bel == _LEAVING:  # lines 20-21
+                        if drops is None:
+                            drops = [v]
+                        else:
+                            drops.append(v)
+                    ch[v][seq] = rec
+                    received_by[v] += 1
+                    if state_[v] != _GONE:
+                        inn[v] = inn.get(v, 0) + 1
+                        edges += 1
+                        enc = ((seq + 1) << nbits) | v
+                        pos[enc] = len(pool)
+                        pool.append(enc)
+                        stamps.append(value)
+                        value += 1
+                    seq += 1
+                self.next_seq = seq
+                m._arrival = value
+                self.sent_by[u] += len(nd)
+                self.edge_total += edges
+            if drops is not None:
+                for v in drops:
+                    self._ndrop(u, v)
+        return None
+
+    def _present_kernel(self, u: int, v: int, bel_in: int) -> None:
+        """Algorithm 2 (with the FSP learning wrappers)."""
+        fsp = self.is_fsp
+        if fsp and v != u:
+            # _note_anchor_answer on the normalized incoming belief.
+            if self.anchor_[u] == v and (_STAYING if bel_in == _NONE else bel_in) == _STAYING:
+                self.averified_[u] = 1
+        had_anchor = self.anchor_[u]
+        if v != u:  # transcription note 2: self-references are discarded
+            m = _STAYING if bel_in == _NONE else bel_in
+            # _drop_stale_anchor, inlined (Algorithm 2 lines 1-2).
+            if m == _LEAVING and self.anchor_[u] == v:
+                self._drop_anchor_edge(u)
+            mode = self.mode_[u]
+            if m == _LEAVING:  # line 3
+                if mode == _LEAVING:  # lines 4-5: reversal (both variants)
+                    self._send(u, v, 1, u, mode)
+                else:  # lines 6-9
+                    if v in self.N[u]:
+                        self._ndrop(u, v)
+                    self._send(u, v, 1, u, mode)
+            else:  # line 10
+                if mode == _LEAVING:  # line 11
+                    if self.anchor_[u] >= 0:  # lines 12-13
+                        self._send(u, v, 1, u, mode)
+                    else:  # lines 14-15
+                        self._set_anchor(u, v, m)
+                else:  # lines 16-17: N[v] := m — _nstore inlined; this is
+                    # the dominant delivery outcome, and a belief rewrite
+                    # leaves the edge count untouched (only Φ can move).
+                    nd = self.N[u]
+                    old = nd.get(v, -1)
+                    if old != m:
+                        nd[v] = m
+                        mv = self.mode_[v]
+                        if old >= 0:
+                            if (_STAYING if old == _NONE else old) != mv:
+                                self.phi -= 1
+                            if m != mv:
+                                self.phi += 1
+                        else:
+                            inn = self.in_[v]
+                            inn[u] = inn.get(u, 0) + 1
+                            self.edge_total += 1
+                            if m != mv:
+                                self.phi += 1
+        if fsp and self.anchor_[u] != had_anchor:
+            self.averified_[u] = 0
+            self.aprobe_[u] = 0
+
+    def _forward_kernel(self, u: int, v: int, bel_in: int) -> None:
+        """Algorithm 3 (with the FSP parking variant and wrappers)."""
+        fsp = self.is_fsp
+        if fsp and v != u:
+            if self.anchor_[u] == v and (_STAYING if bel_in == _NONE else bel_in) == _STAYING:
+                self.averified_[u] = 1
+        had_anchor = self.anchor_[u]
+        if v != u:
+            m = _STAYING if bel_in == _NONE else bel_in
+            # _drop_stale_anchor, inlined (Algorithm 3 lines 1-2).
+            if m == _LEAVING and self.anchor_[u] == v:
+                self._drop_anchor_edge(u)
+            mode = self.mode_[u]
+            if m == _LEAVING:  # line 3
+                if mode == _LEAVING:  # line 4
+                    anchor = self.anchor_[u]
+                    if anchor < 0:  # lines 5-6
+                        if fsp:
+                            # FSP: park + one-shot self-introduction.
+                            pk = self.parked[u]
+                            fresh = v not in pk
+                            old = pk.get(v, -1)
+                            if old != m:
+                                pk[v] = m
+                                if old >= 0:
+                                    self._edge(
+                                        u, v, _STAYING if old == _NONE else old, -1
+                                    )
+                                self._edge(u, v, m, 1)
+                            if fresh:
+                                self._send(u, v, 0, u, mode)
+                        else:
+                            self._send(u, v, 1, u, mode)  # reversal
+                    else:  # lines 7-8: delegate to the anchor
+                        self._send(u, anchor, 1, v, m)
+                else:  # lines 9-12: staying
+                    if v in self.N[u]:
+                        self._ndrop(u, v)
+                    self._send(u, v, 1, u, mode)
+            else:  # line 13
+                if mode == _LEAVING:  # line 14
+                    anchor = self.anchor_[u]
+                    if anchor >= 0:  # lines 15-16
+                        self._send(u, anchor, 1, v, m)
+                    else:  # lines 17-18
+                        self._set_anchor(u, v, m)
+                else:  # lines 19-20
+                    self._nstore(u, v, m)
+        if fsp and self.anchor_[u] != had_anchor:
+            self.averified_[u] = 0
+            self.aprobe_[u] = 0
+
+    # ------------------------------------------------------------------ events
+
+    def _run_timeout(self, u: int) -> None:
+        if self.state_[u] != _AWAKE:  # pragma: no cover - scheduler contract
+            raise StateViolation(
+                f"timeout selected for non-awake process {self.pids[u]}"
+            )
+        requested = self._timeout_kernel(u)
+        if requested is not None:
+            self._transition(u, requested)
+        self.timeouts += 1
+        self.timeouts_by[u] += 1
+        self.last_acted[u] = self.steps
+        if self.state_[u] == _AWAKE:
+            stamp = self.clock
+            self.clock = stamp + 1
+            driver = self.driver
+            if driver is not None:
+                driver.notify_timeout_executed(u, stamp)
+
+    def _run_delivery(self, u: int, seq: int) -> None:
+        if self.state_[u] == _GONE:  # pragma: no cover - scheduler contract
+            raise StateViolation(
+                f"delivery selected for gone process {self.pids[u]}"
+            )
+        rec = self.ch[u].pop(seq)
+        subj = ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1
+        bel = (rec >> _BEL_SHIFT) & 3
+        if subj >= 0:
+            # _edge(u, subj, normalized bel, -1), inlined (dequeue edge).
+            inn = self.in_[subj]
+            c = inn[u] - 1
+            if c:
+                inn[u] = c
+            else:
+                del inn[u]
+            self.edge_total -= 1
+            if (_STAYING if bel == _NONE else bel) != self.mode_[subj]:
+                self.phi -= 1
+        if self.state_[u] == _ASLEEP:
+            self._transition(u, _AWAKE)
+        label_id = rec & _LABEL_MASK
+        if label_id >= 2:
+            # "All other messages will be ignored by the processes."
+            self.dropped += 1
+            if self.strict:
+                tname = "FSPProcess" if self.is_fsp else "FDPProcess"
+                raise UnknownActionError(
+                    f"process {self.pids[u]} ({tname}) has no action "
+                    f"'{self.labels[label_id]}'"
+                )
+        elif label_id == 0:
+            self._present_kernel(u, subj, bel)
+        else:
+            self._forward_kernel(u, subj, bel)
+        self.deliveries += 1
+        self.deliveries_by[u] += 1
+        self.last_acted[u] = self.steps
+
+    def _sync_flow(self) -> None:
+        """Materialize the derived message-flow counters.
+
+        ``posted`` advances exactly with ``next_seq`` and ``pending`` is
+        posted minus delivered minus strict-dropped, so the hot path never
+        updates either — callers that *read* them (export, verification)
+        sync first.
+        """
+        d = self.next_seq - self._seq0
+        self.posted = self._posted0 + d
+        self.pending = (
+            self._pending0
+            + d
+            - (self.deliveries - self._del0)
+            - (self.dropped - self._drop0)
+        )
+
+    def _after_step(self) -> None:
+        self.steps += 1
+        self.stat_steps += 1
+        if self.track_phi:
+            phi = self.phi
+            last = self.last_phi_seen
+            if last is None or phi > last:
+                self.last_phi_seen = phi
+            elif phi < last:
+                self.last_phi_seen = phi
+                self.last_progress = self.steps
+
+    # ------------------------------------------------------------------ driving (soa)
+
+    def run_batch(self, budget: int) -> int:
+        """Execute up to *budget* events through the scheduler driver.
+
+        Returns the executed count; fewer than *budget* means the system
+        went quiescent.
+        """
+        driver = self.driver
+        if driver is None:
+            raise ConfigurationError("run_batch requires a scheduler driver")
+        if type(driver) is _RandomMirror:
+            self._mirror = driver
+            return self._run_batch_random(driver, budget)
+        self._mirror = None
+        executed = 0
+        while executed < budget:
+            ev = driver.select()
+            if ev is None:
+                break
+            is_timeout, u, seq = ev
+            if is_timeout:
+                self._run_timeout(u)
+            else:
+                self._run_delivery(u, seq)
+            self._after_step()
+            executed += 1
+        return executed
+
+    def _run_batch_random(self, drv: _RandomMirror, budget: int) -> int:
+        """:meth:`run_batch` specialized for the default scheduler.
+
+        The mirror's select (one ``randrange`` + a swap-remove) and the
+        per-step bookkeeping are inlined: at n=4096 the generic
+        driver-protocol loop spends a third of its time on these four
+        delegating calls alone.
+        """
+        pool = drv._pool
+        pos = drv._pos
+        stamps = drv._stamps
+        # randrange(n) for a positive int upper bound is exactly
+        # _randbelow(n), and _randbelow_with_getrandbits is small enough
+        # to inline below: the identical random bits are consumed while
+        # skipping two Python call frames per step.
+        getrandbits = drv._rng.getrandbits
+        dbase = drv._dbase
+        smask = drv._smask
+        nbits = drv._nbits
+        track_phi = self.track_phi
+        # the event handlers' containers, hoisted out of the loop.
+        ch = self.ch
+        state_ = self.state_
+        in_ = self.in_
+        mode_ = self.mode_
+        deliveries_by = self.deliveries_by
+        timeouts_by = self.timeouts_by
+        last_acted = self.last_acted
+        present_kernel = self._present_kernel
+        forward_kernel = self._forward_kernel
+        timeout_kernel = self._timeout_kernel
+        strict = self.strict
+        # Per-step scalar counters, batched into locals and flushed on
+        # every exit path: the kernels never read them mid-batch, and
+        # _transition (the one callee that reads self.steps) gets the
+        # current value written just before each call site.
+        steps = self.steps
+        last_phi = self.last_phi_seen
+        lprog = self.last_progress
+        dcount = 0
+        executed = 0
+        try:
+            while executed < budget:
+                lp = len(pool)
+                if not lp:
+                    break
+                # inline Random._randbelow_with_getrandbits(lp)
+                k = lp.bit_length()
+                r = getrandbits(k)
+                while r >= lp:
+                    r = getrandbits(k)
+                enc = pool[r]
+                if enc >= dbase:
+                    # inline drv._remove(enc): swap-remove, order-faithful.
+                    idx = pos.pop(enc)
+                    last = pool.pop()
+                    st = stamps.pop()
+                    if last != enc:
+                        pool[idx] = last
+                        stamps[idx] = st
+                        pos[last] = idx
+                    # inline _run_delivery(u, seq). The gone-process driver
+                    # contract check is elided: notify_gone strips every
+                    # pending delivery of a gone slot from the mirror's pool.
+                    u = enc & smask
+                    rec = ch[u].pop((enc >> nbits) - 1)
+                    subj = ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1
+                    bel = (rec >> _BEL_SHIFT) & 3
+                    if subj >= 0:
+                        # _edge(u, subj, normalized bel, -1) (dequeue edge).
+                        inn = in_[subj]
+                        c = inn[u] - 1
+                        if c:
+                            inn[u] = c
+                        else:
+                            del inn[u]
+                        self.edge_total -= 1
+                        if (_STAYING if bel == _NONE else bel) != mode_[subj]:
+                            self.phi -= 1
+                    if state_[u] == _ASLEEP:
+                        self.steps = steps
+                        self._transition(u, _AWAKE)
+                    label_id = rec & _LABEL_MASK
+                    if label_id >= 2:
+                        # "All other messages will be ignored by the processes."
+                        self.dropped += 1
+                        if strict:
+                            tname = "FSPProcess" if self.is_fsp else "FDPProcess"
+                            raise UnknownActionError(
+                                f"process {self.pids[u]} ({tname}) has no action "
+                                f"'{self.labels[label_id]}'"
+                            )
+                    elif label_id == 0:
+                        present_kernel(u, subj, bel)
+                    else:
+                        forward_kernel(u, subj, bel)
+                    dcount += 1
+                    deliveries_by[u] += 1
+                    last_acted[u] = steps
+                else:
+                    # inline _run_timeout(enc): the mirror pool only holds
+                    # timeout entries for awake slots, so the driver-contract
+                    # check is elided.
+                    u = enc
+                    requested = timeout_kernel(u)
+                    if requested is not None:
+                        self.steps = steps
+                        self._transition(u, requested)
+                    timeouts_by[u] += 1
+                    last_acted[u] = steps
+                    if state_[u] == _AWAKE:
+                        cstamp = self.clock
+                        self.clock = cstamp + 1
+                        # inline mirror notify_timeout_executed.
+                        idx = pos.get(u)
+                        if idx is not None:
+                            value = drv._arrival
+                            drv._arrival = value + 1
+                            stamps[idx] = value
+                # inline _after_step()
+                steps += 1
+                if track_phi:
+                    phi = self.phi
+                    if last_phi is None or phi > last_phi:
+                        last_phi = phi
+                    elif phi < last_phi:
+                        last_phi = phi
+                        lprog = steps
+                executed += 1
+        finally:
+            self.steps = steps
+            self.stat_steps += executed
+            self.deliveries += dcount
+            self.timeouts += executed - dcount
+            self.last_phi_seen = last_phi
+            if lprog > self.last_progress:
+                self.last_progress = lprog
+        return executed
+
+    # ------------------------------------------------------------------ mirroring (verify)
+
+    def mirror_step(self, engine: Engine, executed: Any) -> None:
+        """Replay *executed* (the object step's record) through the int
+        kernels and cross-check the cheap invariants; raises
+        :class:`~repro.errors.StateViolation` on divergence."""
+        u = self.slot_of[executed.pid]
+        if executed.kind == "timeout":
+            self._run_timeout(u)
+        else:
+            self._run_delivery(u, executed.seq)
+        self._after_step()
+        self._check_step(engine, executed, u)
+
+    def _check_step(self, engine: Engine, executed: Any, u: int) -> None:
+        self._sync_flow()
+        stats = engine.stats
+        mismatches = []
+        state = engine.processes[executed.pid].state
+        want = (
+            _GONE if state is PState.GONE else _ASLEEP if state is PState.ASLEEP else _AWAKE
+        )
+        if self.state_[u] != want:
+            mismatches.append(f"state[{executed.pid}]: core={self.state_[u]} obj={want}")
+        pairs = (
+            ("steps", self.steps, engine.step_count),
+            ("seq", self.next_seq, engine._msg_seq),  # noqa: SLF001
+            ("clock", self.clock, engine._clock),  # noqa: SLF001
+            ("posted", self.posted, stats.messages_posted),
+            ("timeouts", self.timeouts, stats.timeouts),
+            ("deliveries", self.deliveries, stats.deliveries),
+            ("dropped", self.dropped, stats.dropped_unknown),
+            ("exits", self.exits, stats.exits),
+            ("sleeps", self.sleeps, stats.sleeps),
+            ("wakes", self.wakes, stats.wakes),
+            ("oracle_queries", self.oq, stats.oracle_queries),
+            ("oracle_true", self.otrue, stats.oracle_true),
+        )
+        for name, got, want_v in pairs:
+            if got != want_v:
+                mismatches.append(f"{name}: core={got} obj={want_v}")
+        live = engine._live  # noqa: SLF001
+        if live is not None and not engine._live_stale:  # noqa: SLF001
+            if self.phi != live.phi:
+                mismatches.append(f"phi: core={self.phi} obj={live.phi}")
+            if self.pending != live.pending_total:
+                mismatches.append(
+                    f"pending: core={self.pending} obj={live.pending_total}"
+                )
+            if self.edge_total != live.edge_total:
+                mismatches.append(
+                    f"edges: core={self.edge_total} obj={live.edge_total}"
+                )
+        if mismatches:
+            raise StateViolation(
+                "struct-of-arrays core diverged from the object engine at "
+                f"step {engine.step_count} ({executed!r}): "
+                + "; ".join(mismatches)
+            )
+
+    # ------------------------------------------------------------------ deep verify
+
+    def verify_full(self, engine: Engine) -> None:
+        """Deep structural comparison against the object model; raises
+        :class:`~repro.errors.StateViolation` listing every mismatch."""
+        self._sync_flow()
+        mismatches: list[str] = []
+        slot_of = self.slot_of
+        for i, pid in enumerate(self.pids):
+            proc = engine.processes[pid]
+            st = proc.state
+            want = (
+                _GONE if st is PState.GONE else _ASLEEP if st is PState.ASLEEP else _AWAKE
+            )
+            if self.state_[i] != want:
+                mismatches.append(f"pid {pid} state: {self.state_[i]} != {want}")
+            obj_n = [
+                (slot_of[r._pid], _code(b))  # noqa: SLF001
+                for r, b in proc.N.items()
+            ]
+            if list(self.N[i].items()) != obj_n:
+                mismatches.append(f"pid {pid} N: {list(self.N[i].items())} != {obj_n}")
+            anchor = proc.anchor
+            aslot = -1 if anchor is None else slot_of[anchor._pid]  # noqa: SLF001
+            if self.anchor_[i] != aslot:
+                mismatches.append(f"pid {pid} anchor: {self.anchor_[i]} != {aslot}")
+            elif aslot >= 0 and self.abelief_[i] != _code(proc.anchor_belief):
+                mismatches.append(
+                    f"pid {pid} anchor_belief: {self.abelief_[i]} != "
+                    f"{_code(proc.anchor_belief)}"
+                )
+            if self.is_fsp:
+                obj_pk = [
+                    (slot_of[r._pid], _code(b))  # noqa: SLF001
+                    for r, b in proc.parked.items()
+                ]
+                if list(self.parked[i].items()) != obj_pk:
+                    mismatches.append(f"pid {pid} parked differs")
+                if bool(self.averified_[i]) != proc.anchor_verified:
+                    mismatches.append(f"pid {pid} anchor_verified differs")
+                if bool(self.aprobe_[i]) != proc.anchor_probe_sent:
+                    mismatches.append(f"pid {pid} anchor_probe_sent differs")
+            chan = engine.channels[pid]
+            got = list(self.ch[i].items())
+            want_ch = [(m.seq, self._encode_msg(m, self._label_of)) for m in chan]
+            if got != want_ch:
+                mismatches.append(f"pid {pid} channel: {got} != {want_ch}")
+        stats = engine.stats
+        scalar_pairs = (
+            ("steps", self.steps, engine.step_count),
+            ("stat_steps", self.stat_steps, stats.steps),
+            ("seq", self.next_seq, engine._msg_seq),  # noqa: SLF001
+            ("clock", self.clock, engine._clock),  # noqa: SLF001
+            ("posted", self.posted, stats.messages_posted),
+            ("timeouts", self.timeouts, stats.timeouts),
+            ("deliveries", self.deliveries, stats.deliveries),
+            ("dropped", self.dropped, stats.dropped_unknown),
+            ("exits", self.exits, stats.exits),
+            ("sleeps", self.sleeps, stats.sleeps),
+            ("wakes", self.wakes, stats.wakes),
+            ("oracle_queries", self.oq, stats.oracle_queries),
+            ("oracle_true", self.otrue, stats.oracle_true),
+            ("asleep", self.asleep, engine.asleep_count),
+            ("gone", self.gone, engine.gone_count),
+        )
+        for name, got_v, want_v in scalar_pairs:
+            if got_v != want_v:
+                mismatches.append(f"{name}: core={got_v} obj={want_v}")
+        for name, arr, by in (
+            ("timeouts_by", self.timeouts_by, stats.timeouts_by),
+            ("deliveries_by", self.deliveries_by, stats.deliveries_by),
+            ("sent_by", self.sent_by, stats.sent_by),
+            ("received_by", self.received_by, stats.received_by),
+        ):
+            want_d = {self.pids[i]: c for i, c in enumerate(arr) if c}
+            got_d = {p: c for p, c in by.items() if c}
+            if want_d != got_d:
+                mismatches.append(f"{name} differs")
+        if engine.graph_mode == "incremental":
+            live = engine.live_graph
+            if self.phi != live.phi:
+                mismatches.append(f"phi: core={self.phi} obj={live.phi}")
+            if self.edge_total != live.edge_total:
+                mismatches.append(
+                    f"edges: core={self.edge_total} obj={live.edge_total}"
+                )
+            if self.pending != live.pending_total:
+                mismatches.append(
+                    f"pending: core={self.pending} obj={live.pending_total}"
+                )
+        if mismatches:
+            raise StateViolation(
+                "struct-of-arrays core state diverged from the object model: "
+                + "; ".join(mismatches[:20])
+                + (f" (+{len(mismatches) - 20} more)" if len(mismatches) > 20 else "")
+            )
+
+    # ------------------------------------------------------------------ export (soa)
+
+    def export_to(self, engine: Engine) -> None:
+        """Write the core's state back into the object model.
+
+        Rebuilds processes' tracked stores, channels and counters so the
+        engine continues (predicates, analysis, further object-path
+        steps) as if the object loop had executed every event itself.
+        """
+        self._sync_flow()
+        # Disarm the live view first: the rebuilt channels bypass the
+        # observers, so the next read must trigger a full rebuild.
+        engine._live_stale = True  # noqa: SLF001
+        engine._stale = True  # noqa: SLF001
+        engine._snapshot_cache = None  # noqa: SLF001
+        procs = [engine.processes[pid] for pid in self.pids]
+        refs = [p.self_ref for p in procs]
+        for i, proc in enumerate(procs):
+            # Bulk state restore: the core executed the lifecycle
+            # transitions itself (legality enforced by the kernels), so
+            # this is the engine writing back its own bookkeeping.
+            proc._state = _STATE_BY_CODE[self.state_[i]]  # noqa: SLF001  # repro: noqa[API003]
+            d = proc.N._d  # noqa: SLF001
+            d.clear()
+            for v, bel in self.N[i].items():
+                d[refs[v]] = _MODE_BY_CODE[bel]
+            cell = proc._anchor_cell  # noqa: SLF001
+            a = self.anchor_[i]
+            cell._ref = refs[a] if a >= 0 else None  # noqa: SLF001
+            cell._belief = _MODE_BY_CODE[self.abelief_[i]]  # noqa: SLF001
+            if self.is_fsp:
+                d = proc.parked._d  # noqa: SLF001
+                d.clear()
+                for v, bel in self.parked[i].items():
+                    d[refs[v]] = _MODE_BY_CODE[bel]
+                proc.anchor_verified = bool(self.averified_[i])
+                proc.anchor_probe_sent = bool(self.aprobe_[i])
+            proc._ref_log.pending.clear()  # noqa: SLF001
+            chan = engine.channels[self.pids[i]]
+            msgs: dict[int, Message] = {}
+            labels = self.labels
+            for seq, rec in self.ch[i].items():
+                subj = ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1
+                sslot = (rec >> _SENDER_SHIFT) - 1
+                sender = self.pids[sslot] if sslot >= 0 else None
+                if subj >= 0:
+                    args: tuple = (
+                        RefInfo(refs[subj], _MODE_BY_CODE[(rec >> _BEL_SHIFT) & 3]),
+                    )
+                else:
+                    args = ()
+                msgs[seq] = Message(labels[rec & _LABEL_MASK], args, seq, sender)
+            chan._messages = msgs  # noqa: SLF001
+        stats = engine.stats
+        stats.steps = self.stat_steps
+        stats.timeouts = self.timeouts
+        stats.deliveries = self.deliveries
+        stats.messages_posted = self.posted
+        stats.dropped_unknown = self.dropped
+        stats.exits = self.exits
+        stats.sleeps = self.sleeps
+        stats.wakes = self.wakes
+        stats.oracle_queries = self.oq
+        stats.oracle_true = self.otrue
+        stats.timeouts_by = {
+            self.pids[i]: c for i, c in enumerate(self.timeouts_by) if c
+        }
+        stats.deliveries_by = {
+            self.pids[i]: c for i, c in enumerate(self.deliveries_by) if c
+        }
+        stats.sent_by = {self.pids[i]: c for i, c in enumerate(self.sent_by) if c}
+        stats.received_by = {
+            self.pids[i]: c for i, c in enumerate(self.received_by) if c
+        }
+        engine.step_count = self.steps
+        engine._clock = self.clock  # noqa: SLF001
+        engine._msg_seq = self.next_seq  # noqa: SLF001
+        engine._asleep_count = self.asleep  # noqa: SLF001
+        engine._gone_count = self.gone  # noqa: SLF001
+        engine._lifecycle_stale = False  # noqa: SLF001
+        engine._last_progress_step = self.last_progress  # noqa: SLF001
+        engine._last_phi_seen = self.last_phi_seen  # noqa: SLF001
+        driver = self.driver
+        if driver is not None:
+            driver.splice()
+        # The engine now matches the core exactly — the export itself is
+        # not a reason to rebuild the core on the next run.
+        engine._core_stale = False  # noqa: SLF001
+
+
+def make_driver(engine: Engine, core: EngineCore) -> Any | None:
+    """Build the scheduler driver for a core-driven run, or ``None`` when
+    the scheduler cannot be driven from the int domain."""
+    sched = engine.scheduler
+    if type(sched) is RandomScheduler:
+        return _RandomMirror(sched, core.pids, core.slot_of)
+    if getattr(sched, "core_drivable", False):
+        return _ObjectSchedDriver(sched, core.pids, core.slot_of)
+    from repro.sim.replay import ReplayScheduler
+
+    if type(sched) is ReplayScheduler:
+        return _ReplayDriver(sched, core)
+    return None

@@ -1,0 +1,22 @@
+"""PERF004 known-bad: Ref-keyed containers and per-message allocation."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref
+
+
+class Wrapped:
+    __slots__ = ("payload",)
+
+    def __init__(self, payload) -> None:
+        self.payload = payload
+
+
+class HashingProcess(Process):
+    def on_msg(self, ctx, ref: Ref) -> None:
+        # Ref-keyed dict comprehension: hashes a Ref per entry.
+        beliefs = {info.ref: info.mode for info in self.stored_infos}
+        # Set of Refs: same hashing cost, plus hash-order iteration risk.
+        tagged = {ref}
+        # One wrapper object allocated per pending message.
+        copies = [Wrapped(msg) for msg in self.channel_messages]
+        self.cache = (beliefs, tagged, copies)

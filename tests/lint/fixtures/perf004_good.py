@@ -1,0 +1,21 @@
+"""PERF004 known-good: int-keyed tables, no per-message wrappers."""
+
+from repro.sim.process import Process
+from repro.sim.refs import Ref, pid_of
+
+
+class Wrapped:
+    __slots__ = ("payload",)
+
+    def __init__(self, payload) -> None:
+        self.payload = payload
+
+
+class TaggedProcess(Process):
+    def on_msg(self, ctx, ref: Ref) -> None:
+        # Key by int pid: no Ref hashing on the step path.
+        beliefs = {pid_of(info.ref): info.mode for info in self.stored_infos}
+        tagged = {pid_of(ref)}
+        # Counting needs no wrapper object per message.
+        backlog = sum(1 for msg in self.channel_messages)
+        self.cache = (beliefs, tagged, backlog)

@@ -23,6 +23,7 @@ RULES = [
     "PERF001",
     "PERF002",
     "PERF003",
+    "PERF004",
     "API001",
     "API002",
     "API003",
@@ -53,6 +54,12 @@ def test_api002_flags_assignment_and_mutator() -> None:
 def test_perf003_flags_all_three_shapes() -> None:
     # the full-process scan, the snapshot call, and the probe-table lambda
     assert fixture_findings("perf003_bad.py").count("PERF003") == 3
+
+
+def test_perf004_flags_all_three_shapes() -> None:
+    # the Ref-keyed dict comp, the Ref set literal, and the per-message
+    # wrapper allocation
+    assert fixture_findings("perf004_bad.py").count("PERF004") == 3
 
 
 def test_registry_is_complete() -> None:

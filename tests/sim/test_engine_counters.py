@@ -1,0 +1,85 @@
+"""Regression: lifecycle tallies must not rescan the population per step.
+
+``Engine.gone_count`` / ``Engine.asleep_count`` once recomputed their
+values by iterating every process on each read, turning any loop that
+polls them (progress diagnostics, monitors, the CLI status line) into
+O(n·steps). The counters are now maintained incrementally by
+``_transition`` and only recounted lazily — via ``_recount_lifecycle``
+— after an out-of-band mutation flags ``_lifecycle_stale``. These tests
+pin that contract by counting the recount's process-iteration callbacks.
+"""
+
+from repro.core.scenarios import (
+    HEAVY_CORRUPTION,
+    build_fdp_engine,
+    choose_leaving,
+)
+from repro.graphs import generators as gen
+from repro.sim.states import PState
+
+
+def _build(n=24, seed=3):
+    edges = gen.random_connected(n, n // 2, seed=seed)
+    leaving = choose_leaving(n, edges, fraction=0.4, seed=seed)
+    return build_fdp_engine(
+        n, edges, leaving, corruption=HEAVY_CORRUPTION, seed=seed
+    )
+
+
+class _CountingRecount:
+    """Wraps ``_recount_lifecycle``, tallying calls and rows walked."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.calls = 0
+        self.rows = 0
+        self._inner = engine._recount_lifecycle
+
+    def __call__(self):
+        self.calls += 1
+        self.rows += len(self.engine.processes)
+        self._inner()
+
+    def install(self):
+        self.engine._recount_lifecycle = self
+        return self
+
+
+def test_stepping_never_rescans_population():
+    """Reading the tallies every step must trigger zero recounts."""
+    engine = _build()
+    engine.attach()  # the one sanctioned full scan happens here
+    counter = _CountingRecount(engine).install()
+    for _ in range(400):
+        engine.step()
+        # Poll both counters every step, like progress diagnostics do.
+        engine.gone_count
+        engine.asleep_count
+    assert counter.calls == 0, (
+        f"lifecycle counters rescanned the population {counter.calls} "
+        f"times ({counter.rows} process iterations) during plain stepping"
+    )
+
+
+def test_incremental_tallies_match_ground_truth():
+    """The incrementally maintained values equal a full recount."""
+    engine = _build(seed=11)
+    engine.run(600)
+    states = [p.state for p in engine.processes.values()]
+    assert engine.gone_count == sum(s is PState.GONE for s in states)
+    assert engine.asleep_count == sum(s is PState.ASLEEP for s in states)
+
+
+def test_out_of_band_mutation_recounts_once_lazily():
+    """A dirty flag defers the rescan to the next read — exactly one."""
+    engine = _build(seed=7)
+    engine.run(200)
+    counter = _CountingRecount(engine).install()
+    engine._dirty = True  # sanctioned out-of-band signal
+    assert counter.calls == 0  # nothing until a counter is read
+    engine.gone_count
+    engine.asleep_count
+    engine.gone_count
+    assert counter.calls == 1, (
+        f"expected exactly one lazy recount, saw {counter.calls}"
+    )
