@@ -678,6 +678,8 @@ def cmd_lint(args) -> int:
         select=tuple(args.select.split(",")) if args.select else (),
         ignore=tuple(args.ignore.split(",")) if args.ignore else (),
         output_format=args.format,
+        cache_path=args.cache,
+        show_stats=args.stats,
     )
 
 
@@ -932,10 +934,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="static model-conformance/determinism analysis (docs/LINT.md)",
     )
     p.add_argument("paths", nargs="*", default=["src"], help="files or directories")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="github = GitHub Actions ::error annotations",
+    )
     p.add_argument("--select", default="", help="comma-separated rule prefixes")
     p.add_argument("--ignore", default="", help="comma-separated rule prefixes")
     p.add_argument("--list-rules", action="store_true", help="print the catalogue")
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="per-file result cache (content-hash keyed, rule-salted)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print file count, elapsed time and cache hit rate",
+    )
     p.set_defaults(func=cmd_lint)
 
     sub.add_parser("topologies", help="list topology generators").set_defaults(

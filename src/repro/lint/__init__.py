@@ -7,7 +7,7 @@ the copy-store-send reference discipline and reversal bookkeeping
 loop (PERF0xx), and the class-𝒫 interaction grammar (API0xx).
 
 See docs/LINT.md for the rule catalogue and suppression syntax
-(``# repro: noqa[RULE]``).
+(``# repro: noqa[REF002]``).
 """
 
 from __future__ import annotations

@@ -52,6 +52,18 @@ PROTOCOL_BASES = frozenset({"Process", "OverlayLogic"})
 #: methods the engine reaches via dispatch tables (call-graph roots).
 _ACTION_NAME_RE = re.compile(r"^(on_|handle|_handle|timeout$|p_timeout$)")
 
+#: (class, method) entry points of the SoA execution core. The engine
+#: swaps ``step()`` for these per-population batch drivers when a
+#: protocol is core-eligible, so they are step-loop roots in their own
+#: right — without them the whole int-kernel side of soa.py sat outside
+#: ``step_reachable`` and the PERF hot-path rules silently skipped it.
+CORE_ENTRY_POINTS = frozenset(
+    {
+        ("EngineCore", "run_batch"),
+        ("EngineCore", "mirror_step"),
+    }
+)
+
 _ENUM_LIKE = frozenset(
     {"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag", "NamedTuple", "Protocol", "ABC"}
 )
@@ -318,6 +330,8 @@ class Project:
             roots: list[str] = []
             for fn in self.functions.values():
                 if fn.cls == "Engine" and fn.name == "step":
+                    roots.append(fn.qualname)
+                elif fn.cls is not None and (fn.cls, fn.name) in CORE_ENTRY_POINTS:
                     roots.append(fn.qualname)
                 elif fn.cls in protocol_classes and _ACTION_NAME_RE.match(fn.name):
                     roots.append(fn.qualname)

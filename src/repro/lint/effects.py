@@ -1,0 +1,1105 @@
+"""Effect algebra and extractors for the mirror-drift rules (SOA0xx).
+
+The object model (``repro.core.fdp``/``fsp``) and the struct-of-arrays
+core (``repro.sim.soa``) implement the same protocol twice. The SOA0xx
+rules prove they *stay* the same by extracting a per-action **effect
+summary** from each side and diffing them in a common algebra:
+
+==============================  ============================================
+effect                          meaning
+==============================  ============================================
+``("send", label, tgt, subj)``  a message posted: label name, target role,
+                                subject role (roles: self / anchor / peer)
+``("store", name, op)``         a protocol store written (op ``write``) or
+                                released (op ``drop``)
+``("lifecycle", kind)``         the action requested ``exit`` or ``sleep``
+``("oracle",)``                 the action consulted the oracle
+==============================  ============================================
+
+Summaries are *may*-sets: every effect some path can produce is in the
+set, and both sides are specialized the same way (``self.is_fsp`` folds
+per protocol row on the core side; the subclass override *is* the
+specialization on the object side), so equal behaviour yields equal
+sets. Engine bookkeeping (Φ/edge deltas, sequence numbers, driver
+notifications, per-slot stats) is deliberately outside the algebra:
+those are checked dynamically by ``engine_mode=verify`` and statically
+by SOA003/SOA004.
+
+Both extractors are driven by the **mirror registry** — the
+``MIRROR_ACTIONS``/``MIRROR_PROTOCOLS`` literals the core module itself
+executes (see ``repro/sim/soa.py``), parsed here from the AST so the
+lint never imports analyzed code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Any
+
+from repro.lint.interp import (
+    StmtWalker,
+    fold,
+    low_bits,
+    module_constants,
+    pruned_ifexp,
+    shifted_operand,
+)
+from repro.lint.model import Module, attr_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import ClassInfo, Project
+
+__all__ = [
+    "ActionRow",
+    "ProtocolRow",
+    "MirrorRegistry",
+    "find_registries",
+    "EffectSummary",
+    "object_summary",
+    "core_summary",
+    "describe_effect",
+    "mro_chain",
+    "resolve_method",
+]
+
+#: default plumbing names when a registry omits MIRROR_PLUMBING.
+_DEFAULT_PLUMBING = {
+    "send": "_send",
+    "transition": "_transition",
+    "oracle": "_consult_oracle",
+    "generation_column": "gen_",
+    "gone_state": "_GONE",
+}
+
+#: lifecycle-code constant names → effect kinds (core-side returns).
+_LIFECYCLE_NAMES = {"_GONE": "exit", "_ASLEEP": "sleep"}
+
+#: object-side ``self.<attr>`` stores → algebra store names.
+_OBJ_ATTR_STORES = {
+    "anchor": "anchor",
+    "anchor_belief": "anchor",
+    "anchor_verified": "anchor_verified",
+    "anchor_probe_sent": "anchor_probe_sent",
+}
+
+#: object-side keyed stores (``self.N[v] = m`` / ``del self.N[v]``).
+_OBJ_MAP_STORES = {"N": "N", "parked": "parked"}
+
+#: core-side columns → (store name, drop sentinel kind).
+_CORE_COLUMN_STORES = {
+    "anchor_": ("anchor", "neg"),
+    "abelief_": ("anchor", "none"),
+    "averified_": ("anchor_verified", "zero"),
+    "aprobe_": ("anchor_probe_sent", "zero"),
+}
+
+#: core-side dict-of-dict stores (``self.N[u]`` rows).
+_CORE_MAP_STORES = {"N": "N", "parked": "parked"}
+
+#: container methods that release an entry from a keyed store.
+_DROP_METHODS = frozenset({"clear", "pop", "popitem", "discard", "remove"})
+
+_MAX_INLINE_DEPTH = 16
+
+
+# --------------------------------------------------------------------------
+# registry parsing
+
+
+class ActionRow:
+    """One parsed ``MirrorAction(...)`` literal."""
+
+    __slots__ = ("name", "kind", "label_id", "object_method", "kernel", "lineno")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        label_id: int,
+        object_method: str,
+        kernel: str,
+        lineno: int,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.label_id = label_id
+        self.object_method = object_method
+        self.kernel = kernel
+        self.lineno = lineno
+
+
+class ProtocolRow:
+    """One parsed ``MirrorProtocol(...)`` literal."""
+
+    __slots__ = ("name", "process_class", "is_fsp", "capability", "lineno")
+
+    def __init__(
+        self, name: str, process_class: str, is_fsp: bool, capability: str, lineno: int
+    ) -> None:
+        self.name = name
+        self.process_class = process_class
+        self.is_fsp = is_fsp
+        self.capability = capability
+        self.lineno = lineno
+
+
+class MirrorRegistry:
+    """A module's declarative mirror surface, parsed from the AST."""
+
+    __slots__ = (
+        "module",
+        "actions",
+        "protocols",
+        "event_counters",
+        "batch_flush",
+        "plumbing",
+        "lineno",
+    )
+
+    def __init__(
+        self,
+        module: Module,
+        actions: list[ActionRow],
+        protocols: list[ProtocolRow],
+        event_counters: dict[str, tuple[str, ...]],
+        batch_flush: tuple[str, ...],
+        plumbing: dict[str, str],
+        lineno: int,
+    ) -> None:
+        self.module = module
+        self.actions = actions
+        self.protocols = protocols
+        self.event_counters = event_counters
+        self.batch_flush = batch_flush
+        self.plumbing = dict(_DEFAULT_PLUMBING, **plumbing)
+        self.lineno = lineno
+
+    @property
+    def deliver_actions(self) -> list[ActionRow]:
+        return [a for a in self.actions if a.kind == "deliver"]
+
+    def label_name(self, label_id: int) -> str | None:
+        for row in self.actions:
+            if row.kind == "deliver" and row.label_id == label_id:
+                return row.name
+        return None
+
+    def label_id(self, name: str) -> int | None:
+        for row in self.actions:
+            if row.kind == "deliver" and row.name == name:
+                return row.label_id
+        return None
+
+    def core_class(self, project: Project) -> ClassInfo | None:
+        """The class in the registry module defining the row kernels."""
+        if not self.actions:
+            return None
+        kernel = self.actions[0].kernel
+        for cls in project.classes.values():
+            if cls.module is not self.module:
+                continue
+            for stmt in cls.node.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name == kernel
+                ):
+                    return cls
+        return None
+
+    def protocol_class(self, project: Project, row: ProtocolRow) -> ClassInfo | None:
+        """Resolve a protocol row's exact process class (no subclasses)."""
+        candidates = project.classes_by_name.get(row.process_class, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        same_module = [c for c in candidates if c.module is self.module]
+        if len(same_module) == 1:
+            return same_module[0]
+        imported = project.imports.get(self.module.name, set())
+        from_imports = [c for c in candidates if c.module.name in imported]
+        if len(from_imports) == 1:
+            return from_imports[0]
+        return None
+
+
+def _parse_action_rows(node: ast.expr) -> list[ActionRow] | None:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    rows: list[ActionRow] = []
+    for elt in node.elts:
+        if not isinstance(elt, ast.Call):
+            return None
+        fields: dict[str, Any] = {"label_id": -1}
+        for kw in elt.keywords:
+            if kw.arg is None or not isinstance(kw.value, ast.Constant):
+                return None
+            fields[kw.arg] = kw.value.value
+        try:
+            rows.append(
+                ActionRow(
+                    name=fields["name"],
+                    kind=fields["kind"],
+                    label_id=fields["label_id"],
+                    object_method=fields["object_method"],
+                    kernel=fields["kernel"],
+                    lineno=elt.lineno,
+                )
+            )
+        except KeyError:
+            return None
+    return rows
+
+
+def _parse_protocol_rows(node: ast.expr) -> list[ProtocolRow] | None:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    rows: list[ProtocolRow] = []
+    for elt in node.elts:
+        if not isinstance(elt, ast.Call):
+            return None
+        fields = {}
+        for kw in elt.keywords:
+            if kw.arg is None or not isinstance(kw.value, ast.Constant):
+                return None
+            fields[kw.arg] = kw.value.value
+        try:
+            rows.append(
+                ProtocolRow(
+                    name=fields["name"],
+                    process_class=fields["process_class"],
+                    is_fsp=fields["is_fsp"],
+                    capability=fields["capability"],
+                    lineno=elt.lineno,
+                )
+            )
+        except KeyError:
+            return None
+    return rows
+
+
+def _literal(node: ast.expr) -> Any:
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return None
+
+
+def find_registries(project: Project) -> list[MirrorRegistry]:
+    """Every module declaring a mirror registry (MIRROR_ACTIONS +
+    MIRROR_PROTOCOLS at module level)."""
+    out: list[MirrorRegistry] = []
+    for module in project.modules.values():
+        assigns: dict[str, ast.expr] = {}
+        lineno = 0
+        for stmt in module.tree.body:
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            if isinstance(target, ast.Name) and value is not None:
+                if target.id.startswith(("MIRROR_", "BATCH_FLUSH")):
+                    assigns[target.id] = value
+                    if target.id == "MIRROR_ACTIONS":
+                        lineno = stmt.lineno
+        if "MIRROR_ACTIONS" not in assigns or "MIRROR_PROTOCOLS" not in assigns:
+            continue
+        actions = _parse_action_rows(assigns["MIRROR_ACTIONS"])
+        protocols = _parse_protocol_rows(assigns["MIRROR_PROTOCOLS"])
+        if actions is None or protocols is None:
+            continue
+        event_counters = _literal(assigns.get("MIRROR_EVENT_COUNTERS", ast.Dict([], [])))
+        batch_flush = _literal(assigns.get("BATCH_FLUSH_COUNTERS", ast.Tuple([], ast.Load())))
+        plumbing = _literal(assigns.get("MIRROR_PLUMBING", ast.Dict([], [])))
+        out.append(
+            MirrorRegistry(
+                module=module,
+                actions=actions,
+                protocols=protocols,
+                event_counters=event_counters if isinstance(event_counters, dict) else {},
+                batch_flush=tuple(batch_flush) if isinstance(batch_flush, (tuple, list)) else (),
+                plumbing=plumbing if isinstance(plumbing, dict) else {},
+                lineno=lineno,
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# class-hierarchy helpers (linear single-inheritance chains)
+
+
+def mro_chain(project: Project, cls: ClassInfo) -> list[ClassInfo]:
+    """The name-resolved base chain of *cls*, most-derived first."""
+    out = [cls]
+    seen = {cls.name}
+    cur = cls
+    while cur.base_names:
+        base = cur.base_names[0].split(".")[-1]
+        if base in seen:
+            break
+        seen.add(base)
+        candidates = project.classes_by_name.get(base, [])
+        if len(candidates) != 1:
+            break
+        cur = candidates[0]
+        out.append(cur)
+    return out
+
+
+def resolve_method(
+    mro: list[ClassInfo], name: str, start: int = 0
+) -> tuple[ast.FunctionDef | ast.AsyncFunctionDef, int] | None:
+    """First definition of *name* along the chain from index *start*."""
+    for idx in range(start, len(mro)):
+        for stmt in mro[idx].node.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == name
+            ):
+                return stmt, idx
+    return None
+
+
+def _is_staticmethod(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        isinstance(d, ast.Name) and d.id == "staticmethod" for d in fn.decorator_list
+    )
+
+
+# --------------------------------------------------------------------------
+# effect summaries
+
+
+class EffectSummary:
+    """May-set of effects of one action on one side of the mirror."""
+
+    __slots__ = ("side", "module", "method", "node", "effects", "bailed")
+
+    def __init__(
+        self,
+        side: str,
+        module: Module,
+        method: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        self.side = side  # "object" | "core"
+        self.module = module
+        self.method = method
+        self.node = node
+        #: effect tuple → first line it was produced at
+        self.effects: dict[tuple, int] = {}
+        #: True when the extractor hit something it could not model; the
+        #: diff rule abstains rather than reporting junk.
+        self.bailed = False
+
+    def add(self, effect: tuple, node: ast.AST) -> None:
+        self.effects.setdefault(effect, getattr(node, "lineno", self.node.lineno))
+
+    def where(self) -> str:
+        return f"{self.module.path}:{self.node.lineno}"
+
+
+def describe_effect(effect: tuple) -> str:
+    kind = effect[0]
+    if kind == "send":
+        _, label, target, subject = effect
+        return f"send {label!r} to {target} (subject {subject})"
+    if kind == "store":
+        _, store, op = effect
+        verb = "write" if op == "write" else "drop"
+        return f"{verb} store {store!r}"
+    if kind == "lifecycle":
+        return f"lifecycle {effect[1]}"
+    if kind == "oracle":
+        return "oracle consultation"
+    return repr(effect)
+
+
+# --------------------------------------------------------------------------
+# object-side extractor
+
+
+class _ObjectFrame(StmtWalker):
+    """Walks one object-model method body, helper calls inlined."""
+
+    def __init__(
+        self,
+        extractor: _ObjectExtractor,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        mro_index: int,
+        roles: dict[str, str],
+        ctx: str | None,
+    ) -> None:
+        self.x = extractor
+        self.fn = fn
+        self.mro_index = mro_index
+        #: name → role ("self" | "anchor" | "peer" | "info")
+        self.roles = roles
+        self.ctx = ctx
+
+    # -- roles ------------------------------------------------------------------
+
+    def role_of(self, expr: ast.expr) -> str:
+        chain = attr_chain(expr)
+        if chain is not None:
+            if chain == "self.self_ref" or (
+                self.ctx and chain == f"{self.ctx}.self_ref"
+            ):
+                return "self"
+            if chain == "self.anchor":
+                return "anchor"
+            parts = chain.split(".")
+            base_role = self.roles.get(parts[0])
+            if base_role == "info" and parts[1:] == ["ref"]:
+                return "peer"
+            if len(parts) == 1 and base_role in ("self", "anchor", "peer"):
+                return base_role
+        return "?"
+
+    def _payload_subject(self, call: ast.Call) -> str:
+        if len(call.args) < 3:
+            return "none"
+        payload = call.args[2]
+        if isinstance(payload, ast.Starred):
+            return "?"
+        if isinstance(payload, ast.Call):
+            fname = attr_chain(payload.func) or ""
+            if fname.split(".")[-1] == "RefInfo" and payload.args:
+                return self.role_of(payload.args[0])
+            return "?"
+        return self.role_of(payload)
+
+    # -- hooks ------------------------------------------------------------------
+
+    def visit_expr(self, expr: ast.expr, env: dict[str, Any]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._visit_call(node, env)
+
+    def _visit_call(self, call: ast.Call, env: dict[str, Any]) -> None:
+        x = self.x
+        # super().method(...) — resume resolution past the defining class
+        if (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Call)
+            and isinstance(call.func.value.func, ast.Name)
+            and call.func.value.func.id == "super"
+        ):
+            x.inline(call, call.func.attr, self.mro_index + 1, self, env)
+            return
+        chain = attr_chain(call.func)
+        if chain is None:
+            return
+        if self.ctx is not None and chain == f"{self.ctx}.send":
+            if len(call.args) < 2:
+                return
+            label_node = call.args[1]
+            if isinstance(label_node, ast.Constant) and isinstance(
+                label_node.value, str
+            ):
+                label = label_node.value
+            else:
+                label = "?"
+                x.summary.bailed = True
+            target = self.role_of(call.args[0])
+            x.summary.add(("send", label, target, self._payload_subject(call)), call)
+            return
+        if self.ctx is not None and chain == f"{self.ctx}.exit":
+            x.summary.add(("lifecycle", "exit"), call)
+            return
+        if self.ctx is not None and chain == f"{self.ctx}.sleep":
+            x.summary.add(("lifecycle", "sleep"), call)
+            return
+        if self.ctx is not None and chain == f"{self.ctx}.oracle":
+            x.summary.add(("oracle",), call)
+            return
+        parts = chain.split(".")
+        if parts[0] == "self" and len(parts) == 3 and parts[1] in _OBJ_MAP_STORES:
+            if parts[2] in _DROP_METHODS:
+                x.summary.add(("store", _OBJ_MAP_STORES[parts[1]], "drop"), call)
+            return
+        if parts[0] == "self" and len(parts) == 2:
+            x.inline(call, parts[1], 0, self, env)
+
+    def bind(
+        self,
+        stmt: ast.Assign | ast.AnnAssign | ast.AugAssign,
+        env: dict[str, Any],
+    ) -> None:
+        self._classify_store(stmt, env)
+        if isinstance(stmt, ast.Assign) and stmt.value is not None:
+            role = self.role_of(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if role != "?":
+                        self.roles[target.id] = role
+                    else:
+                        value_chain = attr_chain(stmt.value)
+                        if (
+                            value_chain is not None
+                            and "." in value_chain
+                            and value_chain.split(".")[-1] == "ref"
+                            and self.roles.get(value_chain.split(".")[0]) == "info"
+                        ):
+                            self.roles[target.id] = "peer"
+                        else:
+                            self.roles.pop(target.id, None)
+        super().bind(stmt, env)
+
+    def bind_loop(self, stmt: ast.For | ast.AsyncFor, env: dict[str, Any]) -> None:
+        super().bind_loop(stmt, env)
+        if _iterates_store(stmt.iter, "self", _OBJ_MAP_STORES):
+            first = stmt.target
+            if isinstance(first, ast.Tuple) and first.elts:
+                first = first.elts[0]
+            if isinstance(first, ast.Name):
+                self.roles[first.id] = "peer"
+
+    def on_delete(self, stmt: ast.Delete, env: dict[str, Any]) -> None:
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript):
+                chain = attr_chain(target.value)
+                if chain is not None:
+                    parts = chain.split(".")
+                    if (
+                        len(parts) == 2
+                        and parts[0] == "self"
+                        and parts[1] in _OBJ_MAP_STORES
+                    ):
+                        self.x.summary.add(
+                            ("store", _OBJ_MAP_STORES[parts[1]], "drop"), stmt
+                        )
+
+    def _classify_store(
+        self, stmt: ast.Assign | ast.AnnAssign | ast.AugAssign, env: dict[str, Any]
+    ) -> None:
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            chain = attr_chain(target)
+            if chain is not None:
+                parts = chain.split(".")
+                if len(parts) == 2 and parts[0] == "self" and parts[1] in _OBJ_ATTR_STORES:
+                    op = "write"
+                    if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and stmt.value is not None:
+                        known, val = fold(stmt.value, env)
+                        if known and (val is None or val is False or val == 0):
+                            op = "drop"
+                    self.x.summary.add(
+                        ("store", _OBJ_ATTR_STORES[parts[1]], op), stmt
+                    )
+                continue
+            if isinstance(target, ast.Subscript):
+                base = attr_chain(target.value)
+                if base is not None:
+                    parts = base.split(".")
+                    if (
+                        len(parts) == 2
+                        and parts[0] == "self"
+                        and parts[1] in _OBJ_MAP_STORES
+                    ):
+                        self.x.summary.add(
+                            ("store", _OBJ_MAP_STORES[parts[1]], "write"), stmt
+                        )
+
+
+def _iterates_store(
+    iter_expr: ast.expr, base: str, stores: dict[str, str]
+) -> bool:
+    """``self.N`` / ``self.N.items()`` / ``list(self.N.items())`` shapes."""
+    expr = iter_expr
+    if isinstance(expr, ast.Call):
+        fname = attr_chain(expr.func) or ""
+        if fname in ("list", "sorted", "tuple") and expr.args:
+            expr = expr.args[0]
+    if isinstance(expr, ast.Call):
+        fname = attr_chain(expr.func) or ""
+        parts = fname.split(".")
+        if len(parts) == 3 and parts[0] == base and parts[1] in stores:
+            return parts[2] in ("items", "keys", "values")
+        return False
+    chain = attr_chain(expr)
+    if chain is None:
+        return False
+    parts = chain.split(".")
+    return len(parts) == 2 and parts[0] == base and parts[1] in stores
+
+
+class _ObjectExtractor:
+    def __init__(self, project: Project, cls: ClassInfo) -> None:
+        self.project = project
+        self.mro = mro_chain(project, cls)
+        self.summary: EffectSummary = None  # type: ignore[assignment]
+        self._stack: list[tuple[str, str]] = []
+
+    def extract(self, method: str) -> EffectSummary | None:
+        resolved = resolve_method(self.mro, method)
+        if resolved is None:
+            return None
+        fn, idx = resolved
+        defining = self.mro[idx]
+        self.summary = EffectSummary("object", defining.module, method, fn)
+        roles, ctx = self._action_roles(fn)
+        self._walk_method(fn, idx, roles, ctx)
+        return self.summary
+
+    def _action_roles(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> tuple[dict[str, str], str | None]:
+        roles: dict[str, str] = {}
+        ctx: str | None = None
+        params = [*fn.args.posonlyargs, *fn.args.args]
+        for arg in params[1:]:  # skip self
+            ann = (
+                (attr_chain(arg.annotation) or "").split(".")[-1]
+                if arg.annotation is not None
+                else ""
+            )
+            if arg.arg == "ctx" or ann == "ActionContext":
+                ctx = arg.arg
+            elif ann in ("RefInfo", "Ref"):
+                roles[arg.arg] = "info" if ann == "RefInfo" else "peer"
+        return roles, ctx
+
+    def _walk_method(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        mro_index: int,
+        roles: dict[str, str],
+        ctx: str | None,
+    ) -> None:
+        key = (self.mro[min(mro_index, len(self.mro) - 1)].name, fn.name)
+        if key in self._stack or len(self._stack) > _MAX_INLINE_DEPTH:
+            return
+        self._stack.append(key)
+        try:
+            frame = _ObjectFrame(self, fn, mro_index, roles, ctx)
+            frame.walk(fn.body, {})
+        finally:
+            self._stack.pop()
+
+    def inline(
+        self,
+        call: ast.Call,
+        method: str,
+        start: int,
+        caller: _ObjectFrame,
+        env: dict[str, Any],
+    ) -> None:
+        resolved = resolve_method(self.mro, method, start)
+        if resolved is None:
+            return
+        fn, idx = resolved
+        params = [*fn.args.posonlyargs, *fn.args.args]
+        if not _is_staticmethod(fn):
+            params = params[1:]
+        roles: dict[str, str] = {}
+        ctx: str | None = None
+        for param, arg in zip(params, call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            if caller.ctx is not None and (
+                isinstance(arg, ast.Name) and arg.id == caller.ctx
+            ):
+                ctx = param.arg
+                continue
+            role = caller.role_of(arg)
+            if role != "?":
+                roles[param.arg] = role
+            elif (
+                isinstance(arg, ast.Attribute)
+                and arg.attr == "ref"
+                and isinstance(arg.value, ast.Name)
+                and caller.roles.get(arg.value.id) == "info"
+            ):
+                roles[param.arg] = "peer"
+            elif isinstance(arg, ast.Name) and caller.roles.get(arg.id) == "info":
+                roles[param.arg] = "info"
+        self._walk_method(fn, idx, roles, ctx)
+
+
+def object_summary(
+    project: Project, cls: ClassInfo, method: str
+) -> EffectSummary | None:
+    """Effect summary of *method* resolved against *cls*'s MRO."""
+    return _ObjectExtractor(project, cls).extract(method)
+
+
+# --------------------------------------------------------------------------
+# core-side extractor
+
+
+class _CoreFrame(StmtWalker):
+    """Walks one core kernel body under an is_fsp specialization."""
+
+    def __init__(
+        self,
+        extractor: _CoreExtractor,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        roles: dict[str, str],
+        top_level: bool,
+    ) -> None:
+        self.x = extractor
+        self.fn = fn
+        self.roles = roles
+        #: map-store aliases: local name → store name (``nd = self.N[u]``)
+        self.map_aliases: dict[str, str] = {}
+        #: channel aliases: local name bound to ``self.ch``
+        self.chan_aliases: set[str] = set()
+        #: unfoldable locals kept symbolically (``rec = <packed expr>``)
+        self.expr_aliases: dict[str, ast.expr] = {}
+        #: True only for the kernel frame itself — a ``return`` there is
+        #: the lifecycle request; helper returns are plain values.
+        self.top_level = top_level
+
+    # -- roles ------------------------------------------------------------------
+
+    def role_of(self, expr: ast.expr) -> str:
+        if isinstance(expr, ast.Name):
+            return self.roles.get(expr.id, "?")
+        if isinstance(expr, ast.Subscript):
+            base = attr_chain(expr.value)
+            if base is not None:
+                parts = base.split(".")
+                if len(parts) == 2 and parts[0] == "self":
+                    info = _CORE_COLUMN_STORES.get(parts[1])
+                    if (
+                        info is not None
+                        and info[0] == "anchor"
+                        and self.role_of(expr.slice) == "self"
+                    ):
+                        return "anchor"
+        return "?"
+
+    # -- hooks ------------------------------------------------------------------
+
+    def visit_expr(self, expr: ast.expr, env: dict[str, Any]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._visit_call(node, env)
+
+    def _visit_call(self, call: ast.Call, env: dict[str, Any]) -> None:
+        x = self.x
+        if (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Subscript)
+            and call.func.attr in _DROP_METHODS
+        ):
+            # row-level release through a double access: self.N[u].pop(v)
+            base = attr_chain(call.func.value.value)
+            if base is not None:
+                bparts = base.split(".")
+                if (
+                    len(bparts) == 2
+                    and bparts[0] == "self"
+                    and bparts[1] in _CORE_MAP_STORES
+                ):
+                    x.summary.add(
+                        ("store", _CORE_MAP_STORES[bparts[1]], "drop"), call
+                    )
+            return
+        chain = attr_chain(call.func)
+        if chain is None:
+            return
+        parts = chain.split(".")
+        if chain == f"self.{x.registry.plumbing['send']}":
+            if len(call.args) < 5:
+                x.summary.bailed = True
+                return
+            known, label_id = fold(call.args[2], env)
+            label = (
+                x.registry.label_name(label_id) or "?"
+                if known and isinstance(label_id, int)
+                else "?"
+            )
+            if label == "?":
+                x.summary.bailed = True
+            x.summary.add(
+                ("send", label, self.role_of(call.args[1]), self.role_of(call.args[3])),
+                call,
+            )
+            return
+        if len(parts) == 2 and parts[0] in self.map_aliases:
+            if parts[1] in _DROP_METHODS:
+                x.summary.add(("store", self.map_aliases[parts[0]], "drop"), call)
+            return
+        if len(parts) == 3 and parts[0] == "self" and parts[1] in _CORE_MAP_STORES:
+            if parts[2] in _DROP_METHODS:
+                x.summary.add(("store", _CORE_MAP_STORES[parts[1]], "drop"), call)
+            return
+        if len(parts) == 2 and parts[0] == "self":
+            x.inline(call, parts[1], self, env)
+
+    def bind(
+        self,
+        stmt: ast.Assign | ast.AnnAssign | ast.AugAssign,
+        env: dict[str, Any],
+    ) -> None:
+        self._classify_store(stmt, env)
+        if isinstance(stmt, ast.Assign) and stmt.value is not None:
+            value = stmt.value
+            for target in stmt.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                self.map_aliases.pop(name, None)
+                self.chan_aliases.discard(name)
+                self.expr_aliases.pop(name, None)
+                role = self.role_of(value)
+                if role != "?":
+                    self.roles[name] = role
+                else:
+                    self.roles.pop(name, None)
+                value_chain = attr_chain(value)
+                if value_chain == "self.ch":
+                    self.chan_aliases.add(name)
+                elif isinstance(value, ast.Subscript):
+                    base = attr_chain(value.value)
+                    if base is not None:
+                        bparts = base.split(".")
+                        if (
+                            len(bparts) == 2
+                            and bparts[0] == "self"
+                            and bparts[1] in _CORE_MAP_STORES
+                        ):
+                            self.map_aliases[name] = _CORE_MAP_STORES[bparts[1]]
+                elif not isinstance(value, (ast.Constant, ast.Name)):
+                    self.expr_aliases[name] = value
+        super().bind(stmt, env)
+
+    def bind_loop(self, stmt: ast.For | ast.AsyncFor, env: dict[str, Any]) -> None:
+        super().bind_loop(stmt, env)
+        iterates = _iterates_store(stmt.iter, "self", _CORE_MAP_STORES)
+        if not iterates:
+            expr = stmt.iter
+            if isinstance(expr, ast.Call):
+                fname = attr_chain(expr.func) or ""
+                fparts = fname.split(".")
+                iterates = (
+                    len(fparts) == 2
+                    and fparts[0] in self.map_aliases
+                    and fparts[1] in ("items", "keys", "values")
+                )
+            elif isinstance(expr, ast.Name):
+                iterates = expr.id in self.map_aliases
+        if iterates:
+            first = stmt.target
+            if isinstance(first, ast.Tuple) and first.elts:
+                first = first.elts[0]
+            if isinstance(first, ast.Name):
+                self.roles[first.id] = "peer"
+
+    def on_return(self, stmt: ast.Return, env: dict[str, Any]) -> None:
+        if not self.top_level or stmt.value is None:
+            return
+        value = pruned_ifexp(stmt.value, env)
+        chain = attr_chain(value)
+        if chain is not None:
+            kind = _LIFECYCLE_NAMES.get(chain.split(".")[-1])
+            gone = self.x.registry.plumbing.get("gone_state", "_GONE")
+            if chain.split(".")[-1] == gone:
+                kind = "exit"
+            if kind is not None:
+                self.x.summary.add(("lifecycle", kind), stmt)
+            return
+        if isinstance(value, ast.Constant) and value.value is None:
+            return
+        if isinstance(value, ast.IfExp):
+            # unknown test: both lifecycle codes are possible
+            for side in (value.body, value.orelse):
+                self.on_return(ast.Return(value=side, lineno=stmt.lineno), env)  # type: ignore[arg-type]
+
+    def on_delete(self, stmt: ast.Delete, env: dict[str, Any]) -> None:
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript):
+                base = attr_chain(target.value)
+                if base is None:
+                    continue
+                bparts = base.split(".")
+                if bparts[0] in self.map_aliases and len(bparts) == 1:
+                    self.x.summary.add(
+                        ("store", self.map_aliases[bparts[0]], "drop"), stmt
+                    )
+                elif (
+                    len(bparts) == 2
+                    and bparts[0] == "self"
+                    and bparts[1] in _CORE_MAP_STORES
+                ):
+                    self.x.summary.add(
+                        ("store", _CORE_MAP_STORES[bparts[1]], "drop"), stmt
+                    )
+
+    def _classify_store(
+        self, stmt: ast.Assign | ast.AnnAssign | ast.AugAssign, env: dict[str, Any]
+    ) -> None:
+        x = self.x
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        value = stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            # column write: self.<col>[u] = v  (or an aliased column)
+            base = attr_chain(target.value)
+            if base is not None:
+                parts = base.split(".")
+                col = None
+                if len(parts) == 2 and parts[0] == "self":
+                    col = parts[1]
+                elif len(parts) == 1 and parts[0] not in self.map_aliases:
+                    # hoisted column locals keep the column name
+                    col = parts[0]
+                if col is not None and col in _CORE_COLUMN_STORES:
+                    store, sentinel = _CORE_COLUMN_STORES[col]
+                    op = "write"
+                    if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and value is not None:
+                        known, val = fold(value, env)
+                        if known and isinstance(val, int):
+                            if sentinel == "neg" and val < 0:
+                                op = "drop"
+                            elif sentinel == "zero" and val == 0:
+                                op = "drop"
+                            elif sentinel == "none" and val == env.get("_NONE", 2):
+                                op = "drop"
+                    x.summary.add(("store", store, op), stmt)
+                    continue
+                if col is not None and col in _CORE_MAP_STORES:
+                    # direct row write self.N[u][v] has a Subscript base
+                    # and is handled below; a plain self.N[u] = {} reset
+                    # is bookkeeping, not a protocol store effect.
+                    continue
+                if len(parts) == 1 and parts[0] in self.map_aliases:
+                    x.summary.add(
+                        ("store", self.map_aliases[parts[0]], "write"), stmt
+                    )
+                    continue
+            # row write through a double subscript: self.N[u][v] = m
+            if isinstance(target.value, ast.Subscript):
+                inner = attr_chain(target.value.value)
+                if inner is not None:
+                    iparts = inner.split(".")
+                    if (
+                        len(iparts) == 2
+                        and iparts[0] == "self"
+                        and iparts[1] in _CORE_MAP_STORES
+                    ):
+                        x.summary.add(
+                            ("store", _CORE_MAP_STORES[iparts[1]], "write"), stmt
+                        )
+                        continue
+                    # inlined packed post: ch[v][seq] = rec
+                    if inner == "self.ch" or (
+                        len(iparts) == 1 and iparts[0] in self.chan_aliases
+                    ):
+                        self._classify_packed_post(stmt, target, env)
+        # oracle bookkeeping: self.oq += 1 inside the oracle kernel
+        if isinstance(stmt, ast.AugAssign):
+            chain = attr_chain(stmt.target)
+            if chain == "self.oq":
+                x.summary.add(("oracle",), stmt)
+
+    def _classify_packed_post(
+        self,
+        stmt: ast.Assign | ast.AnnAssign | ast.AugAssign,
+        target: ast.Subscript,
+        env: dict[str, Any],
+    ) -> None:
+        """``ch[v][seq] = rec`` — a hand-inlined channel post."""
+        x = self.x
+        value = stmt.value
+        if value is None:
+            return
+        if isinstance(value, ast.Name):
+            value = self.expr_aliases.get(value.id, value)
+        label_byte = low_bits(value, env, bits=8)
+        label = (
+            x.registry.label_name(label_byte) or "?"
+            if label_byte is not None
+            else "?"
+        )
+        if label == "?":
+            x.summary.bailed = True
+        assert isinstance(target.value, ast.Subscript)
+        dest = self.role_of(target.value.slice)
+        subj_shift = env.get("_SUBJ_SHIFT")
+        subject = "?"
+        if isinstance(subj_shift, int):
+            operand = shifted_operand(value, env, subj_shift)
+            if operand is not None:
+                subject = self.role_of(operand)
+        x.summary.add(("send", label, dest, subject), stmt)
+
+
+class _CoreExtractor:
+    def __init__(
+        self, project: Project, registry: MirrorRegistry, core: ClassInfo, is_fsp: bool
+    ) -> None:
+        self.project = project
+        self.registry = registry
+        self.core = core
+        self.is_fsp = is_fsp
+        self.methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for stmt in core.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[stmt.name] = stmt
+        self.base_env = dict(module_constants(registry.module.tree))
+        self.base_env["self.is_fsp"] = is_fsp
+        self.summary: EffectSummary = None  # type: ignore[assignment]
+        self._stack: list[str] = []
+
+    def extract(self, action: ActionRow) -> EffectSummary | None:
+        fn = self.methods.get(action.kernel)
+        if fn is None:
+            return None
+        self.summary = EffectSummary("core", self.registry.module, action.kernel, fn)
+        roles: dict[str, str] = {}
+        params = [*fn.args.posonlyargs, *fn.args.args][1:]  # skip self
+        if params:
+            roles[params[0].arg] = "self"
+        if action.kind == "deliver" and len(params) >= 2:
+            roles[params[1].arg] = "peer"
+        self._walk(fn, roles, top_level=True)
+        return self.summary
+
+    def _walk(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        roles: dict[str, str],
+        top_level: bool,
+    ) -> None:
+        if fn.name in self._stack or len(self._stack) > _MAX_INLINE_DEPTH:
+            return
+        self._stack.append(fn.name)
+        try:
+            frame = _CoreFrame(self, fn, roles, top_level)
+            frame.walk(fn.body, dict(self.base_env))
+        finally:
+            self._stack.pop()
+
+    def inline(
+        self, call: ast.Call, method: str, caller: _CoreFrame, env: dict[str, Any]
+    ) -> None:
+        fn = self.methods.get(method)
+        if fn is None:
+            return
+        params = [*fn.args.posonlyargs, *fn.args.args]
+        if not _is_staticmethod(fn):
+            params = params[1:]
+        roles: dict[str, str] = {}
+        for param, arg in zip(params, call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            role = caller.role_of(arg)
+            if role != "?":
+                roles[param.arg] = role
+        self._walk(fn, roles, top_level=False)
+
+
+def core_summary(
+    project: Project,
+    registry: MirrorRegistry,
+    core: ClassInfo,
+    action: ActionRow,
+    is_fsp: bool,
+) -> EffectSummary | None:
+    """Effect summary of *action*'s kernel specialized for *is_fsp*."""
+    return _CoreExtractor(project, registry, core, is_fsp).extract(action)

@@ -7,7 +7,7 @@ the offline CI smoke jobs). The pieces here are shared by every rule:
 * :class:`Module` — one parsed source file plus its suppression table;
 * :class:`Finding` — one diagnostic, pointing at a file/line/column;
 * :class:`Rule` — the interface rules implement, with a registry;
-* the ``# repro: noqa[RULE]`` suppression syntax (see docs/LINT.md).
+* the ``# repro: noqa[REF002]`` suppression syntax (see docs/LINT.md).
 
 Suppressions are line-scoped and *rule-scoped by prefix*: a comment
 ``# repro: noqa[DET004]`` silences exactly that rule on its line,
@@ -31,16 +31,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Finding",
     "Module",
+    "NOQA_TOKEN_RE",
     "Rule",
     "attr_chain",
     "parse_module",
     "rule_registry",
 ]
 
-#: ``# repro: noqa`` or ``# repro: noqa[REF002]`` or ``# repro: noqa[REF, DET004]``
-_NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[\s*([A-Z]+[0-9]*(?:\s*,\s*[A-Z]+[0-9]*)*)\s*\])?"
-)
+#: ``# repro: noqa`` or ``# repro: noqa[REF002]`` or ``# repro: noqa[REF, DET004]``.
+#: The bracket group is permissive on purpose: a malformed spec like
+#: ``noqa[ref001]`` must be *seen* (and warned about as LINT002), not
+#: fall back to matching the bare ``noqa`` prefix — the old strict
+#: pattern did exactly that, silently blanket-suppressing every rule on
+#: the line.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(\[([^\]]*)\])?")
+
+#: a single well-formed suppression token: a rule id or family prefix.
+NOQA_TOKEN_RE = re.compile(r"^[A-Z]+[0-9]*$")
 
 
 @dataclass(frozen=True)
@@ -72,7 +79,7 @@ class Finding:
 class Module:
     """A parsed source file plus its per-line suppression table."""
 
-    __slots__ = ("path", "name", "tree", "lines", "noqa")
+    __slots__ = ("path", "name", "tree", "lines", "noqa", "noqa_tokens")
 
     def __init__(self, path: str, name: str, tree: ast.Module, lines: list[str]):
         self.path = path
@@ -81,17 +88,25 @@ class Module:
         self.lines = lines
         #: line → frozenset of suppressed rule prefixes; empty set = all.
         self.noqa: dict[int, frozenset[str]] = {}
+        #: line → raw bracket tokens as written (for LINT002 validation:
+        #: malformed or unknown ids warn instead of silently suppressing).
+        self.noqa_tokens: dict[int, tuple[str, ...]] = {}
         for idx, text in enumerate(lines, start=1):
             m = _NOQA_RE.search(text)
             if m is None:
                 continue
-            spec = m.group(1)
-            if spec is None:
+            if m.group(1) is None:  # bare ``# repro: noqa``
                 self.noqa[idx] = frozenset()
-            else:
-                self.noqa[idx] = frozenset(
-                    tok.strip() for tok in spec.split(",") if tok.strip()
-                )
+                continue
+            tokens = tuple(
+                tok.strip() for tok in m.group(2).split(",") if tok.strip()
+            )
+            self.noqa_tokens[idx] = tokens
+            valid = frozenset(t for t in tokens if NOQA_TOKEN_RE.match(t))
+            # Only well-formed tokens suppress; a spec containing nothing
+            # valid suppresses nothing (and the runner warns).
+            if valid:
+                self.noqa[idx] = valid
 
     def suppressed(self, finding: Finding) -> bool:
         prefixes = self.noqa.get(finding.line)

@@ -1,0 +1,468 @@
+"""ENC0xx — static encodability proofs for the packed SoA message format.
+
+The SoA core encodes every in-flight message as one int:
+``label_id | bel << _BEL_SHIFT | (subj+1) << _SUBJ_SHIFT |
+(sender+1) << _SENDER_SHIFT``, with tagged refs ``slot | gen <<
+REF_SLOT_BITS``. A protocol is only core-eligible if every message it
+can ever send fits that record; today ineligibility surfaces as a
+``CoreUnsupported`` fallback at run time (or worse, a population simply
+never gets the fast path and nobody notices why).
+
+These rules derive each registered protocol's message alphabet from the
+AST and prove — at lint time, with the precise ``CoreUnsupported``
+reason in the message — that it is encodable: labels are compile-time
+constants drawn from the registry's label table (ENC001/ENC002),
+payloads are exactly one ``RefInfo`` (ENC003), beliefs provably fit the
+2-bit belief field (ENC004), and the registry module's shift/mask
+constants actually partition the word (ENC005).
+
+Scope is deliberately the *exact* classes named by ``MIRROR_PROTOCOLS``
+rows plus their base chain — a subclass someone derives is not
+core-eligible and may send arbitrary messages; these rules say nothing
+about it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.effects import MirrorRegistry, mro_chain
+from repro.lint.interp import module_constants
+from repro.lint.model import Finding, Module, Rule, attr_chain
+from repro.lint.rules.soa_mirror import project_registries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import ClassInfo, Project
+
+__all__ = [
+    "NonConstantLabel",
+    "UnregisteredLabel",
+    "PayloadShape",
+    "BeliefRange",
+    "PackedLayout",
+]
+
+#: parameter annotations that mark the action-context argument.
+_CTX_ANNOTATIONS = {"ActionContext"}
+
+#: calls whose result is a normalized belief by construction.
+_BELIEF_CALLS = {"normalize_belief", "normalized"}
+
+#: attribute tails that store a (normalized) belief in the object model.
+_BELIEF_ATTRS = (".mode", ".anchor_belief")
+
+
+def _scoped_classes(
+    project: Project,
+) -> dict[str, tuple[ClassInfo, MirrorRegistry]]:
+    """qualname → (class, owning registry) for every core-eligible class.
+
+    The MRO chain is included: an inherited ``timeout`` must be
+    encodable for every registered population that can run it.
+    """
+    out: dict[str, tuple[ClassInfo, MirrorRegistry]] = {}
+    for registry in project_registries(project):
+        for prow in registry.protocols:
+            pcls = registry.protocol_class(project, prow)
+            if pcls is None:
+                continue
+            for cls in mro_chain(project, pcls):
+                out.setdefault(cls.qualname, (cls, registry))
+    return out
+
+
+def _ctx_param(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """Name of the action-context parameter, or None for non-actions."""
+    for arg in fn.args.args + fn.args.kwonlyargs:
+        if arg.arg == "ctx":
+            return arg.arg
+        ann = arg.annotation
+        if ann is not None and ast.unparse(ann) in _CTX_ANNOTATIONS:
+            return arg.arg
+    return None
+
+
+def _iter_sends(
+    cls: ClassInfo, module: Module
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.Call]]:
+    """Yield (method, ctx.send call) pairs for methods defined in *module*."""
+    if cls.module is not module:
+        return
+    for stmt in cls.node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        ctx = _ctx_param(stmt)
+        if ctx is None:
+            continue
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and attr_chain(node.func) == f"{ctx}.send"
+            ):
+                yield stmt, node
+
+
+class NonConstantLabel(Rule):
+    id = "ENC001"
+    title = "core-eligible protocols must send compile-time-constant labels"
+    rationale = (
+        "The packed record stores the label as an 8-bit id looked up at "
+        "population-build time; a label computed at run time cannot be "
+        "assigned an id and forces the CoreUnsupported('message with "
+        "non-constant label') fallback for the whole population."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for cls, _registry in _scoped_classes(project).values():
+            for fn, call in _iter_sends(cls, module):
+                if len(call.args) < 2 or any(
+                    isinstance(a, ast.Starred) for a in call.args
+                ):
+                    continue  # malformed call; ENC003 reports the shape
+                label = call.args[1]
+                if not (
+                    isinstance(label, ast.Constant)
+                    and isinstance(label.value, str)
+                ):
+                    yield self.finding(
+                        module,
+                        label,
+                        f"{cls.name}.{fn.name} sends a non-constant label "
+                        f"({ast.unparse(label)}); the packed record needs a "
+                        "static label id "
+                        "(CoreUnsupported: message with non-constant label)",
+                    )
+
+
+class UnregisteredLabel(Rule):
+    id = "ENC002"
+    title = "sent labels must appear in the mirror registry's label table"
+    rationale = (
+        "The core's delivery switch dispatches on registered label ids "
+        "only; a constant label missing from MIRROR_ACTIONS is silently "
+        "dropped by the fast path while the object engine delivers it — "
+        "an un-mirrored broadcast that verify mode only catches if a test "
+        "happens to cross it."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for cls, registry in _scoped_classes(project).values():
+            known = {row.name for row in registry.deliver_actions}
+            for fn, call in _iter_sends(cls, module):
+                if len(call.args) < 2:
+                    continue
+                label = call.args[1]
+                if (
+                    isinstance(label, ast.Constant)
+                    and isinstance(label.value, str)
+                    and label.value not in known
+                ):
+                    yield self.finding(
+                        module,
+                        label,
+                        f"{cls.name}.{fn.name} sends label {label.value!r} "
+                        "which has no MIRROR_ACTIONS row "
+                        f"({registry.module.path}:{registry.lineno}); the "
+                        "SoA core would drop it on delivery",
+                    )
+
+
+class PayloadShape(Rule):
+    id = "ENC003"
+    title = "core-eligible messages carry exactly one RefInfo payload"
+    rationale = (
+        "The packed record has one subject field and one belief field; "
+        "zero-arg, multi-arg or starred parameter lists cannot round-trip "
+        "through it (CoreUnsupported: message with unencodable parameter "
+        "list)."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for cls, _registry in _scoped_classes(project).values():
+            for fn, call in _iter_sends(cls, module):
+                payload = call.args[2:]
+                if any(isinstance(a, ast.Starred) for a in call.args):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{cls.name}.{fn.name} sends a starred parameter "
+                        "list; the packed record needs exactly one RefInfo "
+                        "(CoreUnsupported: message with unencodable "
+                        "parameter list)",
+                    )
+                    continue
+                if len(payload) == 1 and not isinstance(
+                    payload[0], ast.Constant
+                ):
+                    continue  # one expression; assume RefInfo-shaped
+                yield self.finding(
+                    module,
+                    call,
+                    f"{cls.name}.{fn.name} sends {len(payload)} payload "
+                    "argument(s); the packed record encodes exactly one "
+                    "RefInfo (CoreUnsupported: message with unencodable "
+                    "parameter list)",
+                )
+
+
+class BeliefRange(Rule):
+    id = "ENC004"
+    title = "piggybacked beliefs must provably fit the 2-bit belief field"
+    rationale = (
+        "The record reserves _SUBJ_SHIFT - _BEL_SHIFT bits for the "
+        "sender's belief; only Mode values (or None) are encodable. A "
+        "belief expression that cannot be traced to a Mode-typed source "
+        "may smuggle an arbitrary object into the fast path."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for cls, _registry in _scoped_classes(project).values():
+            if cls.module is not module:
+                continue
+            for stmt in cls.node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if _ctx_param(stmt) is None:
+                    continue
+                belief_names = self._belief_typed_names(stmt)
+                ctx = _ctx_param(stmt)
+                for node in ast.walk(stmt):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and attr_chain(node.func) == f"{ctx}.send"
+                    ):
+                        continue
+                    for arg in node.args[2:]:
+                        if not (
+                            isinstance(arg, ast.Call)
+                            and attr_chain(arg.func) in ("RefInfo",)
+                            and len(arg.args) >= 2
+                        ):
+                            continue
+                        belief = arg.args[1]
+                        if not self._belief_ok(belief, belief_names):
+                            yield self.finding(
+                                module,
+                                belief,
+                                f"{cls.name}.{stmt.name} piggybacks belief "
+                                f"{ast.unparse(belief)} that is not provably "
+                                "a Mode value; the packed record's belief "
+                                "field is 2 bits",
+                            )
+
+    @staticmethod
+    def _belief_typed_names(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> set[str]:
+        """Names provably bound to Mode-or-None values within *fn*."""
+        names: set[str] = set()
+        for arg in fn.args.args + fn.args.kwonlyargs:
+            ann = arg.annotation
+            if ann is not None and "Mode" in ast.unparse(ann):
+                names.add(arg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and BeliefRange._mode_source(
+                    node.value
+                ):
+                    names.add(target.id)
+            elif isinstance(node, ast.For):
+                # ``for v, bel in <store>.items():`` — stored beliefs were
+                # normalized on the way in.
+                it = node.iter
+                while (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Name)
+                    and it.func.id in ("sorted", "list", "tuple")
+                    and it.args
+                ):
+                    it = it.args[0]
+                if (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Attribute)
+                    and it.func.attr == "items"
+                    and isinstance(node.target, ast.Tuple)
+                    and len(node.target.elts) == 2
+                    and isinstance(node.target.elts[1], ast.Name)
+                ):
+                    names.add(node.target.elts[1].id)
+        return names
+
+    @staticmethod
+    def _mode_source(value: ast.expr) -> bool:
+        chain = attr_chain(value)
+        if chain is not None:
+            if chain.startswith("Mode."):
+                return True
+            if chain.endswith(_BELIEF_ATTRS):
+                return True
+        if isinstance(value, ast.Call):
+            fchain = attr_chain(value.func)
+            if fchain is not None and fchain.split(".")[-1] in _BELIEF_CALLS:
+                return True
+        return False
+
+    @staticmethod
+    def _belief_ok(belief: ast.expr, names: set[str]) -> bool:
+        if isinstance(belief, ast.Constant) and belief.value is None:
+            return True
+        if isinstance(belief, ast.Name) and belief.id in names:
+            return True
+        if isinstance(belief, ast.IfExp):
+            return BeliefRange._belief_ok(
+                belief.body, names
+            ) and BeliefRange._belief_ok(belief.orelse, names)
+        return BeliefRange._mode_source(belief)
+
+
+class PackedLayout(Rule):
+    id = "ENC005"
+    title = "the packed-record shift/mask constants must partition the word"
+    rationale = (
+        "Every encodability argument bottoms out in the layout constants: "
+        "if the label mask overlaps the belief field, or the subject mask "
+        "cannot hold a full tagged ref (slot | gen << REF_SLOT_BITS), "
+        "records alias and the verify oracle chases phantom divergence. "
+        "Proving the partition once, at lint time, anchors ENC001-ENC004."
+    )
+
+    #: layout constant names the proof needs, in dependency order.
+    _REQUIRED = (
+        "_LABEL_MASK",
+        "_BEL_SHIFT",
+        "_SUBJ_SHIFT",
+        "_SUBJ_MASK",
+        "_SENDER_SHIFT",
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for registry in project_registries(project):
+            if registry.module is not module:
+                continue
+            env = module_constants(module.tree)
+            consts = {name: env.get(name) for name in self._REQUIRED}
+            missing = [k for k, v in consts.items() if not isinstance(v, int)]
+            if missing:
+                yield Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=registry.lineno,
+                    col=0,
+                    message=(
+                        "cannot prove the packed-record layout: constants "
+                        f"{', '.join(missing)} are missing or non-constant"
+                    ),
+                )
+                continue
+            label_mask = consts["_LABEL_MASK"]
+            bel_shift = consts["_BEL_SHIFT"]
+            subj_shift = consts["_SUBJ_SHIFT"]
+            subj_mask = consts["_SUBJ_MASK"]
+            sender_shift = consts["_SENDER_SHIFT"]
+            assert (
+                isinstance(label_mask, int)
+                and isinstance(bel_shift, int)
+                and isinstance(subj_shift, int)
+                and isinstance(subj_mask, int)
+                and isinstance(sender_shift, int)
+            )
+            line = _const_lineno(module.tree, "_LABEL_MASK", registry.lineno)
+            if label_mask >= (1 << bel_shift):
+                yield Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"label field overflows into the belief field: "
+                        f"_LABEL_MASK={label_mask:#x} >= 1 << _BEL_SHIFT"
+                        f"={1 << bel_shift:#x}"
+                    ),
+                )
+            belief_codes = [
+                v
+                for name in ("_STAYING", "_LEAVING", "_NONE")
+                if isinstance(v := env.get(name), int)
+            ]
+            if belief_codes and max(belief_codes) >= (
+                1 << (subj_shift - bel_shift)
+            ):
+                yield Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=_const_lineno(module.tree, "_NONE", registry.lineno),
+                    col=0,
+                    message=(
+                        f"belief code {max(belief_codes)} does not fit the "
+                        f"{subj_shift - bel_shift}-bit belief field "
+                        "(_BEL_SHIFT.._SUBJ_SHIFT)"
+                    ),
+                )
+            if subj_mask > (1 << (sender_shift - subj_shift)) - 1:
+                yield Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=_const_lineno(module.tree, "_SUBJ_MASK", registry.lineno),
+                    col=0,
+                    message=(
+                        f"subject field overflows into the sender field: "
+                        f"_SUBJ_MASK={subj_mask:#x} > "
+                        f"(1 << (_SENDER_SHIFT - _SUBJ_SHIFT)) - 1"
+                        f"={(1 << (sender_shift - subj_shift)) - 1:#x}"
+                    ),
+                )
+            slot_bits = self._resolve_slot_bits(project)
+            if slot_bits is not None and (1 << slot_bits) > subj_mask:
+                yield Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=_const_lineno(module.tree, "_SUBJ_MASK", registry.lineno),
+                    col=0,
+                    message=(
+                        f"tagged-ref slot space (1 << REF_SLOT_BITS="
+                        f"{slot_bits}) exceeds the subject mask "
+                        f"{subj_mask:#x}; shifted subjects (slot+1) would be "
+                        "truncated"
+                    ),
+                )
+            max_label = max(
+                (row.label_id for row in registry.deliver_actions),
+                default=0,
+            )
+            if max_label > label_mask:
+                yield Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=registry.lineno,
+                    col=0,
+                    message=(
+                        f"label table overflow: MIRROR_ACTIONS assigns label "
+                        f"id {max_label} > _LABEL_MASK={label_mask:#x}"
+                    ),
+                )
+
+    @staticmethod
+    def _resolve_slot_bits(project: Project) -> int | None:
+        for mod in project.modules.values():
+            value = module_constants(mod.tree).get("REF_SLOT_BITS")
+            if isinstance(value, int):
+                return value
+        return None
+
+
+def _const_lineno(tree: ast.Module, name: str, default: int) -> int:
+    """Line of the top-level assignment binding *name* (tuple unpack ok)."""
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return stmt.lineno
+            if isinstance(target, ast.Tuple) and any(
+                isinstance(e, ast.Name) and e.id == name for e in target.elts
+            ):
+                return stmt.lineno
+    return default

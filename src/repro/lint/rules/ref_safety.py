@@ -6,6 +6,16 @@ copy-store-send discipline: a reference a process receives must end up
 container, or explicitly released through the sanctioned purge surface.
 A reference that silently falls out of scope is a potential cut edge.
 
+REF001 and REF002 are *flow-sensitive*: REF001 tracks each reference
+parameter through the handler's control-flow paths with the provenance
+lattice in :mod:`repro.lint.interp` (received → copied → stored / sent /
+dropped), so a ref consumed on one branch of a conditional but leaked on
+the other is caught — the syntactic predecessor rule only asked whether
+*some* statement anywhere mentioned the name. REF002 requires the
+eviction to be reachable on the same guarded path as the reversal send
+(inside the mode-guard's subtree, or established before the guard), not
+merely somewhere in the function.
+
 These rules run only on protocol modules (modules defining a
 ``Process``/``OverlayLogic`` subclass) — utility code passes refs around
 freely.
@@ -18,6 +28,7 @@ import re
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
+from repro.lint.interp import RefFlow
 from repro.lint.model import Finding, Module, Rule, attr_chain
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,44 +46,6 @@ _REF_ANNOTATIONS = frozenset({"Ref", "RefInfo"})
 _EVICT_METHODS = frozenset({"drop_neighbor", "pop", "discard", "remove"})
 
 
-def _names_in(expr: ast.AST | None) -> Iterator[str]:
-    if expr is None:
-        return
-    for node in ast.walk(expr):
-        if isinstance(node, ast.Name):
-            yield node.id
-
-
-def _consumed_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
-    """Names that flow into a sink: call argument, store, return/yield,
-    subscript key of a store, or an explicit ``del``."""
-    out: set[str] = set()
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Call):
-            for arg in node.args:
-                out.update(_names_in(arg))
-            for kw in node.keywords:
-                out.update(_names_in(kw.value))
-        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
-            out.update(_names_in(node.value))
-        elif isinstance(node, ast.Assign):
-            out.update(_names_in(node.value))
-            for tgt in node.targets:
-                for sub in ast.walk(tgt):
-                    if isinstance(sub, ast.Subscript):
-                        out.update(_names_in(sub.slice))
-        elif isinstance(node, ast.AugAssign):
-            out.update(_names_in(node.value))
-            if isinstance(node.target, ast.Subscript):
-                out.update(_names_in(node.target.slice))
-        elif isinstance(node, ast.AnnAssign):
-            out.update(_names_in(node.value))
-        elif isinstance(node, ast.Delete):
-            for tgt in node.targets:
-                out.update(_names_in(tgt))
-    return out
-
-
 def _protocol_methods(
     module: Module, project: Project
 ) -> Iterator[tuple[ast.ClassDef, ast.FunctionDef | ast.AsyncFunctionDef]]:
@@ -86,11 +59,16 @@ def _protocol_methods(
 
 class RefConsumption(Rule):
     id = "REF001"
-    title = "received reference must be consumed"
+    title = "received reference must be consumed on every path"
     rationale = (
         "Copy-store-send (paper Section 2): a handler that receives a Ref "
         "and lets it fall out of scope may disconnect the overlay — the "
-        "reference was an edge of the relation graph."
+        "reference was an edge of the relation graph. Dataflow tracks the "
+        "ref and its aliases per control-flow path, so a branch that "
+        "returns early without consuming it is a finding even when the "
+        "other branch stores the ref; explicit early returns and raises "
+        "under a guard that inspected the ref are the sanctioned "
+        "rejection surface."
     )
 
     def check(self, module: Module, project: Project) -> Iterator[Finding]:
@@ -99,8 +77,6 @@ class RefConsumption(Rule):
         for _cls, fn in _protocol_methods(module, project):
             if not _HANDLER_RE.match(fn.name):
                 continue
-            if any(isinstance(n, ast.Raise) for n in ast.walk(fn)):
-                continue  # abstract / intentionally unsupported
             ref_params = [
                 arg
                 for arg in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
@@ -108,27 +84,42 @@ class RefConsumption(Rule):
                 and (attr_chain(arg.annotation) or "").split(".")[-1]
                 in _REF_ANNOTATIONS
             ]
-            if not ref_params:
-                continue
-            consumed = _consumed_names(fn)
             for arg in ref_params:
-                if arg.arg not in consumed:
-                    yield self.finding(
-                        module,
-                        arg,
-                        f"handler {fn.name!r} receives reference parameter "
-                        f"{arg.arg!r} but never sends, stores, or drops it "
-                        "(potential connectivity leak)",
-                    )
+                flow = RefFlow(fn, arg.arg)
+                ends = flow.run()
+                if flow.bailed:
+                    continue  # path explosion / unmodelled construct
+                leaks = [
+                    end
+                    for end in ends
+                    if end.kind != "raise"
+                    and not end.consumed
+                    and not end.sanctioned
+                ]
+                if not leaks:
+                    continue
+                where = leaks[0].node
+                yield self.finding(
+                    module,
+                    arg,
+                    f"handler {fn.name!r} receives reference parameter "
+                    f"{arg.arg!r} but a path ending at line "
+                    f"{getattr(where, 'lineno', fn.lineno)} neither sends, "
+                    "stores, nor drops it (potential connectivity leak)",
+                )
 
 
 def _walk_sends(
-    node: ast.AST, tests: tuple[str, ...], out: list[tuple[ast.Call, tuple[str, ...]]]
+    node: ast.AST,
+    guards: tuple[ast.If, ...],
+    out: list[tuple[ast.Call, tuple[ast.If, ...]]],
 ) -> None:
+    """Collect ``*.send(target, 'present', ...)`` calls with their
+    enclosing If nodes (innermost last)."""
     if isinstance(node, ast.If):
-        guard = (*tests, ast.unparse(node.test))
+        inner = (*guards, node)
         for child in [*node.body, *node.orelse]:
-            _walk_sends(child, guard, out)
+            _walk_sends(child, inner, out)
         return
     if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
         return
@@ -140,13 +131,17 @@ def _walk_sends(
             and isinstance(node.args[1], ast.Constant)
             and node.args[1].value == "present"
         ):
-            out.append((node, tests))
+            out.append((node, guards))
     for child in ast.iter_child_nodes(node):
-        _walk_sends(child, tests, out)
+        _walk_sends(child, guards, out)
 
 
-def _has_eviction(fn: ast.AST, target_src: str) -> bool:
-    for node in ast.walk(fn):
+def _has_eviction(scope: ast.AST, target_src: str, before: int | None = None) -> bool:
+    """Is there an eviction of *target_src* in *scope* (optionally only
+    at lines strictly before *before*)?"""
+    for node in ast.walk(scope):
+        if before is not None and getattr(node, "lineno", before) >= before:
+            continue
         if isinstance(node, ast.Call):
             chain = attr_chain(node.func) or ""
             if chain.split(".")[-1] in _EVICT_METHODS and any(
@@ -171,7 +166,9 @@ class ReversalEviction(Rule):
         "and sent the reversal `present` (♣) without evicting it from P, "
         "so every later timeout re-targeted the gone process and spawned "
         "an unanswerable verify cycle. Any mode-conditioned `present` send "
-        "must be paired with drop_neighbor/pop/del of the target."
+        "must be paired with drop_neighbor/pop/del of the target *on the "
+        "guarded path* — an eviction on a sibling branch does not release "
+        "the edge the reversal path keeps."
     )
 
     def check(self, module: Module, project: Project) -> Iterator[Finding]:
@@ -183,25 +180,36 @@ class ReversalEviction(Rule):
             # postprocess) where the sender also holds the ref in P.
             if fn.name.startswith("on_") or "handle" in fn.name:
                 continue
-            sends: list[tuple[ast.Call, tuple[str, ...]]] = []
+            sends: list[tuple[ast.Call, tuple[ast.If, ...]]] = []
             for stmt in fn.body:
                 _walk_sends(stmt, (), sends)
-            for call, tests in sends:
-                mode_guarded = any(
-                    "Mode.LEAVING" in t or "Mode.STAYING" in t for t in tests
-                )
+            for call, guards in sends:
+                tests = [ast.unparse(g.test) for g in guards]
+                mode_ifs = [
+                    g
+                    for g, t in zip(guards, tests)
+                    if "Mode.LEAVING" in t or "Mode.STAYING" in t
+                ]
                 own_mode = any("self.mode" in t for t in tests)
-                if not mode_guarded or own_mode:
+                if not mode_ifs or own_mode:
                     continue
                 target_src = ast.unparse(call.args[0])
-                if not _has_eviction(fn, target_src):
-                    yield self.finding(
-                        module,
-                        call,
-                        f"{fn.name!r} sends reversal 'present' to "
-                        f"{target_src} under a mode test without evicting it "
-                        "(drop_neighbor/pop/del) — PR 2 livelock shape",
-                    )
+                # The eviction must share the reversal's guarded path:
+                # inside the innermost mode-guard's subtree, or already
+                # performed before control reached that guard.
+                guard = mode_ifs[-1]
+                if _has_eviction(guard, target_src) or _has_eviction(
+                    fn, target_src, before=guard.lineno
+                ):
+                    continue
+                yield self.finding(
+                    module,
+                    call,
+                    f"{fn.name!r} sends reversal 'present' to "
+                    f"{target_src} under a mode test without evicting it "
+                    "on that path (drop_neighbor/pop/del) — PR 2 livelock "
+                    "shape",
+                )
 
 
 class RefIdentityComparison(Rule):

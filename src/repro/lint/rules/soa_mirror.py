@@ -1,0 +1,391 @@
+"""SOA0xx — mirror-drift rules for the struct-of-arrays core.
+
+The SoA core (``repro.sim.soa``) re-implements every protocol action as
+an int kernel; ``engine_mode=verify`` catches divergence dynamically but
+only on paths a test happens to drive. These rules prove conformance
+statically: the per-action effect summaries of both sides (see
+``repro.lint.effects``) must be *equal sets*, every registry row must
+resolve on both sides, and the bookkeeping obligations the effect
+algebra deliberately excludes (stats counters, the generation bump) are
+checked structurally.
+
+All four rules are driven by the mirror registry the core module itself
+executes (``MIRROR_ACTIONS``/``MIRROR_PROTOCOLS``), so a protocol added
+to the registry is automatically under analysis — and a kernel added
+without a registry row is itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.effects import (
+    MirrorRegistry,
+    core_summary,
+    describe_effect,
+    find_registries,
+    mro_chain,
+    object_summary,
+    resolve_method,
+)
+from repro.lint.model import Finding, Module, Rule, attr_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import Project
+
+__all__ = [
+    "MirrorCoverage",
+    "MirrorDrift",
+    "CounterFlush",
+    "GenerationBump",
+    "project_registries",
+]
+
+
+def project_registries(project: Project) -> list[MirrorRegistry]:
+    """find_registries, cached per project (rules run per module)."""
+    cached = getattr(project, "_mirror_registries", None)
+    if cached is None:
+        cached = find_registries(project)
+        project._mirror_registries = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def _method_names(cls_node: ast.ClassDef) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls_node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+class MirrorCoverage(Rule):
+    id = "SOA001"
+    title = "mirrored action present on both sides of the SoA core"
+    rationale = (
+        "Every registry row must resolve to an object-model method AND an "
+        "int kernel, and every handler-shaped method (`on_*` on a "
+        "core-eligible protocol, `*_kernel` on the core) must be a "
+        "registry row — a handler present on one side only is silent "
+        "protocol drift the verify oracle can miss entirely."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for registry in project_registries(project):
+            yield from self._check_registry_side(module, project, registry)
+            yield from self._check_object_side(module, project, registry)
+
+    def _check_registry_side(
+        self, module: Module, project: Project, registry: MirrorRegistry
+    ) -> Iterator[Finding]:
+        if registry.module is not module:
+            return
+        core = registry.core_class(project)
+        core_methods = _method_names(core.node) if core is not None else {}
+        for row in registry.actions:
+            if core is not None and row.kernel not in core_methods:
+                yield Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=row.lineno,
+                    col=0,
+                    message=(
+                        f"registry action {row.name!r} names kernel "
+                        f"{row.kernel!r} but {core.name} does not define it"
+                    ),
+                )
+            for prow in registry.protocols:
+                pcls = registry.protocol_class(project, prow)
+                if pcls is None:
+                    continue
+                if resolve_method(mro_chain(project, pcls), row.object_method) is None:
+                    yield Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=row.lineno,
+                        col=0,
+                        message=(
+                            f"registry action {row.name!r} names object "
+                            f"method {row.object_method!r} but "
+                            f"{prow.process_class} does not define it"
+                        ),
+                    )
+        # kernels present on the core side only
+        if core is not None:
+            registered = {row.kernel for row in registry.actions}
+            for name, fn in core_methods.items():
+                if name.endswith("_kernel") and name not in registered:
+                    yield Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=fn.lineno,
+                        col=fn.col_offset,
+                        message=(
+                            f"kernel {name!r} on {core.name} has no "
+                            "MIRROR_ACTIONS row — the object model cannot "
+                            "reach it and drift analysis cannot cover it"
+                        ),
+                    )
+
+    def _check_object_side(
+        self, module: Module, project: Project, registry: MirrorRegistry
+    ) -> Iterator[Finding]:
+        """``on_*`` handlers on a core-eligible class must be registered
+        (an unregistered one is a label the packed core silently drops)."""
+        registered = {row.object_method for row in registry.actions}
+        for prow in registry.protocols:
+            pcls = registry.protocol_class(project, prow)
+            if pcls is None:
+                continue
+            for cls in mro_chain(project, pcls):
+                if cls.module is not module:
+                    continue
+                for name, fn in _method_names(cls.node).items():
+                    if name.startswith("on_") and name not in registered:
+                        yield Finding(
+                            rule=self.id,
+                            path=module.path,
+                            line=fn.lineno,
+                            col=fn.col_offset,
+                            message=(
+                                f"handler {cls.name}.{name} has no "
+                                "MIRROR_ACTIONS row: the SoA core drops its "
+                                f"label for {prow.name} populations "
+                                f"(registry: {registry.module.path}:"
+                                f"{registry.lineno})"
+                            ),
+                        )
+
+
+class MirrorDrift(Rule):
+    id = "SOA002"
+    title = "object-model and SoA effect summaries must agree"
+    rationale = (
+        "The dynamic verify oracle only checks executed paths; the effect "
+        "diff proves every may-effect (sends with target/subject roles, "
+        "store writes/drops, lifecycle requests, oracle consultations) "
+        "exists on both sides — a missing flush or an un-mirrored "
+        "broadcast breaks the copy-store-send invariant the FDP "
+        "correctness argument rests on."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for registry in project_registries(project):
+            if registry.module is not module:
+                continue
+            core = registry.core_class(project)
+            if core is None:
+                continue  # SOA001 reports the missing class
+            for prow in registry.protocols:
+                pcls = registry.protocol_class(project, prow)
+                if pcls is None:
+                    continue
+                for row in registry.actions:
+                    obj = object_summary(project, pcls, row.object_method)
+                    cs = core_summary(project, registry, core, row, prow.is_fsp)
+                    if obj is None or cs is None:
+                        continue  # SOA001 reports the missing side
+                    if obj.bailed or cs.bailed:
+                        continue  # extractor abstained; no junk findings
+                    obj_effects = set(obj.effects)
+                    core_effects = set(cs.effects)
+                    for effect in sorted(obj_effects - core_effects):
+                        yield Finding(
+                            rule=self.id,
+                            path=module.path,
+                            line=cs.node.lineno,
+                            col=cs.node.col_offset,
+                            message=(
+                                f"kernel {row.kernel!r} ({prow.name}): object "
+                                f"model produces {describe_effect(effect)} at "
+                                f"{obj.module.path}:{obj.effects[effect]} with "
+                                "no core counterpart"
+                            ),
+                        )
+                    for effect in sorted(core_effects - obj_effects):
+                        yield Finding(
+                            rule=self.id,
+                            path=module.path,
+                            line=cs.effects[effect],
+                            col=0,
+                            message=(
+                                f"kernel {row.kernel!r} ({prow.name}) produces "
+                                f"{describe_effect(effect)} that "
+                                f"{pcls.name}.{row.object_method} "
+                                f"({obj.module.path}:{obj.node.lineno}) never "
+                                "does"
+                            ),
+                        )
+
+
+def _writes_attr(fn: ast.AST, attr: str) -> bool:
+    """Does *fn* write ``self.<attr>`` (scalar) or ``self.<attr>[...]``?"""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                chain = attr_chain(target)
+                if chain == f"self.{attr}":
+                    return True
+                if isinstance(target, ast.Subscript):
+                    if attr_chain(target.value) == f"self.{attr}":
+                        return True
+    return False
+
+
+class CounterFlush(Rule):
+    id = "SOA003"
+    title = "SoA event runners must flush the mirrored stats counters"
+    rationale = (
+        "`engine_mode=verify` compares Engine stats against the core's "
+        "counters after every step; an event runner that forgets a bump, "
+        "or a batch loop that hoists a counter into a local and never "
+        "writes it back, reports phantom divergence (or hides real "
+        "divergence) on exactly the paths the batch optimizations touch."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for registry in project_registries(project):
+            if registry.module is not module:
+                continue
+            core = registry.core_class(project)
+            if core is None:
+                continue
+            methods = _method_names(core.node)
+            for runner, counters in registry.event_counters.items():
+                fn = methods.get(runner)
+                if fn is None:
+                    yield Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=registry.lineno,
+                        col=0,
+                        message=(
+                            f"MIRROR_EVENT_COUNTERS names runner {runner!r} "
+                            f"but {core.name} does not define it"
+                        ),
+                    )
+                    continue
+                for counter in counters:
+                    if not _writes_attr(fn, counter):
+                        analogue = self._engine_analogue(project, core, runner)
+                        yield Finding(
+                            rule=self.id,
+                            path=module.path,
+                            line=fn.lineno,
+                            col=fn.col_offset,
+                            message=(
+                                f"event runner {runner!r} never bumps counter "
+                                f"{counter!r}; engine_mode=verify compares it "
+                                f"against the object engine's stats"
+                                + (f" ({analogue})" if analogue else "")
+                            ),
+                        )
+            if not registry.batch_flush:
+                continue
+            for name, fn in methods.items():
+                if "_batch" not in name:
+                    continue
+                if not any(
+                    isinstance(node, ast.Try) and node.finalbody
+                    for node in ast.walk(fn)
+                ):
+                    continue
+                for counter in registry.batch_flush:
+                    if not _writes_attr(fn, counter):
+                        yield Finding(
+                            rule=self.id,
+                            path=module.path,
+                            line=fn.lineno,
+                            col=fn.col_offset,
+                            message=(
+                                f"batch loop {name!r} hoists scalar counters "
+                                f"but never writes {counter!r} back to self "
+                                "(BATCH_FLUSH_COUNTERS obligation)"
+                            ),
+                        )
+
+    @staticmethod
+    def _engine_analogue(project: Project, core: object, runner: str) -> str | None:
+        for fn in project.functions_by_name.get(runner, ()):
+            if fn.cls is not None and fn.cls != getattr(core, "name", None):
+                return f"object side: {fn.module.path}:{fn.node.lineno}"
+        return None
+
+
+class GenerationBump(Rule):
+    id = "SOA004"
+    title = "the transition kernel must bump the generation on exit"
+    rationale = (
+        "Tagged refs are `slot | gen << REF_SLOT_BITS`: a slot whose "
+        "process goes gone must change generation, or a stale reference "
+        "held by another process compares equal to a live one and the "
+        "connectivity oracle silently reads the wrong process."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for registry in project_registries(project):
+            if registry.module is not module:
+                continue
+            core = registry.core_class(project)
+            if core is None:
+                continue
+            transition = registry.plumbing.get("transition", "_transition")
+            gone = registry.plumbing.get("gone_state", "_GONE")
+            column = registry.plumbing.get("generation_column", "gen_")
+            fn = _method_names(core.node).get(transition)
+            if fn is None:
+                continue
+            gone_branches = [
+                node
+                for node in ast.walk(fn)
+                if isinstance(node, ast.If) and self._tests_gone(node.test, gone)
+            ]
+            if not gone_branches:
+                yield Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=fn.lineno,
+                    col=fn.col_offset,
+                    message=(
+                        f"transition kernel {transition!r} has no "
+                        f"{gone}-state branch; exits cannot bump the "
+                        f"{column!r} generation column"
+                    ),
+                )
+                return
+            for branch in gone_branches:
+                if not any(
+                    self._bumps_column(node, column) for node in branch.body
+                ):
+                    yield Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=branch.lineno,
+                        col=branch.col_offset,
+                        message=(
+                            f"{gone} branch of {transition!r} does not bump "
+                            f"the {column!r} generation column — stale tagged "
+                            "refs (slot | gen << REF_SLOT_BITS) would alias "
+                            "the exited slot"
+                        ),
+                    )
+
+    @staticmethod
+    def _tests_gone(test: ast.expr, gone: str) -> bool:
+        return isinstance(test, ast.Compare) and any(
+            attr_chain(side) == gone
+            for side in [test.left, *test.comparators]
+        )
+
+    @staticmethod
+    def _bumps_column(stmt: ast.stmt, column: str) -> bool:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Subscript
+            ):
+                if attr_chain(node.target.value) == f"self.{column}":
+                    return True
+        return False

@@ -401,11 +401,17 @@ class Engine:
 
         O(1); safe for probes. ``active`` is True when a core instance is
         mirroring (verify) or eligible to drive (soa) this engine.
+        ``protocols`` and ``actions`` come from the mirror registry — the
+        declarative statement of what the int core can execute.
         """
+        from repro.sim.soa import MIRROR_ACTIONS, MIRROR_PROTOCOLS
+
         return {
             "engine_mode": self._engine_mode,
             "active": self._core is not None,
             "reason": self._core_reason,
+            "protocols": tuple(p.process_class for p in MIRROR_PROTOCOLS),
+            "actions": tuple(a.name for a in MIRROR_ACTIONS),
         }
 
     @property

@@ -216,6 +216,27 @@ class Process:
     #: this False and keep the fingerprint path.
     ref_tracking: bool = False
 
+    #: label → ``on_<label>`` method name, rebuilt per subclass from the
+    #: class bodies along the MRO. This *is* the class's declarative
+    #: action surface: :meth:`handler` dispatches through it instead of
+    #: probing ``getattr`` per delivery, and static analysis reads the
+    #: same ``on_<label>`` naming convention it is built from.
+    _action_table: dict[str, str] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        table: dict[str, str] = {}
+        for klass in reversed(cls.__mro__):
+            for name, value in vars(klass).items():
+                if name.startswith("on_") and callable(value):
+                    table[name[3:]] = name
+        cls._action_table = table
+
+    @classmethod
+    def action_labels(cls) -> tuple[str, ...]:
+        """The message labels this class handles (remotely callable actions)."""
+        return tuple(cls._action_table)
+
     def __init__(self, pid: int, mode: Mode) -> None:
         self._pid = int(pid)
         self._mode = mode
@@ -261,7 +282,10 @@ class Process:
 
     def handler(self, label: str):
         """Return the bound ``on_<label>`` handler, or ``None`` if absent."""
-        return getattr(self, f"on_{label}", None)
+        name = self._action_table.get(label)
+        if name is None:
+            return None
+        return getattr(self, name)
 
     def stored_refs(self) -> Iterable[RefInfo]:
         """Enumerate references (with mode beliefs) held in local memory.

@@ -107,6 +107,125 @@ class CoreUnsupported(Exception):
     """
 
 
+# ---------------------------------------------------------------------------
+# Mirror registry: the declarative correspondence between the object model
+# and the kernels below.
+#
+# Every row is a pure literal so ``repro lint`` can read the registry from
+# the AST without importing the module: the SOA0xx mirror-drift rules diff
+# each ``object_method`` against its ``kernel``, the ENC0xx encodability
+# rules take the protocol scope and label universe from here, and the
+# engine consumes the same rows at runtime for eligibility, the label
+# table and delivery dispatch — one source of truth instead of name
+# matching in three places.
+
+
+class MirrorAction:
+    """One mirrored protocol action (a timeout or a message label)."""
+
+    __slots__ = ("name", "kind", "label_id", "object_method", "kernel")
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        kind: str,
+        object_method: str,
+        kernel: str,
+        label_id: int = -1,
+    ) -> None:
+        self.name = name
+        #: "timeout" or "deliver" (a remotely callable action).
+        self.kind = kind
+        #: packed-record label id for deliver rows (bits 0-7); -1 otherwise.
+        self.label_id = label_id
+        #: method name on the object-model process class.
+        self.object_method = object_method
+        #: method name of the int kernel on :class:`EngineCore`.
+        self.kernel = kernel
+
+
+class MirrorProtocol:
+    """One object-model protocol class the core can execute."""
+
+    __slots__ = ("name", "process_class", "is_fsp", "capability")
+
+    def __init__(
+        self, *, name: str, process_class: str, is_fsp: bool, capability: str
+    ) -> None:
+        self.name = name
+        #: exact class name (subclasses are NOT core-eligible).
+        self.process_class = process_class
+        #: value the kernels' ``self.is_fsp`` specialization folds to.
+        self.is_fsp = is_fsp
+        #: engine capability the population requires ("EXIT"/"SLEEP").
+        self.capability = capability
+
+
+MIRROR_ACTIONS: tuple[MirrorAction, ...] = (
+    MirrorAction(
+        name="timeout",
+        kind="timeout",
+        object_method="timeout",
+        kernel="_timeout_kernel",
+    ),
+    MirrorAction(
+        name="present",
+        kind="deliver",
+        label_id=0,
+        object_method="on_present",
+        kernel="_present_kernel",
+    ),
+    MirrorAction(
+        name="forward",
+        kind="deliver",
+        label_id=1,
+        object_method="on_forward",
+        kernel="_forward_kernel",
+    ),
+)
+
+MIRROR_PROTOCOLS: tuple[MirrorProtocol, ...] = (
+    MirrorProtocol(
+        name="FDP", process_class="FDPProcess", is_fsp=False, capability="EXIT"
+    ),
+    MirrorProtocol(
+        name="FSP", process_class="FSPProcess", is_fsp=True, capability="SLEEP"
+    ),
+)
+
+#: Statistics counters each event runner must bump (SOA003 checks these;
+#: ``_run_batch_random`` batches the scalar ones into locals instead, see
+#: BATCH_FLUSH_COUNTERS).
+MIRROR_EVENT_COUNTERS: dict[str, tuple[str, ...]] = {
+    "_run_timeout": ("timeouts", "timeouts_by"),
+    "_run_delivery": ("deliveries", "deliveries_by"),
+}
+
+#: Scalar counters ``_run_batch_*`` hoists into locals; every one of them
+#: must be written back to ``self`` before the batch returns (the
+#: ``finally`` flush). SOA003 checks the write-back exists.
+BATCH_FLUSH_COUNTERS: tuple[str, ...] = (
+    "steps",
+    "stat_steps",
+    "deliveries",
+    "timeouts",
+    "last_phi_seen",
+    "last_progress",
+)
+
+#: Engine-plumbing kernels and column names the mirror-drift extractor
+#: needs by name (SOA002 inlines ``_send``/helpers; SOA004 checks the
+#: generation bump inside the gone branch of the transition kernel).
+MIRROR_PLUMBING: dict[str, str] = {
+    "send": "_send",
+    "transition": "_transition",
+    "oracle": "_consult_oracle",
+    "generation_column": "gen_",
+    "gone_state": "_GONE",
+}
+
+
 class SlotRefView:
     """Thin copy-store-send view over a tagged-int reference.
 
@@ -445,6 +564,7 @@ class EngineCore:
         "aprobe_",
         "labels",
         "_label_of",
+        "_deliver_kernels",
         "ch",
         "in_",
         "_mirror",
@@ -496,16 +616,24 @@ class EngineCore:
         if n > (1 << REF_SLOT_BITS):
             raise CoreUnsupported(f"population {n} exceeds slot space")
         first = type(procs[0])
-        if first is FSPProcess:
-            self.is_fsp = True
-            if not engine.capability.allows_sleep:
-                raise CoreUnsupported("FSP population without SLEEP capability")
-        elif first is FDPProcess:
-            self.is_fsp = False
-            if not engine.capability.allows_exit:
-                raise CoreUnsupported("FDP population without EXIT capability")
-        else:
+        proto_classes = {"FDPProcess": FDPProcess, "FSPProcess": FSPProcess}
+        proto = None
+        for row in MIRROR_PROTOCOLS:
+            if proto_classes.get(row.process_class) is first:
+                proto = row
+                break
+        if proto is None:
             raise CoreUnsupported(f"non-FDP/FSP population ({first.__name__})")
+        self.is_fsp = proto.is_fsp
+        allowed = (
+            engine.capability.allows_sleep
+            if proto.capability == "SLEEP"
+            else engine.capability.allows_exit
+        )
+        if not allowed:
+            raise CoreUnsupported(
+                f"{proto.name} population without {proto.capability} capability"
+            )
         if any(type(p) is not first for p in procs):
             raise CoreUnsupported("heterogeneous population")
 
@@ -576,9 +704,16 @@ class EngineCore:
                 self.averified_[i] = 1 if p.anchor_verified else 0
                 self.aprobe_[i] = 1 if p.anchor_probe_sent else 0
 
-        # Channels: per-slot insertion-ordered {seq: packed record}.
-        self.labels: list[str] = ["present", "forward"]
-        label_of = {"present": 0, "forward": 1}
+        # Channels: per-slot insertion-ordered {seq: packed record}. The
+        # protocol label table and the delivery dispatch come straight
+        # from the mirror registry (ids are dense by construction).
+        deliver = sorted(
+            (a for a in MIRROR_ACTIONS if a.kind == "deliver"),
+            key=lambda a: a.label_id,
+        )
+        self.labels: list[str] = [a.name for a in deliver]
+        label_of = {a.name: a.label_id for a in deliver}
+        self._deliver_kernels = tuple(getattr(self, a.kernel) for a in deliver)
         self.ch: list[dict[int, int]] = [dict() for _ in range(n)]
         for i, pid in enumerate(self.pids):
             store = self.ch[i]
@@ -685,7 +820,7 @@ class EngineCore:
                 raise CoreUnsupported("message references unknown pid")
             bel = _code(info.mode)
         elif len(args) == 0:
-            if label_id < 2:
+            if label_id < len(self._deliver_kernels):
                 raise CoreUnsupported(f"malformed zero-arg {msg.label!r} message")
             subj, bel = -1, _NONE
         else:
@@ -1162,7 +1297,8 @@ class EngineCore:
         if self.state_[u] == _ASLEEP:
             self._transition(u, _AWAKE)
         label_id = rec & _LABEL_MASK
-        if label_id >= 2:
+        kernels = self._deliver_kernels
+        if label_id >= len(kernels):
             # "All other messages will be ignored by the processes."
             self.dropped += 1
             if self.strict:
@@ -1171,10 +1307,8 @@ class EngineCore:
                     f"process {self.pids[u]} ({tname}) has no action "
                     f"'{self.labels[label_id]}'"
                 )
-        elif label_id == 0:
-            self._present_kernel(u, subj, bel)
         else:
-            self._forward_kernel(u, subj, bel)
+            kernels[label_id](u, subj, bel)
         self.deliveries += 1
         self.deliveries_by[u] += 1
         self.last_acted[u] = self.steps
@@ -1265,8 +1399,8 @@ class EngineCore:
         deliveries_by = self.deliveries_by
         timeouts_by = self.timeouts_by
         last_acted = self.last_acted
-        present_kernel = self._present_kernel
-        forward_kernel = self._forward_kernel
+        deliver_kernels = self._deliver_kernels
+        n_labels = len(deliver_kernels)
         timeout_kernel = self._timeout_kernel
         strict = self.strict
         # Per-step scalar counters, batched into locals and flushed on
@@ -1320,7 +1454,7 @@ class EngineCore:
                         self.steps = steps
                         self._transition(u, _AWAKE)
                     label_id = rec & _LABEL_MASK
-                    if label_id >= 2:
+                    if label_id >= n_labels:
                         # "All other messages will be ignored by the processes."
                         self.dropped += 1
                         if strict:
@@ -1329,10 +1463,8 @@ class EngineCore:
                                 f"process {self.pids[u]} ({tname}) has no action "
                                 f"'{self.labels[label_id]}'"
                             )
-                    elif label_id == 0:
-                        present_kernel(u, subj, bel)
                     else:
-                        forward_kernel(u, subj, bel)
+                        deliver_kernels[label_id](u, subj, bel)
                     dcount += 1
                     deliveries_by[u] += 1
                     last_acted[u] = steps
@@ -1383,12 +1515,27 @@ class EngineCore:
         kernels and cross-check the cheap invariants; raises
         :class:`~repro.errors.StateViolation` on divergence."""
         u = self.slot_of[executed.pid]
+        pre_state = self.state_[u]
+        pre_gen = self.gen_[u]
         if executed.kind == "timeout":
             self._run_timeout(u)
         else:
             self._run_delivery(u, executed.seq)
         self._after_step()
         self._check_step(engine, executed, u)
+        if (
+            self.state_[u] == _GONE
+            and pre_state != _GONE
+            and self.gen_[u] != pre_gen + 1
+        ):
+            # Tagged-ref contract (slot | gen << REF_SLOT_BITS): a slot
+            # whose process exits must change generation, or a stale
+            # reference would compare equal to a live one.
+            raise StateViolation(
+                "struct-of-arrays core diverged from the object engine at "
+                f"step {engine.step_count} ({executed!r}): generation of "
+                f"slot {u} not bumped on exit (gen={self.gen_[u]})"
+            )
 
     def _check_step(self, engine: Engine, executed: Any, u: int) -> None:
         self._sync_flow()

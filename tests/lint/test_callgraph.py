@@ -121,6 +121,39 @@ class TestStepReachability:
         assert not project.is_step_reachable("cold.analysis")
 
 
+class TestCoreEntryPoints:
+    """The SoA batch handlers are analysis roots, not dead code.
+
+    Regression: before CORE_ENTRY_POINTS, everything reached only from
+    ``EngineCore.run_batch`` / ``mirror_step`` (the batch scheduler
+    kernels, the replay driver) was invisible to step-path rules.
+    """
+
+    @staticmethod
+    def _real_project() -> "Project":
+        from repro.lint.runner import discover_files, module_name_for
+
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        modules = []
+        for path in discover_files([src]):
+            parsed = parse_module(path, module_name_for(path))
+            assert isinstance(parsed, Module), parsed
+            modules.append(parsed)
+        return Project(modules)
+
+    def test_soa_batch_handlers_are_step_reachable(self) -> None:
+        project = self._real_project()
+        for qualname in (
+            "repro.sim.soa.EngineCore.run_batch",
+            "repro.sim.soa.EngineCore.mirror_step",
+            "repro.sim.soa.EngineCore._run_batch_random",
+            "repro.sim.soa.EngineCore._run_timeout",
+            "repro.sim.soa.EngineCore._transition",
+            "repro.sim.soa.EngineCore._send",
+        ):
+            assert project.is_step_reachable(qualname), qualname
+
+
 class TestClassResolution:
     def test_same_module_wins(self, tmp_path: Path) -> None:
         import ast

@@ -103,3 +103,122 @@ class TestNoqa:
     def test_suppression_is_line_scoped(self, tmp_path: Path) -> None:
         text = "# repro: noqa[DET005]\n" + self.SNIPPET.format(noqa="")
         assert self._lint_text(tmp_path, text) == ["DET005"]
+
+    def test_comma_list_suppresses_each_named_rule(self, tmp_path: Path) -> None:
+        text = self.SNIPPET.format(noqa="  # repro: noqa[REF001, DET005]")
+        assert self._lint_text(tmp_path, text) == []
+
+
+class TestNoqaHygiene:
+    """LINT002: a suppression that names no real rule warns, never silences."""
+
+    def _lint_text(self, tmp_path: Path, text: str) -> list[str]:
+        path = tmp_path / "snippet.py"
+        path.write_text(text)
+        result = lint_paths([str(path)])
+        assert not result.errors
+        return [f.rule for f in result.findings]
+
+    SNIPPET = TestNoqa.SNIPPET
+
+    def test_lowercase_id_warns_and_does_not_suppress(self, tmp_path: Path) -> None:
+        # the old strict regex fell back to matching the bare ``noqa``
+        # prefix here, silently blanket-suppressing the whole line
+        text = self.SNIPPET.format(noqa="  # repro: noqa[det005]")
+        assert sorted(self._lint_text(tmp_path, text)) == ["DET005", "LINT002"]
+
+    def test_unknown_rule_id_warns_and_does_not_suppress(
+        self, tmp_path: Path
+    ) -> None:
+        text = self.SNIPPET.format(noqa="  # repro: noqa[ZZZ001]")
+        assert sorted(self._lint_text(tmp_path, text)) == ["DET005", "LINT002"]
+
+    def test_empty_bracket_list_warns(self, tmp_path: Path) -> None:
+        text = self.SNIPPET.format(noqa="  # repro: noqa[]")
+        assert sorted(self._lint_text(tmp_path, text)) == ["DET005", "LINT002"]
+
+    def test_mixed_list_suppresses_known_and_warns_on_unknown(
+        self, tmp_path: Path
+    ) -> None:
+        text = self.SNIPPET.format(noqa="  # repro: noqa[DET005, ZZZ001]")
+        assert self._lint_text(tmp_path, text) == ["LINT002"]
+
+    def test_bare_noqa_never_warns(self, tmp_path: Path) -> None:
+        text = self.SNIPPET.format(noqa="  # repro: noqa")
+        assert self._lint_text(tmp_path, text) == []
+
+    def test_hygiene_warning_alone_exits_one(self, tmp_path: Path, capsys) -> None:
+        path = tmp_path / "clean_but_sloppy.py"
+        path.write_text("x = 1  # repro: noqa[ZZZ001]\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "LINT002" in out and "ZZZ001" in out
+
+    def test_hygiene_warning_survives_selection(self, tmp_path: Path) -> None:
+        # LINT002 rides along even when the selector excludes everything
+        path = tmp_path / "snippet.py"
+        path.write_text("x = 1  # repro: noqa[ZZZ001]\n")
+        result = lint_paths([str(path)], select=("REF",))
+        assert [f.rule for f in result.findings] == ["LINT002"]
+
+
+class TestGithubFormat:
+    def test_annotation_shape(self, capsys) -> None:
+        assert main(["lint", BAD, "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        line = next(ln for ln in out.splitlines() if ln.startswith("::error"))
+        assert line.startswith("::error file=")
+        assert ",line=" in line and ",col=" in line
+        assert ",title=DET005::" in line
+
+    def test_clean_run_emits_no_annotations(self, capsys) -> None:
+        assert main(["lint", GOOD, "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+        assert "0 findings" in out
+
+
+class TestCache:
+    def test_warm_run_replays_identical_findings(self, tmp_path: Path) -> None:
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([BAD, GOOD], cache_path=str(cache))
+        assert cold.stats["cache_misses"] == cold.stats["files"]
+        warm = lint_paths([BAD, GOOD], cache_path=str(cache))
+        assert warm.stats["cache_hits"] == warm.stats["files"]
+        assert warm.stats["cache_misses"] == 0
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_edited_file_invalidates_cache(self, tmp_path: Path) -> None:
+        src = tmp_path / "snippet.py"
+        src.write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        assert lint_paths([str(src)], cache_path=str(cache)).findings == []
+        src.write_text(
+            "class R:\n"
+            "    def __hash__(self):\n"
+            "        return hash(('R', self.pid))\n"
+        )
+        fresh = lint_paths([str(src)], cache_path=str(cache))
+        assert fresh.stats["cache_hits"] == 0
+        assert [f.rule for f in fresh.findings] == ["DET005"]
+
+    def test_selector_change_invalidates_cache(self, tmp_path: Path) -> None:
+        cache = tmp_path / "cache.json"
+        lint_paths([BAD], cache_path=str(cache))
+        narrowed = lint_paths([BAD], select=("REF",), cache_path=str(cache))
+        assert narrowed.stats["cache_hits"] == 0
+        assert narrowed.findings == []
+
+    def test_corrupt_cache_is_ignored(self, tmp_path: Path) -> None:
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        result = lint_paths([BAD], cache_path=str(cache))
+        assert [f.rule for f in result.findings] == ["DET005"]
+
+    def test_stats_flag_prints_timing(self, tmp_path: Path, capsys) -> None:
+        cache = tmp_path / "cache.json"
+        main(["lint", GOOD, "--cache", str(cache), "--stats"])
+        out = capsys.readouterr().out
+        assert "[lint]" in out and "ms" in out and "cache:" in out

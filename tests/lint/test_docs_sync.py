@@ -1,0 +1,58 @@
+"""docs/LINT.md and the rule registry must describe the same analyzer.
+
+Every registered rule needs a documented table row, and the docs may
+not advertise a rule id that the registry no longer ships — the doc is
+part of the CI contract (`--format github` points reviewers at it), so
+it is pinned here instead of drifting.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint.model import rule_registry
+from repro.lint.rules import ALL_RULES
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "LINT.md"
+
+RULE_ID_RE = re.compile(r"\b(?:REF|DET|PERF|API|SOA|ENC)\d{3}\b")
+
+
+@pytest.fixture(scope="module")
+def registry_ids() -> set[str]:
+    return set(rule_registry(ALL_RULES))
+
+
+@pytest.fixture(scope="module")
+def doc_text() -> str:
+    return DOC.read_text()
+
+
+def test_every_rule_has_a_doc_table_row(registry_ids, doc_text) -> None:
+    missing = [
+        rid for rid in sorted(registry_ids) if f"| `{rid}` |" not in doc_text
+    ]
+    assert not missing, f"rules without a docs/LINT.md table row: {missing}"
+
+
+def test_docs_mention_no_unregistered_rule(registry_ids, doc_text) -> None:
+    ghosts = sorted(set(RULE_ID_RE.findall(doc_text)) - registry_ids)
+    assert not ghosts, f"docs/LINT.md mentions unregistered rules: {ghosts}"
+
+
+def test_list_rules_matches_registry_and_docs(registry_ids, doc_text, capsys) -> None:
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    listed = set(RULE_ID_RE.findall(out))
+    assert listed == registry_ids
+    for rid in sorted(listed):
+        assert rid in doc_text, f"--list-rules id {rid} missing from docs/LINT.md"
+
+
+def test_docs_cover_analysis_error_codes(doc_text) -> None:
+    for code in ("LINT000", "LINT001", "LINT002"):
+        assert code in doc_text, f"{code} undocumented"

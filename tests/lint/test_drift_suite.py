@@ -1,0 +1,152 @@
+"""Seeded-mutation drift suite for the SOA0xx mirror rules.
+
+Two layers of evidence that the effect-algebra diff is load-bearing:
+
+* a *deletion sweep* over the known-good mini fixture — removing any
+  single mirrored handler effect (a send, a store, a lifecycle exit, a
+  counter bump, the generation bump) must produce a SOA0xx finding; and
+* *real-tree mutations* — textually seeded bugs in a copy of
+  ``src/repro/sim/soa.py`` (wrong label posted, counter flush dropped,
+  generation bump skipped) linted against the real object model. These
+  are the static twins of the dynamic ``engine_mode=verify`` mutations
+  in tests/sim/test_soa_mutation_verify.py: each seeded bug is caught
+  both ways.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.runner import lint_paths
+from tests.lint.conftest import FIXTURES, SRC
+
+GOOD = FIXTURES / "soa002_good.py"
+
+SOA_FILES = [
+    SRC / "repro" / "sim" / "soa.py",
+    SRC / "repro" / "sim" / "process.py",
+    SRC / "repro" / "core" / "fdp.py",
+    SRC / "repro" / "core" / "fsp.py",
+]
+
+
+def _soa_findings(paths: list[str]) -> list:
+    result = lint_paths(paths, select=("SOA",))
+    assert not result.errors, result.errors
+    return result.findings
+
+
+# --------------------------------------------------------------------------
+# deletion sweep over the mini fixture
+
+# (marker substring, replacement statement, rule expected to flag it)
+EFFECT_MARKERS = [
+    ('ctx.send(self.anchor, "present"', "pass", "SOA002"),
+    ("ctx.exit()", "pass", "SOA002"),
+    ("self.N[info.ref] = info.mode", "pass", "SOA002"),
+    ('ctx.send(self.anchor, "forward"', "pass", "SOA002"),
+    ("self._send(u, self.anchor_[u], 0,", "pass", "SOA002"),
+    ("self.N[u][v] = bel", "pass", "SOA002"),
+    ("self._send(u, self.anchor_[u], 1,", "pass", "SOA002"),
+    ("return _GONE", "return _AWAKE", "SOA002"),
+    ("self.timeouts += 1", "pass", "SOA003"),
+    ("self.gen_[u] += 1", "pass", "SOA004"),
+]
+
+
+def _delete_marker(source: str, marker: str, replacement: str) -> str:
+    lines = source.splitlines(keepends=True)
+    hits = [i for i, line in enumerate(lines) if marker in line]
+    assert len(hits) == 1, f"marker {marker!r} matched {len(hits)} lines"
+    (idx,) = hits
+    indent = lines[idx][: len(lines[idx]) - len(lines[idx].lstrip())]
+    lines[idx] = f"{indent}{replacement}\n"
+    return "".join(lines)
+
+
+class TestFixtureDeletionSweep:
+    def test_intact_fixture_is_clean(self) -> None:
+        assert _soa_findings([str(GOOD)]) == []
+
+    @pytest.mark.parametrize(
+        "marker,replacement,rule",
+        EFFECT_MARKERS,
+        ids=[m[0].split("(")[0].strip() for m in EFFECT_MARKERS],
+    )
+    def test_deleting_any_single_effect_is_flagged(
+        self, tmp_path: Path, marker: str, replacement: str, rule: str
+    ) -> None:
+        mutated = _delete_marker(GOOD.read_text(), marker, replacement)
+        target = tmp_path / "mini.py"
+        target.write_text(mutated)
+        rules = [f.rule for f in _soa_findings([str(target)])]
+        assert any(r.startswith("SOA") for r in rules), (
+            f"deleting {marker!r} produced no SOA finding"
+        )
+        assert rule in rules, f"expected {rule}, got {rules}"
+
+
+# --------------------------------------------------------------------------
+# real-tree mutations against src/repro/sim/soa.py
+
+# (name, original text, replacement text, rule)
+REAL_MUTATIONS = [
+    (
+        "anchor_purge_posts_wrong_label",
+        "\n            self._send(u, u, 0, self.anchor_[u], self.abelief_[u])\n",
+        "\n            self._send(u, u, 1, self.anchor_[u], self.abelief_[u])\n",
+        "SOA002",
+    ),
+    (
+        "timeout_counter_flush_dropped",
+        "        self.timeouts += 1\n",
+        "",
+        "SOA003",
+    ),
+    (
+        "generation_bump_skipped",
+        "            self.gen_[u] += 1\n",
+        "",
+        "SOA004",
+    ),
+]
+
+
+def _lint_mutated_tree(tmp_path: Path, original: str, replacement: str) -> list:
+    source = SOA_FILES[0].read_text()
+    assert source.count(original) == 1, f"mutation target not unique: {original!r}"
+    mutated = source.replace(original, replacement, 1)
+    target = tmp_path / "soa.py"
+    target.write_text(mutated)
+    paths = [str(target), *(str(p) for p in SOA_FILES[1:])]
+    return _soa_findings(paths)
+
+
+class TestRealTreeMutations:
+    def test_unmutated_tree_is_clean(self) -> None:
+        assert _soa_findings([str(p) for p in SOA_FILES]) == []
+
+    @pytest.mark.parametrize(
+        "name,original,replacement,rule",
+        REAL_MUTATIONS,
+        ids=[m[0] for m in REAL_MUTATIONS],
+    )
+    def test_seeded_bug_is_flagged(
+        self, tmp_path: Path, name: str, original: str, replacement: str, rule: str
+    ) -> None:
+        findings = _lint_mutated_tree(tmp_path, original, replacement)
+        rules = [f.rule for f in findings]
+        assert rule in rules, f"{name}: expected {rule}, got {rules}"
+
+    def test_drift_finding_names_both_sides(self, tmp_path: Path) -> None:
+        # the SOA002 message must point at the *object-model* location so
+        # the diagnostic carries both sides of the mirror
+        name, original, replacement, rule = REAL_MUTATIONS[0]
+        findings = _lint_mutated_tree(tmp_path, original, replacement)
+        drift = [f for f in findings if f.rule == "SOA002"]
+        assert drift, findings
+        assert any("fdp.py" in f.message or "fsp.py" in f.message for f in drift), [
+            f.message for f in drift
+        ]

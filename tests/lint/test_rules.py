@@ -27,6 +27,15 @@ RULES = [
     "API001",
     "API002",
     "API003",
+    "SOA001",
+    "SOA002",
+    "SOA003",
+    "SOA004",
+    "ENC001",
+    "ENC002",
+    "ENC003",
+    "ENC004",
+    "ENC005",
 ]
 
 
@@ -60,6 +69,24 @@ def test_perf004_flags_all_three_shapes() -> None:
     # the Ref-keyed dict comp, the Ref set literal, and the per-message
     # wrapper allocation
     assert fixture_findings("perf004_bad.py").count("PERF004") == 3
+
+
+def test_soa002_reports_both_sides_of_the_drift() -> None:
+    # a wrong label in the kernel diverges twice: the effect the object
+    # model produces is missing from the core, and the core produces one
+    # the object model never does
+    assert fixture_findings("soa002_bad.py").count("SOA002") == 2
+
+
+def test_soa003_flags_runner_and_batch_hoist() -> None:
+    # the event-counter runner that forgot its bump, and the batch loop
+    # that hoisted a counter without flushing it in the finally
+    assert fixture_findings("soa003_bad.py").count("SOA003") == 2
+
+
+def test_enc003_flags_star_args_and_arity() -> None:
+    # the *args send and the extra non-encodable payload argument
+    assert fixture_findings("enc003_bad.py").count("ENC003") == 2
 
 
 def test_registry_is_complete() -> None:

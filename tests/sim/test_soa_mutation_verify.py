@@ -1,0 +1,106 @@
+"""Seeded SoA-core mutations are caught by the differential oracle.
+
+Each mutation here textually seeds a real mirror bug into a copy of
+``src/repro/sim/soa.py`` — the core drops a counter flush, posts the
+wrong message label, or skips the generation bump on departure — then
+runs an engine under ``engine_mode="verify"`` and asserts the
+cross-check raises :class:`~repro.errors.StateViolation`.
+
+These are the dynamic twins of the static SOA0xx rules: every mutation
+in this file is also flagged by ``repro lint`` (see
+tests/lint/test_drift_suite.py), so a mirror-drift bug is caught both
+before the code runs and on the first divergent step.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.core.scenarios import (
+    HEAVY_CORRUPTION,
+    SCHEDULER_FACTORIES,
+    build_fdp_engine,
+    choose_leaving,
+)
+from repro.errors import StateViolation
+from repro.graphs import generators as gen
+
+SOA_PATH = Path(__file__).resolve().parents[2] / "src" / "repro" / "sim" / "soa.py"
+
+# (name, original text, replacement text) — identical to the static
+# mutation table in tests/lint/test_drift_suite.py
+MUTATIONS = [
+    (
+        "anchor_purge_posts_wrong_label",
+        "\n            self._send(u, u, 0, self.anchor_[u], self.abelief_[u])\n",
+        "\n            self._send(u, u, 1, self.anchor_[u], self.abelief_[u])\n",
+    ),
+    (
+        "timeout_counter_flush_dropped",
+        "        self.timeouts += 1\n",
+        "",
+    ),
+    (
+        "generation_bump_skipped",
+        "            self.gen_[u] += 1\n",
+        "",
+    ),
+]
+
+
+def _load_mutated_core(tmp_path: Path, name: str, original: str, replacement: str):
+    """Exec a mutated copy of soa.py and return its EngineCore class."""
+    source = SOA_PATH.read_text()
+    assert source.count(original) == 1, f"mutation target not unique: {original!r}"
+    target = tmp_path / f"soa_{name}.py"
+    target.write_text(source.replace(original, replacement, 1))
+    spec = importlib.util.spec_from_file_location(f"soa_mutated_{name}", target)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.EngineCore
+
+
+def _build_verify(seed: int):
+    n = 12
+    edges = gen.random_connected(n, n // 2, seed=seed + 7)
+    leaving = choose_leaving(n, edges, fraction=0.4, seed=seed + 1)
+    return build_fdp_engine(
+        n,
+        edges,
+        leaving,
+        corruption=HEAVY_CORRUPTION,
+        scheduler=SCHEDULER_FACTORIES["random"](seed),
+        seed=seed,
+        engine_mode="verify",
+    )
+
+
+@pytest.mark.parametrize(
+    "name,original,replacement", MUTATIONS, ids=[m[0] for m in MUTATIONS]
+)
+def test_mutation_trips_verify_oracle(
+    tmp_path: Path, monkeypatch, name: str, original: str, replacement: str
+) -> None:
+    monkeypatch.delenv("REPRO_ENGINE_MODE", raising=False)
+    mutated = _load_mutated_core(tmp_path, name, original, replacement)
+    # the engine resolves EngineCore lazily inside _rebuild_core, so
+    # patching the soa module swaps the core under verify mode
+    monkeypatch.setattr("repro.sim.soa.EngineCore", mutated)
+    for seed in range(8):
+        engine = _build_verify(seed)
+        try:
+            engine.run(3000, check_every=13)
+        except StateViolation:
+            return  # the oracle caught the seeded bug
+    pytest.fail(f"verify mode never caught mutation {name!r}")
+
+
+def test_unmutated_core_passes_verify(monkeypatch) -> None:
+    """Control: the harness itself is violation-free on the real core."""
+    monkeypatch.delenv("REPRO_ENGINE_MODE", raising=False)
+    engine = _build_verify(0)
+    engine.run(3000, check_every=13)
