@@ -1,0 +1,158 @@
+"""Open-system churn + request-traffic throughput benchmarks.
+
+Guardrail for the service workload (docs/TRAFFIC.md): sustained
+join/leave churn with streaming search requests over a running FDP
+system, on the struct-of-arrays core at n = 4096. The smoke run doubles
+as the open-system acceptance gate — it must clear >= 10k requests with
+ZERO monotonic-searchability violations, fault-free.
+
+Run as a module for the CI smoke check::
+
+    PYTHONPATH=src:. python benchmarks/bench_churn.py --smoke
+
+which writes ``benchmarks/results/BENCH_churn.json`` with executed
+engine steps/sec plus the churn/request tallies, and exits non-zero on
+any searchability violation. ``check_regression.py`` gates the
+committed steps/sec at its usual tolerance.
+"""
+
+import argparse
+import sys
+import time
+
+from benchmarks.common import save_json
+from repro.core.scenarios import build_fdp_engine, choose_leaving
+from repro.graphs import generators as gen
+from repro.traffic import ArrivalConfig, RequestConfig, TrafficDriver
+
+#: virtual-step budget of the smoke point (and the pytest benchmark).
+SMOKE_STEPS = 60_000
+
+#: arrival/request mix tuned for a roughly stable n=4096 population:
+#: mean Pareto session = session_min * shape/(shape-1) ≈ 24.6k steps, so
+#: the leave flux is ~population/24.6k per step ≈ 167 per 1000 steps —
+#: matched by the join rate, capped a little above the seed size.
+ARRIVALS = dict(
+    join_rate=160.0,
+    session_min=8_192.0,
+    flash_crowd_prob=0.02,
+    flash_crowd_size=32,
+    mass_departure_prob=0.01,
+    mass_departure_frac=0.02,
+    max_population=4_608,
+)
+REQUEST_RATE = 200.0
+
+
+def open_system_run(
+    n: int, mode: str, virtual_steps: int, seed: int = 11
+) -> dict:
+    """One timed open-system run; returns the JSON-ready run record."""
+    edges = gen.random_connected(n, max(32, n // 128), seed=seed)
+    leaving = choose_leaving(n, edges, fraction=0.05, seed=seed)
+    engine = build_fdp_engine(
+        n, edges, leaving, seed=seed, engine_mode=mode
+    )
+    # chunk amortizes the per-boundary live-graph rebuild (export_to
+    # disarms the observers, so every boundary's first graph read is a
+    # full O(V+E) rebuild at this scale); sparse latency sampling keeps
+    # the per-sample BFS out of the measured steady state.
+    driver = TrafficDriver(
+        engine,
+        arrivals=ArrivalConfig(**ARRIVALS),
+        requests=RequestConfig(rate=REQUEST_RATE, latency_sample_every=64),
+        seed=seed,
+        chunk=2_048,
+    )
+    start = time.perf_counter()
+    report = driver.run(virtual_steps)
+    elapsed = time.perf_counter() - start
+    stats = report["stats"]
+    executed = report["executed_steps"]
+    return {
+        "n": n,
+        "mode": mode,
+        "virtual_steps": virtual_steps,
+        "executed_steps": executed,
+        "steps_per_s": round(executed / elapsed, 1),
+        "joins": stats["joins"],
+        "leaves": stats["leaves"],
+        "reaps": stats["reaps"],
+        "requests": stats["requests_issued"],
+        "drop_rate": round(stats["drop_rate"], 6),
+        "violations": stats["searchability_violations"],
+        "bounced": engine.stats.bounced,
+        "dropped_gone": engine.stats.dropped_gone,
+    }
+
+
+def test_churn_throughput_n256(benchmark):
+    """Small-point benchmark so pytest-benchmark tracks the workload."""
+    run = benchmark.pedantic(
+        lambda: open_system_run(256, "soa", 20_000), rounds=3, iterations=1
+    )
+    assert run["requests"] > 0
+    assert run["violations"] == 0
+
+
+# ------------------------------------------------------------- CI smoke entry
+
+
+def smoke(virtual_steps: int = SMOKE_STEPS) -> dict:
+    """The n=4096 soa churn point; returns the JSON payload."""
+    runs = [open_system_run(4096, "soa", virtual_steps)]
+    return {
+        "benchmark": "churn",
+        "virtual_steps": virtual_steps,
+        "runs": runs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the n=4096 soa churn point and write "
+        "benchmarks/results/BENCH_churn.json",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=SMOKE_STEPS,
+        help="virtual-step budget for the smoke point",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do; pass --smoke (pytest runs the benchmarks)")
+    payload = smoke(args.steps)
+    path = save_json("BENCH_churn", payload)
+    ok = True
+    for run in payload["runs"]:
+        print(
+            f"n={run['n']:>5} mode={run['mode']:<7} "
+            f"steps/s={run['steps_per_s']:>10.1f} "
+            f"joins={run['joins']} leaves={run['leaves']} "
+            f"reaps={run['reaps']} requests={run['requests']} "
+            f"violations={run['violations']}"
+        )
+        if run["requests"] < 10_000:
+            print(
+                f"FAIL: {run['requests']} requests < the 10k acceptance "
+                "floor",
+                file=sys.stderr,
+            )
+            ok = False
+        if run["violations"]:
+            print(
+                f"FAIL: {run['violations']} monotonic-searchability "
+                "violations in a fault-free run",
+                file=sys.stderr,
+            )
+            ok = False
+    print(f"wrote {path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

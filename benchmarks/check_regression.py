@@ -20,7 +20,12 @@ measures afresh, and fails if
   rates, so comparing it against full-budget baselines would eat the
   whole tolerance — and the committed base is the *minimum* soa rate
   across the baseline's pairs, the conservative choice against pair
-  variance.
+  variance, or
+* the open-system churn workload's n=4096 soa steps/sec
+  (``BENCH_churn.json``) dropped more than ``--tolerance`` below the
+  committed figure, or the fresh run saw ANY monotonic-searchability
+  violation (that check is absolute — it is the open-system acceptance
+  invariant, not a performance number).
 
 Two kinds of drift can trip this gate: a real hot-path regression, or a
 slower CI host than the one that committed the baseline. The rebuild-mode
@@ -40,6 +45,7 @@ import pathlib
 import sys
 
 from benchmarks.bench_chaos import smoke as chaos_smoke
+from benchmarks.bench_churn import smoke as churn_smoke
 from benchmarks.bench_step_loop import soa_smoke
 from benchmarks.bench_telemetry import smoke as telemetry_smoke
 from benchmarks.bench_throughput import smoke
@@ -55,6 +61,9 @@ COMMITTED_CHAOS = (
 )
 COMMITTED_SOA = (
     pathlib.Path(__file__).parent / "results" / "BENCH_soa.json"
+)
+COMMITTED_CHURN = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_churn.json"
 )
 
 
@@ -160,6 +169,32 @@ def compare_soa(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     return []
 
 
+def compare_churn(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Gate the open-system churn throughput floor and the zero-violation
+    acceptance invariant (the latter is absolute — never jitter)."""
+    committed_by = {
+        (r["n"], r["mode"]): r["steps_per_s"] for r in committed["runs"]
+    }
+    failures = []
+    for run in fresh["runs"]:
+        if run["violations"]:
+            failures.append(
+                f"churn: n={run['n']} {run['mode']}: {run['violations']} "
+                "monotonic-searchability violations in a fault-free run"
+            )
+        base = committed_by.get((run["n"], run["mode"]))
+        if base is None or base <= 0:
+            continue
+        floor = base * (1.0 - tolerance)
+        if run["steps_per_s"] < floor:
+            failures.append(
+                f"churn: n={run['n']} {run['mode']}: "
+                f"{run['steps_per_s']:.1f} steps/s < floor {floor:.1f} "
+                f"(committed {base:.1f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -192,11 +227,18 @@ def main(argv=None) -> int:
         default=COMMITTED_SOA,
         help="SoA-core baseline JSON to compare against",
     )
+    parser.add_argument(
+        "--committed-churn",
+        type=pathlib.Path,
+        default=COMMITTED_CHURN,
+        help="open-system churn baseline JSON to compare against",
+    )
     args = parser.parse_args(argv)
     committed = json.loads(args.committed.read_text())
     committed_telemetry = json.loads(args.committed_telemetry.read_text())
     committed_chaos = json.loads(args.committed_chaos.read_text())
     committed_soa = json.loads(args.committed_soa.read_text())
+    committed_churn = json.loads(args.committed_churn.read_text())
     fresh = smoke()
     for run in fresh["runs"]:
         print(
@@ -221,12 +263,20 @@ def main(argv=None) -> int:
             f"core n={run['n']:>6} mode={run['mode']:<8} "
             f"steps/s={run['steps_per_s']:>10.1f}"
         )
+    fresh_churn = churn_smoke()
+    for run in fresh_churn["runs"]:
+        print(
+            f"churn n={run['n']:>5} mode={run['mode']:<7} "
+            f"steps/s={run['steps_per_s']:>10.1f} "
+            f"requests={run['requests']} violations={run['violations']}"
+        )
     failures = compare(committed, fresh, args.tolerance)
     failures += compare_telemetry(
         committed_telemetry, fresh_telemetry, args.tolerance
     )
     failures += compare_chaos(committed_chaos, fresh_chaos, args.tolerance)
     failures += compare_soa(committed_soa, fresh_soa, args.tolerance)
+    failures += compare_churn(committed_churn, fresh_churn, args.tolerance)
     if failures:
         for line in failures:
             print(f"REGRESSION: {line}", file=sys.stderr)

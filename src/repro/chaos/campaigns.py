@@ -157,16 +157,33 @@ class ChaosCampaign:
 
     def _alive_components(self, engine: Engine) -> list[list[int]]:
         """Alive (non-gone) members of each initial component, in
-        deterministic order; empty components are dropped."""
+        deterministic order; empty components are dropped.
+
+        Open-system runs shrink and grow the population mid-run: reaped
+        pids vanish from ``engine.processes`` (``.get`` treats them as
+        gone), and mid-run admissions — which belong to no *initial*
+        component — form one extra pool so a campaign stays live even
+        after the seed population has fully turned over.
+        """
+        procs = engine.processes
+        initial: set[int] = set()
         pools = []
         for comp in engine.initial_components:
+            initial.update(comp)
             alive = [
                 pid
                 for pid in sorted(comp)
-                if engine.processes[pid].state is not PState.GONE
+                if (p := procs.get(pid)) is not None and p.state is not PState.GONE
             ]
             if alive:
                 pools.append(alive)
+        admitted = [
+            pid
+            for pid in sorted(procs)
+            if pid not in initial and procs[pid].state is not PState.GONE
+        ]
+        if admitted:
+            pools.append(admitted)
         return pools
 
     def _inject(self, engine: Engine) -> None:
@@ -231,14 +248,15 @@ class ChaosCampaign:
         at least one alive staying process.
         """
         self.admissibility_checks += 1
+        procs = engine.processes
         for comp in engine.initial_components:
             alive = [
                 pid
                 for pid in comp
-                if engine.processes[pid].state is not PState.GONE
+                if (p := procs.get(pid)) is not None and p.state is not PState.GONE
             ]
             if alive and not any(
-                engine.processes[pid].mode is Mode.STAYING for pid in alive
+                procs[pid].mode is Mode.STAYING for pid in alive
             ):
                 raise SafetyViolation(
                     f"chaos injection at step {engine.step_count} left "

@@ -12,6 +12,10 @@ everything needed to re-execute the failure bit-identically:
 * the executed schedule (:class:`~repro.sim.replay.RecordedEvent`
   triples) — replayed verbatim by
   :class:`~repro.sim.replay.ReplayScheduler`;
+* the open-system churn journal (schema v2): every mid-run
+  ``admit``/``leave``/``reap`` with the step index it was applied at,
+  so a run under a live workload replays bit-identically — the churn
+  ops are re-applied in the recorded inter-step gaps;
 * the watchdog configs, the trip diagnosis, the error text and the
   final counters — the claim the replay is verified against.
 
@@ -61,11 +65,14 @@ __all__ = [
     "replay_capsule",
 ]
 
-CAPSULE_VERSION = 1
+#: v2 adds the ``churn`` journal (open-system admits/leaves/reaps);
+#: v1 capsules — no churn — are still read (see :meth:`Capsule.from_dict`).
+CAPSULE_VERSION = 2
 
 #: counters every capsule records and replay verifies (kind "error"
-#: verifies only "steps" — see module docstring).
-_FINAL_KEYS = ("steps", "phi", "gone", "posted", "pending")
+#: verifies only "steps" — see module docstring). ``population`` is
+#: absent from v1 capsules and skipped for them on replay.
+_FINAL_KEYS = ("steps", "phi", "gone", "posted", "pending", "population")
 
 
 def _final_counters(engine: Engine) -> dict[str, int]:
@@ -75,6 +82,7 @@ def _final_counters(engine: Engine) -> dict[str, int]:
         "gone": engine.gone_count,
         "posted": engine.stats.messages_posted,
         "pending": engine.pending_count,
+        "population": len(engine.processes),
     }
 
 
@@ -92,6 +100,7 @@ class Capsule:
     diagnosis: dict | None = None
     error: str | None = None
     final: dict = field(default_factory=dict)
+    churn: list[dict] = field(default_factory=list)
     version: int = CAPSULE_VERSION
 
     # -- (de)serialization ------------------------------------------------------
@@ -107,6 +116,7 @@ class Capsule:
             "diagnosis": self.diagnosis,
             "error": self.error,
             "final": self.final,
+            "churn": self.churn,
             "schedule": [
                 [e.kind, e.pid, e.seq] for e in self.schedule
             ],
@@ -115,10 +125,10 @@ class Capsule:
     @classmethod
     def from_dict(cls, data: dict) -> Capsule:
         version = data.get("version")
-        if version != CAPSULE_VERSION:
+        if version not in (1, CAPSULE_VERSION):
             raise ConfigurationError(
                 f"unsupported capsule version {version!r} "
-                f"(this build reads version {CAPSULE_VERSION})"
+                f"(this build reads versions 1 and {CAPSULE_VERSION})"
             )
         return cls(
             kind=data["kind"],
@@ -133,6 +143,8 @@ class Capsule:
             diagnosis=data.get("diagnosis"),
             error=data.get("error"),
             final=data.get("final", {}),
+            # v1 capsules predate open-system churn: no journal.
+            churn=data.get("churn", []),
         )
 
     def save(self, path: str) -> str:
@@ -178,7 +190,46 @@ def capture_capsule(
         diagnosis=diagnosis,
         error=error,
         final=_final_counters(engine),
+        churn=list(getattr(engine, "churn_journal", [])),
     )
+
+
+def _apply_churn_op(engine: Engine, op: dict) -> None:
+    """Re-apply one recorded churn-journal operation during replay.
+
+    ``leave``/``reap`` go straight back through the engine's churn API.
+    ``admit`` reconstructs the admitted process from the journal's
+    variable snapshot — FDP and FSP populations only; overlay admits
+    carry protocol state (the logic object) the journal does not
+    serialize, so they raise until a logic-aware schema lands.
+    """
+    kind = op["op"]
+    if kind == "leave":
+        engine.request_leave(op["pid"])
+        return
+    if kind == "reap":
+        engine.reap(op["pid"])
+        return
+    if kind != "admit":
+        raise ConfigurationError(f"unknown churn op {kind!r} in capsule")
+    from repro.core.fdp import FDPProcess
+    from repro.core.fsp import FSPProcess
+    from repro.sim.states import Mode
+
+    cls = {"FDPProcess": FDPProcess, "FSPProcess": FSPProcess}.get(op["proto"])
+    if cls is None:
+        raise ConfigurationError(
+            f"capsule churn replay cannot reconstruct a {op['proto']!r} "
+            "admission (only FDP/FSP variable snapshots are journaled)"
+        )
+    proc = cls(op["pid"], Mode(op["mode"]))
+    for npid, bel in op["neighbors"]:
+        proc.N[engine.ref(npid)] = None if bel is None else Mode(bel)
+    if op["anchor"] is not None:
+        apid, abel = op["anchor"]
+        proc.anchor = engine.ref(apid)
+        proc.anchor_belief = None if abel is None else Mode(abel)
+    engine.admit(proc)
 
 
 def replay_capsule(
@@ -195,6 +246,11 @@ def replay_capsule(
     *engine_mode* picks the execution core for the replay
     (``objects``/``soa``/``verify``); capsules are core-agnostic, so a
     capsule captured on one core replays bit-identically on the other.
+
+    A v2 capsule's churn journal is interleaved back into the schedule:
+    each recorded op re-applies after exactly the number of steps that
+    preceded it at capture time, so the replayed engine sees the same
+    sequence of populations the captured one did.
     """
     monitors: list = []
     if capsule.campaign is not None:
@@ -203,7 +259,17 @@ def replay_capsule(
         capsule.scenario, monitors=monitors, engine_mode=engine_mode
     )
     engine.scheduler = ReplayScheduler(capsule.schedule)
-    engine.run(len(capsule.schedule), until=None)
+    # Churn can be journaled at step 0 (before any event executed);
+    # admit/leave require an attached engine, so attach eagerly.
+    engine.attach()
+    for op in capsule.churn:
+        gap = op["at"] - engine.step_count
+        if gap > 0:
+            engine.run(gap, until=None)
+        _apply_churn_op(engine, op)
+    remaining = len(capsule.schedule) - engine.step_count
+    if remaining > 0:
+        engine.run(remaining, until=None)
     if verify and capsule.final:
         keys = _FINAL_KEYS if capsule.kind != "error" else ("steps",)
         replayed = _final_counters(engine)
@@ -254,6 +320,7 @@ def run_chaos(
     check_every: int = 64,
     capsule_dir: str | None = None,
     capture_on_budget: bool = True,
+    workload: Callable[[Engine], object] | None = None,
 ) -> ChaosRunResult:
     """Run *scenario* under a chaos campaign with supervisors attached.
 
@@ -263,6 +330,15 @@ def run_chaos(
     :class:`~repro.errors.ReproError` or (with *capture_on_budget*)
     budget exhaustion, a capsule is captured — and written to
     *capsule_dir* when given.
+
+    *workload* replaces the plain ``engine.run`` driving loop: it
+    receives the built engine and drives it however it likes (the
+    intended caller is :class:`repro.traffic.TrafficDriver`, which
+    interleaves churn and requests with the stepping). Its truthiness
+    is the convergence verdict. Everything the workload does through
+    the engine's churn API lands in the churn journal, so the capsule
+    (schema v2) still replays the run bit-identically — without the
+    workload attached.
     """
     recorder = ScheduleRecorder()
     wired: list[Callable] = []
@@ -276,7 +352,10 @@ def run_chaos(
     diagnosis: dict | None = None
     error: str | None = None
     try:
-        converged = engine.run(max_steps, until=until, check_every=check_every)
+        if workload is not None:
+            converged = bool(workload(engine))
+        else:
+            converged = engine.run(max_steps, until=until, check_every=check_every)
         if not converged:
             outcome = "budget"
             error = (

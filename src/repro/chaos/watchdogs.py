@@ -9,8 +9,12 @@ that shape — a run would burn its whole step budget and report only
 and trip with a structured :class:`StallDiagnosis`:
 
 * :class:`LivelockWatchdog` — Φ non-decreasing over a whole sampling
-  window while total channel backlog keeps growing (the livelock shape:
-  work is being done, none of it reduces invalid information);
+  window while the undrained flow (total channel backlog plus sends
+  dropped at gone processes) keeps growing — the livelock shape: work
+  is being done, none of it reduces invalid information. Before the
+  open-system bounce semantics the flow piled up *inside* a gone
+  process's channel; now the same doomed sends surface as the O(1)
+  ``dropped_gone`` counter, and the watchdog keys on both;
 * :class:`NoProgressWatchdog` — the engine's observable fingerprint
   (Φ, pending, edges, lifecycle counts) frozen for a whole window with
   zero lifecycle transitions (the deadlock-in-disguise shape);
@@ -78,6 +82,8 @@ class StallDiagnosis:
     top_channels: list[tuple[int, int]] = field(default_factory=list)
     offending_pids: list[int] = field(default_factory=list)
     detail: str = ""
+    dropped_gone: int = 0
+    dropped_gone_start: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready form (capsules embed this verbatim)."""
@@ -95,6 +101,8 @@ class StallDiagnosis:
             "top_channels": [list(item) for item in self.top_channels],
             "offending_pids": list(self.offending_pids),
             "detail": self.detail,
+            "dropped_gone": self.dropped_gone,
+            "dropped_gone_start": self.dropped_gone_start,
         }
 
     def summary(self) -> str:
@@ -110,8 +118,8 @@ class Watchdog:
     """Base class: counter sampling, windowing, trip/latch plumbing.
 
     Subclasses implement :meth:`_check` returning a ``(detail,
-    window_steps, phi_start, pending_start)`` tuple when the stall
-    condition holds, else ``None``. On a trip the watchdog builds the
+    window_steps, phi_start, pending_start, dropped_gone_start)`` tuple
+    when the stall condition holds, else ``None``. On a trip the watchdog builds the
     O(n) diagnosis, latches it in :attr:`tripped` and — with the default
     ``raise_on_trip=True`` — raises :class:`~repro.errors.WatchdogTrip`
     to abort the run. With ``raise_on_trip=False`` it latches silently
@@ -137,9 +145,9 @@ class Watchdog:
         verdict = self._check(engine)
         if verdict is None:
             return
-        detail, window_steps, phi_start, pending_start = verdict
+        detail, window_steps, phi_start, pending_start, dg_start = verdict
         self.tripped = self._diagnose(
-            engine, detail, window_steps, phi_start, pending_start
+            engine, detail, window_steps, phi_start, pending_start, dg_start
         )
         self.rebase(engine)
         if self.raise_on_trip:
@@ -149,7 +157,7 @@ class Watchdog:
 
     def _check(
         self, engine: Engine
-    ) -> tuple[str, int, int, int] | None:  # pragma: no cover - abstract
+    ) -> tuple[str, int, int, int, int] | None:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def rebase(self, engine: Engine | None = None) -> None:
@@ -169,12 +177,16 @@ class Watchdog:
         window_steps: int,
         phi_start: int,
         pending_start: int,
+        dropped_gone_start: int = 0,
     ) -> StallDiagnosis:
         channels = top_backlog(engine, limit=5)
+        procs = engine.processes
         gone_backlogged = [
             pid
             for pid, _ in channels
-            if engine.processes[pid].state is PState.GONE
+            # .get(): open-system runs reap pids between steps; a reaped
+            # channel is gone by definition but can no longer be looked up.
+            if pid not in procs or procs[pid].state is PState.GONE
         ]
         return StallDiagnosis(
             kind=self.kind,
@@ -190,25 +202,41 @@ class Watchdog:
             top_channels=channels,
             offending_pids=gone_backlogged or [pid for pid, _ in channels],
             detail=detail,
+            dropped_gone=engine.stats.dropped_gone,
+            dropped_gone_start=dropped_gone_start,
         )
 
 
 class LivelockWatchdog(Watchdog):
-    """Trips when Φ never decreases over a full window while the total
-    channel backlog grows by at least ``min_backlog_growth``.
+    """Trips when Φ never decreases over a full window while the
+    undrained flow grows by at least ``min_backlog_growth``.
 
-    That conjunction is the PR 2 livelock shape: the scheduler is fair
-    and messages flow, but none of the work reduces invalid information,
-    and the flow accumulates in channels nobody drains (typically a gone
-    process's). Φ merely *stalling* is not enough — a converged-but-idle
-    run has constant Φ = 0 and constant pending; requiring backlog
-    growth keeps healthy equilibria out.
+    Undrained flow is the channel backlog **plus** the cumulative
+    ``dropped_gone`` counter (protocol sends addressed to gone
+    processes, silently dropped by the open-system bounce semantics).
+    The conjunction is the PR 2 livelock shape: the scheduler is fair
+    and messages flow, but none of the work reduces invalid
+    information. Before bounce semantics the doomed sends accumulated
+    *inside* a gone process's channel (pending growth); with them they
+    surface as drops — either way the flow counter grows while Φ
+    stalls. Φ merely *stalling* is not enough — a converged-but-idle
+    run has constant Φ = 0 and constant flow; requiring growth keeps
+    healthy equilibria out.
 
     ``window`` counts samples taken every ``check_every`` steps, so the
     observation window spans ``window * check_every`` engine steps. The
     defaults (32 × 512 = 16384 steps) are deliberately generous: healthy
     runs decrease Φ far more often than that, and a true livelock does
     not care about an extra few thousand steps of evidence-gathering.
+
+    The window's premise is *one computation*: within a computation Φ
+    never legitimately rises (Lemma 3) and flow growth is suspect. An
+    open-system churn op (admit/leave/reap) starts a new computation —
+    an admission plants new beliefs out of band (Φ up) and departures
+    make racing sends drop at gone processes (flow up), neither of which
+    is livelock evidence. The window therefore rebases whenever the
+    engine's churn journal grew, exactly as it rebases after a campaign
+    injection; closed-system runs (empty journal) are unaffected.
     """
 
     kind = "livelock"
@@ -228,7 +256,8 @@ class LivelockWatchdog(Watchdog):
             raise ConfigurationError("min_backlog_growth must be >= 1")
         self.window = int(window)
         self.min_backlog_growth = int(min_backlog_growth)
-        self._start: tuple[int, int, int] | None = None  # (step, phi, pending)
+        #: (step, phi, pending, dropped_gone, churn ops) at window open
+        self._start: tuple[int, int, int, int, int] | None = None
         self._samples = 0
 
     def rebase(self, engine: Engine | None = None) -> None:
@@ -243,14 +272,21 @@ class LivelockWatchdog(Watchdog):
             "min_backlog_growth": self.min_backlog_growth,
         }
 
-    def _check(self, engine: Engine) -> tuple[str, int, int, int] | None:
+    def _check(self, engine: Engine) -> tuple[str, int, int, int, int] | None:
         phi = engine.potential()
         pending = engine.pending_count
+        dropped_gone = engine.stats.dropped_gone
+        churn = len(getattr(engine, "churn_journal", ()))
         if self._start is None:
-            self._start = (engine.step_count, phi, pending)
+            self._start = (engine.step_count, phi, pending, dropped_gone, churn)
             self._samples = 1
             return None
-        start_step, start_phi, start_pending = self._start
+        start_step, start_phi, start_pending, start_dg, start_churn = self._start
+        if churn != start_churn:
+            # Open-system churn started a new computation mid-window: the
+            # Φ rise / flow growth it causes is not livelock evidence.
+            self.rebase(engine)
+            return None
         if phi < start_phi:
             # Φ made progress: restart the window from the new level.
             self.rebase(engine)
@@ -258,19 +294,21 @@ class LivelockWatchdog(Watchdog):
         self._samples += 1
         if self._samples < self.window:
             return None
-        growth = pending - start_pending
+        growth = (pending + dropped_gone) - (start_pending + start_dg)
         if growth < self.min_backlog_growth:
-            # Φ stalled but backlog did not blow up — plausibly a healthy
+            # Φ stalled but the flow did not blow up — plausibly a healthy
             # equilibrium. Slide the window forward.
-            self._start = (engine.step_count, phi, pending)
+            self._start = (engine.step_count, phi, pending, dropped_gone, churn)
             self._samples = 1
             return None
         return (
-            f"potential stalled at {phi} while channel backlog grew by "
-            f"{growth} messages",
+            f"potential stalled at {phi} while undrained flow grew by "
+            f"{growth} messages ({pending - start_pending} backlogged, "
+            f"{dropped_gone - start_dg} dropped at gone processes)",
             engine.step_count - start_step,
             start_phi,
             start_pending,
+            start_dg,
         )
 
 
@@ -325,9 +363,18 @@ class NoProgressWatchdog(Watchdog):
             engine.gone_count,
             engine.asleep_count,
             stats.exits + stats.sleeps + stats.wakes,
+            # Open-system runs change the population between steps; an
+            # admission or a reap is progress even when every counter
+            # above happens to return to its old value.
+            len(engine.processes),
+            engine.admitted_count + engine.reaped_count,
+            # A send dropped at a gone process is observable flow (the
+            # livelock watchdog's axis) — a frozen fingerprint must mean
+            # frozen *everything*, so the drop counter participates too.
+            stats.dropped_gone,
         )
 
-    def _check(self, engine: Engine) -> tuple[str, int, int, int] | None:
+    def _check(self, engine: Engine) -> tuple[str, int, int, int, int] | None:
         cur = self._fingerprint(engine)
         if cur != self._ref:
             self._ref = cur
@@ -343,6 +390,7 @@ class NoProgressWatchdog(Watchdog):
             engine.step_count - self._ref_step,
             cur[0],
             cur[1],
+            engine.stats.dropped_gone,
         )
 
 
@@ -381,7 +429,7 @@ class BacklogWatchdog(Watchdog):
             "max_pending": self.max_pending,
         }
 
-    def _check(self, engine: Engine) -> tuple[str, int, int, int] | None:
+    def _check(self, engine: Engine) -> tuple[str, int, int, int, int] | None:
         pending = engine.pending_count
         if self._floor is None:
             self._floor = (engine.step_count, pending)
@@ -394,6 +442,7 @@ class BacklogWatchdog(Watchdog):
             engine.step_count - start_step,
             engine.potential(),
             start_pending,
+            engine.stats.dropped_gone,
         )
 
 

@@ -4,6 +4,9 @@ Installed as ``python -m repro``. Subcommands:
 
 * ``fdp`` — run the Section 3 departure protocol on a chosen topology;
 * ``fsp`` — the oracle-free sleep variant;
+* ``traffic`` — open-system service workload: seeded join/leave churn
+  plus streaming search requests over a running FDP/FSP system, with
+  the monotonic-searchability gate (docs/TRAFFIC.md);
 * ``overlay`` — a stand-alone overlay protocol (topological
   self-stabilization only, no departures);
 * ``framework`` — Section 4: overlay + departures (Theorem 4);
@@ -168,6 +171,57 @@ def cmd_fsp(args) -> int:
     converged = engine.run(args.max_steps, until=fsp_legitimate, check_every=64)
     hibernating = len(engine.snapshot().hibernating())
     return _report(engine, converged, {"hibernating": hibernating})
+
+
+def cmd_traffic(args) -> int:
+    """Open-system service run: seeded churn + streaming search requests."""
+    from repro.traffic import ArrivalConfig, RequestConfig, TrafficDriver
+
+    edges = _topology(args)
+    leaving = choose_leaving(args.n, edges, fraction=args.leaving, seed=args.seed)
+    build = build_fsp_engine if args.scenario == "fsp" else build_fdp_engine
+    engine = build(
+        args.n,
+        edges,
+        leaving,
+        seed=args.seed,
+        scheduler=SCHEDULERS[args.scheduler](args.seed),
+        monitors=_monitors(args),
+        engine_mode=args.engine_mode,
+    )
+    driver = TrafficDriver(
+        engine,
+        arrivals=ArrivalConfig(
+            join_rate=args.join_rate,
+            session_min=args.session_min,
+            flash_crowd_prob=args.flash_crowd_prob,
+            mass_departure_prob=args.mass_departure_prob,
+            max_population=args.max_population,
+        ),
+        requests=RequestConfig(rate=args.request_rate),
+        seed=args.seed,
+        chunk=args.chunk,
+        trace_path=args.out,
+    )
+    report = driver.run(args.steps)
+    stats = report["stats"]
+    info = {
+        "virtual steps": report["virtual_steps"],
+        "population": stats["population"],
+        "joins": stats["joins"],
+        "leaves": stats["leaves"],
+        "reaps": stats["reaps"],
+        "requests": stats["requests_issued"],
+        "drop rate": f"{stats['drop_rate']:.4f}",
+        "mean latency (hops)": f"{stats['mean_latency']:.2f}",
+        "searchability violations": stats["searchability_violations"],
+        "bounced refs": engine.stats.bounced,
+        "dropped at gone": engine.stats.dropped_gone,
+    }
+    if args.out:
+        info["trace"] = args.out
+    print(format_kv(info, title=f"open-system traffic ({args.scenario})"))
+    return 0 if stats["searchability_violations"] == 0 else 1
 
 
 def cmd_overlay(args) -> int:
@@ -439,12 +493,36 @@ def cmd_chaos_soak(args) -> int:
     from repro.chaos import ChaosCampaign, default_watchdogs, run_chaos
 
     schedulers = ("random",) if args.quick else tuple(sorted(SCHEDULERS))
-    scenarios: list[dict] = [
-        {"scenario": "fdp"},
-        {"scenario": "fsp"},
-    ] + [
-        {"scenario": "framework", "protocol": name} for name in sorted(LOGICS)
-    ]
+    traffic = getattr(args, "traffic", False)
+    if traffic:
+        # The open-system workload drives churn through the class-𝒫
+        # admission surface; the capsule journal replays FDP/FSP admits,
+        # so the traffic battery covers exactly those two scenarios.
+        scenarios: list[dict] = [{"scenario": "fdp"}, {"scenario": "fsp"}]
+    else:
+        scenarios = [
+            {"scenario": "fdp"},
+            {"scenario": "fsp"},
+        ] + [
+            {"scenario": "framework", "protocol": name}
+            for name in sorted(LOGICS)
+        ]
+
+    def traffic_workload(engine):
+        from repro.traffic import ArrivalConfig, RequestConfig, TrafficDriver
+
+        driver = TrafficDriver(
+            engine,
+            arrivals=ArrivalConfig(join_rate=8.0, session_min=256.0),
+            requests=RequestConfig(rate=20.0),
+            seed=args.seed,
+            chunk=128,
+        )
+        driver.run(args.max_steps)
+        # Convergence in the open-system regime is a safety verdict, not
+        # a quiescence one: the run must stay monotonically searchable.
+        return driver.stats.searchability_violations == 0
+
     rows = []
     failures = 0
     for scheduler in schedulers:
@@ -462,10 +540,12 @@ def cmd_chaos_soak(args) -> int:
                 seed=args.seed, period=args.inject_every, max_injections=3
             )
             # Lemma 2 is checked everywhere; Lemma 3's Φ-monotonicity is
-            # an FDP/FSP statement (the Section 4 framework's verify
-            # machinery legitimately copies unvalidated beliefs around).
+            # a *closed-system* FDP/FSP statement (the Section 4
+            # framework's verify machinery legitimately copies
+            # unvalidated beliefs around, and an open-system admission
+            # plants new beliefs out of band exactly like an injection).
             cell_monitors: tuple = (ConnectivityMonitor(check_every=16),)
-            if base["scenario"] in ("fdp", "fsp"):
+            if base["scenario"] in ("fdp", "fsp") and not traffic:
                 cell_monitors += (PotentialMonitor(check_every=16),)
             result = run_chaos(
                 meta,
@@ -475,15 +555,21 @@ def cmd_chaos_soak(args) -> int:
                 max_steps=args.max_steps,
                 until=_chaos_until(meta),
                 capture_on_budget=False,
+                workload=traffic_workload if traffic else None,
             )
-            if result.outcome not in ("converged", "budget"):
+            outcome = result.outcome
+            if traffic and outcome == "budget":
+                # Under a workload the verdict is the searchability gate,
+                # not the step budget — a False return means violations.
+                outcome = "searchability"
+            if outcome not in ("converged", "budget"):
                 failures += 1
             rows.append(
                 [
                     base.get("protocol", base["scenario"]),
                     base["scenario"],
                     scheduler,
-                    result.outcome,
+                    outcome,
                     result.engine.step_count,
                     len(campaign.injections),
                 ]
@@ -732,6 +818,72 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_fsp)
 
+    p = sub.add_parser(
+        "traffic",
+        help="open-system service workload: churn + request traffic "
+        "(docs/TRAFFIC.md)",
+    )
+    p.add_argument("--n", type=int, default=64, help="initial population")
+    p.add_argument(
+        "--topology",
+        choices=sorted(GENERATORS),
+        default="random_connected",
+        help="initial topology generator",
+    )
+    p.add_argument("--seed", type=int, default=0, help="master seed")
+    p.add_argument(
+        "--scheduler", choices=sorted(SCHEDULERS), default="random"
+    )
+    p.add_argument(
+        "--scenario", choices=("fdp", "fsp"), default="fdp",
+        help="departure protocol run underneath the workload",
+    )
+    p.add_argument(
+        "--leaving", type=float, default=0.1,
+        help="fraction of the initial population that wants to leave",
+    )
+    p.add_argument(
+        "--engine-mode",
+        choices=("objects", "soa", "verify"),
+        default=None,
+        help="execution core (default: REPRO_ENGINE_MODE or objects)",
+    )
+    p.add_argument(
+        "--steps", type=int, default=20_000,
+        help="virtual steps of open-system operation",
+    )
+    p.add_argument(
+        "--chunk", type=int, default=256,
+        help="engine steps between churn/request boundaries",
+    )
+    p.add_argument(
+        "--join-rate", type=float, default=2.0,
+        help="mean arrivals per 1000 virtual steps",
+    )
+    p.add_argument(
+        "--request-rate", type=float, default=50.0,
+        help="mean search requests per 1000 virtual steps",
+    )
+    p.add_argument(
+        "--session-min", type=float, default=512.0,
+        help="Pareto session-length floor (virtual steps)",
+    )
+    p.add_argument(
+        "--flash-crowd-prob", type=float, default=0.0,
+        help="per-boundary probability of a correlated join burst",
+    )
+    p.add_argument(
+        "--mass-departure-prob", type=float, default=0.0,
+        help="per-boundary probability of a correlated leave burst",
+    )
+    p.add_argument(
+        "--max-population", type=int, default=None,
+        help="defer joins beyond this population cap",
+    )
+    p.add_argument("--monitor", action="store_true", help=argparse.SUPPRESS)
+    p.add_argument("--out", default=None, help="traffic trace JSONL path")
+    p.set_defaults(func=cmd_traffic)
+
     p = sub.add_parser("overlay", help="run a stand-alone overlay protocol")
     _add_common(p, with_leaving=False)
     p.add_argument("--protocol", choices=sorted(LOGICS), default="linearization")
@@ -849,6 +1001,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="random scheduler only (CI smoke)",
+    )
+    c.add_argument(
+        "--traffic",
+        action="store_true",
+        help="drive each cell through the open-system churn + request "
+        "workload instead of a closed run (fdp/fsp scenarios)",
     )
     c.set_defaults(func=cmd_chaos_soak)
 

@@ -108,6 +108,14 @@ class FrameworkProcess(FDPProcess):
     #: containers stay dormant: their log is never armed).
     ref_tracking = False
 
+    @classmethod
+    def join(cls, pid: int, logic_factory, contact: Ref) -> "FrameworkProcess":
+        """A newcomer pre-wired to attach by edge to *contact* — hand the
+        result straight to :meth:`repro.sim.engine.Engine.admit`."""
+        proc = cls(pid, Mode.STAYING, logic_factory)
+        proc.logic.join(contact)
+        return proc
+
     def __init__(self, pid: int, mode: Mode, logic_factory) -> None:
         super().__init__(pid, mode)
         self.logic = logic_factory(self.self_ref)

@@ -124,16 +124,31 @@ def staying_connected_per_component(engine: Engine) -> bool:
     count. In FDP-legitimate states all leaving processes are gone and
     this coincides with connectivity of the staying-induced subgraph; in
     FSP-legitimate states a hibernating process may serve as the joint
-    holding two staying processes' references together. Use
-    :func:`staying_connected_induced` for the stricter variant.
+    holding two staying processes' references together. Open-system
+    runs extend each component with its mid-run admissions — a joiner
+    attaches by edge to exactly one component, so paths through any
+    non-gone admitted process are legitimate (and exact: components
+    never merge, so an admitted bridge between *different* components
+    cannot exist). Use :func:`staying_connected_induced` for the
+    stricter variant.
     """
     snap = engine.snapshot()
     staying = _staying_pids(engine)
+    admitted = (
+        frozenset(
+            pid
+            for pid, p in engine.processes.items()
+            if p.state is not PState.GONE
+        )
+        - engine.initial_pids
+    )
     for comp in engine.initial_components:
         members = frozenset(comp) & staying
         if len(members) <= 1:
             continue
-        if not snap.is_weakly_connected_within(members, frozenset(comp)):
+        if not snap.is_weakly_connected_within(
+            members, frozenset(comp) | admitted
+        ):
             return False
     return True
 

@@ -21,6 +21,7 @@ __all__ = [
     "CopyStoreSendViolation",
     "StateViolation",
     "SafetyViolation",
+    "SlotRecycleOverflow",
     "ConvergenceError",
     "TrialTimeout",
     "UnknownActionError",
@@ -96,6 +97,24 @@ class ConvergenceError(ReproError):
         super().__init__(message)
         self.stats = dict(stats) if stats else {}
         self.diagnostics = dict(diagnostics) if diagnostics else {}
+
+
+class SlotRecycleOverflow(ReproError):
+    """Recycling a struct-of-arrays slot would overflow its generation tag.
+
+    Tagged-int references pack ``slot | gen << REF_SLOT_BITS``; the
+    generation field is capped at :data:`repro.sim.refs.REF_GEN_BITS`
+    bits so a packed tag stays an exact IEEE-754 integer. A slot that
+    has been exited and recycled 2^31 times cannot be reused without a
+    stale tag becoming able to alias the new occupant, so
+    :meth:`repro.sim.soa.EngineCore.admit` raises this instead. Carries
+    the offending ``slot`` and its ``gen`` for diagnostics.
+    """
+
+    def __init__(self, message: str, slot: int, gen: int) -> None:
+        super().__init__(message)
+        self.slot = slot
+        self.gen = gen
 
 
 class WatchdogTrip(ReproError):

@@ -25,10 +25,15 @@ The delta vocabulary (the only ways the process graph can change):
 * ``on_state(pid, state)`` — lifecycle transitions. ``exit`` purges the
   process's out-edges (exit removes a process and its incident edges
   from PG); ``sleep``/wake only flip the state used by relevance queries.
-* ``reprice(pid)`` — re-derive pid's Φ contribution after a (hypothetical)
-  mode change. Modes are read-only in the paper's model, so the engine
-  never calls this; it exists so the Φ bucketing stays correct if a
-  future extension makes modes dynamic.
+* ``on_admit(pid, proc)`` / ``on_reap(pid)`` — open-system churn: a
+  process joins mid-run (node plus its initial explicit edges appear) or
+  a gone, unreferenced process is reclaimed. Reaped pids keep a ``GONE``
+  tombstone in the state map so stale pair counts naming them stay
+  excluded from connectivity rebuilds.
+* ``reprice(pid, new_mode)`` — re-derive pid's Φ contribution after a
+  mode change. Within one computation modes are read-only; the engine
+  calls this from ``request_leave`` — the open-system session-end event —
+  because the per-target Φ bucketing makes the flip an O(1) repricing.
 
 Maintained structures:
 
@@ -341,13 +346,52 @@ class LiveGraph:
             # must forget the node entirely.
             self._uf_stale = True
 
+    def on_admit(self, pid: int, proc: Process) -> None:
+        """Open-system join: *pid* enters the system mid-run.
+
+        The newcomer arrives with an empty channel and whatever explicit
+        edges its pre-seeded neighbourhood variables already hold (the
+        engine has validated that every target exists). The union-find
+        gains a node lazily — marking the epoch stale is correct and
+        costs one rebuild at the next connectivity query, amortized over
+        the whole admission burst.
+        """
+
+        self._mode[pid] = proc.mode
+        self._pstate[pid] = proc.state
+        self._channel_len[pid] = 0
+        self._edges_by_src[pid] = {}
+        self._out[pid] = {}
+        self._in.setdefault(pid, {})
+        self._phi_buckets.setdefault(pid, {})
+        # Stale FIRST: _add_edge eagerly unions into a non-stale union-find,
+        # which does not contain the newcomer yet.
+        self._uf_stale = True
+        for info in proc.stored_refs():
+            self._add_edge(pid, pid_of(info.ref), EdgeKind.EXPLICIT, info.mode)
+
+    def on_reap(self, pid: int) -> None:
+        """Open-system reclaim: gone, unreferenced *pid* leaves entirely.
+
+        The engine guarantees the precondition (no other process stores
+        or carries a reference to *pid*), so the pid's in-edge index and
+        Φ buckets are already empty and its out-edges were purged when it
+        went gone. Only its (inert) channel backlog still counts — drop
+        it from the pending total. The pid keeps its ``GONE`` tombstone:
+        ``_pair_counts`` may still name it from before its exit, and the
+        connectivity rebuild skips pairs with gone endpoints.
+        """
+
+        self._pending_total -= self._channel_len.pop(pid, 0)
+
     def reprice(self, pid: int, new_mode: Mode) -> None:
         """Re-derive Φ's contribution from edges into *pid* after a mode
         change, touching only that pid's belief buckets.
 
-        Unused at runtime (modes are read-only in the paper's model);
-        kept so the per-target bucketing discipline is honest about what
-        it buys: a dynamic-mode extension reprices one pid in O(1).
+        Called by ``Engine.request_leave`` — the open-system event that
+        flips a session's mode to leaving: beliefs about *pid* attached
+        to in-flight messages and stored refs may change validity, and
+        the per-target bucketing makes that an O(1) repricing.
         """
 
         self._phi -= self._phi_for(pid)
@@ -480,19 +524,34 @@ class LiveGraph:
         """Number of weakly connected components among non-gone processes."""
         return self._fresh_uf().n_sets
 
-    def induced_connected(self, members: frozenset[int]) -> bool:
-        """Weak connectivity of the subgraph induced on *members* — the
-        exact predicate the monitors need when hibernating processes must
-        be excluded (O(Σ deg(members)), no snapshot)."""
+    def induced_connected(
+        self, members: frozenset[int], via: frozenset[int] = frozenset()
+    ) -> bool:
+        """Whether all *members* lie in one weakly connected component of
+        the subgraph induced on ``members | via`` — the exact predicate
+        the monitors need when hibernating processes must be excluded
+        (O(Σ deg(members ∪ via)), no snapshot).
+
+        *via* nodes are passage only: paths through them count (the
+        open-system monitors pass the relevant mid-run admissions here),
+        but their own connectivity is not required."""
 
         if len(members) <= 1:
             return True
-        uf = UnionFind(members)
-        for a in members:
+        allowed = members | via
+        uf = UnionFind(allowed)
+        for a in allowed:
             for b in self._out.get(a, ()):
-                if b != a and b in members:
+                if b != a and b in allowed:
                     uf.union(a, b)
-        return uf.n_sets == 1
+        root = None
+        for m in members:
+            r = uf.find(m)
+            if root is None:
+                root = r
+            elif r != root:
+                return False
+        return True
 
     # -- relevance (hibernation) ---------------------------------------------
 

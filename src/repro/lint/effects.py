@@ -69,6 +69,7 @@ _DEFAULT_PLUMBING = {
     "oracle": "_consult_oracle",
     "generation_column": "gen_",
     "gone_state": "_GONE",
+    "recycle": "admit",
 }
 
 #: lifecycle-code constant names → effect kinds (core-side returns).

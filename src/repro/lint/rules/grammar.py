@@ -4,9 +4,12 @@ The paper's universality result only covers protocols in class 𝒫 —
 protocols whose inter-process interactions decompose into the four
 connectivity-preserving primitives. The simulator mirrors that
 restriction as an API surface: overlay logic is driven *only* through
-``integrate``/``drop_neighbor``/``handle``/``p_timeout`` (plus read-only
-introspection), all interaction goes through ``send``, and process
-lifecycle state is owned by the engine. These rules make the surface a
+``integrate``/``drop_neighbor``/``handle``/``p_timeout``/``join`` (plus
+read-only introspection), all interaction goes through ``send``, and
+process lifecycle state is owned by the engine. ``join`` is the
+open-system admission hook: a newcomer's first contact is itself an
+introduction expressible in the primitives, so it rides the sanctioned
+surface rather than a back door. These rules make the surface a
 checked contract instead of a convention.
 """
 
@@ -29,6 +32,7 @@ _SANCTIONED_LOGIC_ATTRS = frozenset(
         "integrate",
         "integrate_with_keys",
         "drop_neighbor",
+        "join",
         "handle",
         "p_timeout",
         "neighbor_refs",
@@ -79,7 +83,7 @@ class LogicSurface(Rule):
                     node,
                     f"access to unsanctioned logic attribute "
                     f"'.logic.{node.attr}' (surface: integrate/"
-                    "drop_neighbor/handle/p_timeout + introspection)",
+                    "drop_neighbor/handle/p_timeout/join + introspection)",
                 )
 
 

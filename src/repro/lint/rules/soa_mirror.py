@@ -322,7 +322,10 @@ class GenerationBump(Rule):
         "Tagged refs are `slot | gen << REF_SLOT_BITS`: a slot whose "
         "process goes gone must change generation, or a stale reference "
         "held by another process compares equal to a live one and the "
-        "connectivity oracle silently reads the wrong process."
+        "connectivity oracle silently reads the wrong process. The same "
+        "aliasing returns through the back door if slot *recycling* "
+        "resets the generation column, or reuses a slot without guarding "
+        "the packed layout's generation capacity."
     )
 
     def check(self, module: Module, project: Project) -> Iterator[Finding]:
@@ -335,7 +338,11 @@ class GenerationBump(Rule):
             transition = registry.plumbing.get("transition", "_transition")
             gone = registry.plumbing.get("gone_state", "_GONE")
             column = registry.plumbing.get("generation_column", "gen_")
-            fn = _method_names(core.node).get(transition)
+            methods = _method_names(core.node)
+            recycle = methods.get(registry.plumbing.get("recycle", "admit"))
+            if recycle is not None:
+                yield from self._check_recycle(module, recycle, column)
+            fn = methods.get(transition)
             if fn is None:
                 continue
             gone_branches = [
@@ -372,6 +379,64 @@ class GenerationBump(Rule):
                             "the exited slot"
                         ),
                     )
+
+    def _check_recycle(
+        self, module: Module, fn: ast.FunctionDef | ast.AsyncFunctionDef, column: str
+    ) -> Iterator[Finding]:
+        """Slot-recycle shape: a method that pops a freed slot must keep
+        its exit-bumped generation (never reset it) and must compare the
+        generation against the packed-layout capacity before reuse."""
+        pops = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            for node in ast.walk(fn)
+        )
+        if not pops:
+            return
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            for tgt in node.targets:
+                if (
+                    isinstance(tgt, ast.Subscript)
+                    and attr_chain(tgt.value) == f"self.{column}"
+                    and isinstance(node.value, ast.Constant)
+                ):
+                    yield Finding(
+                        rule=self.id,
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"slot recycle in {fn.name!r} resets the "
+                            f"{column!r} generation column — a stale tagged "
+                            "ref (slot | gen << REF_SLOT_BITS) would alias "
+                            "the new occupant"
+                        ),
+                    )
+        guarded = any(
+            isinstance(node, ast.Compare)
+            and any(
+                isinstance(side, ast.Subscript)
+                and attr_chain(side.value) == f"self.{column}"
+                for side in [node.left, *node.comparators]
+            )
+            for node in ast.walk(fn)
+        )
+        if not guarded:
+            yield Finding(
+                rule=self.id,
+                path=module.path,
+                line=fn.lineno,
+                col=fn.col_offset,
+                message=(
+                    f"slot recycle in {fn.name!r} never compares the "
+                    f"{column!r} generation against the packed-layout "
+                    "capacity (REF_GEN_BITS); an exhausted slot would "
+                    "silently wrap instead of being retired"
+                ),
+            )
 
     @staticmethod
     def _tests_gone(test: ast.expr, gone: str) -> bool:

@@ -96,6 +96,44 @@ def _probe_core_active(e: "Engine") -> float:
     return 1.0 if e.core_status["active"] else 0.0
 
 
+def _probe_dropped_gone(e: "Engine") -> float:
+    return float(e.stats.dropped_gone)
+
+
+def _probe_bounced(e: "Engine") -> float:
+    return float(e.stats.bounced)
+
+
+def _traffic(e: "Engine"):
+    # Set by repro.traffic.TrafficDriver; None on workload-less runs.
+    return getattr(e, "traffic_stats", None)
+
+
+def _probe_traffic_requests(e: "Engine") -> float:
+    t = _traffic(e)
+    return float(t.requests_issued) if t is not None else 0.0
+
+
+def _probe_traffic_drop_rate(e: "Engine") -> float:
+    t = _traffic(e)
+    return float(t.drop_rate) if t is not None else 0.0
+
+
+def _probe_traffic_latency_mean(e: "Engine") -> float:
+    t = _traffic(e)
+    return float(t.mean_latency) if t is not None else 0.0
+
+
+def _probe_traffic_violations(e: "Engine") -> float:
+    t = _traffic(e)
+    return float(t.searchability_violations) if t is not None else 0.0
+
+
+def _probe_traffic_population(e: "Engine") -> float:
+    t = _traffic(e)
+    return float(t.population) if t is not None else 0.0
+
+
 _CATALOG: tuple[Probe, ...] = (
     Probe(
         "potential",
@@ -152,6 +190,48 @@ _CATALOG: tuple[Probe, ...] = (
         "1.0 when the struct-of-arrays core is executing this run",
         "O(1)",
         _probe_core_active,
+    ),
+    Probe(
+        "dropped_gone",
+        "protocol sends to gone processes dropped (carried no third-party refs)",
+        "O(1)",
+        _probe_dropped_gone,
+    ),
+    Probe(
+        "bounced",
+        "third-party references bounced back to their senders (Section 4 postprocess)",
+        "O(1)",
+        _probe_bounced,
+    ),
+    Probe(
+        "traffic_requests",
+        "search requests issued by the open-system traffic driver",
+        "O(1)",
+        _probe_traffic_requests,
+    ),
+    Probe(
+        "traffic_drop_rate",
+        "fraction of traffic requests that failed (unreachable destination)",
+        "O(1)",
+        _probe_traffic_drop_rate,
+    ),
+    Probe(
+        "traffic_latency_mean",
+        "mean sampled request latency in overlay hops",
+        "O(1)",
+        _probe_traffic_latency_mean,
+    ),
+    Probe(
+        "traffic_searchability_violations",
+        "monotonic-searchability violations observed by the traffic driver",
+        "O(1)",
+        _probe_traffic_violations,
+    ),
+    Probe(
+        "traffic_population",
+        "non-gone population at the driver's last chunk boundary",
+        "O(1)",
+        _probe_traffic_population,
     ),
 )
 

@@ -34,6 +34,7 @@ from functools import partial
 from collections.abc import Callable, Iterable, Iterator
 from typing import TYPE_CHECKING
 
+from repro.errors import StateViolation
 from repro.sim.messages import RefInfo
 from repro.sim.process import ActionContext, Process
 from repro.sim.refs import KeyProvider, Ref
@@ -47,6 +48,13 @@ __all__ = ["OverlayLogic", "OverlayProcess", "SendFn"]
 #: host-supplied send: (target, label, refs...) — refs are bare Refs, the
 #: host wraps them in RefInfo with its current beliefs.
 SendFn = Callable[..., None]
+
+
+def _reject_send_at_join(*_args: object) -> None:
+    raise StateViolation(
+        "join() runs outside an atomic action; overlay logics must defer "
+        "introductions to their first timeout"
+    )
 
 
 class OverlayLogic:
@@ -85,6 +93,20 @@ class OverlayLogic:
     def drop_neighbor(self, ref: Ref) -> bool:
         """Remove *ref* from all protocol variables; True if it was stored."""
         raise NotImplementedError
+
+    def join(self, contact: Ref) -> None:
+        """Bootstrap a *fresh* logic instance into an existing overlay.
+
+        Called once, before the hosting process is admitted to a running
+        system: store the bootstrap *contact* so the newcomer attaches
+        to the overlay **by edge** — the one-node admissible-state
+        extension :meth:`repro.sim.engine.Engine.admit` enforces.
+        Joining happens outside any atomic action, so the default hands
+        ``integrate`` a send that refuses to be called; introductions go
+        out on the newcomer's first timeout. Logics whose ``integrate``
+        needs an order (keys exist only inside actions) override this.
+        """
+        self.integrate(_reject_send_at_join, contact)
 
     # -- behaviour -----------------------------------------------------------------
 
@@ -133,6 +155,14 @@ class OverlayProcess(Process):
     departures). All processes are expected to be staying; mode beliefs
     on the wire are the host's actual modes.
     """
+
+    @classmethod
+    def join(cls, pid: int, logic_factory, contact: Ref) -> "OverlayProcess":
+        """A newcomer pre-wired to attach by edge to *contact* — hand the
+        result straight to :meth:`repro.sim.engine.Engine.admit`."""
+        proc = cls(pid, Mode.STAYING, logic_factory)
+        proc.logic.join(contact)
+        return proc
 
     def __init__(self, pid: int, mode: Mode, logic_factory) -> None:
         super().__init__(pid, mode)

@@ -50,12 +50,16 @@ class LinearizationLogic(OverlayLogic):
         #: the host; the logic stores bare references).
         self.left: set[Ref] = set()
         self.right: set[Ref] = set()
+        #: join contacts parked keylessly (♠) until the first timeout,
+        #: where keys become available and sort them onto a side.
+        self.pending: set[Ref] = set()
 
     # ------------------------------------------------------------------ state
 
     def neighbor_refs(self) -> Iterator[Ref]:
         yield from self.left
         yield from self.right
+        yield from self.pending
 
     def integrate(self, send: SendFn, ref: Ref) -> None:
         # side depends on keys; the host calls us only with an order.
@@ -73,15 +77,26 @@ class LinearizationLogic(OverlayLogic):
             self.left.discard(ref)
 
     def drop_neighbor(self, ref: Ref) -> bool:
-        found = ref in self.left or ref in self.right
+        found = ref in self.left or ref in self.right or ref in self.pending
         self.left.discard(ref)
         self.right.discard(ref)
+        self.pending.discard(ref)
         return found
+
+    def join(self, contact: Ref) -> None:
+        # Side placement needs keys, which exist only inside actions:
+        # park the contact and sort it on the first timeout.
+        if contact != self.self_ref:
+            self.pending.add(contact)
 
     # ------------------------------------------------------------------ behaviour
 
     def p_timeout(self, send: SendFn, keys: KeyProvider | None) -> None:
         assert keys is not None, "linearization requires ordered keys"
+        if self.pending:
+            for ref in keys.sorted(self.pending):
+                self.integrate_with_keys(keys, ref)
+            self.pending.clear()
         if self.left:
             ordered = keys.sorted(self.left)  # l1 < l2 < … < lk (closest last)
             for nearer, farther in zip(ordered[1:], ordered[:-1], strict=True):
@@ -110,6 +125,7 @@ class LinearizationLogic(OverlayLogic):
         return {
             "left": [repr(r) for r in sorted(self.left, key=repr)],
             "right": [repr(r) for r in sorted(self.right, key=repr)],
+            "pending": [repr(r) for r in sorted(self.pending, key=repr)],
         }
 
     # ------------------------------------------------------------------ target

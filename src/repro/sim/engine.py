@@ -62,6 +62,7 @@ from repro.errors import (
     ConfigurationError,
     ConvergenceError,
     CopyStoreSendViolation,
+    SlotRecycleOverflow,
     StateViolation,
     UnknownActionError,
 )
@@ -141,6 +142,8 @@ class EngineStats:
     deliveries: int = 0
     messages_posted: int = 0
     dropped_unknown: int = 0
+    dropped_gone: int = 0
+    bounced: int = 0
     exits: int = 0
     sleeps: int = 0
     wakes: int = 0
@@ -292,6 +295,7 @@ class Engine:
         self._live_stale = False
         self._snapshot_cache: ProcessGraph | None = None
         self._initial_components: tuple[frozenset[int], ...] | None = None
+        self._initial_pid_union: frozenset[int] | None = None
         if graph_mode is None:
             graph_mode = os.environ.get("REPRO_GRAPH_MODE", "incremental")
         if graph_mode not in ("incremental", "rebuild"):
@@ -343,6 +347,22 @@ class Engine:
         self._asleep_count = 0
         self._gone_count = 0
         self._lifecycle_stale = False
+        #: open-system churn tallies: processes admitted mid-run and gone
+        #: processes reclaimed. ``_retired_pids`` remembers reaped pids so
+        #: a pid can never be reused — references must stay unambiguous
+        #: for the lifetime of a run (the object-model analogue of the
+        #: core's generation-tagged slots).
+        self.admitted_count = 0
+        self.reaped_count = 0
+        self._retired_pids: set[int] = set()
+        #: journal of open-system mutations (admit/leave/reap) with the
+        #: step index each was applied at — everything a failure capsule
+        #: needs to replay a churn run bit-identically.
+        self.churn_journal: list[dict] = []
+        #: open-system workload counters; set by
+        #: :class:`repro.traffic.TrafficDriver`, read by the O(1) traffic
+        #: probes in :mod:`repro.obs.metrics` (None = no traffic attached).
+        self.traffic_stats = None
         #: step index of the last observed progress event: a lifecycle
         #: transition (both graph modes), or a strict Φ decrease
         #: (incremental mode only — rebuild mode would pay a snapshot per
@@ -572,12 +592,19 @@ class Engine:
         target: Ref,
         label: str,
         args: tuple[Any, ...] = (),
-    ) -> Message:
+    ) -> Message | None:
         """Deposit ``target ← label(args)`` into the target's channel.
 
         Validates that every reference in *args* (and the target itself)
         denotes an existing process — the model admits no references that
         do not belong to a process in the system (Section 1.2).
+
+        A protocol send (``sender`` is a pid) addressed to a *gone*
+        process is undeliverable and takes the bounce path instead of
+        entering the dead channel: see :meth:`_bounce`, which returns
+        ``None``. Out-of-band posts (``sender=None`` — fault injection,
+        tests planting messages) keep the historical park-in-channel
+        semantics, so planted initial states are expressible unchanged.
         """
 
         tpid = pid_of(target)
@@ -588,6 +615,8 @@ class Engine:
                 raise ConfigurationError(
                     f"message parameter references unknown process {pid_of(ref)}"
                 )
+        if sender is not None and self.processes[tpid].state is PState.GONE:
+            return self._bounce(sender, tpid, args)
         seq = self._msg_seq
         self._msg_seq = seq + 1
         msg = Message(label, tuple(args), seq, sender)
@@ -615,6 +644,54 @@ class Engine:
         if self._attached and self.processes[tpid].state is not PState.GONE:
             self.scheduler.notify_send(tpid, msg.seq)
         return msg
+
+    def _bounce(self, sender: int, tpid: int, args: tuple[Any, ...]) -> None:
+        """Open-system semantics for a send to a *gone* process.
+
+        A message addressed to a gone process can never be delivered;
+        parking it in the dead channel would silently remove the
+        references it carries from the process graph — a staying
+        process's connectivity could hinge on exactly those references
+        (e.g. a leaving process delegating its neighbourhood to an
+        anchor that has since exited). The paper's Section 4 postprocess
+        sanctions the repair: references *extracted from messages that
+        could not be delivered* are reintegrated.
+
+        Concretely, the references in *args* split into two classes:
+
+        * references to third parties (neither the sender's own nor the
+          dead target's) bounce back into the **sender's** channel as
+          fresh ``forward`` messages, prefixed by one truthful
+          ``present(target, leaving)`` hint so a stale anchor pointing
+          at the dead process is purged on receipt (Algorithm 2/3
+          lines 1–2) instead of black-holing every future delegation;
+        * messages carrying only the sender's or the target's own
+          reference (self-introductions, reversals) are dropped
+          silently and counted — the edge they would have created died
+          with the target, and bouncing them back would keep reversal
+          ping-pong alive forever, preventing quiescence.
+
+        The hint's ``leaving`` belief is truthful: only leaving
+        processes exit. Re-delegations racing ahead of the hint simply
+        bounce again; a fair scheduler eventually delivers a hint, the
+        stale anchor is purged, and the refs come to rest. Mirrored
+        bit-exactly by ``EngineCore._bounce``.
+        """
+        third = [
+            info
+            for info in args
+            if type(info) is RefInfo and pid_of(info.ref) not in (sender, tpid)
+        ]
+        if not third:
+            self.stats.dropped_gone += 1
+            return None
+        sref = self.processes[sender].self_ref
+        tref = self.processes[tpid].self_ref
+        self.post(None, sref, "present", (RefInfo(tref, Mode.LEAVING),))
+        for info in third:
+            self.post(None, sref, "forward", (RefInfo(info.ref, info.mode),))
+        self.stats.bounced += len(third)
+        return None
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -650,6 +727,200 @@ class Engine:
         if self._live is not None:
             self._live.on_state(proc.pid, new_state)
 
+    # ------------------------------------------------------------------ open-system churn
+
+    def admit(self, proc: Process) -> None:
+        """Admit *proc* into a running system (an open-system join).
+
+        The paper's admissible initial states extend one node at a time:
+        a newcomer attaches *by edge* to a contact already in the system.
+        We enforce exactly that — *proc* must be awake, its pid fresh for
+        the whole run (reaped pids are retired forever), and every
+        reference it stores must denote an existing process. All engine
+        structures update incrementally: the channel map grows, the live
+        graph learns the node and its explicit edges, the scheduler sees
+        the newcomer as a wake, and the struct-of-arrays core allocates
+        (or recycles) a slot.
+        """
+
+        if not self._attached:
+            raise ConfigurationError(
+                "admit() is for mid-run joins; pass initial processes to Engine()"
+            )
+        pid = proc.pid
+        if pid in self.processes or pid in self._retired_pids:
+            raise ConfigurationError(
+                f"pid {pid} already used this run; pids are never reused"
+            )
+        if proc.state is not PState.AWAKE:
+            raise ConfigurationError("admitted processes must be awake")
+        for info in proc.stored_refs():
+            if pid_of(info.ref) not in self.processes:
+                raise ConfigurationError(
+                    "admitted process references unknown process "
+                    f"{pid_of(info.ref)}"
+                )
+        self.processes[pid] = proc
+        channel = Channel()
+        self.channels[pid] = channel
+        incremental = self._graph_mode == "incremental"
+        log = proc._ref_log  # noqa: SLF001 - engine owns the drain
+        log.enabled = (
+            incremental and self._ref_mode != "fingerprint" and proc.ref_tracking
+        )
+        log.pending.clear()
+        live = self._live
+        if live is not None:
+            channel.observer = partial(self._observe_channel, pid)
+            if not self._live_stale:
+                live.on_admit(pid, proc)
+        self._stale = True
+        self._last_progress_step = self.step_count
+        self.admitted_count += 1
+        anchor = getattr(proc, "anchor", None)
+        anchor_belief = getattr(proc, "anchor_belief", None)
+        self.churn_journal.append(
+            {
+                "at": self.step_count,
+                "op": "admit",
+                "pid": pid,
+                "proto": type(proc).__name__,
+                "mode": proc.mode.value,
+                "neighbors": [
+                    [pid_of(r), None if b is None else b.value]
+                    for r, b in getattr(proc, "N", {}).items()
+                ],
+                "anchor": None
+                if anchor is None
+                else [
+                    pid_of(anchor),
+                    None if anchor_belief is None else anchor_belief.value,
+                ],
+            }
+        )
+        if self._core is not None and not self._core_stale:
+            from repro.sim.soa import CoreUnsupported
+
+            try:
+                self._core.admit(pid, proc)
+            except CoreUnsupported as exc:
+                self._core = None
+                self._core_reason = str(exc)
+            except SlotRecycleOverflow:
+                # The structured overflow is the caller's problem, but a
+                # half-admitted core must not keep executing: drop it so
+                # the run (if the caller survives) falls back to objects.
+                self._core = None
+                self._core_reason = "slot generation space exhausted"
+                raise
+        self.scheduler.notify_wake(pid, self.next_stamp())
+
+    def request_leave(self, pid: int) -> None:
+        """Flip process *pid* to leaving mode (open-system departure intent).
+
+        Within one computation the paper's ``mode`` is read-only; in the
+        open-system regime a session ends by the process *deciding* to
+        leave, which starts a new computation whose initial state differs
+        only in ``mode(pid)``. This is the engine's sanctioned way to make
+        that flip: Φ is repriced (in-flight beliefs about *pid* may have
+        just become invalid), and the struct-of-arrays mirror follows.
+        Idempotent for already-leaving processes.
+        """
+
+        proc = self.processes.get(pid)
+        if proc is None:
+            raise ConfigurationError(f"no process with pid {pid}")
+        if proc.state is PState.GONE:
+            raise StateViolation("gone processes cannot request departure")
+        if proc.mode is Mode.LEAVING:
+            return
+        proc._mode = Mode.LEAVING  # noqa: SLF001 - engine owns lifecycle
+        live = self._live
+        if live is not None and not self._live_stale:
+            live.reprice(pid, Mode.LEAVING)
+        self._stale = True
+        self.churn_journal.append(
+            {"at": self.step_count, "op": "leave", "pid": pid}
+        )
+        if self._core is not None and not self._core_stale:
+            self._core.set_leaving(self._core.slot_of[pid])
+
+    def _object_side_referenced(self, pid: int) -> bool:
+        """Whether any *other* process physically holds a reference to
+        *pid* — in a neighbourhood variable or in a channel message.
+
+        Gone holders count: their stores and channels still physically
+        contain references, and reclaiming a referenced slot is exactly
+        the aliasing bug the generation tags exist to prevent. O(system);
+        only the core-less fallback path pays it.
+        """
+
+        for opid, proc in self.processes.items():
+            if opid == pid:
+                continue
+            for info in proc.stored_refs():
+                if pid_of(info.ref) == pid:
+                    return True
+        for opid, channel in self.channels.items():
+            if opid == pid:
+                continue
+            for msg in channel:
+                for dpid, _bel in msg.edge_pairs():
+                    if dpid == pid:
+                        return True
+        return False
+
+    def can_reap(self, pid: int) -> bool:
+        """Whether *pid* is gone and completely unreferenced, i.e. safe to
+        reclaim. O(1) when the struct-of-arrays core is fresh (it keeps
+        per-slot reference pins); an O(system) scan otherwise.
+        """
+
+        proc = self.processes.get(pid)
+        if proc is None or proc.state is not PState.GONE:
+            return False
+        core = self._core
+        if core is not None and not self._core_stale:
+            return core.can_reap(core.slot_of[pid])
+        return not self._object_side_referenced(pid)
+
+    def reap(self, pid: int) -> None:
+        """Remove a gone, unreferenced process from the system entirely.
+
+        Gone is absorbing but not free: a gone process still occupies its
+        slot in every engine structure. Once nothing in the system holds
+        its reference any more (see :meth:`can_reap`), the process can be
+        reclaimed — its pid is retired for the rest of the run, and the
+        core's slot returns to the free list with a generation already
+        bumped at exit, so any stale tagged ref can never alias the
+        slot's next occupant.
+        """
+
+        proc = self.processes.get(pid)
+        if proc is None:
+            raise ConfigurationError(f"no process with pid {pid}")
+        if proc.state is not PState.GONE:
+            raise StateViolation("only gone processes can be reaped")
+        core = self._core
+        if core is not None and not self._core_stale:
+            core.reap(core.slot_of[pid])  # raises if still referenced
+        elif self._object_side_referenced(pid):
+            raise StateViolation(f"process {pid} is still referenced; cannot reap")
+        channel = self.channels.pop(pid)
+        channel.observer = None
+        del self.processes[pid]
+        self._retired_pids.add(pid)
+        if not self._lifecycle_stale:
+            self._gone_count -= 1
+        live = self._live
+        if live is not None and not self._live_stale:
+            live.on_reap(pid)
+        self._stale = True
+        self.reaped_count += 1
+        self.churn_journal.append(
+            {"at": self.step_count, "op": "reap", "pid": pid}
+        )
+
     # ------------------------------------------------------------------ execution
 
     def attach(self) -> None:
@@ -681,6 +952,7 @@ class Engine:
         snap = self.snapshot()
         comps = snap.weakly_connected_components()
         self._initial_components = tuple(comps)
+        self._initial_pid_union = None
         if self._require_staying:
             staying = snap.staying()
             for comp in comps:
@@ -719,6 +991,22 @@ class Engine:
         if self._initial_components is None:
             raise ConfigurationError("engine not attached yet; call attach() or run()")
         return self._initial_components
+
+    @property
+    def initial_pids(self) -> frozenset[int]:
+        """Union of the initial components — the seed population.
+
+        Mid-run admissions are exactly ``processes.keys() - initial_pids``
+        (reaped pids belong to neither). Open-system invariants need the
+        split: a joiner attaches by edge to one component, so paths
+        through it are legitimate for that component's connectivity
+        claims, yet it is a member of no *initial* component.
+        """
+        if self._initial_pid_union is None:
+            self._initial_pid_union = frozenset().union(
+                frozenset(), *self.initial_components
+            )
+        return self._initial_pid_union
 
     def step(self) -> ExecutedStep | None:
         """Execute one enabled action; return its record, or ``None`` if
@@ -1318,24 +1606,34 @@ class Engine:
 
     def members_weakly_connected(self, members: frozenset[int]) -> bool:
         """Whether *members* (all relevant) lie in one weakly connected
-        component of the subgraph induced on *members* — the per-initial-
+        component of the relevant process graph — the per-initial-
         component invariant of Lemma 2, served without a snapshot.
 
         Sleeper-free incremental runs answer via the epoch union-find
         (exact: components never merge under copy-store-send protocols,
-        and with no sleepers every node of a member's component is itself
-        a member). With sleepers present the induced check runs directly
-        on the live adjacency, excluding hibernating processes.
+        so every path between members stays inside their component).
+        With sleepers present the induced check runs directly on the
+        live adjacency, excluding hibernating processes but allowing
+        paths through relevant mid-run admissions — a joiner attaches
+        by edge to one component, so it can legitimately become the
+        joint holding two seed members' references together (the
+        closed-system members-only reading would flag that as a
+        phantom Lemma 2 violation).
         """
 
         if len(members) <= 1:
             return True
+        admitted = frozenset(self.processes) - self.initial_pids
         if self._graph_mode == "incremental":
             live = self._ensure_live()
             if self.asleep_count == 0:
                 return live.same_component(members)
-            return live.induced_connected(members)
-        return self.snapshot().is_weakly_connected(members)
+            via = (live.relevant() & admitted) if admitted else frozenset()
+            return live.induced_connected(members, via=via)
+        snap = self.snapshot()
+        return snap.is_weakly_connected_within(
+            members, members | (snap.relevant() & admitted)
+        )
 
     # ------------------------------------------------------------------ reporting
 
@@ -1372,7 +1670,11 @@ class Engine:
         asleep = self.asleep_count
         return {
             "step": self.step_count,
+            # Current population — under open-system churn this is not a
+            # constant: admissions grow it and reaps shrink it.
             "processes": len(self.processes),
+            "admitted": self.admitted_count,
+            "reaped": self.reaped_count,
             "gone": gone,
             "asleep": asleep,
             "edges": edges,

@@ -55,6 +55,7 @@ __all__ = [
     "RefMap",
     "RefCell",
     "REF_SLOT_BITS",
+    "REF_GEN_BITS",
     "tag_ref",
     "tag_slot",
     "tag_gen",
@@ -65,6 +66,16 @@ __all__ = [
 #: live in the (unbounded) high bits.
 REF_SLOT_BITS = 21
 _SLOT_MASK = (1 << REF_SLOT_BITS) - 1
+
+#: Maximum generation-counter width honoured by slot recycling. Python
+#: ints are unbounded, so ``tag_ref`` itself never wraps — but a packed
+#: tag must stay exact through every numeric container the core routes
+#: it through (float-valued telemetry, ``array`` columns). 21 + 31 = 52
+#: bits keeps every tag below 2^53, the IEEE-754 exact-integer ceiling.
+#: :meth:`repro.sim.soa.EngineCore.admit` refuses to recycle a slot whose
+#: bumped generation would exceed this, raising
+#: :class:`repro.errors.SlotRecycleOverflow` instead of silently aliasing.
+REF_GEN_BITS = 31
 
 
 def tag_ref(slot: int, gen: int = 0) -> int:

@@ -431,13 +431,17 @@ class SynchronousScheduler(Scheduler):
         for _ in range(2):  # at most one rebuild per call
             while self._queue:
                 entry = self._queue.pop()
+                # A pid scheduled this round may have been reaped since the
+                # round was built (open-system churn between computations):
+                # a missing process is treated like a gone one.
                 if entry[0] == "t":
-                    proc = engine.processes[entry[1]]
-                    if proc.state.value == "awake":
+                    proc = engine.processes.get(entry[1])
+                    if proc is not None and proc.state.value == "awake":
                         return TimeoutEvent(entry[1])
                 else:
                     _, pid, seq = entry
-                    if engine.processes[pid].state.value == "gone":
+                    proc = engine.processes.get(pid)
+                    if proc is None or proc.state.value == "gone":
                         continue
                     if seq in engine.channels[pid]:
                         return DeliverEvent(pid, seq)

@@ -52,9 +52,14 @@ from array import array
 from random import Random
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import ConfigurationError, StateViolation, UnknownActionError
+from repro.errors import (
+    ConfigurationError,
+    SlotRecycleOverflow,
+    StateViolation,
+    UnknownActionError,
+)
 from repro.sim.messages import Message, RefInfo
-from repro.sim.refs import REF_SLOT_BITS, tag_ref
+from repro.sim.refs import REF_GEN_BITS, REF_SLOT_BITS, tag_ref
 from repro.sim.scheduler import (
     DeliverEvent,
     RandomScheduler,
@@ -80,7 +85,11 @@ _STATE_BY_CODE: tuple = (PState.AWAKE, PState.ASLEEP, PState.GONE)
 #   bits 0-7   label id (0=present, 1=forward, >=2 interned others)
 #   bits 8-9   raw belief code of the single RefInfo parameter
 #   bits 10-31 subject slot + 1 (0 = no reference parameter)
-#   bits 32+   sender slot + 1 (0 = planted message, sender None)
+#   bits 32+   sender *pid* + 1 (0 = planted message, sender None).
+#              The sender is trace-only metadata keyed by pid, not slot:
+#              pids are never reused within a run, so a record survives
+#              its sender's slot being reaped and recycled, while a
+#              subject slot is always pinned live by the record itself.
 _LABEL_MASK = 0xFF
 _BEL_SHIFT = 8
 _SUBJ_SHIFT = 10
@@ -216,13 +225,17 @@ BATCH_FLUSH_COUNTERS: tuple[str, ...] = (
 
 #: Engine-plumbing kernels and column names the mirror-drift extractor
 #: needs by name (SOA002 inlines ``_send``/helpers; SOA004 checks the
-#: generation bump inside the gone branch of the transition kernel).
+#: generation bump inside the gone branch of the transition kernel and
+#: the recycle shape of the admission path: a recycled slot must keep
+#: its exit-bumped generation — never zero it — and must guard against
+#: the generation overflowing the packed tagged-ref layout).
 MIRROR_PLUMBING: dict[str, str] = {
     "send": "_send",
     "transition": "_transition",
     "oracle": "_consult_oracle",
     "generation_column": "gen_",
     "gone_state": "_GONE",
+    "recycle": "admit",
 }
 
 
@@ -567,6 +580,9 @@ class EngineCore:
         "_deliver_kernels",
         "ch",
         "in_",
+        "free_slots",
+        "dead_pins",
+        "archived_stats",
         "_mirror",
         "phi",
         "edge_total",
@@ -577,6 +593,8 @@ class EngineCore:
         "deliveries",
         "posted",
         "dropped",
+        "dropped_gone",
+        "bounced",
         "exits",
         "sleeps",
         "wakes",
@@ -728,12 +746,27 @@ class EngineCore:
         # out-partners straight from its own stores at query time, so the
         # hot path pays one adjacency update per edge delta, not two.
         self.in_: list[dict[int, int]] = [dict() for _ in range(n)]
+        #: open-system slot management. ``free_slots`` is the LIFO of
+        #: reaped slots available for recycling; ``dead_pins[v]`` counts
+        #: references to slot v physically held by *gone* slots (their
+        #: stores and channels are outside the edge multiset but still
+        #: pin v against reaping); ``archived_stats`` keeps the per-pid
+        #: counters of reaped slots so exports stay lossless.
+        self.free_slots: list[int] = []
+        self.dead_pins: dict[int, int] = {}
+        self.archived_stats: dict[str, dict[int, int]] = {
+            "timeouts_by": {},
+            "deliveries_by": {},
+            "sent_by": {},
+            "received_by": {},
+        }
         self.phi = 0
         self.edge_total = 0
         self.pending = 0
         for i in range(n):
             self.pending += len(self.ch[i])
             if self.state_[i] == _GONE:
+                self._pin_holdings(i, 1)
                 continue
             for v, bel in self.N[i].items():
                 self._edge(i, v, _STAYING if bel == _NONE else bel, 1)
@@ -758,15 +791,17 @@ class EngineCore:
         self.deliveries = stats.deliveries
         self.posted = stats.messages_posted
         self.dropped = stats.dropped_unknown
+        self.dropped_gone = stats.dropped_gone
+        self.bounced = stats.bounced
         self.exits = stats.exits
         self.sleeps = stats.sleeps
         self.wakes = stats.wakes
         self.oq = stats.oracle_queries
         self.otrue = stats.oracle_true
-        self.timeouts_by = self._by_list(stats.timeouts_by, n)
-        self.deliveries_by = self._by_list(stats.deliveries_by, n)
-        self.sent_by = self._by_list(stats.sent_by, n)
-        self.received_by = self._by_list(stats.received_by, n)
+        self.timeouts_by = self._by_list(stats.timeouts_by, n, "timeouts_by")
+        self.deliveries_by = self._by_list(stats.deliveries_by, n, "deliveries_by")
+        self.sent_by = self._by_list(stats.sent_by, n, "sent_by")
+        self.received_by = self._by_list(stats.received_by, n, "received_by")
         self.clock = engine._clock  # noqa: SLF001
         self.next_seq = engine._msg_seq  # noqa: SLF001
         # posted/pending bases: both counters move in lockstep with
@@ -794,14 +829,18 @@ class EngineCore:
         self.cached_driver: Any | None = None
         self.cached_driver_for: Any | None = None
 
-    def _by_list(self, by: dict[int, int], n: int) -> list[int]:
+    def _by_list(self, by: dict[int, int], n: int, name: str) -> list[int]:
         arr = [0] * n
         slot_of = self.slot_of
+        archive = self.archived_stats[name]
         for pid, count in by.items():
             slot = slot_of.get(pid)
             if slot is None:
-                raise CoreUnsupported(f"stats reference unknown pid {pid}")
-            arr[slot] = count
+                # Reaped (or otherwise departed) pids keep their history
+                # in the archive; exports merge it back.
+                archive[pid] = count
+            else:
+                arr[slot] = count
         return arr
 
     def _encode_msg(self, msg: Message, label_of: dict[str, int]) -> int:
@@ -825,18 +864,14 @@ class EngineCore:
             subj, bel = -1, _NONE
         else:
             raise CoreUnsupported("message with unencodable parameter list")
-        sender = msg.sender
-        if sender is None:
-            sslot = -1
-        else:
-            sslot = self.slot_of.get(sender, -2)
-            if sslot == -2:
-                raise CoreUnsupported(f"message sender unknown pid {sender}")
+        # Senders pack as pids, not slots: trace-only metadata must stay
+        # decodable after the sender's slot is reaped and recycled.
+        sender = msg.sender if msg.sender is not None else -1
         return (
             label_id
             | (bel << _BEL_SHIFT)
             | ((subj + 1) << _SUBJ_SHIFT)
-            | ((sslot + 1) << _SENDER_SHIFT)
+            | ((sender + 1) << _SENDER_SHIFT)
         )
 
     # ------------------------------------------------------------------ refs
@@ -886,42 +921,89 @@ class EngineCore:
 
     def _send(self, src: int, dst: int, label_id: int, subj: int, bel: int) -> None:
         """Kernel of ``Engine.post`` for an in-protocol single-RefInfo send."""
+        if self.state_[dst] == _GONE:
+            # Kernel of ``Engine._bounce``: a protocol send to a gone
+            # process never enters the dead channel. A message carrying
+            # only the sender's or the target's own reference drops
+            # silently; a third-party subject bounces back to the sender.
+            if subj == src or subj == dst:
+                self.dropped_gone += 1
+            else:
+                self._bounce(src, dst, subj, bel)
+            return
         seq = self.next_seq
         self.next_seq = seq + 1
         self.ch[dst][seq] = (
             label_id
             | (bel << _BEL_SHIFT)
             | ((subj + 1) << _SUBJ_SHIFT)
-            | ((src + 1) << _SENDER_SHIFT)
+            | ((self.pids[src] + 1) << _SENDER_SHIFT)
         )
         # posted/pending are derived from next_seq by _sync_flow.
         self.sent_by[src] += 1
         self.received_by[dst] += 1
-        if self.state_[dst] != _GONE:
-            # _edge(dst, subj, normalized bel, +1), inlined: the enqueue
-            # edge is the hottest delta in the whole simulation.
-            inn = self.in_[subj]
-            inn[dst] = inn.get(dst, 0) + 1
-            self.edge_total += 1
-            if (_STAYING if bel == _NONE else bel) != self.mode_[subj]:
-                self.phi += 1
-            m = self._mirror
-            if m is not None:
-                # inline _RandomMirror.notify_send (arrival always
-                # consumed). The generic _add dedups on the entry, but a
-                # freshly allocated seq can never already be pooled, so
-                # the membership probe is elided here.
-                value = m._arrival
-                m._arrival = value + 1
-                enc = ((seq + 1) << m._nbits) | dst
-                pool = m._pool
-                m._pos[enc] = len(pool)
-                pool.append(enc)
-                m._stamps.append(value)
-            else:
-                driver = self.driver
-                if driver is not None:
-                    driver.notify_send(dst, seq)
+        # _edge(dst, subj, normalized bel, +1), inlined: the enqueue
+        # edge is the hottest delta in the whole simulation.
+        inn = self.in_[subj]
+        inn[dst] = inn.get(dst, 0) + 1
+        self.edge_total += 1
+        if (_STAYING if bel == _NONE else bel) != self.mode_[subj]:
+            self.phi += 1
+        m = self._mirror
+        if m is not None:
+            # inline _RandomMirror.notify_send (arrival always
+            # consumed). The generic _add dedups on the entry, but a
+            # freshly allocated seq can never already be pooled, so
+            # the membership probe is elided here.
+            value = m._arrival
+            m._arrival = value + 1
+            enc = ((seq + 1) << m._nbits) | dst
+            pool = m._pool
+            m._pos[enc] = len(pool)
+            pool.append(enc)
+            m._stamps.append(value)
+        else:
+            driver = self.driver
+            if driver is not None:
+                driver.notify_send(dst, seq)
+
+    def _bounce(self, src: int, dst: int, subj: int, bel: int) -> None:
+        """Kernel of ``Engine._bounce`` for the two-record reintegration:
+        ``present(dst, leaving)`` hint + ``forward(subj, bel)``, both into
+        the *sender's* channel with no sender metadata (packs as 0, the
+        object side's ``sender=None``)."""
+        seq = self.next_seq
+        self.next_seq = seq + 2
+        ch = self.ch[src]
+        ch[seq] = (_LEAVING << _BEL_SHIFT) | ((dst + 1) << _SUBJ_SHIFT)  # present
+        ch[seq + 1] = 1 | (bel << _BEL_SHIFT) | ((subj + 1) << _SUBJ_SHIFT)  # forward
+        self.received_by[src] += 2
+        # The hint's in-edge pins the gone slot against reaping until it
+        # is consumed — exactly like the object side's channel ref.
+        self._edge(src, dst, _LEAVING, 1)
+        self._edge(src, subj, _STAYING if bel == _NONE else bel, 1)
+        self.bounced += 1
+        m = self._mirror
+        if m is not None:
+            value = m._arrival
+            nbits = m._nbits
+            pool = m._pool
+            pos = m._pos
+            stamps = m._stamps
+            enc = ((seq + 1) << nbits) | src
+            pos[enc] = len(pool)
+            pool.append(enc)
+            stamps.append(value)
+            enc = ((seq + 2) << nbits) | src
+            pos[enc] = len(pool)
+            pool.append(enc)
+            stamps.append(value + 1)
+            m._arrival = value + 2
+        else:
+            driver = self.driver
+            if driver is not None:
+                driver.notify_send(src, seq)
+                driver.notify_send(src, seq + 1)
 
     def _transition(self, u: int, new_state: int) -> None:
         """Kernel of ``Engine._transition`` (legality is guaranteed by the
@@ -941,6 +1023,10 @@ class EngineCore:
             if driver is not None:
                 driver.notify_gone(u, list(self.ch[u]))
             self._purge_out_edges(u)
+            # The purged references stay physically present in the gone
+            # slot's stores and channel — convert them to dead pins so
+            # their targets cannot be reaped out from under them.
+            self._pin_holdings(u, 1)
         elif new_state == _ASLEEP:
             self.sleeps += 1
             self.asleep += 1
@@ -952,6 +1038,254 @@ class EngineCore:
             self.clock = stamp + 1
             if driver is not None:
                 driver.notify_wake(u, stamp)
+
+    # ------------------------------------------------------------------ open-system churn
+
+    def _pin_holdings(self, u: int, delta: int) -> None:
+        """Apply ±1 dead pins for every reference slot *u* physically
+        holds (neighbourhood, anchor, parked store, channel subjects).
+
+        Called with +1 when *u* becomes gone (its holdings leave the edge
+        multiset but still exist) and at construction for initially-gone
+        slots; with -1 when *u* is reaped (the holdings are destroyed).
+        Self-references never pin: reaping destroys them together with
+        the holder.
+        """
+
+        held: list[int] = []
+        held.extend(self.N[u])
+        a = self.anchor_[u]
+        if a >= 0:
+            held.append(a)
+        if self.is_fsp:
+            held.extend(self.parked[u])
+        for rec in self.ch[u].values():
+            v = ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1
+            if v >= 0:
+                held.append(v)
+        dp = self.dead_pins
+        for v in held:
+            if v == u:
+                continue
+            c = dp.get(v, 0) + delta
+            if c:
+                dp[v] = c
+            else:
+                del dp[v]
+
+    def set_leaving(self, u: int) -> None:
+        """Mirror of ``Engine.request_leave``: flip slot *u* to leaving.
+
+        Φ reprices in one pass over *u*'s in-holders: every in-edge whose
+        normalized belief was valid (staying) turns invalid and vice
+        versa. The in-index names the holders; their stores and channels
+        are walked for the belief breakdown — a per-session-end cost, so
+        no per-edge belief buckets burden the hot path.
+        """
+
+        if self.mode_[u] == _LEAVING:
+            return
+        staying = leaving = 0
+        for src in self.in_[u]:
+            bel = self.N[src].get(u, -1)
+            if bel >= 0:
+                if bel == _LEAVING:
+                    leaving += 1
+                else:
+                    staying += 1
+            if self.anchor_[src] == u:
+                if self.abelief_[src] == _LEAVING:
+                    leaving += 1
+                else:
+                    staying += 1
+            if self.is_fsp:
+                bel = self.parked[src].get(u, -1)
+                if bel >= 0:
+                    if bel == _LEAVING:
+                        leaving += 1
+                    else:
+                        staying += 1
+            for rec in self.ch[src].values():
+                if ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1 == u:
+                    if ((rec >> _BEL_SHIFT) & 3) == _LEAVING:
+                        leaving += 1
+                    else:
+                        staying += 1
+        self.mode_[u] = _LEAVING
+        # Previously-invalid in-edges believed leaving; now the staying
+        # beliefs are the invalid ones.
+        self.phi += staying - leaving
+
+    def can_reap(self, u: int) -> bool:
+        """Whether slot *u* is gone and completely unreferenced: no live
+        in-edges and no dead pins. O(1)."""
+        return (
+            self.pids[u] is not None
+            and self.state_[u] == _GONE
+            and not self.in_[u]
+            and not self.dead_pins.get(u)
+        )
+
+    def reap(self, u: int) -> None:
+        """Reclaim gone, unreferenced slot *u* onto the free list.
+
+        The slot's generation was already bumped when its process exited,
+        so every tagged ref minted for the old occupant is stale the
+        moment the slot is recycled. Per-slot statistics move to the
+        archive under the departing pid (exports merge them back); the
+        stores and channel are destroyed, unpinning whatever they held.
+        """
+
+        pid = self.pids[u]
+        if pid is None or self.state_[u] != _GONE:
+            raise StateViolation(f"slot {u} is not a gone process; cannot reap")
+        if self.in_[u] or self.dead_pins.get(u):
+            raise StateViolation(
+                f"process {pid} (slot {u}) is still referenced; cannot reap"
+            )
+        self._pin_holdings(u, -1)
+        self._pending0 -= len(self.ch[u])
+        archived = self.archived_stats
+        for name, arr in (
+            ("timeouts_by", self.timeouts_by),
+            ("deliveries_by", self.deliveries_by),
+            ("sent_by", self.sent_by),
+            ("received_by", self.received_by),
+        ):
+            c = arr[u]
+            if c:
+                archived[name][pid] = c
+                arr[u] = 0
+        self.N[u] = {}
+        self.ch[u] = {}
+        self.anchor_[u] = -1
+        self.abelief_[u] = _NONE
+        if self.is_fsp:
+            self.parked[u] = {}
+            self.averified_[u] = 0
+            self.aprobe_[u] = 0
+        self.last_acted[u] = -1
+        self.pids[u] = None
+        del self.slot_of[pid]
+        self.free_slots.append(u)
+        self.gone -= 1
+        # Slot identity changed: any cached scheduler driver encodes pool
+        # entries against the old slot census.
+        self.cached_driver = None
+        self.cached_driver_for = None
+
+    def admit(self, pid: int, proc: Any) -> None:
+        """Mirror of ``Engine.admit``: give *pid* a slot, recycling from
+        the free list when possible.
+
+        A recycled slot keeps its exit-bumped generation — zeroing it
+        would let a stale tagged ref alias the new occupant. When the
+        generation no longer fits the packed layout
+        (:data:`~repro.sim.refs.REF_GEN_BITS`), the slot is retired and
+        :class:`~repro.errors.SlotRecycleOverflow` raised instead of
+        silently wrapping.
+        """
+
+        from repro.core.fdp import FDPProcess
+        from repro.core.fsp import FSPProcess
+
+        expected = FSPProcess if self.is_fsp else FDPProcess
+        if type(proc) is not expected:
+            raise CoreUnsupported(
+                f"admitted process type {type(proc).__name__} is not mirrored"
+            )
+        slot_of = self.slot_of
+        nd_enc: dict[int, int] = {}
+        for ref, belief in proc.N.items():
+            rpid = ref._pid  # noqa: SLF001
+            if rpid == pid:
+                raise CoreUnsupported(f"self-reference stored by pid {pid}")
+            v = slot_of.get(rpid)
+            if v is None:
+                raise CoreUnsupported(
+                    f"admitted process references unknown pid {rpid}"
+                )
+            nd_enc[v] = _code(belief)
+        anchor = proc.anchor
+        abel = _code(proc.anchor_belief)
+        if anchor is None:
+            aslot = -1
+        else:
+            apid = anchor._pid  # noqa: SLF001
+            if apid == pid:
+                raise CoreUnsupported(f"self-anchor stored by pid {pid}")
+            aslot = slot_of.get(apid, -1)
+            if aslot < 0:
+                raise CoreUnsupported("admitted process anchors unknown pid")
+        if self.is_fsp:
+            pk_enc: dict[int, int] = {}
+            for ref, belief in proc.parked.items():
+                rpid = ref._pid  # noqa: SLF001
+                if rpid == pid:
+                    raise CoreUnsupported(f"self-reference parked by pid {pid}")
+                v = slot_of.get(rpid)
+                if v is None:
+                    raise CoreUnsupported("admitted process parks unknown pid")
+                pk_enc[v] = _code(belief)
+
+        free = self.free_slots
+        if free:
+            u = free.pop()
+            if self.gen_[u] >= (1 << REF_GEN_BITS):
+                # Retired for good: re-admitting it can never become safe.
+                raise SlotRecycleOverflow(
+                    f"slot {u} exhausted its generation space "
+                    f"(gen={self.gen_[u]}, cap=2^{REF_GEN_BITS})",
+                    slot=u,
+                    gen=self.gen_[u],
+                )
+            self.pids[u] = pid
+        else:
+            u = len(self.pids)
+            if u >= (1 << REF_SLOT_BITS):
+                raise CoreUnsupported(f"population {u + 1} exceeds slot space")
+            self.pids.append(pid)
+            self.mode_.append(_STAYING)
+            self.state_.append(_AWAKE)
+            self.gen_.append(0)
+            self.anchor_.append(-1)
+            self.abelief_.append(_NONE)
+            self.N.append({})
+            if self.is_fsp:
+                self.parked.append({})
+                self.averified_.append(0)
+                self.aprobe_.append(0)
+            self.ch.append({})
+            self.in_.append({})
+            self.last_acted.append(-1)
+            self.timeouts_by.append(0)
+            self.deliveries_by.append(0)
+            self.sent_by.append(0)
+            self.received_by.append(0)
+        slot_of[pid] = u
+        self.mode_[u] = _LEAVING if proc.mode is Mode.LEAVING else _STAYING
+        self.state_[u] = _AWAKE
+        nd = self.N[u]
+        for v, bel in nd_enc.items():
+            nd[v] = bel
+            self._edge(u, v, _STAYING if bel == _NONE else bel, 1)
+        self.anchor_[u] = aslot
+        self.abelief_[u] = abel
+        if aslot >= 0:
+            self._edge(u, aslot, _STAYING if abel == _NONE else abel, 1)
+        if self.is_fsp:
+            pk = self.parked[u]
+            for v, bel in pk_enc.items():
+                pk[v] = bel
+                self._edge(u, v, _STAYING if bel == _NONE else bel, 1)
+            self.averified_[u] = 1 if proc.anchor_verified else 0
+            self.aprobe_[u] = 1 if proc.anchor_probe_sent else 0
+        # The engine's scheduler wake consumes one freshness stamp.
+        self.clock += 1
+        # Slot census changed (growth moves the _RandomMirror's bit split;
+        # recycling re-keys slot_of): rebuild the driver on next use.
+        self.cached_driver = None
+        self.cached_driver_for = None
 
     # ------------------------------------------------------------------ oracle
 
@@ -1124,30 +1458,39 @@ class EngineCore:
                 rec = (
                     (mode << _BEL_SHIFT)
                     | ((u + 1) << _SUBJ_SHIFT)
-                    | ((u + 1) << _SENDER_SHIFT)
+                    | ((self.pids[u] + 1) << _SENDER_SHIFT)
                 )
                 edges = 0
+                sent = 0
+                dropped = 0
                 for v, bel in nd.items():
                     if bel == _LEAVING:  # lines 20-21
                         if drops is None:
                             drops = [v]
                         else:
                             drops.append(v)
-                    ch[v][seq] = rec
-                    received_by[v] += 1
                     if state_[v] != _GONE:
+                        ch[v][seq] = rec
+                        received_by[v] += 1
                         inn[v] = inn.get(v, 0) + 1
                         edges += 1
+                        sent += 1
                         enc = ((seq + 1) << nbits) | v
                         pos[enc] = len(pool)
                         pool.append(enc)
                         stamps.append(value)
                         value += 1
-                    seq += 1
+                        seq += 1
+                    else:
+                        # Self-introduction to a gone neighbour: the
+                        # bounce rule drops it silently (subject is u
+                        # itself — nothing to reintegrate).
+                        dropped += 1
                 self.next_seq = seq
                 m._arrival = value
-                self.sent_by[u] += len(nd)
+                self.sent_by[u] += sent
                 self.edge_total += edges
+                self.dropped_gone += dropped
             if drops is not None:
                 for v in drops:
                     self._ndrop(u, v)
@@ -1555,6 +1898,8 @@ class EngineCore:
             ("timeouts", self.timeouts, stats.timeouts),
             ("deliveries", self.deliveries, stats.deliveries),
             ("dropped", self.dropped, stats.dropped_unknown),
+            ("dropped_gone", self.dropped_gone, stats.dropped_gone),
+            ("bounced", self.bounced, stats.bounced),
             ("exits", self.exits, stats.exits),
             ("sleeps", self.sleeps, stats.sleeps),
             ("wakes", self.wakes, stats.wakes),
@@ -1591,7 +1936,14 @@ class EngineCore:
         self._sync_flow()
         mismatches: list[str] = []
         slot_of = self.slot_of
+        want_pop = {p for p in self.pids if p is not None}
+        if set(engine.processes) != want_pop:
+            mismatches.append(
+                f"population: core={sorted(want_pop)} obj={sorted(engine.processes)}"
+            )
         for i, pid in enumerate(self.pids):
+            if pid is None:
+                continue
             proc = engine.processes[pid]
             st = proc.state
             want = (
@@ -1640,6 +1992,8 @@ class EngineCore:
             ("timeouts", self.timeouts, stats.timeouts),
             ("deliveries", self.deliveries, stats.deliveries),
             ("dropped", self.dropped, stats.dropped_unknown),
+            ("dropped_gone", self.dropped_gone, stats.dropped_gone),
+            ("bounced", self.bounced, stats.bounced),
             ("exits", self.exits, stats.exits),
             ("sleeps", self.sleeps, stats.sleeps),
             ("wakes", self.wakes, stats.wakes),
@@ -1657,10 +2011,38 @@ class EngineCore:
             ("sent_by", self.sent_by, stats.sent_by),
             ("received_by", self.received_by, stats.received_by),
         ):
-            want_d = {self.pids[i]: c for i, c in enumerate(arr) if c}
+            want_d = dict(self.archived_stats[name])
+            for i, c in enumerate(arr):
+                if c and self.pids[i] is not None:
+                    want_d[self.pids[i]] = c
             got_d = {p: c for p, c in by.items() if c}
             if want_d != got_d:
                 mismatches.append(f"{name} differs")
+        # Pin-invariant oracle: recount the dead pins from first
+        # principles (every reference physically held by a gone slot,
+        # self-references excluded) and compare to the running counts.
+        want_pins: dict[int, int] = {}
+        for i, pid in enumerate(self.pids):
+            if pid is None or self.state_[i] != _GONE:
+                continue
+            held: list[int] = []
+            held.extend(self.N[i])
+            a = self.anchor_[i]
+            if a >= 0:
+                held.append(a)
+            if self.is_fsp:
+                held.extend(self.parked[i])
+            for rec in self.ch[i].values():
+                v = ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1
+                if v >= 0:
+                    held.append(v)
+            for v in held:
+                if v != i:
+                    want_pins[v] = want_pins.get(v, 0) + 1
+        if want_pins != self.dead_pins:
+            mismatches.append(
+                f"dead_pins: running={self.dead_pins} recount={want_pins}"
+            )
         if engine.graph_mode == "incremental":
             live = engine.live_graph
             if self.phi != live.phi:
@@ -1695,9 +2077,16 @@ class EngineCore:
         engine._live_stale = True  # noqa: SLF001
         engine._stale = True  # noqa: SLF001
         engine._snapshot_cache = None  # noqa: SLF001
-        procs = [engine.processes[pid] for pid in self.pids]
-        refs = [p.self_ref for p in procs]
+        procs = [
+            engine.processes[pid] if pid is not None else None for pid in self.pids
+        ]
+        # Reaped slots leave a None hole; nothing live can reference one
+        # (reap requires zero in-edges and zero dead pins), so refs[v] is
+        # never dereferenced for a hole.
+        refs = [p.self_ref if p is not None else None for p in procs]
         for i, proc in enumerate(procs):
+            if proc is None:
+                continue
             # Bulk state restore: the core executed the lifecycle
             # transitions itself (legality enforced by the kernels), so
             # this is the engine writing back its own bookkeeping.
@@ -1723,8 +2112,8 @@ class EngineCore:
             labels = self.labels
             for seq, rec in self.ch[i].items():
                 subj = ((rec >> _SUBJ_SHIFT) & _SUBJ_MASK) - 1
-                sslot = (rec >> _SENDER_SHIFT) - 1
-                sender = self.pids[sslot] if sslot >= 0 else None
+                spid = (rec >> _SENDER_SHIFT) - 1
+                sender = spid if spid >= 0 else None
                 if subj >= 0:
                     args: tuple = (
                         RefInfo(refs[subj], _MODE_BY_CODE[(rec >> _BEL_SHIFT) & 3]),
@@ -1739,21 +2128,24 @@ class EngineCore:
         stats.deliveries = self.deliveries
         stats.messages_posted = self.posted
         stats.dropped_unknown = self.dropped
+        stats.dropped_gone = self.dropped_gone
+        stats.bounced = self.bounced
         stats.exits = self.exits
         stats.sleeps = self.sleeps
         stats.wakes = self.wakes
         stats.oracle_queries = self.oq
         stats.oracle_true = self.otrue
-        stats.timeouts_by = {
-            self.pids[i]: c for i, c in enumerate(self.timeouts_by) if c
-        }
-        stats.deliveries_by = {
-            self.pids[i]: c for i, c in enumerate(self.deliveries_by) if c
-        }
-        stats.sent_by = {self.pids[i]: c for i, c in enumerate(self.sent_by) if c}
-        stats.received_by = {
-            self.pids[i]: c for i, c in enumerate(self.received_by) if c
-        }
+        for name, arr in (
+            ("timeouts_by", self.timeouts_by),
+            ("deliveries_by", self.deliveries_by),
+            ("sent_by", self.sent_by),
+            ("received_by", self.received_by),
+        ):
+            d = dict(self.archived_stats[name])
+            for i, c in enumerate(arr):
+                if c and self.pids[i] is not None:
+                    d[self.pids[i]] = c
+            setattr(stats, name, d)
         engine.step_count = self.steps
         engine._clock = self.clock  # noqa: SLF001
         engine._msg_seq = self.next_seq  # noqa: SLF001

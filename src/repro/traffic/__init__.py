@@ -1,0 +1,20 @@
+"""Open-system workloads: churn arrival processes + request traffic.
+
+See :mod:`repro.traffic.driver` for the model. ``docs/TRAFFIC.md`` has
+the user-facing tour of the knobs and the monotonic-searchability gate.
+"""
+
+from repro.traffic.arrivals import ArrivalConfig, sample_poisson, sample_session
+from repro.traffic.driver import TrafficDriver, default_joiner
+from repro.traffic.requests import RequestConfig, SearchabilityTracker, TrafficStats
+
+__all__ = [
+    "ArrivalConfig",
+    "RequestConfig",
+    "SearchabilityTracker",
+    "TrafficDriver",
+    "TrafficStats",
+    "default_joiner",
+    "sample_poisson",
+    "sample_session",
+]

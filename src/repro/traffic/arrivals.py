@@ -1,0 +1,115 @@
+"""Seeded arrival processes for the open-system ("service") workload.
+
+The paper's model analyses one *computation*: a fixed population whose
+modes never change. A deployed overlay is an open system — processes
+join, serve for a while, and leave — which the simulator models as a
+*sequence* of computations: every admission, departure intent and reap
+starts a new computation whose initial state extends/shrinks the last
+one admissibly (see ``Engine.admit`` / ``request_leave`` / ``reap``).
+
+This module owns the stochastic side of that sequence:
+
+* **arrivals** are Poisson per traffic boundary (expected ``join_rate``
+  joins per 1000 virtual steps);
+* **session lengths** are bounded-Pareto — heavy-tailed, matching the
+  classic churn measurements of deployed peer-to-peer systems (most
+  sessions are short, a fat tail of near-permanent members carries the
+  overlay);
+* **flash crowds** (a burst of simultaneous joins) and **mass
+  departures** (a fraction of the population leaving at once) model the
+  correlated events that break closed-system assumptions hardest.
+
+Every stream draws from its own :class:`random.Random` (seeded from one
+root seed), so e.g. changing the request rate cannot perturb the join
+schedule — runs stay comparable knob by knob, and replays stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ArrivalConfig", "sample_poisson", "sample_session"]
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Knobs of the open-system churn process (rates are per 1000 virtual
+    steps; one virtual step corresponds to one scheduler step of budget)."""
+
+    #: expected joins per 1000 virtual steps (Poisson arrivals).
+    join_rate: float = 2.0
+    #: Pareto tail index α of the session-length distribution; α ≤ 2
+    #: gives infinite variance (heavy tail), α ≤ 1 infinite mean.
+    session_shape: float = 1.5
+    #: minimum session length in virtual steps (the Pareto scale).
+    session_min: float = 512.0
+    #: truncation of the session tail (keeps single runs bounded).
+    session_cap: float = 1e7
+    #: per-boundary probability of a flash crowd of ``flash_crowd_size``
+    #: simultaneous joins.
+    flash_crowd_prob: float = 0.0
+    flash_crowd_size: int = 32
+    #: per-boundary probability of a mass departure taking
+    #: ``mass_departure_frac`` of the current staying population.
+    mass_departure_prob: float = 0.0
+    mass_departure_frac: float = 0.25
+    #: hard population ceiling (admissions beyond it are skipped and
+    #: counted); None = unbounded.
+    max_population: int | None = None
+
+    def validate(self) -> None:
+        if self.join_rate < 0:
+            raise ConfigurationError("join_rate must be >= 0")
+        if self.session_shape <= 0:
+            raise ConfigurationError("session_shape must be > 0")
+        if self.session_min < 1:
+            raise ConfigurationError("session_min must be >= 1")
+        if self.session_cap < self.session_min:
+            raise ConfigurationError("session_cap must be >= session_min")
+        if not 0.0 <= self.flash_crowd_prob <= 1.0:
+            raise ConfigurationError("flash_crowd_prob must be in [0, 1]")
+        if self.flash_crowd_size < 1:
+            raise ConfigurationError("flash_crowd_size must be >= 1")
+        if not 0.0 <= self.mass_departure_prob <= 1.0:
+            raise ConfigurationError("mass_departure_prob must be in [0, 1]")
+        if not 0.0 < self.mass_departure_frac <= 1.0:
+            raise ConfigurationError("mass_departure_frac must be in (0, 1]")
+        if self.max_population is not None and self.max_population < 1:
+            raise ConfigurationError("max_population must be >= 1")
+
+
+def sample_poisson(rng: Random, lam: float) -> int:
+    """One Poisson(λ) draw (Knuth's product method).
+
+    Boundary rates keep λ small (``rate * chunk / 1000``); for the λ
+    where ``exp(-λ)`` underflows (≳ 700) the normal approximation is
+    exact enough for workload generation.
+    """
+
+    if lam <= 0.0:
+        return 0
+    if lam > 64.0:
+        # Normal approximation with continuity correction: at this λ the
+        # relative skew is < 1/8 and the draw only sizes a join burst.
+        return max(0, int(rng.gauss(lam, math.sqrt(lam)) + 0.5))
+    limit = math.exp(-lam)
+    k = 0
+    product = rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+def sample_session(rng: Random, config: ArrivalConfig) -> int:
+    """One heavy-tailed session length in virtual steps (bounded Pareto:
+    ``session_min * U^(-1/α)`` truncated at ``session_cap``)."""
+
+    u = 1.0 - rng.random()  # (0, 1] — avoids the pole at 0
+    length = config.session_min * u ** (-1.0 / config.session_shape)
+    return int(min(length, config.session_cap))

@@ -130,6 +130,72 @@ class TestSerialization:
             Capsule.from_dict(payload)
 
 
+def churn_workload(engine):
+    """A small open-system service run; returns False so run_chaos
+    captures a budget capsule — the capsule is the artifact under test."""
+    from repro.traffic import ArrivalConfig, RequestConfig, TrafficDriver
+
+    driver = TrafficDriver(
+        engine,
+        arrivals=ArrivalConfig(join_rate=40.0, session_min=150.0),
+        requests=RequestConfig(rate=20.0),
+        seed=9,
+        chunk=64,
+    )
+    driver.run(2_000)
+    return False
+
+
+class TestChurnCapsules:
+    """Schema v2: the open-system churn journal rides in the capsule."""
+
+    def _churn_capsule(self, tmp_path) -> Capsule:
+        result = run_chaos(
+            HEALTHY_FDP,
+            campaign=ChaosCampaign(seed=3, period=200, max_injections=2),
+            workload=churn_workload,
+            capsule_dir=str(tmp_path),
+        )
+        assert result.outcome == "budget"
+        return Capsule.load(result.capsule_path)
+
+    def test_churn_run_replays_bit_identically(self, tmp_path):
+        capsule = self._churn_capsule(tmp_path)
+        assert capsule.version == CAPSULE_VERSION == 2
+        ops = {op["op"] for op in capsule.churn}
+        assert "admit" in ops and "leave" in ops
+        assert "population" in capsule.final
+        # replay re-applies each journaled op at its recorded step and
+        # raises on any final-counter divergence — passing IS the
+        # bit-identity check, workload detached and all
+        replayed = replay_capsule(capsule)
+        assert replayed.step_count == len(capsule.schedule)
+        assert len(replayed.processes) == capsule.final["population"]
+
+    def test_churn_capsule_is_core_agnostic(self, tmp_path):
+        """A capsule captured on the object model replays bit-identically
+        on the struct-of-arrays core — mid-run admissions included."""
+        capsule = self._churn_capsule(tmp_path)
+        replayed = replay_capsule(capsule, engine_mode="soa")
+        assert replayed.step_count == len(capsule.schedule)
+
+    def test_v1_capsule_still_loads(self, tmp_path):
+        result = run_chaos(
+            HEALTHY_FDP,
+            max_steps=64,
+            until=fdp_legitimate,
+            capsule_dir=str(tmp_path),
+        )
+        payload = result.capsule.as_dict()
+        payload["version"] = 1
+        del payload["churn"]  # v1 predates the journal
+        del payload["final"]["population"]  # ... and the population counter
+        loaded = Capsule.from_dict(payload)
+        assert loaded.churn == []
+        replayed = replay_capsule(loaded)  # population check skipped for v1
+        assert replayed.step_count == 64
+
+
 class TestReplayVerification:
     def test_tampered_final_counters_detected(self, tmp_path):
         result = run_chaos(

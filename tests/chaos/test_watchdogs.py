@@ -86,8 +86,14 @@ class TestLivelockDetection:
         assert diagnosis is not None
         assert diagnosis.kind == "livelock"
         assert diagnosis.step <= BUDGET
-        assert diagnosis.pending > diagnosis.pending_start
-        # the signature artifact: a *gone* process's channel is growing.
+        # the signature artifact: undrained flow keeps growing while Φ
+        # stalls. Under the open-system bounce semantics the doomed
+        # sends surface as dropped_gone instead of piling up inside the
+        # gone process's channel, so the flow is the sum of both axes.
+        flow = diagnosis.pending + diagnosis.dropped_gone
+        flow_start = diagnosis.pending_start + diagnosis.dropped_gone_start
+        assert flow > flow_start
+        assert diagnosis.dropped_gone > 0
         assert diagnosis.offending_pids
         assert watchdog.tripped is diagnosis
 
@@ -102,7 +108,9 @@ class TestLivelockDetection:
         assert "livelock" in watchdog.tripped.summary()
         payload = watchdog.tripped.as_dict()
         assert payload["kind"] == "livelock"
-        assert payload["pending"] > payload["pending_start"]
+        flow = payload["pending"] + payload["dropped_gone"]
+        flow_start = payload["pending_start"] + payload["dropped_gone_start"]
+        assert flow > flow_start
 
     def test_fixed_protocol_same_scenario_is_silent(self):
         """Identical scenario, stock (fixed) protocol: converges with the
@@ -112,6 +120,43 @@ class TestLivelockDetection:
         eng = build_livelock_engine("random", LIVELOCK_SEEDS["random"], [watchdog])
         assert eng.run(200_000, until=framework_done(LOGICS["robust_ring"]))
         assert watchdog.tripped is None
+
+
+class TestOpenSystemSilence:
+    def test_livelock_window_rebases_on_churn(self):
+        """Under open-system traffic Φ legitimately rises (admissions
+        plant beliefs out of band) and dropped_gone grows with every
+        send racing a departure — the closed-system reading tripped the
+        livelock watchdog on exactly that. A churn op starts a new
+        computation, so the window must rebase, like it does after a
+        campaign injection."""
+        from repro.chaos import ChaosCampaign, run_chaos
+        from repro.traffic import ArrivalConfig, RequestConfig, TrafficDriver
+
+        def workload(engine):
+            driver = TrafficDriver(
+                engine,
+                arrivals=ArrivalConfig(join_rate=8.0, session_min=256.0),
+                requests=RequestConfig(rate=20.0),
+                seed=0,
+                chunk=128,
+            )
+            driver.run(20_000)
+            assert engine.stats.dropped_gone > 0, "churn should race departures"
+            return driver.stats.searchability_violations == 0
+
+        result = run_chaos(
+            {"scenario": "fdp", "n": 10, "topology": "random_connected",
+             "leaving": 0.25, "seed": 0, "scheduler": "random",
+             "corruption": 0.5},
+            campaign=ChaosCampaign(seed=0, period=400, max_injections=3),
+            watchdogs=list(default_watchdogs()),
+            capture_on_budget=False,
+            workload=workload,
+        )
+        # pre-fix this exact cell tripped: "livelock at step 17632:
+        # potential stalled at 30 while undrained flow grew by 11018"
+        assert result.outcome == "converged", result.error
 
 
 class TestHealthySilence:

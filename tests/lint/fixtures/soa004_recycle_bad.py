@@ -1,0 +1,97 @@
+"""SOA004 recycle known-bad: the free-list pop resets the generation column and never guards the generation capacity."""
+
+from __future__ import annotations
+
+from repro.sim.messages import RefInfo
+from repro.sim.process import ActionContext, Process
+from repro.sim.soa import MirrorAction, MirrorProtocol
+
+_STAYING, _LEAVING, _NONE = 0, 1, 2
+_AWAKE, _ASLEEP, _GONE = 0, 1, 2
+
+_LABEL_MASK = 0xFF
+_BEL_SHIFT = 8
+_SUBJ_SHIFT = 10
+_SUBJ_MASK = (1 << 22) - 1
+_SENDER_SHIFT = 32
+
+MIRROR_ACTIONS = (
+    MirrorAction(
+        name="timeout",
+        kind="timeout",
+        object_method="timeout",
+        kernel="_timeout_kernel",
+    ),
+    MirrorAction(
+        name="present",
+        kind="deliver",
+        label_id=0,
+        object_method="on_present",
+        kernel="_present_kernel",
+    ),
+    MirrorAction(
+        name="forward",
+        kind="deliver",
+        label_id=1,
+        object_method="on_forward",
+        kernel="_forward_kernel",
+    ),
+)
+MIRROR_PROTOCOLS = (
+    MirrorProtocol(
+        name="MINI", process_class="MiniProcess", is_fsp=False, capability="exit"
+    ),
+)
+MIRROR_EVENT_COUNTERS = {"_run_timeout": ("timeouts",)}
+BATCH_FLUSH_COUNTERS = ("steps",)
+
+
+class MiniProcess(Process):
+    def timeout(self, ctx: ActionContext) -> None:
+        if self.anchor is not None:
+            ctx.send(self.anchor, "present", RefInfo(ctx.self_ref, self.mode))
+        ctx.exit()
+
+    def on_present(self, ctx: ActionContext, info: RefInfo) -> None:
+        self.N[info.ref] = info.mode
+
+    def on_forward(self, ctx: ActionContext, info: RefInfo) -> None:
+        ctx.send(self.anchor, "forward", RefInfo(info.ref, info.mode))
+
+
+class MiniCore:
+    def _send(self, src: int, dst: int, label_id: int, subj: int, bel: int) -> None:
+        raise NotImplementedError
+
+    def _transition(self, u: int, new_state: int) -> None:
+        self.state_[u] = new_state
+        if new_state == _GONE:
+            self.gen_[u] += 1
+
+    def _run_timeout(self, u: int) -> None:
+        self.timeouts += 1
+        self._transition(u, self._timeout_kernel(u))
+
+    def _timeout_kernel(self, u: int) -> int:
+        if self.anchor_[u] >= 0:
+            self._send(u, self.anchor_[u], 0, u, self.abelief_[u])
+        return _GONE
+
+    def _present_kernel(self, u: int, v: int, bel: int) -> int:
+        self.N[u][v] = bel
+        return _AWAKE
+
+    def _forward_kernel(self, u: int, v: int, bel: int) -> int:
+        self._send(u, self.anchor_[u], 1, v, bel)
+        return _AWAKE
+    def admit(self, pid: int, proc: object) -> None:
+        free = self.free_slots
+        if free:
+            u = free.pop()
+            self.gen_[u] = 0
+            self.pids[u] = pid
+        else:
+            u = len(self.pids)
+            self.pids.append(pid)
+            self.gen_.append(0)
+        self.slot_of[pid] = u

@@ -56,6 +56,16 @@ def test_det004_flags_both_shapes() -> None:
     assert fixture_findings("det004_bad.py").count("DET004") == 2
 
 
+def test_soa004_flags_both_recycle_shapes() -> None:
+    # the generation reset on the recycled slot AND the missing
+    # REF_GEN_BITS capacity guard are separate findings
+    assert fixture_findings("soa004_recycle_bad.py").count("SOA004") == 2
+
+
+def test_soa004_recycle_good_is_clean() -> None:
+    assert fixture_findings("soa004_recycle_good.py") == []
+
+
 def test_api002_flags_assignment_and_mutator() -> None:
     assert fixture_findings("api002_bad.py").count("API002") == 2
 
