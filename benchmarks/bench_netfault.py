@@ -1,0 +1,207 @@
+"""Unreliable-underlay transport benchmarks: amplification + inflation.
+
+The reliable-delivery transport (docs/ROBUSTNESS.md, "Unreliable
+network") buys back the paper's channel-set semantics under loss,
+duplication, delay and transient partitions. This benchmark measures
+what the buy-back costs and gates the end-to-end claims:
+
+* **retransmit amplification** — data frames sent per paper message
+  (``1 + retransmits/sends``); the acceptance bound at 10% loss is 3x;
+* **convergence inflation** — FDP/FSP steps-to-legitimacy under faults
+  relative to the same scenario on a loss-free underlay;
+* **safety under faults** — every run is supervised by the Lemma 2
+  connectivity monitor and (closed-system) the Lemma 3 Φ monitor, and
+  a traffic cell at 10% loss must finish with zero
+  monotonic-searchability violations. Violations are absolute gate
+  failures in ``check_regression.py``; the two ratios are gated at the
+  usual tolerance.
+
+Run as a module for the CI smoke check::
+
+    PYTHONPATH=src:. python benchmarks/bench_netfault.py --smoke
+
+which writes ``benchmarks/results/BENCH_netfault.json``.
+"""
+
+import argparse
+import sys
+
+from benchmarks.common import save_json
+from repro.core.potential import fdp_legitimate, fsp_legitimate
+from repro.core.scenarios import build_fdp_engine, build_fsp_engine, choose_leaving
+from repro.graphs import generators as gen
+from repro.net import ReliableTransport, default_net_config
+from repro.sim.monitors import ConnectivityMonitor, PotentialMonitor
+
+#: acceptance bound: data frames per message at the 10%-loss point.
+MAX_AMPLIFICATION_AT_10 = 3.0
+
+#: fault grid; 0.0 is the inflation baseline (still one transient
+#: partition — the transport must ride it out even without loss).
+LOSS_GRID = (0.0, 0.1, 0.3)
+
+SEEDS = range(5)
+N = 24
+
+
+def faulty_run(scenario: str, loss: float, seed: int, n: int = N) -> dict:
+    """One supervised run to legitimacy over a faulty underlay."""
+    edges = gen.random_connected(n, max(3, n // 6), seed=seed)
+    leaving = choose_leaving(n, edges, fraction=0.25, seed=seed)
+    monitors = (
+        ConnectivityMonitor(check_every=16),
+        PotentialMonitor(check_every=16),
+    )
+    build = build_fdp_engine if scenario == "fdp" else build_fsp_engine
+    pred = fdp_legitimate if scenario == "fdp" else fsp_legitimate
+    engine = build(n, edges, leaving, seed=seed, monitors=monitors)
+    cfg = default_net_config(seed, loss=loss, dup=loss, delay=loss)
+    transport = ReliableTransport.from_config(cfg).install(engine)
+    converged = engine.run(2_000_000, until=pred, check_every=64)
+    stats = transport.stats
+    return {
+        "scenario": scenario,
+        "loss": loss,
+        "seed": seed,
+        "converged": converged,
+        "steps": engine.step_count,
+        "sends": stats.sends,
+        "retransmits": stats.retransmits,
+        "amplification": round(
+            (stats.sends + stats.retransmits) / max(1, stats.sends), 4
+        ),
+    }
+
+
+def traffic_run(loss: float, seed: int = 11, n: int = 64) -> dict:
+    """Open-system churn + requests over a lossy underlay; the verdict
+    is the monotonic-searchability counter, which must stay zero."""
+    from repro.traffic import ArrivalConfig, RequestConfig, TrafficDriver
+
+    edges = gen.random_connected(n, max(4, n // 8), seed=seed)
+    leaving = choose_leaving(n, edges, fraction=0.1, seed=seed)
+    engine = build_fdp_engine(n, edges, leaving, seed=seed)
+    cfg = default_net_config(seed, loss=loss, dup=loss, delay=loss)
+    ReliableTransport.from_config(cfg).install(engine)
+    driver = TrafficDriver(
+        engine,
+        arrivals=ArrivalConfig(join_rate=8.0, session_min=512.0),
+        requests=RequestConfig(rate=20.0),
+        seed=seed,
+        chunk=128,
+    )
+    report = driver.run(12_000)
+    stats = report["stats"]
+    return {
+        "loss": loss,
+        "requests": stats["requests_issued"],
+        "violations": stats["searchability_violations"],
+        "retransmits": engine.net_stats.retransmits,
+    }
+
+
+def grid(seeds=SEEDS, n: int = N) -> list[dict]:
+    """Mean amplification/steps per (scenario, loss) cell over *seeds*."""
+    cells = []
+    for scenario in ("fdp", "fsp"):
+        base_steps: float | None = None
+        for loss in LOSS_GRID:
+            runs = [faulty_run(scenario, loss, seed, n) for seed in seeds]
+            steps = sum(r["steps"] for r in runs) / len(runs)
+            if loss == 0.0:
+                base_steps = steps
+            cells.append(
+                {
+                    "scenario": scenario,
+                    "loss": loss,
+                    "converged": all(r["converged"] for r in runs),
+                    "mean_steps": round(steps, 1),
+                    "mean_amplification": round(
+                        sum(r["amplification"] for r in runs) / len(runs), 4
+                    ),
+                    "inflation": round(steps / max(1.0, base_steps), 4),
+                }
+            )
+    return cells
+
+
+def test_netfault_convergence(benchmark):
+    """Small-point benchmark so pytest-benchmark tracks the transport."""
+    run = benchmark.pedantic(
+        lambda: faulty_run("fdp", 0.1, seed=0), rounds=3, iterations=1
+    )
+    assert run["converged"]
+    assert run["amplification"] <= MAX_AMPLIFICATION_AT_10
+
+
+# ------------------------------------------------------------- CI smoke entry
+
+
+def smoke() -> dict:
+    """The gated payload: fault grid + one traffic cell at 10% loss."""
+    cells = grid()
+    at_10 = [c for c in cells if c["loss"] == 0.1]
+    traffic = traffic_run(0.1)
+    return {
+        "benchmark": "netfault",
+        "n": N,
+        "seeds": len(list(SEEDS)),
+        "grid": cells,
+        "amplification_at_10": round(
+            max(c["mean_amplification"] for c in at_10), 4
+        ),
+        "inflation_at_10": round(max(c["inflation"] for c in at_10), 4),
+        "traffic": traffic,
+        "all_converged": all(c["converged"] for c in cells),
+        "max_amplification_limit": MAX_AMPLIFICATION_AT_10,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fault grid and write benchmarks/results/BENCH_netfault.json",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do; pass --smoke (pytest runs the benchmarks)")
+    payload = smoke()
+    path = save_json("BENCH_netfault", payload)
+    ok = True
+    for cell in payload["grid"]:
+        print(
+            f"{cell['scenario']} loss={cell['loss']:<4} "
+            f"steps={cell['mean_steps']:>8.1f} "
+            f"amp={cell['mean_amplification']:<7} "
+            f"inflation={cell['inflation']:<7} converged={cell['converged']}"
+        )
+    traffic = payload["traffic"]
+    print(
+        f"traffic loss={traffic['loss']} requests={traffic['requests']} "
+        f"violations={traffic['violations']}"
+    )
+    if not payload["all_converged"]:
+        print("FAIL: a faulty cell did not converge", file=sys.stderr)
+        ok = False
+    if payload["amplification_at_10"] > MAX_AMPLIFICATION_AT_10:
+        print(
+            f"FAIL: amplification {payload['amplification_at_10']} at 10% "
+            f"loss exceeds the {MAX_AMPLIFICATION_AT_10}x acceptance bound",
+            file=sys.stderr,
+        )
+        ok = False
+    if traffic["violations"]:
+        print(
+            f"FAIL: {traffic['violations']} monotonic-searchability "
+            "violations under loss",
+            file=sys.stderr,
+        )
+        ok = False
+    print(f"wrote {path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,13 @@ measures afresh, and fails if
   (``BENCH_churn.json``) dropped more than ``--tolerance`` below the
   committed figure, or the fresh run saw ANY monotonic-searchability
   violation (that check is absolute — it is the open-system acceptance
-  invariant, not a performance number).
+  invariant, not a performance number), or
+* the unreliable-underlay figures (``BENCH_netfault.json``) regressed:
+  retransmit amplification or convergence-time inflation at the
+  10%-loss point above the committed value by more than ``--tolerance``,
+  amplification above the hard 3x acceptance bound, a faulty cell
+  failing to converge, or any monotonic-searchability violation under
+  loss (the last three are absolute).
 
 Two kinds of drift can trip this gate: a real hot-path regression, or a
 slower CI host than the one that committed the baseline. The rebuild-mode
@@ -46,6 +52,7 @@ import sys
 
 from benchmarks.bench_chaos import smoke as chaos_smoke
 from benchmarks.bench_churn import smoke as churn_smoke
+from benchmarks.bench_netfault import smoke as netfault_smoke
 from benchmarks.bench_step_loop import soa_smoke
 from benchmarks.bench_telemetry import smoke as telemetry_smoke
 from benchmarks.bench_throughput import smoke
@@ -64,6 +71,9 @@ COMMITTED_SOA = (
 )
 COMMITTED_CHURN = (
     pathlib.Path(__file__).parent / "results" / "BENCH_churn.json"
+)
+COMMITTED_NETFAULT = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_netfault.json"
 )
 
 
@@ -195,6 +205,48 @@ def compare_churn(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def compare_netfault(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Gate the transport's fault-tolerance figures.
+
+    Safety is absolute — a non-converged faulty cell or any
+    monotonic-searchability violation under loss fails regardless of
+    tolerance, as does breaching the hard 3x amplification acceptance
+    bound. The two ratios (retransmit amplification and
+    convergence-time inflation at the 10%-loss point) are gated at the
+    usual tolerance against the committed baseline.
+    """
+    failures = []
+    if not fresh["all_converged"]:
+        failures.append(
+            "netfault: a faulty FDP/FSP cell did not converge to legitimacy"
+        )
+    if fresh["traffic"]["violations"]:
+        failures.append(
+            f"netfault: {fresh['traffic']['violations']} "
+            "monotonic-searchability violations under 10% loss"
+        )
+    hard = committed.get("max_amplification_limit", 3.0)
+    if fresh["amplification_at_10"] > hard:
+        failures.append(
+            f"netfault: amplification {fresh['amplification_at_10']} at 10% "
+            f"loss exceeds the hard {hard}x acceptance bound"
+        )
+    for key, label in (
+        ("amplification_at_10", "retransmit amplification"),
+        ("inflation_at_10", "convergence inflation"),
+    ):
+        base = committed.get(key, 0)
+        if base <= 0:
+            continue
+        ceiling = base * (1.0 + tolerance)
+        if fresh[key] > ceiling:
+            failures.append(
+                f"netfault: {label} {fresh[key]} at 10% loss > ceiling "
+                f"{ceiling:.4f} (committed {base}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -233,12 +285,19 @@ def main(argv=None) -> int:
         default=COMMITTED_CHURN,
         help="open-system churn baseline JSON to compare against",
     )
+    parser.add_argument(
+        "--committed-netfault",
+        type=pathlib.Path,
+        default=COMMITTED_NETFAULT,
+        help="unreliable-underlay baseline JSON to compare against",
+    )
     args = parser.parse_args(argv)
     committed = json.loads(args.committed.read_text())
     committed_telemetry = json.loads(args.committed_telemetry.read_text())
     committed_chaos = json.loads(args.committed_chaos.read_text())
     committed_soa = json.loads(args.committed_soa.read_text())
     committed_churn = json.loads(args.committed_churn.read_text())
+    committed_netfault = json.loads(args.committed_netfault.read_text())
     fresh = smoke()
     for run in fresh["runs"]:
         print(
@@ -270,6 +329,13 @@ def main(argv=None) -> int:
             f"steps/s={run['steps_per_s']:>10.1f} "
             f"requests={run['requests']} violations={run['violations']}"
         )
+    fresh_netfault = netfault_smoke()
+    print(
+        f"netfault amp@10%={fresh_netfault['amplification_at_10']} "
+        f"inflation@10%={fresh_netfault['inflation_at_10']} "
+        f"traffic_violations={fresh_netfault['traffic']['violations']} "
+        f"converged={fresh_netfault['all_converged']}"
+    )
     failures = compare(committed, fresh, args.tolerance)
     failures += compare_telemetry(
         committed_telemetry, fresh_telemetry, args.tolerance
@@ -277,6 +343,9 @@ def main(argv=None) -> int:
     failures += compare_chaos(committed_chaos, fresh_chaos, args.tolerance)
     failures += compare_soa(committed_soa, fresh_soa, args.tolerance)
     failures += compare_churn(committed_churn, fresh_churn, args.tolerance)
+    failures += compare_netfault(
+        committed_netfault, fresh_netfault, args.tolerance
+    )
     if failures:
         for line in failures:
             print(f"REGRESSION: {line}", file=sys.stderr)

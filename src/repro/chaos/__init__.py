@@ -16,7 +16,13 @@ See ``docs/ROBUSTNESS.md`` for the campaign admissibility argument, the
 watchdog catalog and the capsule schema.
 """
 
-from repro.chaos.campaigns import CAMPAIGN_KINDS, ChaosCampaign, InjectionRecord
+from repro.chaos.campaigns import (
+    ALL_CAMPAIGN_KINDS,
+    CAMPAIGN_KINDS,
+    NET_CAMPAIGN_KINDS,
+    ChaosCampaign,
+    InjectionRecord,
+)
 from repro.chaos.capsule import (
     CAPSULE_VERSION,
     Capsule,
@@ -31,6 +37,7 @@ from repro.chaos.watchdogs import (
     BacklogWatchdog,
     LivelockWatchdog,
     NoProgressWatchdog,
+    RetransmitStormWatchdog,
     StallDiagnosis,
     Watchdog,
     WatchdogTrip,
@@ -39,6 +46,7 @@ from repro.chaos.watchdogs import (
 )
 
 __all__ = [
+    "ALL_CAMPAIGN_KINDS",
     "BacklogWatchdog",
     "CAMPAIGN_KINDS",
     "CAPSULE_VERSION",
@@ -47,7 +55,9 @@ __all__ = [
     "ChaosRunResult",
     "InjectionRecord",
     "LivelockWatchdog",
+    "NET_CAMPAIGN_KINDS",
     "NoProgressWatchdog",
+    "RetransmitStormWatchdog",
     "ShrinkResult",
     "StallDiagnosis",
     "WATCHDOG_KINDS",

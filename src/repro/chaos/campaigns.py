@@ -54,10 +54,25 @@ from repro.sim.states import Mode, PState
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine, ExecutedStep
 
-__all__ = ["InjectionRecord", "ChaosCampaign", "CAMPAIGN_KINDS"]
+__all__ = [
+    "InjectionRecord",
+    "ChaosCampaign",
+    "CAMPAIGN_KINDS",
+    "NET_CAMPAIGN_KINDS",
+    "ALL_CAMPAIGN_KINDS",
+]
 
-#: the admissible fault classes a campaign can draw from.
+#: the admissible state-fault classes a campaign draws from by default.
 CAMPAIGN_KINDS = ("garbage", "mode_lie", "scramble")
+
+#: underlay-fault kinds (docs/ROBUSTNESS.md): each injection overlays a
+#: bounded burst window on the engine's attached transport — extra loss,
+#: duplication or delay probability, or an extra transient partition.
+#: Net kinds are opt-in (not in the default ``kinds``) because they are
+#: no-ops on an engine without a transport.
+NET_CAMPAIGN_KINDS = ("net_loss", "net_dup", "net_delay", "net_partition")
+
+ALL_CAMPAIGN_KINDS = CAMPAIGN_KINDS + NET_CAMPAIGN_KINDS
 
 
 @dataclass(frozen=True)
@@ -106,14 +121,16 @@ class ChaosCampaign:
         scramble_lie_prob: float = 0.25,
         garbage_lie_prob: float = 0.5,
         labels: tuple[str, ...] = ("present", "forward"),
+        burst_duration: int = 256,
+        burst_amount: float = 0.25,
     ) -> None:
         if period < 1:
             raise ConfigurationError("period must be >= 1")
         kinds = tuple(kinds)
-        unknown = set(kinds) - set(CAMPAIGN_KINDS)
+        unknown = set(kinds) - set(ALL_CAMPAIGN_KINDS)
         if not kinds or unknown:
             raise ConfigurationError(
-                f"kinds must be a non-empty subset of {CAMPAIGN_KINDS}, "
+                f"kinds must be a non-empty subset of {ALL_CAMPAIGN_KINDS}, "
                 f"got {kinds!r}"
             )
         self.seed = int(seed)
@@ -126,6 +143,8 @@ class ChaosCampaign:
         self.scramble_lie_prob = float(scramble_lie_prob)
         self.garbage_lie_prob = float(garbage_lie_prob)
         self.labels = tuple(labels)
+        self.burst_duration = int(burst_duration)
+        self.burst_amount = float(burst_amount)
         self._rng = Random(self.seed)
         self.injections: list[InjectionRecord] = []
         self.admissibility_checks = 0
@@ -192,6 +211,15 @@ class ChaosCampaign:
             return
         members = pools[self._rng.randrange(len(pools))]
         kind = self.kinds[self._rng.randrange(len(self.kinds))]
+        if kind in NET_CAMPAIGN_KINDS:
+            count = self._inject_net(engine, kind)
+            self.injections.append(
+                InjectionRecord(
+                    step=engine.step_count, kind=kind, count=count, component=()
+                )
+            )
+            self._rebase_supervisors(engine)
+            return
         if kind == "garbage":
             count = scatter_garbage_messages(
                 engine,
@@ -236,6 +264,28 @@ class ChaosCampaign:
         )
         self._assert_admissible(engine)
         self._rebase_supervisors(engine)
+
+    def _inject_net(self, engine: Engine, kind: str) -> int:
+        """Overlay one underlay-fault burst on the attached transport.
+
+        The burst parameters are drawn from the campaign RNG *before*
+        checking for a transport, so the RNG stream — and with it every
+        later injection — is identical whether or not ``engine.net``
+        exists (a capsule replay may rebuild the engine without one).
+        Net faults touch no engine state, so the admissibility assert
+        is moot; supervisors still rebase because a burst legitimately
+        stalls progress.
+        """
+        duration = self.burst_duration + self._rng.randint(0, self.burst_duration)
+        amount = self.burst_amount * (0.5 + self._rng.random())
+        net = getattr(engine, "net", None)
+        if net is None:
+            return 0
+        if kind == "net_partition":
+            net.underlay.add_burst("partition", engine.step_count, duration, 1.0)
+        else:
+            net.underlay.add_burst(kind[4:], engine.step_count, duration, amount)
+        return 1
 
     def _assert_admissible(self, engine: Engine) -> None:
         """Re-validate Section 1.2 after the injection.
@@ -287,6 +337,8 @@ class ChaosCampaign:
             "scramble_lie_prob": self.scramble_lie_prob,
             "garbage_lie_prob": self.garbage_lie_prob,
             "labels": list(self.labels),
+            "burst_duration": self.burst_duration,
+            "burst_amount": self.burst_amount,
         }
 
     @classmethod

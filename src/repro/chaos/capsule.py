@@ -16,6 +16,13 @@ everything needed to re-execute the failure bit-identically:
   ``admit``/``leave``/``reap`` with the step index it was applied at,
   so a run under a live workload replays bit-identically — the churn
   ops are re-applied in the recorded inter-step gaps;
+* the transport record (schema v3): the unreliable-underlay + reliable
+  transport configuration, its closing counters and the retransmit
+  journal with a tamper-detection digest. The journal is *evidence*
+  (which frames were dropped/duplicated/delayed/retransmitted), not
+  replay input — the scenario meta's ``net`` key rebuilds the
+  transport, and the recorded schedule alone pins the execution, so
+  replay is bit-identical whether or not the transport re-runs;
 * the watchdog configs, the trip diagnosis, the error text and the
   final counters — the claim the replay is verified against.
 
@@ -65,9 +72,12 @@ __all__ = [
     "replay_capsule",
 ]
 
-#: v2 adds the ``churn`` journal (open-system admits/leaves/reaps);
-#: v1 capsules — no churn — are still read (see :meth:`Capsule.from_dict`).
-CAPSULE_VERSION = 2
+#: v2 added the ``churn`` journal (open-system admits/leaves/reaps);
+#: v3 adds the ``net`` record — transport config, retransmit journal and
+#: its tamper-detection digest — for runs captured over an unreliable
+#: underlay. v1 and v2 capsules are still read
+#: (see :meth:`Capsule.from_dict`).
+CAPSULE_VERSION = 3
 
 #: counters every capsule records and replay verifies (kind "error"
 #: verifies only "steps" — see module docstring). ``population`` is
@@ -101,6 +111,7 @@ class Capsule:
     error: str | None = None
     final: dict = field(default_factory=dict)
     churn: list[dict] = field(default_factory=list)
+    net: dict | None = None
     version: int = CAPSULE_VERSION
 
     # -- (de)serialization ------------------------------------------------------
@@ -117,6 +128,7 @@ class Capsule:
             "error": self.error,
             "final": self.final,
             "churn": self.churn,
+            "net": self.net,
             "schedule": [
                 [e.kind, e.pid, e.seq] for e in self.schedule
             ],
@@ -125,11 +137,25 @@ class Capsule:
     @classmethod
     def from_dict(cls, data: dict) -> Capsule:
         version = data.get("version")
-        if version not in (1, CAPSULE_VERSION):
+        if version not in (1, 2, CAPSULE_VERSION):
             raise ConfigurationError(
                 f"unsupported capsule version {version!r} "
-                f"(this build reads versions 1 and {CAPSULE_VERSION})"
+                f"(this build reads versions 1 through {CAPSULE_VERSION})"
             )
+        net = data.get("net")
+        if net is not None and net.get("journal") is not None:
+            # Tamper detection over the retransmit journal: the digest
+            # was computed at capture; an edited journal (or an edited
+            # digest) no longer matches. The journal is evidence, not
+            # replay input — the schedule alone replays the run — so a
+            # forged one must be rejected at load, not discovered later.
+            from repro.net import journal_digest
+
+            if journal_digest(net["journal"]) != net.get("digest"):
+                raise ConfigurationError(
+                    "capsule net journal does not match its digest "
+                    "(tampered or corrupted capsule)"
+                )
         return cls(
             kind=data["kind"],
             scenario=data["scenario"],
@@ -145,6 +171,8 @@ class Capsule:
             final=data.get("final", {}),
             # v1 capsules predate open-system churn: no journal.
             churn=data.get("churn", []),
+            # v1/v2 capsules predate the unreliable underlay: no net.
+            net=net,
         )
 
     def save(self, path: str) -> str:
@@ -178,6 +206,18 @@ def capture_capsule(
     error: str | None = None,
 ) -> Capsule:
     """Freeze a failed run's identity into a :class:`Capsule`."""
+    net_record: dict | None = None
+    transport = getattr(engine, "net", None)
+    if transport is not None:
+        from repro.net import journal_digest
+
+        journal = list(transport.journal)
+        net_record = {
+            "config": transport.config(),
+            "stats": transport.stats.as_dict(),
+            "journal": journal,
+            "digest": journal_digest(journal),
+        }
     return Capsule(
         kind=kind,
         scenario=dict(scenario),
@@ -191,6 +231,7 @@ def capture_capsule(
         error=error,
         final=_final_counters(engine),
         churn=list(getattr(engine, "churn_journal", [])),
+        net=net_record,
     )
 
 
@@ -337,8 +378,8 @@ def run_chaos(
     interleaves churn and requests with the stepping). Its truthiness
     is the convergence verdict. Everything the workload does through
     the engine's churn API lands in the churn journal, so the capsule
-    (schema v2) still replays the run bit-identically — without the
-    workload attached.
+    still replays the run bit-identically — without the workload
+    attached.
     """
     recorder = ScheduleRecorder()
     wired: list[Callable] = []

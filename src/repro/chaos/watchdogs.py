@@ -52,6 +52,7 @@ __all__ = [
     "LivelockWatchdog",
     "NoProgressWatchdog",
     "BacklogWatchdog",
+    "RetransmitStormWatchdog",
     "WATCHDOG_KINDS",
     "watchdog_from_config",
     "default_watchdogs",
@@ -446,10 +447,119 @@ class BacklogWatchdog(Watchdog):
         )
 
 
+class RetransmitStormWatchdog(Watchdog):
+    """Trips when the transport retransmits far faster than it delivers.
+
+    A retransmit storm is the transport-layer livelock shape: the
+    retransmit counter races ahead while frame deliveries stall —
+    a partition that never heals, a pathological backoff configuration
+    (``backoff=1.0`` hammering a lossy link), or an underlay burst
+    whose loss rate the ack path cannot survive. The check reads only
+    the O(1) ``engine.net_stats`` counters; on an engine without a
+    transport it never trips.
+
+    Over each window (``window`` samples × ``check_every`` steps) the
+    watchdog trips when retransmit growth is at least
+    ``min_retransmits`` *and* exceeds ``ratio ×`` the frame-delivery
+    growth over the same window. The conjunction keeps healthy lossy
+    runs out: at 10% loss retransmits grow at ~1/9 the delivery rate,
+    two orders below the default ratio.
+    """
+
+    kind = "retransmit_storm"
+
+    def __init__(
+        self,
+        *,
+        check_every: int = 64,
+        window: int = 16,
+        min_retransmits: int = 256,
+        ratio: float = 8.0,
+        raise_on_trip: bool = True,
+    ) -> None:
+        super().__init__(check_every=check_every, raise_on_trip=raise_on_trip)
+        if window < 2:
+            raise ConfigurationError("window must be >= 2 samples")
+        if min_retransmits < 1:
+            raise ConfigurationError("min_retransmits must be >= 1")
+        if ratio <= 0:
+            raise ConfigurationError("ratio must be > 0")
+        self.window = int(window)
+        self.min_retransmits = int(min_retransmits)
+        self.ratio = float(ratio)
+        #: (step, retransmits, delivered, phi, pending, dropped_gone)
+        self._start: tuple[int, int, int, int, int, int] | None = None
+        self._samples = 0
+
+    def rebase(self, engine: Engine | None = None) -> None:
+        self._start = None
+        self._samples = 0
+
+    def config(self) -> dict:
+        return {
+            "watchdog": self.kind,
+            "check_every": self.check_every,
+            "window": self.window,
+            "min_retransmits": self.min_retransmits,
+            "ratio": self.ratio,
+        }
+
+    def _check(self, engine: Engine) -> tuple[str, int, int, int, int] | None:
+        net_stats = getattr(engine, "net_stats", None)
+        if net_stats is None:
+            return None
+        if self._start is None:
+            self._start = (
+                engine.step_count,
+                net_stats.retransmits,
+                net_stats.delivered,
+                engine.potential(),
+                engine.pending_count,
+                engine.stats.dropped_gone,
+            )
+            self._samples = 1
+            return None
+        self._samples += 1
+        if self._samples < self.window:
+            return None
+        start_step, start_rtx, start_dlv, phi0, pending0, dg0 = self._start
+        rtx_growth = net_stats.retransmits - start_rtx
+        dlv_growth = net_stats.delivered - start_dlv
+        if (
+            rtx_growth < self.min_retransmits
+            or rtx_growth <= self.ratio * max(1, dlv_growth)
+        ):
+            # Healthy window (possibly lossy but draining): slide forward.
+            self._start = (
+                engine.step_count,
+                net_stats.retransmits,
+                net_stats.delivered,
+                engine.potential(),
+                engine.pending_count,
+                engine.stats.dropped_gone,
+            )
+            self._samples = 1
+            return None
+        return (
+            f"retransmit storm: {rtx_growth} retransmits against "
+            f"{dlv_growth} frame deliveries over the window "
+            f"(ratio bound {self.ratio})",
+            engine.step_count - start_step,
+            phi0,
+            pending0,
+            dg0,
+        )
+
+
 #: kind → class, for capsule round-tripping.
 WATCHDOG_KINDS: dict[str, type[Watchdog]] = {
     cls.kind: cls  # type: ignore[misc]
-    for cls in (LivelockWatchdog, NoProgressWatchdog, BacklogWatchdog)
+    for cls in (
+        LivelockWatchdog,
+        NoProgressWatchdog,
+        BacklogWatchdog,
+        RetransmitStormWatchdog,
+    )
 }
 
 

@@ -490,14 +490,24 @@ def cmd_chaos_soak(args) -> int:
     not fatal (chaos slows convergence; soak is a bug hunt, not a
     performance gate).
     """
-    from repro.chaos import ChaosCampaign, default_watchdogs, run_chaos
+    from repro.chaos import (
+        ALL_CAMPAIGN_KINDS,
+        CAMPAIGN_KINDS,
+        ChaosCampaign,
+        RetransmitStormWatchdog,
+        default_watchdogs,
+        run_chaos,
+    )
 
     schedulers = ("random",) if args.quick else tuple(sorted(SCHEDULERS))
     traffic = getattr(args, "traffic", False)
-    if traffic:
+    net = getattr(args, "net", False)
+    if net or traffic:
         # The open-system workload drives churn through the class-𝒫
         # admission surface; the capsule journal replays FDP/FSP admits,
-        # so the traffic battery covers exactly those two scenarios.
+        # so the traffic battery covers exactly those two scenarios. The
+        # net battery matches: the end-to-end claim under an unreliable
+        # underlay is about the paper's FDP/FSP guarantees.
         scenarios: list[dict] = [{"scenario": "fdp"}, {"scenario": "fsp"}]
     else:
         scenarios = [
@@ -523,60 +533,97 @@ def cmd_chaos_soak(args) -> int:
         # a quiescence one: the run must stay monotonically searchable.
         return driver.stats.searchability_violations == 0
 
+    if net:
+        from repro.net import default_net_config
+
+        # Loss/delay grid for the unreliable-underlay battery; the
+        # default point is the documented fault campaign (10% loss +
+        # dup + delay plus one transient partition).
+        grid: list[tuple[float, float] | None] = (
+            [(0.1, 0.1)] if args.quick else [(0.05, 0.05), (0.1, 0.1), (0.3, 0.2)]
+        )
+    else:
+        grid = [None]
+
     rows = []
     failures = 0
     for scheduler in schedulers:
         for base in scenarios:
-            meta = {
-                **base,
-                "n": args.n,
-                "topology": "random_connected",
-                "seed": args.seed,
-                "scheduler": scheduler,
-                "leaving": 0.25,
-                "corruption": 0.5,
-            }
-            campaign = ChaosCampaign(
-                seed=args.seed, period=args.inject_every, max_injections=3
-            )
-            # Lemma 2 is checked everywhere; Lemma 3's Φ-monotonicity is
-            # a *closed-system* FDP/FSP statement (the Section 4
-            # framework's verify machinery legitimately copies
-            # unvalidated beliefs around, and an open-system admission
-            # plants new beliefs out of band exactly like an injection).
-            cell_monitors: tuple = (ConnectivityMonitor(check_every=16),)
-            if base["scenario"] in ("fdp", "fsp") and not traffic:
-                cell_monitors += (PotentialMonitor(check_every=16),)
-            result = run_chaos(
-                meta,
-                campaign=campaign,
-                watchdogs=default_watchdogs(),
-                monitors=cell_monitors,
-                max_steps=args.max_steps,
-                until=_chaos_until(meta),
-                capture_on_budget=False,
-                workload=traffic_workload if traffic else None,
-            )
-            outcome = result.outcome
-            if traffic and outcome == "budget":
-                # Under a workload the verdict is the searchability gate,
-                # not the step budget — a False return means violations.
-                outcome = "searchability"
-            if outcome not in ("converged", "budget"):
-                failures += 1
-            rows.append(
-                [
-                    base.get("protocol", base["scenario"]),
-                    base["scenario"],
-                    scheduler,
-                    outcome,
-                    result.engine.step_count,
-                    len(campaign.injections),
-                ]
-            )
+            for cell in grid:
+                meta = {
+                    **base,
+                    "n": args.n,
+                    "topology": "random_connected",
+                    "seed": args.seed,
+                    "scheduler": scheduler,
+                    "leaving": 0.25,
+                    "corruption": 0.5,
+                }
+                watchdogs = default_watchdogs()
+                kinds = CAMPAIGN_KINDS
+                if cell is not None:
+                    loss, delay_prob = cell
+                    meta["net"] = default_net_config(
+                        args.seed, loss=loss, delay=delay_prob
+                    )
+                    watchdogs += (RetransmitStormWatchdog(),)
+                    kinds = ALL_CAMPAIGN_KINDS
+                campaign = ChaosCampaign(
+                    seed=args.seed,
+                    period=args.inject_every,
+                    max_injections=3,
+                    kinds=kinds,
+                )
+                # Lemma 2 is checked everywhere; Lemma 3's Φ-monotonicity
+                # is a *closed-system* FDP/FSP statement (the Section 4
+                # framework's verify machinery legitimately copies
+                # unvalidated beliefs around, and an open-system admission
+                # plants new beliefs out of band exactly like an
+                # injection). The transport does not perturb it: faults
+                # delay deliverability, never channel contents.
+                cell_monitors: tuple = (ConnectivityMonitor(check_every=16),)
+                if base["scenario"] in ("fdp", "fsp") and not traffic:
+                    cell_monitors += (PotentialMonitor(check_every=16),)
+                result = run_chaos(
+                    meta,
+                    campaign=campaign,
+                    watchdogs=watchdogs,
+                    monitors=cell_monitors,
+                    max_steps=args.max_steps,
+                    until=_chaos_until(meta),
+                    capture_on_budget=False,
+                    workload=traffic_workload if traffic else None,
+                )
+                outcome = result.outcome
+                if traffic and outcome == "budget":
+                    # Under a workload the verdict is the searchability
+                    # gate, not the step budget — a False return means
+                    # violations.
+                    outcome = "searchability"
+                if outcome not in ("converged", "budget"):
+                    failures += 1
+                rows.append(
+                    [
+                        base.get("protocol", base["scenario"]),
+                        base["scenario"],
+                        scheduler,
+                        "-" if cell is None else f"{cell[0]}/{cell[1]}",
+                        outcome,
+                        result.engine.step_count,
+                        len(campaign.injections),
+                    ]
+                )
     print(
         format_table(
-            ["protocol", "scenario", "scheduler", "outcome", "steps", "injections"],
+            [
+                "protocol",
+                "scenario",
+                "scheduler",
+                "loss/delay",
+                "outcome",
+                "steps",
+                "injections",
+            ],
             rows,
             title=f"chaos soak (n={args.n}, seed={args.seed}, "
             f"{len(rows)} cells, {failures} failures)",
@@ -1007,6 +1054,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="drive each cell through the open-system churn + request "
         "workload instead of a closed run (fdp/fsp scenarios)",
+    )
+    c.add_argument(
+        "--net",
+        action="store_true",
+        help="run each fdp/fsp cell over an unreliable underlay "
+        "(loss/delay grid, net campaign kinds, retransmit-storm "
+        "watchdog); composes with --traffic",
     )
     c.set_defaults(func=cmd_chaos_soak)
 

@@ -537,7 +537,12 @@ def build_from_meta(
     * ``scheduler`` — a :data:`SCHEDULER_FACTORIES` name (default
       ``"random"``), seeded with ``seed``;
     * ``oracle`` — an oracle registry name (default ``"single"``);
-    * ``protocol`` — overlay logic name (framework scenario only).
+    * ``protocol`` — overlay logic name (framework scenario only);
+    * ``net`` — a :meth:`repro.net.ReliableTransport.config` dict; when
+      present the rebuilt engine gets a reliable transport over the
+      configured unreliable underlay installed before any step runs
+      (the transport is itself a pure function of its config, so faulty
+      runs rebuild bit-identically).
 
     *engine_mode* selects the execution core for the rebuilt engine
     (``objects``/``soa``/``verify``; ``None`` defers to the
@@ -577,15 +582,22 @@ def build_from_meta(
         engine_mode=engine_mode,
     )
     if scenario == "fsp":
-        return build_fsp_engine(n, edges, leaving, **common)
-    oracle_cls = ORACLES[meta.get("oracle", "single")]
-    if scenario == "framework":
+        engine = build_fsp_engine(n, edges, leaving, **common)
+    elif scenario == "framework":
         from repro.overlays import LOGICS
 
+        oracle_cls = ORACLES[meta.get("oracle", "single")]
         logic = LOGICS[meta["protocol"]]
-        return build_framework_engine(
+        engine = build_framework_engine(
             n, edges, leaving, logic, oracle=oracle_cls(), **common
         )
-    if scenario != "fdp":
+    elif scenario == "fdp":
+        oracle_cls = ORACLES[meta.get("oracle", "single")]
+        engine = build_fdp_engine(n, edges, leaving, oracle=oracle_cls(), **common)
+    else:
         raise ConfigurationError(f"unknown scenario {scenario!r} in meta")
-    return build_fdp_engine(n, edges, leaving, oracle=oracle_cls(), **common)
+    if meta.get("net") is not None:
+        from repro.net import ReliableTransport
+
+        ReliableTransport.from_config(meta["net"]).install(engine)
+    return engine

@@ -1,0 +1,40 @@
+"""Unreliable underlay + reliable-delivery transport (docs/ROBUSTNESS.md).
+
+The paper's model speaks about *channels*: a message handed to a channel
+stays there until the scheduler delivers it, and the reference it
+carries keeps its edge in the process graph for exactly that long. A
+deployable overlay has no such channels — the underlay drops,
+duplicates, delays and transiently partitions packets. This package
+closes that gap in two layers:
+
+* :mod:`repro.net.underlay` — a seeded fault interposer. Every
+  transmission *attempt* is assigned a fate (lost, duplicated, delayed,
+  blocked by a partition) as a pure function of the underlay seed, the
+  attempt's identity and the virtual step, so a faulty run is
+  bit-identically reproducible from its configuration alone.
+
+* :mod:`repro.net.reliable` — a reliable-delivery transport restoring
+  the channel-set semantics end-to-end: per-directed-channel sequence
+  numbers, cumulative acks, seeded retransmission with exponential
+  backoff + jitter, and receiver-side dedup. The engine keeps the
+  paper-level message in the channel for the whole exchange — an
+  unacked in-flight message still *is* "in the channel" — so the live
+  graph, Φ and Lemma 2 stay exact under arbitrary underlay faults.
+"""
+
+from repro.net.reliable import (
+    NetStats,
+    ReliableTransport,
+    default_net_config,
+    journal_digest,
+)
+from repro.net.underlay import Underlay, UnderlayConfig
+
+__all__ = [
+    "NetStats",
+    "ReliableTransport",
+    "Underlay",
+    "UnderlayConfig",
+    "default_net_config",
+    "journal_digest",
+]

@@ -1,0 +1,410 @@
+"""Reliable-delivery transport over the unreliable underlay.
+
+The engine's contract with the paper is that a posted message sits in
+the target's channel until delivered, and the reference it carries
+counts as an edge of PG for exactly that long. This transport keeps
+that contract under loss, duplication, delay and transient partitions
+by the classic end-to-end recipe:
+
+* the paper-level :class:`~repro.sim.messages.Message` enters the
+  channel at post time and **never leaves it because of a fault** —
+  only an actual engine delivery removes it. Faults act on transport
+  *frames* (announcements that the message has become deliverable), so
+  ref conservation, LiveGraph, Φ and Lemma 2 are exact by construction;
+* each directed channel ``src -> dst`` numbers its frames with a
+  transport sequence number (``tseq``), the receiver acknowledges with
+  a **cumulative floor** plus an above-floor seen-set (dedup), and the
+  sender retransmits unacked frames on an exponential-backoff timer
+  with seeded jitter;
+* what the underlay faults *actually* delay is the moment the
+  scheduler learns the message is deliverable (``notify_send``).
+  Recorded schedules stay valid verbatim — a ``ReplayScheduler``
+  ignores notifications and only checks channel membership — so a v3
+  capsule replays bit-identically whether or not the transport is
+  re-attached.
+
+All transport state advances on a virtual clock that normally tracks
+``engine.step_count``. When every pending frame is in flight and the
+scheduler starves (e.g. an FSP population all asleep while the only
+wake-up frame is being retransmitted), :meth:`ReliableTransport.run_dry`
+fast-forwards the clock to the next due transport event so the run
+cannot falsely quiesce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from collections import deque
+from dataclasses import dataclass
+from random import Random
+from typing import TYPE_CHECKING, Any
+
+from repro.net.underlay import Underlay, UnderlayConfig
+from repro.sim.states import PState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+    from repro.sim.messages import Message
+
+__all__ = [
+    "NetStats",
+    "ReliableTransport",
+    "default_net_config",
+    "journal_digest",
+]
+
+#: per-call bound on events a starvation fast-forward may process; keeps
+#: a 100%-loss configuration from spinning the retransmit timer forever.
+_RUN_DRY_LIMIT = 10_000
+
+
+@dataclass
+class NetStats:
+    """O(1) transport counters, published as ``engine.net_stats``.
+
+    ``delivered`` counts data frames that reached the destination
+    (first attempts and retransmissions alike); ``dropped`` folds loss
+    and partition blocks together; ``deduped`` counts received frames
+    discarded as duplicates of an already-arrived ``tseq``.
+    """
+
+    sends: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    retransmits: int = 0
+    acks: int = 0
+    deduped: int = 0
+    cancelled_gone: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "sends",
+                "delivered",
+                "dropped",
+                "duplicated",
+                "delayed",
+                "retransmits",
+                "acks",
+                "deduped",
+                "cancelled_gone",
+            )
+        }
+
+
+def default_net_config(
+    seed: int = 0,
+    *,
+    loss: float = 0.1,
+    dup: float = 0.1,
+    delay: float = 0.1,
+    partition_at: int | None = 64,
+    partition_for: int = 48,
+) -> dict:
+    """The documented default fault campaign: 10% loss + dup + delay
+    plus one transient partition early in the run."""
+    return {
+        "underlay": {
+            "seed": seed,
+            "loss": loss,
+            "dup": dup,
+            "delay": delay,
+            "delay_min": 1,
+            "delay_max": 32,
+            "partition_at": partition_at,
+            "partition_for": partition_for,
+        },
+        "rto": 24,
+        "backoff": 2.0,
+        "max_rto": 2_048,
+        "jitter": 0.25,
+        "journal_cap": 4_096,
+    }
+
+
+def journal_digest(journal: list[dict]) -> str:
+    """Canonical digest of a retransmit journal (capsule tamper check)."""
+    blob = json.dumps(list(journal), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+class _Flight:
+    """One unacked data frame: which paper-message, how many attempts."""
+
+    __slots__ = ("announced", "attempts", "mseq")
+
+    def __init__(self, mseq: int) -> None:
+        self.mseq = mseq
+        self.attempts = 1
+        self.announced = False
+
+
+class _Rx:
+    """Receiver-side dedup state for one directed channel."""
+
+    __slots__ = ("floor", "seen")
+
+    def __init__(self) -> None:
+        self.floor = -1
+        self.seen: set[int] = set()
+
+    def admit(self, tseq: int) -> bool:
+        """Record arrival of ``tseq``; False when it is a duplicate."""
+        if tseq <= self.floor or tseq in self.seen:
+            return False
+        self.seen.add(tseq)
+        while self.floor + 1 in self.seen:
+            self.floor += 1
+            self.seen.remove(self.floor)
+        return True
+
+
+class ReliableTransport:
+    """Ack/retransmit transport; installed as ``engine.net``.
+
+    The engine calls :meth:`on_post` instead of ``notify_send`` for
+    protocol posts, :meth:`flush` at every step boundary,
+    :meth:`on_gone` when a process departs, and :meth:`run_dry` when
+    the scheduler starves. Everything else is internal.
+    """
+
+    def __init__(
+        self,
+        underlay: Underlay | None = None,
+        *,
+        rto: int = 24,
+        backoff: float = 2.0,
+        max_rto: int = 2_048,
+        jitter: float = 0.25,
+        journal_cap: int = 4_096,
+    ) -> None:
+        self.underlay = underlay if underlay is not None else Underlay()
+        self.rto = rto
+        self.backoff = backoff
+        self.max_rto = max_rto
+        self.jitter = jitter
+        self.journal_cap = journal_cap
+        self.stats = NetStats()
+        self.journal: deque[dict] = deque(maxlen=journal_cap)
+        self.engine: Engine | None = None
+        self._now = 0
+        self._eid = 0
+        self._ack_id = 0
+        # event heap: (due, eid, kind, src, dst, payload)
+        #   kind "d": data-frame arrival, payload = tseq
+        #   kind "a": ack arrival at src,  payload = cumulative floor
+        #   kind "r": retransmit timer,    payload = tseq
+        self._events: list[tuple[int, int, str, int, int, int]] = []
+        self._next_tseq: dict[tuple[int, int], int] = {}
+        self._flights: dict[tuple[int, int], dict[int, _Flight]] = {}
+        self._by_mseq: dict[int, tuple[int, int, int]] = {}
+        self._rx: dict[tuple[int, int], _Rx] = {}
+
+    # ------------------------------------------------------------ config i/o
+
+    def config(self) -> dict:
+        return {
+            "underlay": self.underlay.config.as_dict(),
+            "rto": self.rto,
+            "backoff": self.backoff,
+            "max_rto": self.max_rto,
+            "jitter": self.jitter,
+            "journal_cap": self.journal_cap,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> ReliableTransport:
+        data = dict(config)
+        underlay = Underlay(UnderlayConfig.from_dict(data.pop("underlay")))
+        return cls(underlay, **data)
+
+    def install(self, engine: Engine) -> ReliableTransport:
+        """Attach to ``engine`` (must happen before the run starts)."""
+        engine.net = self
+        engine.net_stats = self.stats
+        self.engine = engine
+        if getattr(engine, "_core", None) is not None:
+            # A struct-of-arrays mirror built before the transport was
+            # installed would batch-step around the flush hooks; force a
+            # rebuild, which now refuses (CoreUnsupported) and drops the
+            # run onto the object loop.
+            engine._core_stale = True  # noqa: SLF001 - engine collaborator
+        return self
+
+    # ------------------------------------------------------------- internals
+
+    def _log(self, ev: str, src: int, dst: int, tseq: int, attempt: int) -> None:
+        self.journal.append(
+            {"at": self._now, "ev": ev, "src": src, "dst": dst,
+             "tseq": tseq, "attempt": attempt}
+        )
+
+    def _push(self, due: int, kind: str, src: int, dst: int, payload: int) -> None:
+        self._eid += 1
+        heapq.heappush(self._events, (due, self._eid, kind, src, dst, payload))
+
+    def _rto_after(self, src: int, dst: int, tseq: int, attempt: int) -> int:
+        base = min(self.rto * self.backoff ** (attempt - 1), self.max_rto)
+        seed = self.underlay.config.seed
+        rng = Random(f"{seed}:rto:{src}:{dst}:{tseq}:{attempt}")
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(1, int(base * factor))
+
+    def _transmit(self, src: int, dst: int, tseq: int, attempt: int) -> None:
+        """Roll the fate of one data-frame attempt, schedule arrivals."""
+        fate = self.underlay.fate(src, dst, f"d:{tseq}:{attempt}", self._now)
+        if fate.blocked or fate.dropped:
+            self.stats.dropped += 1
+            self._log("part" if fate.blocked else "drop", src, dst, tseq, attempt)
+            return
+        if fate.duplicated:
+            self.stats.duplicated += 1
+            self._log("dup", src, dst, tseq, attempt)
+        if fate.delayed:
+            self.stats.delayed += 1
+            self._log("delay", src, dst, tseq, attempt)
+        for offset in fate.arrivals:
+            self._push(self._now + offset, "d", src, dst, tseq)
+
+    def _send_ack(self, src: int, dst: int, tseq: int) -> None:
+        """Ack travels dst -> src; lossy like any other frame."""
+        rx = self._rx[(src, dst)]
+        self.stats.acks += 1
+        self._ack_id += 1
+        fate = self.underlay.fate(dst, src, f"a:{self._ack_id}", self._now)
+        if fate.blocked or fate.dropped:
+            self._log("ack_drop", src, dst, tseq, 0)
+            return
+        for offset in fate.arrivals:
+            self._push(self._now + offset, "a", src, dst, rx.floor)
+
+    def _announce(self, dst: int, mseq: int) -> bool:
+        """Tell the scheduler the message became deliverable."""
+        engine = self.engine
+        if engine is None:
+            return False
+        proc = engine.processes.get(dst)
+        if proc is None or proc.state is PState.GONE:
+            return False
+        if mseq not in engine.channels[dst]:
+            return False
+        engine.scheduler.notify_send(dst, mseq)
+        return True
+
+    # --------------------------------------------------------- event firing
+
+    def _fire(self, event: tuple[int, int, str, int, int, int]) -> bool:
+        """Process one due event; True when a message was announced."""
+        _due, _eid, kind, src, dst, payload = event
+        chan = (src, dst)
+        if kind == "r":
+            flights = self._flights.get(chan)
+            flight = flights.get(payload) if flights else None
+            if flight is None:
+                return False  # acked or cancelled in the meantime
+            engine = self.engine
+            proc = engine.processes.get(dst) if engine is not None else None
+            if proc is None or proc.state is PState.GONE:
+                del flights[payload]
+                self._by_mseq.pop(flight.mseq, None)
+                self.stats.cancelled_gone += 1
+                self._log("cancel", src, dst, payload, flight.attempts)
+                return False
+            flight.attempts += 1
+            self.stats.retransmits += 1
+            self._log("rtx", src, dst, payload, flight.attempts)
+            self._transmit(src, dst, payload, flight.attempts)
+            self._push(
+                self._now + self._rto_after(src, dst, payload, flight.attempts),
+                "r", src, dst, payload,
+            )
+            return False
+        if kind == "a":
+            flights = self._flights.get(chan)
+            if not flights:
+                return False
+            for tseq in [t for t in flights if t <= payload]:
+                flight = flights.pop(tseq)
+                self._by_mseq.pop(flight.mseq, None)
+            return False
+        # kind == "d": data frame reaches dst
+        rx = self._rx.setdefault(chan, _Rx())
+        flights = self._flights.get(chan)
+        flight = flights.get(payload) if flights else None
+        if not rx.admit(payload):
+            self.stats.deduped += 1
+            self._log("dedup", src, dst, payload, 0)
+            self._send_ack(src, dst, payload)
+            return False
+        self.stats.delivered += 1
+        self._send_ack(src, dst, payload)
+        if flight is not None and not flight.announced:
+            flight.announced = True
+            return self._announce(dst, flight.mseq)
+        return False
+
+    # ------------------------------------------------------------ engine API
+
+    def on_post(self, sender: int, dst: int, msg: Message) -> None:
+        """Protocol post ``sender -> dst``: open a flight for the frame."""
+        chan = (sender, dst)
+        tseq = self._next_tseq.get(chan, 0)
+        self._next_tseq[chan] = tseq + 1
+        flight = _Flight(msg.seq)
+        self._flights.setdefault(chan, {})[tseq] = flight
+        self._by_mseq[msg.seq] = (sender, dst, tseq)
+        self.stats.sends += 1
+        self._transmit(sender, dst, tseq, 1)
+        self._push(
+            self._now + self._rto_after(sender, dst, tseq, 1), "r", sender, dst, tseq
+        )
+
+    def flush(self, step: int) -> None:
+        """Advance the clock to ``step`` and fire every due event."""
+        if step > self._now:
+            self._now = step
+        events = self._events
+        while events and events[0][0] <= self._now:
+            self._fire(heapq.heappop(events))
+
+    def on_gone(self, pid: int) -> None:
+        """Cancel in-flight frames to a departed process."""
+        for (src, dst), flights in self._flights.items():
+            if dst != pid or not flights:
+                continue
+            for tseq, flight in list(flights.items()):
+                del flights[tseq]
+                self._by_mseq.pop(flight.mseq, None)
+                self.stats.cancelled_gone += 1
+                self._log("cancel", src, dst, tseq, flight.attempts)
+
+    @property
+    def busy(self) -> bool:
+        """True while any transport event is still scheduled."""
+        return bool(self._events)
+
+    def run_dry(self) -> bool:
+        """Fast-forward to due transport events while the scheduler starves.
+
+        Pops events in virtual-time order — advancing the clock past
+        step_count, so delayed frames arrive and partitions heal —
+        until an announcement gives the scheduler something to select,
+        the heap drains, or the safety cap trips (permanently-lossy
+        configurations would otherwise spin the retransmit timer).
+        Returns True when at least one message was announced.
+        """
+        events = self._events
+        for _ in range(_RUN_DRY_LIMIT):
+            if not events:
+                return False
+            due = events[0][0]
+            if due > self._now:
+                self._now = due
+            if self._fire(heapq.heappop(events)):
+                return True
+        return False

@@ -134,6 +134,46 @@ def _probe_traffic_population(e: "Engine") -> float:
     return float(t.population) if t is not None else 0.0
 
 
+def _net(e: "Engine"):
+    # Set by repro.net.ReliableTransport.install; None on reliable runs.
+    return getattr(e, "net_stats", None)
+
+
+def _probe_net_sends(e: "Engine") -> float:
+    t = _net(e)
+    return float(t.sends) if t is not None else 0.0
+
+
+def _probe_net_delivered(e: "Engine") -> float:
+    t = _net(e)
+    return float(t.delivered) if t is not None else 0.0
+
+
+def _probe_net_dropped(e: "Engine") -> float:
+    t = _net(e)
+    return float(t.dropped) if t is not None else 0.0
+
+
+def _probe_net_duplicated(e: "Engine") -> float:
+    t = _net(e)
+    return float(t.duplicated) if t is not None else 0.0
+
+
+def _probe_net_delayed(e: "Engine") -> float:
+    t = _net(e)
+    return float(t.delayed) if t is not None else 0.0
+
+
+def _probe_net_retransmits(e: "Engine") -> float:
+    t = _net(e)
+    return float(t.retransmits) if t is not None else 0.0
+
+
+def _probe_net_acks(e: "Engine") -> float:
+    t = _net(e)
+    return float(t.acks) if t is not None else 0.0
+
+
 _CATALOG: tuple[Probe, ...] = (
     Probe(
         "potential",
@@ -232,6 +272,48 @@ _CATALOG: tuple[Probe, ...] = (
         "non-gone population at the driver's last chunk boundary",
         "O(1)",
         _probe_traffic_population,
+    ),
+    Probe(
+        "net_sends",
+        "paper messages handed to the reliable transport",
+        "O(1)",
+        _probe_net_sends,
+    ),
+    Probe(
+        "net_delivered",
+        "data frames that arrived through the faulty underlay",
+        "O(1)",
+        _probe_net_delivered,
+    ),
+    Probe(
+        "net_dropped",
+        "data frames lost to underlay loss or an active partition",
+        "O(1)",
+        _probe_net_dropped,
+    ),
+    Probe(
+        "net_duplicated",
+        "data frames the underlay duplicated in flight",
+        "O(1)",
+        _probe_net_duplicated,
+    ),
+    Probe(
+        "net_delayed",
+        "data frames the underlay delayed past the next flush",
+        "O(1)",
+        _probe_net_delayed,
+    ),
+    Probe(
+        "net_retransmits",
+        "retransmission attempts fired by the ack/backoff loop",
+        "O(1)",
+        _probe_net_retransmits,
+    ),
+    Probe(
+        "net_acks",
+        "cumulative-ack frames sent back by receivers",
+        "O(1)",
+        _probe_net_acks,
     ),
 )
 

@@ -363,6 +363,12 @@ class Engine:
         #: :class:`repro.traffic.TrafficDriver`, read by the O(1) traffic
         #: probes in :mod:`repro.obs.metrics` (None = no traffic attached).
         self.traffic_stats = None
+        #: reliable-delivery transport over an unreliable underlay; set
+        #: by :meth:`repro.net.ReliableTransport.install` (None = the
+        #: paper's perfect channels). ``net_stats`` mirrors its O(1)
+        #: counters for the ``net_*`` probes in :mod:`repro.obs.metrics`.
+        self.net = None
+        self.net_stats = None
         #: step index of the last observed progress event: a lifecycle
         #: transition (both graph modes), or a strict Φ decrease
         #: (incremental mode only — rebuild mode would pay a snapshot per
@@ -642,7 +648,14 @@ class Engine:
             # mid-run): the mirror core did not see it — rebuild lazily.
             self._core_stale = True
         if self._attached and self.processes[tpid].state is not PState.GONE:
-            self.scheduler.notify_send(tpid, msg.seq)
+            if self.net is not None and sender is not None:
+                # Protocol send over the unreliable underlay: the message
+                # is already parked in the channel (refs conserved); the
+                # transport decides when the scheduler learns it is
+                # deliverable. Out-of-band posts keep perfect channels.
+                self.net.on_post(sender, tpid, msg)
+            else:
+                self.scheduler.notify_send(tpid, msg.seq)
         return msg
 
     def _bounce(self, sender: int, tpid: int, args: tuple[Any, ...]) -> None:
@@ -715,6 +728,12 @@ class Engine:
                 self.scheduler.notify_gone(
                     proc.pid, list(self.channels[proc.pid].seqs())
                 )
+            if self.net is not None:
+                # Frames in flight to a departed process will never be
+                # delivered; stop retransmitting them (their messages
+                # stay parked in the gone channel, exactly as on
+                # perfect channels).
+                self.net.on_gone(proc.pid)
         elif new_state is PState.ASLEEP:
             self.stats.sleeps += 1
             self._asleep_count += 1
@@ -1055,7 +1074,23 @@ class Engine:
         return executed
 
     def _step_objects(self) -> ExecutedStep | None:
+        net = self.net
+        if net is not None:
+            net.flush(self.step_count)
         event = self.scheduler.select(self)
+        if event is None and net is not None:
+            # Starved scheduler with transport events still in flight
+            # (e.g. every awake-able message is being retransmitted):
+            # fast-forward the transport clock to the next due arrivals
+            # so the run cannot falsely quiesce. Bounded retries — with
+            # a permanently lossy underlay run_dry gives up and the run
+            # ends non-converged, which the chaos outcome classifies.
+            for _ in range(32):
+                if not net.run_dry():
+                    break
+                event = self.scheduler.select(self)
+                if event is not None:
+                    break
         if event is None:
             return None
 

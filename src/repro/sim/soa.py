@@ -627,6 +627,10 @@ class EngineCore:
         from repro.core.fsp import FSPProcess
         from repro.core.oracles import AlwaysOracle, NeverOracle, SingleOracle
 
+        if getattr(engine, "net", None) is not None:
+            raise CoreUnsupported(
+                "reliable transport attached; net runs on the object loop"
+            )
         procs = list(engine.processes.values())
         if not procs:
             raise CoreUnsupported("empty population")

@@ -6,9 +6,10 @@ import json
 
 import pytest
 
-from repro.chaos.campaigns import ChaosCampaign
+from repro.chaos.campaigns import ALL_CAMPAIGN_KINDS, ChaosCampaign
 from repro.chaos.capsule import CAPSULE_VERSION, Capsule, replay_capsule, run_chaos
 from repro.chaos.watchdogs import LivelockWatchdog, default_watchdogs
+from repro.net.reliable import journal_digest
 from repro.core.potential import fdp_legitimate
 from repro.errors import ConfigurationError
 
@@ -161,7 +162,7 @@ class TestChurnCapsules:
 
     def test_churn_run_replays_bit_identically(self, tmp_path):
         capsule = self._churn_capsule(tmp_path)
-        assert capsule.version == CAPSULE_VERSION == 2
+        assert capsule.version == CAPSULE_VERSION == 3
         ops = {op["op"] for op in capsule.churn}
         assert "admit" in ops and "leave" in ops
         assert "population" in capsule.final
@@ -190,10 +191,91 @@ class TestChurnCapsules:
         payload["version"] = 1
         del payload["churn"]  # v1 predates the journal
         del payload["final"]["population"]  # ... and the population counter
+        del payload["net"]  # ... and the transport record
         loaded = Capsule.from_dict(payload)
         assert loaded.churn == []
+        assert loaded.net is None
         replayed = replay_capsule(loaded)  # population check skipped for v1
         assert replayed.step_count == 64
+
+    def test_v2_capsule_still_loads(self, tmp_path):
+        result = run_chaos(
+            HEALTHY_FDP,
+            max_steps=64,
+            until=fdp_legitimate,
+            capsule_dir=str(tmp_path),
+        )
+        payload = result.capsule.as_dict()
+        payload["version"] = 2
+        del payload["net"]  # v2 predates the transport record
+        loaded = Capsule.from_dict(payload)
+        assert loaded.net is None
+        replayed = replay_capsule(loaded)
+        assert replayed.step_count == 64
+
+
+class TestNetCapsules:
+    """Schema v3: the reliable-transport record rides in the capsule."""
+
+    def _net_capsule(self, tmp_path, scenario="fdp") -> Capsule:
+        from repro.net import default_net_config
+
+        meta = dict(HEALTHY_FDP, scenario=scenario)
+        meta["net"] = default_net_config(7, loss=0.1, dup=0.1, delay=0.1)
+        result = run_chaos(
+            meta,
+            campaign=ChaosCampaign(
+                seed=7,
+                period=60,
+                max_injections=4,
+                kinds=ALL_CAMPAIGN_KINDS,
+            ),
+            max_steps=300,
+            capsule_dir=str(tmp_path),
+        )
+        assert result.outcome == "budget"
+        return Capsule.load(result.capsule_path)
+
+    @pytest.mark.parametrize("scenario", ["fdp", "fsp"])
+    def test_net_run_replays_bit_identically(self, tmp_path, scenario):
+        capsule = self._net_capsule(tmp_path, scenario)
+        assert capsule.version == CAPSULE_VERSION
+        assert capsule.net is not None
+        assert capsule.net["config"]["underlay"]["loss"] == 0.1
+        assert capsule.net["stats"]["sends"] > 0
+        assert capsule.net["digest"] == journal_digest(capsule.net["journal"])
+        # replay rebuilds the transport from net.config and raises on
+        # any final-counter divergence — passing IS the bit-identity
+        # check, faults re-rolled and all
+        replayed = replay_capsule(capsule)
+        assert replayed.step_count == len(capsule.schedule)
+        assert replayed.net is not None
+
+    def test_transportless_capsule_has_null_net(self, tmp_path):
+        result = run_chaos(
+            HEALTHY_FDP,
+            max_steps=64,
+            until=fdp_legitimate,
+            capsule_dir=str(tmp_path),
+        )
+        capsule = Capsule.load(result.capsule_path)
+        assert capsule.net is None
+        assert capsule.as_dict()["net"] is None
+
+    def test_tampered_journal_rejected_at_load(self, tmp_path):
+        capsule = self._net_capsule(tmp_path)
+        payload = capsule.as_dict()
+        assert payload["net"]["journal"], "journal should have entries"
+        payload["net"]["journal"][0]["ev"] = "forged"
+        with pytest.raises(ConfigurationError, match="journal"):
+            Capsule.from_dict(payload)
+
+    def test_truncated_journal_rejected_at_load(self, tmp_path):
+        capsule = self._net_capsule(tmp_path)
+        payload = capsule.as_dict()
+        payload["net"]["journal"] = payload["net"]["journal"][:-1]
+        with pytest.raises(ConfigurationError, match="journal"):
+            Capsule.from_dict(payload)
 
 
 class TestReplayVerification:

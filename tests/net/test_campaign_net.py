@@ -1,0 +1,88 @@
+"""Net campaign kinds: underlay bursts on a seeded injection schedule."""
+
+from __future__ import annotations
+
+from repro.chaos.campaigns import (
+    ALL_CAMPAIGN_KINDS,
+    CAMPAIGN_KINDS,
+    NET_CAMPAIGN_KINDS,
+    ChaosCampaign,
+)
+from repro.core.potential import fdp_legitimate
+from repro.core.scenarios import build_fdp_engine, choose_leaving
+from repro.graphs import generators as gen
+from repro.net import ReliableTransport, default_net_config
+
+
+def build(seed, *, net=True, monitors=()):
+    n = 12
+    edges = gen.random_connected(n, 3, seed=seed)
+    leaving = choose_leaving(n, edges, fraction=0.3, seed=seed)
+    engine = build_fdp_engine(
+        n, edges, leaving, seed=seed, monitors=tuple(monitors)
+    )
+    if net:
+        cfg = default_net_config(seed, partition_at=None)
+        ReliableTransport.from_config(cfg).install(engine)
+    return engine
+
+
+def test_default_kinds_exclude_net():
+    """Opt-in: existing campaigns/capsules keep their injection stream."""
+    assert not set(CAMPAIGN_KINDS) & set(NET_CAMPAIGN_KINDS)
+    assert set(ALL_CAMPAIGN_KINDS) == set(CAMPAIGN_KINDS) | set(
+        NET_CAMPAIGN_KINDS
+    )
+    assert ChaosCampaign(seed=1).kinds == CAMPAIGN_KINDS
+
+
+def test_net_kinds_land_as_underlay_bursts():
+    campaign = ChaosCampaign(
+        seed=31, period=40, max_injections=12, kinds=NET_CAMPAIGN_KINDS
+    )
+    engine = build(31, monitors=[campaign])
+    engine.run(50_000, until=fdp_legitimate, check_every=64)
+    kinds = {r.kind for r in campaign.injections}
+    assert kinds <= set(NET_CAMPAIGN_KINDS) and kinds
+    bursts = engine.net.underlay.bursts
+    assert len(bursts) == len(campaign.injections)
+    for record, burst in zip(campaign.injections, bursts):
+        assert record.kind == f"net_{burst.kind}"
+        assert record.component == ()
+        assert burst.start == record.step
+
+
+def test_net_injection_rng_parity_without_transport():
+    """The campaign draws burst duration/amount from its RNG *before*
+    checking for a transport, so one net injection consumes the same
+    RNG draws whether or not a transport is attached — a transport-less
+    replay stays on the recorded injection stream (the net injection
+    itself is then a recorded no-op)."""
+    with_net = ChaosCampaign(seed=32, kinds=("net_loss",))
+    engine_a = build(32, monitors=[])
+    engine_a.attach()
+    with_net._inject(engine_a)
+
+    without_net = ChaosCampaign(seed=32, kinds=("net_loss",))
+    engine_b = build(32, net=False, monitors=[])
+    engine_b.attach()
+    without_net._inject(engine_b)
+
+    # identical RNG state after the injection: no draw was skipped
+    assert with_net._rng.getstate() == without_net._rng.getstate()
+    (rec_a,), (rec_b,) = with_net.injections, without_net.injections
+    assert (rec_a.step, rec_a.kind) == (rec_b.step, rec_b.kind)
+    assert rec_a.count == 1 and rec_b.count == 0
+    assert engine_a.net.underlay.bursts
+    assert engine_b.net is None
+
+
+def test_fdp_converges_under_full_fault_matrix():
+    """State faults and timing faults together: garbage + lies +
+    scrambles + loss/dup/delay/partition bursts, one campaign."""
+    campaign = ChaosCampaign(
+        seed=33, period=60, max_injections=10, kinds=ALL_CAMPAIGN_KINDS
+    )
+    engine = build(33, monitors=[campaign])
+    assert engine.run(2_000_000, until=fdp_legitimate, check_every=64)
+    assert campaign.injections

@@ -1,0 +1,113 @@
+"""RetransmitStormWatchdog: the transport-layer livelock supervisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.watchdogs import (
+    WATCHDOG_KINDS,
+    RetransmitStormWatchdog,
+    default_watchdogs,
+    watchdog_from_config,
+)
+from repro.core.potential import fdp_legitimate
+from repro.core.scenarios import build_fdp_engine, choose_leaving
+from repro.errors import WatchdogTrip
+from repro.graphs import generators as gen
+from repro.net import ReliableTransport, default_net_config
+
+STORM_PARAMS = dict(check_every=8, window=4, min_retransmits=64, ratio=8.0)
+
+
+def build_engine(seed, *, watchdogs=(), net_cfg=None):
+    n = 12
+    edges = gen.random_connected(n, 3, seed=seed)
+    leaving = choose_leaving(n, edges, fraction=0.3, seed=seed)
+    engine = build_fdp_engine(
+        n, edges, leaving, seed=seed, monitors=tuple(watchdogs)
+    )
+    if net_cfg is not None:
+        ReliableTransport.from_config(net_cfg).install(engine)
+    return engine
+
+
+def pathological_backoff_config(seed=21):
+    """The pinned storm scenario: a near-dead link hammered by a
+    backoff that never backs off (rto=2, backoff=1.0, max_rto=2)."""
+    cfg = default_net_config(
+        seed, loss=0.97, dup=0.0, delay=0.0, partition_at=None
+    )
+    cfg.update({"rto": 2, "backoff": 1.0, "max_rto": 2})
+    return cfg
+
+
+class TestStormDetection:
+    def test_pathological_backoff_trips(self):
+        """Seeded acceptance scenario: retransmissions outpace frame
+        deliveries by far more than 8:1, and the watchdog aborts the run
+        within a few hundred steps instead of a burned budget."""
+        watchdog = RetransmitStormWatchdog(**STORM_PARAMS)
+        engine = build_engine(
+            21, watchdogs=[watchdog], net_cfg=pathological_backoff_config()
+        )
+        with pytest.raises(WatchdogTrip) as excinfo:
+            engine.run(50_000, until=fdp_legitimate, check_every=64)
+        diagnosis = excinfo.value.diagnosis
+        assert diagnosis is not None
+        assert diagnosis.kind == "retransmit_storm"
+        assert "retransmits" in diagnosis.detail
+        assert watchdog.tripped is diagnosis
+        stats = engine.net_stats
+        assert stats.retransmits > STORM_PARAMS["min_retransmits"]
+        assert stats.retransmits > 8.0 * max(1, stats.delivered)
+
+    def test_healthy_lossy_run_does_not_trip(self):
+        """At the default 10% fault campaign deliveries keep pace with
+        retransmissions — the conjunction keeps the watchdog quiet."""
+        watchdog = RetransmitStormWatchdog(**STORM_PARAMS)
+        engine = build_engine(
+            22, watchdogs=[watchdog], net_cfg=default_net_config(22)
+        )
+        assert engine.run(1_000_000, until=fdp_legitimate, check_every=64)
+        assert watchdog.tripped is None
+
+    def test_no_op_without_transport(self):
+        watchdog = RetransmitStormWatchdog(**STORM_PARAMS)
+        engine = build_engine(23, watchdogs=[watchdog])
+        engine.run(20_000, until=fdp_legitimate, check_every=64)
+        assert watchdog.tripped is None
+        assert watchdog.checks > 0  # it sampled, it just had nothing to read
+
+    def test_latch_mode_counts_without_raising(self):
+        watchdog = RetransmitStormWatchdog(
+            raise_on_trip=False, **STORM_PARAMS
+        )
+        engine = build_engine(
+            24, watchdogs=[watchdog], net_cfg=pathological_backoff_config(24)
+        )
+        # latch mode never aborts: the run proceeds (and, with run_dry
+        # fast-forwarding virtual time past the storm, even converges)
+        # while the diagnosis stays latched for the soak tally
+        engine.run(5_000, until=fdp_legitimate, check_every=64)
+        assert watchdog.tripped is not None
+        assert watchdog.tripped.kind == "retransmit_storm"
+        assert watchdog.tripped.detail.startswith("retransmit storm")
+
+
+class TestRegistry:
+    def test_kind_registered_for_capsule_vocabulary(self):
+        assert "retransmit_storm" in WATCHDOG_KINDS
+
+    def test_config_round_trip(self):
+        watchdog = RetransmitStormWatchdog(**STORM_PARAMS)
+        rebuilt = watchdog_from_config(watchdog.config())
+        assert isinstance(rebuilt, RetransmitStormWatchdog)
+        assert rebuilt.config() == watchdog.config()
+
+    def test_not_in_default_set(self):
+        """The default set's overhead budget (bench_chaos) is measured
+        on transport-less runs; the storm watchdog is opt-in (the CLI
+        adds it to --net soak cells)."""
+        assert not any(
+            isinstance(w, RetransmitStormWatchdog) for w in default_watchdogs()
+        )

@@ -1,0 +1,93 @@
+"""docs/OBSERVABILITY.md and the probe registry must agree.
+
+Every probe in ``repro.obs.metrics.REGISTRY`` needs a row (or a shared
+row) in the catalog table, and the table may not advertise a probe the
+registry no longer ships — the doc is the contract experiment code
+reads before attaching instruments, so it is pinned here instead of
+drifting. Follows the docs/LINT.md sync pattern
+(tests/lint/test_docs_sync.py).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+TABLE_HEADER = "| probe | reads | cost |"
+BACKTICKED = re.compile(r"`([a-z_]+)`")
+
+
+@pytest.fixture(scope="module")
+def doc_text() -> str:
+    return DOC.read_text()
+
+
+@pytest.fixture(scope="module")
+def table_names(doc_text) -> set[str]:
+    """Probe names advertised in the catalog table's first column."""
+    lines = doc_text.splitlines()
+    start = lines.index(TABLE_HEADER)
+    names: set[str] = set()
+    for line in lines[start + 2 :]:  # skip the |---| separator
+        if not line.startswith("|"):
+            break
+        first_cell = line.split("|")[1]
+        names.update(BACKTICKED.findall(first_cell))
+    return names
+
+
+def test_every_probe_has_a_doc_table_row(table_names) -> None:
+    missing = sorted(set(REGISTRY) - table_names)
+    assert not missing, f"probes without a docs/OBSERVABILITY.md row: {missing}"
+
+
+def test_docs_advertise_no_unregistered_probe(table_names) -> None:
+    ghosts = sorted(table_names - set(REGISTRY))
+    assert not ghosts, f"docs/OBSERVABILITY.md advertises unknown probes: {ghosts}"
+
+
+def test_net_probes_cover_the_transport_counters() -> None:
+    """The ISSUE-10 probe set: one catalog probe per headline counter."""
+    expected = {
+        "net_sends",
+        "net_delivered",
+        "net_dropped",
+        "net_duplicated",
+        "net_delayed",
+        "net_retransmits",
+        "net_acks",
+    }
+    assert expected <= set(REGISTRY)
+    for name in sorted(expected):
+        assert REGISTRY[name].cost == "O(1)", f"{name} must stay O(1)"
+
+
+def test_net_probes_read_zero_without_transport() -> None:
+    from repro.core.scenarios import build_fdp_engine
+    from repro.graphs import generators as gen
+
+    edges = gen.random_connected(8, 3, seed=1)
+    engine = build_fdp_engine(8, edges, leaving=(0,), seed=1)
+    assert REGISTRY["net_sends"].fn(engine) == 0.0
+    assert REGISTRY["net_retransmits"].fn(engine) == 0.0
+
+
+def test_net_probes_track_installed_transport() -> None:
+    from repro.core.scenarios import build_fdp_engine
+    from repro.graphs import generators as gen
+    from repro.net import ReliableTransport, default_net_config
+
+    edges = gen.random_connected(12, 3, seed=3)
+    engine = build_fdp_engine(12, edges, leaving=(0, 1), seed=3)
+    cfg = default_net_config(3, loss=0.2, dup=0.2, delay=0.2)
+    ReliableTransport.from_config(cfg).install(engine)
+    engine.run(4000)
+    assert REGISTRY["net_sends"].fn(engine) > 0.0
+    assert REGISTRY["net_delivered"].fn(engine) > 0.0
+    assert REGISTRY["net_dropped"].fn(engine) > 0.0

@@ -126,6 +126,28 @@ class Harness:
                     self.watch.discard(pid)
 
 
+NET_OPS = OPS + ("burst",)
+
+
+@st.composite
+def net_interleaving(draw):
+    n = draw(st.integers(4, 9))
+    extra = draw(st.integers(0, n // 2))
+    topo_seed = draw(st.integers(0, 10_000))
+    leave_seed = draw(st.integers(0, 10_000))
+    run_seed = draw(st.integers(0, 10_000))
+    fraction = draw(st.floats(0.0, 0.5))
+    loss = draw(st.floats(0.0, 0.3))
+    ops = draw(
+        st.lists(
+            st.tuples(st.sampled_from(NET_OPS), st.integers(0, 2**20)),
+            min_size=8,
+            max_size=40,
+        )
+    )
+    return n, extra, topo_seed, leave_seed, run_seed, fraction, loss, ops
+
+
 @pytest.mark.parametrize("family", sorted(SCHEDULER_FACTORIES))
 @settings(**COMMON)
 @given(interleaving())
@@ -158,3 +180,67 @@ def test_interleavings_verify_clean(family, case):
     )
     # retired pids are gone for good
     assert not set(engine.processes) & set(getattr(engine, "_retired_pids", ()))
+
+
+@pytest.mark.parametrize("family", sorted(SCHEDULER_FACTORIES))
+@settings(**COMMON)
+@given(net_interleaving())
+def test_net_fault_interleavings_stay_searchable(family, case):
+    """Churn × underlay faults: arbitrary join/leave/request/reap
+    interleavings with seeded loss/dup/delay/partition bursts landing
+    mid-stream. Faults only defer notification timing, so the
+    open-system accounting invariants must hold verbatim; the
+    ``verify`` engine mode is requested on purpose — a transport-backed
+    run must *fall back* to the object loop with a legible
+    ``core_status`` reason rather than mirror stale state."""
+    from repro.net import ReliableTransport, default_net_config
+    from repro.net.underlay import BURST_KINDS
+
+    n, extra, topo_seed, leave_seed, run_seed, fraction, loss, ops = case
+    edges = gen.random_connected(n, extra_edges=extra, seed=topo_seed)
+    leaving = choose_leaving(n, edges, fraction=fraction, seed=leave_seed)
+    engine = build_fdp_engine(
+        n,
+        edges,
+        leaving,
+        seed=run_seed,
+        scheduler=SCHEDULER_FACTORIES[family](run_seed),
+        engine_mode="verify",
+    )
+    cfg = default_net_config(
+        run_seed, loss=loss, dup=loss, delay=loss, partition_at=32
+    )
+    transport = ReliableTransport.from_config(cfg).install(engine)
+    engine.attach()
+    status = engine.core_status
+    assert not status["active"]
+    assert "reliable transport" in (status["reason"] or "")
+
+    harness = Harness(engine)
+    for op, arg in ops:
+        if op == "burst":
+            kind = BURST_KINDS[arg % len(BURST_KINDS)]
+            transport.underlay.add_burst(
+                kind,
+                start=engine.step_count,
+                duration=1 + arg % 64,
+                amount=0.05 + (arg % 7) / 10.0,
+            )
+        else:
+            harness.apply(op, arg)
+    engine.run(512)  # drain through the fault tail
+
+    # faults defer deliveries but never corrupt the graph: fault-free
+    # searchability accounting holds under loss/dup/delay/partition too
+    assert harness.violations == 0
+    maintained = (engine.gone_count, engine.asleep_count)
+    engine._lifecycle_stale = True
+    assert (engine.gone_count, engine.asleep_count) == maintained
+    assert engine.pending_count == sum(
+        len(ch) for ch in engine.channels.values()
+    )
+    # transport bookkeeping stayed structurally sound through the churn
+    assert len(transport._by_mseq) <= transport.stats.sends
+    for chan, rx in transport._rx.items():
+        # a receiver can never ack past what the sender has numbered
+        assert rx.floor < transport._next_tseq.get(chan, 0)
